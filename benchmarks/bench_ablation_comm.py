@@ -1,0 +1,97 @@
+"""Ablation A: communication-mechanism parameter sweeps (beyond the paper).
+
+The paper fixes Table IV's latencies; these sweeps vary the link rate
+(PCI-E generations) and each API latency to show which parameter the
+conclusions are sensitive to.
+"""
+
+from repro.core.report import format_series
+from repro.core.sweeps import sweep_api_latency, sweep_fault_granularity, sweep_pci_bandwidth
+from repro.kernels.registry import kernel
+
+PCIE_GENERATIONS = {"gen1": 4.0, "gen2": 16.0, "gen3": 32.0, "gen4": 64.0}
+
+
+def test_pci_bandwidth_sweep(benchmark, write_artifact):
+    def regenerate():
+        return sweep_pci_bandwidth(kernel("reduction"), list(PCIE_GENERATIONS.values()))
+
+    results = benchmark(regenerate)
+    series = {
+        "reduction": {
+            name: results[rate].breakdown.communication * 1e6
+            for name, rate in PCIE_GENERATIONS.items()
+        }
+    }
+    write_artifact(
+        "ablation_pci_bandwidth",
+        format_series(series, value_label="comm overhead (us) vs PCI-E generation"),
+    )
+    comms = [results[rate].breakdown.communication for rate in PCIE_GENERATIONS.values()]
+    # Faster links monotonically shrink communication, with diminishing
+    # returns: the 33250-cycle base survives any bandwidth.
+    assert comms == sorted(comms, reverse=True)
+    base_floor = 2 * 33250 / 3.5e9
+    assert comms[-1] >= base_floor
+
+
+def test_page_fault_latency_sweep(benchmark, write_artifact):
+    values = [0, 10500, 42000, 168000]
+
+    def regenerate():
+        return sweep_api_latency(kernel("reduction"), "lib_pf_cycles", values)
+
+    results = benchmark(regenerate)
+    write_artifact(
+        "ablation_lib_pf",
+        "\n".join(
+            f"lib-pf={v}: comm {results[v].breakdown.communication * 1e6:.2f} us"
+            for v in values
+        ),
+    )
+    comms = [results[v].breakdown.communication for v in values]
+    assert comms == sorted(comms)
+
+
+def test_lrb_vs_pcie_crossover(benchmark, write_artifact):
+    """Where the shared window starts beating the plain memcpy."""
+    from repro.core.sweeps import find_lrb_crossover_bytes
+
+    def regenerate():
+        return {
+            "reduction": find_lrb_crossover_bytes(kernel("reduction")),
+            "merge sort": find_lrb_crossover_bytes(kernel("merge sort"), lo=256),
+        }
+
+    crossovers = benchmark(regenerate)
+    write_artifact(
+        "ablation_lrb_crossover",
+        "transfer size where LRB's comm cost drops below CPU+GPU's\n"
+        + "\n".join(
+            f"{name}: {size / 1024:.0f} KB" for name, size in crossovers.items()
+        ),
+    )
+    # Two shared objects (reduction): crossover near 150 KB. One shared
+    # object (merge sort): LRB wins at every size.
+    assert 100 * 1024 < crossovers["reduction"] < 220 * 1024
+    assert crossovers["merge sort"] == 256
+
+
+def test_fault_granularity(benchmark, write_artifact):
+    def regenerate():
+        return sweep_fault_granularity(kernel("reduction"))
+
+    results = benchmark(regenerate)
+    write_artifact(
+        "ablation_fault_granularity",
+        "\n".join(
+            f"{name}: comm {r.breakdown.communication * 1e6:.2f} us"
+            for name, r in results.items()
+        ),
+    )
+    # A per-page-faulting runtime pays far more than a per-object one for
+    # the 320 KB reduction input (79 pages vs 2 objects).
+    assert (
+        results["page"].breakdown.communication
+        > 5 * results["object"].breakdown.communication
+    )

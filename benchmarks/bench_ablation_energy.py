@@ -1,0 +1,61 @@
+"""Ablation E: energy per memory-model design (extension).
+
+The paper's conclusion motivates the partially shared space partly by
+"opportunities to optimize hardware and save power/energy" but never
+quantifies energy. This ablation prices every kernel x case-study run with
+the energy model and checks the qualitative expectations: off-chip PCI-E
+transfers dominate communication energy; the memory-controller path and
+the ideal system communicate far cheaper; compute energy is identical
+across memory systems.
+"""
+
+from repro.config.presets import case_study
+from repro.core.report import format_series
+from repro.energy.accounting import trace_energy
+from repro.kernels.registry import all_kernels
+
+SYSTEMS = ("CPU+GPU", "LRB", "GMAC", "Fusion", "IDEAL-HETERO")
+
+
+def regenerate():
+    return {
+        k.name: {name: trace_energy(k.trace(), case_study(name)) for name in SYSTEMS}
+        for k in all_kernels()
+    }
+
+
+def test_energy_by_system(benchmark, write_artifact):
+    reports = benchmark(regenerate)
+    series = {
+        kernel: {name: report.total_uj for name, report in row.items()}
+        for kernel, row in reports.items()
+    }
+    write_artifact(
+        "ablation_energy",
+        format_series(series, value_label="energy per run (uJ)"),
+    )
+    for kernel, row in reports.items():
+        # Compute/cache/DRAM energy must not depend on the memory system.
+        cores = {name: round(r.core_nj, 6) for name, r in row.items()}
+        assert len(set(cores.values())) == 1, kernel
+        # Off-chip links cost the most communication energy.
+        assert row["CPU+GPU"].comm_nj >= row["Fusion"].comm_nj, kernel
+        assert row["IDEAL-HETERO"].comm_nj == 0.0, kernel
+
+    # Aggregate: PCI-E systems pay a visible energy premium on the
+    # transfer-heavy kernel (reduction moves 320 KB over the link).
+    reduction = reports["reduction"]
+    assert reduction["CPU+GPU"].total_nj > reduction["IDEAL-HETERO"].total_nj
+
+
+def test_energy_scales_with_work(benchmark):
+    from repro.kernels.registry import kernel
+
+    def regenerate_pair():
+        k = kernel("reduction")
+        small = trace_energy(k.build(k.for_size(10_000)), case_study("CPU+GPU"))
+        large = trace_energy(k.build(k.for_size(100_000)), case_study("CPU+GPU"))
+        return small, large
+
+    small, large = benchmark(regenerate_pair)
+    assert large.total_nj > 5 * small.total_nj

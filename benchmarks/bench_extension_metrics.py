@@ -1,0 +1,40 @@
+"""Extension: the §VII future-work efficiency metric, regenerated.
+
+Scores every address space on performance / energy / programmability /
+versatility and checks the paper's final recommendation falls out: the
+partially shared space wins the composite under equal weights, and stays
+the winner under a hardware-designer weighting; zeroing the versatility
+axis (ignoring hardware design options) hands the win to the unified
+space — which is exactly the paper's framing of unified as "the ideal
+option for programmability" that loses on design options.
+"""
+
+from repro.core.metrics import EfficiencyMetric, MetricWeights
+from repro.kernels.registry import all_kernels
+from repro.taxonomy import AddressSpaceKind
+
+
+def regenerate():
+    kernels = all_kernels()
+    return {
+        "equal": EfficiencyMetric().score_all(kernels),
+        "hardware": EfficiencyMetric(
+            weights=MetricWeights(performance=1, energy=2, programmability=1, versatility=2)
+        ).score_all(kernels),
+        "no-options": EfficiencyMetric(
+            weights=MetricWeights(versatility=0)
+        ).score_all(kernels),
+    }
+
+
+def test_efficiency_metric(benchmark, write_artifact):
+    scored = benchmark(regenerate)
+    report = EfficiencyMetric().guidelines()
+    write_artifact("extension_metrics", report)
+
+    assert scored["equal"][0].space is AddressSpaceKind.PARTIALLY_SHARED
+    assert scored["hardware"][0].space is AddressSpaceKind.PARTIALLY_SHARED
+    assert scored["no-options"][0].space is AddressSpaceKind.UNIFIED
+    # The disjoint space never wins any weighting here.
+    for scores in scored.values():
+        assert scores[-1].space is AddressSpaceKind.DISJOINT

@@ -1,0 +1,61 @@
+"""Extension: do the paper's conclusions generalize beyond its six kernels?
+
+Twenty deterministic synthetic workloads (random phase structures,
+instruction mixes, and transfer sizes in the same vocabulary as Table III)
+run through the Figure 5 and Figure 7 experiments; every paper conclusion
+is re-checked on each.
+"""
+
+from repro.comm.base import IdealChannel
+from repro.config.presets import case_study
+from repro.kernels.synthetic import SyntheticKernel
+from repro.sim.fast import FastSimulator
+from repro.taxonomy import AddressSpaceKind
+
+NUM_WORKLOADS = 20
+SYSTEM_ORDER = ("CPU+GPU", "LRB", "GMAC", "Fusion", "IDEAL-HETERO")
+
+
+def regenerate():
+    sim = FastSimulator()
+    results = {}
+    for seed in range(NUM_WORKLOADS):
+        kernel = SyntheticKernel(seed)
+        trace = kernel.trace()
+        per_system = {
+            name: sim.run(trace, case=case_study(name)) for name in SYSTEM_ORDER
+        }
+        per_space = {
+            space: sim.run(trace, channel=IdealChannel(), address_space=space)
+            for space in AddressSpaceKind
+        }
+        results[kernel.name] = (per_system, per_space)
+    return results
+
+
+def test_conclusions_hold_on_synthetic_workloads(benchmark, write_artifact):
+    results = benchmark(regenerate)
+    lines = []
+    for name, (per_system, per_space) in results.items():
+        # Figure 5/6 orderings.
+        assert (
+            per_system["CPU+GPU"].total_seconds
+            >= per_system["Fusion"].total_seconds * 0.999
+        ), name
+        assert (
+            per_system["Fusion"].total_seconds
+            >= per_system["IDEAL-HETERO"].total_seconds * 0.999
+        ), name
+        assert (
+            per_system["GMAC"].breakdown.communication
+            <= per_system["CPU+GPU"].breakdown.communication + 1e-15
+        ), name
+        assert per_system["IDEAL-HETERO"].breakdown.communication == 0.0, name
+        # Figure 7 flatness.
+        totals = [r.total_seconds for r in per_space.values()]
+        spread = (max(totals) - min(totals)) / min(totals)
+        assert spread < 0.02, name
+        comm_frac = per_system["CPU+GPU"].breakdown.communication_fraction
+        lines.append(f"{name}: comm {comm_frac:.1%}, fig7 spread {spread:.3%}")
+    write_artifact("extension_robustness", "\n".join(lines))
+    assert len(results) == NUM_WORKLOADS

@@ -1,0 +1,40 @@
+"""Regenerate Figure 5: execution-time breakdown for the five systems.
+
+Five heterogeneous systems (CPU+GPU, LRB, GMAC, Fusion, IDEAL-HETERO) x
+six kernels, split into sequential / parallel / communication time.
+"""
+
+from repro.analysis.figures import figure5_data, figure5_text
+from repro.analysis.paper_data import FIG5_TOTAL_TIME_ORDERING
+from repro.core.explorer import Explorer
+
+
+def test_figure5(benchmark, write_artifact):
+    explorer = Explorer()
+    results = benchmark(figure5_data, explorer)
+    write_artifact("figure5", figure5_text(explorer))
+
+    # Shape 1: the majority of execution time is parallel computation.
+    for per_system in results.values():
+        for result in per_system.values():
+            b = result.breakdown
+            assert b.parallel >= max(b.sequential, b.communication)
+
+    # Shape 2: the paper's total-time ordering holds on every kernel.
+    for slower, faster in FIG5_TOTAL_TIME_ORDERING:
+        for per_system in results.values():
+            assert (
+                per_system[slower].total_seconds
+                >= per_system[faster].total_seconds * 0.999
+            )
+
+    # Shape 3: reduction, merge sort, and k-mean are the kernels the paper
+    # flags for high communication overhead; they must clearly exceed the
+    # fully-parallel kernels (matrix mul, dct).
+    comm_frac = {
+        kernel: per_system["CPU+GPU"].breakdown.communication_fraction
+        for kernel, per_system in results.items()
+    }
+    threshold = max(comm_frac["matrix mul"], comm_frac["dct"])
+    for name in ("reduction", "merge sort", "k-mean"):
+        assert comm_frac[name] > threshold

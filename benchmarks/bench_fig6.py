@@ -1,0 +1,29 @@
+"""Regenerate Figure 6: communication overhead for the five systems."""
+
+from repro.analysis.figures import figure6_data, figure6_text
+from repro.analysis.paper_data import FIG6_COMM_ORDERING
+from repro.core.explorer import Explorer
+
+
+def test_figure6(benchmark, write_artifact):
+    explorer = Explorer()
+    data = benchmark(figure6_data, explorer)
+    write_artifact("figure6", figure6_text(explorer))
+
+    # Shape 1: per-kernel communication-cost ordering from §V-A.
+    for slower, faster in FIG6_COMM_ORDERING:
+        for row in data.values():
+            assert row[slower] >= row[faster] * 0.999
+
+    # Shape 2: IDEAL-HETERO communicates for free.
+    assert all(row["IDEAL-HETERO"] == 0.0 for row in data.values())
+
+    # Shape 3: Fusion's memory-controller path is "very small compared to
+    # that of PCI-e" — at least 2x cheaper on every kernel.
+    for row in data.values():
+        assert row["Fusion"] < row["CPU+GPU"] / 2
+
+    # Shape 4: GMAC hides copy time relative to the same link used
+    # synchronously (CPU+GPU).
+    for row in data.values():
+        assert row["GMAC"] <= row["CPU+GPU"]

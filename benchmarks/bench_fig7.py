@@ -1,0 +1,26 @@
+"""Regenerate Figure 7: address-space options under ideal communication.
+
+§V-B isolates the memory address space: all systems share the cache and
+communication is ideal, leaving only the per-space management
+instructions. "There is almost no performance difference between options."
+"""
+
+from repro.analysis.figures import figure7_data, figure7_text
+from repro.analysis.paper_data import FIG7_MAX_SPREAD
+from repro.core.explorer import Explorer
+
+
+def test_figure7(benchmark, write_artifact):
+    explorer = Explorer()
+    data = benchmark(figure7_data, explorer)
+    write_artifact("figure7", figure7_text(explorer))
+
+    for kernel, row in data.items():
+        lo, hi = min(row.values()), max(row.values())
+        spread = (hi - lo) / lo
+        # "Almost no performance difference between options."
+        assert spread < FIG7_MAX_SPREAD, f"{kernel}: spread {spread:.3%}"
+        # The residual ordering matches the per-space instruction overhead:
+        # UNI adds nothing, DIS adds the most.
+        assert row["UNI"] <= row["PAS"] <= row["DIS"]
+        assert row["UNI"] <= row["ADSM"] <= row["DIS"]

@@ -1,0 +1,14 @@
+"""Regenerate Table I: summary of existing heterogeneous memory systems."""
+
+from repro.analysis.tables import table1
+from repro.systems.registry import all_systems
+
+
+def test_table1(benchmark, write_artifact):
+    text = benchmark(table1)
+    write_artifact("table1", text)
+    # Shape: all 13 systems, 8 columns, and the paper's key observation
+    # (disjoint is the most common address space) must hold.
+    assert len(all_systems()) == 13
+    assert text.count("disjoint") >= 6  # disjoint is the most common space
+    assert "unified" in text and "partially" in text and "adsm" in text

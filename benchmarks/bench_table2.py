@@ -1,0 +1,33 @@
+"""Regenerate Table II: the baseline system configuration.
+
+Also exercises the CACTI-like model that produces the cache latencies.
+"""
+
+from repro.analysis.tables import table2
+from repro.mem.cacti import table2_latency_cycles
+from repro.units import KB, MB
+
+
+def test_table2(benchmark, write_artifact):
+    text = benchmark(table2)
+    write_artifact("table2", text)
+    assert "3.5GHz, out-of-order" in text
+    assert "1.5GHz, in-order, 8-wide SIMD" in text
+    assert "4 tiles, 20-cycle" in text
+    assert "41.6GB/s" in text
+
+
+def test_cacti_calibration(benchmark, write_artifact):
+    def regenerate():
+        return {
+            "l1_32kb": table2_latency_cycles(32 * KB),
+            "l2_256kb": table2_latency_cycles(256 * KB),
+            "l3_8mb_4tiles": table2_latency_cycles(8 * MB, tiles=4),
+        }
+
+    latencies = benchmark(regenerate)
+    write_artifact(
+        "table2_cacti",
+        "\n".join(f"{k}: {v} cycles" for k, v in latencies.items()),
+    )
+    assert latencies == {"l1_32kb": 2, "l2_256kb": 8, "l3_8mb_4tiles": 20}

@@ -1,0 +1,32 @@
+"""Regenerate Table III: benchmark characteristics from the trace generators."""
+
+from repro.analysis.paper_data import TABLE3_EXPECTED
+from repro.analysis.tables import table3
+from repro.kernels.registry import all_kernels
+
+
+def test_table3(benchmark, write_artifact):
+    text = benchmark(table3)
+    write_artifact("table3", text)
+    # Every cell must equal the paper's value exactly (the generators are
+    # calibrated to the published trace statistics).
+    for kernel in all_kernels():
+        row = kernel.table3_row()
+        expected = TABLE3_EXPECTED[kernel.name]
+        assert (
+            row.cpu_instructions,
+            row.gpu_instructions,
+            row.serial_instructions,
+            row.num_communications,
+            row.initial_transfer_bytes,
+        ) == expected
+
+
+def test_trace_generation_throughput(benchmark):
+    """How fast the full six-kernel trace set can be regenerated."""
+
+    def regenerate_all():
+        return [k.trace() for k in all_kernels()]
+
+    traces = benchmark(regenerate_all)
+    assert len(traces) == 6

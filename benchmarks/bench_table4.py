@@ -1,0 +1,45 @@
+"""Regenerate Table IV: communication-overhead parameters.
+
+Exercises every channel at the Table IV settings and records the modeled
+cost of a representative transfer under each mechanism.
+"""
+
+from repro.analysis.tables import table4
+from repro.comm.base import make_channel
+from repro.config.comm import CommParams
+from repro.taxonomy import CommMechanism
+from repro.trace.phase import CommPhase, Direction
+
+
+def test_table4(benchmark, write_artifact):
+    text = benchmark(table4)
+    write_artifact("table4", text)
+    assert "33250+trans_rate" in text
+    assert "1000" in text and "7000" in text and "42000" in text
+
+
+def test_channel_costs_at_table4_settings(benchmark, write_artifact):
+    """One 320512-byte first-touch transfer (reduction's input) under
+    every mechanism."""
+    params = CommParams()
+    phase = CommPhase(
+        direction=Direction.H2D, num_bytes=320512, num_objects=2, first_touch=True
+    )
+
+    def regenerate():
+        costs = {}
+        for mechanism in CommMechanism:
+            channel = make_channel(mechanism, params)
+            costs[str(mechanism)] = channel.transfer(phase).exposed
+        return costs
+
+    costs = benchmark(regenerate)
+    write_artifact(
+        "table4_channel_costs",
+        "\n".join(f"{name}: {seconds * 1e6:.2f} us" for name, seconds in costs.items()),
+    )
+    # Shape: PCI-E is the most expensive family; on-chip paths are cheap;
+    # ideal is free.
+    assert costs["pci-e"] > costs["memory-controller"] > costs["ideal"]
+    assert costs["interconnection"] < costs["pci-e"]
+    assert costs["ideal"] == 0.0

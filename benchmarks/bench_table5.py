@@ -1,0 +1,33 @@
+"""Regenerate Table V: source lines to handle data communication.
+
+The numbers are derived by lowering each kernel's program spec to each of
+the four address spaces and counting communication-handling statements.
+"""
+
+from repro.analysis.paper_data import TABLE5_EXPECTED
+from repro.analysis.tables import table5
+from repro.core.programmability import programmability_rank, table5_rows
+from repro.taxonomy import AddressSpaceKind
+
+
+def test_table5(benchmark, write_artifact):
+    text = benchmark(table5)
+    write_artifact("table5", text)
+    for row in table5_rows():
+        assert row[1:] == TABLE5_EXPECTED[row[0]], row[0]
+
+
+def test_programmability_ordering(benchmark, write_artifact):
+    order = benchmark(programmability_rank)
+    write_artifact(
+        "table5_ordering",
+        "programmability (fewest extra lines first): "
+        + " < ".join(k.short for k in order),
+    )
+    # §V-C: Unified < partially shared <= ADSM < disjoint.
+    assert order == [
+        AddressSpaceKind.UNIFIED,
+        AddressSpaceKind.PARTIALLY_SHARED,
+        AddressSpaceKind.ADSM,
+        AddressSpaceKind.DISJOINT,
+    ]

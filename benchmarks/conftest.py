@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper table/figure (or an ablation beyond
+the paper), times the regeneration with pytest-benchmark, writes the
+rendered artifact to ``benchmarks/output/``, and asserts the result's
+*shape* against the paper's claims (absolute numbers are not expected to
+match — see DESIGN.md §2 and EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def write_artifact(output_dir):
+    """Write a regenerated table/figure to benchmarks/output/<name>.txt."""
+
+    def _write(name: str, content: str) -> Path:
+        path = output_dir / f"{name}.txt"
+        path.write_text(content + "\n")
+        return path
+
+    return _write

@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's quantitative evaluation (Figures 5, 6, 7).
+
+Runs all six kernels on the five §V-A systems, prints the execution-time
+breakdown chart (Figure 5), the communication-overhead table (Figure 6),
+and the address-space comparison under ideal communication (Figure 7),
+then runs the 30 automated paper-vs-measured checks.
+
+Run:  python examples/case_study_comparison.py
+"""
+
+from repro.analysis.compare import compare_all
+from repro.analysis.figures import figure5_text, figure6_text, figure7_text
+from repro.core.explorer import Explorer
+
+
+def main() -> None:
+    explorer = Explorer()
+
+    print(figure5_text(explorer))
+    print()
+    print(figure6_text(explorer))
+    print()
+    print(figure7_text(explorer))
+    print()
+
+    checks = compare_all(explorer)
+    failed = [c for c in checks if not c.passed]
+    for check in checks:
+        print(check.line())
+    print(f"\n{len(checks) - len(failed)}/{len(checks)} paper-vs-measured checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Explore the full memory-model design space (the paper's contribution).
+
+Enumerates every (address space x communication x locality x coherence x
+consistency) combination, filters by the §II feasibility rules, counts
+options per address space (conclusion 3), and ranks a representative set
+of design points by the paper's criteria: design-option versatility first,
+programmability second, performance last.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.core.design_point import DesignPoint
+from repro.core.explorer import Explorer
+from repro.core.report import format_table
+from repro.core.space import DesignSpace
+from repro.kernels.registry import kernel
+from repro.taxonomy import (
+    AddressSpaceKind,
+    CoherenceKind,
+    CommMechanism,
+    ConsistencyModel,
+    LocalityScheme,
+)
+
+# Representative, named design points (the case studies plus alternatives).
+NAMED_POINTS = {
+    "CUDA-like": DesignPoint(
+        AddressSpaceKind.DISJOINT,
+        CommMechanism.PCIE,
+        LocalityScheme.PRIVATE_ONLY,
+        CoherenceKind.NONE,
+    ),
+    "LRB-like": DesignPoint(
+        AddressSpaceKind.PARTIALLY_SHARED,
+        CommMechanism.PCI_APERTURE,
+        LocalityScheme.IMPLICIT_PRIVATE_EXPLICIT_SHARED,
+        CoherenceKind.OWNERSHIP,
+    ),
+    "GMAC-like": DesignPoint(
+        AddressSpaceKind.ADSM,
+        CommMechanism.DMA_ASYNC,
+        LocalityScheme.EXPLICIT_PRIVATE_IMPLICIT_SHARED,
+        CoherenceKind.SOFTWARE_RUNTIME,
+    ),
+    "Fusion-like": DesignPoint(
+        AddressSpaceKind.DISJOINT,
+        CommMechanism.MEMORY_CONTROLLER,
+        LocalityScheme.PRIVATE_ONLY,
+        CoherenceKind.NONE,
+    ),
+    "PAS-hybrid": DesignPoint(
+        AddressSpaceKind.PARTIALLY_SHARED,
+        CommMechanism.MEMORY_CONTROLLER,
+        LocalityScheme.HYBRID_SHARED,
+        CoherenceKind.OWNERSHIP,
+    ),
+    "Ideal-unified": DesignPoint(
+        AddressSpaceKind.UNIFIED,
+        CommMechanism.IDEAL,
+        LocalityScheme.IMPLICIT_PRIVATE_IMPLICIT_SHARED,
+        CoherenceKind.HARDWARE_DIRECTORY,
+        ConsistencyModel.STRONG,
+    ),
+}
+
+
+def main() -> None:
+    space = DesignSpace()
+    print(f"design space: {space.total_points()} raw points")
+    print(f"  feasible:   {len(space.feasible_points())}")
+    print(f"  desirable:  {len(space.desirable_points())}")
+    print()
+
+    counts = space.options_by_address_space()
+    rows = [(kind.short, count) for kind, count in counts.items()]
+    print(format_table(("address space", "desirable design points"), rows))
+    winner = space.most_versatile_address_space()
+    print(f"\nmost versatile address space: {winner} (paper: partially shared)\n")
+
+    explorer = Explorer()
+    kernels = [kernel("reduction"), kernel("k-mean")]
+    evaluations = explorer.rank_design_points(
+        points=NAMED_POINTS.values(), kernels=kernels
+    )
+    names = {point: name for name, point in NAMED_POINTS.items()}
+    rows = [
+        (
+            names[e.point],
+            e.point.address_space.short,
+            str(e.point.comm),
+            f"{e.mean_seconds * 1e6:.1f}",
+            f"{e.mean_comm_fraction:.1%}",
+            e.comm_lines_total,
+            e.locality_options,
+        )
+        for e in evaluations
+    ]
+    print(
+        format_table(
+            ("design", "space", "comm", "mean us", "comm%", "comm lines", "locality opts"),
+            rows,
+            title="Named design points, ranked (best first)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""The paper's future work, implemented: efficiency metrics & guidelines.
+
+§VII: "In future work, we will develop metrics to measure the efficiency
+of design options to provide guidelines for future programming languages
+and future hardware system development."
+
+This example scores each address space on four normalized axes
+(performance, energy, programmability, design-option versatility), prints
+the guideline report under several weightings, shows the per-system energy
+breakdown that feeds the energy axis, and finishes with the Qilin-style
+adaptive partitioner (paper reference [25]).
+
+Run:  python examples/efficiency_guidelines.py
+"""
+
+from repro.config.presets import case_study
+from repro.core.metrics import EfficiencyMetric, MetricWeights
+from repro.core.partition import optimal_split, rate_based_split
+from repro.core.report import format_table
+from repro.energy.accounting import trace_energy
+from repro.kernels.registry import all_kernels, kernel
+
+
+def energy_breakdown_table() -> str:
+    rows = []
+    for k in all_kernels():
+        trace = k.trace()
+        for name in ("CPU+GPU", "LRB", "GMAC", "Fusion", "IDEAL-HETERO"):
+            report = trace_energy(trace, case_study(name))
+            rows.append(
+                (
+                    k.name,
+                    name,
+                    f"{report.total_uj:.1f}",
+                    f"{report.comm_fraction:.1%}",
+                )
+            )
+    return format_table(
+        ("kernel", "system", "energy uJ", "comm energy %"),
+        rows,
+        title="Energy per run (analytic model)",
+    )
+
+
+def main() -> None:
+    print(energy_breakdown_table())
+    print()
+
+    print("=== equal weights ===")
+    print(EfficiencyMetric().guidelines())
+    print()
+
+    print("=== hardware-designer weighting (options x2, energy x2) ===")
+    weights = MetricWeights(performance=1.0, energy=2.0, programmability=1.0, versatility=2.0)
+    print(EfficiencyMetric(weights=weights).guidelines())
+    print()
+
+    print("=== programmer weighting (programmability x3) ===")
+    weights = MetricWeights(performance=1.0, energy=0.5, programmability=3.0, versatility=0.5)
+    print(EfficiencyMetric(weights=weights).guidelines())
+    print()
+
+    print("Adaptive partitioning (the even split of §IV-B vs Qilin [25]):")
+    for k in (kernel("dct"), kernel("reduction")):
+        rate = rate_based_split(k)
+        best = optimal_split(k)
+        print(
+            f"  {k.name:<10} rate-based {rate:.2f}, optimal {best.cpu_fraction:.2f} "
+            f"-> {best.speedup_over_even:.2f}x faster than 50/50"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so that editable
+installs work in offline environments without the `wheel` package (pip
+falls back to `setup.py develop` when no [build-system] table is present).
+"""
+
+from setuptools import setup
+
+setup()

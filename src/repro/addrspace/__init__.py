@@ -1,0 +1,55 @@
+"""Memory address-space models (paper §II-A, Figure 1).
+
+Four designs, one class each, all sharing the :class:`AddressSpace`
+interface:
+
+- :class:`~repro.addrspace.unified.UnifiedAddressSpace` — one space, any
+  task anywhere, no explicit transfers (possibly virtually unified over
+  discrete memories);
+- :class:`~repro.addrspace.disjoint.DisjointAddressSpace` — private spaces,
+  explicit communication always required;
+- :class:`~repro.addrspace.partially_shared.PartiallySharedAddressSpace` —
+  a shared window with optional LRB-style ownership control;
+- :class:`~repro.addrspace.adsm.AdsmAddressSpace` — the CPU sees everything,
+  the GPU only its own space (GMAC).
+
+Substrates: page tables with per-PU page sizes (:mod:`paging`), TLBs
+(:mod:`tlb`), allocators (:mod:`allocator`), ownership control
+(:mod:`ownership`), and the PCI aperture window (:mod:`aperture`).
+"""
+
+from repro.addrspace.allocator import Allocation, RegionAllocator
+from repro.addrspace.aperture import PciAperture
+from repro.addrspace.base import AddressSpace, make_address_space
+from repro.addrspace.adsm import AdsmAddressSpace
+from repro.addrspace.disjoint import DisjointAddressSpace
+from repro.addrspace.layout import (
+    CPU_PRIVATE_BASE,
+    GPU_PRIVATE_BASE,
+    REGION_BYTES,
+    SHARED_BASE,
+)
+from repro.addrspace.ownership import OwnershipTable
+from repro.addrspace.paging import PageTable
+from repro.addrspace.partially_shared import PartiallySharedAddressSpace
+from repro.addrspace.tlb import TLB
+from repro.addrspace.unified import UnifiedAddressSpace
+
+__all__ = [
+    "AddressSpace",
+    "make_address_space",
+    "UnifiedAddressSpace",
+    "DisjointAddressSpace",
+    "PartiallySharedAddressSpace",
+    "AdsmAddressSpace",
+    "Allocation",
+    "RegionAllocator",
+    "PageTable",
+    "TLB",
+    "OwnershipTable",
+    "PciAperture",
+    "CPU_PRIVATE_BASE",
+    "GPU_PRIVATE_BASE",
+    "SHARED_BASE",
+    "REGION_BYTES",
+]

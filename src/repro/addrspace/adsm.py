@@ -1,0 +1,85 @@
+"""Asymmetric distributed shared memory (paper §II-A4, GMAC [10]).
+
+"While one PU can access the entire memory address space, the other PU can
+only access its private memory address space." The CPU sees everything; the
+GPU sees only its private region plus buffers allocated with ``adsmAlloc``,
+which map "two identical memory address ranges ... to each PU". Only the
+CPU side maintains coherent data states (here: a runtime, per GMAC).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config.system import SystemConfig
+from repro.errors import AllocationError
+from repro.addrspace.allocator import Allocation, RegionAllocator
+from repro.addrspace.base import AddressSpace
+from repro.addrspace.layout import REGION_BYTES, SHARED_BASE
+from repro.taxonomy import AddressSpaceKind, ProcessingUnit
+
+__all__ = ["AdsmAddressSpace"]
+
+
+class AdsmAddressSpace(AddressSpace):
+    """CPU-omniscient, GPU-private address space with adsmAlloc buffers."""
+
+    kind = AddressSpaceKind.ADSM
+
+    #: The four fundamental ADSM APIs (§II-A4): shared-data allocation,
+    #: shared-data release, kernel invocation, return synchronization.
+    FUNDAMENTAL_APIS = ("adsmAlloc", "accfree", "kernel-invoke", "return-sync")
+
+    def __init__(self, config: Optional[SystemConfig] = None) -> None:
+        super().__init__(config)
+        self.shared_region = RegionAllocator("adsm-window", SHARED_BASE, REGION_BYTES)
+
+    def alloc(
+        self,
+        name: str,
+        size: int,
+        pu: ProcessingUnit = ProcessingUnit.CPU,
+        shared: bool = False,
+    ) -> Allocation:
+        if shared:
+            # adsmAlloc: identical virtual range mapped in both tables.
+            addr = self.shared_region.allocate(size)
+            for table in self.page_tables.values():
+                table.map_range(addr, size)
+            return self._register(
+                Allocation(name=name, addr=addr, size=size, home=None, shared=True)
+            )
+        region = self.cpu_region if pu is ProcessingUnit.CPU else self.gpu_region
+        addr = region.allocate(size)
+        self.page_tables[pu].map_range(addr, size)
+        return self._register(
+            Allocation(name=name, addr=addr, size=size, home=pu, shared=False)
+        )
+
+    def adsm_alloc(self, name: str, size: int) -> Allocation:
+        """The paper's ``adsmAlloc`` (alias for ``alloc(shared=True)``)."""
+        return self.alloc(name, size, shared=True)
+
+    def accfree(self, allocation: Allocation) -> None:
+        """The paper's ``accfree``: release a shared buffer."""
+        if not allocation.shared:
+            raise AllocationError(f"{allocation.name!r} is not an ADSM buffer")
+        self.free(allocation)
+
+    def accessible(self, pu: ProcessingUnit, addr: int) -> bool:
+        if pu is ProcessingUnit.CPU:
+            # The CPU can access the entire memory address space.
+            return (
+                self.cpu_region.contains(addr)
+                or self.gpu_region.contains(addr)
+                or self.shared_region.contains(addr)
+            )
+        return self.gpu_region.contains(addr) or self.shared_region.contains(addr)
+
+    def transfer_required(self, allocation: Allocation, to_pu: ProcessingUnit) -> bool:
+        """The GPU needs data staged into its space or the ADSM window;
+        the CPU never needs a transfer ("no need to transfer data back to
+        the host memory space")."""
+        if to_pu is ProcessingUnit.CPU:
+            return False
+        return not allocation.shared and allocation.home is not ProcessingUnit.GPU

@@ -1,0 +1,106 @@
+"""Region allocators and allocation records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import AllocationError
+from repro.taxonomy import ProcessingUnit
+
+__all__ = ["Allocation", "RegionAllocator"]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One allocated buffer.
+
+    ``home`` is the PU whose private region holds it (None for buffers in
+    the shared window); ``shared`` marks shared-window residence; ``name``
+    is the program-level identifier (used by ownership control and the
+    mini-DSL lowering).
+    """
+
+    name: str
+    addr: int
+    size: int
+    home: Optional[ProcessingUnit]
+    shared: bool
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise AllocationError(f"{self.name}: allocation size must be positive")
+        if self.addr < 0:
+            raise AllocationError(f"{self.name}: negative address")
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.addr <= addr < self.end
+
+
+class RegionAllocator:
+    """A bump allocator over one virtual region with alignment and free().
+
+    Freed space is only reclaimed when everything is freed (arena-style),
+    which matches how the short-lived kernels of the study allocate; the
+    allocator still tracks live bytes so exhaustion is detected honestly.
+    """
+
+    def __init__(self, name: str, base: int, size: int, align: int = 64) -> None:
+        if size <= 0:
+            raise AllocationError(f"region {name}: size must be positive")
+        if align <= 0 or align & (align - 1):
+            raise AllocationError(f"region {name}: alignment must be a power of two")
+        self.name = name
+        self.base = base
+        self.size = size
+        self.align = align
+        self._cursor = base
+        self._live: Dict[int, int] = {}
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    @property
+    def used_bytes(self) -> int:
+        return self._cursor - self.base
+
+    @property
+    def live_bytes(self) -> int:
+        return sum(self._live.values())
+
+    def allocate(self, size: int) -> int:
+        """Reserve ``size`` bytes; returns the base address."""
+        if size <= 0:
+            raise AllocationError(f"region {self.name}: size must be positive")
+        aligned = (self._cursor + self.align - 1) & ~(self.align - 1)
+        if aligned + size > self.end:
+            raise AllocationError(
+                f"region {self.name}: out of space "
+                f"({self.end - aligned} bytes left, {size} requested)"
+            )
+        self._cursor = aligned + size
+        self._live[aligned] = size
+        return aligned
+
+    def free(self, addr: int) -> None:
+        """Release a previous allocation."""
+        if self._live.pop(addr, None) is None:
+            raise AllocationError(f"region {self.name}: {addr:#x} is not allocated")
+        if not self._live:
+            self._cursor = self.base
+
+    def grow(self, new_size: int) -> None:
+        """Extend the region in place (existing allocations stay valid)."""
+        if new_size <= self.size:
+            raise AllocationError(
+                f"region {self.name}: grow target {new_size} not larger than {self.size}"
+            )
+        self.size = new_size
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end

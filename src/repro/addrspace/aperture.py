@@ -1,0 +1,89 @@
+"""The PCI aperture: a small shared window over PCI-E (paper §II-A3).
+
+"Allocating a portion of the PCI aperture space to the user space of an
+application provides a common buffer between CPUs and GPUs ... this method
+is intended to support only small portions of memory space" — so the
+aperture is a :class:`~repro.addrspace.allocator.RegionAllocator` with a
+deliberately small default capacity, plus async-copy bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import AllocationError
+from repro.addrspace.allocator import RegionAllocator
+from repro.units import MB
+
+__all__ = ["PciAperture"]
+
+#: Default aperture size: small relative to system memory, per the paper.
+DEFAULT_APERTURE_BYTES = 32 * MB
+
+
+class PciAperture:
+    """A window of virtual memory pinned for CPU<->GPU buffers.
+
+    ``allocate`` fails once the window fills (the paper's noted limitation,
+    "although in principle the address space can grow dynamically" — pass
+    ``growable=True`` to model that variant). The aperture natively
+    supports asynchronous copies; :meth:`record_async_copy` counts them for
+    reports.
+    """
+
+    def __init__(
+        self,
+        base: int,
+        size: int = DEFAULT_APERTURE_BYTES,
+        growable: bool = False,
+    ) -> None:
+        self._region = RegionAllocator("pci-aperture", base, size)
+        self.growable = growable
+        self.grow_events = 0
+        self.async_copies = 0
+        self.async_bytes = 0
+
+    @property
+    def base(self) -> int:
+        return self._region.base
+
+    @property
+    def size(self) -> int:
+        return self._region.size
+
+    def allocate(self, size: int) -> int:
+        """Reserve an aperture buffer; grows the window if permitted."""
+        try:
+            return self._region.allocate(size)
+        except AllocationError:
+            if not self.growable:
+                raise
+        # Grow by doubling until the request fits (the "in principle the
+        # address space can grow dynamically" variant).
+        new_size = self._region.size
+        while new_size - self._region.used_bytes < size + self._region.align:
+            new_size *= 2
+        self._region.grow(new_size)
+        self.grow_events += 1
+        return self._region.allocate(size)
+
+    def free(self, addr: int) -> None:
+        self._region.free(addr)
+
+    def contains(self, addr: int) -> bool:
+        return self._region.contains(addr)
+
+    def record_async_copy(self, num_bytes: int) -> None:
+        """Count one asynchronous aperture copy."""
+        if num_bytes < 0:
+            raise AllocationError("copy size must be non-negative")
+        self.async_copies += 1
+        self.async_bytes += num_bytes
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "used_bytes": self._region.used_bytes,
+            "grow_events": self.grow_events,
+            "async_copies": self.async_copies,
+            "async_bytes": self.async_bytes,
+        }

@@ -1,0 +1,158 @@
+"""The common interface of the four address-space models."""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional
+
+from repro.config.system import SystemConfig
+from repro.errors import AccessViolationError, AllocationError
+from repro.addrspace.allocator import Allocation, RegionAllocator
+from repro.addrspace.layout import (
+    CPU_PRIVATE_BASE,
+    GPU_PRIVATE_BASE,
+    REGION_BYTES,
+    SHARED_BASE,
+)
+from repro.addrspace.paging import PageTable
+from repro.taxonomy import AddressSpaceKind, ProcessingUnit
+
+__all__ = ["AddressSpace", "make_address_space"]
+
+
+class AddressSpace(abc.ABC):
+    """Allocation, reachability, and translation rules of one design.
+
+    Concrete subclasses implement Figure 1's four options. Every model owns
+    one page table per PU (different page sizes/formats per §II-A1) and the
+    three-region virtual layout of :mod:`repro.addrspace.layout`; what
+    differs is which regions exist, who may touch them, and whether
+    reaching remote data needs an explicit transfer.
+    """
+
+    kind: AddressSpaceKind
+
+    def __init__(self, config: Optional[SystemConfig] = None) -> None:
+        self.config = config or SystemConfig()
+        self.page_tables: Dict[ProcessingUnit, PageTable] = {
+            ProcessingUnit.CPU: PageTable(
+                ProcessingUnit.CPU,
+                self.config.page_bytes_cpu,
+                self.config.physical_memory_bytes,
+                page_format="x86-64",
+            ),
+            ProcessingUnit.GPU: PageTable(
+                ProcessingUnit.GPU,
+                self.config.page_bytes_gpu,
+                self.config.physical_memory_bytes,
+                page_format="gpu-large-page",
+            ),
+        }
+        self.cpu_region = RegionAllocator("cpu-private", CPU_PRIVATE_BASE, REGION_BYTES)
+        self.gpu_region = RegionAllocator("gpu-private", GPU_PRIVATE_BASE, REGION_BYTES)
+        self._allocations: Dict[str, Allocation] = {}
+
+    # -- allocation ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def alloc(
+        self,
+        name: str,
+        size: int,
+        pu: ProcessingUnit = ProcessingUnit.CPU,
+        shared: bool = False,
+    ) -> Allocation:
+        """Allocate a named buffer.
+
+        ``shared=True`` requests shared-window residence (``sharedmalloc``
+        / ``adsmAlloc``); models without a shared window raise
+        :class:`~repro.errors.AllocationError`.
+        """
+
+    def free(self, allocation: Allocation) -> None:
+        """Release a buffer."""
+        stored = self._allocations.pop(allocation.name, None)
+        if stored is None:
+            raise AllocationError(f"{allocation.name!r} is not live")
+        self._region_of(stored).free(stored.addr)
+
+    def allocation(self, name: str) -> Allocation:
+        try:
+            return self._allocations[name]
+        except KeyError:
+            raise AllocationError(f"no allocation named {name!r}") from None
+
+    def live_allocations(self) -> Dict[str, Allocation]:
+        return dict(self._allocations)
+
+    def _register(self, allocation: Allocation) -> Allocation:
+        if allocation.name in self._allocations:
+            raise AllocationError(f"{allocation.name!r} already allocated")
+        self._allocations[allocation.name] = allocation
+        return allocation
+
+    def _region_of(self, allocation: Allocation) -> RegionAllocator:
+        if self.cpu_region.contains(allocation.addr):
+            return self.cpu_region
+        if self.gpu_region.contains(allocation.addr):
+            return self.gpu_region
+        shared = getattr(self, "shared_region", None)
+        if shared is not None and shared.contains(allocation.addr):
+            return shared
+        raise AllocationError(f"{allocation.name!r} lies in no known region")
+
+    # -- reachability and translation ---------------------------------------
+
+    @abc.abstractmethod
+    def accessible(self, pu: ProcessingUnit, addr: int) -> bool:
+        """Whether ``pu`` may issue loads/stores to ``addr``."""
+
+    def check_access(self, pu: ProcessingUnit, addr: int) -> None:
+        """Raise :class:`AccessViolationError` unless the access is legal."""
+        if not self.accessible(pu, addr):
+            raise AccessViolationError(
+                f"{pu} may not access {addr:#x} under the "
+                f"{self.kind.short} address space"
+            )
+
+    def translate(self, pu: ProcessingUnit, vaddr: int, on_demand: bool = True) -> int:
+        """Translate through ``pu``'s page table (checking reachability)."""
+        self.check_access(pu, vaddr)
+        return self.page_tables[pu].translate(vaddr, on_demand=on_demand)
+
+    @abc.abstractmethod
+    def transfer_required(self, allocation: Allocation, to_pu: ProcessingUnit) -> bool:
+        """Whether ``to_pu`` needs an explicit copy before using the data."""
+
+    def is_shared_addr(self, addr: int) -> bool:
+        """Whether ``addr`` lies in a window both PUs can reach."""
+        return self.accessible(ProcessingUnit.CPU, addr) and self.accessible(
+            ProcessingUnit.GPU, addr
+        )
+
+    # -- statistics -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        merged: Dict[str, int] = {"live_allocations": len(self._allocations)}
+        for pu, table in self.page_tables.items():
+            for key, value in table.stats().items():
+                merged[f"{pu}_{key}"] = value
+        return merged
+
+
+def make_address_space(
+    kind: AddressSpaceKind, config: Optional[SystemConfig] = None
+) -> AddressSpace:
+    """Factory: build the model for a :class:`AddressSpaceKind`."""
+    from repro.addrspace.adsm import AdsmAddressSpace
+    from repro.addrspace.disjoint import DisjointAddressSpace
+    from repro.addrspace.partially_shared import PartiallySharedAddressSpace
+    from repro.addrspace.unified import UnifiedAddressSpace
+
+    builders = {
+        AddressSpaceKind.UNIFIED: UnifiedAddressSpace,
+        AddressSpaceKind.DISJOINT: DisjointAddressSpace,
+        AddressSpaceKind.PARTIALLY_SHARED: PartiallySharedAddressSpace,
+        AddressSpaceKind.ADSM: AdsmAddressSpace,
+    }
+    return builders[kind](config)

@@ -1,0 +1,68 @@
+"""Disjoint memory address space (paper §II-A2).
+
+"In a disjoint memory address space, there should be explicit communication
+between two address spaces in order to access data allocated in the other
+space." Each PU sees only its own region; using remote data requires a
+device-side alias buffer plus an explicit copy (the ``Memcpy`` pattern of
+Figure 3(a)).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config.system import SystemConfig
+from repro.errors import AllocationError
+from repro.addrspace.allocator import Allocation
+from repro.addrspace.base import AddressSpace
+from repro.taxonomy import AddressSpaceKind, ProcessingUnit
+
+__all__ = ["DisjointAddressSpace"]
+
+
+class DisjointAddressSpace(AddressSpace):
+    """Two private spaces; no shared window at all."""
+
+    kind = AddressSpaceKind.DISJOINT
+
+    def __init__(self, config: Optional[SystemConfig] = None) -> None:
+        super().__init__(config)
+
+    def alloc(
+        self,
+        name: str,
+        size: int,
+        pu: ProcessingUnit = ProcessingUnit.CPU,
+        shared: bool = False,
+    ) -> Allocation:
+        if shared:
+            raise AllocationError(
+                "the disjoint address space has no shared window; "
+                "allocate per-PU buffers and copy explicitly"
+            )
+        region = self.cpu_region if pu is ProcessingUnit.CPU else self.gpu_region
+        addr = region.allocate(size)
+        self.page_tables[pu].map_range(addr, size)
+        return self._register(
+            Allocation(name=name, addr=addr, size=size, home=pu, shared=False)
+        )
+
+    def alloc_device_copy(self, source: Allocation, pu: ProcessingUnit) -> Allocation:
+        """Allocate the remote alias for ``source`` on ``pu``.
+
+        This is Figure 3(a)'s ``GPUmemallocate``: the duplicated pointer a
+        disjoint space forces programmers to manage.
+        """
+        if source.home is pu:
+            raise AllocationError(
+                f"{source.name!r} already lives on {pu}; no alias needed"
+            )
+        return self.alloc(f"{source.name}@{pu}", source.size, pu=pu)
+
+    def accessible(self, pu: ProcessingUnit, addr: int) -> bool:
+        region = self.cpu_region if pu is ProcessingUnit.CPU else self.gpu_region
+        return region.contains(addr)
+
+    def transfer_required(self, allocation: Allocation, to_pu: ProcessingUnit) -> bool:
+        """Always, for remote data: explicit communication is the rule."""
+        return allocation.home is not to_pu

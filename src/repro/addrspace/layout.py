@@ -1,0 +1,19 @@
+"""Virtual-address layout shared by all address-space models.
+
+Three fixed regions keep the models comparable: CPU-private, GPU-private,
+and the shared window. Which regions exist and who may touch them is what
+distinguishes the four designs of Figure 1.
+"""
+
+from repro.units import MB
+
+__all__ = ["CPU_PRIVATE_BASE", "GPU_PRIVATE_BASE", "SHARED_BASE", "REGION_BYTES"]
+
+#: Base virtual address of the CPU-private region.
+CPU_PRIVATE_BASE = 0x1000_0000
+#: Base virtual address of the GPU-private region.
+GPU_PRIVATE_BASE = 0x2000_0000
+#: Base virtual address of the shared window (PAS/ADSM/unified use it).
+SHARED_BASE = 0x3000_0000
+#: Size of each region.
+REGION_BYTES = 256 * MB

@@ -1,0 +1,97 @@
+"""Ownership control for the partially shared address space (paper §II-A3).
+
+"Even though a subset of address space is shared, each PU has ownership.
+This prevents the address space from being updated by both PUs
+concurrently. Hence, the shared memory address space does not need to
+maintain coherence." Acquire/release commands move ownership; touching a
+shared object one does not own is an :class:`~repro.errors.OwnershipError`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.errors import OwnershipError
+from repro.taxonomy import ProcessingUnit
+
+__all__ = ["OwnershipTable"]
+
+
+class OwnershipTable:
+    """Tracks which PU owns each shared object.
+
+    Objects are identified by name (the LRB model's ``shared`` type
+    qualifier tags objects, not address ranges). New shared objects start
+    owned by the CPU, where data is initially allocated (§IV-B).
+    """
+
+    def __init__(self) -> None:
+        self._owner: Dict[str, ProcessingUnit] = {}
+        self.acquires = 0
+        self.releases = 0
+
+    def register(self, name: str, owner: ProcessingUnit = ProcessingUnit.CPU) -> None:
+        """Declare a new shared object."""
+        if name in self._owner:
+            raise OwnershipError(f"shared object {name!r} already registered")
+        self._owner[name] = owner
+
+    def owner_of(self, name: str) -> ProcessingUnit:
+        try:
+            return self._owner[name]
+        except KeyError:
+            raise OwnershipError(f"{name!r} is not a shared object") from None
+
+    def is_registered(self, name: str) -> bool:
+        return name in self._owner
+
+    def release(self, names: Iterable[str], by: ProcessingUnit) -> int:
+        """Release ownership of ``names`` (they become acquirable).
+
+        Only the current owner may release. Returns the number of objects
+        released (one API action covers many objects, as in
+        ``releaseOwnership(a, b, c)`` of Figure 2).
+        """
+        count = 0
+        for name in names:
+            owner = self.owner_of(name)
+            if owner is not by:
+                raise OwnershipError(
+                    f"{by} cannot release {name!r}: owned by {owner}"
+                )
+            count += 1
+        # Releases park ownership at the releasing PU until acquired; we
+        # model the handshake by recording the release action only.
+        self.releases += 1
+        return count
+
+    def acquire(self, names: Iterable[str], by: ProcessingUnit) -> int:
+        """Acquire ownership of ``names`` for ``by``; returns object count."""
+        count = 0
+        for name in names:
+            self.owner_of(name)  # must exist
+            self._owner[name] = by
+            count += 1
+        self.acquires += 1
+        return count
+
+    def deregister(self, name: str) -> None:
+        """Remove a shared object (freed or privatized)."""
+        if self._owner.pop(name, None) is None:
+            raise OwnershipError(f"{name!r} is not a shared object")
+
+    def check_access(self, name: str, by: ProcessingUnit) -> None:
+        """Raise unless ``by`` currently owns the shared object."""
+        owner = self.owner_of(name)
+        if owner is not by:
+            raise OwnershipError(
+                f"{by} touched shared object {name!r} owned by {owner} "
+                "(missing acquireOwnership)"
+            )
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "acquires": self.acquires,
+            "releases": self.releases,
+            "objects": len(self._owner),
+        }

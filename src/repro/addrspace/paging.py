@@ -1,0 +1,125 @@
+"""Per-PU page tables.
+
+"When it shares only virtual addresses, one memory address space maps to
+different physical addresses on each PU ... This provides different page
+size options to each PU (e.g., GPUs can have large page size to accommodate
+high stream locality) and also a different page table format" (§II-A1). So
+each PU owns a :class:`PageTable` with its own page size and format tag;
+the address-space models decide which virtual ranges each table may map.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import TranslationError
+from repro.taxonomy import ProcessingUnit
+
+__all__ = ["PageTable"]
+
+
+class PageTable:
+    """A single PU's virtual-to-physical mapping.
+
+    Physical frames are handed out by a bump allocator over that PU's
+    physical memory; ``translate`` raises on unmapped pages unless
+    ``on_demand`` is set, in which case the fault is serviced inline and
+    counted (``page_faults``) — the behaviour the LRB shared window's
+    ``lib-pf`` latency models.
+    """
+
+    def __init__(
+        self,
+        pu: ProcessingUnit,
+        page_bytes: int,
+        physical_bytes: int,
+        page_format: str = "x86-64",
+    ) -> None:
+        if page_bytes <= 0 or page_bytes & (page_bytes - 1):
+            raise TranslationError("page size must be a positive power of two")
+        if physical_bytes < page_bytes:
+            raise TranslationError("physical memory smaller than one page")
+        self.pu = pu
+        self.page_bytes = page_bytes
+        self.physical_bytes = physical_bytes
+        self.page_format = page_format
+        self._mapping: Dict[int, int] = {}
+        self._next_frame = 0
+        self.page_faults = 0
+        self.pages_mapped = 0
+
+    def _vpn(self, vaddr: int) -> int:
+        return vaddr // self.page_bytes
+
+    @property
+    def num_frames(self) -> int:
+        return self.physical_bytes // self.page_bytes
+
+    def is_mapped(self, vaddr: int) -> bool:
+        return self._vpn(vaddr) in self._mapping
+
+    def map_range(self, base: int, size: int) -> int:
+        """Eagerly map ``[base, base+size)``; returns pages newly mapped."""
+        if size <= 0:
+            raise TranslationError("mapped range must have positive size")
+        first = self._vpn(base)
+        last = self._vpn(base + size - 1)
+        added = 0
+        for vpn in range(first, last + 1):
+            if vpn not in self._mapping:
+                self._mapping[vpn] = self._alloc_frame()
+                added += 1
+        self.pages_mapped += added
+        return added
+
+    def unmap_range(self, base: int, size: int) -> int:
+        """Remove mappings covering ``[base, base+size)``; returns count."""
+        first = self._vpn(base)
+        last = self._vpn(base + size - 1)
+        removed = 0
+        for vpn in range(first, last + 1):
+            if self._mapping.pop(vpn, None) is not None:
+                removed += 1
+        return removed
+
+    def _alloc_frame(self) -> int:
+        if self._next_frame >= self.num_frames:
+            raise TranslationError(
+                f"{self.pu}: out of physical frames ({self.num_frames} total)"
+            )
+        frame = self._next_frame
+        self._next_frame += 1
+        return frame
+
+    def translate(self, vaddr: int, on_demand: bool = False) -> int:
+        """Physical address for ``vaddr``.
+
+        With ``on_demand`` an unmapped page is mapped inline and counted as
+        a page fault; without it, a :class:`TranslationError` is raised.
+        """
+        vpn = self._vpn(vaddr)
+        frame = self._mapping.get(vpn)
+        if frame is None:
+            if not on_demand:
+                raise TranslationError(
+                    f"{self.pu}: no mapping for {vaddr:#x} "
+                    f"(page {vpn:#x}, {self.page_format} table)"
+                )
+            self.page_faults += 1
+            frame = self._alloc_frame()
+            self._mapping[vpn] = frame
+            self.pages_mapped += 1
+        return frame * self.page_bytes + (vaddr % self.page_bytes)
+
+    def pages_for(self, size: int) -> int:
+        """Pages needed to back ``size`` bytes."""
+        if size <= 0:
+            return 0
+        return -(-size // self.page_bytes)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "pages_mapped": self.pages_mapped,
+            "page_faults": self.page_faults,
+            "live_mappings": len(self._mapping),
+        }

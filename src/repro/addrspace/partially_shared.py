@@ -1,0 +1,166 @@
+"""Partially shared memory address space (paper §II-A3).
+
+"A part of the memory space is shared to get benefits from both the
+convenience of using shared memory and to reduce the hardware design cost."
+Shared-window objects come from ``sharedmalloc`` and carry LRB-style
+ownership: a PU must own an object before touching it, and ownership moves
+with explicit acquire/release commands — which is why the shared window
+needs no hardware coherence.
+
+The window can be backed by a :class:`~repro.addrspace.aperture.PciAperture`
+(the LRB implementation) or live in ordinary memory; both PUs map the same
+virtual range, so each shared allocation is mapped in *both* page tables
+(the "maintaining page table mapping in both CPUs and GPUs" overhead the
+paper notes).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config.system import SystemConfig
+from repro.errors import AllocationError
+from repro.addrspace.allocator import Allocation, RegionAllocator
+from repro.addrspace.aperture import PciAperture
+from repro.addrspace.base import AddressSpace
+from repro.addrspace.layout import REGION_BYTES, SHARED_BASE
+from repro.addrspace.ownership import OwnershipTable
+from repro.taxonomy import AddressSpaceKind, ProcessingUnit
+
+__all__ = ["PartiallySharedAddressSpace"]
+
+
+class PartiallySharedAddressSpace(AddressSpace):
+    """Private regions plus an owned shared window.
+
+    ``use_aperture`` backs the window with a small PCI aperture (LRB);
+    otherwise the window is a full-size region (an integrated
+    implementation). ``ownership_control`` can be disabled — ownership "is
+    for performance optimizations and is not essential" (§II-A3) — in which
+    case shared data needs coherence support instead.
+    """
+
+    kind = AddressSpaceKind.PARTIALLY_SHARED
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        use_aperture: bool = True,
+        ownership_control: bool = True,
+    ) -> None:
+        super().__init__(config)
+        self.use_aperture = use_aperture
+        self.ownership_control = ownership_control
+        self.ownership = OwnershipTable() if ownership_control else None
+        if use_aperture:
+            self.aperture: Optional[PciAperture] = PciAperture(SHARED_BASE)
+            self.shared_region = RegionAllocator(
+                "shared-window", SHARED_BASE, self.aperture.size
+            )
+        else:
+            self.aperture = None
+            self.shared_region = RegionAllocator("shared-window", SHARED_BASE, REGION_BYTES)
+        self._aperture_blocks: dict = {}
+        self.globalizations = 0
+        self.privatizations = 0
+
+    def alloc(
+        self,
+        name: str,
+        size: int,
+        pu: ProcessingUnit = ProcessingUnit.CPU,
+        shared: bool = False,
+    ) -> Allocation:
+        if not shared:
+            region = self.cpu_region if pu is ProcessingUnit.CPU else self.gpu_region
+            addr = region.allocate(size)
+            self.page_tables[pu].map_range(addr, size)
+            return self._register(
+                Allocation(name=name, addr=addr, size=size, home=pu, shared=False)
+            )
+        # sharedmalloc: window residence, mapped in BOTH page tables.
+        addr = self.shared_region.allocate(size)
+        if self.aperture is not None:
+            # Keep the aperture's accounting in sync with the window.
+            self._aperture_blocks[name] = self.aperture.allocate(size)
+        for table in self.page_tables.values():
+            table.map_range(addr, size)
+        if self.ownership is not None:
+            self.ownership.register(name, owner=pu)
+        return self._register(
+            Allocation(name=name, addr=addr, size=size, home=None, shared=True)
+        )
+
+    def free(self, allocation: Allocation) -> None:
+        """Release a buffer, deregistering shared objects from ownership
+        and releasing their aperture backing."""
+        super().free(allocation)
+        if allocation.shared:
+            if self.ownership is not None and self.ownership.is_registered(
+                allocation.name
+            ):
+                self.ownership.deregister(allocation.name)
+            block = self._aperture_blocks.pop(allocation.name, None)
+            if block is not None and self.aperture is not None:
+                self.aperture.free(block)
+
+    def accessible(self, pu: ProcessingUnit, addr: int) -> bool:
+        own = self.cpu_region if pu is ProcessingUnit.CPU else self.gpu_region
+        return own.contains(addr) or self.shared_region.contains(addr)
+
+    def check_object_access(self, name: str, pu: ProcessingUnit) -> None:
+        """Ownership check for a shared object (no-op without ownership)."""
+        if self.ownership is not None and self.ownership.is_registered(name):
+            self.ownership.check_access(name, pu)
+
+    # -- globalization / privatization (§II-A3) ------------------------------
+
+    def globalize(self, allocation: Allocation) -> Allocation:
+        """Move a private buffer into the shared window at run time.
+
+        §II-A3: "Globalization and privatization can also be performed
+        during program execution to indicate ownership changes." The
+        buffer gets a fresh shared-window address (mapped in both page
+        tables) and, under ownership control, starts owned by its old
+        home PU. Returns the new allocation (the old one is freed).
+        """
+        if allocation.shared:
+            raise AllocationError(f"{allocation.name!r} is already shared")
+        home = allocation.home
+        name, size = allocation.name, allocation.size
+        self.free(allocation)
+        self.globalizations += 1
+        return self.alloc(name, size, pu=home, shared=True)
+
+    def privatize(
+        self, allocation: Allocation, pu: ProcessingUnit
+    ) -> Allocation:
+        """Move a shared buffer into ``pu``'s private space at run time.
+
+        Only the current owner may privatize (it holds the authoritative
+        copy). Returns the new private allocation.
+        """
+        if not allocation.shared:
+            raise AllocationError(f"{allocation.name!r} is not in the shared window")
+        if self.ownership is not None:
+            self.ownership.check_access(allocation.name, pu)
+        name, size = allocation.name, allocation.size
+        self.free(allocation)  # also deregisters ownership
+        self.privatizations += 1
+        return self.alloc(name, size, pu=pu, shared=False)
+
+    def transfer_required(self, allocation: Allocation, to_pu: ProcessingUnit) -> bool:
+        """Shared objects move via ownership transfer, not copies; private
+        remote objects cannot be reached at all (copy through the window)."""
+        if allocation.shared:
+            return False
+        return allocation.home is not to_pu
+
+    def stats(self):
+        merged = super().stats()
+        if self.ownership is not None:
+            merged.update(self.ownership.stats())
+        if self.aperture is not None:
+            for key, value in self.aperture.stats().items():
+                merged[f"aperture_{key}"] = value
+        return merged

@@ -1,0 +1,72 @@
+"""A small fully-associative TLB with LRU replacement.
+
+§II-A1 notes that different per-PU page table formats "complicate TLB
+designs and memory management units"; the TLB model exposes exactly the
+quantities such a study needs (hit/miss counts, walk costs charged by the
+caller).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict
+
+from repro.errors import ConfigError
+
+__all__ = ["TLB"]
+
+
+class TLB:
+    """Caches virtual-page -> physical-frame translations."""
+
+    def __init__(self, entries: int, page_bytes: int) -> None:
+        if entries < 1:
+            raise ConfigError("TLB needs at least one entry")
+        if page_bytes <= 0 or page_bytes & (page_bytes - 1):
+            raise ConfigError("page size must be a positive power of two")
+        self.entries = entries
+        self.page_bytes = page_bytes
+        self._map: "OrderedDict[int, int]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, vaddr: int) -> "int | None":
+        """Cached frame number for ``vaddr``'s page, or None on a miss."""
+        vpn = vaddr // self.page_bytes
+        frame = self._map.get(vpn)
+        if frame is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._map.move_to_end(vpn)
+        return frame
+
+    def install(self, vaddr: int, frame: int) -> None:
+        """Install a translation after a walk, evicting LRU if full."""
+        vpn = vaddr // self.page_bytes
+        if vpn in self._map:
+            self._map.move_to_end(vpn)
+            self._map[vpn] = frame
+            return
+        while len(self._map) >= self.entries:
+            self._map.popitem(last=False)
+        self._map[vpn] = frame
+
+    def invalidate(self, vaddr: int) -> bool:
+        """Shoot down one page's entry; True if it was present."""
+        return self._map.pop(vaddr // self.page_bytes, None) is not None
+
+    def flush(self) -> None:
+        self._map.clear()
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._map)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, int]:
+        return {"tlb_hits": self.hits, "tlb_misses": self.misses}

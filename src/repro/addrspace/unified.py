@@ -1,0 +1,61 @@
+"""Unified memory address space (paper §II-A1).
+
+"A unified memory address space means that there is no separation between
+CPU address space and GPU address space. Any tasks can be run on any PU
+without explicit data transfer commands." The space may still be *virtually*
+unified over discrete physical memories — each PU keeps its own page table
+with its own page size and format — and unified does **not** imply
+coherence (CUDA 4.0's UVA is the paper's example).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config.system import SystemConfig
+from repro.addrspace.allocator import Allocation
+from repro.addrspace.base import AddressSpace
+from repro.taxonomy import AddressSpaceKind, ProcessingUnit
+
+__all__ = ["UnifiedAddressSpace"]
+
+
+class UnifiedAddressSpace(AddressSpace):
+    """One address space; every address reachable by every PU.
+
+    Allocations land in the requesting PU's region purely as a locality
+    hint; reachability never depends on it. ``shared=True`` is accepted and
+    ignored (everything is shared).
+    """
+
+    kind = AddressSpaceKind.UNIFIED
+
+    def __init__(self, config: Optional[SystemConfig] = None) -> None:
+        super().__init__(config)
+
+    def alloc(
+        self,
+        name: str,
+        size: int,
+        pu: ProcessingUnit = ProcessingUnit.CPU,
+        shared: bool = False,
+    ) -> Allocation:
+        region = self.cpu_region if pu is ProcessingUnit.CPU else self.gpu_region
+        addr = region.allocate(size)
+        # Map eagerly in the allocating PU's table; the peer maps on demand
+        # (that is what a virtually unified space over discrete memories
+        # does — the runtime migrates pages on first touch).
+        self.page_tables[pu].map_range(addr, size)
+        return self._register(
+            Allocation(name=name, addr=addr, size=size, home=pu, shared=True)
+        )
+
+    def accessible(self, pu: ProcessingUnit, addr: int) -> bool:
+        return (
+            self.cpu_region.contains(addr)
+            or self.gpu_region.contains(addr)
+        )
+
+    def transfer_required(self, allocation: Allocation, to_pu: ProcessingUnit) -> bool:
+        """Never: the defining property of the unified space."""
+        return False

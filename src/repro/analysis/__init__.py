@@ -1,0 +1,30 @@
+"""Analysis: regenerate every paper table/figure and compare to the paper.
+
+- :mod:`repro.analysis.paper_data` — the paper's reported numbers and
+  qualitative claims, embedded as data;
+- :mod:`repro.analysis.tables` — Tables I-V as formatted text;
+- :mod:`repro.analysis.figures` — Figures 5-7 as data series and text
+  charts;
+- :mod:`repro.analysis.compare` — automated paper-vs-measured checks
+  (the source of EXPERIMENTS.md).
+"""
+
+from repro.analysis.figures import figure5_data, figure6_data, figure7_data
+from repro.analysis.tables import table1, table2, table3, table4, table5
+from repro.analysis.compare import Check, compare_all
+from repro.analysis.export import collect_results, export_results
+
+__all__ = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "figure5_data",
+    "figure6_data",
+    "figure7_data",
+    "Check",
+    "compare_all",
+    "collect_results",
+    "export_results",
+]

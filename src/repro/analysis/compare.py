@@ -1,0 +1,229 @@
+"""Automated paper-vs-measured comparison.
+
+Runs every experiment and checks the measured output against the paper's
+exact numbers (Tables III-V) or qualitative claims (Figures 5-7, the
+programmability ordering, and the design-space conclusion). The output of
+:func:`compare_all` is what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis import paper_data
+from repro.analysis.figures import figure5_data, figure6_data, figure7_data
+from repro.core.explorer import Explorer
+from repro.core.programmability import programmability_rank, table5_dict
+from repro.core.space import DesignSpace
+from repro.kernels.registry import all_kernels
+from repro.taxonomy import AddressSpaceKind
+
+__all__ = ["Check", "compare_all"]
+
+
+@dataclass(frozen=True)
+class Check:
+    """One paper-vs-measured check."""
+
+    experiment: str
+    description: str
+    paper: str
+    measured: str
+    passed: bool
+
+    def line(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        return (
+            f"[{mark}] {self.experiment}: {self.description} "
+            f"(paper: {self.paper}; measured: {self.measured})"
+        )
+
+
+def _check_table3() -> List[Check]:
+    checks = []
+    for kernel in all_kernels():
+        row = kernel.table3_row()
+        measured = (
+            row.cpu_instructions,
+            row.gpu_instructions,
+            row.serial_instructions,
+            row.num_communications,
+            row.initial_transfer_bytes,
+        )
+        expected = paper_data.TABLE3_EXPECTED[kernel.name]
+        checks.append(
+            Check(
+                experiment="Table III",
+                description=f"{kernel.name} trace statistics",
+                paper=str(expected),
+                measured=str(measured),
+                passed=measured == expected,
+            )
+        )
+    return checks
+
+
+def _check_table5() -> List[Check]:
+    checks = []
+    measured_table = table5_dict()
+    for kernel_name, expected in paper_data.TABLE5_EXPECTED.items():
+        per_space = measured_table[kernel_name]
+        measured = (
+            expected[0],  # Comp is metadata from the paper by construction
+            per_space[AddressSpaceKind.UNIFIED],
+            per_space[AddressSpaceKind.PARTIALLY_SHARED],
+            per_space[AddressSpaceKind.DISJOINT],
+            per_space[AddressSpaceKind.ADSM],
+        )
+        checks.append(
+            Check(
+                experiment="Table V",
+                description=f"{kernel_name} comm-handling lines per space",
+                paper=str(expected),
+                measured=str(measured),
+                passed=measured == expected,
+            )
+        )
+    order = programmability_rank()
+    checks.append(
+        Check(
+            experiment="Table V",
+            description="programmability ordering UNI < PAS <= ADSM < DIS",
+            paper=" < ".join(k.short for k in paper_data.PROGRAMMABILITY_ORDER),
+            measured=" < ".join(k.short for k in order),
+            passed=tuple(order) == paper_data.PROGRAMMABILITY_ORDER,
+        )
+    )
+    return checks
+
+
+def _check_figure5(explorer: Explorer) -> List[Check]:
+    results = figure5_data(explorer)
+    checks = []
+    # Parallel computation dominates everywhere.
+    dominated = all(
+        r.breakdown.parallel
+        >= max(r.breakdown.sequential, r.breakdown.communication)
+        for per_system in results.values()
+        for r in per_system.values()
+    )
+    checks.append(
+        Check(
+            experiment="Figure 5",
+            description="parallel computation dominates execution time",
+            paper="majority of time in parallel computation",
+            measured=f"dominates in all cells: {dominated}",
+            passed=dominated,
+        )
+    )
+    for slower, faster in paper_data.FIG5_TOTAL_TIME_ORDERING:
+        ok = all(
+            per_system[slower].total_seconds >= per_system[faster].total_seconds * 0.999
+            for per_system in results.values()
+        )
+        checks.append(
+            Check(
+                experiment="Figure 5",
+                description=f"{slower} is no faster than {faster} on every kernel",
+                paper=f"{slower} >= {faster}",
+                measured=f"holds on all kernels: {ok}",
+                passed=ok,
+            )
+        )
+    # The kernels the paper singles out for "relatively high communication
+    # overhead" must each sit clearly above the fully-parallel compute-heavy
+    # kernels (matrix mul, dct). See EXPERIMENTS.md for the convolution
+    # caveat: Table III's counts make convolution comm-intensive too.
+    comm_frac = {
+        kernel: per_system["CPU+GPU"].breakdown.communication_fraction
+        for kernel, per_system in results.items()
+    }
+    low_comm = max(comm_frac["matrix mul"], comm_frac["dct"])
+    named = sorted(paper_data.FIG5_HIGH_COMM_KERNELS)
+    ok = all(comm_frac[kernel] > low_comm for kernel in named)
+    checks.append(
+        Check(
+            experiment="Figure 5",
+            description="paper's high-communication kernels exceed the "
+            "fully-parallel kernels",
+            paper=", ".join(named) + " have relatively high comm overhead",
+            measured="; ".join(f"{k}: {comm_frac[k]:.1%}" for k in sorted(comm_frac)),
+            passed=ok,
+        )
+    )
+    return checks
+
+
+def _check_figure6(explorer: Explorer) -> List[Check]:
+    data = figure6_data(explorer)
+    checks = []
+    for slower, faster in paper_data.FIG6_COMM_ORDERING:
+        ok = all(row[slower] >= row[faster] * 0.999 for row in data.values())
+        checks.append(
+            Check(
+                experiment="Figure 6",
+                description=f"comm overhead {slower} >= {faster} on every kernel",
+                paper=f"{slower} >= {faster}",
+                measured=f"holds on all kernels: {ok}",
+                passed=ok,
+            )
+        )
+    ideal_zero = all(row["IDEAL-HETERO"] == 0.0 for row in data.values())
+    checks.append(
+        Check(
+            experiment="Figure 6",
+            description="IDEAL-HETERO has zero communication cost",
+            paper="0",
+            measured=str(ideal_zero),
+            passed=ideal_zero,
+        )
+    )
+    return checks
+
+
+def _check_figure7(explorer: Explorer) -> List[Check]:
+    data = figure7_data(explorer)
+    checks = []
+    worst = 0.0
+    for kernel, row in data.items():
+        lo, hi = min(row.values()), max(row.values())
+        spread = (hi - lo) / lo if lo else 0.0
+        worst = max(worst, spread)
+    checks.append(
+        Check(
+            experiment="Figure 7",
+            description="address space choice barely affects performance",
+            paper=f"spread < {paper_data.FIG7_MAX_SPREAD:.0%}",
+            measured=f"max spread {worst:.3%}",
+            passed=worst < paper_data.FIG7_MAX_SPREAD,
+        )
+    )
+    return checks
+
+
+def _check_conclusion() -> List[Check]:
+    space = DesignSpace()
+    winner = space.most_versatile_address_space()
+    return [
+        Check(
+            experiment="Conclusion",
+            description="most versatile address space by feasible design points",
+            paper="partially shared",
+            measured=winner.value,
+            passed=winner is AddressSpaceKind.PARTIALLY_SHARED,
+        )
+    ]
+
+
+def compare_all(explorer: Optional[Explorer] = None) -> List[Check]:
+    """Run every paper-vs-measured check."""
+    explorer = explorer or Explorer()
+    checks: List[Check] = []
+    checks.extend(_check_table3())
+    checks.extend(_check_table5())
+    checks.extend(_check_figure5(explorer))
+    checks.extend(_check_figure6(explorer))
+    checks.extend(_check_figure7(explorer))
+    checks.extend(_check_conclusion())
+    return checks

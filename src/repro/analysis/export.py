@@ -1,0 +1,100 @@
+"""Machine-readable export of every regenerated experiment.
+
+A downstream user comparing against this reproduction should not have to
+scrape text tables: :func:`export_results` runs every experiment and
+writes one JSON document with the regenerated Tables III/V, the Figure 5-7
+data series, the 30 paper-vs-measured checks, and the environment's
+configuration fingerprint.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.analysis.compare import compare_all
+from repro.analysis.figures import figure5_data, figure6_data, figure7_data
+from repro.config.comm import CommParams
+from repro.core.explorer import Explorer
+from repro.core.programmability import table5_rows
+from repro.kernels.registry import all_kernels
+from repro.version import __version__
+
+__all__ = ["collect_results", "export_results"]
+
+SCHEMA_VERSION = 1
+
+
+def collect_results(explorer: Optional[Explorer] = None) -> Dict[str, Any]:
+    """Run every experiment and gather the results as plain data."""
+    explorer = explorer or Explorer()
+    params = CommParams()
+
+    fig5 = figure5_data(explorer)
+    results: Dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "library_version": __version__,
+        "config": {
+            "api_pci_base_cycles": params.api_pci_base_cycles,
+            "api_acq_cycles": params.api_acq_cycles,
+            "api_tr_cycles": params.api_tr_cycles,
+            "lib_pf_cycles": params.lib_pf_cycles,
+            "pci_bandwidth_bytes_per_s": params.pci_bandwidth.bytes_per_second,
+        },
+        "table3": {
+            k.name: {
+                "cpu_instructions": k.table3_row().cpu_instructions,
+                "gpu_instructions": k.table3_row().gpu_instructions,
+                "serial_instructions": k.table3_row().serial_instructions,
+                "num_communications": k.table3_row().num_communications,
+                "initial_transfer_bytes": k.table3_row().initial_transfer_bytes,
+            }
+            for k in all_kernels()
+        },
+        "table5": [
+            {
+                "kernel": row[0],
+                "comp": row[1],
+                "uni": row[2],
+                "pas": row[3],
+                "dis": row[4],
+                "adsm": row[5],
+            }
+            for row in table5_rows()
+        ],
+        "figure5": {
+            kernel: {
+                system: {
+                    "sequential_s": r.breakdown.sequential,
+                    "parallel_s": r.breakdown.parallel,
+                    "communication_s": r.breakdown.communication,
+                    "total_s": r.total_seconds,
+                }
+                for system, r in per_system.items()
+            }
+            for kernel, per_system in fig5.items()
+        },
+        "figure6": figure6_data(results=fig5),
+        "figure7": figure7_data(explorer),
+        "checks": [
+            {
+                "experiment": c.experiment,
+                "description": c.description,
+                "paper": c.paper,
+                "measured": c.measured,
+                "passed": c.passed,
+            }
+            for c in compare_all(explorer)
+        ],
+    }
+    return results
+
+
+def export_results(
+    path: Union[str, Path], explorer: Optional[Explorer] = None
+) -> Path:
+    """Write :func:`collect_results` output as JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(collect_results(explorer), indent=2, sort_keys=True))
+    return path

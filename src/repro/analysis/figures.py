@@ -1,0 +1,92 @@
+"""Regenerate Figures 5-7 as data series and text charts."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.paper_data import FIG5_SYSTEM_ORDER
+from repro.core.explorer import Explorer
+from repro.core.report import format_breakdown_chart, format_series
+from repro.sim.results import SimulationResult
+from repro.taxonomy import AddressSpaceKind
+
+__all__ = [
+    "figure5_data",
+    "figure6_data",
+    "figure7_data",
+    "figure5_text",
+    "figure6_text",
+    "figure7_text",
+]
+
+
+def figure5_data(
+    explorer: Optional[Explorer] = None,
+) -> Dict[str, Dict[str, SimulationResult]]:
+    """Figure 5's content: {kernel: {system: result}} for the five systems."""
+    explorer = explorer or Explorer()
+    return explorer.run_case_studies()
+
+
+def figure6_data(
+    explorer: Optional[Explorer] = None,
+    results: Optional[Dict[str, Dict[str, SimulationResult]]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 6's content: communication seconds per (kernel, system)."""
+    results = results or figure5_data(explorer)
+    return {
+        kernel: {
+            system: result.breakdown.communication
+            for system, result in per_system.items()
+        }
+        for kernel, per_system in results.items()
+    }
+
+
+def figure7_data(
+    explorer: Optional[Explorer] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 7's content: total seconds per (kernel, address space) with
+    ideal communication."""
+    explorer = explorer or Explorer()
+    raw = explorer.run_address_spaces()
+    return {
+        kernel: {space.short: result.total_seconds for space, result in per_space.items()}
+        for kernel, per_space in raw.items()
+    }
+
+
+def figure5_text(explorer: Optional[Explorer] = None) -> str:
+    """Figure 5 as a text chart (stacked S/P/C bars, normalized)."""
+    results = figure5_data(explorer)
+    ordered = {
+        kernel: {name: per_system[name] for name in FIG5_SYSTEM_ORDER}
+        for kernel, per_system in results.items()
+    }
+    return (
+        "Figure 5: execution time breakdown "
+        "(S=sequential, P=parallel, C=communication)\n"
+        + format_breakdown_chart(ordered)
+    )
+
+
+def figure6_text(explorer: Optional[Explorer] = None) -> str:
+    """Figure 6 as a table of communication times (microseconds)."""
+    data = figure6_data(explorer)
+    scaled = {
+        kernel: {system: seconds * 1e6 for system, seconds in row.items()}
+        for kernel, row in data.items()
+    }
+    return format_series(scaled, value_label="Figure 6: communication overhead (us)")
+
+
+def figure7_text(explorer: Optional[Explorer] = None) -> str:
+    """Figure 7 as a table of total times (microseconds)."""
+    data = figure7_data(explorer)
+    scaled = {
+        kernel: {space: seconds * 1e6 for space, seconds in row.items()}
+        for kernel, row in data.items()
+    }
+    return format_series(
+        scaled, value_label="Figure 7: address spaces under ideal communication (us)"
+    )

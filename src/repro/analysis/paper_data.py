@@ -1,0 +1,108 @@
+"""The paper's reported numbers and qualitative claims, as data.
+
+Quantities the paper prints exactly (Tables III-V) are embedded verbatim;
+figures 5-7 are bar charts without printed numbers, so their content is
+captured as the qualitative claims the text makes about them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.taxonomy import AddressSpaceKind
+
+__all__ = [
+    "TABLE3_EXPECTED",
+    "TABLE4_EXPECTED",
+    "TABLE5_EXPECTED",
+    "FIG5_SYSTEM_ORDER",
+    "FIG5_TOTAL_TIME_ORDERING",
+    "FIG5_HIGH_COMM_KERNELS",
+    "FIG6_COMM_ORDERING",
+    "FIG7_MAX_SPREAD",
+    "PROGRAMMABILITY_ORDER",
+]
+
+#: Table III: name -> (cpu, gpu, serial, #comms, initial bytes).
+TABLE3_EXPECTED: Dict[str, Tuple[int, int, int, int, int]] = {
+    "reduction": (70006, 70001, 99996, 2, 320512),
+    "matrix mul": (8585229, 8585228, 16384, 2, 524288),
+    "convolution": (448260, 448259, 65536, 3, 65536),
+    "dct": (2359298, 2359298, 262144, 2, 262244),
+    "merge sort": (161233, 157233, 97668, 2, 39936),
+    "k-mean": (1847765, 1844981, 36784, 6, 136192),
+}
+
+#: Table IV: special-instruction name -> latency in CPU cycles (api-pci's
+#: size-dependent term is bytes / 16 GB/s on top of the base).
+TABLE4_EXPECTED: Dict[str, int] = {
+    "api-pci": 33250,
+    "api-acq": 1000,
+    "api-tr": 7000,
+    "lib-pf": 42000,
+}
+
+#: Table V: kernel -> (Comp, UNI, PAS, DIS, ADSM).
+TABLE5_EXPECTED: Dict[str, Tuple[int, int, int, int, int]] = {
+    "matrix mul": (39, 0, 2, 9, 6),
+    "merge sort": (112, 0, 2, 6, 4),
+    "dct": (410, 0, 2, 6, 4),
+    "reduction": (142, 0, 2, 9, 6),
+    "convolution": (75, 0, 4, 9, 6),
+    "k-mean": (332, 0, 6, 6, 4),
+}
+
+#: Figure 5/6 system order.
+FIG5_SYSTEM_ORDER: Tuple[str, ...] = (
+    "CPU+GPU",
+    "LRB",
+    "GMAC",
+    "Fusion",
+    "IDEAL-HETERO",
+)
+
+#: §V-A: "CPU+GPU, LRB and GMAC have a longer execution time than those of
+#: IDEAL-HETERO and Fusion." Systems earlier in this tuple must be at
+#: least as slow as later ones.
+FIG5_TOTAL_TIME_ORDERING: Tuple[Tuple[str, str], ...] = (
+    ("CPU+GPU", "Fusion"),
+    ("LRB", "Fusion"),
+    ("GMAC", "Fusion"),
+    ("CPU+GPU", "IDEAL-HETERO"),
+    ("LRB", "IDEAL-HETERO"),
+    ("GMAC", "IDEAL-HETERO"),
+    ("Fusion", "IDEAL-HETERO"),
+)
+
+#: §V-A: kernels singled out for "relatively high communication overhead"
+#: (the printed percentages are the paper's: reduction 1.3% is almost
+#: certainly a typo for 13%, recorded verbatim regardless).
+FIG5_HIGH_COMM_KERNELS: Dict[str, float] = {
+    "reduction": 0.013,
+    "merge sort": 0.12,
+    "k-mean": 0.076,
+}
+
+#: Figure 6 claims: GMAC hides copies, Fusion's cost is "very small
+#: compared to PCI-e", IDEAL is zero. Pairs (slower, faster) by
+#: communication overhead.
+FIG6_COMM_ORDERING: Tuple[Tuple[str, str], ...] = (
+    ("CPU+GPU", "GMAC"),
+    ("CPU+GPU", "Fusion"),
+    ("LRB", "Fusion"),
+    ("GMAC", "Fusion"),
+    ("Fusion", "IDEAL-HETERO"),
+)
+
+#: Figure 7: "there is almost no performance difference between options" —
+#: max relative spread between the four address spaces per kernel.
+FIG7_MAX_SPREAD: float = 0.01
+
+#: §V-C: programmability overhead ordering (fewest extra lines first):
+#: Unified < partially shared <= ADSM < disjoint.
+PROGRAMMABILITY_ORDER: Tuple[AddressSpaceKind, ...] = (
+    AddressSpaceKind.UNIFIED,
+    AddressSpaceKind.PARTIALLY_SHARED,
+    AddressSpaceKind.ADSM,
+    AddressSpaceKind.DISJOINT,
+)

@@ -1,0 +1,263 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Installed as ``repro-explore``::
+
+    repro-explore table 5
+    repro-explore figure 6
+    repro-explore compare
+    repro-explore rank --top 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import compare as compare_mod
+from repro.analysis import figures, tables
+from repro.core.explorer import Explorer
+from repro.core.report import format_table
+from repro.core.space import DesignSpace
+
+__all__ = ["main"]
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    builders = {
+        1: tables.table1,
+        2: tables.table2,
+        3: tables.table3,
+        4: tables.table4,
+        5: tables.table5,
+    }
+    print(builders[args.number]())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    explorer = Explorer()
+    builders = {
+        5: figures.figure5_text,
+        6: figures.figure6_text,
+        7: figures.figure7_text,
+    }
+    print(builders[args.number](explorer))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    checks = compare_mod.compare_all()
+    for check in checks:
+        print(check.line())
+    failed = sum(1 for c in checks if not c.passed)
+    print(f"\n{len(checks) - failed}/{len(checks)} checks passed")
+    return 1 if failed else 0
+
+
+def _cmd_rank(args: argparse.Namespace) -> int:
+    explorer = Explorer()
+    points = DesignSpace().feasible_points()
+    if args.sample and args.sample < len(points):
+        step = max(len(points) // args.sample, 1)
+        points = points[::step]
+    evaluations = explorer.rank_design_points(points)[: args.top]
+    rows = [
+        (
+            e.point.label,
+            f"{e.mean_seconds * 1e6:.1f}",
+            f"{e.mean_comm_fraction:.1%}",
+            e.comm_lines_total,
+            e.locality_options,
+        )
+        for e in evaluations
+    ]
+    print(
+        format_table(
+            ("design point", "mean us", "comm%", "comm lines", "locality options"),
+            rows,
+            title=f"Top {len(rows)} design points",
+        )
+    )
+    return 0
+
+
+def _cmd_guidelines(args: argparse.Namespace) -> int:
+    from repro.core.metrics import EfficiencyMetric, MetricWeights
+
+    weights = MetricWeights(
+        performance=args.w_perf,
+        energy=args.w_energy,
+        programmability=args.w_prog,
+        versatility=args.w_options,
+    )
+    print(EfficiencyMetric(weights=weights).guidelines())
+    return 0
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    from repro.core.partition import optimal_split, rate_based_split
+    from repro.kernels.registry import all_kernels
+
+    rows = []
+    for k in all_kernels():
+        rate = rate_based_split(k)
+        best = optimal_split(k)
+        rows.append(
+            (
+                k.name,
+                f"{rate:.2f}",
+                f"{best.cpu_fraction:.2f}",
+                f"{best.speedup_over_even:.2f}x",
+            )
+        )
+    print(
+        format_table(
+            ("kernel", "rate-based split", "optimal split", "speedup vs 50/50"),
+            rows,
+            title="Adaptive work partitioning (Qilin-style, paper ref [25])",
+        )
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report_md import full_report, write_report
+
+    if args.path:
+        path = write_report(args.path)
+        print(f"wrote {path}")
+    else:
+        print(full_report())
+    return 0
+
+
+def _cmd_codegen(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.progmodel.lowering import lower
+    from repro.progmodel.spec import all_program_specs
+    from repro.taxonomy import AddressSpaceKind
+
+    out_dir = Path(args.dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    count = 0
+    for spec in all_program_specs():
+        for kind in AddressSpaceKind:
+            program = lower(spec, kind)
+            slug = spec.name.replace(" ", "_")
+            path = out_dir / f"{slug}.{kind.short.lower()}.c"
+            path.write_text(program.render() + "\n")
+            count += 1
+    print(f"wrote {count} generated sources to {out_dir}/")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.analysis.export import export_results
+
+    path = export_results(args.path)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_litmus(args: argparse.Namespace) -> int:
+    from repro.consistency.litmus import LITMUS_TESTS, model_for
+    from repro.consistency.model import is_allowed
+    from repro.taxonomy import ConsistencyModel
+
+    rows = []
+    for test in LITMUS_TESTS:
+        verdicts = {}
+        for consistency in (ConsistencyModel.STRONG, ConsistencyModel.WEAK):
+            allowed = is_allowed(test.program, test.observation, model_for(consistency))
+            verdicts[consistency] = "allowed" if allowed else "forbidden"
+        rows.append(
+            (
+                test.name,
+                verdicts[ConsistencyModel.STRONG],
+                verdicts[ConsistencyModel.WEAK],
+                test.description,
+            )
+        )
+    print(
+        format_table(
+            ("litmus", "strong (SC)", "weak (buffered)", "description"),
+            rows,
+            title="Consistency-model litmus verdicts (Table I's consistency axis)",
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-explore",
+        description="Design-space exploration of heterogeneous memory models "
+        "(reproduction of Lim & Kim, MSPC 2012)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table = sub.add_parser("table", help="print a paper table")
+    p_table.add_argument("number", type=int, choices=(1, 2, 3, 4, 5))
+    p_table.set_defaults(func=_cmd_table)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("number", type=int, choices=(5, 6, 7))
+    p_fig.set_defaults(func=_cmd_figure)
+
+    p_cmp = sub.add_parser("compare", help="run all paper-vs-measured checks")
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_rank = sub.add_parser("rank", help="rank feasible design points")
+    p_rank.add_argument("--top", type=int, default=10)
+    p_rank.add_argument(
+        "--sample", type=int, default=40, help="evaluate at most N points (0 = all)"
+    )
+    p_rank.set_defaults(func=_cmd_rank)
+
+    p_guide = sub.add_parser(
+        "guidelines", help="efficiency guidelines per address space (future work, §VII)"
+    )
+    p_guide.add_argument("--w-perf", type=float, default=1.0)
+    p_guide.add_argument("--w-energy", type=float, default=1.0)
+    p_guide.add_argument("--w-prog", type=float, default=1.0)
+    p_guide.add_argument("--w-options", type=float, default=1.0)
+    p_guide.set_defaults(func=_cmd_guidelines)
+
+    p_part = sub.add_parser(
+        "partition", help="makespan-optimal CPU/GPU work splits per kernel"
+    )
+    p_part.set_defaults(func=_cmd_partition)
+
+    p_litmus = sub.add_parser(
+        "litmus", help="consistency-model litmus verdicts (strong vs weak)"
+    )
+    p_litmus.set_defaults(func=_cmd_litmus)
+
+    p_export = sub.add_parser(
+        "export", help="write every regenerated experiment to a JSON file"
+    )
+    p_export.add_argument("path", help="output path, e.g. results.json")
+    p_export.set_defaults(func=_cmd_export)
+
+    p_report = sub.add_parser(
+        "report", help="full markdown reproduction report (tables, figures, checks)"
+    )
+    p_report.add_argument("path", nargs="?", default=None)
+    p_report.set_defaults(func=_cmd_report)
+
+    p_codegen = sub.add_parser(
+        "codegen",
+        help="emit the lowered pseudo-C for every kernel under every "
+        "address space (the Figure 2/3 code patterns)",
+    )
+    p_codegen.add_argument("dir", help="output directory")
+    p_codegen.set_defaults(func=_cmd_codegen)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Hardware communication mechanisms between PUs.
+
+One channel class per mechanism the paper discusses (Table I's connection
+column and the §V-A case studies):
+
+- :class:`~repro.comm.pcie.PcieChannel` — synchronous PCI-E memcpy
+  (``api-pci``: 33250 cycles + bytes / 16 GB/s);
+- :class:`~repro.comm.aperture.ApertureChannel` — LRB's PCI-aperture
+  shared window (``api-acq``/``api-tr``/``lib-pf``);
+- :class:`~repro.comm.dma.AsyncDmaChannel` — GMAC's asynchronous copies
+  that overlap computation;
+- :class:`~repro.comm.memctrl.MemCtrlChannel` — Fusion's path through the
+  memory controllers (transfers become DRAM traffic);
+- :class:`~repro.comm.interconnect.InterconnectChannel` — an on-chip
+  network between PUs;
+- :class:`~repro.comm.base.IdealChannel` — zero-cost (IDEAL-HETERO).
+
+All channels consume a :class:`repro.trace.CommPhase` and return a
+:class:`~repro.comm.base.TransferResult` splitting total time into exposed
+(critical-path) and overlapped parts.
+"""
+
+from repro.comm.base import CommChannel, IdealChannel, TransferResult, make_channel
+from repro.comm.pcie import PcieChannel
+from repro.comm.aperture import ApertureChannel
+from repro.comm.dma import AsyncDmaChannel
+from repro.comm.memctrl import MemCtrlChannel
+from repro.comm.interconnect import InterconnectChannel
+
+__all__ = [
+    "CommChannel",
+    "TransferResult",
+    "IdealChannel",
+    "PcieChannel",
+    "ApertureChannel",
+    "AsyncDmaChannel",
+    "MemCtrlChannel",
+    "InterconnectChannel",
+    "make_channel",
+]

@@ -1,0 +1,83 @@
+"""The LRB PCI-aperture channel (paper §V-A).
+
+"For LRB, if data is already located in the shared address space,
+transferring is not required. It still has the overhead of communication
+when data is initially transferred from CPUs. It also generates page faults
+if data in the shared space is first-time accessed."
+
+Cost model per communication phase:
+
+- one ownership action (``api-acq``, 1000 cycles) always — the
+  release-on-one-side/acquire-on-the-other handshake is a single action in
+  Table IV's accounting;
+- one data-transfer call (``api-tr``, 7000 cycles) per object moved into
+  the window (host-to-device direction only: device-to-host data is
+  already in the shared space);
+- first-touch faults (``lib-pf``, 42000 cycles): by default one per data
+  *object* (the runtime maps the whole object when its first page faults,
+  as GMAC-style runtimes do); set ``fault_granularity="page"`` for a
+  naive per-page runtime — the ablation benchmark sweeps both.
+"""
+
+from __future__ import annotations
+
+from repro.comm.base import CommChannel, TransferResult
+from repro.config.comm import CommParams
+from repro.errors import CommunicationError
+from repro.taxonomy import CommMechanism
+from repro.trace.phase import CommPhase, Direction
+from repro.units import ceil_div
+
+__all__ = ["ApertureChannel"]
+
+
+class ApertureChannel(CommChannel):
+    """Partially shared window over a PCI aperture with ownership."""
+
+    mechanism = CommMechanism.PCI_APERTURE
+
+    def __init__(
+        self,
+        params: "CommParams | None" = None,
+        page_bytes: int = 4096,
+        fault_granularity: str = "object",
+    ) -> None:
+        super().__init__(params)
+        if page_bytes <= 0 or page_bytes & (page_bytes - 1):
+            raise CommunicationError("page size must be a positive power of two")
+        if fault_granularity not in ("object", "page"):
+            raise CommunicationError(
+                f"fault_granularity must be 'object' or 'page', got {fault_granularity!r}"
+            )
+        self.page_bytes = page_bytes
+        self.fault_granularity = fault_granularity
+        self.page_faults = 0
+        self.ownership_actions = 0
+        self.transfer_calls = 0
+
+    def _timing(self, phase: CommPhase, overlap_window: float) -> TransferResult:
+        cycles = self.params.api_acq_cycles
+        self.ownership_actions += 1
+        if phase.direction is Direction.H2D:
+            cycles += phase.num_objects * self.params.api_tr_cycles
+            self.transfer_calls += phase.num_objects
+            if phase.first_touch and phase.num_bytes > 0:
+                if self.fault_granularity == "object":
+                    faults = phase.num_objects
+                else:
+                    faults = ceil_div(phase.num_bytes, self.page_bytes)
+                cycles += faults * self.params.lib_pf_cycles
+                self.page_faults += faults
+        seconds = self.params.cpu_frequency.cycles_to_seconds(cycles)
+        return TransferResult(total=seconds, exposed=seconds)
+
+    def stats(self):
+        merged = super().stats()
+        merged.update(
+            {
+                "page_faults": self.page_faults,
+                "ownership_actions": self.ownership_actions,
+                "transfer_calls": self.transfer_calls,
+            }
+        )
+        return merged

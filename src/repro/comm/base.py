@@ -1,0 +1,123 @@
+"""Communication-channel interface and the ideal (zero-cost) channel."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.config.comm import CommParams
+from repro.config.system import SystemConfig
+from repro.errors import CommunicationError
+from repro.taxonomy import CommMechanism
+from repro.trace.phase import CommPhase
+
+__all__ = ["TransferResult", "CommChannel", "IdealChannel", "make_channel"]
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Timing of one inter-PU transfer.
+
+    ``exposed`` is the part on the critical path; ``overlapped`` was hidden
+    under computation (asynchronous mechanisms). ``total = exposed +
+    overlapped`` always holds.
+    """
+
+    total: float
+    exposed: float
+
+    def __post_init__(self) -> None:
+        if self.total < 0 or self.exposed < 0:
+            raise CommunicationError("transfer times must be non-negative")
+        if self.exposed > self.total + 1e-12:
+            raise CommunicationError("exposed time cannot exceed total time")
+
+    @property
+    def overlapped(self) -> float:
+        return self.total - self.exposed
+
+
+class CommChannel(abc.ABC):
+    """A mechanism for moving a :class:`CommPhase`'s data between PUs."""
+
+    mechanism: CommMechanism
+
+    def __init__(self, params: Optional[CommParams] = None) -> None:
+        self.params = params or CommParams()
+        self.transfers = 0
+        self.bytes_moved = 0
+        self.total_seconds = 0.0
+        self.exposed_seconds = 0.0
+
+    @abc.abstractmethod
+    def _timing(self, phase: CommPhase, overlap_window: float) -> TransferResult:
+        """Mechanism-specific cost model."""
+
+    def transfer(self, phase: CommPhase, overlap_window: float = 0.0) -> TransferResult:
+        """Move one communication phase's data.
+
+        ``overlap_window`` is the amount of adjacent computation time an
+        asynchronous mechanism could hide the copy under; synchronous
+        mechanisms ignore it.
+        """
+        if overlap_window < 0:
+            raise CommunicationError("overlap window must be non-negative")
+        result = self._timing(phase, overlap_window)
+        self.transfers += 1
+        self.bytes_moved += phase.num_bytes
+        self.total_seconds += result.total
+        self.exposed_seconds += result.exposed
+        return result
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "transfers": self.transfers,
+            "bytes_moved": self.bytes_moved,
+            "total_seconds": self.total_seconds,
+            "exposed_seconds": self.exposed_seconds,
+        }
+
+
+class IdealChannel(CommChannel):
+    """Zero-cost communication: the IDEAL-HETERO upper bound."""
+
+    mechanism = CommMechanism.IDEAL
+
+    def _timing(self, phase: CommPhase, overlap_window: float) -> TransferResult:
+        return TransferResult(total=0.0, exposed=0.0)
+
+
+def make_channel(
+    mechanism: CommMechanism,
+    params: Optional[CommParams] = None,
+    system: Optional[SystemConfig] = None,
+    async_overlap: bool = False,
+) -> CommChannel:
+    """Build the channel for a mechanism.
+
+    ``async_overlap`` upgrades a PCI-E channel to the asynchronous DMA
+    variant (GMAC).
+    """
+    from repro.comm.aperture import ApertureChannel
+    from repro.comm.dma import AsyncDmaChannel
+    from repro.comm.interconnect import InterconnectChannel
+    from repro.comm.memctrl import MemCtrlChannel
+    from repro.comm.pcie import PcieChannel
+
+    system = system or SystemConfig()
+    if mechanism is CommMechanism.IDEAL:
+        return IdealChannel(params)
+    if mechanism is CommMechanism.PCIE:
+        if async_overlap:
+            return AsyncDmaChannel(params)
+        return PcieChannel(params)
+    if mechanism is CommMechanism.DMA_ASYNC:
+        return AsyncDmaChannel(params)
+    if mechanism is CommMechanism.PCI_APERTURE:
+        return ApertureChannel(params, page_bytes=system.page_bytes_cpu)
+    if mechanism is CommMechanism.MEMORY_CONTROLLER:
+        return MemCtrlChannel(params, system=system)
+    if mechanism is CommMechanism.INTERCONNECT:
+        return InterconnectChannel(params, system=system)
+    raise CommunicationError(f"no channel model for mechanism {mechanism}")

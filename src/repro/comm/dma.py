@@ -1,0 +1,31 @@
+"""Asynchronous DMA copies over PCI-E (GMAC, paper §V-A).
+
+"For GMAC, asynchronous copies are performed during computation, so the
+communication cost can be easily hidden." The copy still takes full PCI-E
+time, but only the part that does not fit under the adjacent computation
+window — plus the unhideable initiation latency — lands on the critical
+path.
+"""
+
+from __future__ import annotations
+
+from repro.comm.base import CommChannel, TransferResult
+from repro.taxonomy import CommMechanism
+from repro.trace.phase import CommPhase
+
+__all__ = ["AsyncDmaChannel"]
+
+
+class AsyncDmaChannel(CommChannel):
+    """PCI-E with copy/compute overlap."""
+
+    mechanism = CommMechanism.DMA_ASYNC
+
+    def _timing(self, phase: CommPhase, overlap_window: float) -> TransferResult:
+        total = self.params.api_pci_seconds(phase.num_bytes)
+        initiation = self.params.cpu_frequency.cycles_to_seconds(
+            self.params.api_pci_base_cycles
+        )
+        hideable = total - initiation
+        exposed = initiation + max(0.0, hideable - overlap_window)
+        return TransferResult(total=total, exposed=exposed)

@@ -1,0 +1,49 @@
+"""Communication over an on-chip interconnection network.
+
+The connection used by COMIC, Rigel, and IBM Cell in Table I: PUs exchange
+data as messages on the on-chip network, paying per-hop latency plus link
+serialization — cheaper than DRAM round trips for small transfers and far
+cheaper than PCI-E for everything.
+"""
+
+from __future__ import annotations
+
+from repro.comm.base import CommChannel, TransferResult
+from repro.config.comm import CommParams
+from repro.config.system import SystemConfig
+from repro.taxonomy import CommMechanism
+from repro.trace.phase import CommPhase
+from repro.units import ceil_div
+
+__all__ = ["InterconnectChannel"]
+
+#: Hops between the two PUs' ring stops in the baseline floorplan.
+PU_TO_PU_HOPS = 2
+
+
+class InterconnectChannel(CommChannel):
+    """Message-passing transfers on the ring-bus network."""
+
+    mechanism = CommMechanism.INTERCONNECT
+
+    def __init__(
+        self,
+        params: "CommParams | None" = None,
+        system: "SystemConfig | None" = None,
+    ) -> None:
+        super().__init__(params)
+        self.system = system or SystemConfig()
+        self.messages = 0
+
+    def _timing(self, phase: CommPhase, overlap_window: float) -> TransferResult:
+        icn = self.system.interconnect
+        hop_cycles = PU_TO_PU_HOPS * icn.hop_latency
+        ser_cycles = ceil_div(max(phase.num_bytes, 1), icn.link_bytes_per_cycle)
+        self.messages += 1
+        seconds = icn.frequency.cycles_to_seconds(hop_cycles + ser_cycles)
+        return TransferResult(total=seconds, exposed=seconds)
+
+    def stats(self):
+        merged = super().stats()
+        merged["messages"] = self.messages
+        return merged

@@ -1,0 +1,52 @@
+"""Communication through the memory controllers (Fusion, paper §V-A).
+
+"For Fusion, the communication is through memory controllers, so it
+generates memory accesses for all data transfer between CPUs and GPUs.
+However, the memory access cost is also very small compared to that of
+PCI-e." There is no copy over an external link: the consumer reads the
+producer's data through shared DRAM, so the communication cost is the
+DRAM traffic for the transferred bytes plus a small driver/doorbell
+overhead.
+"""
+
+from __future__ import annotations
+
+from repro.comm.base import CommChannel, TransferResult
+from repro.config.comm import CommParams
+from repro.config.system import SystemConfig
+from repro.taxonomy import CommMechanism
+from repro.trace.phase import CommPhase
+
+__all__ = ["MemCtrlChannel"]
+
+#: Doorbell/driver handshake cost, in CPU cycles. Far below any Table IV
+#: API cost: this is an on-chip signal, not a runtime call.
+SIGNAL_CYCLES = 200
+
+
+class MemCtrlChannel(CommChannel):
+    """Zero-copy transfers as DRAM traffic."""
+
+    mechanism = CommMechanism.MEMORY_CONTROLLER
+
+    def __init__(
+        self,
+        params: "CommParams | None" = None,
+        system: "SystemConfig | None" = None,
+    ) -> None:
+        super().__init__(params)
+        self.system = system or SystemConfig()
+        self.dram_accesses = 0
+
+    def _timing(self, phase: CommPhase, overlap_window: float) -> TransferResult:
+        dram = self.system.dram
+        traffic_seconds = dram.bandwidth.seconds_for(phase.num_bytes)
+        signal_seconds = self.params.cpu_frequency.cycles_to_seconds(SIGNAL_CYCLES)
+        self.dram_accesses += max(phase.num_bytes // 64, 1)
+        seconds = traffic_seconds + signal_seconds
+        return TransferResult(total=seconds, exposed=seconds)
+
+    def stats(self):
+        merged = super().stats()
+        merged["dram_accesses"] = self.dram_accesses
+        return merged

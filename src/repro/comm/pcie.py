@@ -1,0 +1,23 @@
+"""Synchronous PCI-E memcpy (the ``api-pci`` special instruction).
+
+Table IV: latency = 33250 cycles + bytes / 16 GB/s (PCI-E 2.0). The whole
+cost is exposed — the CUDA-style ``Memcpy`` of Figure 3(a) blocks.
+"""
+
+from __future__ import annotations
+
+from repro.comm.base import CommChannel, TransferResult
+from repro.taxonomy import CommMechanism
+from repro.trace.phase import CommPhase
+
+__all__ = ["PcieChannel"]
+
+
+class PcieChannel(CommChannel):
+    """Blocking PCI-E copies, one ``api-pci`` per communication phase."""
+
+    mechanism = CommMechanism.PCIE
+
+    def _timing(self, phase: CommPhase, overlap_window: float) -> TransferResult:
+        seconds = self.params.api_pci_seconds(phase.num_bytes)
+        return TransferResult(total=seconds, exposed=seconds)

@@ -1,0 +1,47 @@
+"""Configuration objects for the heterogeneous system under study.
+
+``repro.config`` holds everything the paper fixes in its methodology section:
+
+- :mod:`repro.config.system` — the Table II baseline machine (one
+  Sandy-Bridge-like CPU core, one Fermi-like GPU core, cache hierarchy, ring
+  bus, DDR3-1333 DRAM);
+- :mod:`repro.config.comm` — the Table IV communication-overhead parameters
+  (``api-pci``, ``api-acq``, ``api-tr``, ``lib-pf``);
+- :mod:`repro.config.presets` — named configurations for the five case-study
+  systems of Section V-A (CPU+GPU, LRB, GMAC, Fusion, IDEAL-HETERO).
+"""
+
+from repro.config.comm import CommParams, DEFAULT_COMM_PARAMS
+from repro.config.system import (
+    BranchPredictorConfig,
+    CacheConfig,
+    CpuConfig,
+    DramConfig,
+    GpuConfig,
+    InterconnectConfig,
+    SystemConfig,
+    baseline_system,
+)
+from repro.config.presets import (
+    CaseStudy,
+    case_study,
+    case_study_names,
+    CASE_STUDIES,
+)
+
+__all__ = [
+    "BranchPredictorConfig",
+    "CacheConfig",
+    "CpuConfig",
+    "DramConfig",
+    "GpuConfig",
+    "InterconnectConfig",
+    "SystemConfig",
+    "baseline_system",
+    "CommParams",
+    "DEFAULT_COMM_PARAMS",
+    "CaseStudy",
+    "case_study",
+    "case_study_names",
+    "CASE_STUDIES",
+]

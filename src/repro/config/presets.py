@@ -1,0 +1,161 @@
+"""Named configurations for the five case-study systems (paper §V-A).
+
+The paper evaluates five distinct heterogeneous computing systems, all with
+identical CPUs and GPUs (Table II) so that only the memory system differs:
+
+- **CPU+GPU** (CUDA): disjoint address space over PCI-E; the final GPU
+  result must be copied back to host memory.
+- **LRB**: partially shared address space through a PCI aperture, with
+  ownership (acquire/release) and first-touch page faults in the shared
+  window.
+- **GMAC**: ADSM over PCI-E with asynchronous copies that overlap
+  computation.
+- **Fusion**: disjoint address space connected through the memory
+  controllers; transfers become ordinary DRAM traffic.
+- **IDEAL-HETERO**: a unified, fully coherent system with zero
+  communication cost (the upper bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ConfigError
+from repro.taxonomy import (
+    AddressSpaceKind,
+    CoherenceKind,
+    CommMechanism,
+    ConsistencyModel,
+)
+
+__all__ = [
+    "CaseStudy",
+    "CASE_STUDIES",
+    "EXTENDED_CASE_STUDIES",
+    "case_study",
+    "case_study_names",
+]
+
+
+@dataclass(frozen=True)
+class CaseStudy:
+    """One of the five evaluated systems, reduced to its memory-model axes."""
+
+    name: str
+    address_space: AddressSpaceKind
+    comm: CommMechanism
+    coherence: CoherenceKind
+    consistency: ConsistencyModel
+    async_overlap: bool = False
+    aperture_pages: bool = False
+    reference: str = ""
+
+    def __post_init__(self) -> None:
+        if self.aperture_pages and self.comm is not CommMechanism.PCI_APERTURE:
+            raise ConfigError(
+                f"{self.name}: aperture page faults require the PCI-aperture mechanism"
+            )
+
+
+CASE_STUDIES: Dict[str, CaseStudy] = {
+    "CPU+GPU": CaseStudy(
+        name="CPU+GPU",
+        address_space=AddressSpaceKind.DISJOINT,
+        comm=CommMechanism.PCIE,
+        coherence=CoherenceKind.NONE,
+        consistency=ConsistencyModel.WEAK,
+        reference="CUDA Programming Guide V4.0 [29]",
+    ),
+    "LRB": CaseStudy(
+        name="LRB",
+        address_space=AddressSpaceKind.PARTIALLY_SHARED,
+        comm=CommMechanism.PCI_APERTURE,
+        coherence=CoherenceKind.OWNERSHIP,
+        consistency=ConsistencyModel.WEAK,
+        aperture_pages=True,
+        reference="Saha et al., PLDI 2009 [31]",
+    ),
+    "GMAC": CaseStudy(
+        name="GMAC",
+        address_space=AddressSpaceKind.ADSM,
+        comm=CommMechanism.PCIE,
+        coherence=CoherenceKind.SOFTWARE_RUNTIME,
+        consistency=ConsistencyModel.WEAK,
+        async_overlap=True,
+        reference="Gelado et al., ASPLOS 2010 [10]",
+    ),
+    "Fusion": CaseStudy(
+        name="Fusion",
+        address_space=AddressSpaceKind.DISJOINT,
+        comm=CommMechanism.MEMORY_CONTROLLER,
+        coherence=CoherenceKind.NONE,
+        consistency=ConsistencyModel.WEAK,
+        reference="AMD Fusion APU [3]",
+    ),
+    "IDEAL-HETERO": CaseStudy(
+        name="IDEAL-HETERO",
+        address_space=AddressSpaceKind.UNIFIED,
+        comm=CommMechanism.IDEAL,
+        coherence=CoherenceKind.HARDWARE_DIRECTORY,
+        consistency=ConsistencyModel.STRONG,
+        reference="hypothetical upper bound (paper §V-A)",
+    ),
+}
+
+
+#: Additional systems from Table I, modeled with the same machinery (the
+#: paper evaluates five; these extend Figure 5's comparison to the
+#: interconnect-connected and on-die-unified designs it only tabulates).
+EXTENDED_CASE_STUDIES: Dict[str, CaseStudy] = {
+    "Cell-like": CaseStudy(
+        name="Cell-like",
+        address_space=AddressSpaceKind.DISJOINT,
+        comm=CommMechanism.INTERCONNECT,
+        coherence=CoherenceKind.NONE,
+        consistency=ConsistencyModel.WEAK,
+        reference="IBM Cell [16] (Table I)",
+    ),
+    "COMIC-like": CaseStudy(
+        name="COMIC-like",
+        address_space=AddressSpaceKind.UNIFIED,
+        comm=CommMechanism.INTERCONNECT,
+        coherence=CoherenceKind.HARDWARE_DIRECTORY,
+        consistency=ConsistencyModel.CENTRALIZED_RELEASE,
+        reference="COMIC [21] (Table I)",
+    ),
+    "EXOCHI-like": CaseStudy(
+        name="EXOCHI-like",
+        address_space=AddressSpaceKind.UNIFIED,
+        comm=CommMechanism.MEMORY_CONTROLLER,
+        coherence=CoherenceKind.HARDWARE_DIRECTORY,
+        consistency=ConsistencyModel.WEAK,
+        reference="EXOCHI [34] (Table I)",
+    ),
+}
+
+
+def case_study(name: str, extended: bool = True) -> CaseStudy:
+    """Look up a case study by name (case-insensitive).
+
+    The paper's five systems are always available; with ``extended`` the
+    Table I-derived extras (Cell-like, COMIC-like, EXOCHI-like) resolve too.
+    """
+    pools = [CASE_STUDIES]
+    if extended:
+        pools.append(EXTENDED_CASE_STUDIES)
+    for pool in pools:
+        for key, value in pool.items():
+            if key.lower() == name.lower():
+                return value
+    known = ", ".join(list(CASE_STUDIES) + (list(EXTENDED_CASE_STUDIES) if extended else []))
+    raise ConfigError(f"unknown case study {name!r}; known: {known}")
+
+
+def case_study_names(extended: bool = False) -> Tuple[str, ...]:
+    """The system names in the paper's figure order (optionally with the
+    Table I-derived extras appended)."""
+    names = tuple(CASE_STUDIES)
+    if extended:
+        names += tuple(EXTENDED_CASE_STUDIES)
+    return names

@@ -1,0 +1,40 @@
+"""Operational memory-consistency models and litmus tests.
+
+Consistency is one of the paper's design axes (Table I's consistency
+column; §II discusses strong vs weak models and release consistency), but
+the paper treats it qualitatively. This package makes the axis executable:
+
+- :mod:`repro.consistency.ops` — tiny per-PU programs of loads, stores,
+  and fences over shared locations;
+- :mod:`repro.consistency.model` — exhaustive operational executors for
+  **sequential consistency** (stores globally visible immediately) and a
+  **weak, store-buffered** model (per-PU FIFO store buffers, drained
+  nondeterministically or by fences) standing in for the weak models of
+  Table I;
+- :mod:`repro.consistency.litmus` — the classic litmus tests (store
+  buffering, message passing, coherence) with their expected verdicts per
+  model, plus the mapping from the design-space
+  :class:`~repro.taxonomy.ConsistencyModel` values to executors.
+"""
+
+from repro.consistency.ops import Fence, Load, Program, Store
+from repro.consistency.model import allowed_outcomes, is_allowed
+from repro.consistency.litmus import (
+    LITMUS_TESTS,
+    LitmusTest,
+    litmus_verdict,
+    model_for,
+)
+
+__all__ = [
+    "Load",
+    "Store",
+    "Fence",
+    "Program",
+    "allowed_outcomes",
+    "is_allowed",
+    "LitmusTest",
+    "LITMUS_TESTS",
+    "litmus_verdict",
+    "model_for",
+]

@@ -1,0 +1,115 @@
+"""Classic litmus tests and the design-space mapping.
+
+Each test carries the observation of interest and the expected verdict
+under each model — the standard results:
+
+- **SB** (store buffering): both loads seeing 0 is forbidden under SC but
+  allowed with store buffers; full fences forbid it again;
+- **MP** (message passing): seeing the flag but stale data is forbidden
+  under both models here (per-PU buffers are FIFO, preserving each PU's
+  store order);
+- **CoRR** (coherence of read-read): a single location never appears to go
+  backwards under either model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.consistency.model import is_allowed
+from repro.consistency.ops import Fence, Load, Program, Store
+from repro.errors import SimulationError
+from repro.taxonomy import ConsistencyModel, ProcessingUnit
+
+__all__ = ["LitmusTest", "LITMUS_TESTS", "litmus_verdict", "model_for"]
+
+CPU, GPU = ProcessingUnit.CPU, ProcessingUnit.GPU
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """A program, the observation of interest, and expected verdicts."""
+
+    name: str
+    program: Program
+    observation: Dict[str, int]
+    allowed_sc: bool
+    allowed_weak: bool
+    description: str
+
+
+LITMUS_TESTS: Tuple[LitmusTest, ...] = (
+    LitmusTest(
+        name="SB",
+        program=Program(
+            threads={
+                CPU: (Store("x", 1), Load("y", "r0")),
+                GPU: (Store("y", 1), Load("x", "r1")),
+            }
+        ),
+        observation={"r0": 0, "r1": 0},
+        allowed_sc=False,
+        allowed_weak=True,
+        description="store buffering: both PUs read the other's flag as 0",
+    ),
+    LitmusTest(
+        name="SB+fences",
+        program=Program(
+            threads={
+                CPU: (Store("x", 1), Fence(), Load("y", "r0")),
+                GPU: (Store("y", 1), Fence(), Load("x", "r1")),
+            }
+        ),
+        observation={"r0": 0, "r1": 0},
+        allowed_sc=False,
+        allowed_weak=False,
+        description="fences drain the buffers and restore SC for SB",
+    ),
+    LitmusTest(
+        name="MP",
+        program=Program(
+            threads={
+                CPU: (Store("data", 1), Store("flag", 1)),
+                GPU: (Load("flag", "r0"), Load("data", "r1")),
+            }
+        ),
+        observation={"r0": 1, "r1": 0},
+        allowed_sc=False,
+        allowed_weak=False,
+        description="message passing: FIFO buffers preserve store order",
+    ),
+    LitmusTest(
+        name="CoRR",
+        program=Program(
+            threads={
+                CPU: (Store("x", 1),),
+                GPU: (Load("x", "r0"), Load("x", "r1")),
+            }
+        ),
+        observation={"r0": 1, "r1": 0},
+        allowed_sc=False,
+        allowed_weak=False,
+        description="coherence: a location never appears to go backwards",
+    ),
+)
+
+
+def model_for(consistency: ConsistencyModel) -> str:
+    """Executor for a design-space consistency value.
+
+    Strong consistency is SC; the weak family (weak, release, centralized
+    release) all permit store-buffering relaxations.
+    """
+    return "sc" if consistency is ConsistencyModel.STRONG else "weak"
+
+
+def litmus_verdict(test_name: str, consistency: ConsistencyModel) -> bool:
+    """Whether a litmus observation is allowed under a consistency model."""
+    for test in LITMUS_TESTS:
+        if test.name == test_name:
+            return is_allowed(test.program, test.observation, model_for(consistency))
+    raise SimulationError(
+        f"unknown litmus test {test_name!r}; known: "
+        + ", ".join(t.name for t in LITMUS_TESTS)
+    )

@@ -1,0 +1,124 @@
+"""Exhaustive operational executors for SC and the store-buffered model.
+
+State = (per-PU program counter, per-PU store buffer, shared memory,
+register file). From each state the executor may either execute the next
+instruction of some PU or drain the oldest entry of some PU's store
+buffer; exhaustive exploration with memoization yields the exact set of
+reachable final register valuations.
+
+- **SC** (``model="sc"``): store buffers are disabled — every store hits
+  shared memory atomically in program order, so the explored executions
+  are exactly the interleavings of the threads.
+- **Weak/TSO-like** (``model="weak"``): per-PU FIFO store buffers with
+  forwarding (a load first checks its own buffer). This exhibits the
+  store-buffering relaxation that distinguishes the weak models of the
+  paper's Table I from a strongly consistent system, while keeping each
+  PU's stores ordered (message passing still works).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set, Tuple
+
+from repro.consistency.ops import Fence, Load, Program, Store
+from repro.errors import SimulationError
+from repro.taxonomy import ProcessingUnit
+
+__all__ = ["allowed_outcomes", "is_allowed"]
+
+Outcome = FrozenSet[Tuple[str, int]]
+_MODELS = ("sc", "weak")
+
+
+def allowed_outcomes(program: Program, model: str = "sc") -> Set[Outcome]:
+    """All final register valuations the model permits for ``program``.
+
+    Memory locations start at 0. An execution is final when every thread
+    has retired all its instructions and every store buffer is empty.
+    """
+    if model not in _MODELS:
+        raise SimulationError(f"unknown model {model!r}; use one of {_MODELS}")
+    buffered = model == "weak"
+    pus = tuple(program.threads)
+    initial_memory = tuple(sorted((loc, 0) for loc in program.locations))
+
+    # State: (pcs, buffers, memory, regs) — all hashable tuples.
+    initial = (
+        tuple(0 for _ in pus),
+        tuple(() for _ in pus),
+        initial_memory,
+        (),
+    )
+    seen = set()
+    outcomes: Set[Outcome] = set()
+    stack = [initial]
+    while stack:
+        state = stack.pop()
+        if state in seen:
+            continue
+        seen.add(state)
+        pcs, buffers, memory, regs = state
+        mem = dict(memory)
+        done = all(
+            pcs[i] >= len(program.threads[pu]) and not buffers[i]
+            for i, pu in enumerate(pus)
+        )
+        if done:
+            outcomes.add(frozenset(regs))
+            continue
+
+        for i, pu in enumerate(pus):
+            ops = program.threads[pu]
+            # Option 1: drain the oldest buffered store to memory.
+            if buffers[i]:
+                loc, value = buffers[i][0]
+                new_buffers = list(buffers)
+                new_buffers[i] = buffers[i][1:]
+                new_mem = dict(mem)
+                new_mem[loc] = value
+                stack.append(
+                    (pcs, tuple(new_buffers), tuple(sorted(new_mem.items())), regs)
+                )
+            # Option 2: execute the next instruction.
+            if pcs[i] >= len(ops):
+                continue
+            op = ops[pcs[i]]
+            new_pcs = list(pcs)
+            new_pcs[i] += 1
+            if isinstance(op, Store):
+                if buffered:
+                    new_buffers = list(buffers)
+                    new_buffers[i] = buffers[i] + ((op.loc, op.value),)
+                    stack.append((tuple(new_pcs), tuple(new_buffers), memory, regs))
+                else:
+                    new_mem = dict(mem)
+                    new_mem[op.loc] = op.value
+                    stack.append(
+                        (tuple(new_pcs), buffers, tuple(sorted(new_mem.items())), regs)
+                    )
+            elif isinstance(op, Load):
+                # Forward from the own buffer's youngest matching store.
+                value = None
+                for loc, buffered_value in reversed(buffers[i]):
+                    if loc == op.loc:
+                        value = buffered_value
+                        break
+                if value is None:
+                    value = mem.get(op.loc, 0)
+                new_regs = tuple(sorted(set(regs) | {(op.reg, value)}))
+                stack.append((tuple(new_pcs), buffers, memory, new_regs))
+            elif isinstance(op, Fence):
+                # A fence retires only when the buffer is empty; draining
+                # is already an available action, so just block until then.
+                if buffers[i]:
+                    continue
+                stack.append((tuple(new_pcs), buffers, memory, regs))
+            else:
+                raise SimulationError(f"unknown op {op!r}")
+    return outcomes
+
+
+def is_allowed(program: Program, observation: Dict[str, int], model: str = "sc") -> bool:
+    """Whether a register valuation is reachable under the model."""
+    target = frozenset(observation.items())
+    return target in allowed_outcomes(program, model)

@@ -1,0 +1,77 @@
+"""Operations and programs for the consistency models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import SimulationError
+from repro.taxonomy import ProcessingUnit
+
+__all__ = ["Load", "Store", "Fence", "Program"]
+
+
+@dataclass(frozen=True)
+class Store:
+    """Write ``value`` to shared location ``loc``."""
+
+    loc: str
+    value: int
+
+
+@dataclass(frozen=True)
+class Load:
+    """Read shared location ``loc`` into register ``reg``."""
+
+    loc: str
+    reg: str
+
+
+@dataclass(frozen=True)
+class Fence:
+    """Full fence: drains the issuing PU's store buffer."""
+
+
+Op = object  # union of the three, kept informal for 3.9 compatibility
+
+
+@dataclass(frozen=True)
+class Program:
+    """One thread of straight-line code per PU.
+
+    Registers must be globally unique across threads (litmus convention),
+    so an outcome is a flat register valuation.
+    """
+
+    threads: Dict[ProcessingUnit, Tuple[object, ...]]
+
+    def __post_init__(self) -> None:
+        if not self.threads:
+            raise SimulationError("a program needs at least one thread")
+        regs = []
+        for ops in self.threads.values():
+            for op in ops:
+                if isinstance(op, Load):
+                    regs.append(op.reg)
+                elif not isinstance(op, (Store, Fence)):
+                    raise SimulationError(f"unknown op {op!r}")
+        if len(set(regs)) != len(regs):
+            raise SimulationError("registers must be unique across threads")
+
+    @property
+    def registers(self) -> Tuple[str, ...]:
+        return tuple(
+            op.reg
+            for ops in self.threads.values()
+            for op in ops
+            if isinstance(op, Load)
+        )
+
+    @property
+    def locations(self) -> Tuple[str, ...]:
+        locs = []
+        for ops in self.threads.values():
+            for op in ops:
+                if isinstance(op, (Load, Store)) and op.loc not in locs:
+                    locs.append(op.loc)
+        return tuple(locs)

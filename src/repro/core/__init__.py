@@ -1,0 +1,28 @@
+"""The design-space exploration core — the paper's primary contribution.
+
+- :mod:`repro.core.design_point` — one point in the (address space x
+  communication x locality x coherence x consistency) space, with the
+  paper's feasibility rules;
+- :mod:`repro.core.space` — enumeration and option counting over the full
+  space (conclusion 3: the partially shared space is the most versatile);
+- :mod:`repro.core.programmability` — the Table V source-line metric;
+- :mod:`repro.core.explorer` — runs the quantitative experiments
+  (Figures 5-7) and ranks design points;
+- :mod:`repro.core.sweeps` — parameter sweeps beyond the paper (ablations);
+- :mod:`repro.core.report` — plain-text table/figure rendering.
+"""
+
+from repro.core.design_point import DesignPoint
+from repro.core.space import DesignSpace
+from repro.core.programmability import table5_rows, programmability_rank
+from repro.core.explorer import Explorer
+from repro.core.report import format_table
+
+__all__ = [
+    "DesignPoint",
+    "DesignSpace",
+    "table5_rows",
+    "programmability_rank",
+    "Explorer",
+    "format_table",
+]

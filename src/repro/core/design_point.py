@@ -1,0 +1,130 @@
+"""Design points and their feasibility rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from repro.errors import DesignSpaceError
+from repro.locality.schemes import Feasibility, feasibility
+from repro.taxonomy import (
+    AddressSpaceKind,
+    CoherenceKind,
+    CommMechanism,
+    ConsistencyModel,
+    LocalityScheme,
+)
+
+__all__ = ["DesignPoint"]
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One memory-system design for a heterogeneous machine.
+
+    :meth:`violations` applies the structural rules of Section II;
+    :meth:`warnings` lists combinations the paper calls possible but
+    undesirable. A point with no violations is *feasible*.
+    """
+
+    address_space: AddressSpaceKind
+    comm: CommMechanism
+    locality: LocalityScheme
+    coherence: CoherenceKind = CoherenceKind.NONE
+    consistency: ConsistencyModel = ConsistencyModel.WEAK
+
+    def violations(self) -> Tuple[str, ...]:
+        """Hard rule violations making this point structurally impossible."""
+        problems = []
+        space = self.address_space
+
+        if feasibility(self.locality, space) is Feasibility.NO:
+            problems.append(
+                f"locality scheme {self.locality} is impossible under the "
+                f"{space.short} space"
+            )
+        if self.coherence is CoherenceKind.OWNERSHIP and space is not (
+            AddressSpaceKind.PARTIALLY_SHARED
+        ):
+            problems.append(
+                "ownership control is a partially-shared-space mechanism (§II-A3)"
+            )
+        if space is AddressSpaceKind.DISJOINT and self.coherence is not CoherenceKind.NONE:
+            problems.append(
+                "a disjoint space has no shared data to keep coherent (§II-A2)"
+            )
+        if self.comm is CommMechanism.PCI_APERTURE and space not in (
+            AddressSpaceKind.PARTIALLY_SHARED,
+            AddressSpaceKind.UNIFIED,
+        ):
+            problems.append(
+                "the PCI aperture backs a shared window (partially shared or "
+                "virtually unified spaces, §II-A3)"
+            )
+        if (
+            self.consistency is ConsistencyModel.STRONG
+            and self.coherence is not CoherenceKind.HARDWARE_DIRECTORY
+        ):
+            problems.append(
+                "strong consistency across PUs requires hardware coherence"
+            )
+        if (
+            space is not AddressSpaceKind.DISJOINT
+            and self.coherence is CoherenceKind.NONE
+            and space is not AddressSpaceKind.UNIFIED
+        ):
+            # PAS needs ownership or coherence for its window; ADSM needs
+            # its runtime. (A unified space may be non-coherent — CUDA 4.0.)
+            problems.append(
+                f"the {space.short} space needs some coherence story for its "
+                "shared window (ownership, runtime, or hardware)"
+            )
+        return tuple(problems)
+
+    def warnings(self) -> Tuple[str, ...]:
+        """Possible-but-undesirable combinations (the paper's judgement)."""
+        notes = []
+        if feasibility(self.locality, self.address_space) is Feasibility.UNDESIRABLE:
+            notes.append(
+                f"locality scheme {self.locality} is undesirable under the "
+                f"{self.address_space.short} space (§II-B)"
+            )
+        if (
+            self.comm is CommMechanism.PCIE
+            and self.address_space is AddressSpaceKind.UNIFIED
+            and self.coherence is CoherenceKind.HARDWARE_DIRECTORY
+        ):
+            notes.append("hardware coherence over PCI-E is very expensive")
+        return tuple(notes)
+
+    @property
+    def is_feasible(self) -> bool:
+        return not self.violations()
+
+    @property
+    def is_desirable(self) -> bool:
+        """Feasible and free of the paper's "possible but undesirable"
+        combinations."""
+        return self.is_feasible and not self.warnings()
+
+    def require_feasible(self) -> "DesignPoint":
+        """Return self, raising :class:`DesignSpaceError` when infeasible."""
+        problems = self.violations()
+        if problems:
+            raise DesignSpaceError(
+                f"infeasible design point {self.label}: " + "; ".join(problems)
+            )
+        return self
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.address_space.short}/{self.comm}/{self.locality}/"
+            f"{self.coherence}/{self.consistency}"
+        )
+
+    def with_comm(self, comm: CommMechanism) -> "DesignPoint":
+        return replace(self, comm=comm)
+
+    def __str__(self) -> str:
+        return self.label

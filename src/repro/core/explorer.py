@@ -1,0 +1,197 @@
+"""The explorer: runs the paper's quantitative experiments.
+
+- :meth:`Explorer.run_case_studies` — five systems x six kernels
+  (Figures 5 and 6);
+- :meth:`Explorer.run_address_spaces` — UNI/PAS/DIS/ADSM with ideal
+  communication and a shared cache (Figure 7);
+- :meth:`Explorer.evaluate_design_point` / :meth:`Explorer.rank_design_points`
+  — combine performance, programmability, and option counts into the
+  paper's overall judgement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.config.comm import CommParams
+from repro.config.presets import CASE_STUDIES, CaseStudy
+from repro.config.system import SystemConfig
+from repro.comm.base import IdealChannel, make_channel
+from repro.core.design_point import DesignPoint
+from repro.core.space import DesignSpace
+from repro.core.programmability import table5_dict
+from repro.errors import DesignSpaceError
+from repro.kernels.base import Kernel
+from repro.kernels.registry import all_kernels
+from repro.locality.schemes import feasible_schemes
+from repro.sim.fast import FastSimulator
+from repro.sim.results import SimulationResult
+from repro.taxonomy import AddressSpaceKind, CommMechanism
+
+__all__ = ["Explorer", "DesignPointEvaluation"]
+
+
+@dataclass(frozen=True)
+class DesignPointEvaluation:
+    """Aggregate metrics for one design point across the kernels."""
+
+    point: DesignPoint
+    mean_seconds: float
+    mean_comm_fraction: float
+    comm_lines_total: int
+    locality_options: int
+
+    def score(self) -> Tuple[float, float, float]:
+        """Sort key for ranking: more options, fewer comm lines, faster.
+
+        Mirrors the paper's weighting: versatility of design options is
+        the headline criterion, programmability second, raw performance
+        last (the paper shows address space barely affects performance).
+        """
+        return (-self.locality_options, self.comm_lines_total, self.mean_seconds)
+
+
+class Explorer:
+    """Runs experiment suites over kernels, case studies, and design points."""
+
+    def __init__(
+        self,
+        system: Optional[SystemConfig] = None,
+        comm_params: Optional[CommParams] = None,
+        detailed: bool = False,
+        detailed_scale: float = 0.02,
+    ) -> None:
+        self.system = system or SystemConfig()
+        self.comm_params = comm_params or CommParams()
+        self.simulator = FastSimulator(self.system, self.comm_params)
+        #: With ``detailed`` the case-study suite also runs through the
+        #: per-instruction machine at ``detailed_scale`` (see
+        #: :meth:`run_case_studies_detailed`).
+        self.detailed = detailed
+        self.detailed_scale = detailed_scale
+
+    def run_case_studies_detailed(
+        self,
+        kernels: Optional[Sequence[Kernel]] = None,
+        cases: Optional[Sequence[CaseStudy]] = None,
+    ) -> Dict[str, Dict[str, SimulationResult]]:
+        """Figure 5's grid through the detailed simulator (scaled traces).
+
+        Slower by orders of magnitude than :meth:`run_case_studies`; used
+        to confirm the fast model's orderings at instruction fidelity.
+        """
+        from repro.sim.detailed import DetailedSimulator
+
+        kernels = list(kernels or all_kernels())
+        cases = list(cases or CASE_STUDIES.values())
+        results: Dict[str, Dict[str, SimulationResult]] = {}
+        for kernel in kernels:
+            trace = kernel.trace().scaled(self.detailed_scale)
+            results[kernel.name] = {
+                case.name: DetailedSimulator(self.system, self.comm_params).run(
+                    trace, case=case
+                )
+                for case in cases
+            }
+        return results
+
+    # -- Figure 5 / Figure 6 -------------------------------------------------
+
+    def run_case_studies(
+        self,
+        kernels: Optional[Sequence[Kernel]] = None,
+        cases: Optional[Sequence[CaseStudy]] = None,
+    ) -> Dict[str, Dict[str, SimulationResult]]:
+        """{kernel: {system: result}} over the five §V-A systems."""
+        kernels = list(kernels or all_kernels())
+        cases = list(cases or CASE_STUDIES.values())
+        results: Dict[str, Dict[str, SimulationResult]] = {}
+        for kernel in kernels:
+            trace = kernel.trace()
+            results[kernel.name] = {
+                case.name: self.simulator.run(trace, case=case) for case in cases
+            }
+        return results
+
+    # -- Figure 7 ---------------------------------------------------------------
+
+    def run_address_spaces(
+        self,
+        kernels: Optional[Sequence[Kernel]] = None,
+        spaces: Optional[Sequence[AddressSpaceKind]] = None,
+    ) -> Dict[str, Dict[AddressSpaceKind, SimulationResult]]:
+        """{kernel: {space: result}} with ideal communication.
+
+        §V-B: "To isolate memory space effects, we assume that all the
+        systems share the cache" and the communication overhead is ideal —
+        only the per-space management instructions differ.
+        """
+        kernels = list(kernels or all_kernels())
+        spaces = list(spaces or AddressSpaceKind)
+        results: Dict[str, Dict[AddressSpaceKind, SimulationResult]] = {}
+        for kernel in kernels:
+            trace = kernel.trace()
+            per_space: Dict[AddressSpaceKind, SimulationResult] = {}
+            for space in spaces:
+                per_space[space] = self.simulator.run(
+                    trace,
+                    channel=IdealChannel(self.comm_params),
+                    address_space=space,
+                    system_name=space.short,
+                )
+            results[kernel.name] = per_space
+        return results
+
+    # -- design-point evaluation ---------------------------------------------
+
+    def evaluate_design_point(
+        self,
+        point: DesignPoint,
+        kernels: Optional[Sequence[Kernel]] = None,
+    ) -> DesignPointEvaluation:
+        """Simulate a feasible design point over the kernels."""
+        point.require_feasible()
+        kernels = list(kernels or all_kernels())
+        channel_async = point.comm is CommMechanism.DMA_ASYNC
+        totals: List[float] = []
+        comm_fracs: List[float] = []
+        for kernel in kernels:
+            channel = make_channel(
+                point.comm,
+                params=self.comm_params,
+                system=self.system,
+                async_overlap=channel_async,
+            )
+            result = self.simulator.run(
+                kernel.trace(),
+                channel=channel,
+                address_space=point.address_space,
+                system_name=point.label,
+            )
+            totals.append(result.total_seconds)
+            comm_fracs.append(result.breakdown.communication_fraction)
+        table5 = table5_dict()
+        comm_lines = sum(
+            per_kernel[point.address_space] for per_kernel in table5.values()
+        )
+        return DesignPointEvaluation(
+            point=point,
+            mean_seconds=sum(totals) / len(totals),
+            mean_comm_fraction=sum(comm_fracs) / len(comm_fracs),
+            comm_lines_total=comm_lines,
+            locality_options=len(feasible_schemes(point.address_space)),
+        )
+
+    def rank_design_points(
+        self,
+        points: Optional[Iterable[DesignPoint]] = None,
+        kernels: Optional[Sequence[Kernel]] = None,
+    ) -> List[DesignPointEvaluation]:
+        """Evaluate and rank design points (best first)."""
+        if points is None:
+            points = DesignSpace().feasible_points()
+        evaluations = [self.evaluate_design_point(p, kernels) for p in points]
+        if not evaluations:
+            raise DesignSpaceError("no feasible design points to rank")
+        return sorted(evaluations, key=DesignPointEvaluation.score)

@@ -1,0 +1,78 @@
+"""The Table V programmability metric.
+
+"Similar to studies in [32], [8], [5], we also use the number of source
+lines to indicate programmability" — the metric here counts the
+communication-handling statements of the mechanically lowered programs
+(:mod:`repro.progmodel.lowering`), so each number is *derived*, not
+hard-coded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.progmodel.lowering import lower
+from repro.progmodel.spec import KernelProgramSpec, all_program_specs, program_spec
+from repro.taxonomy import AddressSpaceKind
+
+__all__ = ["TABLE5_SPACE_ORDER", "table5_rows", "table5_dict", "programmability_rank"]
+
+#: Column order of the paper's Table V.
+TABLE5_SPACE_ORDER: Tuple[AddressSpaceKind, ...] = (
+    AddressSpaceKind.UNIFIED,
+    AddressSpaceKind.PARTIALLY_SHARED,
+    AddressSpaceKind.DISJOINT,
+    AddressSpaceKind.ADSM,
+)
+
+#: Row order of the paper's Table V (it differs from Table III order).
+TABLE5_KERNEL_ORDER: Tuple[str, ...] = (
+    "matrix mul",
+    "merge sort",
+    "dct",
+    "reduction",
+    "convolution",
+    "k-mean",
+)
+
+
+def table5_rows() -> List[Tuple[str, int, int, int, int, int]]:
+    """(kernel, Comp, UNI, PAS, DIS, ADSM) rows in the paper's order."""
+    rows = []
+    for name in TABLE5_KERNEL_ORDER:
+        spec = program_spec(name)
+        counts = {
+            kind: lower(spec, kind).comm_lines() for kind in TABLE5_SPACE_ORDER
+        }
+        rows.append(
+            (
+                name,
+                spec.computation_lines,
+                counts[AddressSpaceKind.UNIFIED],
+                counts[AddressSpaceKind.PARTIALLY_SHARED],
+                counts[AddressSpaceKind.DISJOINT],
+                counts[AddressSpaceKind.ADSM],
+            )
+        )
+    return rows
+
+
+def table5_dict() -> Dict[str, Dict[AddressSpaceKind, int]]:
+    """{kernel: {space: comm lines}} for programmatic use."""
+    return {
+        spec.name: {kind: lower(spec, kind).comm_lines() for kind in TABLE5_SPACE_ORDER}
+        for spec in all_program_specs()
+    }
+
+
+def programmability_rank() -> List[AddressSpaceKind]:
+    """Address spaces from easiest to hardest (mean comm lines).
+
+    The paper's §V-C result: Unified < partially shared <= ADSM < disjoint.
+    """
+    table = table5_dict()
+    totals = {
+        kind: sum(per_kernel[kind] for per_kernel in table.values())
+        for kind in TABLE5_SPACE_ORDER
+    }
+    return sorted(TABLE5_SPACE_ORDER, key=lambda kind: totals[kind])

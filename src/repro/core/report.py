@@ -1,0 +1,81 @@
+"""Plain-text rendering of tables and figure data."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.sim.results import SimulationResult
+
+__all__ = ["format_table", "format_breakdown_chart", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    if not headers:
+        raise ReproError("a table needs headers")
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def format_breakdown_chart(
+    results: Dict[str, Dict[str, SimulationResult]],
+    normalize: bool = True,
+    width: int = 40,
+) -> str:
+    """Figure-5-style stacked bars in text form.
+
+    ``results`` is {kernel: {system: result}}. Bars are normalized per
+    kernel to the slowest system (as the paper normalizes per benchmark).
+    """
+    out: List[str] = []
+    for kernel, per_system in results.items():
+        out.append(f"{kernel}:")
+        slowest = max(r.total_seconds for r in per_system.values()) or 1.0
+        for system, result in per_system.items():
+            b = result.breakdown
+            scale = (width / slowest) if normalize else (width / max(slowest, 1e-30))
+            seq = int(round(b.sequential * scale))
+            par = int(round(b.parallel * scale))
+            comm = int(round(b.communication * scale))
+            bar = "S" * seq + "P" * par + "C" * comm
+            rel = result.total_seconds / slowest
+            out.append(f"  {system:<14} |{bar:<{width}}| {rel:6.3f}")
+        out.append("")
+    return "\n".join(out).rstrip()
+
+
+def format_series(
+    series: Dict[str, Dict[str, float]],
+    value_label: str = "value",
+    fmt: str = "{:.3g}",
+) -> str:
+    """Render {row: {column: value}} as a table."""
+    columns = sorted({c for row in series.values() for c in row})
+    headers = ["", *columns]
+    rows = [
+        [name, *(fmt.format(values.get(c, float("nan"))) for c in columns)]
+        for name, values in series.items()
+    ]
+    return format_table(headers, rows, title=value_label)

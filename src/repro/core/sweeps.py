@@ -1,0 +1,218 @@
+"""Parameter sweeps beyond the paper's fixed settings (ablations A and D).
+
+The paper fixes Table IV's latencies and splits work evenly (§IV-B,
+citing Qilin [25] for smarter partitioning). These sweeps vary exactly
+those assumptions:
+
+- :func:`sweep_pci_bandwidth` — communication overhead vs link rate
+  (PCI-E generations);
+- :func:`sweep_api_latency` — sensitivity to each Table IV parameter;
+- :func:`sweep_partition` — CPU/GPU work split from 0 to 1;
+- :func:`sweep_fault_granularity` — LRB's page-fault accounting
+  (per-object vs per-page runtimes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.config.comm import CommParams
+from repro.config.presets import case_study
+from repro.config.system import SystemConfig
+from repro.comm.aperture import ApertureChannel
+from repro.errors import DesignSpaceError
+from repro.kernels.base import Kernel
+from repro.sim.fast import FastSimulator
+from repro.sim.results import SimulationResult
+from repro.trace.phase import ParallelPhase, SequentialPhase
+from repro.trace.stream import KernelTrace
+from repro.units import Bandwidth
+
+__all__ = [
+    "repartition",
+    "sweep_pci_bandwidth",
+    "sweep_api_latency",
+    "sweep_partition",
+    "sweep_fault_granularity",
+    "aperture_requirements",
+    "sweep_aperture_size",
+    "find_lrb_crossover_bytes",
+]
+
+
+def repartition(trace: KernelTrace, cpu_fraction: float) -> KernelTrace:
+    """Re-split every parallel phase's work at ``cpu_fraction`` to the CPU.
+
+    The paper splits evenly (0.5); Qilin-style adaptive mapping would pick
+    the ratio that minimizes the max of the two sides.
+    """
+    if not 0.0 < cpu_fraction < 1.0:
+        raise DesignSpaceError(
+            f"cpu_fraction must be in (0, 1), got {cpu_fraction}"
+        )
+    phases = []
+    for phase in trace.phases:
+        if not isinstance(phase, ParallelPhase):
+            phases.append(phase)
+            continue
+        total = phase.cpu.mix.total + phase.gpu.mix.total
+        cpu_target = total * cpu_fraction
+        gpu_target = total - cpu_target
+        cpu_factor = cpu_target / phase.cpu.mix.total if phase.cpu.mix.total else 0.0
+        gpu_factor = gpu_target / phase.gpu.mix.total if phase.gpu.mix.total else 0.0
+        phases.append(
+            ParallelPhase(
+                label=phase.label,
+                cpu=phase.cpu.scaled(cpu_factor),
+                gpu=phase.gpu.scaled(gpu_factor),
+            )
+        )
+    return KernelTrace(name=trace.name, phases=tuple(phases))
+
+
+def sweep_pci_bandwidth(
+    kernel: Kernel,
+    gb_per_s_values: Sequence[float],
+    system: Optional[SystemConfig] = None,
+) -> Dict[float, SimulationResult]:
+    """CPU+GPU (disjoint over PCI-E) at several link rates."""
+    results = {}
+    for rate in gb_per_s_values:
+        params = CommParams(pci_bandwidth=Bandwidth.from_gb_per_s(rate))
+        sim = FastSimulator(system, params)
+        results[rate] = sim.run(kernel.trace(), case=case_study("CPU+GPU"))
+    return results
+
+
+def sweep_api_latency(
+    kernel: Kernel,
+    parameter: str,
+    values: Sequence[int],
+    system: Optional[SystemConfig] = None,
+) -> Dict[int, SimulationResult]:
+    """LRB with one Table IV parameter varied.
+
+    ``parameter`` is one of ``api_pci_base_cycles``, ``api_acq_cycles``,
+    ``api_tr_cycles``, ``lib_pf_cycles``.
+    """
+    valid = ("api_pci_base_cycles", "api_acq_cycles", "api_tr_cycles", "lib_pf_cycles")
+    if parameter not in valid:
+        raise DesignSpaceError(f"unknown Table IV parameter {parameter!r}; use one of {valid}")
+    results = {}
+    for value in values:
+        params = replace(CommParams(), **{parameter: value})
+        sim = FastSimulator(system, params)
+        results[value] = sim.run(kernel.trace(), case=case_study("LRB"))
+    return results
+
+
+def sweep_partition(
+    kernel: Kernel,
+    cpu_fractions: Sequence[float],
+    case_name: str = "IDEAL-HETERO",
+    system: Optional[SystemConfig] = None,
+) -> Dict[float, SimulationResult]:
+    """Execution time vs CPU share of the parallel work."""
+    sim = FastSimulator(system)
+    base = kernel.trace()
+    return {
+        fraction: sim.run(repartition(base, fraction), case=case_study(case_name))
+        for fraction in cpu_fractions
+    }
+
+
+def find_lrb_crossover_bytes(
+    kernel: Kernel,
+    system: Optional[SystemConfig] = None,
+    lo: int = 256,
+    hi: int = 64 * 1024 * 1024,
+    tolerance_bytes: int = 1024,
+) -> int:
+    """The transfer size at which LRB's communication beats CPU+GPU's.
+
+    The two mechanisms scale differently: the PCI-E memcpy path pays
+    ``33250 + bytes/16 GB/s`` per transfer, while LRB's aperture pays
+    per-object/fault costs that are *size-independent* (data in the shared
+    window never copies back). Below the crossover the simple memcpy wins;
+    above it, the shared window wins — one of the "where crossovers fall"
+    questions the figure shapes imply. Bisects on the kernel's problem
+    size; returns the initial-transfer byte count at the tie.
+    """
+    if tolerance_bytes < 1:
+        raise DesignSpaceError("tolerance must be >= 1 byte")
+    system = system or SystemConfig()
+    sim = FastSimulator(system)
+
+    def comm_gap(num_bytes: int) -> float:
+        """LRB comm seconds minus CPU+GPU comm seconds at this size."""
+        elements = max(num_bytes // 4, 2)
+        trace = kernel.build(kernel.for_size(elements))
+        lrb = sim.run(trace, case=case_study("LRB")).breakdown.communication
+        pcie = sim.run(trace, case=case_study("CPU+GPU")).breakdown.communication
+        return lrb - pcie
+
+    if comm_gap(lo) < 0:
+        return lo  # LRB already wins at the smallest size
+    if comm_gap(hi) > 0:
+        raise DesignSpaceError(
+            f"{kernel.name}: no crossover up to {hi} bytes (LRB never wins)"
+        )
+    while hi - lo > tolerance_bytes:
+        mid = (lo + hi) // 2
+        if comm_gap(mid) > 0:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) // 2
+
+
+def aperture_requirements() -> Dict[str, int]:
+    """Shared-window bytes each kernel needs under the LRB model.
+
+    §II-A3 notes the PCI aperture "is intended to support only small
+    portions of memory space"; this quantifies the pressure: the sum of
+    every shared buffer the kernel's program spec allocates in the window.
+    """
+    from repro.progmodel.spec import all_program_specs
+
+    return {
+        spec.name: sum(buffer.size for buffer in spec.buffers)
+        for spec in all_program_specs()
+    }
+
+
+def sweep_aperture_size(sizes_bytes: Sequence[int]) -> Dict[int, List[str]]:
+    """Which kernels fit per aperture size: {size: [fitting kernel names]}.
+
+    A kernel "fits" when all its shared buffers can live in the window at
+    once (the LRB programming model keeps them resident for the kernel's
+    lifetime).
+    """
+    requirements = aperture_requirements()
+    result: Dict[int, List[str]] = {}
+    for size in sizes_bytes:
+        if size <= 0:
+            raise DesignSpaceError(f"aperture size must be positive, got {size}")
+        result[size] = [name for name, need in requirements.items() if need <= size]
+    return result
+
+
+def sweep_fault_granularity(
+    kernel: Kernel,
+    system: Optional[SystemConfig] = None,
+) -> Dict[str, SimulationResult]:
+    """LRB with per-object vs per-page first-touch faulting."""
+    system = system or SystemConfig()
+    results = {}
+    for granularity in ("object", "page"):
+        sim = FastSimulator(system)
+        channel = ApertureChannel(
+            sim.comm_params,
+            page_bytes=system.page_bytes_cpu,
+            fault_granularity=granularity,
+        )
+        results[granularity] = sim.run(
+            kernel.trace(), channel=channel, system_name=f"LRB[{granularity}]"
+        )
+    return results

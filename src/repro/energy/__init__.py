@@ -1,0 +1,24 @@
+"""Energy accounting for memory-model design points.
+
+The paper's conclusion argues the partially shared space "can provide
+opportunities to optimize hardware and save power/energy", and its future
+work calls for "metrics to measure the efficiency of design options". This
+package supplies the energy side of that metric:
+
+- :mod:`repro.energy.model` — per-event energies (core ops, cache accesses
+  via the CACTI-like model, DRAM accesses, on-/off-chip byte movement);
+- :mod:`repro.energy.accounting` — estimates a whole run's energy either
+  analytically from a trace + case study (fast path) or exactly from a
+  detailed machine's counters.
+"""
+
+from repro.energy.model import EnergyParams, EnergyModel
+from repro.energy.accounting import EnergyReport, machine_energy, trace_energy
+
+__all__ = [
+    "EnergyParams",
+    "EnergyModel",
+    "EnergyReport",
+    "trace_energy",
+    "machine_energy",
+]

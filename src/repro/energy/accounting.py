@@ -1,0 +1,144 @@
+"""Whole-run energy estimates.
+
+Two paths mirror the two simulator fidelities:
+
+- :func:`trace_energy` prices a trace analytically (streaming miss model,
+  same assumptions as :mod:`repro.sim.analytic`) for a case study — used by
+  the energy ablation benchmark over all kernels x systems;
+- :func:`machine_energy` converts a detailed run's exact hit/miss/request
+  counters into energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.config.presets import CaseStudy
+from repro.config.system import SystemConfig
+from repro.energy.model import EnergyModel, EnergyParams
+from repro.sim.system import Machine
+from repro.taxonomy import CommMechanism, ProcessingUnit
+from repro.trace.phase import CommPhase, ParallelPhase, Segment, SequentialPhase
+from repro.trace.stream import KernelTrace
+
+__all__ = ["EnergyReport", "trace_energy", "machine_energy"]
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy split by where it was spent (nanojoules)."""
+
+    core_nj: float
+    cache_nj: float
+    dram_nj: float
+    comm_nj: float
+
+    @property
+    def total_nj(self) -> float:
+        return self.core_nj + self.cache_nj + self.dram_nj + self.comm_nj
+
+    @property
+    def total_uj(self) -> float:
+        return self.total_nj / 1000.0
+
+    @property
+    def comm_fraction(self) -> float:
+        return self.comm_nj / self.total_nj if self.total_nj else 0.0
+
+    def __add__(self, other: "EnergyReport") -> "EnergyReport":
+        if not isinstance(other, EnergyReport):
+            return NotImplemented
+        return EnergyReport(
+            core_nj=self.core_nj + other.core_nj,
+            cache_nj=self.cache_nj + other.cache_nj,
+            dram_nj=self.dram_nj + other.dram_nj,
+            comm_nj=self.comm_nj + other.comm_nj,
+        )
+
+
+def _segment_memory_energy(model: EnergyModel, segment: Segment) -> "tuple[float, float]":
+    """(cache_nj, dram_nj) for one segment under the streaming miss model."""
+    system = model.system
+    mem_ops = segment.mix.memory_ops
+    if mem_ops == 0:
+        return 0.0, 0.0
+    line = system.l3.line_bytes
+    streaming_miss = segment.elem_bytes / line
+    footprint = segment.footprint_bytes
+
+    cache_nj = mem_ops * model.l1_access_nj(segment.pu)
+    dram_nj = 0.0
+    if footprint <= (
+        system.cpu.l1d.size_bytes
+        if segment.pu is ProcessingUnit.CPU
+        else system.gpu.l1d.size_bytes
+    ):
+        return cache_nj, dram_nj
+
+    misses = mem_ops * streaming_miss
+    if segment.pu is ProcessingUnit.CPU and footprint <= system.cpu.l2.size_bytes:
+        cache_nj += misses * model.l2_access_nj()
+    elif footprint <= system.l3.size_bytes:
+        if segment.pu is ProcessingUnit.CPU:
+            cache_nj += misses * model.l2_access_nj()
+        cache_nj += misses * model.l3_access_nj()
+    else:
+        if segment.pu is ProcessingUnit.CPU:
+            cache_nj += misses * model.l2_access_nj()
+        cache_nj += misses * model.l3_access_nj()
+        dram_nj += misses * model.dram_access_nj()
+    return cache_nj, dram_nj
+
+
+def trace_energy(
+    trace: KernelTrace,
+    case: CaseStudy,
+    system: Optional[SystemConfig] = None,
+    params: Optional[EnergyParams] = None,
+) -> EnergyReport:
+    """Analytic energy estimate for one run."""
+    model = EnergyModel(system, params)
+    core = cache = dram = comm = 0.0
+    for phase in trace.phases:
+        if isinstance(phase, SequentialPhase):
+            segments = [phase.segment]
+        elif isinstance(phase, ParallelPhase):
+            segments = [phase.cpu, phase.gpu]
+        elif isinstance(phase, CommPhase):
+            comm += model.transfer_nj(phase.num_bytes, case.comm)
+            continue
+        else:
+            continue
+        for segment in segments:
+            core += model.core_energy_nj(segment.mix, segment.pu)
+            c, d = _segment_memory_energy(model, segment)
+            cache += c
+            dram += d
+    return EnergyReport(core_nj=core, cache_nj=cache, dram_nj=dram, comm_nj=comm)
+
+
+def machine_energy(
+    machine: Machine,
+    comm_bytes: int = 0,
+    comm_mechanism: CommMechanism = CommMechanism.IDEAL,
+    params: Optional[EnergyParams] = None,
+) -> EnergyReport:
+    """Exact energy from a detailed machine's counters after a run."""
+    model = EnergyModel(machine.config, params)
+    cpu_instr = machine.cpu_core.instructions_retired
+    gpu_instr = machine.gpu_core.instructions_retired
+    core = (
+        cpu_instr * model.params.cpu_pj_per_instruction
+        + gpu_instr * model.params.gpu_pj_per_instruction
+    ) / 1000.0
+
+    cache = (
+        machine.cpu_l1d.accesses * model.l1_access_nj(ProcessingUnit.CPU)
+        + machine.gpu_l1d.accesses * model.l1_access_nj(ProcessingUnit.GPU)
+        + machine.cpu_l2.accesses * model.l2_access_nj()
+        + machine.l3.accesses * model.l3_access_nj()
+    )
+    dram = machine.dram.stats().get("requests", 0) * model.dram_access_nj()
+    comm = model.transfer_nj(comm_bytes, comm_mechanism)
+    return EnergyReport(core_nj=core, cache_nj=cache, dram_nj=dram, comm_nj=comm)

@@ -1,0 +1,118 @@
+"""Per-event energy costs.
+
+Constants follow widely used rules of thumb for a 32nm-class node (the
+paper's Sandy-Bridge / Fermi generation): an out-of-order core spends a few
+hundred pJ per instruction (most of it scheduling overhead), an in-order
+SIMD lane amortizes to well under that, SRAM access energy grows with
+sqrt(capacity) (taken from :mod:`repro.mem.cacti`), DRAM costs tens of nJ
+per line, and moving a byte off chip costs an order of magnitude more than
+moving it across the die.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.config.system import SystemConfig
+from repro.mem.cacti import DEFAULT_CACTI
+from repro.taxonomy import CommMechanism, ProcessingUnit
+from repro.trace.mix import InstructionMix
+
+__all__ = ["EnergyParams", "EnergyModel"]
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Tunable per-event energies."""
+
+    cpu_pj_per_instruction: float = 300.0
+    gpu_pj_per_instruction: float = 120.0
+    dram_nj_per_line: float = 35.0
+    offchip_pj_per_byte: float = 40.0  # PCI-E SerDes + board traces
+    onchip_pj_per_byte: float = 1.2  # ring / memory-controller path
+    ideal_pj_per_byte: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "cpu_pj_per_instruction",
+            "gpu_pj_per_instruction",
+            "dram_nj_per_line",
+            "offchip_pj_per_byte",
+            "onchip_pj_per_byte",
+            "ideal_pj_per_byte",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative")
+
+
+class EnergyModel:
+    """Prices events in nanojoules for one system configuration."""
+
+    def __init__(
+        self,
+        system: "SystemConfig | None" = None,
+        params: "EnergyParams | None" = None,
+    ) -> None:
+        self.system = system or SystemConfig()
+        self.params = params or EnergyParams()
+
+    # -- cores ---------------------------------------------------------------
+
+    def core_energy_nj(self, mix: InstructionMix, pu: ProcessingUnit) -> float:
+        """Energy to execute a mix on one PU's core (pipeline only; the
+        memory hierarchy is charged separately)."""
+        per_instr_pj = (
+            self.params.cpu_pj_per_instruction
+            if pu is ProcessingUnit.CPU
+            else self.params.gpu_pj_per_instruction
+        )
+        return mix.total * per_instr_pj / 1000.0
+
+    # -- memory hierarchy -----------------------------------------------------
+
+    def cache_access_nj(self, capacity_bytes: int, line_bytes: int = 64) -> float:
+        """Per-access SRAM energy from the CACTI-like model."""
+        return DEFAULT_CACTI.dynamic_energy_nj(capacity_bytes, line_bytes)
+
+    def l1_access_nj(self, pu: ProcessingUnit) -> float:
+        l1 = self.system.cpu.l1d if pu is ProcessingUnit.CPU else self.system.gpu.l1d
+        return self.cache_access_nj(l1.size_bytes, l1.line_bytes)
+
+    def l2_access_nj(self) -> float:
+        return self.cache_access_nj(
+            self.system.cpu.l2.size_bytes, self.system.cpu.l2.line_bytes
+        )
+
+    def l3_access_nj(self) -> float:
+        # Tiled: one tile is accessed per request.
+        tile = self.system.l3.size_bytes // self.system.l3.tiles
+        return self.cache_access_nj(tile, self.system.l3.line_bytes)
+
+    def dram_access_nj(self) -> float:
+        return self.params.dram_nj_per_line
+
+    # -- data movement -----------------------------------------------------------
+
+    def transfer_nj(self, num_bytes: int, mechanism: CommMechanism) -> float:
+        """Energy to move ``num_bytes`` between PUs over a mechanism.
+
+        Endpoint DRAM traffic is part of the copy's energy: an off-chip
+        copy reads the source memory and writes the destination memory
+        (two DRAM touches per line) on top of the link energy, whereas the
+        zero-copy memory-controller path only pays the consumer's single
+        DRAM read, and an on-chip interconnect moves data cache-to-cache.
+        """
+        if num_bytes < 0:
+            raise ConfigError("byte count must be non-negative")
+        lines = num_bytes / 64.0
+        if mechanism is CommMechanism.IDEAL:
+            return num_bytes * self.params.ideal_pj_per_byte / 1000.0
+        if mechanism.off_chip:
+            link = num_bytes * self.params.offchip_pj_per_byte / 1000.0
+            return link + 2.0 * lines * self.dram_access_nj()
+        if mechanism is CommMechanism.MEMORY_CONTROLLER:
+            onchip = num_bytes * self.params.onchip_pj_per_byte / 1000.0
+            return onchip + lines * self.dram_access_nj()
+        # On-chip interconnect: cache-to-cache message passing.
+        return num_bytes * self.params.onchip_pj_per_byte / 1000.0

@@ -1,0 +1,84 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by this library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "TraceError",
+    "SimulationError",
+    "AddressSpaceError",
+    "AccessViolationError",
+    "OwnershipError",
+    "AllocationError",
+    "TranslationError",
+    "CommunicationError",
+    "LocalityError",
+    "DesignSpaceError",
+    "ProgramError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class TraceError(ReproError):
+    """A trace is malformed or inconsistent with its declared statistics."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an invalid state."""
+
+
+class AddressSpaceError(ReproError):
+    """Base class for address-space related failures."""
+
+
+class AccessViolationError(AddressSpaceError):
+    """A processing unit accessed an address it may not reach.
+
+    Raised e.g. when a GPU dereferences host-private memory under a disjoint
+    or ADSM address space.
+    """
+
+
+class OwnershipError(AddressSpaceError):
+    """Ownership protocol violation in the partially shared address space.
+
+    Raised when a PU touches a shared object it does not own, or when
+    acquire/release are misused (double acquire, release by non-owner).
+    """
+
+
+class AllocationError(AddressSpaceError):
+    """An allocation request could not be satisfied."""
+
+
+class TranslationError(AddressSpaceError):
+    """A virtual address has no mapping in the relevant page table."""
+
+
+class CommunicationError(ReproError):
+    """A data transfer was requested over an unavailable mechanism."""
+
+
+class LocalityError(ReproError):
+    """A locality-management operation is infeasible for the configuration."""
+
+
+class DesignSpaceError(ReproError):
+    """A design point is infeasible or the space query is malformed."""
+
+
+class ProgramError(ReproError):
+    """A mini-DSL program is malformed or violates model rules."""

@@ -1,0 +1,13 @@
+"""Instruction-set vocabulary for the trace-driven simulator.
+
+The paper's methodology (§IV) drives MacSim with CPU and GPU traces and
+models library/OS/programming-model effects with *special instructions*
+(Table IV). This package defines the opcode vocabulary
+(:mod:`repro.isa.opcodes`) and the special-instruction set
+(:mod:`repro.isa.special`).
+"""
+
+from repro.isa.opcodes import Opcode, OpClass
+from repro.isa.special import SpecialOp, special_latency_cycles
+
+__all__ = ["Opcode", "OpClass", "SpecialOp", "special_latency_cycles"]

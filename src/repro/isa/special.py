@@ -1,0 +1,67 @@
+"""Special instructions modeling programming-model effects (paper §IV-C).
+
+"To model different programming model effects, we use a series of special
+instructions. By varying the latency of these operations, we also explore
+the overhead of communication methods." — the four Table IV instructions
+plus the locality-control ``push`` of §II-B and kernel boundary markers.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.config.comm import CommParams
+from repro.errors import ConfigError
+
+__all__ = ["SpecialOp", "special_latency_cycles"]
+
+
+class SpecialOp(enum.Enum):
+    """Special (pseudo-)instructions inserted into traces.
+
+    The first four carry the Table IV latencies. The rest are structural:
+    they mark kernel launches/returns and locality-control points and have
+    negligible direct cost, but timing models may attach mechanism-specific
+    behaviour to them.
+    """
+
+    API_PCI = "api-pci"
+    API_ACQ = "api-acq"
+    API_TR = "api-tr"
+    LIB_PF = "lib-pf"
+    PUSH = "push"
+    KERNEL_LAUNCH = "kernel-launch"
+    KERNEL_RETURN = "kernel-return"
+    SYNC = "sync"
+
+    @property
+    def is_table4(self) -> bool:
+        """Whether this op appears in the paper's Table IV."""
+        return self in (
+            SpecialOp.API_PCI,
+            SpecialOp.API_ACQ,
+            SpecialOp.API_TR,
+            SpecialOp.LIB_PF,
+        )
+
+
+def special_latency_cycles(
+    op: SpecialOp, params: CommParams, num_bytes: int = 0
+) -> int:
+    """CPU-cycle latency of a special instruction under ``params``.
+
+    ``num_bytes`` is only meaningful for :data:`SpecialOp.API_PCI`, whose
+    latency has a size-dependent term (Table IV: ``33250 + trans_rate``).
+    Structural markers cost a single cycle.
+    """
+    if op is SpecialOp.API_PCI:
+        return params.api_pci_cycles(num_bytes)
+    if num_bytes:
+        raise ConfigError(f"{op} takes no byte-count argument")
+    if op is SpecialOp.API_ACQ:
+        return params.api_acq_cycles
+    if op is SpecialOp.API_TR:
+        return params.api_tr_cycles
+    if op is SpecialOp.LIB_PF:
+        return params.lib_pf_cycles
+    return 1

@@ -1,0 +1,23 @@
+"""The six evaluation kernels of the paper (Table III).
+
+Each kernel module builds a :class:`repro.trace.KernelTrace` whose phase
+structure follows Table III's "compute pattern" column and whose default
+instruction counts, communication counts, and transfer sizes reproduce
+Table III exactly (see DESIGN.md §5 for the calibration approach: the
+paper's traces came from real CUDA programs we do not have, so the
+generators are calibrated to the published trace statistics and scale
+naturally from per-element cost models for other problem sizes).
+"""
+
+from repro.kernels.base import Kernel, KernelShape, MixProfile, make_mix
+from repro.kernels.registry import all_kernels, kernel, kernel_names
+
+__all__ = [
+    "Kernel",
+    "KernelShape",
+    "MixProfile",
+    "make_mix",
+    "all_kernels",
+    "kernel",
+    "kernel_names",
+]

@@ -1,0 +1,158 @@
+"""Shared machinery for kernel trace generators."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from repro.errors import TraceError
+from repro.taxonomy import ProcessingUnit
+from repro.trace.mix import InstructionMix
+from repro.trace.stats import TraceStats, compute_stats
+from repro.trace.stream import KernelTrace
+
+__all__ = ["MixProfile", "make_mix", "KernelShape", "Kernel"]
+
+# Virtual-address layout used by all kernels. These are *virtual* regions;
+# the address-space models decide what is reachable by which PU and how it
+# maps to physical memory.
+INPUT_BASE = 0x1000_0000
+OUTPUT_BASE = 0x2000_0000
+SCRATCH_BASE = 0x3000_0000
+
+
+@dataclass(frozen=True)
+class MixProfile:
+    """Fractions of an instruction total per category.
+
+    The integer-count remainder after loads/stores/branches/FP goes to
+    integer ALU operations, so every generated mix hits its target total
+    exactly.
+    """
+
+    load_frac: float
+    store_frac: float
+    branch_frac: float
+    fp_frac: float
+
+    def __post_init__(self) -> None:
+        fracs = (self.load_frac, self.store_frac, self.branch_frac, self.fp_frac)
+        if any(f < 0 for f in fracs):
+            raise TraceError("mix fractions must be non-negative")
+        if sum(fracs) > 1.0 + 1e-9:
+            raise TraceError(f"mix fractions sum to {sum(fracs):.3f} > 1")
+
+
+def make_mix(total: int, profile: MixProfile, pu: ProcessingUnit) -> InstructionMix:
+    """Build a mix of exactly ``total`` instructions following ``profile``.
+
+    GPU mixes use SIMD opcodes for their ALU and memory operations
+    (lane-compressed trace records); CPU mixes use scalar opcodes.
+    """
+    if total < 0:
+        raise TraceError(f"total must be non-negative, got {total}")
+    loads = int(total * profile.load_frac)
+    stores = int(total * profile.store_frac)
+    branches = int(total * profile.branch_frac)
+    fp = int(total * profile.fp_frac)
+    remainder = total - loads - stores - branches - fp
+    if remainder < 0:
+        raise TraceError("mix fractions overflow the total")
+    if pu is ProcessingUnit.GPU:
+        return InstructionMix(
+            simd_loads=loads,
+            simd_stores=stores,
+            branches=branches,
+            simd_alu=fp,
+            int_alu=remainder,
+        )
+    return InstructionMix(
+        loads=loads,
+        stores=stores,
+        branches=branches,
+        fp_alu=fp,
+        int_alu=remainder,
+    )
+
+
+@dataclass(frozen=True)
+class KernelShape:
+    """Trace-level quantities a kernel generator must hit.
+
+    The default shape of each kernel equals its Table III row; alternative
+    shapes are derived from per-element cost models for other problem sizes
+    (see each kernel's ``for_size``).
+    """
+
+    cpu_instructions: int
+    gpu_instructions: int
+    serial_instructions: int
+    initial_transfer_bytes: int
+    result_bytes: int
+    iterations: int = 1
+
+    def __post_init__(self) -> None:
+        for name in (
+            "cpu_instructions",
+            "gpu_instructions",
+            "serial_instructions",
+            "initial_transfer_bytes",
+            "result_bytes",
+        ):
+            if getattr(self, name) < 0:
+                raise TraceError(f"{name} must be non-negative")
+        if self.iterations < 1:
+            raise TraceError("iterations must be >= 1")
+
+
+class Kernel(abc.ABC):
+    """A benchmark kernel: builds traces and reports its Table III row.
+
+    Subclasses define the kernel name, the paper's compute-pattern string,
+    per-PU mix profiles, the calibrated default shape, and the phase
+    construction in :meth:`build`.
+    """
+
+    name: str = ""
+    compute_pattern: str = ""
+    profile_cpu: MixProfile
+    profile_gpu: MixProfile
+    default_shape: KernelShape
+
+    @abc.abstractmethod
+    def build(self, shape: Optional[KernelShape] = None) -> KernelTrace:
+        """Construct the phase-structured trace for ``shape`` (default:
+        the Table III calibration)."""
+
+    def for_size(self, n: int) -> KernelShape:
+        """A shape for problem size ``n``, scaled from the default.
+
+        Subclasses with a natural per-element cost model override this;
+        the default scales every quantity linearly from the calibrated
+        shape's implied problem size.
+        """
+        if n <= 0:
+            raise TraceError(f"problem size must be positive, got {n}")
+        base = self.default_shape
+        base_n = max(base.initial_transfer_bytes // 4, 1)
+        factor = n / base_n
+        return KernelShape(
+            cpu_instructions=max(int(base.cpu_instructions * factor), 1),
+            gpu_instructions=max(int(base.gpu_instructions * factor), 1),
+            serial_instructions=max(int(base.serial_instructions * factor), 1),
+            initial_transfer_bytes=max(4 * n, 4),
+            result_bytes=max(int(base.result_bytes * factor), 4),
+            iterations=base.iterations,
+        )
+
+    def trace(self, shape: Optional[KernelShape] = None) -> KernelTrace:
+        """Build the trace (alias for :meth:`build`)."""
+        return self.build(shape)
+
+    def table3_row(self) -> TraceStats:
+        """The Table III row this kernel reproduces at its default shape."""
+        return compute_stats(self.build(), compute_pattern=self.compute_pattern)
+
+    def __repr__(self) -> str:
+        return f"<Kernel {self.name!r}>"

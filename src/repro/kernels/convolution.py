@@ -1,0 +1,119 @@
+"""Convolution kernel: parallel -> merge -> parallel (Table III row 3).
+
+A two-pass separable convolution: both PUs filter half of the signal, the
+CPU merges boundary regions, then both PUs run the second pass on data they
+already hold. Three communications: the initial input+filter transfer, the
+boundary exchange before the merge, and the final result return.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TraceError
+from repro.kernels.base import (
+    INPUT_BASE,
+    OUTPUT_BASE,
+    Kernel,
+    KernelShape,
+    MixProfile,
+    make_mix,
+)
+from repro.taxonomy import ProcessingUnit
+from repro.trace.phase import CommPhase, Direction, ParallelPhase, Segment, SequentialPhase
+from repro.trace.stream import KernelTrace
+
+__all__ = ["ConvolutionKernel"]
+
+
+class ConvolutionKernel(Kernel):
+    """Separable convolution with a boundary-merge between passes."""
+
+    name = "convolution"
+    compute_pattern = "parallel -> merge -> parallel"
+    profile_cpu = MixProfile(load_frac=0.35, store_frac=0.05, branch_frac=0.15, fp_frac=0.30)
+    profile_gpu = MixProfile(load_frac=0.35, store_frac=0.05, branch_frac=0.15, fp_frac=0.30)
+    # Table III: 448260 CPU, 448259 GPU, 65536 serial, 3 comms, 65536 B.
+    default_shape = KernelShape(
+        cpu_instructions=448260,
+        gpu_instructions=448259,
+        serial_instructions=65536,
+        initial_transfer_bytes=65536,
+        result_bytes=32768,
+    )
+
+    def for_size(self, n: int) -> KernelShape:
+        """Shape for an ``n``-sample signal (fixed filter width: linear)."""
+        if n <= 0:
+            raise TraceError(f"signal length must be positive, got {n}")
+        base = self.default_shape
+        base_n = base.initial_transfer_bytes // 4
+        factor = n / base_n
+        return KernelShape(
+            cpu_instructions=max(int(base.cpu_instructions * factor), 2),
+            gpu_instructions=max(int(base.gpu_instructions * factor), 2),
+            serial_instructions=max(int(base.serial_instructions * factor), 1),
+            initial_transfer_bytes=4 * n,
+            result_bytes=max(2 * n, 4),
+        )
+
+    def build(self, shape: Optional[KernelShape] = None) -> KernelTrace:
+        shape = shape or self.default_shape
+        half_bytes = max(shape.initial_transfer_bytes // 2, 4)
+        cpu_first = shape.cpu_instructions - shape.cpu_instructions // 2
+        cpu_second = shape.cpu_instructions // 2
+        gpu_first = shape.gpu_instructions - shape.gpu_instructions // 2
+        gpu_second = shape.gpu_instructions // 2
+
+        def seg(pu: ProcessingUnit, total: int, base: int, label: str) -> Segment:
+            profile = self.profile_cpu if pu is ProcessingUnit.CPU else self.profile_gpu
+            return Segment(
+                pu=pu,
+                mix=make_mix(total, profile, pu),
+                base_addr=base,
+                footprint_bytes=half_bytes,
+                label=label,
+            )
+
+        merge = Segment(
+            pu=ProcessingUnit.CPU,
+            mix=make_mix(shape.serial_instructions, self.profile_cpu, ProcessingUnit.CPU),
+            base_addr=OUTPUT_BASE,
+            footprint_bytes=shape.result_bytes,
+            label="conv-boundary-merge",
+        )
+        return KernelTrace(
+            name=self.name,
+            phases=(
+                CommPhase(
+                    label="send-input-filter",
+                    direction=Direction.H2D,
+                    num_bytes=shape.initial_transfer_bytes,
+                    num_objects=2,
+                    first_touch=True,
+                ),
+                ParallelPhase(
+                    label="pass-1",
+                    cpu=seg(ProcessingUnit.CPU, cpu_first, INPUT_BASE, "conv-cpu-pass1"),
+                    gpu=seg(ProcessingUnit.GPU, gpu_first, INPUT_BASE + half_bytes, "conv-gpu-pass1"),
+                ),
+                CommPhase(
+                    label="boundary-exchange",
+                    direction=Direction.D2H,
+                    num_bytes=shape.result_bytes,
+                    num_objects=1,
+                ),
+                SequentialPhase(label="merge-boundaries", segment=merge),
+                ParallelPhase(
+                    label="pass-2",
+                    cpu=seg(ProcessingUnit.CPU, cpu_second, OUTPUT_BASE, "conv-cpu-pass2"),
+                    gpu=seg(ProcessingUnit.GPU, gpu_second, OUTPUT_BASE + half_bytes, "conv-gpu-pass2"),
+                ),
+                CommPhase(
+                    label="return-result",
+                    direction=Direction.D2H,
+                    num_bytes=shape.result_bytes,
+                    num_objects=1,
+                ),
+            ),
+        )

@@ -1,0 +1,103 @@
+"""DCT kernel: fully parallel, no communication during computation.
+
+Blocked 8x8 discrete cosine transform over an image split evenly between
+PUs. The CPU initializes the image sequentially, sends the GPU its half
+(Table III quotes 262244 B — reproduced verbatim, including what is most
+likely a typo for 262144), and the GPU returns its transformed half.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TraceError
+from repro.kernels.base import (
+    INPUT_BASE,
+    OUTPUT_BASE,
+    Kernel,
+    KernelShape,
+    MixProfile,
+    make_mix,
+)
+from repro.taxonomy import ProcessingUnit
+from repro.trace.phase import CommPhase, Direction, ParallelPhase, Segment, SequentialPhase
+from repro.trace.stream import KernelTrace
+
+__all__ = ["DctKernel"]
+
+
+class DctKernel(Kernel):
+    """Blocked 8x8 DCT over an evenly split image."""
+
+    name = "dct"
+    compute_pattern = "fully parallel, no comm. during computation"
+    profile_cpu = MixProfile(load_frac=0.25, store_frac=0.10, branch_frac=0.10, fp_frac=0.45)
+    profile_gpu = MixProfile(load_frac=0.25, store_frac=0.10, branch_frac=0.10, fp_frac=0.45)
+    # Table III: 2359298 CPU, 2359298 GPU, 262144 serial, 2 comms, 262244 B.
+    default_shape = KernelShape(
+        cpu_instructions=2359298,
+        gpu_instructions=2359298,
+        serial_instructions=262144,
+        initial_transfer_bytes=262244,
+        result_bytes=131072,
+    )
+
+    def for_size(self, n: int) -> KernelShape:
+        """Shape for an ``n``-pixel image (fixed 8x8 blocks: linear)."""
+        if n <= 0:
+            raise TraceError(f"pixel count must be positive, got {n}")
+        base = self.default_shape
+        base_n = base.initial_transfer_bytes
+        factor = n / base_n
+        return KernelShape(
+            cpu_instructions=max(int(base.cpu_instructions * factor), 1),
+            gpu_instructions=max(int(base.gpu_instructions * factor), 1),
+            serial_instructions=max(int(base.serial_instructions * factor), 1),
+            initial_transfer_bytes=n,
+            result_bytes=max(n // 2, 4),
+        )
+
+    def build(self, shape: Optional[KernelShape] = None) -> KernelTrace:
+        shape = shape or self.default_shape
+        half_bytes = max(shape.initial_transfer_bytes // 2, 4)
+        init = Segment(
+            pu=ProcessingUnit.CPU,
+            mix=make_mix(shape.serial_instructions, self.profile_cpu, ProcessingUnit.CPU),
+            base_addr=INPUT_BASE,
+            footprint_bytes=shape.initial_transfer_bytes,
+            label="dct-init-image",
+        )
+        cpu = Segment(
+            pu=ProcessingUnit.CPU,
+            mix=make_mix(shape.cpu_instructions, self.profile_cpu, ProcessingUnit.CPU),
+            base_addr=INPUT_BASE,
+            footprint_bytes=half_bytes,
+            label="dct-cpu-blocks",
+        )
+        gpu = Segment(
+            pu=ProcessingUnit.GPU,
+            mix=make_mix(shape.gpu_instructions, self.profile_gpu, ProcessingUnit.GPU),
+            base_addr=INPUT_BASE + half_bytes,
+            footprint_bytes=half_bytes,
+            label="dct-gpu-blocks",
+        )
+        return KernelTrace(
+            name=self.name,
+            phases=(
+                SequentialPhase(label="init-image", segment=init),
+                CommPhase(
+                    label="send-image-half",
+                    direction=Direction.H2D,
+                    num_bytes=shape.initial_transfer_bytes,
+                    num_objects=1,
+                    first_touch=True,
+                ),
+                ParallelPhase(label="dct-blocks", cpu=cpu, gpu=gpu),
+                CommPhase(
+                    label="return-coefficients",
+                    direction=Direction.D2H,
+                    num_bytes=shape.result_bytes,
+                    num_objects=1,
+                ),
+            ),
+        )

@@ -1,0 +1,144 @@
+"""K-means kernel: repeated parallel -> merge -> sequential (Table III row 6).
+
+Three clustering iterations. Each iteration assigns points to centroids in
+parallel on both PUs, returns partial centroid sums to the CPU, and
+sequentially recomputes centroids. Six communications total: the first
+iteration sends the full point set plus centroids (136192 B at the default
+size); later iterations only exchange centroids and partial sums.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import TraceError
+from repro.kernels.base import (
+    INPUT_BASE,
+    OUTPUT_BASE,
+    Kernel,
+    KernelShape,
+    MixProfile,
+    make_mix,
+)
+from repro.taxonomy import ProcessingUnit
+from repro.trace.phase import (
+    CommPhase,
+    Direction,
+    ParallelPhase,
+    Phase,
+    Segment,
+    SequentialPhase,
+)
+from repro.trace.stream import KernelTrace
+
+__all__ = ["KMeansKernel"]
+
+
+def _split(total: int, parts: int) -> List[int]:
+    """Split ``total`` into ``parts`` near-equal integers summing exactly."""
+    base = total // parts
+    remainder = total - base * parts
+    return [base + (1 if i < remainder else 0) for i in range(parts)]
+
+
+class KMeansKernel(Kernel):
+    """Lloyd's k-means over an evenly split point set, 3 iterations."""
+
+    name = "k-mean"
+    compute_pattern = "parallel -> merge -> sequential (repeated)"
+    profile_cpu = MixProfile(load_frac=0.30, store_frac=0.05, branch_frac=0.15, fp_frac=0.35)
+    profile_gpu = MixProfile(load_frac=0.30, store_frac=0.05, branch_frac=0.15, fp_frac=0.35)
+    # Table III: 1847765 CPU, 1844981 GPU, 36784 serial, 6 comms, 136192 B.
+    default_shape = KernelShape(
+        cpu_instructions=1847765,
+        gpu_instructions=1844981,
+        serial_instructions=36784,
+        initial_transfer_bytes=136192,
+        result_bytes=4096,
+        iterations=3,
+    )
+
+    def for_size(self, n: int, iterations: Optional[int] = None) -> KernelShape:
+        """Shape for ``n`` points (linear per iteration; centroid exchange
+        fixed). ``iterations`` overrides the default 3 Lloyd iterations."""
+        if n <= 0:
+            raise TraceError(f"point count must be positive, got {n}")
+        base = self.default_shape
+        iters = iterations if iterations is not None else base.iterations
+        if iters < 1:
+            raise TraceError(f"need at least one iteration, got {iters}")
+        base_n = base.initial_transfer_bytes // 8  # two floats per point
+        per_iter_factor = (n / base_n) * (iters / base.iterations)
+        return KernelShape(
+            cpu_instructions=max(int(base.cpu_instructions * per_iter_factor), iters),
+            gpu_instructions=max(int(base.gpu_instructions * per_iter_factor), iters),
+            serial_instructions=max(
+                int(base.serial_instructions * iters / base.iterations), iters
+            ),
+            initial_transfer_bytes=8 * n,
+            result_bytes=base.result_bytes,
+            iterations=iters,
+        )
+
+    def build(self, shape: Optional[KernelShape] = None) -> KernelTrace:
+        shape = shape or self.default_shape
+        iters = shape.iterations
+        cpu_parts = _split(shape.cpu_instructions, iters)
+        gpu_parts = _split(shape.gpu_instructions, iters)
+        serial_parts = _split(shape.serial_instructions, iters)
+        half_bytes = max(shape.initial_transfer_bytes // 2, 4)
+        centroid_bytes = shape.result_bytes
+
+        phases: List[Phase] = []
+        for i in range(iters):
+            if i == 0:
+                phases.append(
+                    CommPhase(
+                        label="send-points-centroids",
+                        direction=Direction.H2D,
+                        num_bytes=shape.initial_transfer_bytes,
+                        num_objects=2,
+                        first_touch=True,
+                    )
+                )
+            else:
+                phases.append(
+                    CommPhase(
+                        label=f"send-centroids-{i}",
+                        direction=Direction.H2D,
+                        num_bytes=centroid_bytes,
+                        num_objects=1,
+                    )
+                )
+            cpu = Segment(
+                pu=ProcessingUnit.CPU,
+                mix=make_mix(cpu_parts[i], self.profile_cpu, ProcessingUnit.CPU),
+                base_addr=INPUT_BASE,
+                footprint_bytes=half_bytes,
+                label=f"assign-cpu-{i}",
+            )
+            gpu = Segment(
+                pu=ProcessingUnit.GPU,
+                mix=make_mix(gpu_parts[i], self.profile_gpu, ProcessingUnit.GPU),
+                base_addr=INPUT_BASE + half_bytes,
+                footprint_bytes=half_bytes,
+                label=f"assign-gpu-{i}",
+            )
+            phases.append(ParallelPhase(label=f"assign-{i}", cpu=cpu, gpu=gpu))
+            phases.append(
+                CommPhase(
+                    label=f"return-partials-{i}",
+                    direction=Direction.D2H,
+                    num_bytes=centroid_bytes,
+                    num_objects=1,
+                )
+            )
+            update = Segment(
+                pu=ProcessingUnit.CPU,
+                mix=make_mix(serial_parts[i], self.profile_cpu, ProcessingUnit.CPU),
+                base_addr=OUTPUT_BASE,
+                footprint_bytes=centroid_bytes,
+                label=f"update-centroids-{i}",
+            )
+            phases.append(SequentialPhase(label=f"update-{i}", segment=update))
+        return KernelTrace(name=self.name, phases=tuple(phases))

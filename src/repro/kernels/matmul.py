@@ -1,0 +1,106 @@
+"""Matrix-multiply kernel: fully parallel, no communication during compute.
+
+Each PU computes half of the rows of ``C = A x B``. Two communications:
+the initial transfer of A and B (524288 B = two 256x256 float matrices at
+the default size) and the return of the GPU's half of C.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TraceError
+from repro.kernels.base import (
+    INPUT_BASE,
+    OUTPUT_BASE,
+    Kernel,
+    KernelShape,
+    MixProfile,
+    make_mix,
+)
+from repro.taxonomy import ProcessingUnit
+from repro.trace.phase import CommPhase, Direction, ParallelPhase, Segment, SequentialPhase
+from repro.trace.stream import KernelTrace
+
+__all__ = ["MatmulKernel"]
+
+
+class MatmulKernel(Kernel):
+    """Dense square matrix multiplication, rows split evenly between PUs."""
+
+    name = "matrix mul"
+    compute_pattern = "fully parallel, no comm during computation"
+    profile_cpu = MixProfile(load_frac=0.33, store_frac=0.01, branch_frac=0.16, fp_frac=0.33)
+    profile_gpu = MixProfile(load_frac=0.33, store_frac=0.01, branch_frac=0.16, fp_frac=0.33)
+    # Table III: 8585229 CPU, 8585228 GPU, 16384 serial, 2 comms, 524288 B.
+    default_shape = KernelShape(
+        cpu_instructions=8585229,
+        gpu_instructions=8585228,
+        serial_instructions=16384,
+        initial_transfer_bytes=524288,
+        result_bytes=131072,
+    )
+
+    #: Default matrix dimension implied by the calibration: two n*n float
+    #: matrices make up the initial transfer, so n = sqrt(524288/8) = 256.
+    default_dim = 256
+
+    def for_size(self, n: int) -> KernelShape:
+        """Shape for ``n x n`` matrices (compute scales as n^3, data n^2)."""
+        if n <= 0:
+            raise TraceError(f"matrix dimension must be positive, got {n}")
+        base = self.default_shape
+        cubic = (n / self.default_dim) ** 3
+        quadratic = (n / self.default_dim) ** 2
+        return KernelShape(
+            cpu_instructions=max(int(base.cpu_instructions * cubic), 1),
+            gpu_instructions=max(int(base.gpu_instructions * cubic), 1),
+            serial_instructions=max(int(base.serial_instructions * quadratic), 1),
+            initial_transfer_bytes=max(int(base.initial_transfer_bytes * quadratic), 8),
+            result_bytes=max(int(base.result_bytes * quadratic), 4),
+        )
+
+    def build(self, shape: Optional[KernelShape] = None) -> KernelTrace:
+        shape = shape or self.default_shape
+        footprint = shape.initial_transfer_bytes // 2 + shape.result_bytes
+        init = Segment(
+            pu=ProcessingUnit.CPU,
+            mix=make_mix(shape.serial_instructions, self.profile_cpu, ProcessingUnit.CPU),
+            base_addr=INPUT_BASE,
+            footprint_bytes=shape.initial_transfer_bytes,
+            label="matmul-init",
+        )
+        cpu = Segment(
+            pu=ProcessingUnit.CPU,
+            mix=make_mix(shape.cpu_instructions, self.profile_cpu, ProcessingUnit.CPU),
+            base_addr=INPUT_BASE,
+            footprint_bytes=footprint,
+            label="matmul-cpu-rows",
+        )
+        gpu = Segment(
+            pu=ProcessingUnit.GPU,
+            mix=make_mix(shape.gpu_instructions, self.profile_gpu, ProcessingUnit.GPU),
+            base_addr=INPUT_BASE + footprint,
+            footprint_bytes=footprint,
+            label="matmul-gpu-rows",
+        )
+        return KernelTrace(
+            name=self.name,
+            phases=(
+                SequentialPhase(label="init-matrices", segment=init),
+                CommPhase(
+                    label="send-a-b",
+                    direction=Direction.H2D,
+                    num_bytes=shape.initial_transfer_bytes,
+                    num_objects=2,
+                    first_touch=True,
+                ),
+                ParallelPhase(label="row-blocks", cpu=cpu, gpu=gpu),
+                CommPhase(
+                    label="return-c-half",
+                    direction=Direction.D2H,
+                    num_bytes=shape.result_bytes,
+                    num_objects=1,
+                ),
+            ),
+        )

@@ -1,0 +1,106 @@
+"""Merge-sort kernel: parallel -> merge -> sequential (Table III row 5).
+
+Each PU sorts half of the array; the GPU's sorted half returns to the CPU,
+which performs the final sequential merge. Merge sort is the branchiest of
+the six kernels, and the CPU/GPU instruction counts differ (161233 vs
+157233) because the comparison-driven control flow diverges between halves.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.errors import TraceError
+from repro.kernels.base import (
+    INPUT_BASE,
+    OUTPUT_BASE,
+    Kernel,
+    KernelShape,
+    MixProfile,
+    make_mix,
+)
+from repro.taxonomy import ProcessingUnit
+from repro.trace.phase import CommPhase, Direction, ParallelPhase, Segment, SequentialPhase
+from repro.trace.stream import KernelTrace
+
+__all__ = ["MergeSortKernel"]
+
+
+class MergeSortKernel(Kernel):
+    """Parallel two-way merge sort with a sequential final merge."""
+
+    name = "merge sort"
+    compute_pattern = "parallel -> merge -> sequential"
+    profile_cpu = MixProfile(load_frac=0.30, store_frac=0.15, branch_frac=0.25, fp_frac=0.0)
+    profile_gpu = MixProfile(load_frac=0.30, store_frac=0.15, branch_frac=0.25, fp_frac=0.0)
+    # Table III: 161233 CPU, 157233 GPU, 97668 serial, 2 comms, 39936 B.
+    default_shape = KernelShape(
+        cpu_instructions=161233,
+        gpu_instructions=157233,
+        serial_instructions=97668,
+        initial_transfer_bytes=39936,
+        result_bytes=39936,
+    )
+
+    def for_size(self, n: int) -> KernelShape:
+        """Shape for an ``n``-element array (compute scales as n log n)."""
+        if n <= 0:
+            raise TraceError(f"problem size must be positive, got {n}")
+        base = self.default_shape
+        base_n = base.initial_transfer_bytes // 4
+        n = max(n, 2)
+        factor = (n * math.log2(n)) / (base_n * math.log2(base_n))
+        linear = n / base_n
+        return KernelShape(
+            cpu_instructions=max(int(base.cpu_instructions * factor), 1),
+            gpu_instructions=max(int(base.gpu_instructions * factor), 1),
+            serial_instructions=max(int(base.serial_instructions * linear), 1),
+            initial_transfer_bytes=4 * n,
+            result_bytes=4 * n,
+        )
+
+    def build(self, shape: Optional[KernelShape] = None) -> KernelTrace:
+        shape = shape or self.default_shape
+        half_bytes = max(shape.initial_transfer_bytes // 2, 4)
+        cpu = Segment(
+            pu=ProcessingUnit.CPU,
+            mix=make_mix(shape.cpu_instructions, self.profile_cpu, ProcessingUnit.CPU),
+            base_addr=INPUT_BASE,
+            footprint_bytes=half_bytes,
+            label="sort-cpu-half",
+        )
+        gpu = Segment(
+            pu=ProcessingUnit.GPU,
+            mix=make_mix(shape.gpu_instructions, self.profile_gpu, ProcessingUnit.GPU),
+            base_addr=INPUT_BASE + half_bytes,
+            footprint_bytes=half_bytes,
+            label="sort-gpu-half",
+        )
+        merge = Segment(
+            pu=ProcessingUnit.CPU,
+            mix=make_mix(shape.serial_instructions, self.profile_cpu, ProcessingUnit.CPU),
+            base_addr=OUTPUT_BASE,
+            footprint_bytes=max(shape.result_bytes, 4),
+            label="sort-final-merge",
+        )
+        return KernelTrace(
+            name=self.name,
+            phases=(
+                CommPhase(
+                    label="send-gpu-half",
+                    direction=Direction.H2D,
+                    num_bytes=shape.initial_transfer_bytes,
+                    num_objects=1,
+                    first_touch=True,
+                ),
+                ParallelPhase(label="sort-halves", cpu=cpu, gpu=gpu),
+                CommPhase(
+                    label="return-sorted-half",
+                    direction=Direction.D2H,
+                    num_bytes=shape.result_bytes,
+                    num_objects=1,
+                ),
+                SequentialPhase(label="final-merge", segment=merge),
+            ),
+        )

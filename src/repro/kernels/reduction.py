@@ -1,0 +1,107 @@
+"""Reduction kernel: parallel -> merge -> sequential (Table III row 1).
+
+Both PUs sum half of the input array; the GPU's partial sums return to the
+CPU, which performs the final sequential merge. Two communications: the
+initial input transfer (320512 B at the default size) and the partial-sum
+return.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TraceError
+from repro.kernels.base import (
+    INPUT_BASE,
+    OUTPUT_BASE,
+    Kernel,
+    KernelShape,
+    MixProfile,
+    make_mix,
+)
+from repro.taxonomy import ProcessingUnit
+from repro.trace.phase import CommPhase, Direction, ParallelPhase, Segment, SequentialPhase
+from repro.trace.stream import KernelTrace
+
+__all__ = ["ReductionKernel"]
+
+
+class ReductionKernel(Kernel):
+    """Sum-reduction over an integer array split evenly between PUs."""
+
+    name = "reduction"
+    compute_pattern = "parallel -> merge -> sequential"
+    profile_cpu = MixProfile(load_frac=0.45, store_frac=0.01, branch_frac=0.15, fp_frac=0.30)
+    profile_gpu = MixProfile(load_frac=0.45, store_frac=0.01, branch_frac=0.15, fp_frac=0.30)
+    # Table III: 70006 CPU, 70001 GPU, 99996 serial, 2 comms, 320512 B.
+    default_shape = KernelShape(
+        cpu_instructions=70006,
+        gpu_instructions=70001,
+        serial_instructions=99996,
+        initial_transfer_bytes=320512,
+        result_bytes=512,
+    )
+
+    def for_size(self, n: int) -> KernelShape:
+        """Shape for an ``n``-element input array.
+
+        Per-element parallel cost and the serial merge cost are calibrated
+        from the default shape (default n = 320512/4 = 80128 elements).
+        """
+        if n <= 0:
+            raise TraceError(f"problem size must be positive, got {n}")
+        base = self.default_shape
+        base_n = base.initial_transfer_bytes // 4
+        factor = n / base_n
+        return KernelShape(
+            cpu_instructions=max(int(base.cpu_instructions * factor), 1),
+            gpu_instructions=max(int(base.gpu_instructions * factor), 1),
+            serial_instructions=max(int(base.serial_instructions * factor), 1),
+            initial_transfer_bytes=4 * n,
+            result_bytes=base.result_bytes,
+        )
+
+    def build(self, shape: Optional[KernelShape] = None) -> KernelTrace:
+        shape = shape or self.default_shape
+        half_bytes = max(shape.initial_transfer_bytes // 2, 4)
+        cpu = Segment(
+            pu=ProcessingUnit.CPU,
+            mix=make_mix(shape.cpu_instructions, self.profile_cpu, ProcessingUnit.CPU),
+            base_addr=INPUT_BASE,
+            footprint_bytes=half_bytes,
+            label="reduce-cpu-half",
+        )
+        gpu = Segment(
+            pu=ProcessingUnit.GPU,
+            mix=make_mix(shape.gpu_instructions, self.profile_gpu, ProcessingUnit.GPU),
+            base_addr=INPUT_BASE + half_bytes,
+            footprint_bytes=half_bytes,
+            label="reduce-gpu-half",
+        )
+        merge = Segment(
+            pu=ProcessingUnit.CPU,
+            mix=make_mix(shape.serial_instructions, self.profile_cpu, ProcessingUnit.CPU),
+            base_addr=OUTPUT_BASE,
+            footprint_bytes=max(shape.result_bytes, 4),
+            label="reduce-final-sum",
+        )
+        return KernelTrace(
+            name=self.name,
+            phases=(
+                CommPhase(
+                    label="send-input",
+                    direction=Direction.H2D,
+                    num_bytes=shape.initial_transfer_bytes,
+                    num_objects=2,
+                    first_touch=True,
+                ),
+                ParallelPhase(label="partial-sums", cpu=cpu, gpu=gpu),
+                CommPhase(
+                    label="return-partials",
+                    direction=Direction.D2H,
+                    num_bytes=shape.result_bytes,
+                    num_objects=1,
+                ),
+                SequentialPhase(label="final-sum", segment=merge),
+            ),
+        )

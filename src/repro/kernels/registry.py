@@ -1,0 +1,60 @@
+"""Registry of the six evaluation kernels, in Table III order."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import TraceError
+from repro.kernels.base import Kernel
+from repro.kernels.convolution import ConvolutionKernel
+from repro.kernels.dct import DctKernel
+from repro.kernels.kmeans import KMeansKernel
+from repro.kernels.matmul import MatmulKernel
+from repro.kernels.mergesort import MergeSortKernel
+from repro.kernels.reduction import ReductionKernel
+
+__all__ = ["all_kernels", "kernel", "kernel_names"]
+
+_KERNELS: Dict[str, Kernel] = {
+    k.name: k
+    for k in (
+        ReductionKernel(),
+        MatmulKernel(),
+        ConvolutionKernel(),
+        DctKernel(),
+        MergeSortKernel(),
+        KMeansKernel(),
+    )
+}
+
+# Aliases accepted by `kernel()` for convenience.
+_ALIASES = {
+    "matmul": "matrix mul",
+    "matrix-mul": "matrix mul",
+    "mergesort": "merge sort",
+    "merge-sort": "merge sort",
+    "kmeans": "k-mean",
+    "k-means": "k-mean",
+    "conv": "convolution",
+}
+
+
+def all_kernels() -> Tuple[Kernel, ...]:
+    """All six kernels in Table III order."""
+    return tuple(_KERNELS.values())
+
+
+def kernel_names() -> Tuple[str, ...]:
+    """Kernel names in Table III order."""
+    return tuple(_KERNELS)
+
+
+def kernel(name: str) -> Kernel:
+    """Look up a kernel by name (paper names and common aliases accepted)."""
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    if key in _KERNELS:
+        return _KERNELS[key]
+    raise TraceError(
+        f"unknown kernel {name!r}; known: {', '.join(_KERNELS)}"
+    )

@@ -1,0 +1,152 @@
+"""Synthetic workload generator for robustness studies.
+
+The paper's conclusions are drawn from six kernels; this generator builds
+deterministic pseudo-random kernels with the same structural vocabulary
+(parallel/merge/sequential phases, even splits, H2D-then-D2H transfers) so
+the design-space conclusions can be checked over arbitrarily many
+workloads (see ``benchmarks/bench_extension_robustness.py``).
+
+Everything derives from a seed through a private :class:`random.Random`,
+so a synthetic kernel is fully reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.errors import TraceError
+from repro.kernels.base import (
+    INPUT_BASE,
+    OUTPUT_BASE,
+    Kernel,
+    KernelShape,
+    MixProfile,
+    make_mix,
+)
+from repro.taxonomy import ProcessingUnit
+from repro.trace.phase import (
+    CommPhase,
+    Direction,
+    ParallelPhase,
+    Phase,
+    Segment,
+    SequentialPhase,
+)
+from repro.trace.stream import KernelTrace
+
+__all__ = ["SyntheticKernel"]
+
+
+class SyntheticKernel(Kernel):
+    """A random-but-reproducible kernel in the Table III vocabulary.
+
+    The phase structure is ``iterations`` repetitions of
+    (H2D -> parallel -> D2H) followed by an optional sequential merge —
+    the superset of all six paper kernels' patterns.
+    """
+
+    def __init__(self, seed: int, name: Optional[str] = None) -> None:
+        rng = random.Random(seed)
+        self.seed = seed
+        self.name = name or f"synthetic-{seed}"
+        self.iterations = rng.randint(1, 4)
+        self.has_merge = rng.random() < 0.7
+        fracs = [
+            rng.uniform(0.15, 0.45),  # loads
+            rng.uniform(0.01, 0.15),  # stores
+            rng.uniform(0.05, 0.25),  # branches
+            rng.uniform(0.0, 0.4),  # fp
+        ]
+        total_frac = sum(fracs)
+        if total_frac > 0.9:
+            fracs = [f * 0.9 / total_frac for f in fracs]
+        self.profile_cpu = MixProfile(*fracs)
+        self.profile_gpu = self.profile_cpu
+        parallel_total = rng.randint(50_000, 4_000_000)
+        skew = rng.uniform(0.97, 1.0)
+        serial_total = (
+            rng.randint(1_000, parallel_total // 8) if self.has_merge else 0
+        )
+        transfer = rng.randrange(4 * 1024, 512 * 1024, 4)
+        self.default_shape = KernelShape(
+            cpu_instructions=parallel_total,
+            gpu_instructions=max(int(parallel_total * skew), 1),
+            serial_instructions=max(serial_total, 1),
+            initial_transfer_bytes=transfer,
+            result_bytes=max(transfer // rng.choice((2, 4, 8, 16)), 4),
+            iterations=self.iterations,
+        )
+        self.compute_pattern = (
+            "parallel -> merge -> sequential (repeated)"
+            if self.iterations > 1
+            else ("parallel -> merge -> sequential" if self.has_merge else "fully parallel")
+        )
+
+    def _split(self, total: int, parts: int) -> List[int]:
+        base = total // parts
+        remainder = total - base * parts
+        return [base + (1 if i < remainder else 0) for i in range(parts)]
+
+    def build(self, shape: Optional[KernelShape] = None) -> KernelTrace:
+        shape = shape or self.default_shape
+        iters = shape.iterations
+        cpu_parts = self._split(shape.cpu_instructions, iters)
+        gpu_parts = self._split(shape.gpu_instructions, iters)
+        serial_parts = self._split(shape.serial_instructions, iters)
+        half = max(shape.initial_transfer_bytes // 2, 4)
+
+        phases: List[Phase] = []
+        for i in range(iters):
+            phases.append(
+                CommPhase(
+                    label=f"h2d-{i}",
+                    direction=Direction.H2D,
+                    num_bytes=shape.initial_transfer_bytes if i == 0 else shape.result_bytes,
+                    num_objects=2 if i == 0 else 1,
+                    first_touch=(i == 0),
+                )
+            )
+            phases.append(
+                ParallelPhase(
+                    label=f"compute-{i}",
+                    cpu=Segment(
+                        pu=ProcessingUnit.CPU,
+                        mix=make_mix(cpu_parts[i], self.profile_cpu, ProcessingUnit.CPU),
+                        base_addr=INPUT_BASE,
+                        footprint_bytes=half,
+                        label=f"{self.name}-cpu-{i}",
+                    ),
+                    gpu=Segment(
+                        pu=ProcessingUnit.GPU,
+                        mix=make_mix(gpu_parts[i], self.profile_gpu, ProcessingUnit.GPU),
+                        base_addr=INPUT_BASE + half,
+                        footprint_bytes=half,
+                        label=f"{self.name}-gpu-{i}",
+                    ),
+                )
+            )
+            phases.append(
+                CommPhase(
+                    label=f"d2h-{i}",
+                    direction=Direction.D2H,
+                    num_bytes=shape.result_bytes,
+                    num_objects=1,
+                )
+            )
+            if self.has_merge:
+                phases.append(
+                    SequentialPhase(
+                        label=f"merge-{i}",
+                        segment=Segment(
+                            pu=ProcessingUnit.CPU,
+                            mix=make_mix(
+                                serial_parts[i], self.profile_cpu, ProcessingUnit.CPU
+                            ),
+                            base_addr=OUTPUT_BASE,
+                            footprint_bytes=max(shape.result_bytes, 4),
+                            label=f"{self.name}-merge-{i}",
+                        ),
+                    )
+                )
+        return KernelTrace(name=self.name, phases=tuple(phases))

@@ -1,0 +1,31 @@
+"""Locality management for the shared memory space (paper §II-B).
+
+- :mod:`repro.locality.schemes` — the taxonomy of §II-B (who manages each
+  level implicitly/explicitly) and its feasibility rules per address space;
+  counting feasible schemes per space reproduces the paper's conclusion
+  that the partially shared space "allows the most number [of] locality
+  management options";
+- :mod:`repro.locality.manager` — applies a scheme to a machine: installs
+  the §II-B5 hybrid replacement policy in the shared cache and routes
+  ``push`` operations to the right storage (GPU scratchpad or shared L3).
+"""
+
+from repro.locality.schemes import (
+    Feasibility,
+    SchemeDescriptor,
+    describe,
+    feasibility,
+    feasible_schemes,
+    option_counts,
+)
+from repro.locality.manager import LocalityManager
+
+__all__ = [
+    "Feasibility",
+    "SchemeDescriptor",
+    "describe",
+    "feasibility",
+    "feasible_schemes",
+    "option_counts",
+    "LocalityManager",
+]

@@ -1,0 +1,103 @@
+"""Applies a locality scheme to a machine and executes ``push`` operations.
+
+Hardware side of §II-B5: "the tag storage has one bit to indicate the
+locality information to be compared in the replacement logic" — that bit is
+:attr:`repro.mem.cache.block.CacheBlock.explicit`, and this manager is what
+sets it, by routing the program-level ``push(data, level)`` statements to
+the right storage structure:
+
+- ``GPU.P`` — the GPU's 16 KB software-managed cache;
+- ``CPU.P`` — the CPU's private caches (explicit placement via line pins);
+- ``S``    — the shared second-level cache (explicit lines protected by the
+  hybrid replacement policy).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.errors import LocalityError
+from repro.locality.schemes import Feasibility, describe, feasibility
+from repro.mem.cache.cache import Cache
+from repro.mem.cache.replacement import HybridLocalityPolicy
+from repro.sim.system import Machine
+from repro.taxonomy import AddressSpaceKind, LocalityPolicy, LocalityScheme
+
+__all__ = ["LocalityManager"]
+
+#: Program-level names for push targets.
+LEVELS = ("CPU.P", "GPU.P", "S")
+
+
+class LocalityManager:
+    """Executes explicit locality control on a detailed machine."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        scheme: LocalityScheme,
+        space: AddressSpaceKind,
+    ) -> None:
+        verdict = feasibility(scheme, space)
+        if verdict is Feasibility.NO:
+            raise LocalityError(
+                f"scheme {scheme} is infeasible under the {space.short} space"
+            )
+        self.machine = machine
+        self.scheme = scheme
+        self.space = space
+        self.descriptor = describe(scheme)
+        self.pushes: Dict[str, int] = {level: 0 for level in LEVELS}
+        self._explicit_ranges: Set[Tuple[int, int]] = set()
+        if self.descriptor.hybrid_shared and not isinstance(
+            machine.l3.policy, HybridLocalityPolicy
+        ):
+            raise LocalityError(
+                "the hybrid scheme requires the shared cache to be built "
+                "with a HybridLocalityPolicy (pass l3_policy to build_machine)"
+            )
+
+    # -- push -----------------------------------------------------------------
+
+    def push(self, base: int, size: int, level: str) -> None:
+        """Execute ``push(data, level)``."""
+        if level not in LEVELS:
+            raise LocalityError(f"unknown push level {level!r}; use one of {LEVELS}")
+        if size <= 0:
+            raise LocalityError("pushed region must have positive size")
+        self._check_level_allows_push(level)
+        self.pushes[level] += 1
+        if level == "GPU.P":
+            self.machine.gpu_core.push(base, size)
+            return
+        cache = self.machine.cpu_l1d if level == "CPU.P" else self.machine.l3
+        line = cache.config.line_bytes
+        for addr in range(base, base + size, line):
+            cache.push_line(addr)
+        self._explicit_ranges.add((base, size))
+
+    def _check_level_allows_push(self, level: str) -> None:
+        d = self.descriptor
+        if level == "CPU.P" and d.cpu_private is not LocalityPolicy.EXPLICIT:
+            raise LocalityError(
+                f"{self.scheme}: the CPU's private caches are implicitly managed"
+            )
+        if level == "GPU.P" and d.gpu_private is not LocalityPolicy.EXPLICIT:
+            raise LocalityError(
+                f"{self.scheme}: the GPU's private storage is implicitly managed"
+            )
+        if level == "S":
+            shared_explicit = d.shared is LocalityPolicy.EXPLICIT or d.hybrid_shared
+            if not shared_explicit:
+                raise LocalityError(
+                    f"{self.scheme}: the shared cache is implicitly managed"
+                )
+
+    # -- queries ----------------------------------------------------------------
+
+    def is_explicit(self, addr: int) -> bool:
+        """Whether ``addr`` lies in a pushed (explicitly managed) region."""
+        return any(base <= addr < base + size for base, size in self._explicit_ranges)
+
+    def stats(self) -> Dict[str, int]:
+        return {f"pushes_{level}": count for level, count in self.pushes.items()}

@@ -1,0 +1,187 @@
+"""The locality-scheme taxonomy and its feasibility per address space.
+
+Section II-B discusses which locality-management combinations make sense
+for each address space:
+
+- the **disjoint** space "naturally has only private caches", so every
+  shared-space scheme is infeasible there;
+- for the **unified** space, implicit-private/explicit-shared "is not
+  desirable since it needs explicit management for shared data structures"
+  (potentially the whole memory), while explicit-private/implicit-shared
+  "can easily" be had;
+- the **partially shared** space supports every scheme, including the
+  §II-B5 hybrid second-level cache — "the partially shared address space
+  provides the most options to control the locality of caches";
+- under **ADSM** the shared space is managed by the CPU-side runtime, so
+  programmer-explicit shared management is possible but awkward (GMAC
+  itself is explicit-private/implicit-shared in Table I).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import LocalityError
+from repro.taxonomy import AddressSpaceKind, LocalityPolicy, LocalityScheme
+
+__all__ = [
+    "Feasibility",
+    "SchemeDescriptor",
+    "describe",
+    "feasibility",
+    "feasible_schemes",
+    "option_counts",
+]
+
+
+class Feasibility(enum.Enum):
+    """Whether a (scheme, address space) pair makes sense."""
+
+    YES = "yes"
+    UNDESIRABLE = "undesirable"  # possible but the paper argues against it
+    NO = "no"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class SchemeDescriptor:
+    """Structural description of one locality scheme."""
+
+    scheme: LocalityScheme
+    cpu_private: Optional[LocalityPolicy]
+    gpu_private: Optional[LocalityPolicy]
+    shared: Optional[LocalityPolicy]  # None = no shared space or hybrid
+    hybrid_shared: bool
+    paper_section: str
+    summary: str
+
+
+_DESCRIPTORS: Dict[LocalityScheme, SchemeDescriptor] = {
+    d.scheme: d
+    for d in (
+        SchemeDescriptor(
+            LocalityScheme.IMPLICIT_PRIVATE_IMPLICIT_SHARED,
+            LocalityPolicy.IMPLICIT,
+            LocalityPolicy.IMPLICIT,
+            LocalityPolicy.IMPLICIT,
+            hybrid_shared=False,
+            paper_section="II-B",
+            summary="hardware caches everywhere; no programmer control",
+        ),
+        SchemeDescriptor(
+            LocalityScheme.IMPLICIT_PRIVATE_EXPLICIT_SHARED,
+            LocalityPolicy.IMPLICIT,
+            LocalityPolicy.IMPLICIT,
+            LocalityPolicy.EXPLICIT,
+            hybrid_shared=False,
+            paper_section="II-B1",
+            summary="hardware private caches; programmer pushes shared data",
+        ),
+        SchemeDescriptor(
+            LocalityScheme.EXPLICIT_PRIVATE_IMPLICIT_SHARED,
+            LocalityPolicy.EXPLICIT,
+            LocalityPolicy.EXPLICIT,
+            LocalityPolicy.IMPLICIT,
+            hybrid_shared=False,
+            paper_section="II-B2",
+            summary="scratchpad private storage; hardware-managed shared cache",
+        ),
+        SchemeDescriptor(
+            LocalityScheme.EXPLICIT_PRIVATE_EXPLICIT_SHARED,
+            LocalityPolicy.EXPLICIT,
+            LocalityPolicy.EXPLICIT,
+            LocalityPolicy.EXPLICIT,
+            hybrid_shared=False,
+            paper_section="II-B",
+            summary="fully programmer-managed locality (Sequoia-style)",
+        ),
+        SchemeDescriptor(
+            LocalityScheme.MIXED_PRIVATE_EXPLICIT_SHARED,
+            LocalityPolicy.IMPLICIT,
+            LocalityPolicy.EXPLICIT,
+            LocalityPolicy.EXPLICIT,
+            hybrid_shared=False,
+            paper_section="II-B3",
+            summary="per-PU private policies; explicit shared management",
+        ),
+        SchemeDescriptor(
+            LocalityScheme.MIXED_PRIVATE_IMPLICIT_SHARED,
+            LocalityPolicy.IMPLICIT,
+            LocalityPolicy.EXPLICIT,
+            LocalityPolicy.IMPLICIT,
+            hybrid_shared=False,
+            paper_section="II-B4",
+            summary="per-PU private policies; hardware-managed shared cache",
+        ),
+        SchemeDescriptor(
+            LocalityScheme.HYBRID_SHARED,
+            LocalityPolicy.IMPLICIT,
+            LocalityPolicy.EXPLICIT,
+            None,
+            hybrid_shared=True,
+            paper_section="II-B5",
+            summary=(
+                "shared cache serves both policies; implicit fills cannot "
+                "evict explicit blocks"
+            ),
+        ),
+        SchemeDescriptor(
+            LocalityScheme.PRIVATE_ONLY,
+            LocalityPolicy.IMPLICIT,
+            LocalityPolicy.EXPLICIT,
+            None,
+            hybrid_shared=False,
+            paper_section="II-B (excluded case)",
+            summary="no shared space; each PU manages only its own caches",
+        ),
+    )
+}
+
+
+def describe(scheme: LocalityScheme) -> SchemeDescriptor:
+    """Descriptor for a scheme."""
+    return _DESCRIPTORS[scheme]
+
+
+def feasibility(scheme: LocalityScheme, space: AddressSpaceKind) -> Feasibility:
+    """The paper's verdict for a (scheme, address space) pair."""
+    if space is AddressSpaceKind.DISJOINT:
+        # "Naturally it has only private caches."
+        return Feasibility.YES if scheme is LocalityScheme.PRIVATE_ONLY else Feasibility.NO
+    if scheme is LocalityScheme.PRIVATE_ONLY:
+        return Feasibility.NO  # these spaces do have a shared window
+
+    explicit_shared = describe(scheme).shared is LocalityPolicy.EXPLICIT or describe(
+        scheme
+    ).hybrid_shared
+    if space is AddressSpaceKind.UNIFIED and explicit_shared:
+        # §II-B1: "potentially all the memory space can belong to the
+        # shared memory space ... this option is not desirable".
+        return Feasibility.UNDESIRABLE
+    if space is AddressSpaceKind.ADSM and explicit_shared:
+        # The ADSM window is runtime-managed from the CPU side; programmer
+        # pushes into it fight the runtime's coherence bookkeeping.
+        return Feasibility.UNDESIRABLE
+    return Feasibility.YES
+
+
+def feasible_schemes(
+    space: AddressSpaceKind, include_undesirable: bool = False
+) -> Tuple[LocalityScheme, ...]:
+    """Schemes usable under ``space``."""
+    allowed = (Feasibility.YES, Feasibility.UNDESIRABLE) if include_undesirable else (
+        Feasibility.YES,
+    )
+    return tuple(s for s in _DESCRIPTORS if feasibility(s, space) in allowed)
+
+
+def option_counts() -> Dict[AddressSpaceKind, int]:
+    """Feasible-scheme count per address space.
+
+    The paper's conclusion 3: the partially shared space has the most.
+    """
+    return {space: len(feasible_schemes(space)) for space in AddressSpaceKind}

@@ -1,0 +1,24 @@
+"""Set-associative caches with MSHRs and locality-aware replacement."""
+
+from repro.mem.cache.block import CacheBlock
+from repro.mem.cache.replacement import (
+    HybridLocalityPolicy,
+    LRUPolicy,
+    ReplacementPolicy,
+)
+from repro.mem.cache.mshr import MSHRFile
+from repro.mem.cache.prefetch import NextLinePrefetcher
+from repro.mem.cache.cache import Cache
+from repro.mem.cache.hierarchy import build_cpu_hierarchy, build_gpu_hierarchy
+
+__all__ = [
+    "CacheBlock",
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "HybridLocalityPolicy",
+    "MSHRFile",
+    "NextLinePrefetcher",
+    "Cache",
+    "build_cpu_hierarchy",
+    "build_gpu_hierarchy",
+]

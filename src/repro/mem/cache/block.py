@@ -1,0 +1,41 @@
+"""Cache block (line) state."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CacheBlock"]
+
+
+@dataclass
+class CacheBlock:
+    """One cache line's metadata.
+
+    ``explicit`` is the locality bit of §II-B5: set when the block was
+    placed by an explicit ``push`` (or an explicitly-managed allocation),
+    and consulted by :class:`~repro.mem.cache.replacement.HybridLocalityPolicy`
+    so implicitly cached data cannot evict explicitly managed data.
+    """
+
+    tag: int = -1
+    valid: bool = False
+    dirty: bool = False
+    explicit: bool = False
+    prefetched: bool = False
+    last_use: int = 0
+
+    def fill(self, tag: int, tick: int, explicit: bool, prefetched: bool = False) -> None:
+        """Install a new line in this block."""
+        self.tag = tag
+        self.valid = True
+        self.dirty = False
+        self.explicit = explicit
+        self.prefetched = prefetched
+        self.last_use = tick
+
+    def invalidate(self) -> None:
+        self.tag = -1
+        self.valid = False
+        self.dirty = False
+        self.explicit = False
+        self.prefetched = False

@@ -1,0 +1,271 @@
+"""The set-associative cache model."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError, SimulationError
+from repro.config.system import CacheConfig
+from repro.mem.cache.block import CacheBlock
+from repro.mem.cache.mshr import MSHRFile
+from repro.mem.cache.prefetch import NextLinePrefetcher
+from repro.mem.cache.replacement import LRUPolicy, ReplacementPolicy
+from repro.mem.level import MemoryLevel
+from repro.mem.request import AccessResult, MemRequest
+from repro.units import Frequency
+
+__all__ = ["Cache"]
+
+
+class Cache(MemoryLevel):
+    """A write-back/write-allocate set-associative cache.
+
+    Timing is accounted in seconds: hit latency is ``config.latency`` cycles
+    of ``frequency``; a miss adds the next level's access latency. Dirty
+    evictions generate write-back traffic into the next level (counted, and
+    charged to bandwidth statistics rather than the critical path, as in
+    most trace-driven models).
+
+    ``policy`` defaults to LRU; pass a
+    :class:`~repro.mem.cache.replacement.HybridLocalityPolicy` for the
+    §II-B5 hybrid shared cache. When the policy rejects a fill (no
+    evictable way for an implicit fill), the access bypasses this level:
+    the requester still gets its data from below, but nothing is installed.
+    """
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        frequency: Frequency,
+        next_level: Optional[MemoryLevel] = None,
+        policy: Optional[ReplacementPolicy] = None,
+        prefetcher: "Optional[NextLinePrefetcher]" = None,
+    ) -> None:
+        self.config = config
+        self.name = config.name
+        self.frequency = frequency
+        self.next_level = next_level
+        self.policy = policy or LRUPolicy()
+        self.prefetcher = prefetcher
+        total_sets = config.num_sets * config.tiles
+        self._sets: List[List[CacheBlock]] = [
+            [CacheBlock() for _ in range(config.ways)] for _ in range(total_sets)
+        ]
+        self._num_sets = total_sets
+        self._line = config.line_bytes
+        self._mshr = MSHRFile(config.mshr_entries)
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+        self.bypasses = 0
+        self.invalidations = 0
+        self.flushes = 0
+
+    # -- geometry ---------------------------------------------------------
+
+    def _index_tag(self, addr: int) -> "tuple[int, int]":
+        line = addr // self._line
+        return line % self._num_sets, line // self._num_sets
+
+    def _find(self, index: int, tag: int) -> Optional[int]:
+        for way, block in enumerate(self._sets[index]):
+            if block.valid and block.tag == tag:
+                return way
+        return None
+
+    @property
+    def hit_latency(self) -> float:
+        """Hit latency in seconds."""
+        return self.frequency.cycles_to_seconds(self.config.latency)
+
+    # -- the MemoryLevel interface ----------------------------------------
+
+    def access(self, request: MemRequest) -> AccessResult:
+        """Service a request; recurse into the next level on a miss."""
+        self._tick += 1
+        index, tag = self._index_tag(request.addr)
+        blocks = self._sets[index]
+        way = self._find(index, tag)
+        if way is not None:
+            self.hits += 1
+            block = blocks[way]
+            if block.prefetched:
+                block.prefetched = False
+                if self.prefetcher is not None:
+                    self.prefetcher.record_useful()
+            if request.is_write:
+                block.dirty = True
+            if request.explicit:
+                block.explicit = True
+            self.policy.on_access(blocks, way, self._tick)
+            return AccessResult(latency=self.hit_latency, hit_level=self.name, was_hit=True)
+
+        self.misses += 1
+        # Merged miss? Pay only the residual fill time.
+        line_addr = request.line_addr(self._line)
+        merged = self._mshr.lookup(line_addr, request.issue_time)
+        if merged is not None:
+            return AccessResult(
+                latency=self.hit_latency + merged, hit_level=self.name, was_hit=False
+            )
+
+        if self.next_level is None:
+            raise SimulationError(f"{self.name}: miss with no next level")
+        below = self.next_level.access(
+            request.with_time(request.issue_time + self.hit_latency)
+        )
+        latency = self.hit_latency + below.latency
+        self._mshr.allocate(line_addr, request.issue_time, latency)
+        self._fill(index, tag, request)
+        if self.prefetcher is not None:
+            self._issue_prefetches(line_addr, request)
+        return AccessResult(latency=latency, hit_level=below.hit_level, was_hit=False)
+
+    def _issue_prefetches(self, miss_line_addr: int, request: MemRequest) -> None:
+        """Install the prefetcher's chosen lines off the critical path.
+
+        Prefetch fills fetch through the next level (traffic is counted
+        there) but add no latency to the demand request; they insert as
+        implicit blocks, so they never displace protected explicit lines.
+        """
+        for line_addr in self.prefetcher.lines_to_prefetch(
+            miss_line_addr, self._line
+        ):
+            index, tag = self._index_tag(line_addr)
+            if self._find(index, tag) is not None:
+                continue
+            if self.next_level is not None:
+                self.next_level.access(
+                    MemRequest(
+                        addr=line_addr,
+                        size=self._line,
+                        pu=request.pu,
+                        issue_time=request.issue_time,
+                    )
+                )
+            blocks = self._sets[index]
+            victim = self.policy.victim(blocks, False)
+            if victim is None:
+                self.bypasses += 1
+                continue
+            block = blocks[victim]
+            if block.valid:
+                self.evictions += 1
+                if block.dirty and self.config.write_back:
+                    self.writebacks += 1
+            block.fill(tag, self._tick, explicit=False, prefetched=True)
+
+    def _fill(self, index: int, tag: int, request: MemRequest) -> None:
+        """Install the fetched line, honouring the replacement policy."""
+        if not self.config.write_allocate and request.is_write:
+            return
+        blocks = self._sets[index]
+        victim = self.policy.victim(blocks, request.explicit)
+        if victim is None:
+            self.bypasses += 1
+            return
+        block = blocks[victim]
+        if block.valid:
+            self.evictions += 1
+            if block.dirty and self.config.write_back and self.next_level is not None:
+                self.writebacks += 1
+        block.fill(tag, self._tick, request.explicit)
+        if request.is_write:
+            block.dirty = True
+        self.policy.on_access(blocks, victim, self._tick)
+
+    # -- explicit locality management --------------------------------------
+
+    def push_line(self, addr: int) -> None:
+        """Explicitly place the line containing ``addr`` (the §II-B ``push``).
+
+        The line is installed with its locality bit set, without charging a
+        demand-miss latency (push is a hint executed off the critical path).
+        """
+        self._tick += 1
+        index, tag = self._index_tag(addr)
+        way = self._find(index, tag)
+        blocks = self._sets[index]
+        if way is not None:
+            blocks[way].explicit = True
+            self.policy.on_access(blocks, way, self._tick)
+            return
+        victim = self.policy.victim(blocks, True)
+        if victim is None:
+            self.bypasses += 1
+            return
+        block = blocks[victim]
+        if block.valid:
+            self.evictions += 1
+            if block.dirty and self.config.write_back:
+                self.writebacks += 1
+        block.fill(tag, self._tick, explicit=True)
+
+    def contains(self, addr: int) -> bool:
+        """Whether the line holding ``addr`` is resident."""
+        index, tag = self._index_tag(addr)
+        return self._find(index, tag) is not None
+
+    def is_explicit(self, addr: int) -> bool:
+        """Whether the resident line holding ``addr`` carries the locality bit."""
+        index, tag = self._index_tag(addr)
+        way = self._find(index, tag)
+        return way is not None and self._sets[index][way].explicit
+
+    def invalidate_line(self, addr: int) -> bool:
+        """Invalidate one line (coherence); returns True if it was present."""
+        index, tag = self._index_tag(addr)
+        way = self._find(index, tag)
+        if way is None:
+            return False
+        self._sets[index][way].invalidate()
+        self.invalidations += 1
+        return True
+
+    def flush(self) -> int:
+        """Write back and invalidate everything (software coherence).
+
+        Returns the number of dirty lines written back.
+        """
+        dirty = 0
+        for blocks in self._sets:
+            for block in blocks:
+                if block.valid:
+                    if block.dirty:
+                        dirty += 1
+                        self.writebacks += 1
+                    block.invalidate()
+        self.flushes += 1
+        return dirty
+
+    # -- statistics ---------------------------------------------------------
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def stats(self) -> Dict[str, int]:
+        data = {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "writebacks": self.writebacks,
+            "bypasses": self.bypasses,
+            "invalidations": self.invalidations,
+            "flushes": self.flushes,
+        }
+        data.update(self._mshr.stats())
+        if self.prefetcher is not None:
+            data.update(self.prefetcher.stats())
+        return data
+
+    def reset_stats(self) -> None:
+        self.hits = self.misses = self.evictions = 0
+        self.writebacks = self.bypasses = self.invalidations = self.flushes = 0
+        self._mshr.reset()

@@ -1,0 +1,56 @@
+"""Builders for the per-PU private cache hierarchies of Table II."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.config.system import CpuConfig, GpuConfig
+from repro.mem.cache.cache import Cache
+from repro.mem.cache.prefetch import NextLinePrefetcher
+from repro.mem.cache.replacement import ReplacementPolicy
+from repro.mem.level import MemoryLevel
+
+__all__ = ["build_cpu_hierarchy", "build_gpu_hierarchy"]
+
+
+def build_cpu_hierarchy(
+    config: CpuConfig,
+    below: MemoryLevel,
+    l1_policy: Optional[ReplacementPolicy] = None,
+    l1_prefetcher: Optional[NextLinePrefetcher] = None,
+) -> Tuple[Cache, Cache]:
+    """Build the CPU's private L1D -> L2 chain on top of ``below``.
+
+    Returns ``(l1d, l2)``; the instruction cache is modeled separately by
+    the core front-end and does not participate in the data hierarchy.
+    """
+    l2 = Cache(config.l2, config.frequency, next_level=below)
+    l1d = Cache(
+        config.l1d,
+        config.frequency,
+        next_level=l2,
+        policy=l1_policy,
+        prefetcher=l1_prefetcher,
+    )
+    return l1d, l2
+
+
+def build_gpu_hierarchy(
+    config: GpuConfig,
+    below: MemoryLevel,
+    l1_policy: Optional[ReplacementPolicy] = None,
+    l1_prefetcher: Optional[NextLinePrefetcher] = None,
+) -> Cache:
+    """Build the GPU's private L1D on top of ``below``.
+
+    The baseline GPU has no L2 (Table II); its software-managed cache is a
+    scratchpad handled by the GPU core model, not part of the demand-fetch
+    hierarchy.
+    """
+    return Cache(
+        config.l1d,
+        config.frequency,
+        next_level=below,
+        policy=l1_policy,
+        prefetcher=l1_prefetcher,
+    )

@@ -1,0 +1,68 @@
+"""Miss-status holding registers.
+
+The detailed simulator is trace-driven and services one request at a time,
+so the MSHR file's role is (a) modelling *miss merging* — a miss to a line
+that is already outstanding inside the miss window piggybacks on the
+in-flight fill instead of paying the full miss penalty — and (b) bounding
+memory-level parallelism for the core models' stall calculations.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict
+
+from repro.errors import ConfigError
+
+__all__ = ["MSHRFile"]
+
+
+class MSHRFile:
+    """Tracks lines with in-flight fills.
+
+    ``lookup(line, now)`` returns the remaining latency if the line's fill
+    is still in flight (a merged miss), else ``None``. ``allocate`` records
+    a new outstanding fill completing at ``now + latency``; when the file
+    is full the oldest entry is retired (its fill has long completed in a
+    sequential trace-driven model).
+    """
+
+    def __init__(self, entries: int) -> None:
+        if entries < 1:
+            raise ConfigError("MSHR file needs at least one entry")
+        self.entries = entries
+        self._inflight: "OrderedDict[int, float]" = OrderedDict()
+        self.merges = 0
+        self.allocations = 0
+
+    def lookup(self, line_addr: int, now: float) -> "float | None":
+        """Remaining fill latency for a merged miss, or None."""
+        done_at = self._inflight.get(line_addr)
+        if done_at is None:
+            return None
+        if done_at <= now:
+            del self._inflight[line_addr]
+            return None
+        self.merges += 1
+        return done_at - now
+
+    def allocate(self, line_addr: int, now: float, latency: float) -> None:
+        """Record a new outstanding fill."""
+        self.allocations += 1
+        if line_addr in self._inflight:
+            self._inflight.move_to_end(line_addr)
+        while len(self._inflight) >= self.entries:
+            self._inflight.popitem(last=False)
+        self._inflight[line_addr] = now + latency
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._inflight)
+
+    def stats(self) -> Dict[str, int]:
+        return {"mshr_merges": self.merges, "mshr_allocations": self.allocations}
+
+    def reset(self) -> None:
+        self._inflight.clear()
+        self.merges = 0
+        self.allocations = 0

@@ -1,0 +1,109 @@
+"""CACTI-like cache latency/area/energy model.
+
+The paper models cache latencies with CACTI 6.5 (§IV-A). We reproduce the
+*outputs* it used (Table II: 32 KB -> 2 cycles, 256 KB -> 8 cycles, 2 MB
+L3 tile -> 20 cycles, all at 3.5 GHz) with a small analytic model:
+
+    latency_ns(capacity) = a + b*sqrt(KB) + c*log2(KB)
+
+fitted exactly through the three Table II calibration points (three basis
+functions, three points). Capacities between and beyond the calibration
+points get smooth, monotone-in-practice estimates, which is all the design
+sweeps need. Dynamic energy and area use standard per-bit scaling rules.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.units import GHZ, KB, MB, Frequency
+
+__all__ = ["CactiModel", "DEFAULT_CACTI", "table2_latency_cycles"]
+
+#: (capacity bytes, latency ns at 3.5 GHz) — the Table II calibration points.
+#: The L3's 20 cycles are per 2 MB tile (8 MB across 4 tiles).
+TABLE2_CALIBRATION: Tuple[Tuple[int, float], ...] = (
+    (32 * KB, 2 / 3.5),
+    (256 * KB, 8 / 3.5),
+    (2 * MB, 20 / 3.5),
+)
+
+
+@dataclass(frozen=True)
+class CactiModel:
+    """Analytic cache timing/area/energy model.
+
+    ``coefficients`` are (a, b, c) of the latency polynomial above. Use
+    :meth:`fit` to build a model through measured points;
+    :data:`DEFAULT_CACTI` is fitted through the paper's Table II values.
+    """
+
+    coefficients: Tuple[float, float, float]
+
+    @classmethod
+    def fit(cls, points: Sequence[Tuple[int, float]]) -> "CactiModel":
+        """Least-squares fit through (capacity_bytes, latency_ns) points.
+
+        With exactly three points the fit is exact.
+        """
+        if len(points) < 3:
+            raise ConfigError("need at least three calibration points")
+        rows = []
+        targets = []
+        for capacity, latency_ns in points:
+            if capacity < KB:
+                raise ConfigError(f"capacity {capacity} below 1 KB")
+            if latency_ns <= 0:
+                raise ConfigError("latency must be positive")
+            kb = capacity / KB
+            rows.append([1.0, math.sqrt(kb), math.log2(kb)])
+            targets.append(latency_ns)
+        solution, *_ = np.linalg.lstsq(np.array(rows), np.array(targets), rcond=None)
+        return cls(coefficients=tuple(float(x) for x in solution))
+
+    def latency_ns(self, capacity_bytes: int) -> float:
+        """Access latency in nanoseconds for a bank of ``capacity_bytes``."""
+        if capacity_bytes < KB:
+            raise ConfigError(f"capacity {capacity_bytes} below 1 KB")
+        a, b, c = self.coefficients
+        kb = capacity_bytes / KB
+        latency = a + b * math.sqrt(kb) + c * math.log2(kb)
+        return max(latency, 0.05)
+
+    def latency_cycles(self, capacity_bytes: int, frequency: Frequency) -> int:
+        """Access latency in whole cycles of ``frequency`` (minimum 1)."""
+        seconds = self.latency_ns(capacity_bytes) * 1e-9
+        return max(frequency.seconds_to_cycles(seconds), 1)
+
+    def dynamic_energy_nj(self, capacity_bytes: int, line_bytes: int = 64) -> float:
+        """Rough per-access dynamic energy (nJ): grows with sqrt(capacity)
+        for the array plus a per-bit line transfer term."""
+        kb = capacity_bytes / KB
+        return 0.01 * math.sqrt(kb) + 0.002 * line_bytes
+
+    def area_mm2(self, capacity_bytes: int) -> float:
+        """Rough area (mm^2) at a 32nm-class node: ~1 mm^2 per MB plus
+        sublinear periphery overhead."""
+        mb = capacity_bytes / MB
+        return 1.05 * mb + 0.08 * math.sqrt(max(mb, 1e-3))
+
+
+DEFAULT_CACTI = CactiModel.fit(TABLE2_CALIBRATION)
+
+
+def table2_latency_cycles(capacity_bytes: int, tiles: int = 1) -> int:
+    """Latency in 3.5 GHz cycles for a (possibly tiled) cache.
+
+    Tiled caches are accessed one tile at a time, so latency follows the
+    per-tile capacity — this reproduces Table II's 20-cycle figure for the
+    8 MB / 4-tile L3.
+    """
+    if tiles < 1:
+        raise ConfigError("tiles must be >= 1")
+    per_tile = capacity_bytes // tiles
+    return DEFAULT_CACTI.latency_cycles(per_tile, Frequency(3.5 * GHZ))

@@ -1,0 +1,20 @@
+"""Coherence substrates: MESI protocol state machine, a directory over the
+shared cache, and a software-coherence (runtime flush) alternative."""
+
+from repro.mem.coherence.protocol import (
+    MESIState,
+    ProtocolError,
+    next_state,
+    remote_state_on_snoop,
+)
+from repro.mem.coherence.directory import CoherenceAction, Directory, SoftwareCoherence
+
+__all__ = [
+    "MESIState",
+    "ProtocolError",
+    "next_state",
+    "remote_state_on_snoop",
+    "CoherenceAction",
+    "Directory",
+    "SoftwareCoherence",
+]

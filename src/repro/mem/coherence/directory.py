@@ -1,0 +1,154 @@
+"""A two-PU directory over the shared address window, plus software coherence.
+
+The paper's shared-space options keep coherent data either with hardware
+coherence (directory) or "purely by software coherence support" (a runtime
+that flushes/invalidates at synchronization points). Both appear here:
+
+- :class:`Directory` tracks MESI state per line per PU, tells the system
+  when to invalidate the peer's private copies, and counts protocol
+  traffic;
+- :class:`SoftwareCoherence` models the runtime alternative: no per-access
+  cost, but every synchronization point (kernel boundary) pays a flush of
+  the dirty shared lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+from repro.errors import SimulationError
+from repro.mem.coherence.protocol import MESIState, next_state, remote_state_on_snoop
+from repro.taxonomy import ProcessingUnit
+
+__all__ = ["Directory", "SoftwareCoherence", "CoherenceAction"]
+
+
+@dataclass(frozen=True)
+class CoherenceAction:
+    """What the system must do for one shared-space access.
+
+    ``invalidate_peer``: remove the peer PU's private copies of the line.
+    ``extra_latency_messages``: protocol messages on the critical path
+    (each costs one interconnect traversal).
+    """
+
+    invalidate_peer: bool
+    extra_latency_messages: int
+
+
+class Directory:
+    """Per-line MESI bookkeeping for the two PUs.
+
+    The directory is *not* a MemoryLevel: the system model consults it on
+    each shared-space access and applies the returned action (invalidating
+    peer caches, charging message latency).
+    """
+
+    def __init__(self, line_bytes: int = 64) -> None:
+        if line_bytes <= 0 or line_bytes & (line_bytes - 1):
+            raise SimulationError("line size must be a positive power of two")
+        self.line_bytes = line_bytes
+        self._state: Dict[Tuple[int, ProcessingUnit], MESIState] = {}
+        self.invalidations_sent = 0
+        self.downgrades = 0
+        self.upgrades = 0
+
+    def _line(self, addr: int) -> int:
+        return addr & ~(self.line_bytes - 1)
+
+    def state_of(self, addr: int, pu: ProcessingUnit) -> MESIState:
+        return self._state.get((self._line(addr), pu), MESIState.INVALID)
+
+    def access(self, addr: int, pu: ProcessingUnit, is_write: bool) -> CoherenceAction:
+        """Record an access and return the required action."""
+        line = self._line(addr)
+        peer = pu.other
+        local = self._state.get((line, pu), MESIState.INVALID)
+        remote = self._state.get((line, peer), MESIState.INVALID)
+        others = remote is not MESIState.INVALID
+
+        messages = 0
+        if local is MESIState.INVALID:
+            messages += 1  # directory lookup / fetch permission
+        new_local, invalidate = next_state(local, is_write, others)
+        if invalidate:
+            self.invalidations_sent += 1
+            messages += 2  # invalidate + ack
+        if others and not is_write and remote in (MESIState.MODIFIED, MESIState.EXCLUSIVE):
+            self.downgrades += 1
+            messages += 1  # writeback / share request
+        if local in (MESIState.SHARED,) and new_local is MESIState.MODIFIED:
+            self.upgrades += 1
+
+        new_remote = remote_state_on_snoop(remote, is_write) if others else remote
+        self._state[(line, pu)] = new_local
+        if others:
+            if new_remote is MESIState.INVALID:
+                self._state.pop((line, peer), None)
+            else:
+                self._state[(line, peer)] = new_remote
+        return CoherenceAction(
+            invalidate_peer=invalidate,
+            extra_latency_messages=messages,
+        )
+
+    def sharers(self, addr: int) -> Tuple[ProcessingUnit, ...]:
+        line = self._line(addr)
+        return tuple(
+            pu
+            for pu in ProcessingUnit
+            if self._state.get((line, pu), MESIState.INVALID) is not MESIState.INVALID
+        )
+
+    def check_invariants(self) -> None:
+        """Raise if the single-writer invariant is violated anywhere."""
+        lines: Dict[int, list] = {}
+        for (line, pu), state in self._state.items():
+            lines.setdefault(line, []).append(state)
+        for line, states in lines.items():
+            writers = sum(1 for s in states if s in (MESIState.MODIFIED, MESIState.EXCLUSIVE))
+            if writers > 1 or (writers == 1 and len(states) > 1):
+                raise SimulationError(
+                    f"coherence invariant violated on line {line:#x}: {states}"
+                )
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "invalidations_sent": self.invalidations_sent,
+            "downgrades": self.downgrades,
+            "upgrades": self.upgrades,
+            "tracked_lines": len({line for (line, _pu) in self._state}),
+        }
+
+
+class SoftwareCoherence:
+    """Runtime-managed coherence: flush dirty shared lines at sync points.
+
+    ``record_write`` notes dirty shared lines during execution;
+    ``sync`` returns the number of lines that must be written back and
+    clears the dirty set (the caller charges per-line cost).
+    """
+
+    def __init__(self, line_bytes: int = 64) -> None:
+        self.line_bytes = line_bytes
+        self._dirty: Dict[ProcessingUnit, set] = {pu: set() for pu in ProcessingUnit}
+        self.syncs = 0
+        self.lines_flushed = 0
+
+    def record_write(self, addr: int, pu: ProcessingUnit) -> None:
+        self._dirty[pu].add(addr & ~(self.line_bytes - 1))
+
+    def dirty_lines(self, pu: ProcessingUnit) -> int:
+        return len(self._dirty[pu])
+
+    def sync(self, pu: ProcessingUnit) -> int:
+        """Synchronize ``pu``'s shared writes; returns lines flushed."""
+        flushed = len(self._dirty[pu])
+        self._dirty[pu].clear()
+        self.syncs += 1
+        self.lines_flushed += flushed
+        return flushed
+
+    def stats(self) -> Dict[str, int]:
+        return {"syncs": self.syncs, "lines_flushed": self.lines_flushed}

@@ -1,0 +1,7 @@
+"""DDR3 DRAM model: banks with row buffers behind FR-FCFS controllers."""
+
+from repro.mem.dram.timing import DramTiming
+from repro.mem.dram.bank import Bank
+from repro.mem.dram.controller import DramSystem, MemoryController
+
+__all__ = ["DramTiming", "Bank", "MemoryController", "DramSystem"]

@@ -1,0 +1,44 @@
+"""A DRAM bank with an open-row buffer."""
+
+from __future__ import annotations
+
+from repro.mem.dram.timing import DramTiming
+
+__all__ = ["Bank"]
+
+
+class Bank:
+    """One bank: tracks the open row and classifies each access.
+
+    ``access_latency`` returns the array latency for a column access and
+    updates the open row (open-page policy, which is what makes FR-FCFS
+    row-hit-first scheduling profitable).
+    """
+
+    def __init__(self, timing: DramTiming) -> None:
+        self.timing = timing
+        self.open_row: "int | None" = None
+        self.row_hits = 0
+        self.row_misses = 0
+        self.row_closed_accesses = 0
+
+    def access_latency(self, row: int) -> float:
+        """Array latency in seconds for an access to ``row``."""
+        if self.open_row is None:
+            self.row_closed_accesses += 1
+            self.open_row = row
+            return self.timing.row_closed
+        if self.open_row == row:
+            self.row_hits += 1
+            return self.timing.row_hit
+        self.row_misses += 1
+        self.open_row = row
+        return self.timing.row_miss
+
+    @property
+    def accesses(self) -> int:
+        return self.row_hits + self.row_misses + self.row_closed_accesses
+
+    def precharge(self) -> None:
+        """Close the open row (e.g. refresh)."""
+        self.open_row = None

@@ -1,0 +1,36 @@
+"""DDR3 timing parameters in seconds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.system import DramConfig
+
+__all__ = ["DramTiming"]
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """Derived DDR3 latencies (seconds) from a :class:`DramConfig`.
+
+    - ``row_hit``: CAS only (the row is already open) — what FR-FCFS
+      prioritizes;
+    - ``row_miss``: precharge + activate + CAS (row conflict);
+    - ``row_closed``: activate + CAS (bank idle).
+    """
+
+    row_hit: float
+    row_miss: float
+    row_closed: float
+
+    @classmethod
+    def from_config(cls, config: DramConfig) -> "DramTiming":
+        period = config.frequency.period
+        cas = config.t_cl * period
+        activate = config.t_rcd * period
+        precharge = config.t_rp * period
+        return cls(
+            row_hit=cas,
+            row_miss=precharge + activate + cas,
+            row_closed=activate + cas,
+        )

@@ -1,0 +1,5 @@
+"""On-chip interconnect models (the Table II ring-bus network)."""
+
+from repro.mem.interconnect.ring import RingNetwork, RingPath
+
+__all__ = ["RingNetwork", "RingPath"]

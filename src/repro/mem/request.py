@@ -1,0 +1,62 @@
+"""Memory requests and access results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.taxonomy import ProcessingUnit
+
+__all__ = ["MemRequest", "AccessResult"]
+
+
+@dataclass(frozen=True)
+class MemRequest:
+    """One memory access descending the hierarchy.
+
+    ``explicit`` marks accesses to explicitly managed (``push``-ed) data for
+    the hybrid locality replacement policy; ``shared_space`` marks accesses
+    to the shared address window (they participate in coherence).
+    """
+
+    addr: int
+    size: int = 4
+    is_write: bool = False
+    pu: ProcessingUnit = ProcessingUnit.CPU
+    explicit: bool = False
+    shared_space: bool = False
+    issue_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.addr < 0:
+            raise SimulationError(f"negative address {self.addr:#x}")
+        if self.size <= 0:
+            raise SimulationError(f"request size must be positive, got {self.size}")
+        if self.issue_time < 0:
+            raise SimulationError("issue time must be non-negative")
+
+    def line_addr(self, line_bytes: int) -> int:
+        """The address of the cache line containing this request."""
+        return self.addr & ~(line_bytes - 1)
+
+    def with_time(self, issue_time: float) -> "MemRequest":
+        return replace(self, issue_time=issue_time)
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of sending a request into a memory level.
+
+    ``latency`` is total seconds from issue to data return; ``hit_level``
+    names the level that supplied the data (``"dram"`` for misses all the
+    way down).
+    """
+
+    latency: float
+    hit_level: str
+    was_hit: bool
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise SimulationError("latency must be non-negative")

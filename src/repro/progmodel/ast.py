@@ -1,0 +1,206 @@
+"""Statements of the mini programming-model DSL.
+
+Each statement knows how to render itself as one pseudo-C source line and
+whether it counts as a *communication-handling* line for the Table V
+metric ("the number of additional source lines required to handle explicit
+data communication and data handling operations").
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.errors import ProgramError
+from repro.taxonomy import ProcessingUnit
+from repro.trace.phase import Direction
+
+__all__ = [
+    "Stmt",
+    "Comment",
+    "Alloc",
+    "Free",
+    "Memcpy",
+    "AcquireOwnership",
+    "ReleaseOwnership",
+    "KernelLaunch",
+    "Push",
+    "Sync",
+]
+
+
+class Stmt(abc.ABC):
+    """One source line."""
+
+    #: Whether this line exists only to handle data communication.
+    is_comm: bool = False
+
+    @abc.abstractmethod
+    def render(self) -> str:
+        """The pseudo-C source line."""
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass(frozen=True)
+class Comment(Stmt):
+    """A comment line (never counted)."""
+
+    text: str
+
+    def render(self) -> str:
+        return f"// {self.text}"
+
+
+#: Allocation flavours and whether each is a communication-handling line.
+#: ``malloc`` and ``sharedmalloc`` allocate the buffer the computation uses
+#: (PAS swaps the allocator without adding a line, Figure 2(b));
+#: ``adsmAlloc`` and ``gpu_malloc`` are *extra* lines that exist only so
+#: the accelerator can reach the data (Figures 3(a) and 3(b)).
+_ALLOC_KINDS = {
+    "malloc": False,
+    "sharedmalloc": False,
+    "adsmAlloc": True,
+    "gpu_malloc": True,
+}
+
+
+@dataclass(frozen=True)
+class Alloc(Stmt):
+    """Allocate ``name`` with one of the four allocator flavours."""
+
+    name: str
+    size: int
+    kind: str = "malloc"
+    pu: ProcessingUnit = ProcessingUnit.CPU
+
+    def __post_init__(self) -> None:
+        if self.kind not in _ALLOC_KINDS:
+            raise ProgramError(f"unknown allocator {self.kind!r}")
+        if self.size <= 0:
+            raise ProgramError(f"{self.name}: allocation size must be positive")
+
+    @property
+    def is_comm(self) -> bool:  # type: ignore[override]
+        return _ALLOC_KINDS[self.kind]
+
+    def render(self) -> str:
+        if self.kind == "gpu_malloc":
+            return f"GPUmemallocate(&gpu_{self.name}, {self.size});"
+        return f"int *{self.name} = {self.kind}({self.size});"
+
+
+@dataclass(frozen=True)
+class Free(Stmt):
+    """Release a buffer; device/ADSM frees are communication lines."""
+
+    name: str
+    kind: str = "free"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("free", "gpu_free", "accfree"):
+            raise ProgramError(f"unknown free flavour {self.kind!r}")
+
+    @property
+    def is_comm(self) -> bool:  # type: ignore[override]
+        return self.kind != "free"
+
+    def render(self) -> str:
+        if self.kind == "gpu_free":
+            return f"GPUfree(gpu_{self.name});"
+        return f"{self.kind}({self.name});"
+
+
+@dataclass(frozen=True)
+class Memcpy(Stmt):
+    """An explicit copy between host and device memory."""
+
+    name: str
+    direction: Direction
+    size: int
+
+    is_comm = True
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ProgramError(f"{self.name}: copy size must be positive")
+
+    def render(self) -> str:
+        tag = (
+            "MemcpyHosttoDevice"
+            if self.direction is Direction.H2D
+            else "MemcpyDevicetoHost"
+        )
+        return f"Memcpy(gpu_{self.name}, {self.name}, {tag});"
+
+
+@dataclass(frozen=True)
+class AcquireOwnership(Stmt):
+    """Acquire ownership of shared objects (LRB)."""
+
+    names: Tuple[str, ...]
+    by: ProcessingUnit = ProcessingUnit.CPU
+
+    is_comm = True
+
+    def __post_init__(self) -> None:
+        if not self.names:
+            raise ProgramError("acquire needs at least one object")
+
+    def render(self) -> str:
+        return f"acquireOwnership({', '.join(self.names)});"
+
+
+@dataclass(frozen=True)
+class ReleaseOwnership(Stmt):
+    """Release ownership of shared objects (LRB)."""
+
+    names: Tuple[str, ...]
+    by: ProcessingUnit = ProcessingUnit.CPU
+
+    is_comm = True
+
+    def __post_init__(self) -> None:
+        if not self.names:
+            raise ProgramError("release needs at least one object")
+
+    def render(self) -> str:
+        return f"releaseOwnership({', '.join(self.names)});"
+
+
+@dataclass(frozen=True)
+class KernelLaunch(Stmt):
+    """Invoke a compute kernel on a PU, touching the named buffers."""
+
+    kernel: str
+    args: Tuple[str, ...]
+    pu: ProcessingUnit = ProcessingUnit.CPU
+
+    def render(self) -> str:
+        prefix = "addGPU" if self.pu is ProcessingUnit.GPU else ""
+        return f"{prefix}{self.kernel}({', '.join(self.args)});"
+
+
+@dataclass(frozen=True)
+class Push(Stmt):
+    """Explicit locality placement (§II-B's ``push``)."""
+
+    name: str
+    level: str  # e.g. "CPU.P", "GPU.P", "S"
+
+    is_comm = False  # locality control, not data communication
+
+    def render(self) -> str:
+        return f"push({self.name}, {self.level});"
+
+
+@dataclass(frozen=True)
+class Sync(Stmt):
+    """Return synchronization (one of ADSM's four fundamental APIs)."""
+
+    is_comm = True
+
+    def render(self) -> str:
+        return "returnSync();"

@@ -1,0 +1,187 @@
+"""Executes lowered programs against the real address-space models.
+
+The lowering produces code *shaped* like the paper's figures; the
+interpreter proves the shapes are actually legal under each address
+space's rules: allocations go through
+:meth:`repro.addrspace.AddressSpace.alloc`, ownership statements drive the
+:class:`~repro.addrspace.ownership.OwnershipTable`, and every kernel launch
+checks that the launching PU may really reach every argument buffer —
+a missing Memcpy or release shows up as an
+:class:`~repro.errors.AccessViolationError` / :class:`~repro.errors.OwnershipError`,
+exactly the bugs these programming models differ on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AccessViolationError, ProgramError
+from repro.addrspace.base import AddressSpace, make_address_space
+from repro.addrspace.disjoint import DisjointAddressSpace
+from repro.addrspace.partially_shared import PartiallySharedAddressSpace
+from repro.progmodel.ast import (
+    AcquireOwnership,
+    Alloc,
+    Comment,
+    Free,
+    KernelLaunch,
+    Memcpy,
+    Push,
+    ReleaseOwnership,
+    Stmt,
+    Sync,
+)
+from repro.progmodel.program import Program
+from repro.taxonomy import AddressSpaceKind, ProcessingUnit
+from repro.trace.phase import Direction
+
+__all__ = ["ExecutionLog", "Interpreter"]
+
+
+@dataclass
+class ExecutionLog:
+    """What happened while executing a program."""
+
+    events: List[str] = field(default_factory=list)
+    bytes_copied: int = 0
+    copies: int = 0
+    ownership_actions: int = 0
+    kernel_launches: int = 0
+    pushes: int = 0
+
+    def record(self, message: str) -> None:
+        self.events.append(message)
+
+
+class Interpreter:
+    """Runs one program against an address space."""
+
+    def __init__(self, space: Optional[AddressSpace] = None) -> None:
+        self._space = space
+
+    def execute(self, program: Program) -> ExecutionLog:
+        """Execute ``program``; returns the log.
+
+        Raises the substrate's own errors (ownership violations, access
+        violations, double allocations) if the program is illegal for its
+        address space.
+        """
+        space = self._space or make_address_space(program.address_space)
+        if space.kind is not program.address_space:
+            raise ProgramError(
+                f"program targets {program.address_space} but space is {space.kind}"
+            )
+        log = ExecutionLog()
+        for stmt in program:
+            self._step(stmt, space, log)
+        return log
+
+    def _step(self, stmt: Stmt, space: AddressSpace, log: ExecutionLog) -> None:
+        if isinstance(stmt, Comment):
+            return
+        if isinstance(stmt, Alloc):
+            self._alloc(stmt, space, log)
+        elif isinstance(stmt, Free):
+            self._free(stmt, space, log)
+        elif isinstance(stmt, Memcpy):
+            self._memcpy(stmt, space, log)
+        elif isinstance(stmt, ReleaseOwnership):
+            self._ownership(space, log, stmt.names, stmt.by, release=True)
+        elif isinstance(stmt, AcquireOwnership):
+            self._ownership(space, log, stmt.names, stmt.by, release=False)
+        elif isinstance(stmt, KernelLaunch):
+            self._launch(stmt, space, log)
+        elif isinstance(stmt, Push):
+            log.pushes += 1
+            log.record(f"push {stmt.name} -> {stmt.level}")
+        elif isinstance(stmt, Sync):
+            log.record("return-sync")
+        else:
+            raise ProgramError(f"interpreter cannot execute {type(stmt).__name__}")
+
+    def _alloc(self, stmt: Alloc, space: AddressSpace, log: ExecutionLog) -> None:
+        if stmt.kind == "malloc":
+            space.alloc(stmt.name, stmt.size, pu=ProcessingUnit.CPU)
+        elif stmt.kind == "sharedmalloc":
+            space.alloc(stmt.name, stmt.size, pu=ProcessingUnit.CPU, shared=True)
+        elif stmt.kind == "adsmAlloc":
+            space.alloc(stmt.name, stmt.size, shared=True)
+        elif stmt.kind == "gpu_malloc":
+            if isinstance(space, DisjointAddressSpace):
+                space.alloc_device_copy(space.allocation(stmt.name), ProcessingUnit.GPU)
+            else:
+                space.alloc(f"{stmt.name}@gpu", stmt.size, pu=ProcessingUnit.GPU)
+        log.record(f"alloc {stmt.kind} {stmt.name} ({stmt.size}B)")
+
+    def _free(self, stmt: Free, space: AddressSpace, log: ExecutionLog) -> None:
+        if stmt.kind == "gpu_free":
+            space.free(space.allocation(f"{stmt.name}@{ProcessingUnit.GPU}"))
+        else:
+            space.free(space.allocation(stmt.name))
+        log.record(f"free {stmt.name}")
+
+    def _memcpy(self, stmt: Memcpy, space: AddressSpace, log: ExecutionLog) -> None:
+        host = space.allocation(stmt.name)
+        device = space.allocation(f"{stmt.name}@{ProcessingUnit.GPU}")
+        # Both endpoints must be reachable by their own PU.
+        space.check_access(ProcessingUnit.CPU, host.addr)
+        space.check_access(ProcessingUnit.GPU, device.addr)
+        log.copies += 1
+        log.bytes_copied += stmt.size
+        log.record(f"memcpy {stmt.name} {stmt.direction} ({stmt.size}B)")
+
+    def _ownership(
+        self,
+        space: AddressSpace,
+        log: ExecutionLog,
+        names: Tuple[str, ...],
+        by: ProcessingUnit,
+        release: bool,
+    ) -> None:
+        if not isinstance(space, PartiallySharedAddressSpace) or space.ownership is None:
+            raise ProgramError(
+                "ownership statements require the partially shared address "
+                "space with ownership control"
+            )
+        if release:
+            space.ownership.release(names, by=by)
+        else:
+            space.ownership.acquire(names, by=by)
+        log.ownership_actions += 1
+        verb = "release" if release else "acquire"
+        log.record(f"{verb} {', '.join(names)} by {by}")
+
+    def _launch(self, stmt: KernelLaunch, space: AddressSpace, log: ExecutionLog) -> None:
+        for arg in stmt.args:
+            allocation = self._resolve_arg(arg, stmt.pu, space)
+            space.check_access(stmt.pu, allocation.addr)
+            if isinstance(space, PartiallySharedAddressSpace) and allocation.shared:
+                if space.ownership is not None:
+                    if stmt.pu is ProcessingUnit.GPU:
+                        # Figure 2(b): the GPU kernel body brackets its work
+                        # with acquireOwnership/releaseOwnership.
+                        space.ownership.acquire([allocation.name], by=stmt.pu)
+                        space.ownership.release([allocation.name], by=stmt.pu)
+                    else:
+                        # Host-side code must already own the object (the
+                        # explicit acquireOwnership precedes this call).
+                        space.ownership.check_access(allocation.name, stmt.pu)
+        log.kernel_launches += 1
+        log.record(f"launch {stmt.kernel} on {stmt.pu}")
+
+    @staticmethod
+    def _resolve_arg(name: str, pu: ProcessingUnit, space: AddressSpace):
+        """The buffer a kernel argument denotes for the launching PU.
+
+        Under a disjoint space, a GPU kernel's ``a`` argument is really the
+        device alias ``a@gpu``; elsewhere names resolve directly. Under
+        ADSM, a GPU launch on a host buffer resolves to its ``_adsm``
+        mapping when one exists.
+        """
+        if isinstance(space, DisjointAddressSpace) and pu is ProcessingUnit.GPU:
+            return space.allocation(f"{name}@{pu}")
+        live = space.live_allocations()
+        if pu is ProcessingUnit.GPU and f"{name}_adsm" in live:
+            return live[f"{name}_adsm"]
+        return space.allocation(name)

@@ -1,0 +1,94 @@
+"""Locality-annotated lowering (the paper's Figure 4 code patterns).
+
+Figure 4 shows the reduction example with explicit locality control
+statements: ``push`` places data into the desired cache level (``CPU.P``,
+``GPU.P``, or the second-level ``S``), and which pushes appear depends on
+the locality-management scheme:
+
+- *explicit-private* PUs push their input halves into their private
+  storage (Figure 4(a)/(b));
+- *explicit-shared* (or hybrid) schemes push the data both PUs exchange
+  into the second-level cache (all three subfigures);
+- *implicit-private* schemes have no private pushes (Figure 4(c)).
+
+:func:`lower_with_locality` augments the ordinary address-space lowering
+with exactly those pushes, after checking the (scheme, space) pair is
+feasible per §II-B.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import LocalityError
+from repro.locality.schemes import Feasibility, describe, feasibility
+from repro.progmodel.ast import KernelLaunch, Push, Stmt
+from repro.progmodel.lowering import lower
+from repro.progmodel.program import Program
+from repro.progmodel.spec import KernelProgramSpec
+from repro.taxonomy import AddressSpaceKind, LocalityPolicy, LocalityScheme
+
+__all__ = ["lower_with_locality", "count_pushes"]
+
+
+def _push_statements(spec: KernelProgramSpec, scheme: LocalityScheme) -> "tuple[List[Stmt], List[Stmt]]":
+    """(pushes before the kernel calls, pushes after) for a scheme."""
+    descriptor = describe(scheme)
+    before: List[Stmt] = []
+    after: List[Stmt] = []
+    if descriptor.cpu_private is LocalityPolicy.EXPLICIT:
+        for buffer in spec.inputs():
+            before.append(Push(buffer.name, "CPU.P"))
+    if descriptor.gpu_private is LocalityPolicy.EXPLICIT:
+        for buffer in spec.inputs():
+            before.append(Push(buffer.name, "GPU.P"))
+    shared_explicit = (
+        descriptor.shared is LocalityPolicy.EXPLICIT or descriptor.hybrid_shared
+    )
+    if shared_explicit:
+        for buffer in spec.outputs():
+            after.append(Push(buffer.name, "S"))
+    return before, after
+
+
+def lower_with_locality(
+    spec: KernelProgramSpec,
+    kind: AddressSpaceKind,
+    scheme: LocalityScheme,
+) -> Program:
+    """Lower ``spec`` for ``kind`` with the scheme's ``push`` annotations.
+
+    Raises :class:`LocalityError` for pairs §II-B rules out entirely
+    (e.g. any shared scheme under a disjoint space); undesirable-but-
+    possible pairs lower normally (the paper shows them to argue against
+    them).
+    """
+    if feasibility(scheme, kind) is Feasibility.NO:
+        raise LocalityError(
+            f"scheme {scheme} is impossible under the {kind.short} space"
+        )
+    base = lower(spec, kind)
+    before, after = _push_statements(spec, scheme)
+
+    statements: List[Stmt] = []
+    launches_seen = 0
+    total_launches = sum(1 for s in base if isinstance(s, KernelLaunch))
+    for stmt in base:
+        if isinstance(stmt, KernelLaunch) and launches_seen == 0:
+            statements.extend(before)
+        statements.append(stmt)
+        if isinstance(stmt, KernelLaunch):
+            launches_seen += 1
+            if launches_seen == total_launches:
+                statements.extend(after)
+    return Program(
+        kernel=spec.name,
+        address_space=kind,
+        statements=tuple(statements),
+        computation_lines=spec.computation_lines,
+    )
+
+
+def count_pushes(program: Program) -> int:
+    """Number of ``push`` locality-control statements in a program."""
+    return sum(1 for stmt in program if isinstance(stmt, Push))

@@ -1,0 +1,121 @@
+"""Lowering kernel specs to programs, per address space.
+
+Implements the four code patterns of the paper's Figures 2 and 3; the
+communication-line counts of the lowered programs reproduce Table V:
+
+======================  =======================================  =========
+Address space           communication lines generated            formula
+======================  =======================================  =========
+unified                 none                                     0
+partially shared        release+acquire per GPU call site        2*sites
+ADSM                    adsmAlloc + accfree per shared buffer    2*buffers
+disjoint                device alloc + Memcpy + device free      3*buffers
+                        per shared buffer
+======================  =======================================  =========
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ProgramError
+from repro.progmodel.ast import (
+    AcquireOwnership,
+    Alloc,
+    Comment,
+    Free,
+    KernelLaunch,
+    Memcpy,
+    ReleaseOwnership,
+    Stmt,
+)
+from repro.progmodel.program import Program
+from repro.progmodel.spec import BufferDirection, KernelProgramSpec
+from repro.taxonomy import AddressSpaceKind, ProcessingUnit
+from repro.trace.phase import Direction
+
+__all__ = ["lower"]
+
+
+def _kernel_name(spec: KernelProgramSpec) -> str:
+    return spec.name.replace(" ", "_").replace("-", "_") + "_kernel"
+
+
+def _launches(spec: KernelProgramSpec, pu: ProcessingUnit) -> List[Stmt]:
+    return [
+        KernelLaunch(kernel=_kernel_name(spec), args=spec.buffer_names, pu=pu)
+        for _ in range(spec.gpu_call_sites)
+    ]
+
+
+def _lower_unified(spec: KernelProgramSpec) -> List[Stmt]:
+    """Figure 2(a): plain mallocs, direct calls, nothing else."""
+    stmts: List[Stmt] = [Alloc(b.name, b.size, "malloc") for b in spec.buffers]
+    stmts.extend(_launches(spec, ProcessingUnit.GPU))
+    stmts.extend(Free(b.name, "free") for b in spec.buffers)
+    return stmts
+
+
+def _lower_partially_shared(spec: KernelProgramSpec) -> List[Stmt]:
+    """Figure 2(b): sharedmalloc replaces malloc (no extra line); each GPU
+    call site is bracketed by a release (CPU gives up the objects) and an
+    acquire (CPU takes the results back)."""
+    names = spec.buffer_names
+    stmts: List[Stmt] = [Alloc(b.name, b.size, "sharedmalloc") for b in spec.buffers]
+    for _ in range(spec.gpu_call_sites):
+        stmts.append(ReleaseOwnership(names, by=ProcessingUnit.CPU))
+        stmts.append(
+            KernelLaunch(kernel=_kernel_name(spec), args=names, pu=ProcessingUnit.GPU)
+        )
+        stmts.append(AcquireOwnership(names, by=ProcessingUnit.CPU))
+    stmts.extend(Free(b.name, "free") for b in spec.buffers)
+    return stmts
+
+
+def _lower_adsm(spec: KernelProgramSpec) -> List[Stmt]:
+    """Figure 3(b): regular mallocs stay; an adsmAlloc maps each shared
+    buffer into the GPU, and an accfree releases it; no copies back."""
+    stmts: List[Stmt] = [Alloc(b.name, b.size, "malloc") for b in spec.buffers]
+    stmts.extend(Alloc(b.name + "_adsm", b.size, "adsmAlloc") for b in spec.buffers)
+    stmts.extend(_launches(spec, ProcessingUnit.GPU))
+    stmts.extend(Free(b.name + "_adsm", "accfree") for b in spec.buffers)
+    stmts.extend(Free(b.name, "free") for b in spec.buffers)
+    return stmts
+
+
+def _lower_disjoint(spec: KernelProgramSpec) -> List[Stmt]:
+    """Figure 3(a): duplicated device pointers — a device allocation, an
+    explicit Memcpy (host-to-device for inputs, device-to-host for
+    outputs, both for inout), and a device free per shared buffer."""
+    stmts: List[Stmt] = [Alloc(b.name, b.size, "malloc") for b in spec.buffers]
+    stmts.extend(Alloc(b.name, b.size, "gpu_malloc") for b in spec.buffers)
+    for b in spec.inputs():
+        stmts.append(Memcpy(b.name, Direction.H2D, b.size))
+    stmts.extend(_launches(spec, ProcessingUnit.GPU))
+    for b in spec.outputs():
+        stmts.append(Memcpy(b.name, Direction.D2H, b.size))
+    stmts.extend(Free(b.name, "gpu_free") for b in spec.buffers)
+    stmts.extend(Free(b.name, "free") for b in spec.buffers)
+    return stmts
+
+
+_LOWERINGS = {
+    AddressSpaceKind.UNIFIED: _lower_unified,
+    AddressSpaceKind.PARTIALLY_SHARED: _lower_partially_shared,
+    AddressSpaceKind.ADSM: _lower_adsm,
+    AddressSpaceKind.DISJOINT: _lower_disjoint,
+}
+
+
+def lower(spec: KernelProgramSpec, kind: AddressSpaceKind) -> Program:
+    """Lower ``spec`` to a program for the given address space."""
+    try:
+        build = _LOWERINGS[kind]
+    except KeyError:
+        raise ProgramError(f"no lowering for address space {kind}") from None
+    return Program(
+        kernel=spec.name,
+        address_space=kind,
+        statements=tuple(build(spec)),
+        computation_lines=spec.computation_lines,
+    )

@@ -1,0 +1,63 @@
+"""Programs: ordered statement lists with the Table V line metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+from repro.errors import ProgramError
+from repro.progmodel.ast import Comment, Stmt
+from repro.taxonomy import AddressSpaceKind
+
+__all__ = ["Program"]
+
+
+@dataclass(frozen=True)
+class Program:
+    """A lowered kernel program for one address space.
+
+    ``computation_lines`` is the Comp column of Table V (size of the
+    hand-written computation code, carried as metadata);
+    :meth:`comm_lines` counts the communication-handling statements the
+    lowering generated — the number the paper's Table V reports per
+    address space.
+    """
+
+    kernel: str
+    address_space: AddressSpaceKind
+    statements: Tuple[Stmt, ...]
+    computation_lines: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "statements", tuple(self.statements))
+        if self.computation_lines < 0:
+            raise ProgramError("computation line count must be non-negative")
+        for stmt in self.statements:
+            if not isinstance(stmt, Stmt):
+                raise ProgramError(f"not a statement: {stmt!r}")
+
+    def __iter__(self) -> Iterator[Stmt]:
+        return iter(self.statements)
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+    def comm_lines(self) -> int:
+        """Source lines that exist only to handle data communication."""
+        return sum(1 for stmt in self.statements if stmt.is_comm)
+
+    def comm_statements(self) -> Tuple[Stmt, ...]:
+        return tuple(stmt for stmt in self.statements if stmt.is_comm)
+
+    def total_lines(self) -> int:
+        """Computation plus communication lines (comments excluded)."""
+        return self.computation_lines + self.comm_lines()
+
+    def render(self) -> str:
+        """The whole program as pseudo-C source."""
+        header = [
+            f"// {self.kernel} under the {self.address_space.short} address space",
+            f"// ({self.computation_lines} computation lines not shown)",
+        ]
+        body = [stmt.render() for stmt in self.statements]
+        return "\n".join(header + body)

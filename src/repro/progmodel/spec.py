@@ -1,0 +1,171 @@
+"""Abstract kernel program specifications.
+
+A :class:`KernelProgramSpec` captures what the lowering needs to know about
+a kernel's communication structure: which buffers both PUs touch (and in
+which direction the data flows), how many GPU call sites the source has,
+and how many source lines the computation itself takes (Table V's "Comp"
+column — a property of the hand-written reference code, taken from the
+paper).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ProgramError
+
+__all__ = [
+    "BufferDirection",
+    "BufferSpec",
+    "KernelProgramSpec",
+    "program_spec",
+    "all_program_specs",
+]
+
+
+class BufferDirection(enum.Enum):
+    """Which way a shared buffer's data flows across the PU boundary."""
+
+    IN = "in"        # host -> device before the kernel
+    OUT = "out"      # device -> host after the kernel
+    INOUT = "inout"  # both
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class BufferSpec:
+    """One buffer both PUs use."""
+
+    name: str
+    size: int
+    direction: BufferDirection
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ProgramError(f"{self.name}: buffer size must be positive")
+
+
+@dataclass(frozen=True)
+class KernelProgramSpec:
+    """Communication structure of one kernel's source program."""
+
+    name: str
+    buffers: Tuple[BufferSpec, ...]
+    gpu_call_sites: int
+    computation_lines: int
+    private_buffers: Tuple[BufferSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.buffers:
+            raise ProgramError(f"{self.name}: need at least one shared buffer")
+        if self.gpu_call_sites < 1:
+            raise ProgramError(f"{self.name}: need at least one GPU call site")
+        if self.computation_lines < 1:
+            raise ProgramError(f"{self.name}: computation lines must be positive")
+        names = [b.name for b in self.buffers + self.private_buffers]
+        if len(set(names)) != len(names):
+            raise ProgramError(f"{self.name}: duplicate buffer names")
+
+    @property
+    def buffer_names(self) -> Tuple[str, ...]:
+        return tuple(b.name for b in self.buffers)
+
+    def inputs(self) -> Tuple[BufferSpec, ...]:
+        return tuple(
+            b
+            for b in self.buffers
+            if b.direction in (BufferDirection.IN, BufferDirection.INOUT)
+        )
+
+    def outputs(self) -> Tuple[BufferSpec, ...]:
+        return tuple(
+            b
+            for b in self.buffers
+            if b.direction in (BufferDirection.OUT, BufferDirection.INOUT)
+        )
+
+
+# Buffer sizes follow each kernel's Table III transfer sizes; computation
+# line counts are Table V's "Comp" column; GPU call sites follow the phase
+# structure of the trace generators (one per parallel phase).
+_SPECS: Dict[str, KernelProgramSpec] = {
+    spec.name: spec
+    for spec in (
+        KernelProgramSpec(
+            name="reduction",
+            buffers=(
+                BufferSpec("a", 160256, BufferDirection.IN),
+                BufferSpec("b", 160256, BufferDirection.IN),
+                BufferSpec("c", 512, BufferDirection.OUT),
+            ),
+            gpu_call_sites=1,
+            computation_lines=142,
+        ),
+        KernelProgramSpec(
+            name="matrix mul",
+            buffers=(
+                BufferSpec("a", 262144, BufferDirection.IN),
+                BufferSpec("b", 262144, BufferDirection.IN),
+                BufferSpec("c", 131072, BufferDirection.OUT),
+            ),
+            gpu_call_sites=1,
+            computation_lines=39,
+        ),
+        KernelProgramSpec(
+            name="convolution",
+            buffers=(
+                BufferSpec("input", 32768, BufferDirection.IN),
+                BufferSpec("filter", 32768, BufferDirection.IN),
+                BufferSpec("output", 32768, BufferDirection.OUT),
+            ),
+            gpu_call_sites=2,
+            computation_lines=75,
+        ),
+        KernelProgramSpec(
+            name="dct",
+            buffers=(
+                BufferSpec("image", 262244, BufferDirection.IN),
+                BufferSpec("coeffs", 131072, BufferDirection.OUT),
+            ),
+            gpu_call_sites=1,
+            computation_lines=410,
+        ),
+        KernelProgramSpec(
+            name="merge sort",
+            buffers=(
+                BufferSpec("data", 39936, BufferDirection.IN),
+                BufferSpec("sorted", 39936, BufferDirection.OUT),
+            ),
+            gpu_call_sites=1,
+            computation_lines=112,
+        ),
+        KernelProgramSpec(
+            name="k-mean",
+            buffers=(
+                BufferSpec("points", 131072, BufferDirection.IN),
+                BufferSpec("partials", 4096, BufferDirection.OUT),
+            ),
+            gpu_call_sites=3,
+            computation_lines=332,
+        ),
+    )
+}
+
+
+def program_spec(name: str) -> KernelProgramSpec:
+    """Spec for one of the six kernels (paper name)."""
+    try:
+        return _SPECS[name]
+    except KeyError:
+        raise ProgramError(
+            f"no program spec for {name!r}; known: {', '.join(_SPECS)}"
+        ) from None
+
+
+def all_program_specs() -> Tuple[KernelProgramSpec, ...]:
+    """All six kernels' specs, in Table III order."""
+    return tuple(_SPECS.values())

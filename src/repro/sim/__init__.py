@@ -1,0 +1,29 @@
+"""Trace-driven simulators.
+
+Two fidelities share the same inputs (a :class:`repro.trace.KernelTrace`
+plus a system description) and the same output
+(:class:`~repro.sim.results.SimulationResult` with the paper's
+sequential/parallel/communication breakdown):
+
+- :class:`~repro.sim.fast.FastSimulator` — segment-analytic; what the
+  figure-regeneration benchmarks use (full Table III instruction counts in
+  microseconds of host time);
+- :class:`~repro.sim.detailed.DetailedSimulator` — cycle-approximate,
+  drives every instruction through the branch predictors, cache hierarchy,
+  ring, directory, and DRAM; used on scaled traces and cross-checked
+  against the fast model (ablation C).
+"""
+
+from repro.sim.clock import ClockDomain
+from repro.sim.results import PhaseTiming, SimulationResult, TimeBreakdown
+from repro.sim.fast import FastSimulator
+from repro.sim.detailed import DetailedSimulator
+
+__all__ = [
+    "ClockDomain",
+    "TimeBreakdown",
+    "PhaseTiming",
+    "SimulationResult",
+    "FastSimulator",
+    "DetailedSimulator",
+]

@@ -1,0 +1,159 @@
+"""Analytic core/memory timing used by the fast simulator.
+
+The fast simulator never expands instructions; it prices a
+:class:`~repro.trace.phase.Segment` from its mix and footprint:
+
+- **CPU**: dependency-limited issue at ``ISSUE_EFFICIENCY`` of the issue
+  width, gshare mispredictions at a fixed streaming-code rate, and memory
+  stalls from a footprint-based miss model with OoO miss overlap (MLP);
+- **GPU**: CPI 1 in-order issue, a stall on every branch, and memory
+  stalls divided by the warp count.
+
+The miss model classifies a segment by where its footprint fits (L1, L2,
+L3, DRAM) and charges streaming-style miss rates (one miss per cache line
+of new data) — the six kernels are all streaming workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.system import SystemConfig
+from repro.errors import SimulationError
+from repro.trace.phase import Segment
+from repro.taxonomy import ProcessingUnit
+
+__all__ = ["AnalyticTiming", "multicore_speedup"]
+
+#: Fraction of peak issue width an OoO core sustains on these kernels.
+ISSUE_EFFICIENCY = 0.55
+#: gshare misprediction rate on streaming loop code.
+MISPREDICT_RATE = 0.05
+#: OoO memory-level parallelism (outstanding-miss overlap divisor).
+CPU_MLP = 4.0
+#: Extra CPU cycles for a ring traversal to the L3 and back.
+RING_ROUND_TRIP_CYCLES = 8
+#: Unloaded DRAM access latency in nanoseconds (activate+CAS+burst).
+DRAM_LATENCY_NS = 50.0
+#: Per-extra-core synchronization/imbalance overhead for multi-core
+#: scaling (the paper fixes one core per PU, footnote 4; this governs the
+#: extension sweep): speedup(n) = n / (1 + SYNC_FRACTION * (n - 1)).
+SYNC_FRACTION = 0.05
+
+
+def multicore_speedup(num_cores: int) -> float:
+    """Sublinear parallel speedup of a data-parallel segment on n cores."""
+    if num_cores < 1:
+        raise SimulationError(f"need at least one core, got {num_cores}")
+    return num_cores / (1.0 + SYNC_FRACTION * (num_cores - 1))
+
+
+@dataclass(frozen=True)
+class _MissProfile:
+    """Per-memory-op miss behaviour for one segment."""
+
+    miss_rate: float
+    miss_penalty_seconds: float
+
+
+class AnalyticTiming:
+    """Prices segments in seconds for a given system configuration."""
+
+    def __init__(self, system: "SystemConfig | None" = None) -> None:
+        self.system = system or SystemConfig()
+
+    # -- memory model -------------------------------------------------------
+
+    def _miss_profile(self, segment: Segment, pu: ProcessingUnit) -> _MissProfile:
+        system = self.system
+        line = system.l3.line_bytes
+        footprint = segment.footprint_bytes
+        cpu_freq = system.cpu.frequency
+        streaming_miss = segment.elem_bytes / line
+
+        if pu is ProcessingUnit.CPU:
+            l1 = system.cpu.l1d
+            l1_lat = cpu_freq.cycles_to_seconds(l1.latency)
+            l2_lat = cpu_freq.cycles_to_seconds(system.cpu.l2.latency)
+            l3_lat = cpu_freq.cycles_to_seconds(
+                system.l3.latency + RING_ROUND_TRIP_CYCLES
+            )
+        else:
+            l1 = system.gpu.l1d
+            gpu_freq = system.gpu.frequency
+            l1_lat = gpu_freq.cycles_to_seconds(l1.latency)
+            # The GPU has no L2; its misses go straight over the ring to
+            # the shared L3 (latencies below are wall-clock, so the clock
+            # domains mix correctly).
+            l2_lat = None
+            l3_lat = cpu_freq.cycles_to_seconds(
+                system.l3.latency + RING_ROUND_TRIP_CYCLES
+            )
+        dram_lat = DRAM_LATENCY_NS * 1e-9
+
+        if footprint <= l1.size_bytes:
+            # Fits in L1: only cold misses.
+            return _MissProfile(miss_rate=0.01, miss_penalty_seconds=l3_lat - l1_lat)
+        if pu is ProcessingUnit.CPU and footprint <= self.system.cpu.l2.size_bytes:
+            return _MissProfile(
+                miss_rate=streaming_miss, miss_penalty_seconds=l2_lat - l1_lat
+            )
+        if footprint <= self.system.l3.size_bytes:
+            return _MissProfile(
+                miss_rate=streaming_miss, miss_penalty_seconds=l3_lat - l1_lat
+            )
+        return _MissProfile(
+            miss_rate=streaming_miss, miss_penalty_seconds=l3_lat + dram_lat - l1_lat
+        )
+
+    # -- per-PU segment pricing ---------------------------------------------
+
+    def cpu_segment_seconds(self, segment: Segment, parallel: bool = True) -> float:
+        """Wall-clock time of a CPU segment.
+
+        ``parallel`` segments (the kernel halves of parallel phases) scale
+        across ``num_cores``; sequential segments always run on one core.
+        """
+        if segment.pu is not ProcessingUnit.CPU:
+            raise SimulationError("cpu_segment_seconds requires a CPU segment")
+        cpu = self.system.cpu
+        mix = segment.mix
+        issue_cycles = mix.total / (cpu.issue_width * ISSUE_EFFICIENCY)
+        branch_cycles = mix.branches * MISPREDICT_RATE * cpu.branch_mispredict_penalty
+        profile = self._miss_profile(segment, ProcessingUnit.CPU)
+        misses = mix.memory_ops * profile.miss_rate
+        stall_seconds = misses * profile.miss_penalty_seconds / CPU_MLP
+        seconds = (
+            cpu.frequency.cycles_to_seconds(issue_cycles + branch_cycles)
+            + stall_seconds
+        )
+        if parallel and cpu.num_cores > 1:
+            seconds /= multicore_speedup(cpu.num_cores)
+        return seconds
+
+    def gpu_segment_seconds(self, segment: Segment, parallel: bool = True) -> float:
+        """Wall-clock time of a GPU segment (scales across GPU cores)."""
+        if segment.pu is not ProcessingUnit.GPU:
+            raise SimulationError("gpu_segment_seconds requires a GPU segment")
+        gpu = self.system.gpu
+        mix = segment.mix
+        issue_cycles = float(mix.total)
+        branch_cycles = mix.branches * (
+            gpu.branch_stall_cycles if gpu.stall_on_branch else 0
+        )
+        profile = self._miss_profile(segment, ProcessingUnit.GPU)
+        misses = mix.memory_ops * profile.miss_rate
+        stall_seconds = misses * profile.miss_penalty_seconds / gpu.warps_per_core
+        seconds = (
+            gpu.frequency.cycles_to_seconds(issue_cycles + branch_cycles)
+            + stall_seconds
+        )
+        if parallel and gpu.num_cores > 1:
+            seconds /= multicore_speedup(gpu.num_cores)
+        return seconds
+
+    def segment_seconds(self, segment: Segment) -> float:
+        """Wall-clock time of any segment (dispatch on its PU)."""
+        if segment.pu is ProcessingUnit.CPU:
+            return self.cpu_segment_seconds(segment)
+        return self.gpu_segment_seconds(segment)

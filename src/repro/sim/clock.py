@@ -1,0 +1,38 @@
+"""Clock domains for the heterogeneous system.
+
+The CPU runs at 3.5 GHz and the GPU at 1.5 GHz (Table II); each core model
+accumulates its own cycles and converts to wall-clock seconds only at phase
+boundaries, where the domains meet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.units import Frequency
+
+__all__ = ["ClockDomain"]
+
+
+@dataclass
+class ClockDomain:
+    """A named clock accumulating cycles."""
+
+    name: str
+    frequency: Frequency
+    cycles: int = 0
+
+    def advance(self, cycles: int) -> None:
+        """Advance the domain by a non-negative cycle count."""
+        if cycles < 0:
+            raise SimulationError(f"{self.name}: cannot advance by {cycles} cycles")
+        self.cycles += cycles
+
+    @property
+    def seconds(self) -> float:
+        """Wall-clock time accumulated in this domain."""
+        return self.frequency.cycles_to_seconds(self.cycles)
+
+    def reset(self) -> None:
+        self.cycles = 0

@@ -1,0 +1,6 @@
+"""The out-of-order CPU core model (Table II, CPU column)."""
+
+from repro.sim.cpu.branch import GsharePredictor
+from repro.sim.cpu.core import CpuCore
+
+__all__ = ["GsharePredictor", "CpuCore"]

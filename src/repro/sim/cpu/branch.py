@@ -1,0 +1,56 @@
+"""A gshare branch predictor (the paper's CPU predictor).
+
+Classic gshare: the global history register XORed with the branch PC
+indexes a table of 2-bit saturating counters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.config.system import BranchPredictorConfig
+
+__all__ = ["GsharePredictor"]
+
+
+class GsharePredictor:
+    """2-bit-counter gshare."""
+
+    def __init__(self, config: "BranchPredictorConfig | None" = None) -> None:
+        self.config = config or BranchPredictorConfig()
+        self._table: List[int] = [2] * self.config.table_entries  # weakly taken
+        self._history = 0
+        self._history_mask = (1 << self.config.history_bits) - 1
+        self._index_mask = self.config.table_entries - 1
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict the branch at ``pc``; train on the actual outcome.
+
+        Returns True when the prediction was correct.
+        """
+        index = (pc ^ self._history) & self._index_mask
+        counter = self._table[index]
+        prediction = counter >= 2
+        correct = prediction == taken
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+        # Train the counter and shift the history.
+        if taken and counter < 3:
+            self._table[index] = counter + 1
+        elif not taken and counter > 0:
+            self._table[index] = counter - 1
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+        return correct
+
+    @property
+    def misprediction_rate(self) -> float:
+        return self.mispredictions / self.predictions if self.predictions else 0.0
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "predictions": self.predictions,
+            "mispredictions": self.mispredictions,
+        }

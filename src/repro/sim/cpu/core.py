@@ -1,0 +1,140 @@
+"""Out-of-order CPU core timing model.
+
+A trace-driven approximation of a Sandy-Bridge-class core:
+
+- up to ``issue_width`` instructions issue per cycle;
+- branches run through a real gshare predictor; each misprediction costs
+  the pipeline-refill penalty;
+- loads/stores access the cache hierarchy; L1 hits are considered fully
+  pipelined, while miss latency is divided by an MLP factor — the
+  out-of-order window keeps several misses in flight, so the visible stall
+  per miss is a fraction of the raw latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional
+
+from repro.config.system import CpuConfig
+from repro.errors import SimulationError
+from repro.mem.level import MemoryLevel
+from repro.mem.request import MemRequest
+from repro.sim.cpu.branch import GsharePredictor
+from repro.taxonomy import ProcessingUnit
+
+__all__ = ["CpuCore"]
+
+#: Memory-level parallelism the OoO window sustains on streaming code.
+DEFAULT_MLP = 4.0
+
+
+class CpuCore:
+    """One out-of-order core attached to a data-cache hierarchy."""
+
+    def __init__(
+        self,
+        config: CpuConfig,
+        memory: MemoryLevel,
+        mlp: float = DEFAULT_MLP,
+    ) -> None:
+        if mlp < 1.0:
+            raise SimulationError("MLP factor must be >= 1")
+        self.config = config
+        self.memory = memory
+        self.mlp = mlp
+        self.predictor = GsharePredictor(config.branch_predictor)
+        self.instructions_retired = 0
+        self.memory_stall_cycles = 0.0
+        self.branch_stall_cycles = 0
+
+    def run_stepwise(
+        self,
+        instructions: Iterable,
+        start_seconds: float = 0.0,
+        explicit_addrs: Optional[object] = None,
+    ) -> Iterator[float]:
+        """Execute instructions one at a time, yielding cumulative cycles.
+
+        The interleaving engine alternates between the two cores' steppers
+        so that concurrent accesses reach the shared L3/DRAM in timestamp
+        order (contention-aware parallel phases). The last yielded value is
+        the segment's final cycle count, including the trailing partial
+        issue group.
+
+        ``explicit_addrs`` is an optional predicate ``addr -> bool`` that
+        marks accesses to explicitly managed data (sets the locality bit in
+        the caches).
+        """
+        freq = self.config.frequency
+        issue_width = self.config.issue_width
+        penalty = self.config.branch_mispredict_penalty
+        hit_latency = freq.cycles_to_seconds(self.config.l1d.latency)
+
+        cycles = 0.0
+        slot = 0
+        count = 0
+        pc = 0x400000
+        for inst in instructions:
+            count += 1
+            pc += 4
+            slot += 1
+            if slot >= issue_width:
+                cycles += 1
+                slot = 0
+            opcode = inst.opcode
+            if opcode.is_memory:
+                explicit = bool(explicit_addrs and explicit_addrs(inst.addr))
+                request = MemRequest(
+                    addr=inst.addr,
+                    size=inst.size,
+                    is_write=opcode.is_store,
+                    pu=ProcessingUnit.CPU,
+                    explicit=explicit,
+                    issue_time=start_seconds + freq.cycles_to_seconds(int(cycles)),
+                )
+                result = self.memory.access(request)
+                if result.latency > hit_latency:
+                    stall = (result.latency - hit_latency) / self.mlp
+                    stall_cycles = stall * freq.hertz
+                    cycles += stall_cycles
+                    self.memory_stall_cycles += stall_cycles
+            elif opcode.value == "branch":
+                if not self.predictor.predict_and_update(pc, inst.taken):
+                    cycles += penalty
+                    self.branch_stall_cycles += penalty
+                    slot = 0
+            yield cycles
+        if slot:
+            cycles += 1
+        self.instructions_retired += count
+        yield cycles
+
+    def run_segment(
+        self,
+        instructions: Iterable,
+        start_seconds: float = 0.0,
+        explicit_addrs: Optional[object] = None,
+    ) -> int:
+        """Execute a whole stream; returns cycles consumed."""
+        cycles = 0.0
+        for cycles in self.run_stepwise(instructions, start_seconds, explicit_addrs):
+            pass
+        return int(cycles)
+
+    @property
+    def ipc(self) -> float:
+        """Retired instructions per cycle so far (approximate)."""
+        total_cycles = (
+            self.instructions_retired / self.config.issue_width
+            + self.memory_stall_cycles
+            + self.branch_stall_cycles
+        )
+        return self.instructions_retired / total_cycles if total_cycles else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "instructions": self.instructions_retired,
+            "memory_stall_cycles": self.memory_stall_cycles,
+            "branch_stall_cycles": self.branch_stall_cycles,
+            "branch_mispredictions": self.predictor.mispredictions,
+        }

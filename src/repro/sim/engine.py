@@ -1,0 +1,68 @@
+"""The interleaving engine for contention-aware parallel phases.
+
+Running the two cores back-to-back would let the CPU's entire phase hit
+the shared L3 and DRAM before the GPU's first access — no contention, and
+cache state polluted in the wrong order. The engine instead advances
+whichever core is *behind in wall-clock time*, so concurrent requests
+reach the shared hierarchy (ring, L3, FR-FCFS controllers) in timestamp
+order, and the DRAM bus backlog each core sees includes the other core's
+traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.cpu.core import CpuCore
+from repro.sim.gpu.core import GpuCore
+from repro.trace.phase import Segment
+
+__all__ = ["ParallelOutcome", "run_parallel_interleaved"]
+
+
+@dataclass(frozen=True)
+class ParallelOutcome:
+    """Per-side wall-clock durations of one parallel phase."""
+
+    cpu_seconds: float
+    gpu_seconds: float
+
+    @property
+    def seconds(self) -> float:
+        return max(self.cpu_seconds, self.gpu_seconds)
+
+
+def run_parallel_interleaved(
+    cpu_core: CpuCore,
+    gpu_core: GpuCore,
+    cpu_segment: Segment,
+    gpu_segment: Segment,
+    start_seconds: float = 0.0,
+    explicit_addrs: Optional[object] = None,
+) -> ParallelOutcome:
+    """Run both sides of a parallel phase with timestamp-ordered accesses."""
+    cpu_freq = cpu_core.config.frequency
+    gpu_freq = gpu_core.config.frequency
+    cpu_steps = cpu_core.run_stepwise(
+        cpu_segment.instructions(), start_seconds, explicit_addrs
+    )
+    gpu_steps = gpu_core.run_stepwise(
+        gpu_segment.instructions(), start_seconds, explicit_addrs
+    )
+
+    cpu_t = gpu_t = 0.0
+    cpu_done = gpu_done = False
+    while not (cpu_done and gpu_done):
+        advance_cpu = not cpu_done and (gpu_done or cpu_t <= gpu_t)
+        if advance_cpu:
+            try:
+                cpu_t = cpu_freq.cycles_to_seconds(next(cpu_steps))
+            except StopIteration:
+                cpu_done = True
+        else:
+            try:
+                gpu_t = gpu_freq.cycles_to_seconds(next(gpu_steps))
+            except StopIteration:
+                gpu_done = True
+    return ParallelOutcome(cpu_seconds=cpu_t, gpu_seconds=gpu_t)

@@ -1,0 +1,187 @@
+"""The fast (segment-analytic) simulator.
+
+Reproduces the paper's quantitative methodology directly: compute phases
+are priced by the analytic core models; communication phases are priced by
+the case study's channel with the Table IV latencies; asynchronous
+channels may hide copy time under the adjacent parallel phase (GMAC).
+
+Optionally, an :class:`~repro.taxonomy.AddressSpaceKind` adds the *extra
+instructions* each address space needs around communications (the §V-B
+experiment, Figure 7): a handful of API instructions per communication,
+which is exactly why that figure is flat.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.config.comm import CommParams
+from repro.config.presets import CaseStudy
+from repro.config.system import SystemConfig
+from repro.errors import SimulationError
+from repro.comm.base import CommChannel, make_channel
+from repro.sim.analytic import AnalyticTiming
+from repro.sim.results import PhaseTiming, SimulationResult, TimeBreakdown
+from repro.taxonomy import AddressSpaceKind, CommMechanism
+from repro.trace.phase import CommPhase, ParallelPhase, SequentialPhase
+from repro.trace.stream import KernelTrace
+
+__all__ = ["FastSimulator", "SPACE_OVERHEAD_INSTRUCTIONS"]
+
+#: Extra CPU instructions per communication to manage the address space —
+#: the Figure 7 experiment's knob. Roughly Table V's per-space comm lines
+#: times ~10 machine instructions per source line; "very small compared to
+#: the amount of computation" (§V-B).
+SPACE_OVERHEAD_INSTRUCTIONS: Dict[AddressSpaceKind, int] = {
+    AddressSpaceKind.UNIFIED: 0,
+    AddressSpaceKind.PARTIALLY_SHARED: 30,
+    AddressSpaceKind.ADSM: 50,
+    AddressSpaceKind.DISJOINT: 80,
+}
+
+
+class FastSimulator:
+    """Segment-analytic trace simulator."""
+
+    def __init__(
+        self,
+        system: Optional[SystemConfig] = None,
+        comm_params: Optional[CommParams] = None,
+    ) -> None:
+        self.system = system or SystemConfig()
+        self.comm_params = comm_params or CommParams()
+        self.timing = AnalyticTiming(self.system)
+
+    # -- channel selection ----------------------------------------------------
+
+    def _channel_for(self, case: CaseStudy) -> CommChannel:
+        return make_channel(
+            case.comm,
+            params=self.comm_params,
+            system=self.system,
+            async_overlap=case.async_overlap,
+        )
+
+    # -- main entry point -------------------------------------------------------
+
+    def run(
+        self,
+        trace: KernelTrace,
+        case: Optional[CaseStudy] = None,
+        channel: Optional[CommChannel] = None,
+        address_space: Optional[AddressSpaceKind] = None,
+        system_name: Optional[str] = None,
+    ) -> SimulationResult:
+        """Simulate ``trace`` on a case-study system (or explicit channel).
+
+        Exactly one of ``case``/``channel`` selects the communication
+        mechanism; ``address_space`` adds the per-communication space
+        management instructions (Figure 7 experiment).
+        """
+        if case is None and channel is None:
+            raise SimulationError("provide a case study or a channel")
+        if channel is None:
+            channel = self._channel_for(case)
+        name = system_name or (case.name if case else str(channel.mechanism))
+
+        # Pass 1: price every compute phase.
+        compute_seconds: Dict[int, Tuple[float, float]] = {}
+        for index, phase in enumerate(trace.phases):
+            if isinstance(phase, SequentialPhase):
+                # Serial code runs on one core regardless of num_cores.
+                t = self.timing.cpu_segment_seconds(phase.segment, parallel=False)
+                compute_seconds[index] = (t, 0.0)
+            elif isinstance(phase, ParallelPhase):
+                cpu_t = self.timing.cpu_segment_seconds(phase.cpu)
+                gpu_t = self.timing.gpu_segment_seconds(phase.gpu)
+                compute_seconds[index] = (cpu_t, gpu_t)
+
+        # Pass 2: price communications, offering adjacent parallel phases
+        # as overlap windows to asynchronous channels.
+        sequential = parallel = communication = 0.0
+        phase_timings: List[PhaseTiming] = []
+        for index, phase in enumerate(trace.phases):
+            if isinstance(phase, SequentialPhase):
+                t, _ = compute_seconds[index]
+                sequential += t
+                phase_timings.append(
+                    PhaseTiming(label=phase.label, kind="sequential", seconds=t, cpu_seconds=t)
+                )
+            elif isinstance(phase, ParallelPhase):
+                cpu_t, gpu_t = compute_seconds[index]
+                t = max(cpu_t, gpu_t)
+                parallel += t
+                phase_timings.append(
+                    PhaseTiming(
+                        label=phase.label,
+                        kind="parallel",
+                        seconds=t,
+                        cpu_seconds=cpu_t,
+                        gpu_seconds=gpu_t,
+                    )
+                )
+            elif isinstance(phase, CommPhase):
+                window = self._overlap_window(trace, index, compute_seconds)
+                result = channel.transfer(phase, overlap_window=window)
+                communication += result.exposed
+                phase_timings.append(
+                    PhaseTiming(
+                        label=phase.label,
+                        kind="communication",
+                        seconds=result.exposed,
+                        overlapped_seconds=result.overlapped,
+                    )
+                )
+            else:
+                raise SimulationError(f"unknown phase type {type(phase).__name__}")
+
+        # Address-space management instructions (Figure 7 experiment).
+        if address_space is not None:
+            extra = SPACE_OVERHEAD_INSTRUCTIONS[address_space] * trace.num_communications
+            extra_seconds = self.system.cpu.frequency.cycles_to_seconds(extra)
+            sequential += extra_seconds
+
+        counters: Dict[str, float] = dict(channel.stats())
+        return SimulationResult(
+            kernel=trace.name,
+            system=name,
+            breakdown=TimeBreakdown(
+                sequential=sequential,
+                parallel=parallel,
+                communication=communication,
+            ),
+            phases=tuple(phase_timings),
+            counters=counters,
+        )
+
+    @staticmethod
+    def _overlap_window(
+        trace: KernelTrace,
+        comm_index: int,
+        compute_seconds: Dict[int, Tuple[float, float]],
+    ) -> float:
+        """Computation time an async copy at ``comm_index`` could hide under.
+
+        Host-to-device copies overlap the *following* parallel phase
+        (double buffering: the kernel starts on early chunks while later
+        chunks stream in); device-to-host copies overlap the *preceding*
+        one (results stream out as they finish).
+        """
+        phases = trace.phases
+        # Look forward for H2D, backward for D2H.
+        from repro.trace.phase import Direction
+
+        comm = phases[comm_index]
+        assert isinstance(comm, CommPhase)
+        indices = (
+            range(comm_index + 1, len(phases))
+            if comm.direction is Direction.H2D
+            else range(comm_index - 1, -1, -1)
+        )
+        for j in indices:
+            if isinstance(phases[j], ParallelPhase):
+                cpu_t, gpu_t = compute_seconds[j]
+                return max(cpu_t, gpu_t)
+            if isinstance(phases[j], CommPhase):
+                break
+        return 0.0

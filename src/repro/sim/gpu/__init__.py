@@ -1,0 +1,6 @@
+"""The in-order SIMD GPU core model (Table II, GPU column)."""
+
+from repro.sim.gpu.core import GpuCore
+from repro.sim.gpu.smem import Scratchpad
+
+__all__ = ["GpuCore", "Scratchpad"]

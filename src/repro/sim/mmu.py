@@ -1,0 +1,154 @@
+"""Address translation for the detailed simulator.
+
+§II-A1 notes that per-PU page-table formats "complicate TLB designs and
+memory management units"; this module makes those costs visible:
+
+- :class:`TranslationFront` wraps a PU's top memory level with a TLB and
+  the PU's page table from a real :class:`~repro.addrspace.base.AddressSpace`
+  model. TLB misses pay a page-walk latency; first touches of unmapped
+  pages pay an OS fault cost; and **reachability is enforced** — a PU
+  touching an address its space forbids raises
+  :class:`~repro.errors.AccessViolationError`, exactly as the model demands;
+- :func:`stage_trace` rewrites a kernel trace's segment base addresses into
+  regions each PU may legally reach under a given address space (what the
+  runtime's allocation + transfer calls accomplish in a real system).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.addrspace.base import AddressSpace
+from repro.addrspace.tlb import TLB
+from repro.errors import SimulationError
+from repro.mem.level import MemoryLevel
+from repro.mem.request import AccessResult, MemRequest
+from repro.taxonomy import AddressSpaceKind, ProcessingUnit
+from repro.trace.phase import CommPhase, ParallelPhase, Phase, Segment, SequentialPhase
+from repro.trace.stream import KernelTrace
+
+__all__ = ["TranslationFront", "stage_trace"]
+
+#: Page-table-walk latency (two-level walk hitting the cache hierarchy).
+DEFAULT_WALK_SECONDS = 30e-9
+#: OS cost of servicing a minor page fault.
+DEFAULT_FAULT_SECONDS = 1e-6
+
+
+class TranslationFront(MemoryLevel):
+    """TLB + page-table translation in front of a PU's cache hierarchy."""
+
+    def __init__(
+        self,
+        pu: ProcessingUnit,
+        space: AddressSpace,
+        below: MemoryLevel,
+        tlb_entries: int = 64,
+        walk_seconds: float = DEFAULT_WALK_SECONDS,
+        fault_seconds: float = DEFAULT_FAULT_SECONDS,
+    ) -> None:
+        if walk_seconds < 0 or fault_seconds < 0:
+            raise SimulationError("walk/fault latencies must be non-negative")
+        self.pu = pu
+        self.space = space
+        self.below = below
+        self.page_table = space.page_tables[pu]
+        self.tlb = TLB(tlb_entries, self.page_table.page_bytes)
+        self.walk_seconds = walk_seconds
+        self.fault_seconds = fault_seconds
+        self.name = f"mmu[{pu}]"
+        self.walks = 0
+        self.faults_serviced = 0
+        self.translation_latency = 0.0
+
+    def access(self, request: MemRequest) -> AccessResult:
+        extra = 0.0
+        frame = self.tlb.lookup(request.addr)
+        if frame is None:
+            # Walk the page table; reachability is checked by the space.
+            self.walks += 1
+            extra += self.walk_seconds
+            faults_before = self.page_table.page_faults
+            self.space.translate(self.pu, request.addr, on_demand=True)
+            if self.page_table.page_faults > faults_before:
+                self.faults_serviced += 1
+                extra += self.fault_seconds
+            frame = self.page_table.translate(request.addr) // self.page_table.page_bytes
+            self.tlb.install(request.addr, frame)
+        self.translation_latency += extra
+        below = self.below.access(request.with_time(request.issue_time + extra))
+        if extra == 0.0:
+            return below
+        return AccessResult(
+            latency=below.latency + extra,
+            hit_level=below.hit_level,
+            was_hit=below.was_hit,
+        )
+
+    def stats(self) -> Dict[str, float]:
+        data: Dict[str, float] = dict(self.tlb.stats())
+        data["walks"] = self.walks
+        data["faults_serviced"] = self.faults_serviced
+        data["translation_latency_s"] = self.translation_latency
+        return data
+
+
+def _gpu_placement(kind: AddressSpaceKind) -> "tuple[ProcessingUnit, bool]":
+    """(home PU, shared?) for data the GPU computes on, per address space.
+
+    Mirrors what the programming model's allocation calls do: a disjoint
+    space stages GPU data in GPU-private memory; PAS and ADSM put it in the
+    shared window; a unified space can leave it anywhere (we home it on the
+    GPU as the locality hint).
+    """
+    if kind in (AddressSpaceKind.PARTIALLY_SHARED, AddressSpaceKind.ADSM):
+        return ProcessingUnit.GPU, True
+    return ProcessingUnit.GPU, False
+
+
+def stage_trace(trace: KernelTrace, space: AddressSpace) -> KernelTrace:
+    """Rebase every segment into a region its PU may reach under ``space``.
+
+    CPU and sequential segments land in CPU-private memory; GPU segments
+    land where the space's programming model would stage them (see
+    :func:`_gpu_placement`). Buffers are deduplicated by original base
+    address, so a region touched by several phases is allocated once.
+    """
+    placements: Dict[int, int] = {}
+    counter = [0]
+
+    def rebase(segment: Segment) -> Segment:
+        if segment.footprint_bytes == 0:
+            return segment
+        key = segment.base_addr
+        if key not in placements:
+            counter[0] += 1
+            name = f"stage-{counter[0]}-{segment.label or 'buf'}"
+            if segment.pu is ProcessingUnit.GPU:
+                home, shared = _gpu_placement(space.kind)
+            else:
+                home, shared = ProcessingUnit.CPU, False
+            allocation = space.alloc(
+                name, segment.footprint_bytes, pu=home, shared=shared
+            )
+            placements[key] = allocation.addr
+        return Segment(
+            pu=segment.pu,
+            mix=segment.mix,
+            base_addr=placements[key],
+            footprint_bytes=segment.footprint_bytes,
+            elem_bytes=segment.elem_bytes,
+            label=segment.label,
+        )
+
+    phases: List[Phase] = []
+    for phase in trace.phases:
+        if isinstance(phase, SequentialPhase):
+            phases.append(SequentialPhase(label=phase.label, segment=rebase(phase.segment)))
+        elif isinstance(phase, ParallelPhase):
+            phases.append(
+                ParallelPhase(label=phase.label, cpu=rebase(phase.cpu), gpu=rebase(phase.gpu))
+            )
+        else:
+            phases.append(phase)
+    return KernelTrace(name=trace.name, phases=tuple(phases))

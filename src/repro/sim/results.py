@@ -1,0 +1,106 @@
+"""Simulation results: the sequential/parallel/communication breakdown.
+
+The paper's Figure 5 divides execution time into exactly these three
+categories; Figure 6 shows the communication component alone. Every
+simulator in this package produces a :class:`SimulationResult` carrying the
+breakdown plus per-phase detail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import SimulationError
+
+__all__ = ["TimeBreakdown", "PhaseTiming", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """Seconds spent per Figure 5 category."""
+
+    sequential: float = 0.0
+    parallel: float = 0.0
+    communication: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("sequential", "parallel", "communication"):
+            if getattr(self, name) < 0:
+                raise SimulationError(f"{name} time must be non-negative")
+
+    @property
+    def total(self) -> float:
+        return self.sequential + self.parallel + self.communication
+
+    @property
+    def communication_fraction(self) -> float:
+        """Share of total time spent communicating (Figure 6's quantity,
+        normalized)."""
+        return self.communication / self.total if self.total else 0.0
+
+    def __add__(self, other: "TimeBreakdown") -> "TimeBreakdown":
+        if not isinstance(other, TimeBreakdown):
+            return NotImplemented
+        return TimeBreakdown(
+            sequential=self.sequential + other.sequential,
+            parallel=self.parallel + other.parallel,
+            communication=self.communication + other.communication,
+        )
+
+    def normalized_to(self, reference: "TimeBreakdown") -> Tuple[float, float, float]:
+        """(seq, par, comm) scaled so that ``reference.total`` is 1.0 —
+        how Figure 5 plots its bars."""
+        if reference.total <= 0:
+            raise SimulationError("reference breakdown has zero total time")
+        return (
+            self.sequential / reference.total,
+            self.parallel / reference.total,
+            self.communication / reference.total,
+        )
+
+
+@dataclass(frozen=True)
+class PhaseTiming:
+    """Timing detail for one trace phase."""
+
+    label: str
+    kind: str
+    seconds: float
+    cpu_seconds: float = 0.0
+    gpu_seconds: float = 0.0
+    overlapped_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise SimulationError("phase time must be non-negative")
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything a run produced."""
+
+    kernel: str
+    system: str
+    breakdown: TimeBreakdown
+    phases: Tuple[PhaseTiming, ...] = ()
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.breakdown.total
+
+    def speedup_over(self, other: "SimulationResult") -> float:
+        """How much faster this run is than ``other`` (>1 means faster)."""
+        if self.total_seconds <= 0:
+            raise SimulationError("cannot compute speedup of a zero-time run")
+        return other.total_seconds / self.total_seconds
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        b = self.breakdown
+        return (
+            f"{self.kernel} on {self.system}: {b.total * 1e6:.1f} us "
+            f"(seq {b.sequential * 1e6:.1f}, par {b.parallel * 1e6:.1f}, "
+            f"comm {b.communication * 1e6:.1f}; comm {b.communication_fraction:.1%})"
+        )

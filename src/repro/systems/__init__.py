@@ -1,0 +1,17 @@
+"""Registry of existing heterogeneous computing memory systems (Table I)."""
+
+from repro.systems.descriptors import SystemDescriptor
+from repro.systems.registry import (
+    all_systems,
+    system,
+    systems_by_address_space,
+    table1_rows,
+)
+
+__all__ = [
+    "SystemDescriptor",
+    "all_systems",
+    "system",
+    "systems_by_address_space",
+    "table1_rows",
+]

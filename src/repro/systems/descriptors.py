@@ -1,0 +1,55 @@
+"""Descriptor type for Table I entries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.taxonomy import (
+    AddressSpaceKind,
+    CoherenceKind,
+    CommMechanism,
+    ConsistencyModel,
+)
+
+__all__ = ["SystemDescriptor"]
+
+
+@dataclass(frozen=True)
+class SystemDescriptor:
+    """One row of the paper's Table I.
+
+    Free-text columns (``shared_data_use``, ``synchronization``,
+    ``locality``) are kept verbatim from the paper; the enum columns drive
+    queries. ``heterogeneous`` is False only for Rigel, which the paper
+    includes "just to compare".
+    """
+
+    name: str
+    address_space: AddressSpaceKind
+    connection: CommMechanism
+    coherence: Optional[CoherenceKind]
+    coherence_note: str
+    shared_data_use: str
+    consistency: Optional[ConsistencyModel]
+    synchronization: str
+    locality: str
+    heterogeneous: bool = True
+    reference: str = ""
+    #: Verbatim Table I connection text when it names something more
+    #: specific than the mechanism enum (e.g. "cache/FSB", "BUS").
+    connection_note: str = ""
+
+    def as_row(self) -> Tuple[str, ...]:
+        """(scheme, address space, connection, coherence, shared-data use,
+        consistency, synchronization, locality) — Table I column order."""
+        return (
+            self.name,
+            self.address_space.value,
+            self.connection_note or str(self.connection),
+            self.coherence_note or (str(self.coherence) if self.coherence else "-"),
+            self.shared_data_use or "-",
+            str(self.consistency) if self.consistency else "-",
+            self.synchronization or "-",
+            self.locality or "-",
+        )

@@ -1,0 +1,212 @@
+"""The thirteen Table I systems.
+
+The paper's observation from this table: "none of the heterogeneous
+computing systems has employed a unified, fully-coherent, strong-consistent
+memory system yet. Most proposed/existing systems have disjoint memory
+systems ... Currently, only CUDA 4.0 provides the unified memory address
+space, but it does not provide any locality management for the shared
+space."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import DesignSpaceError
+from repro.systems.descriptors import SystemDescriptor
+from repro.taxonomy import (
+    AddressSpaceKind,
+    CoherenceKind,
+    CommMechanism,
+    ConsistencyModel,
+)
+
+__all__ = ["all_systems", "system", "systems_by_address_space", "table1_rows"]
+
+_SYSTEMS: Dict[str, SystemDescriptor] = {
+    d.name: d
+    for d in (
+        SystemDescriptor(
+            name="CPU+CUDA*",
+            address_space=AddressSpaceKind.DISJOINT,
+            connection=CommMechanism.PCIE,
+            coherence=None,
+            coherence_note="-",
+            shared_data_use="NA",
+            consistency=ConsistencyModel.WEAK,
+            synchronization="-",
+            locality="impl-pri-expl-pri",
+            reference="[29]",
+        ),
+        SystemDescriptor(
+            name="EXOCHI",
+            address_space=AddressSpaceKind.UNIFIED,
+            connection=CommMechanism.MEMORY_CONTROLLER,
+            coherence=CoherenceKind.HARDWARE_DIRECTORY,
+            coherence_note="can be coherent",
+            shared_data_use="CHI runtime API",
+            consistency=ConsistencyModel.WEAK,
+            synchronization="unknown",
+            locality="impl-pri",
+            reference="[34]",
+        ),
+        SystemDescriptor(
+            name="CPU+LRB",
+            address_space=AddressSpaceKind.PARTIALLY_SHARED,
+            connection=CommMechanism.PCIE,
+            coherence=CoherenceKind.OWNERSHIP,
+            coherence_note="coherent only in LRB/CPU",
+            shared_data_use="type qualifier, ownership",
+            consistency=ConsistencyModel.WEAK,
+            synchronization="APIs",
+            locality="impl-pri",
+            reference="[31]",
+        ),
+        SystemDescriptor(
+            name="COMIC",
+            address_space=AddressSpaceKind.UNIFIED,
+            connection=CommMechanism.INTERCONNECT,
+            coherence=CoherenceKind.HARDWARE_DIRECTORY,
+            coherence_note="directory",
+            shared_data_use="COMIC API functions",
+            consistency=ConsistencyModel.CENTRALIZED_RELEASE,
+            synchronization="barrier function",
+            locality="expl-pri-impl-pri-impl-shared",
+            reference="[21]",
+        ),
+        SystemDescriptor(
+            name="Rigel",
+            address_space=AddressSpaceKind.UNIFIED,
+            connection=CommMechanism.INTERCONNECT,
+            coherence=CoherenceKind.HYBRID,
+            coherence_note="HW/SW",
+            shared_data_use="global memory operation",
+            consistency=ConsistencyModel.WEAK,
+            synchronization="implicit barrier/Rigel LPI",
+            locality="expl",
+            heterogeneous=False,
+            reference="[19]",
+        ),
+        SystemDescriptor(
+            name="GMAC",
+            address_space=AddressSpaceKind.ADSM,
+            connection=CommMechanism.PCIE,
+            coherence=CoherenceKind.SOFTWARE_RUNTIME,
+            coherence_note="GMAC protocol",
+            shared_data_use="global memory operation",
+            consistency=ConsistencyModel.WEAK,
+            synchronization="sync API",
+            locality="expl-private-impl-shared",
+            reference="[10]",
+        ),
+        SystemDescriptor(
+            name="Sandy Bridge",
+            address_space=AddressSpaceKind.DISJOINT,
+            connection=CommMechanism.MEMORY_CONTROLLER,
+            coherence=None,
+            coherence_note="-",
+            shared_data_use="-",
+            consistency=ConsistencyModel.WEAK,
+            synchronization="-",
+            locality="impl-priv-exp-priv",
+            reference="[17]",
+        ),
+        SystemDescriptor(
+            name="Fusion",
+            address_space=AddressSpaceKind.DISJOINT,
+            connection=CommMechanism.MEMORY_CONTROLLER,
+            coherence=None,
+            coherence_note="-",
+            shared_data_use="-",
+            consistency=None,
+            synchronization="-",
+            locality="-",
+            reference="[3]",
+        ),
+        SystemDescriptor(
+            name="IBM Cell",
+            address_space=AddressSpaceKind.DISJOINT,
+            connection=CommMechanism.INTERCONNECT,
+            coherence=None,
+            coherence_note="-",
+            shared_data_use="-",
+            consistency=ConsistencyModel.WEAK,
+            synchronization="-",
+            locality="expl-pri-impl-priv-impl-shared",
+            reference="[16]",
+        ),
+        SystemDescriptor(
+            name="Xbox 360",
+            address_space=AddressSpaceKind.DISJOINT,
+            connection=CommMechanism.MEMORY_CONTROLLER,
+            connection_note="cache/FSB",
+            coherence=None,
+            coherence_note="-",
+            shared_data_use="Lock-set cache, copy",
+            consistency=None,
+            synchronization="-",
+            locality="impl-priv-exp-shared",
+            reference="[4]",
+        ),
+        SystemDescriptor(
+            name="CUBA",
+            address_space=AddressSpaceKind.DISJOINT,
+            connection=CommMechanism.INTERCONNECT,
+            connection_note="BUS",
+            coherence=None,
+            coherence_note="-",
+            shared_data_use="direct access to local storage",
+            consistency=ConsistencyModel.WEAK,
+            synchronization="-",
+            locality="exp-priv",
+            reference="[9]",
+        ),
+        SystemDescriptor(
+            name="CUDA 4.0",
+            address_space=AddressSpaceKind.UNIFIED,
+            connection=CommMechanism.PCIE,
+            connection_note="-",
+            coherence=None,
+            coherence_note="-",
+            shared_data_use="explicit copy",
+            consistency=ConsistencyModel.WEAK,
+            synchronization="-",
+            locality="exp-priv",
+        ),
+        SystemDescriptor(
+            name="OpenCL",
+            address_space=AddressSpaceKind.UNIFIED,
+            connection=CommMechanism.PCIE,
+            connection_note="-",
+            coherence=None,
+            coherence_note="-",
+            shared_data_use="explicit copy",
+            consistency=ConsistencyModel.WEAK,
+            synchronization="-",
+            locality="exp-priv",
+        ),
+    )
+}
+
+
+def all_systems() -> Tuple[SystemDescriptor, ...]:
+    """All Table I systems, in table order."""
+    return tuple(_SYSTEMS.values())
+
+
+def system(name: str) -> SystemDescriptor:
+    """Look up a Table I system by name (case-insensitive)."""
+    for key, value in _SYSTEMS.items():
+        if key.lower() == name.lower():
+            return value
+    raise DesignSpaceError(f"unknown system {name!r}; known: {', '.join(_SYSTEMS)}")
+
+
+def systems_by_address_space(kind: AddressSpaceKind) -> Tuple[SystemDescriptor, ...]:
+    """Table I systems using a given address space."""
+    return tuple(d for d in _SYSTEMS.values() if d.address_space is kind)
+
+
+def table1_rows() -> List[Tuple[str, ...]]:
+    """All rows in Table I column order."""
+    return [d.as_row() for d in _SYSTEMS.values()]

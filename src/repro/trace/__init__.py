@@ -1,0 +1,47 @@
+"""Trace model for the trace-driven simulators.
+
+A kernel's execution is a sequence of **phases** following the paper's
+"compute pattern" column in Table III:
+
+- :class:`~repro.trace.phase.SequentialPhase` — serial code on the CPU;
+- :class:`~repro.trace.phase.ParallelPhase` — CPU and GPU halves running
+  concurrently (the paper splits work evenly between PUs);
+- :class:`~repro.trace.phase.CommPhase` — a data transfer between PUs.
+
+Each compute phase carries an :class:`~repro.trace.mix.InstructionMix`
+(segment-level view, consumed by the fast simulator) and can lazily expand
+into concrete :class:`~repro.trace.instruction.Instruction` records
+(consumed by the detailed simulator).
+"""
+
+from repro.trace.instruction import Instruction
+from repro.trace.mix import InstructionMix
+from repro.trace.phase import (
+    CommPhase,
+    Direction,
+    ParallelPhase,
+    Phase,
+    Segment,
+    SequentialPhase,
+)
+from repro.trace.stream import KernelTrace
+from repro.trace.stats import TraceStats, compute_stats
+from repro.trace.encode import trace_from_dict, trace_to_dict, load_trace, save_trace
+
+__all__ = [
+    "Instruction",
+    "InstructionMix",
+    "Segment",
+    "Phase",
+    "SequentialPhase",
+    "ParallelPhase",
+    "CommPhase",
+    "Direction",
+    "KernelTrace",
+    "TraceStats",
+    "compute_stats",
+    "trace_to_dict",
+    "trace_from_dict",
+    "save_trace",
+    "load_trace",
+]

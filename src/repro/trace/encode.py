@@ -1,0 +1,127 @@
+"""Trace (de)serialization to plain JSON-compatible dictionaries.
+
+Traces are structural (phases + mixes) rather than per-instruction, so JSON
+is compact enough; per-instruction streams are always regenerated lazily.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.errors import TraceError
+from repro.taxonomy import ProcessingUnit
+from repro.trace.mix import InstructionMix
+from repro.trace.phase import (
+    CommPhase,
+    Direction,
+    ParallelPhase,
+    Phase,
+    Segment,
+    SequentialPhase,
+)
+from repro.trace.stream import KernelTrace
+
+__all__ = ["trace_to_dict", "trace_from_dict", "save_trace", "load_trace"]
+
+_FORMAT_VERSION = 1
+
+
+def _segment_to_dict(segment: Segment) -> Dict[str, Any]:
+    return {
+        "pu": segment.pu.value,
+        "mix": segment.mix.as_dict(),
+        "base_addr": segment.base_addr,
+        "footprint_bytes": segment.footprint_bytes,
+        "elem_bytes": segment.elem_bytes,
+        "label": segment.label,
+    }
+
+
+def _segment_from_dict(data: Dict[str, Any]) -> Segment:
+    return Segment(
+        pu=ProcessingUnit(data["pu"]),
+        mix=InstructionMix.from_dict(data["mix"]),
+        base_addr=data.get("base_addr", 0),
+        footprint_bytes=data.get("footprint_bytes", 0),
+        elem_bytes=data.get("elem_bytes", 4),
+        label=data.get("label", ""),
+    )
+
+
+def _phase_to_dict(phase: Phase) -> Dict[str, Any]:
+    if isinstance(phase, SequentialPhase):
+        return {"kind": "sequential", "label": phase.label, "segment": _segment_to_dict(phase.segment)}
+    if isinstance(phase, ParallelPhase):
+        return {
+            "kind": "parallel",
+            "label": phase.label,
+            "cpu": _segment_to_dict(phase.cpu),
+            "gpu": _segment_to_dict(phase.gpu),
+        }
+    if isinstance(phase, CommPhase):
+        return {
+            "kind": "comm",
+            "label": phase.label,
+            "direction": phase.direction.value,
+            "num_bytes": phase.num_bytes,
+            "num_objects": phase.num_objects,
+            "first_touch": phase.first_touch,
+        }
+    raise TraceError(f"cannot serialize phase type {type(phase).__name__}")
+
+
+def _phase_from_dict(data: Dict[str, Any]) -> Phase:
+    kind = data.get("kind")
+    if kind == "sequential":
+        return SequentialPhase(label=data.get("label", ""), segment=_segment_from_dict(data["segment"]))
+    if kind == "parallel":
+        return ParallelPhase(
+            label=data.get("label", ""),
+            cpu=_segment_from_dict(data["cpu"]),
+            gpu=_segment_from_dict(data["gpu"]),
+        )
+    if kind == "comm":
+        return CommPhase(
+            label=data.get("label", ""),
+            direction=Direction(data["direction"]),
+            num_bytes=data["num_bytes"],
+            num_objects=data.get("num_objects", 1),
+            first_touch=data.get("first_touch", False),
+        )
+    raise TraceError(f"unknown phase kind {kind!r}")
+
+
+def trace_to_dict(trace: KernelTrace) -> Dict[str, Any]:
+    """Serialize a trace to a JSON-compatible dictionary."""
+    return {
+        "format": _FORMAT_VERSION,
+        "name": trace.name,
+        "phases": [_phase_to_dict(p) for p in trace.phases],
+    }
+
+
+def trace_from_dict(data: Dict[str, Any]) -> KernelTrace:
+    """Reconstruct a trace from :func:`trace_to_dict` output."""
+    version = data.get("format")
+    if version != _FORMAT_VERSION:
+        raise TraceError(f"unsupported trace format version {version!r}")
+    return KernelTrace(
+        name=data["name"],
+        phases=tuple(_phase_from_dict(p) for p in data["phases"]),
+    )
+
+
+def save_trace(trace: KernelTrace, path: Union[str, Path]) -> None:
+    """Write a trace to a JSON file."""
+    Path(path).write_text(json.dumps(trace_to_dict(trace), indent=2))
+
+
+def load_trace(path: Union[str, Path]) -> KernelTrace:
+    """Read a trace previously written with :func:`save_trace`."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"{path}: not valid JSON: {exc}") from exc
+    return trace_from_dict(data)

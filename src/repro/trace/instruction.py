@@ -1,0 +1,82 @@
+"""Concrete per-instruction trace records.
+
+The detailed simulator consumes these one at a time; they are produced
+lazily by :meth:`repro.trace.phase.Segment.instructions` so that full-size
+traces (up to ~8.6M records for matrix multiply, Table III) never need to be
+materialized in memory at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import TraceError
+from repro.isa.opcodes import Opcode
+from repro.isa.special import SpecialOp
+
+__all__ = ["Instruction"]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One dynamic instruction.
+
+    ``addr``/``size`` are set for memory operations; ``taken`` for branches;
+    ``special``/``payload_bytes`` for special instructions (``payload_bytes``
+    is the transfer size of an ``api-pci``).
+    """
+
+    opcode: Opcode
+    addr: Optional[int] = None
+    size: int = 0
+    taken: bool = False
+    special: Optional[SpecialOp] = None
+    payload_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.opcode.is_memory:
+            if self.addr is None or self.size <= 0:
+                raise TraceError(
+                    f"memory op {self.opcode} requires addr and positive size"
+                )
+        elif self.addr is not None:
+            raise TraceError(f"non-memory op {self.opcode} must not carry an address")
+        if self.opcode is Opcode.SPECIAL:
+            if self.special is None:
+                raise TraceError("SPECIAL opcode requires a SpecialOp")
+        elif self.special is not None:
+            raise TraceError(f"{self.opcode} must not carry a SpecialOp")
+        if self.payload_bytes < 0:
+            raise TraceError("payload_bytes must be non-negative")
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode.is_store
+
+    @classmethod
+    def compute(cls, simd: bool = False, fp: bool = False) -> "Instruction":
+        """An ALU instruction of the requested flavour."""
+        if simd:
+            return cls(Opcode.SIMD_ALU)
+        return cls(Opcode.FP_ALU if fp else Opcode.INT_ALU)
+
+    @classmethod
+    def load(cls, addr: int, size: int = 4, simd: bool = False) -> "Instruction":
+        return cls(Opcode.SIMD_LOAD if simd else Opcode.LOAD, addr=addr, size=size)
+
+    @classmethod
+    def store(cls, addr: int, size: int = 4, simd: bool = False) -> "Instruction":
+        return cls(Opcode.SIMD_STORE if simd else Opcode.STORE, addr=addr, size=size)
+
+    @classmethod
+    def branch(cls, taken: bool = True) -> "Instruction":
+        return cls(Opcode.BRANCH, taken=taken)
+
+    @classmethod
+    def special_op(cls, op: SpecialOp, payload_bytes: int = 0) -> "Instruction":
+        return cls(Opcode.SPECIAL, special=op, payload_bytes=payload_bytes)

@@ -1,0 +1,96 @@
+"""Instruction-mix statistics for a trace segment.
+
+The fast (segment-level) simulator never looks at individual instructions;
+it consumes these aggregate counts, which is exactly the information the
+paper's Table III reports per kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.errors import TraceError
+
+__all__ = ["InstructionMix"]
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Counts of dynamic instructions by category.
+
+    SIMD counts are in *instructions* (one SIMD instruction covers
+    ``simd_width`` lanes), matching how GPU traces are lane-compressed.
+    """
+
+    int_alu: int = 0
+    fp_alu: int = 0
+    simd_alu: int = 0
+    loads: int = 0
+    stores: int = 0
+    simd_loads: int = 0
+    simd_stores: int = 0
+    branches: int = 0
+    specials: int = 0
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if not isinstance(value, int):
+                raise TraceError(f"mix field {f.name} must be an int, got {type(value).__name__}")
+            if value < 0:
+                raise TraceError(f"mix field {f.name} must be non-negative, got {value}")
+
+    @property
+    def total(self) -> int:
+        """Total dynamic instruction count."""
+        return sum(getattr(self, f.name) for f in fields(self))
+
+    @property
+    def compute_ops(self) -> int:
+        return self.int_alu + self.fp_alu + self.simd_alu
+
+    @property
+    def memory_ops(self) -> int:
+        return self.loads + self.stores + self.simd_loads + self.simd_stores
+
+    @property
+    def load_ops(self) -> int:
+        return self.loads + self.simd_loads
+
+    @property
+    def store_ops(self) -> int:
+        return self.stores + self.simd_stores
+
+    @property
+    def simd_ops(self) -> int:
+        return self.simd_alu + self.simd_loads + self.simd_stores
+
+    def __add__(self, other: "InstructionMix") -> "InstructionMix":
+        if not isinstance(other, InstructionMix):
+            return NotImplemented
+        return InstructionMix(
+            **{f.name: getattr(self, f.name) + getattr(other, f.name) for f in fields(self)}
+        )
+
+    def scaled(self, factor: float) -> "InstructionMix":
+        """A mix with every count scaled and rounded to the nearest int.
+
+        Used when scaling workloads down for the detailed simulator.
+        """
+        if factor < 0:
+            raise TraceError(f"scale factor must be non-negative, got {factor}")
+        return InstructionMix(
+            **{f.name: int(round(getattr(self, f.name) * factor)) for f in fields(self)}
+        )
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (for serialization)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "InstructionMix":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise TraceError(f"unknown mix fields: {sorted(unknown)}")
+        return cls(**data)

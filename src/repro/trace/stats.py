@@ -1,0 +1,48 @@
+"""Trace statistics: the quantities reported in the paper's Table III."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.trace.stream import KernelTrace
+
+__all__ = ["TraceStats", "compute_stats"]
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """One row of Table III."""
+
+    name: str
+    compute_pattern: str
+    cpu_instructions: int
+    gpu_instructions: int
+    serial_instructions: int
+    num_communications: int
+    initial_transfer_bytes: int
+
+    def as_row(self) -> Tuple[str, str, int, int, int, int, int]:
+        """Tuple in Table III column order."""
+        return (
+            self.name,
+            self.compute_pattern,
+            self.cpu_instructions,
+            self.gpu_instructions,
+            self.serial_instructions,
+            self.num_communications,
+            self.initial_transfer_bytes,
+        )
+
+
+def compute_stats(trace: KernelTrace, compute_pattern: str = "") -> TraceStats:
+    """Derive the Table III quantities from a trace."""
+    return TraceStats(
+        name=trace.name,
+        compute_pattern=compute_pattern,
+        cpu_instructions=trace.cpu_instructions,
+        gpu_instructions=trace.gpu_instructions,
+        serial_instructions=trace.serial_instructions,
+        num_communications=trace.num_communications,
+        initial_transfer_bytes=trace.initial_transfer_bytes,
+    )

@@ -1,0 +1,133 @@
+"""Physical-unit helpers used throughout the simulator.
+
+The simulator mixes clock domains (a 3.5 GHz CPU and a 1.5 GHz GPU), byte
+quantities, and bandwidths (PCI-E 2.0 at 16 GB/s, DDR3-1333 at 41.6 GB/s).
+Keeping conversions in one module avoids the classic cycles-vs-nanoseconds
+bugs in heterogeneous timing models.
+
+Conventions:
+
+- time is expressed in **seconds** (float) at the inter-domain level;
+- each clock domain converts seconds to its own integral **cycles**;
+- sizes are **bytes** (int); bandwidths are **bytes per second** (float).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "KHZ",
+    "MHZ",
+    "GHZ",
+    "Frequency",
+    "Bandwidth",
+    "transfer_seconds",
+    "ceil_div",
+]
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+KHZ = 1_000.0
+MHZ = 1_000_000.0
+GHZ = 1_000_000_000.0
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division for positive operands.
+
+    >>> ceil_div(7, 4)
+    2
+    >>> ceil_div(8, 4)
+    2
+    """
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    return -(-numerator // denominator)
+
+
+@dataclass(frozen=True)
+class Frequency:
+    """A clock frequency with cycle/second conversions.
+
+    >>> f = Frequency(2 * GHZ)
+    >>> f.cycles_to_seconds(4)
+    2e-09
+    >>> f.seconds_to_cycles(1e-9)
+    2
+    """
+
+    hertz: float
+
+    def __post_init__(self) -> None:
+        if self.hertz <= 0:
+            raise ValueError(f"frequency must be positive, got {self.hertz}")
+
+    @property
+    def period(self) -> float:
+        """Seconds per cycle."""
+        return 1.0 / self.hertz
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count in this domain to wall-clock seconds."""
+        return cycles / self.hertz
+
+    def seconds_to_cycles(self, seconds: float) -> int:
+        """Convert wall-clock seconds to whole cycles, rounding up.
+
+        Rounding up models the synchronizer: an event arriving mid-cycle is
+        visible at the next edge.
+        """
+        return int(math.ceil(seconds * self.hertz - 1e-12))
+
+    def __str__(self) -> str:
+        if self.hertz >= GHZ:
+            return f"{self.hertz / GHZ:g}GHz"
+        if self.hertz >= MHZ:
+            return f"{self.hertz / MHZ:g}MHz"
+        return f"{self.hertz:g}Hz"
+
+
+@dataclass(frozen=True)
+class Bandwidth:
+    """A transfer rate in bytes per second.
+
+    >>> bw = Bandwidth.from_gb_per_s(16.0)
+    >>> bw.seconds_for(16 * 10**9)
+    1.0
+    """
+
+    bytes_per_second: float
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_second <= 0:
+            raise ValueError(
+                f"bandwidth must be positive, got {self.bytes_per_second}"
+            )
+
+    @classmethod
+    def from_gb_per_s(cls, gb_per_s: float) -> "Bandwidth":
+        """Build from decimal gigabytes per second (as link specs quote)."""
+        return cls(gb_per_s * 1e9)
+
+    def seconds_for(self, num_bytes: int) -> float:
+        """Time to move ``num_bytes`` at this rate."""
+        if num_bytes < 0:
+            raise ValueError(f"byte count must be non-negative, got {num_bytes}")
+        return num_bytes / self.bytes_per_second
+
+    def __str__(self) -> str:
+        return f"{self.bytes_per_second / 1e9:g}GB/s"
+
+
+def transfer_seconds(num_bytes: int, bandwidth: Bandwidth, latency: float = 0.0) -> float:
+    """Latency + size/bandwidth time for a single transfer."""
+    if latency < 0:
+        raise ValueError(f"latency must be non-negative, got {latency}")
+    return latency + bandwidth.seconds_for(num_bytes)

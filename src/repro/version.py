@@ -1,0 +1,3 @@
+"""Package version, kept separate so metadata imports stay cheap."""
+
+__version__ = "1.0.0"

@@ -1,0 +1,117 @@
+"""Tests for region allocators and the PCI aperture."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.addrspace.allocator import Allocation, RegionAllocator
+from repro.addrspace.aperture import PciAperture
+from repro.taxonomy import ProcessingUnit
+from repro.units import KB, MB
+
+
+class TestRegionAllocator:
+    def test_alignment(self):
+        region = RegionAllocator("r", base=0x1000, size=64 * KB, align=64)
+        a = region.allocate(10)
+        b = region.allocate(10)
+        assert a % 64 == 0
+        assert b % 64 == 0
+        assert b > a
+
+    def test_exhaustion(self):
+        region = RegionAllocator("r", base=0, size=128)
+        region.allocate(64)
+        with pytest.raises(AllocationError):
+            region.allocate(128)
+
+    def test_free_unknown(self):
+        region = RegionAllocator("r", base=0, size=1024)
+        with pytest.raises(AllocationError):
+            region.free(0x40)
+
+    def test_arena_reset_when_all_freed(self):
+        region = RegionAllocator("r", base=0, size=128)
+        a = region.allocate(64)
+        b = region.allocate(64)
+        region.free(a)
+        region.free(b)
+        assert region.allocate(128) == 0  # space reclaimed
+
+    def test_live_bytes(self):
+        region = RegionAllocator("r", base=0, size=1024)
+        a = region.allocate(100)
+        region.allocate(50)
+        region.free(a)
+        assert region.live_bytes == 50
+
+    def test_contains(self):
+        region = RegionAllocator("r", base=0x100, size=0x100)
+        assert region.contains(0x150)
+        assert not region.contains(0x250)
+
+    def test_grow(self):
+        region = RegionAllocator("r", base=0, size=64)
+        region.allocate(64)
+        region.grow(256)
+        assert region.allocate(128) >= 64
+
+    def test_grow_must_increase(self):
+        region = RegionAllocator("r", base=0, size=64)
+        with pytest.raises(AllocationError):
+            region.grow(64)
+
+    def test_rejects_bad_align(self):
+        with pytest.raises(AllocationError):
+            RegionAllocator("r", base=0, size=64, align=48)
+
+
+class TestAllocation:
+    def test_contains(self):
+        a = Allocation("buf", addr=0x100, size=0x40, home=ProcessingUnit.CPU, shared=False)
+        assert a.contains(0x100)
+        assert a.contains(0x13F)
+        assert not a.contains(0x140)
+
+    def test_end(self):
+        a = Allocation("buf", addr=0x100, size=0x40, home=None, shared=True)
+        assert a.end == 0x140
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(AllocationError):
+            Allocation("buf", addr=0, size=0, home=None, shared=True)
+
+
+class TestPciAperture:
+    def test_small_by_default(self):
+        aperture = PciAperture(base=0x3000_0000)
+        assert aperture.size == 32 * MB
+
+    def test_fixed_aperture_fills_up(self):
+        aperture = PciAperture(base=0, size=1 * MB, growable=False)
+        aperture.allocate(512 * KB)
+        with pytest.raises(AllocationError):
+            aperture.allocate(1 * MB)
+
+    def test_growable_aperture_doubles(self):
+        aperture = PciAperture(base=0, size=1 * MB, growable=True)
+        aperture.allocate(512 * KB)
+        aperture.allocate(1 * MB)  # forces growth
+        assert aperture.grow_events == 1
+        assert aperture.size >= 2 * MB
+
+    def test_async_copy_accounting(self):
+        aperture = PciAperture(base=0)
+        aperture.record_async_copy(4096)
+        aperture.record_async_copy(1024)
+        stats = aperture.stats()
+        assert stats["async_copies"] == 2
+        assert stats["async_bytes"] == 5120
+
+    def test_rejects_negative_copy(self):
+        with pytest.raises(AllocationError):
+            PciAperture(base=0).record_async_copy(-1)
+
+    def test_contains(self):
+        aperture = PciAperture(base=0x1000, size=1 * MB)
+        addr = aperture.allocate(64)
+        assert aperture.contains(addr)

@@ -1,0 +1,86 @@
+"""Tests for LRB-style ownership control."""
+
+import pytest
+
+from repro.errors import OwnershipError
+from repro.addrspace.ownership import OwnershipTable
+from repro.taxonomy import ProcessingUnit
+
+CPU, GPU = ProcessingUnit.CPU, ProcessingUnit.GPU
+
+
+@pytest.fixture
+def table():
+    t = OwnershipTable()
+    t.register("a")
+    t.register("b")
+    t.register("c")
+    return t
+
+
+class TestRegistration:
+    def test_new_objects_start_cpu_owned(self, table):
+        assert table.owner_of("a") is CPU
+
+    def test_custom_initial_owner(self):
+        t = OwnershipTable()
+        t.register("x", owner=GPU)
+        assert t.owner_of("x") is GPU
+
+    def test_double_registration(self, table):
+        with pytest.raises(OwnershipError):
+            table.register("a")
+
+    def test_unknown_object(self, table):
+        with pytest.raises(OwnershipError):
+            table.owner_of("zzz")
+
+    def test_is_registered(self, table):
+        assert table.is_registered("a")
+        assert not table.is_registered("zzz")
+
+
+class TestTransfer:
+    def test_figure2_flow(self, table):
+        """release(a,b,c) by CPU -> acquire by GPU -> acquire back by CPU."""
+        table.release(["a", "b", "c"], by=CPU)
+        table.acquire(["a", "b", "c"], by=GPU)
+        assert table.owner_of("a") is GPU
+        table.acquire(["c"], by=CPU)
+        assert table.owner_of("c") is CPU
+        assert table.owner_of("a") is GPU
+
+    def test_release_by_non_owner(self, table):
+        with pytest.raises(OwnershipError):
+            table.release(["a"], by=GPU)
+
+    def test_batched_actions_count_once(self, table):
+        """One releaseOwnership(a,b,c) call is one API action (Table IV
+        charges api-acq per action, not per object)."""
+        table.release(["a", "b", "c"], by=CPU)
+        assert table.releases == 1
+
+    def test_acquire_returns_object_count(self, table):
+        assert table.acquire(["a", "b"], by=GPU) == 2
+
+
+class TestAccessChecks:
+    def test_owner_may_access(self, table):
+        table.check_access("a", CPU)
+
+    def test_non_owner_rejected(self, table):
+        with pytest.raises(OwnershipError, match="acquireOwnership"):
+            table.check_access("a", GPU)
+
+    def test_access_after_transfer(self, table):
+        table.release(["a"], by=CPU)
+        table.acquire(["a"], by=GPU)
+        table.check_access("a", GPU)
+        with pytest.raises(OwnershipError):
+            table.check_access("a", CPU)
+
+    def test_stats(self, table):
+        table.release(["a"], by=CPU)
+        table.acquire(["a"], by=GPU)
+        stats = table.stats()
+        assert stats == {"acquires": 1, "releases": 1, "objects": 3}

@@ -1,0 +1,96 @@
+"""Tests for per-PU page tables."""
+
+import pytest
+
+from repro.errors import TranslationError
+from repro.addrspace.paging import PageTable
+from repro.taxonomy import ProcessingUnit
+from repro.units import KB, MB
+
+
+@pytest.fixture
+def table():
+    return PageTable(ProcessingUnit.CPU, page_bytes=4 * KB, physical_bytes=1 * MB)
+
+
+class TestMapping:
+    def test_map_range_counts_pages(self, table):
+        assert table.map_range(0x1000, 3 * 4 * KB) == 3
+
+    def test_map_range_partial_pages_round_up(self, table):
+        assert table.map_range(0x1000, 1) == 1
+        assert table.map_range(0x1FFF, 2) == 1  # crosses into the next page
+
+    def test_remap_is_idempotent(self, table):
+        table.map_range(0x0, 4 * KB)
+        assert table.map_range(0x0, 4 * KB) == 0
+
+    def test_unmap(self, table):
+        table.map_range(0x0, 8 * KB)
+        assert table.unmap_range(0x0, 8 * KB) == 2
+        assert not table.is_mapped(0x0)
+
+    def test_rejects_empty_range(self, table):
+        with pytest.raises(TranslationError):
+            table.map_range(0, 0)
+
+
+class TestTranslation:
+    def test_translate_preserves_offset(self, table):
+        table.map_range(0x4000, 4 * KB)
+        pa = table.translate(0x4123)
+        assert pa % (4 * KB) == 0x123
+
+    def test_distinct_pages_get_distinct_frames(self, table):
+        table.map_range(0x0, 8 * KB)
+        assert table.translate(0x0) // (4 * KB) != table.translate(0x1000) // (4 * KB)
+
+    def test_unmapped_raises_without_on_demand(self, table):
+        with pytest.raises(TranslationError):
+            table.translate(0x9000)
+
+    def test_on_demand_maps_and_counts_fault(self, table):
+        pa = table.translate(0x9000, on_demand=True)
+        assert pa >= 0
+        assert table.page_faults == 1
+        assert table.is_mapped(0x9000)
+
+    def test_second_access_no_fault(self, table):
+        table.translate(0x9000, on_demand=True)
+        table.translate(0x9004, on_demand=True)
+        assert table.page_faults == 1
+
+
+class TestExhaustion:
+    def test_out_of_frames(self):
+        tiny = PageTable(ProcessingUnit.GPU, page_bytes=4 * KB, physical_bytes=8 * KB)
+        tiny.map_range(0x0, 8 * KB)
+        with pytest.raises(TranslationError):
+            tiny.map_range(0x10000, 4 * KB)
+
+    def test_physical_smaller_than_page(self):
+        with pytest.raises(TranslationError):
+            PageTable(ProcessingUnit.CPU, page_bytes=8 * KB, physical_bytes=4 * KB)
+
+    def test_non_pow2_page(self):
+        with pytest.raises(TranslationError):
+            PageTable(ProcessingUnit.CPU, page_bytes=3000, physical_bytes=1 * MB)
+
+
+class TestPerPuFormats:
+    def test_different_page_sizes(self):
+        cpu = PageTable(ProcessingUnit.CPU, 4 * KB, 1 * MB, page_format="x86-64")
+        gpu = PageTable(ProcessingUnit.GPU, 64 * KB, 1 * MB, page_format="gpu-large-page")
+        assert cpu.pages_for(128 * KB) == 32
+        assert gpu.pages_for(128 * KB) == 2
+
+    def test_pages_for_zero(self, table):
+        assert table.pages_for(0) == 0
+
+    def test_stats(self, table):
+        table.map_range(0x0, 4 * KB)
+        table.translate(0x9000, on_demand=True)
+        stats = table.stats()
+        assert stats["pages_mapped"] == 2
+        assert stats["page_faults"] == 1
+        assert stats["live_mappings"] == 2

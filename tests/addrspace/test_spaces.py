@@ -1,0 +1,261 @@
+"""Tests for the four address-space models (Figure 1)."""
+
+import pytest
+
+from repro.errors import AccessViolationError, AllocationError, OwnershipError
+from repro.addrspace.adsm import AdsmAddressSpace
+from repro.addrspace.base import make_address_space
+from repro.addrspace.disjoint import DisjointAddressSpace
+from repro.addrspace.partially_shared import PartiallySharedAddressSpace
+from repro.addrspace.unified import UnifiedAddressSpace
+from repro.taxonomy import AddressSpaceKind, ProcessingUnit
+
+CPU, GPU = ProcessingUnit.CPU, ProcessingUnit.GPU
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind", list(AddressSpaceKind))
+    def test_builds_right_class(self, kind):
+        space = make_address_space(kind)
+        assert space.kind is kind
+
+
+class TestUnified:
+    def test_everything_accessible_to_both(self):
+        space = UnifiedAddressSpace()
+        a = space.alloc("a", 4096, pu=CPU)
+        b = space.alloc("b", 4096, pu=GPU)
+        for pu in (CPU, GPU):
+            assert space.accessible(pu, a.addr)
+            assert space.accessible(pu, b.addr)
+
+    def test_never_requires_transfer(self):
+        space = UnifiedAddressSpace()
+        a = space.alloc("a", 64, pu=CPU)
+        assert not space.transfer_required(a, GPU)
+
+    def test_peer_translation_is_on_demand(self):
+        """A virtually unified space over discrete memories migrates pages
+        on first touch by the peer."""
+        space = UnifiedAddressSpace()
+        a = space.alloc("a", 4096, pu=CPU)
+        assert space.page_tables[GPU].page_faults == 0
+        space.translate(GPU, a.addr)
+        assert space.page_tables[GPU].page_faults == 1
+
+    def test_different_page_sizes_per_pu(self):
+        space = UnifiedAddressSpace()
+        assert space.page_tables[CPU].page_bytes != space.page_tables[GPU].page_bytes
+
+
+class TestDisjoint:
+    def test_no_shared_window(self):
+        space = DisjointAddressSpace()
+        with pytest.raises(AllocationError):
+            space.alloc("s", 64, shared=True)
+
+    def test_remote_access_violates(self):
+        space = DisjointAddressSpace()
+        a = space.alloc("a", 64, pu=CPU)
+        with pytest.raises(AccessViolationError):
+            space.check_access(GPU, a.addr)
+
+    def test_transfer_always_required_for_remote(self):
+        space = DisjointAddressSpace()
+        a = space.alloc("a", 64, pu=CPU)
+        assert space.transfer_required(a, GPU)
+        assert not space.transfer_required(a, CPU)
+
+    def test_device_copy_alias(self):
+        space = DisjointAddressSpace()
+        a = space.alloc("a", 256, pu=CPU)
+        gpu_a = space.alloc_device_copy(a, GPU)
+        assert gpu_a.home is GPU
+        assert space.accessible(GPU, gpu_a.addr)
+        assert gpu_a.size == a.size
+
+    def test_device_copy_of_local_buffer_rejected(self):
+        space = DisjointAddressSpace()
+        a = space.alloc("a", 64, pu=CPU)
+        with pytest.raises(AllocationError):
+            space.alloc_device_copy(a, CPU)
+
+    def test_is_shared_addr_never(self):
+        space = DisjointAddressSpace()
+        a = space.alloc("a", 64, pu=CPU)
+        assert not space.is_shared_addr(a.addr)
+
+
+class TestPartiallyShared:
+    def test_sharedmalloc_reachable_by_both(self):
+        space = PartiallySharedAddressSpace()
+        s = space.alloc("s", 4096, shared=True)
+        assert space.accessible(CPU, s.addr)
+        assert space.accessible(GPU, s.addr)
+        assert space.is_shared_addr(s.addr)
+
+    def test_private_still_private(self):
+        space = PartiallySharedAddressSpace()
+        p = space.alloc("p", 64, pu=CPU)
+        with pytest.raises(AccessViolationError):
+            space.check_access(GPU, p.addr)
+
+    def test_shared_alloc_maps_both_page_tables(self):
+        space = PartiallySharedAddressSpace()
+        before = {pu: t.pages_mapped for pu, t in space.page_tables.items()}
+        space.alloc("s", 128 * 1024, shared=True)
+        for pu, table in space.page_tables.items():
+            assert table.pages_mapped > before[pu]
+
+    def test_ownership_enforced(self):
+        space = PartiallySharedAddressSpace()
+        space.alloc("s", 64, shared=True)
+        space.check_object_access("s", CPU)
+        with pytest.raises(OwnershipError):
+            space.check_object_access("s", GPU)
+
+    def test_ownership_can_be_disabled(self):
+        space = PartiallySharedAddressSpace(ownership_control=False)
+        space.alloc("s", 64, shared=True)
+        space.check_object_access("s", GPU)  # no-op
+
+    def test_aperture_limits_window(self):
+        space = PartiallySharedAddressSpace(use_aperture=True)
+        with pytest.raises(AllocationError):
+            space.alloc("huge", space.aperture.size + 1, shared=True)
+
+    def test_no_aperture_allows_large_window(self):
+        space = PartiallySharedAddressSpace(use_aperture=False)
+        s = space.alloc("big", 64 * 1024 * 1024, shared=True)
+        assert space.is_shared_addr(s.addr)
+
+    def test_shared_object_needs_no_copy(self):
+        space = PartiallySharedAddressSpace()
+        s = space.alloc("s", 64, shared=True)
+        assert not space.transfer_required(s, GPU)
+
+
+class TestGlobalizePrivatize:
+    """§II-A3: globalization/privatization during program execution."""
+
+    def test_globalize_moves_private_buffer_into_window(self):
+        space = PartiallySharedAddressSpace()
+        private = space.alloc("buf", 4096, pu=CPU)
+        shared = space.globalize(private)
+        assert shared.shared
+        assert space.is_shared_addr(shared.addr)
+        assert space.ownership.owner_of("buf") is CPU
+        assert space.globalizations == 1
+
+    def test_globalize_rejects_already_shared(self):
+        space = PartiallySharedAddressSpace()
+        shared = space.alloc("s", 64, shared=True)
+        with pytest.raises(AllocationError):
+            space.globalize(shared)
+
+    def test_privatize_requires_ownership(self):
+        space = PartiallySharedAddressSpace()
+        shared = space.alloc("s", 64, shared=True)  # CPU-owned
+        with pytest.raises(OwnershipError):
+            space.privatize(shared, GPU)
+
+    def test_privatize_moves_into_owner_private_space(self):
+        space = PartiallySharedAddressSpace()
+        shared = space.alloc("s", 64, shared=True)
+        space.ownership.acquire(["s"], by=GPU)
+        private = space.privatize(shared, GPU)
+        assert not private.shared
+        assert private.home is GPU
+        assert not space.ownership.is_registered("s")
+        assert space.privatizations == 1
+
+    def test_roundtrip_many_times_without_leaking_the_aperture(self):
+        """Repeated globalize/privatize cycles must not exhaust the
+        aperture's accounting (freed window space is reclaimed)."""
+        space = PartiallySharedAddressSpace()
+        buf = space.alloc("buf", 4 * 1024 * 1024, pu=CPU)
+        for _ in range(20):  # 20 x 4 MB >> the 32 MB aperture if leaked
+            buf = space.globalize(buf)
+            buf = space.privatize(buf, CPU)
+        assert space.aperture.stats()["used_bytes"] == 0
+
+    def test_free_deregisters_shared_object(self):
+        space = PartiallySharedAddressSpace()
+        shared = space.alloc("s", 64, shared=True)
+        space.free(shared)
+        assert not space.ownership.is_registered("s")
+        # The name is reusable.
+        space.alloc("s", 64, shared=True)
+
+
+class TestAdsm:
+    def test_cpu_sees_everything(self):
+        space = AdsmAddressSpace()
+        g = space.alloc("g", 64, pu=GPU)
+        s = space.adsm_alloc("s", 64)
+        assert space.accessible(CPU, g.addr)
+        assert space.accessible(CPU, s.addr)
+
+    def test_gpu_sees_only_its_space_and_window(self):
+        space = AdsmAddressSpace()
+        c = space.alloc("c", 64, pu=CPU)
+        s = space.adsm_alloc("s", 64)
+        assert not space.accessible(GPU, c.addr)
+        assert space.accessible(GPU, s.addr)
+
+    def test_adsm_alloc_maps_both_tables(self):
+        space = AdsmAddressSpace()
+        s = space.adsm_alloc("s", 128 * 1024)
+        assert space.page_tables[CPU].is_mapped(s.addr)
+        assert space.page_tables[GPU].is_mapped(s.addr)
+
+    def test_cpu_never_needs_transfer(self):
+        space = AdsmAddressSpace()
+        s = space.adsm_alloc("s", 64)
+        g = space.alloc("g", 64, pu=GPU)
+        assert not space.transfer_required(s, CPU)
+        assert not space.transfer_required(g, CPU)
+
+    def test_gpu_needs_staging_for_host_private(self):
+        space = AdsmAddressSpace()
+        c = space.alloc("c", 64, pu=CPU)
+        assert space.transfer_required(c, GPU)
+
+    def test_accfree(self):
+        space = AdsmAddressSpace()
+        s = space.adsm_alloc("s", 64)
+        space.accfree(s)
+        with pytest.raises(AllocationError):
+            space.allocation("s")
+
+    def test_accfree_rejects_private(self):
+        space = AdsmAddressSpace()
+        p = space.alloc("p", 64, pu=CPU)
+        with pytest.raises(AllocationError):
+            space.accfree(p)
+
+    def test_four_fundamental_apis_documented(self):
+        assert len(AdsmAddressSpace.FUNDAMENTAL_APIS) == 4
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("kind", list(AddressSpaceKind))
+    def test_double_alloc_rejected(self, kind):
+        space = make_address_space(kind)
+        space.alloc("x", 64, pu=CPU)
+        with pytest.raises(AllocationError):
+            space.alloc("x", 64, pu=CPU)
+
+    @pytest.mark.parametrize("kind", list(AddressSpaceKind))
+    def test_free_then_lookup_fails(self, kind):
+        space = make_address_space(kind)
+        a = space.alloc("x", 64, pu=CPU)
+        space.free(a)
+        with pytest.raises(AllocationError):
+            space.allocation("x")
+
+    @pytest.mark.parametrize("kind", list(AddressSpaceKind))
+    def test_stats_track_live_allocations(self, kind):
+        space = make_address_space(kind)
+        space.alloc("x", 64, pu=CPU)
+        assert space.stats()["live_allocations"] == 1

@@ -1,0 +1,76 @@
+"""Tests for the TLB."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.addrspace.tlb import TLB
+from repro.units import KB
+
+
+@pytest.fixture
+def tlb():
+    return TLB(entries=4, page_bytes=4 * KB)
+
+
+class TestLookup:
+    def test_cold_miss(self, tlb):
+        assert tlb.lookup(0x1000) is None
+        assert tlb.misses == 1
+
+    def test_hit_after_install(self, tlb):
+        tlb.install(0x1000, frame=7)
+        assert tlb.lookup(0x1234) == 7
+        assert tlb.hits == 1
+
+    def test_hit_rate(self, tlb):
+        tlb.install(0x0, 0)
+        tlb.lookup(0x0)
+        tlb.lookup(0x5000)
+        assert tlb.hit_rate == pytest.approx(0.5)
+
+
+class TestReplacement:
+    def test_lru_eviction(self, tlb):
+        for i in range(4):
+            tlb.install(i * 0x1000, i)
+        tlb.lookup(0x0)  # refresh page 0
+        tlb.install(0x5000, 5)  # evicts page 1 (LRU)
+        assert tlb.lookup(0x0) == 0
+        assert tlb.lookup(0x1000) is None
+
+    def test_reinstall_updates(self, tlb):
+        tlb.install(0x1000, 1)
+        tlb.install(0x1000, 9)
+        assert tlb.lookup(0x1000) == 9
+        assert tlb.occupancy == 1
+
+    def test_capacity_respected(self, tlb):
+        for i in range(10):
+            tlb.install(i * 0x1000, i)
+        assert tlb.occupancy == 4
+
+
+class TestInvalidation:
+    def test_invalidate_present(self, tlb):
+        tlb.install(0x2000, 2)
+        assert tlb.invalidate(0x2000)
+        assert tlb.lookup(0x2000) is None
+
+    def test_invalidate_absent(self, tlb):
+        assert not tlb.invalidate(0x7000)
+
+    def test_flush(self, tlb):
+        for i in range(3):
+            tlb.install(i * 0x1000, i)
+        tlb.flush()
+        assert tlb.occupancy == 0
+
+
+class TestValidation:
+    def test_needs_entries(self):
+        with pytest.raises(ConfigError):
+            TLB(entries=0, page_bytes=4 * KB)
+
+    def test_pow2_page(self):
+        with pytest.raises(ConfigError):
+            TLB(entries=4, page_bytes=5000)

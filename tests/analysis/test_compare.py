@@ -1,0 +1,41 @@
+"""Tests for the paper-vs-measured comparison suite."""
+
+import pytest
+
+from repro.analysis.compare import Check, compare_all
+
+
+@pytest.fixture(scope="module")
+def checks():
+    return compare_all()
+
+
+class TestAllChecksPass:
+    def test_every_check_passes(self, checks):
+        failing = [c.line() for c in checks if not c.passed]
+        assert not failing, "\n".join(failing)
+
+    def test_every_experiment_covered(self, checks):
+        experiments = {c.experiment for c in checks}
+        assert experiments == {
+            "Table III",
+            "Table V",
+            "Figure 5",
+            "Figure 6",
+            "Figure 7",
+            "Conclusion",
+        }
+
+    def test_check_count(self, checks):
+        assert len(checks) == 30
+
+
+class TestCheckRendering:
+    def test_pass_line(self):
+        check = Check("E", "d", "p", "m", True)
+        assert check.line().startswith("[PASS]")
+
+    def test_fail_line(self):
+        check = Check("E", "d", "p", "m", False)
+        assert check.line().startswith("[FAIL]")
+        assert "paper: p" in check.line()

@@ -1,0 +1,60 @@
+"""Tests for the JSON results export."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import SCHEMA_VERSION, collect_results, export_results
+
+
+@pytest.fixture(scope="module")
+def results():
+    return collect_results()
+
+
+class TestCollect:
+    def test_schema_and_version(self, results):
+        assert results["schema"] == SCHEMA_VERSION
+        assert results["library_version"]
+
+    def test_table3_complete(self, results):
+        assert set(results["table3"]) == {
+            "reduction",
+            "matrix mul",
+            "convolution",
+            "dct",
+            "merge sort",
+            "k-mean",
+        }
+        assert results["table3"]["reduction"]["cpu_instructions"] == 70006
+
+    def test_table5_rows(self, results):
+        rows = {row["kernel"]: row for row in results["table5"]}
+        assert rows["dct"]["pas"] == 2
+        assert rows["dct"]["dis"] == 6
+
+    def test_figure_series_shapes(self, results):
+        assert len(results["figure5"]) == 6
+        for per_system in results["figure5"].values():
+            assert len(per_system) == 5
+            for cell in per_system.values():
+                assert cell["total_s"] == pytest.approx(
+                    cell["sequential_s"] + cell["parallel_s"] + cell["communication_s"]
+                )
+        for row in results["figure7"].values():
+            assert set(row) == {"UNI", "DIS", "PAS", "ADSM"}
+
+    def test_all_checks_recorded_and_passing(self, results):
+        assert len(results["checks"]) == 30
+        assert all(check["passed"] for check in results["checks"])
+
+    def test_config_fingerprint(self, results):
+        assert results["config"]["api_pci_base_cycles"] == 33250
+
+
+class TestExport:
+    def test_file_roundtrip(self, tmp_path):
+        path = export_results(tmp_path / "results.json")
+        data = json.loads(path.read_text())
+        assert data["schema"] == SCHEMA_VERSION
+        assert "figure6" in data

@@ -1,0 +1,60 @@
+"""Tests for figure regeneration."""
+
+import pytest
+
+from repro.analysis.figures import (
+    figure5_data,
+    figure5_text,
+    figure6_data,
+    figure6_text,
+    figure7_data,
+    figure7_text,
+)
+from repro.core.explorer import Explorer
+
+
+@pytest.fixture(scope="module")
+def explorer():
+    return Explorer()
+
+
+@pytest.fixture(scope="module")
+def fig5(explorer):
+    return figure5_data(explorer)
+
+
+class TestFigure5:
+    def test_grid_shape(self, fig5):
+        assert len(fig5) == 6
+        for per_system in fig5.values():
+            assert len(per_system) == 5
+
+    def test_text_chart(self, explorer):
+        text = figure5_text(explorer)
+        assert "Figure 5" in text
+        assert "IDEAL-HETERO" in text
+        assert "|" in text
+
+
+class TestFigure6:
+    def test_reuses_fig5_results(self, explorer, fig5):
+        data = figure6_data(results=fig5)
+        for kernel, row in data.items():
+            for system, comm in row.items():
+                assert comm == fig5[kernel][system].breakdown.communication
+
+    def test_text(self, explorer):
+        text = figure6_text(explorer)
+        assert "communication overhead" in text
+
+
+class TestFigure7:
+    def test_columns_are_space_shorts(self, explorer):
+        data = figure7_data(explorer)
+        for row in data.values():
+            assert set(row) == {"UNI", "DIS", "PAS", "ADSM"}
+
+    def test_text(self, explorer):
+        text = figure7_text(explorer)
+        assert "ideal communication" in text
+        assert "UNI" in text

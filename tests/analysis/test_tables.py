@@ -1,0 +1,55 @@
+"""Tests for table regeneration."""
+
+import pytest
+
+from repro.analysis.tables import table1, table2, table3, table4, table5
+
+
+class TestTable1:
+    def test_contains_all_systems(self):
+        text = table1()
+        for name in ("CPU+CUDA*", "EXOCHI", "CPU+LRB", "GMAC", "Rigel", "OpenCL"):
+            assert name in text
+
+    def test_column_headers(self):
+        text = table1()
+        assert "address space" in text
+        assert "coherence" in text
+
+
+class TestTable2:
+    def test_matches_paper_content(self):
+        text = table2()
+        assert "3.5GHz, out-of-order" in text
+        assert "1.5GHz, in-order, 8-wide SIMD" in text
+        assert "32-way 8MB L3 Cache" in text
+        assert "41.6GB/s" in text
+        assert "16KB s/w managed cache" in text
+
+
+class TestTable3:
+    def test_exact_values_present(self):
+        text = table3()
+        for value in ("8585229", "70006", "448259", "2359298", "157233", "1844981"):
+            assert value in text
+
+    def test_all_kernels(self):
+        text = table3()
+        for name in ("reduction", "matrix mul", "convolution", "dct", "merge sort", "k-mean"):
+            assert name in text
+
+
+class TestTable4:
+    def test_parameters(self):
+        text = table4()
+        assert "33250+trans_rate" in text
+        assert "42000" in text
+        assert "16GB/s" in text
+
+
+class TestTable5:
+    def test_exact_rows(self):
+        text = table5()
+        lines = {l.split()[0]: l for l in text.splitlines() if l and l[0].islower()}
+        assert "410   0    2    6    4" in lines["dct"]
+        assert "39    0    2    9    6" in lines["matrix"]

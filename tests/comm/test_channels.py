@@ -1,0 +1,160 @@
+"""Tests for the communication-mechanism channels."""
+
+import pytest
+
+from repro.config.comm import CommParams
+from repro.config.presets import case_study
+from repro.config.system import SystemConfig
+from repro.errors import CommunicationError
+from repro.comm.aperture import ApertureChannel
+from repro.comm.base import IdealChannel, TransferResult, make_channel
+from repro.comm.dma import AsyncDmaChannel
+from repro.comm.interconnect import InterconnectChannel
+from repro.comm.memctrl import MemCtrlChannel
+from repro.comm.pcie import PcieChannel
+from repro.taxonomy import CommMechanism
+from repro.trace.phase import CommPhase, Direction
+
+
+def h2d(num_bytes=65536, objects=1, first_touch=False):
+    return CommPhase(
+        direction=Direction.H2D,
+        num_bytes=num_bytes,
+        num_objects=objects,
+        first_touch=first_touch,
+    )
+
+
+def d2h(num_bytes=65536):
+    return CommPhase(direction=Direction.D2H, num_bytes=num_bytes)
+
+
+class TestTransferResult:
+    def test_overlapped(self):
+        r = TransferResult(total=10.0, exposed=4.0)
+        assert r.overlapped == pytest.approx(6.0)
+
+    def test_exposed_cannot_exceed_total(self):
+        with pytest.raises(CommunicationError):
+            TransferResult(total=1.0, exposed=2.0)
+
+
+class TestPcie:
+    def test_matches_table4_formula(self, comm_params):
+        channel = PcieChannel(comm_params)
+        result = channel.transfer(h2d(num_bytes=16 * 10**9))
+        # 33250 cycles + 1 second of transfer at 16 GB/s.
+        assert result.total == pytest.approx(33250 / 3.5e9 + 1.0, rel=1e-6)
+
+    def test_fully_exposed(self, comm_params):
+        result = PcieChannel(comm_params).transfer(h2d(), overlap_window=1.0)
+        assert result.exposed == result.total
+
+    def test_stats_accumulate(self, comm_params):
+        channel = PcieChannel(comm_params)
+        channel.transfer(h2d(1000))
+        channel.transfer(d2h(2000))
+        stats = channel.stats()
+        assert stats["transfers"] == 2
+        assert stats["bytes_moved"] == 3000
+
+
+class TestAsyncDma:
+    def test_overlap_hides_transfer_time(self, comm_params):
+        channel = AsyncDmaChannel(comm_params)
+        blocked = channel.transfer(h2d(16 * 10**6))
+        channel2 = AsyncDmaChannel(comm_params)
+        hidden = channel2.transfer(h2d(16 * 10**6), overlap_window=10.0)
+        assert hidden.exposed < blocked.exposed
+        assert hidden.total == pytest.approx(blocked.total)
+
+    def test_initiation_never_hidden(self, comm_params):
+        channel = AsyncDmaChannel(comm_params)
+        result = channel.transfer(h2d(), overlap_window=100.0)
+        assert result.exposed >= 33250 / 3.5e9
+
+    def test_partial_overlap(self, comm_params):
+        channel = AsyncDmaChannel(comm_params)
+        phase = h2d(16 * 10**9)  # ~1 s of copy
+        result = channel.transfer(phase, overlap_window=0.25)
+        assert result.exposed == pytest.approx(result.total - 0.25, rel=1e-6)
+
+
+class TestAperture:
+    def test_h2d_charges_acquire_transfer(self, comm_params):
+        channel = ApertureChannel(comm_params)
+        result = channel.transfer(h2d(objects=2))
+        expected_cycles = 1000 + 2 * 7000
+        assert result.total == pytest.approx(expected_cycles / 3.5e9)
+
+    def test_first_touch_adds_page_faults(self, comm_params):
+        channel = ApertureChannel(comm_params)
+        result = channel.transfer(h2d(objects=2, first_touch=True))
+        expected_cycles = 1000 + 2 * 7000 + 2 * 42000
+        assert result.total == pytest.approx(expected_cycles / 3.5e9)
+        assert channel.page_faults == 2
+
+    def test_d2h_is_ownership_only(self, comm_params):
+        """Data already in the shared window needs no transfer back."""
+        channel = ApertureChannel(comm_params)
+        result = channel.transfer(d2h())
+        assert result.total == pytest.approx(1000 / 3.5e9)
+
+    def test_page_granularity_faults(self, comm_params):
+        channel = ApertureChannel(comm_params, page_bytes=4096, fault_granularity="page")
+        channel.transfer(h2d(num_bytes=3 * 4096 + 1, first_touch=True))
+        assert channel.page_faults == 4
+
+    def test_rejects_unknown_granularity(self, comm_params):
+        with pytest.raises(CommunicationError):
+            ApertureChannel(comm_params, fault_granularity="cacheline")
+
+
+class TestMemCtrl:
+    def test_cheaper_than_pcie(self, comm_params):
+        phase = h2d(320512)
+        pcie = PcieChannel(comm_params).transfer(phase)
+        fusion = MemCtrlChannel(comm_params).transfer(phase)
+        assert fusion.total < pcie.total / 2
+
+    def test_scales_with_dram_bandwidth(self, comm_params):
+        channel = MemCtrlChannel(comm_params)
+        small = channel.transfer(h2d(64))
+        big = channel.transfer(h2d(64 * 10**6))
+        assert big.total > small.total
+
+
+class TestInterconnect:
+    def test_cheapest_for_small_transfers(self, comm_params):
+        phase = h2d(4096)
+        icn = InterconnectChannel(comm_params).transfer(phase)
+        mc = MemCtrlChannel(comm_params).transfer(phase)
+        pcie = PcieChannel(comm_params).transfer(phase)
+        assert icn.total < mc.total < pcie.total
+
+
+class TestIdeal:
+    def test_zero_cost(self, comm_params):
+        result = IdealChannel(comm_params).transfer(h2d(10**9))
+        assert result.total == 0.0
+        assert result.exposed == 0.0
+
+
+class TestFactory:
+    def test_all_mechanisms_buildable(self, comm_params):
+        for mechanism in CommMechanism:
+            channel = make_channel(mechanism, comm_params)
+            assert channel.mechanism in CommMechanism
+
+    def test_async_upgrade(self, comm_params):
+        channel = make_channel(CommMechanism.PCIE, comm_params, async_overlap=True)
+        assert isinstance(channel, AsyncDmaChannel)
+
+    def test_case_study_channels(self, comm_params):
+        system = SystemConfig()
+        lrb = make_channel(case_study("LRB").comm, comm_params, system)
+        assert isinstance(lrb, ApertureChannel)
+
+    def test_negative_overlap_rejected(self, comm_params):
+        with pytest.raises(CommunicationError):
+            PcieChannel(comm_params).transfer(h2d(), overlap_window=-1.0)

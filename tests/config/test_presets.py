@@ -1,0 +1,76 @@
+"""Tests for the five case-study presets (paper §V-A)."""
+
+import pytest
+
+from repro.config.presets import CASE_STUDIES, CaseStudy, case_study, case_study_names
+from repro.errors import ConfigError
+from repro.taxonomy import AddressSpaceKind, CoherenceKind, CommMechanism
+
+
+class TestRegistry:
+    def test_exactly_five_systems(self):
+        assert len(CASE_STUDIES) == 5
+
+    def test_names_in_figure_order(self):
+        assert case_study_names() == (
+            "CPU+GPU",
+            "LRB",
+            "GMAC",
+            "Fusion",
+            "IDEAL-HETERO",
+        )
+
+    def test_lookup_case_insensitive(self):
+        assert case_study("lrb").name == "LRB"
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigError):
+            case_study("Larrabee")
+
+
+class TestPaperMapping:
+    """Each system's axes must match the paper's description."""
+
+    def test_cpu_gpu_is_disjoint_pcie(self):
+        c = case_study("CPU+GPU")
+        assert c.address_space is AddressSpaceKind.DISJOINT
+        assert c.comm is CommMechanism.PCIE
+        assert not c.async_overlap
+
+    def test_lrb_is_partially_shared_aperture(self):
+        c = case_study("LRB")
+        assert c.address_space is AddressSpaceKind.PARTIALLY_SHARED
+        assert c.comm is CommMechanism.PCI_APERTURE
+        assert c.coherence is CoherenceKind.OWNERSHIP
+        assert c.aperture_pages
+
+    def test_gmac_is_adsm_with_async(self):
+        c = case_study("GMAC")
+        assert c.address_space is AddressSpaceKind.ADSM
+        assert c.comm is CommMechanism.PCIE
+        assert c.async_overlap
+        assert c.coherence is CoherenceKind.SOFTWARE_RUNTIME
+
+    def test_fusion_is_disjoint_memctrl(self):
+        c = case_study("Fusion")
+        assert c.address_space is AddressSpaceKind.DISJOINT
+        assert c.comm is CommMechanism.MEMORY_CONTROLLER
+
+    def test_ideal_is_unified_coherent(self):
+        c = case_study("IDEAL-HETERO")
+        assert c.address_space is AddressSpaceKind.UNIFIED
+        assert c.comm is CommMechanism.IDEAL
+        assert c.coherence is CoherenceKind.HARDWARE_DIRECTORY
+
+
+class TestValidation:
+    def test_aperture_pages_require_aperture_mechanism(self):
+        with pytest.raises(ConfigError):
+            CaseStudy(
+                name="bad",
+                address_space=AddressSpaceKind.DISJOINT,
+                comm=CommMechanism.PCIE,
+                coherence=CoherenceKind.NONE,
+                consistency=case_study("CPU+GPU").consistency,
+                aperture_pages=True,
+            )

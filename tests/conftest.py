@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.comm import CommParams
+from repro.config.system import SystemConfig
+from repro.kernels.registry import all_kernels
+from repro.sim.fast import FastSimulator
+
+
+@pytest.fixture(scope="session")
+def system() -> SystemConfig:
+    """The Table II baseline machine."""
+    return SystemConfig()
+
+
+@pytest.fixture(scope="session")
+def comm_params() -> CommParams:
+    """The Table IV communication parameters."""
+    return CommParams()
+
+
+@pytest.fixture(scope="session")
+def fast_sim(system, comm_params) -> FastSimulator:
+    return FastSimulator(system, comm_params)
+
+
+@pytest.fixture(scope="session")
+def kernels():
+    """All six kernels in Table III order."""
+    return all_kernels()

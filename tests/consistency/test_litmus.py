@@ -1,0 +1,39 @@
+"""Tests for the litmus suite and its design-space mapping."""
+
+import pytest
+
+from repro.consistency.litmus import LITMUS_TESTS, litmus_verdict, model_for
+from repro.consistency.model import is_allowed
+from repro.errors import SimulationError
+from repro.taxonomy import ConsistencyModel
+
+
+class TestExpectedVerdicts:
+    @pytest.mark.parametrize("test", LITMUS_TESTS, ids=lambda t: t.name)
+    def test_sc_verdict(self, test):
+        assert is_allowed(test.program, test.observation, "sc") == test.allowed_sc
+
+    @pytest.mark.parametrize("test", LITMUS_TESTS, ids=lambda t: t.name)
+    def test_weak_verdict(self, test):
+        assert is_allowed(test.program, test.observation, "weak") == test.allowed_weak
+
+    def test_sb_distinguishes_the_models(self):
+        """The headline difference between a strongly consistent unified
+        system (IDEAL-HETERO) and every Table I weak system."""
+        assert not litmus_verdict("SB", ConsistencyModel.STRONG)
+        assert litmus_verdict("SB", ConsistencyModel.WEAK)
+
+    def test_release_family_is_weak(self):
+        for consistency in (
+            ConsistencyModel.WEAK,
+            ConsistencyModel.RELEASE,
+            ConsistencyModel.CENTRALIZED_RELEASE,
+        ):
+            assert model_for(consistency) == "weak"
+
+    def test_strong_is_sc(self):
+        assert model_for(ConsistencyModel.STRONG) == "sc"
+
+    def test_unknown_test_name(self):
+        with pytest.raises(SimulationError):
+            litmus_verdict("IRIW", ConsistencyModel.WEAK)

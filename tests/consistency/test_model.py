@@ -1,0 +1,99 @@
+"""Tests for the operational consistency models."""
+
+import pytest
+
+from repro.consistency.model import allowed_outcomes, is_allowed
+from repro.consistency.ops import Fence, Load, Program, Store
+from repro.errors import SimulationError
+from repro.taxonomy import ProcessingUnit
+
+CPU, GPU = ProcessingUnit.CPU, ProcessingUnit.GPU
+
+
+class TestSingleThread:
+    def test_load_sees_own_store_sc(self):
+        program = Program(threads={CPU: (Store("x", 7), Load("x", "r0"))})
+        assert allowed_outcomes(program, "sc") == {frozenset({("r0", 7)})}
+
+    def test_load_sees_own_store_weak_via_forwarding(self):
+        """Store-buffer forwarding: a PU always sees its own stores."""
+        program = Program(threads={CPU: (Store("x", 7), Load("x", "r0"))})
+        assert allowed_outcomes(program, "weak") == {frozenset({("r0", 7)})}
+
+    def test_initial_value_is_zero(self):
+        program = Program(threads={CPU: (Load("x", "r0"),)})
+        assert allowed_outcomes(program, "sc") == {frozenset({("r0", 0)})}
+
+    def test_program_order_within_thread(self):
+        program = Program(
+            threads={CPU: (Store("x", 1), Store("x", 2), Load("x", "r0"))}
+        )
+        for model in ("sc", "weak"):
+            assert allowed_outcomes(program, model) == {frozenset({("r0", 2)})}
+
+
+class TestTwoThreads:
+    def test_racing_load_sees_both_values_sc(self):
+        program = Program(
+            threads={CPU: (Store("x", 1),), GPU: (Load("x", "r0"),)}
+        )
+        outcomes = allowed_outcomes(program, "sc")
+        assert frozenset({("r0", 0)}) in outcomes
+        assert frozenset({("r0", 1)}) in outcomes
+
+    def test_sc_outcomes_subset_of_weak(self):
+        program = Program(
+            threads={
+                CPU: (Store("x", 1), Load("y", "r0")),
+                GPU: (Store("y", 1), Load("x", "r1")),
+            }
+        )
+        sc = allowed_outcomes(program, "sc")
+        weak = allowed_outcomes(program, "weak")
+        assert sc <= weak
+
+    def test_store_buffering_is_the_only_extra_sb_outcome(self):
+        program = Program(
+            threads={
+                CPU: (Store("x", 1), Load("y", "r0")),
+                GPU: (Store("y", 1), Load("x", "r1")),
+            }
+        )
+        extra = allowed_outcomes(program, "weak") - allowed_outcomes(program, "sc")
+        assert extra == {frozenset({("r0", 0), ("r1", 0)})}
+
+    def test_fence_removes_relaxed_outcome(self):
+        fenced = Program(
+            threads={
+                CPU: (Store("x", 1), Fence(), Load("y", "r0")),
+                GPU: (Store("y", 1), Fence(), Load("x", "r1")),
+            }
+        )
+        assert not is_allowed(fenced, {"r0": 0, "r1": 0}, "weak")
+
+
+class TestValidation:
+    def test_unknown_model(self):
+        program = Program(threads={CPU: (Load("x", "r0"),)})
+        with pytest.raises(SimulationError):
+            allowed_outcomes(program, "tso-plus")
+
+    def test_duplicate_registers_rejected(self):
+        with pytest.raises(SimulationError):
+            Program(
+                threads={
+                    CPU: (Load("x", "r0"),),
+                    GPU: (Load("y", "r0"),),
+                }
+            )
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(SimulationError):
+            Program(threads={})
+
+    def test_locations_and_registers(self):
+        program = Program(
+            threads={CPU: (Store("x", 1), Load("y", "r0"))}
+        )
+        assert program.locations == ("x", "y")
+        assert program.registers == ("r0",)

@@ -1,0 +1,141 @@
+"""Tests for design-point feasibility rules."""
+
+import pytest
+
+from repro.core.design_point import DesignPoint
+from repro.errors import DesignSpaceError
+from repro.taxonomy import (
+    AddressSpaceKind,
+    CoherenceKind,
+    CommMechanism,
+    ConsistencyModel,
+    LocalityScheme,
+)
+
+
+def point(**kwargs):
+    defaults = dict(
+        address_space=AddressSpaceKind.PARTIALLY_SHARED,
+        comm=CommMechanism.PCIE,
+        locality=LocalityScheme.IMPLICIT_PRIVATE_EXPLICIT_SHARED,
+        coherence=CoherenceKind.OWNERSHIP,
+        consistency=ConsistencyModel.WEAK,
+    )
+    defaults.update(kwargs)
+    return DesignPoint(**defaults)
+
+
+class TestFeasibleExamples:
+    def test_lrb_like_point(self):
+        assert point(comm=CommMechanism.PCI_APERTURE).is_feasible
+
+    def test_cuda_like_point(self):
+        p = point(
+            address_space=AddressSpaceKind.DISJOINT,
+            locality=LocalityScheme.PRIVATE_ONLY,
+            coherence=CoherenceKind.NONE,
+        )
+        assert p.is_feasible
+
+    def test_gmac_like_point(self):
+        p = point(
+            address_space=AddressSpaceKind.ADSM,
+            locality=LocalityScheme.EXPLICIT_PRIVATE_IMPLICIT_SHARED,
+            coherence=CoherenceKind.SOFTWARE_RUNTIME,
+        )
+        assert p.is_feasible
+
+    def test_ideal_hetero_point(self):
+        p = point(
+            address_space=AddressSpaceKind.UNIFIED,
+            comm=CommMechanism.IDEAL,
+            locality=LocalityScheme.IMPLICIT_PRIVATE_IMPLICIT_SHARED,
+            coherence=CoherenceKind.HARDWARE_DIRECTORY,
+            consistency=ConsistencyModel.STRONG,
+        )
+        assert p.is_feasible
+
+
+class TestViolations:
+    def test_ownership_outside_pas(self):
+        p = point(address_space=AddressSpaceKind.UNIFIED)
+        assert any("ownership" in v for v in p.violations())
+
+    def test_disjoint_with_coherence(self):
+        p = point(
+            address_space=AddressSpaceKind.DISJOINT,
+            locality=LocalityScheme.PRIVATE_ONLY,
+            coherence=CoherenceKind.HARDWARE_DIRECTORY,
+        )
+        assert not p.is_feasible
+
+    def test_disjoint_with_shared_locality(self):
+        p = point(
+            address_space=AddressSpaceKind.DISJOINT,
+            locality=LocalityScheme.IMPLICIT_PRIVATE_IMPLICIT_SHARED,
+            coherence=CoherenceKind.NONE,
+        )
+        assert not p.is_feasible
+
+    def test_aperture_requires_shared_window(self):
+        p = point(
+            address_space=AddressSpaceKind.ADSM,
+            comm=CommMechanism.PCI_APERTURE,
+            locality=LocalityScheme.EXPLICIT_PRIVATE_IMPLICIT_SHARED,
+            coherence=CoherenceKind.SOFTWARE_RUNTIME,
+        )
+        assert not p.is_feasible
+
+    def test_strong_consistency_needs_hw_coherence(self):
+        p = point(consistency=ConsistencyModel.STRONG)
+        assert any("strong" in v.lower() for v in p.violations())
+
+    def test_pas_needs_a_coherence_story(self):
+        p = point(coherence=CoherenceKind.NONE)
+        assert not p.is_feasible
+
+    def test_unified_may_be_non_coherent(self):
+        """CUDA 4.0: unified address space, no coherence."""
+        p = point(
+            address_space=AddressSpaceKind.UNIFIED,
+            locality=LocalityScheme.EXPLICIT_PRIVATE_IMPLICIT_SHARED,
+            coherence=CoherenceKind.NONE,
+        )
+        assert p.is_feasible
+
+    def test_require_feasible_raises(self):
+        p = point(coherence=CoherenceKind.NONE)
+        with pytest.raises(DesignSpaceError):
+            p.require_feasible()
+
+    def test_require_feasible_returns_self(self):
+        p = point()
+        assert p.require_feasible() is p
+
+
+class TestWarnings:
+    def test_undesirable_locality_warns(self):
+        p = point(
+            address_space=AddressSpaceKind.UNIFIED,
+            locality=LocalityScheme.IMPLICIT_PRIVATE_EXPLICIT_SHARED,
+            coherence=CoherenceKind.HARDWARE_DIRECTORY,
+        )
+        assert p.is_feasible
+        assert not p.is_desirable
+        assert p.warnings()
+
+    def test_clean_point_has_no_warnings(self):
+        assert point().warnings() == ()
+        assert point().is_desirable
+
+
+class TestMisc:
+    def test_label_mentions_all_axes(self):
+        label = point().label
+        assert "PAS" in label
+        assert "pci-e" in label
+
+    def test_with_comm(self):
+        p = point().with_comm(CommMechanism.IDEAL)
+        assert p.comm is CommMechanism.IDEAL
+        assert p.address_space is AddressSpaceKind.PARTIALLY_SHARED

@@ -1,0 +1,111 @@
+"""Tests for the experiment explorer."""
+
+import pytest
+
+from repro.core.design_point import DesignPoint
+from repro.core.explorer import Explorer
+from repro.kernels.registry import kernel
+from repro.taxonomy import (
+    AddressSpaceKind,
+    CoherenceKind,
+    CommMechanism,
+    ConsistencyModel,
+    LocalityScheme,
+)
+
+
+@pytest.fixture(scope="module")
+def explorer():
+    return Explorer()
+
+
+@pytest.fixture(scope="module")
+def two_kernels():
+    return [kernel("reduction"), kernel("merge sort")]
+
+
+class TestCaseStudies:
+    def test_full_grid(self, explorer, two_kernels):
+        results = explorer.run_case_studies(kernels=two_kernels)
+        assert set(results) == {"reduction", "merge sort"}
+        for per_system in results.values():
+            assert len(per_system) == 5
+
+    def test_results_labelled(self, explorer, two_kernels):
+        results = explorer.run_case_studies(kernels=two_kernels)
+        assert results["reduction"]["LRB"].system == "LRB"
+        assert results["reduction"]["LRB"].kernel == "reduction"
+
+
+class TestDetailedCaseStudies:
+    def test_detailed_grid_matches_fast_ordering(self, explorer):
+        from repro.config.presets import case_study
+
+        cases = [case_study("CPU+GPU"), case_study("Fusion"), case_study("IDEAL-HETERO")]
+        detailed = explorer.run_case_studies_detailed(
+            kernels=[kernel("reduction")], cases=cases
+        )
+        fast = explorer.run_case_studies(kernels=[kernel("reduction")], cases=cases)
+        names = [c.name for c in cases]
+        det_order = sorted(names, key=lambda n: detailed["reduction"][n].total_seconds)
+        fast_order = sorted(names, key=lambda n: fast["reduction"][n].total_seconds)
+        assert det_order == fast_order
+
+
+class TestAddressSpaces:
+    def test_figure7_grid(self, explorer, two_kernels):
+        results = explorer.run_address_spaces(kernels=two_kernels)
+        for per_space in results.values():
+            assert set(per_space) == set(AddressSpaceKind)
+            # Ideal communication: zero comm time everywhere.
+            for result in per_space.values():
+                assert result.breakdown.communication == 0.0
+
+    def test_spread_is_tiny(self, explorer, two_kernels):
+        results = explorer.run_address_spaces(kernels=two_kernels)
+        for per_space in results.values():
+            totals = [r.total_seconds for r in per_space.values()]
+            assert max(totals) / min(totals) < 1.01
+
+
+class TestDesignPointEvaluation:
+    def lrb_point(self):
+        return DesignPoint(
+            address_space=AddressSpaceKind.PARTIALLY_SHARED,
+            comm=CommMechanism.PCI_APERTURE,
+            locality=LocalityScheme.IMPLICIT_PRIVATE_EXPLICIT_SHARED,
+            coherence=CoherenceKind.OWNERSHIP,
+            consistency=ConsistencyModel.WEAK,
+        )
+
+    def test_evaluation_fields(self, explorer, two_kernels):
+        ev = explorer.evaluate_design_point(self.lrb_point(), kernels=two_kernels)
+        assert ev.mean_seconds > 0
+        assert 0 <= ev.mean_comm_fraction < 1
+        assert ev.comm_lines_total > 0
+        assert ev.locality_options > 1
+
+    def test_infeasible_point_rejected(self, explorer, two_kernels):
+        from repro.errors import DesignSpaceError
+
+        bad = DesignPoint(
+            address_space=AddressSpaceKind.DISJOINT,
+            comm=CommMechanism.PCIE,
+            locality=LocalityScheme.HYBRID_SHARED,
+        )
+        with pytest.raises(DesignSpaceError):
+            explorer.evaluate_design_point(bad, kernels=two_kernels)
+
+    def test_ranking_prefers_pas(self, explorer, two_kernels):
+        """With the paper's weighting (options first), a PAS point should
+        outrank a disjoint point."""
+        dis = DesignPoint(
+            address_space=AddressSpaceKind.DISJOINT,
+            comm=CommMechanism.PCIE,
+            locality=LocalityScheme.PRIVATE_ONLY,
+            coherence=CoherenceKind.NONE,
+        )
+        ranked = explorer.rank_design_points(
+            points=[dis, self.lrb_point()], kernels=two_kernels
+        )
+        assert ranked[0].point.address_space is AddressSpaceKind.PARTIALLY_SHARED

@@ -1,0 +1,46 @@
+"""Tests for the adaptive partitioner (paper reference [25], Qilin)."""
+
+import pytest
+
+from repro.core.partition import PartitionResult, optimal_split, rate_based_split
+from repro.errors import DesignSpaceError
+from repro.kernels.registry import all_kernels, kernel
+
+
+class TestRateBasedSplit:
+    def test_fraction_in_unit_interval(self):
+        for k in all_kernels():
+            fraction = rate_based_split(k)
+            assert 0.0 < fraction < 1.0
+
+    def test_cpu_heavy_under_table2_cores(self):
+        """The 3.5 GHz OoO CPU is faster per instruction than the 1.5 GHz
+        in-order GPU, so rate-proportional splits favour the CPU."""
+        for k in all_kernels():
+            assert rate_based_split(k) > 0.6, k.name
+
+
+class TestOptimalSplit:
+    def test_beats_even_split(self):
+        result = optimal_split(kernel("dct"))
+        assert result.speedup_over_even > 1.2
+
+    def test_close_to_rate_based(self):
+        """On linear-cost kernels the search lands near Qilin's closed
+        form."""
+        k = kernel("dct")
+        assert optimal_split(k).cpu_fraction == pytest.approx(
+            rate_based_split(k), abs=0.05
+        )
+
+    def test_tolerance_validated(self):
+        with pytest.raises(DesignSpaceError):
+            optimal_split(kernel("dct"), tolerance=0.0)
+
+    def test_result_validation(self):
+        with pytest.raises(DesignSpaceError):
+            PartitionResult(cpu_fraction=1.5, total_seconds=1.0, even_split_seconds=2.0)
+
+    def test_speedup_property(self):
+        result = PartitionResult(cpu_fraction=0.8, total_seconds=1.0, even_split_seconds=3.0)
+        assert result.speedup_over_even == pytest.approx(3.0)

@@ -1,0 +1,70 @@
+"""Tests for report formatting."""
+
+import pytest
+
+from repro.core.report import format_breakdown_chart, format_series, format_table
+from repro.errors import ReproError
+from repro.sim.results import SimulationResult, TimeBreakdown
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(("a", "bee"), [("1", "2"), ("333", "4")])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = format_table(("x",), [("1",)], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ReproError):
+            format_table(("a", "b"), [("1",)])
+
+    def test_rejects_empty_headers(self):
+        with pytest.raises(ReproError):
+            format_table((), [])
+
+    def test_empty_rows_ok(self):
+        text = format_table(("a",), [])
+        assert "a" in text
+
+
+class TestBreakdownChart:
+    def make_results(self):
+        def result(system, seq, par, comm):
+            return SimulationResult(
+                kernel="k",
+                system=system,
+                breakdown=TimeBreakdown(seq, par, comm),
+            )
+
+        return {
+            "k": {
+                "slow": result("slow", 1e-6, 8e-6, 1e-6),
+                "fast": result("fast", 1e-6, 4e-6, 0.0),
+            }
+        }
+
+    def test_bars_contain_spc_markers(self):
+        chart = format_breakdown_chart(self.make_results())
+        assert "S" in chart and "P" in chart and "C" in chart
+
+    def test_normalized_ratio_column(self):
+        chart = format_breakdown_chart(self.make_results())
+        assert " 1.000" in chart  # the slowest system
+        assert " 0.500" in chart
+
+    def test_fast_system_has_no_comm_marker(self):
+        chart = format_breakdown_chart(self.make_results())
+        fast_line = next(l for l in chart.splitlines() if "fast" in l)
+        assert "C" not in fast_line
+
+
+class TestSeries:
+    def test_table_layout(self):
+        text = format_series({"row1": {"a": 1.0, "b": 2.0}}, value_label="V")
+        assert text.splitlines()[0] == "V"
+        assert "row1" in text

@@ -1,0 +1,77 @@
+"""Tests for design-space enumeration."""
+
+import pytest
+
+from repro.core.design_point import DesignPoint
+from repro.core.space import DesignSpace
+from repro.taxonomy import (
+    AddressSpaceKind,
+    CoherenceKind,
+    CommMechanism,
+    ConsistencyModel,
+    LocalityScheme,
+)
+
+
+class TestEnumeration:
+    def test_total_is_cross_product(self):
+        space = DesignSpace()
+        expected = (
+            len(AddressSpaceKind)
+            * len(CommMechanism)
+            * len(LocalityScheme)
+            * len(CoherenceKind)
+            * len(ConsistencyModel)
+        )
+        assert space.total_points() == expected
+
+    def test_feasible_subset_nonempty_and_proper(self):
+        space = DesignSpace()
+        feasible = space.feasible_points()
+        assert 0 < len(feasible) < space.total_points()
+
+    def test_all_enumerated_points_are_feasible(self):
+        for p in DesignSpace().enumerate(feasible_only=True):
+            assert p.is_feasible
+
+    def test_desirable_is_subset_of_feasible(self):
+        space = DesignSpace()
+        desirable = set(space.desirable_points())
+        feasible = set(space.feasible_points())
+        assert desirable < feasible
+
+    def test_unfiltered_includes_infeasible(self):
+        space = DesignSpace()
+        all_points = list(space.enumerate(feasible_only=False))
+        assert len(all_points) == space.total_points()
+
+    def test_restricted_axes(self):
+        space = DesignSpace(
+            address_spaces=[AddressSpaceKind.DISJOINT],
+            comms=[CommMechanism.PCIE],
+        )
+        for p in space.enumerate(feasible_only=True):
+            assert p.address_space is AddressSpaceKind.DISJOINT
+            assert p.comm is CommMechanism.PCIE
+
+
+class TestConclusion:
+    def test_partially_shared_is_most_versatile(self):
+        space = DesignSpace()
+        assert (
+            space.most_versatile_address_space() is AddressSpaceKind.PARTIALLY_SHARED
+        )
+
+    def test_option_ordering(self):
+        """PAS > UNI > ADSM > DIS in desirable design points."""
+        counts = DesignSpace().options_by_address_space()
+        assert (
+            counts[AddressSpaceKind.PARTIALLY_SHARED]
+            > counts[AddressSpaceKind.UNIFIED]
+            > counts[AddressSpaceKind.ADSM]
+            > counts[AddressSpaceKind.DISJOINT]
+        )
+
+    def test_disjoint_still_has_options(self):
+        counts = DesignSpace().options_by_address_space()
+        assert counts[AddressSpaceKind.DISJOINT] > 0

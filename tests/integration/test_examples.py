@@ -1,0 +1,37 @@
+"""Every shipped example must run cleanly end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.name} produced no output"
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert names >= {
+        "quickstart",
+        "case_study_comparison",
+        "design_space_exploration",
+        "programming_models",
+        "custom_accelerator",
+        "efficiency_guidelines",
+    }
+
+
+def test_quickstart_shows_paper_ordering(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    # The five systems appear in the paper's speed order (slowest first).
+    positions = [out.index(name) for name in ("CPU+GPU", "LRB", "GMAC", "Fusion")]
+    assert positions == sorted(positions)

@@ -1,0 +1,38 @@
+"""Tests for the opcode vocabulary."""
+
+from repro.isa.opcodes import OpClass, Opcode
+
+
+class TestClassification:
+    def test_every_opcode_has_a_class(self):
+        for op in Opcode:
+            assert isinstance(op.op_class, OpClass)
+
+    def test_memory_ops(self):
+        memory = {op for op in Opcode if op.is_memory}
+        assert memory == {
+            Opcode.LOAD,
+            Opcode.STORE,
+            Opcode.SIMD_LOAD,
+            Opcode.SIMD_STORE,
+        }
+
+    def test_loads_and_stores_partition_memory(self):
+        for op in Opcode:
+            if op.is_memory:
+                assert op.is_load != op.is_store
+            else:
+                assert not op.is_load and not op.is_store
+
+    def test_simd_flag(self):
+        assert Opcode.SIMD_ALU.is_simd
+        assert Opcode.SIMD_LOAD.is_simd
+        assert not Opcode.FP_ALU.is_simd
+        assert not Opcode.LOAD.is_simd
+
+    def test_special_class(self):
+        assert Opcode.SPECIAL.op_class is OpClass.SPECIAL
+
+    def test_branch_is_control(self):
+        assert Opcode.BRANCH.op_class is OpClass.CONTROL
+        assert Opcode.FENCE.op_class is OpClass.CONTROL

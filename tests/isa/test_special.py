@@ -1,0 +1,52 @@
+"""Tests for special instructions and their Table IV latencies."""
+
+import pytest
+
+from repro.config.comm import CommParams
+from repro.errors import ConfigError
+from repro.isa.special import SpecialOp, special_latency_cycles
+
+
+class TestTable4Latencies:
+    def test_api_pci_includes_size_term(self, comm_params):
+        base = special_latency_cycles(SpecialOp.API_PCI, comm_params, 0)
+        bigger = special_latency_cycles(SpecialOp.API_PCI, comm_params, 1 << 20)
+        assert base == 33250
+        assert bigger > base
+
+    def test_api_acq(self, comm_params):
+        assert special_latency_cycles(SpecialOp.API_ACQ, comm_params) == 1000
+
+    def test_api_tr(self, comm_params):
+        assert special_latency_cycles(SpecialOp.API_TR, comm_params) == 7000
+
+    def test_lib_pf(self, comm_params):
+        assert special_latency_cycles(SpecialOp.LIB_PF, comm_params) == 42000
+
+    def test_structural_markers_cost_one_cycle(self, comm_params):
+        for op in (
+            SpecialOp.PUSH,
+            SpecialOp.KERNEL_LAUNCH,
+            SpecialOp.KERNEL_RETURN,
+            SpecialOp.SYNC,
+        ):
+            assert special_latency_cycles(op, comm_params) == 1
+
+    def test_only_api_pci_takes_bytes(self, comm_params):
+        with pytest.raises(ConfigError):
+            special_latency_cycles(SpecialOp.API_ACQ, comm_params, 64)
+
+
+class TestIsTable4:
+    def test_table4_members(self):
+        table4 = {op for op in SpecialOp if op.is_table4}
+        assert table4 == {
+            SpecialOp.API_PCI,
+            SpecialOp.API_ACQ,
+            SpecialOp.API_TR,
+            SpecialOp.LIB_PF,
+        }
+
+    def test_latency_scales_with_params(self):
+        cheap = CommParams(api_acq_cycles=10)
+        assert special_latency_cycles(SpecialOp.API_ACQ, cheap) == 10

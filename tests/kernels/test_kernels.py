@@ -1,0 +1,164 @@
+"""Structural and scaling tests for the kernel generators."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.kernels.base import KernelShape, MixProfile, make_mix
+from repro.kernels.registry import all_kernels, kernel
+from repro.taxonomy import ProcessingUnit
+from repro.trace.phase import CommPhase, Direction, ParallelPhase, SequentialPhase
+
+
+class TestMakeMix:
+    def test_exact_total(self):
+        profile = MixProfile(0.3, 0.1, 0.2, 0.25)
+        for total in (0, 1, 7, 99, 12345):
+            assert make_mix(total, profile, ProcessingUnit.CPU).total == total
+
+    def test_gpu_mix_is_simd(self):
+        profile = MixProfile(0.4, 0.1, 0.1, 0.3)
+        mix = make_mix(1000, profile, ProcessingUnit.GPU)
+        assert mix.simd_loads == 400
+        assert mix.simd_stores == 100
+        assert mix.simd_alu == 300
+        assert mix.loads == 0
+
+    def test_cpu_mix_is_scalar(self):
+        profile = MixProfile(0.4, 0.1, 0.1, 0.3)
+        mix = make_mix(1000, profile, ProcessingUnit.CPU)
+        assert mix.loads == 400
+        assert mix.simd_loads == 0
+
+    def test_rejects_overflowing_fractions(self):
+        with pytest.raises(TraceError):
+            MixProfile(0.5, 0.5, 0.5, 0.5)
+
+    def test_rejects_negative_total(self):
+        with pytest.raises(TraceError):
+            make_mix(-1, MixProfile(0.1, 0.1, 0.1, 0.1), ProcessingUnit.CPU)
+
+
+@pytest.mark.parametrize("k", all_kernels(), ids=lambda k: k.name)
+class TestStructure:
+    def test_first_comm_is_h2d_first_touch(self, k):
+        comms = k.trace().comm_phases
+        assert comms[0].direction is Direction.H2D
+        assert comms[0].first_touch
+
+    def test_later_comms_are_not_first_touch(self, k):
+        comms = k.trace().comm_phases
+        for comm in comms[1:]:
+            assert not comm.first_touch
+
+    def test_parallel_phases_have_both_sides(self, k):
+        for phase in k.trace().parallel_phases:
+            assert phase.cpu.mix.total > 0
+            assert phase.gpu.mix.total > 0
+
+    def test_input_precedes_parallel(self, k):
+        phases = k.trace().phases
+        kinds = [type(p).__name__ for p in phases]
+        first_comm = kinds.index("CommPhase")
+        first_parallel = kinds.index("ParallelPhase")
+        assert first_comm < first_parallel
+
+    def test_trace_name_matches_kernel(self, k):
+        assert k.trace().name == k.name
+
+    def test_repr(self, k):
+        assert k.name in repr(k)
+
+
+class TestForSize:
+    def test_reduction_scales_linearly(self):
+        k = kernel("reduction")
+        small = k.for_size(1000)
+        large = k.for_size(2000)
+        assert large.cpu_instructions == pytest.approx(2 * small.cpu_instructions, rel=0.01)
+        assert large.initial_transfer_bytes == 2 * small.initial_transfer_bytes
+
+    def test_matmul_scales_cubically(self):
+        k = kernel("matmul")
+        n128 = k.for_size(128)
+        n256 = k.for_size(256)
+        assert n256.cpu_instructions == pytest.approx(8 * n128.cpu_instructions, rel=0.01)
+        assert n256.initial_transfer_bytes == pytest.approx(
+            4 * n128.initial_transfer_bytes, rel=0.01
+        )
+
+    def test_matmul_default_dim_reproduces_table3(self):
+        k = kernel("matmul")
+        assert k.for_size(k.default_dim) == k.default_shape
+
+    def test_mergesort_scales_superlinearly(self):
+        k = kernel("mergesort")
+        small = k.for_size(1 << 10)
+        large = k.for_size(1 << 20)
+        ratio = large.cpu_instructions / small.cpu_instructions
+        assert ratio > 1024  # n log n grows faster than n
+
+    def test_for_size_rejects_nonpositive(self):
+        for name in ("reduction", "matmul", "convolution", "dct", "k-mean"):
+            with pytest.raises(TraceError):
+                kernel(name).for_size(0)
+
+    def test_convolution_scales_linearly(self):
+        k = kernel("convolution")
+        small = k.for_size(8192)
+        large = k.for_size(16384)
+        assert large.cpu_instructions == pytest.approx(
+            2 * small.cpu_instructions, rel=0.01
+        )
+
+    def test_dct_scales_linearly_in_pixels(self):
+        k = kernel("dct")
+        assert k.for_size(524488).cpu_instructions == pytest.approx(
+            2 * k.for_size(262244).cpu_instructions, rel=0.01
+        )
+
+    def test_kmeans_iterations_parameter(self):
+        k = kernel("k-mean")
+        three = k.for_size(17024, iterations=3)
+        six = k.for_size(17024, iterations=6)
+        assert six.iterations == 6
+        assert six.cpu_instructions == pytest.approx(
+            2 * three.cpu_instructions, rel=0.01
+        )
+        trace = k.build(six)
+        assert trace.num_communications == 12
+
+    def test_kmeans_rejects_zero_iterations(self):
+        with pytest.raises(TraceError):
+            kernel("k-mean").for_size(1000, iterations=0)
+
+    def test_custom_shape_builds_valid_trace(self):
+        k = kernel("reduction")
+        shape = k.for_size(4096)
+        trace = k.build(shape)
+        assert trace.cpu_instructions == shape.cpu_instructions
+        assert trace.initial_transfer_bytes == shape.initial_transfer_bytes
+
+
+class TestKernelShape:
+    def test_rejects_negative_counts(self):
+        with pytest.raises(TraceError):
+            KernelShape(-1, 1, 1, 1, 1)
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(TraceError):
+            KernelShape(1, 1, 1, 1, 1, iterations=0)
+
+
+class TestKMeansIterations:
+    def test_three_iterations_six_comms(self):
+        trace = kernel("k-mean").trace()
+        assert len(trace.parallel_phases) == 3
+        assert len(trace.sequential_phases) == 3
+        assert trace.num_communications == 6
+
+    def test_iteration_split_sums_exactly(self):
+        k = kernel("k-mean")
+        trace = k.trace()
+        assert trace.cpu_instructions == k.default_shape.cpu_instructions
+        assert trace.gpu_instructions == k.default_shape.gpu_instructions
+        assert trace.serial_instructions == k.default_shape.serial_instructions

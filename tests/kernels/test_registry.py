@@ -1,0 +1,40 @@
+"""Tests for the kernel registry."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.kernels.registry import all_kernels, kernel, kernel_names
+
+
+class TestLookup:
+    def test_paper_names(self):
+        for name in kernel_names():
+            assert kernel(name).name == name
+
+    def test_aliases(self):
+        assert kernel("matmul").name == "matrix mul"
+        assert kernel("kmeans").name == "k-mean"
+        assert kernel("mergesort").name == "merge sort"
+        assert kernel("conv").name == "convolution"
+
+    def test_case_insensitive(self):
+        assert kernel("REDUCTION").name == "reduction"
+
+    def test_unknown_raises_with_known_list(self):
+        with pytest.raises(TraceError, match="reduction"):
+            kernel("fft")
+
+
+class TestOrder:
+    def test_table3_order(self):
+        assert kernel_names() == (
+            "reduction",
+            "matrix mul",
+            "convolution",
+            "dct",
+            "merge sort",
+            "k-mean",
+        )
+
+    def test_all_kernels_are_singletons(self):
+        assert all_kernels() == all_kernels()

@@ -1,0 +1,42 @@
+"""Table III reproduction: the headline trace-calibration test."""
+
+import pytest
+
+from repro.analysis.paper_data import TABLE3_EXPECTED
+from repro.kernels.registry import all_kernels, kernel
+
+
+@pytest.mark.parametrize("k", all_kernels(), ids=lambda k: k.name)
+class TestTable3Exact:
+    def test_cpu_instructions(self, k):
+        assert k.table3_row().cpu_instructions == TABLE3_EXPECTED[k.name][0]
+
+    def test_gpu_instructions(self, k):
+        assert k.table3_row().gpu_instructions == TABLE3_EXPECTED[k.name][1]
+
+    def test_serial_instructions(self, k):
+        assert k.table3_row().serial_instructions == TABLE3_EXPECTED[k.name][2]
+
+    def test_num_communications(self, k):
+        assert k.table3_row().num_communications == TABLE3_EXPECTED[k.name][3]
+
+    def test_initial_transfer_bytes(self, k):
+        assert k.table3_row().initial_transfer_bytes == TABLE3_EXPECTED[k.name][4]
+
+
+class TestTable3Coverage:
+    def test_all_six_kernels_present(self):
+        names = {k.name for k in all_kernels()}
+        assert names == set(TABLE3_EXPECTED)
+
+    def test_compute_patterns_recorded(self):
+        for k in all_kernels():
+            assert k.compute_pattern
+            assert k.table3_row().compute_pattern == k.compute_pattern
+
+    def test_kmeans_has_most_communications(self):
+        assert kernel("k-mean").table3_row().num_communications == 6
+
+    def test_convolution_has_odd_communications(self):
+        # parallel -> merge -> parallel gives three transfers.
+        assert kernel("convolution").table3_row().num_communications == 3

@@ -1,0 +1,93 @@
+"""Tests for the locality-scheme taxonomy (paper §II-B)."""
+
+import pytest
+
+from repro.locality.schemes import (
+    Feasibility,
+    describe,
+    feasibility,
+    feasible_schemes,
+    option_counts,
+)
+from repro.taxonomy import AddressSpaceKind, LocalityPolicy, LocalityScheme
+
+
+class TestDisjoint:
+    def test_only_private_only(self):
+        assert feasible_schemes(AddressSpaceKind.DISJOINT) == (
+            LocalityScheme.PRIVATE_ONLY,
+        )
+
+    def test_shared_schemes_impossible(self):
+        verdict = feasibility(
+            LocalityScheme.IMPLICIT_PRIVATE_IMPLICIT_SHARED, AddressSpaceKind.DISJOINT
+        )
+        assert verdict is Feasibility.NO
+
+
+class TestUnified:
+    def test_explicit_shared_is_undesirable(self):
+        """§II-B1: explicit shared management over a unified space means
+        potentially managing all of memory explicitly."""
+        verdict = feasibility(
+            LocalityScheme.IMPLICIT_PRIVATE_EXPLICIT_SHARED, AddressSpaceKind.UNIFIED
+        )
+        assert verdict is Feasibility.UNDESIRABLE
+
+    def test_implicit_shared_is_easy(self):
+        """§II-B2: 'the unified shared address space can easily have this
+        option.'"""
+        verdict = feasibility(
+            LocalityScheme.EXPLICIT_PRIVATE_IMPLICIT_SHARED, AddressSpaceKind.UNIFIED
+        )
+        assert verdict is Feasibility.YES
+
+    def test_include_undesirable_widens_the_list(self):
+        strict = feasible_schemes(AddressSpaceKind.UNIFIED)
+        loose = feasible_schemes(AddressSpaceKind.UNIFIED, include_undesirable=True)
+        assert set(strict) < set(loose)
+
+
+class TestPartiallyShared:
+    def test_supports_every_shared_scheme(self):
+        schemes = set(feasible_schemes(AddressSpaceKind.PARTIALLY_SHARED))
+        expected = set(LocalityScheme) - {LocalityScheme.PRIVATE_ONLY}
+        assert schemes == expected
+
+    def test_hybrid_allowed(self):
+        verdict = feasibility(
+            LocalityScheme.HYBRID_SHARED, AddressSpaceKind.PARTIALLY_SHARED
+        )
+        assert verdict is Feasibility.YES
+
+
+class TestConclusion3:
+    def test_pas_has_the_most_options(self):
+        counts = option_counts()
+        pas = counts[AddressSpaceKind.PARTIALLY_SHARED]
+        for kind, count in counts.items():
+            if kind is not AddressSpaceKind.PARTIALLY_SHARED:
+                assert pas > count
+
+    def test_disjoint_has_the_fewest(self):
+        counts = option_counts()
+        dis = counts[AddressSpaceKind.DISJOINT]
+        assert dis == min(counts.values())
+
+
+class TestDescriptors:
+    def test_every_scheme_described(self):
+        for scheme in LocalityScheme:
+            d = describe(scheme)
+            assert d.scheme is scheme
+            assert d.summary
+            assert d.paper_section
+
+    def test_hybrid_flag(self):
+        assert describe(LocalityScheme.HYBRID_SHARED).hybrid_shared
+        assert not describe(LocalityScheme.EXPLICIT_PRIVATE_EXPLICIT_SHARED).hybrid_shared
+
+    def test_mixed_schemes_have_differing_private_policies(self):
+        d = describe(LocalityScheme.MIXED_PRIVATE_EXPLICIT_SHARED)
+        assert d.cpu_private is LocalityPolicy.IMPLICIT
+        assert d.gpu_private is LocalityPolicy.EXPLICIT

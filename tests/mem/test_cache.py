@@ -1,0 +1,176 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+
+from repro.config.system import CacheConfig
+from repro.errors import SimulationError
+from repro.mem.cache.cache import Cache
+from repro.mem.cache.replacement import HybridLocalityPolicy
+from repro.mem.level import FixedLatencyMemory
+from repro.mem.request import MemRequest
+from repro.units import GHZ, KB, Frequency
+
+FREQ = Frequency(1 * GHZ)
+BACKING_LATENCY = 100e-9
+
+
+def make_cache(size=4 * KB, ways=4, latency=2, policy=None, mshr=16):
+    config = CacheConfig("test", size, ways=ways, latency=latency, mshr_entries=mshr)
+    backing = FixedLatencyMemory(BACKING_LATENCY, "backing")
+    return Cache(config, FREQ, next_level=backing, policy=policy), backing
+
+
+def read(addr, t=0.0, explicit=False):
+    return MemRequest(addr=addr, is_write=False, issue_time=t, explicit=explicit)
+
+
+def write(addr, t=0.0):
+    return MemRequest(addr=addr, is_write=True, issue_time=t)
+
+
+class TestHitMiss:
+    def test_cold_miss_then_hit(self):
+        cache, _ = make_cache()
+        first = cache.access(read(0x100))
+        second = cache.access(read(0x100))
+        assert not first.was_hit
+        assert second.was_hit
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_miss_latency_includes_backing(self):
+        cache, _ = make_cache()
+        result = cache.access(read(0x100, t=1.0))
+        assert result.latency == pytest.approx(2e-9 + BACKING_LATENCY)
+
+    def test_hit_latency(self):
+        cache, _ = make_cache()
+        cache.access(read(0x200))
+        assert cache.access(read(0x200)).latency == pytest.approx(2e-9)
+
+    def test_same_line_different_offsets_hit(self):
+        cache, _ = make_cache()
+        cache.access(read(0x100))
+        assert cache.access(read(0x13C)).was_hit  # same 64B line
+
+    def test_hit_level_names(self):
+        cache, _ = make_cache()
+        miss = cache.access(read(0x0))
+        hit = cache.access(read(0x0))
+        assert miss.hit_level == "backing"
+        assert hit.hit_level == "test"
+
+    def test_miss_rate(self):
+        cache, _ = make_cache()
+        for addr in range(0, 64 * 10, 64):
+            cache.access(read(addr))
+        assert cache.miss_rate == 1.0
+
+
+class TestEvictionAndWriteback:
+    def test_eviction_on_conflict(self):
+        # 4KB, 4 ways, 64B lines -> 16 sets; addresses 16*64 apart conflict.
+        cache, _ = make_cache()
+        stride = 16 * 64
+        for i in range(5):  # 5 lines into a 4-way set
+            cache.access(read(i * stride))
+        assert cache.evictions == 1
+
+    def test_lru_victim(self):
+        cache, _ = make_cache()
+        stride = 16 * 64
+        for i in range(4):
+            cache.access(read(i * stride))
+        cache.access(read(0))  # refresh line 0
+        cache.access(read(4 * stride))  # evicts line 1 (LRU)
+        assert cache.contains(0)
+        assert not cache.contains(stride)
+
+    def test_dirty_eviction_writes_back(self):
+        cache, _ = make_cache()
+        stride = 16 * 64
+        cache.access(write(0))
+        for i in range(1, 5):
+            cache.access(read(i * stride))
+        assert cache.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache, _ = make_cache()
+        stride = 16 * 64
+        for i in range(5):
+            cache.access(read(i * stride))
+        assert cache.writebacks == 0
+
+    def test_flush_counts_dirty_lines(self):
+        cache, _ = make_cache()
+        cache.access(write(0))
+        cache.access(write(64))
+        cache.access(read(128))
+        assert cache.flush() == 2
+        assert not cache.contains(0)
+
+
+class TestMSHRMerging:
+    def test_concurrent_miss_to_same_line_merges(self):
+        cache, backing = make_cache()
+        first = cache.access(read(0x100, t=0.0))
+        # Within the fill window: flush line first so it misses again.
+        cache.invalidate_line(0x100)
+        second = cache.access(read(0x104, t=10e-9))
+        assert second.latency < first.latency
+
+    def test_merge_after_fill_completes_pays_full(self):
+        cache, _ = make_cache()
+        cache.access(read(0x100, t=0.0))
+        cache.invalidate_line(0x100)
+        late = cache.access(read(0x100, t=1.0))  # long after fill done
+        assert late.latency == pytest.approx(2e-9 + BACKING_LATENCY)
+
+
+class TestExplicitManagement:
+    def test_push_line_installs_without_demand_miss(self):
+        cache, backing = make_cache()
+        cache.push_line(0x300)
+        assert cache.contains(0x300)
+        assert cache.is_explicit(0x300)
+        assert backing.stats()["accesses"] == 0
+
+    def test_explicit_request_sets_bit(self):
+        cache, _ = make_cache()
+        cache.access(read(0x500, explicit=True))
+        assert cache.is_explicit(0x500)
+
+    def test_push_on_resident_line_upgrades(self):
+        cache, _ = make_cache()
+        cache.access(read(0x600))
+        assert not cache.is_explicit(0x600)
+        cache.push_line(0x600)
+        assert cache.is_explicit(0x600)
+
+
+class TestInvalidation:
+    def test_invalidate_present_line(self):
+        cache, _ = make_cache()
+        cache.access(read(0x40))
+        assert cache.invalidate_line(0x40)
+        assert not cache.contains(0x40)
+
+    def test_invalidate_absent_line(self):
+        cache, _ = make_cache()
+        assert not cache.invalidate_line(0x9999)
+
+    def test_stats_and_reset(self):
+        cache, _ = make_cache()
+        cache.access(read(0))
+        cache.access(read(0))
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        cache.reset_stats()
+        assert cache.stats()["hits"] == 0
+
+
+class TestErrors:
+    def test_miss_without_next_level(self):
+        config = CacheConfig("lonely", 4 * KB, ways=4)
+        cache = Cache(config, FREQ)
+        with pytest.raises(SimulationError):
+            cache.access(read(0))

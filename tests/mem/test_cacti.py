@@ -1,0 +1,74 @@
+"""Tests for the CACTI-like latency model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.cacti import DEFAULT_CACTI, CactiModel, table2_latency_cycles
+from repro.units import GHZ, KB, MB, Frequency
+
+
+class TestTable2Calibration:
+    """The model must reproduce the paper's Table II latencies exactly."""
+
+    def test_l1_32kb_is_2_cycles(self):
+        assert table2_latency_cycles(32 * KB) == 2
+
+    def test_l2_256kb_is_8_cycles(self):
+        assert table2_latency_cycles(256 * KB) == 8
+
+    def test_l3_tile_2mb_is_20_cycles(self):
+        assert table2_latency_cycles(2 * MB) == 20
+
+    def test_l3_8mb_4tiles_is_20_cycles(self):
+        assert table2_latency_cycles(8 * MB, tiles=4) == 20
+
+
+class TestModelShape:
+    def test_latency_monotone_in_capacity(self):
+        sizes = [32 * KB, 64 * KB, 256 * KB, 1 * MB, 2 * MB, 8 * MB]
+        latencies = [DEFAULT_CACTI.latency_ns(s) for s in sizes]
+        assert latencies == sorted(latencies)
+
+    def test_latency_positive_everywhere(self):
+        for size in (1 * KB, 4 * KB, 16 * MB, 64 * MB):
+            assert DEFAULT_CACTI.latency_ns(size) > 0
+
+    def test_minimum_one_cycle(self):
+        fast = Frequency(0.1 * GHZ)
+        assert DEFAULT_CACTI.latency_cycles(1 * KB, fast) >= 1
+
+    def test_rejects_sub_kb(self):
+        with pytest.raises(ConfigError):
+            DEFAULT_CACTI.latency_ns(512)
+
+    def test_rejects_zero_tiles(self):
+        with pytest.raises(ConfigError):
+            table2_latency_cycles(1 * MB, tiles=0)
+
+
+class TestFit:
+    def test_fit_is_exact_through_three_points(self):
+        points = [(32 * KB, 1.0), (256 * KB, 2.0), (2 * MB, 4.0)]
+        model = CactiModel.fit(points)
+        for size, latency in points:
+            assert model.latency_ns(size) == pytest.approx(latency, rel=1e-9)
+
+    def test_fit_needs_three_points(self):
+        with pytest.raises(ConfigError):
+            CactiModel.fit([(32 * KB, 1.0)])
+
+    def test_fit_rejects_nonpositive_latency(self):
+        with pytest.raises(ConfigError):
+            CactiModel.fit([(32 * KB, 0.0), (64 * KB, 1.0), (128 * KB, 2.0)])
+
+
+class TestAreaEnergy:
+    def test_energy_grows_with_capacity(self):
+        assert DEFAULT_CACTI.dynamic_energy_nj(8 * MB) > DEFAULT_CACTI.dynamic_energy_nj(
+            32 * KB
+        )
+
+    def test_area_roughly_linear_in_capacity(self):
+        small = DEFAULT_CACTI.area_mm2(1 * MB)
+        big = DEFAULT_CACTI.area_mm2(8 * MB)
+        assert 6 < big / small < 9

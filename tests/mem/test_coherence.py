@@ -1,0 +1,133 @@
+"""Tests for the MESI protocol and the two-PU directory."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.mem.coherence.directory import Directory, SoftwareCoherence
+from repro.mem.coherence.protocol import (
+    MESIState,
+    ProtocolError,
+    next_state,
+    remote_state_on_snoop,
+)
+from repro.taxonomy import ProcessingUnit
+
+CPU, GPU = ProcessingUnit.CPU, ProcessingUnit.GPU
+
+
+class TestProtocolTransitions:
+    def test_cold_read_goes_exclusive(self):
+        assert next_state(MESIState.INVALID, False, False) == (MESIState.EXCLUSIVE, False)
+
+    def test_read_with_sharers_goes_shared(self):
+        assert next_state(MESIState.INVALID, False, True) == (MESIState.SHARED, False)
+
+    def test_cold_write_goes_modified(self):
+        assert next_state(MESIState.INVALID, True, False) == (MESIState.MODIFIED, False)
+
+    def test_write_with_sharers_invalidates(self):
+        state, invalidate = next_state(MESIState.SHARED, True, True)
+        assert state is MESIState.MODIFIED and invalidate
+
+    def test_silent_e_to_m_upgrade(self):
+        assert next_state(MESIState.EXCLUSIVE, True, False) == (MESIState.MODIFIED, False)
+
+    def test_e_with_other_copy_is_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            next_state(MESIState.EXCLUSIVE, True, True)
+
+    def test_m_with_other_copy_is_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            next_state(MESIState.MODIFIED, False, True)
+
+    def test_snoop_write_invalidates(self):
+        assert remote_state_on_snoop(MESIState.SHARED, True) is MESIState.INVALID
+
+    def test_snoop_read_downgrades_m_to_s(self):
+        assert remote_state_on_snoop(MESIState.MODIFIED, False) is MESIState.SHARED
+
+    def test_snoop_read_leaves_s(self):
+        assert remote_state_on_snoop(MESIState.SHARED, False) is MESIState.SHARED
+
+
+class TestDirectory:
+    def test_cold_read_is_exclusive(self):
+        d = Directory()
+        d.access(0x100, CPU, is_write=False)
+        assert d.state_of(0x100, CPU) is MESIState.EXCLUSIVE
+
+    def test_second_reader_shares(self):
+        d = Directory()
+        d.access(0x100, CPU, False)
+        d.access(0x100, GPU, False)
+        assert d.state_of(0x100, CPU) is MESIState.SHARED
+        assert d.state_of(0x100, GPU) is MESIState.SHARED
+
+    def test_write_invalidates_peer(self):
+        d = Directory()
+        d.access(0x100, CPU, False)
+        d.access(0x100, GPU, False)
+        action = d.access(0x100, CPU, True)
+        assert action.invalidate_peer
+        assert d.state_of(0x100, GPU) is MESIState.INVALID
+        assert d.state_of(0x100, CPU) is MESIState.MODIFIED
+
+    def test_reader_downgrades_writer(self):
+        d = Directory()
+        d.access(0x100, GPU, True)
+        d.access(0x100, CPU, False)
+        assert d.state_of(0x100, GPU) is MESIState.SHARED
+        assert d.downgrades == 1
+
+    def test_line_granularity(self):
+        d = Directory(line_bytes=64)
+        d.access(0x100, CPU, True)
+        assert d.state_of(0x13F, CPU) is MESIState.MODIFIED
+        assert d.state_of(0x140, CPU) is MESIState.INVALID
+
+    def test_sharers(self):
+        d = Directory()
+        d.access(0x200, CPU, False)
+        d.access(0x200, GPU, False)
+        assert set(d.sharers(0x200)) == {CPU, GPU}
+
+    def test_invariants_hold_over_random_walk(self):
+        d = Directory()
+        pattern = [(CPU, False), (GPU, False), (CPU, True), (GPU, True), (CPU, False)]
+        for addr in (0x0, 0x40, 0x80):
+            for pu, is_write in pattern:
+                d.access(addr, pu, is_write)
+                d.check_invariants()
+
+    def test_messages_charged_on_misses(self):
+        d = Directory()
+        action = d.access(0x300, CPU, False)
+        assert action.extra_latency_messages >= 1
+
+    def test_bad_line_size(self):
+        with pytest.raises(SimulationError):
+            Directory(line_bytes=48)
+
+
+class TestSoftwareCoherence:
+    def test_sync_flushes_dirty_lines(self):
+        sw = SoftwareCoherence()
+        sw.record_write(0x100, CPU)
+        sw.record_write(0x104, CPU)  # same line
+        sw.record_write(0x140, CPU)
+        assert sw.dirty_lines(CPU) == 2
+        assert sw.sync(CPU) == 2
+        assert sw.dirty_lines(CPU) == 0
+
+    def test_per_pu_isolation(self):
+        sw = SoftwareCoherence()
+        sw.record_write(0x100, CPU)
+        sw.record_write(0x200, GPU)
+        assert sw.sync(CPU) == 1
+        assert sw.dirty_lines(GPU) == 1
+
+    def test_stats(self):
+        sw = SoftwareCoherence()
+        sw.record_write(0x0, GPU)
+        sw.sync(GPU)
+        assert sw.stats() == {"syncs": 1, "lines_flushed": 1}

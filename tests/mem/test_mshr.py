@@ -1,0 +1,47 @@
+"""Tests for the MSHR file."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.cache.mshr import MSHRFile
+
+
+class TestMerging:
+    def test_lookup_inflight_returns_residual(self):
+        mshr = MSHRFile(4)
+        mshr.allocate(0x100, now=0.0, latency=10.0)
+        residual = mshr.lookup(0x100, now=4.0)
+        assert residual == pytest.approx(6.0)
+        assert mshr.merges == 1
+
+    def test_lookup_after_completion_is_none(self):
+        mshr = MSHRFile(4)
+        mshr.allocate(0x100, now=0.0, latency=10.0)
+        assert mshr.lookup(0x100, now=11.0) is None
+
+    def test_lookup_unknown_line(self):
+        mshr = MSHRFile(4)
+        assert mshr.lookup(0x200, now=0.0) is None
+
+
+class TestCapacity:
+    def test_oldest_retired_when_full(self):
+        mshr = MSHRFile(2)
+        mshr.allocate(0x000, 0.0, 100.0)
+        mshr.allocate(0x040, 0.0, 100.0)
+        mshr.allocate(0x080, 0.0, 100.0)
+        assert mshr.outstanding == 2
+        assert mshr.lookup(0x000, 1.0) is None  # retired
+        assert mshr.lookup(0x080, 1.0) is not None
+
+    def test_needs_one_entry(self):
+        with pytest.raises(ConfigError):
+            MSHRFile(0)
+
+    def test_reset(self):
+        mshr = MSHRFile(4)
+        mshr.allocate(0x0, 0.0, 1.0)
+        mshr.lookup(0x0, 0.5)
+        mshr.reset()
+        assert mshr.outstanding == 0
+        assert mshr.stats() == {"mshr_merges": 0, "mshr_allocations": 0}

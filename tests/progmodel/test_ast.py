@@ -1,0 +1,128 @@
+"""Tests for the mini-DSL statement types."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.progmodel.ast import (
+    AcquireOwnership,
+    Alloc,
+    Comment,
+    Free,
+    KernelLaunch,
+    Memcpy,
+    Push,
+    ReleaseOwnership,
+    Sync,
+)
+from repro.progmodel.program import Program
+from repro.taxonomy import AddressSpaceKind, ProcessingUnit
+from repro.trace.phase import Direction
+
+
+class TestCommClassification:
+    """Which lines count toward Table V's metric."""
+
+    def test_malloc_not_comm(self):
+        assert not Alloc("a", 64, "malloc").is_comm
+
+    def test_sharedmalloc_not_comm(self):
+        """sharedmalloc replaces malloc — it is not an *extra* line."""
+        assert not Alloc("a", 64, "sharedmalloc").is_comm
+
+    def test_adsm_alloc_is_comm(self):
+        assert Alloc("a", 64, "adsmAlloc").is_comm
+
+    def test_gpu_malloc_is_comm(self):
+        assert Alloc("a", 64, "gpu_malloc").is_comm
+
+    def test_memcpy_is_comm(self):
+        assert Memcpy("a", Direction.H2D, 64).is_comm
+
+    def test_ownership_is_comm(self):
+        assert ReleaseOwnership(("a",)).is_comm
+        assert AcquireOwnership(("a",)).is_comm
+
+    def test_push_is_locality_not_comm(self):
+        assert not Push("a", "S").is_comm
+
+    def test_kernel_launch_not_comm(self):
+        assert not KernelLaunch(kernel="k", args=("a",)).is_comm
+
+    def test_plain_free_not_comm_device_frees_are(self):
+        assert not Free("a", "free").is_comm
+        assert Free("a", "gpu_free").is_comm
+        assert Free("a", "accfree").is_comm
+
+
+class TestRendering:
+    def test_alloc(self):
+        assert Alloc("a", 64, "malloc").render() == "int *a = malloc(64);"
+
+    def test_gpu_malloc(self):
+        assert "GPUmemallocate" in Alloc("a", 64, "gpu_malloc").render()
+
+    def test_memcpy_directions(self):
+        assert "HosttoDevice" in Memcpy("a", Direction.H2D, 4).render()
+        assert "DevicetoHost" in Memcpy("a", Direction.D2H, 4).render()
+
+    def test_ownership_lists_objects(self):
+        assert ReleaseOwnership(("a", "b")).render() == "releaseOwnership(a, b);"
+
+    def test_gpu_launch_prefix(self):
+        gpu = KernelLaunch(kernel="addTwoVectors", args=("a",), pu=ProcessingUnit.GPU)
+        cpu = KernelLaunch(kernel="addTwoVectors", args=("a",), pu=ProcessingUnit.CPU)
+        assert gpu.render().startswith("addGPU")
+        assert cpu.render().startswith("addTwoVectors")
+
+    def test_comment(self):
+        assert Comment("hi").render() == "// hi"
+
+    def test_push(self):
+        assert Push("c", "S").render() == "push(c, S);"
+
+    def test_sync(self):
+        assert Sync().render() == "returnSync();"
+
+
+class TestValidation:
+    def test_unknown_alloc_kind(self):
+        with pytest.raises(ProgramError):
+            Alloc("a", 64, "calloc")
+
+    def test_zero_size_alloc(self):
+        with pytest.raises(ProgramError):
+            Alloc("a", 0, "malloc")
+
+    def test_empty_ownership(self):
+        with pytest.raises(ProgramError):
+            AcquireOwnership(())
+
+    def test_unknown_free(self):
+        with pytest.raises(ProgramError):
+            Free("a", "hipFree")
+
+
+class TestProgram:
+    def test_counts(self):
+        program = Program(
+            kernel="k",
+            address_space=AddressSpaceKind.DISJOINT,
+            statements=(
+                Alloc("a", 64, "malloc"),
+                Alloc("a", 64, "gpu_malloc"),
+                Memcpy("a", Direction.H2D, 64),
+            ),
+            computation_lines=10,
+        )
+        assert program.comm_lines() == 2
+        assert program.total_lines() == 12
+        assert len(program) == 3
+
+    def test_rejects_non_statements(self):
+        with pytest.raises(ProgramError):
+            Program(
+                kernel="k",
+                address_space=AddressSpaceKind.UNIFIED,
+                statements=("not a stmt",),
+                computation_lines=1,
+            )

@@ -1,0 +1,112 @@
+"""Tests for executing lowered programs against the address-space models."""
+
+import pytest
+
+from repro.errors import AccessViolationError, OwnershipError, ProgramError
+from repro.addrspace.base import make_address_space
+from repro.progmodel.ast import Alloc, KernelLaunch, ReleaseOwnership
+from repro.progmodel.interpreter import Interpreter
+from repro.progmodel.lowering import lower
+from repro.progmodel.program import Program
+from repro.progmodel.spec import all_program_specs, program_spec
+from repro.taxonomy import AddressSpaceKind, ProcessingUnit
+
+
+class TestLoweredProgramsAreLegal:
+    """Every lowered program must execute cleanly under its own space."""
+
+    @pytest.mark.parametrize("spec", all_program_specs(), ids=lambda s: s.name)
+    @pytest.mark.parametrize("kind", list(AddressSpaceKind))
+    def test_executes_cleanly(self, spec, kind):
+        program = lower(spec, kind)
+        log = Interpreter().execute(program)
+        assert log.kernel_launches == spec.gpu_call_sites
+
+    def test_disjoint_program_copies_data(self):
+        program = lower(program_spec("matrix mul"), AddressSpaceKind.DISJOINT)
+        log = Interpreter().execute(program)
+        assert log.copies == 3  # two inputs down, one output back
+        assert log.bytes_copied > 0
+
+    def test_pas_program_moves_ownership(self):
+        program = lower(program_spec("reduction"), AddressSpaceKind.PARTIALLY_SHARED)
+        log = Interpreter().execute(program)
+        assert log.ownership_actions == 2  # one release + one acquire
+
+    def test_unified_program_needs_no_comm_events(self):
+        program = lower(program_spec("dct"), AddressSpaceKind.UNIFIED)
+        log = Interpreter().execute(program)
+        assert log.copies == 0
+        assert log.ownership_actions == 0
+
+
+class TestBugDetection:
+    """The substrate must catch the bugs each model is prone to."""
+
+    def test_gpu_launch_without_memcpy_is_fine_but_without_alias_fails(self):
+        """Disjoint: launching on a buffer with no device alias fails."""
+        space = make_address_space(AddressSpaceKind.DISJOINT)
+        program = Program(
+            kernel="buggy",
+            address_space=AddressSpaceKind.DISJOINT,
+            statements=(
+                Alloc("a", 64, "malloc"),
+                KernelLaunch(kernel="k", args=("a",), pu=ProcessingUnit.GPU),
+            ),
+            computation_lines=1,
+        )
+        with pytest.raises(Exception):
+            Interpreter(space).execute(program)
+
+    def test_pas_launch_without_release_raises_ownership_error(self):
+        """Partially shared: forgetting releaseOwnership is the classic
+        LRB-model bug (§II-A3: programmers must insert the commands)."""
+        program = Program(
+            kernel="buggy",
+            address_space=AddressSpaceKind.PARTIALLY_SHARED,
+            statements=(
+                Alloc("s", 64, "sharedmalloc"),
+                # The kernel-side acquire works (GPU takes ownership), but
+                # the CPU touching it afterwards without acquiring back...
+                KernelLaunch(kernel="k", args=("s",), pu=ProcessingUnit.GPU),
+                KernelLaunch(kernel="k2", args=("s",), pu=ProcessingUnit.CPU),
+            ),
+            computation_lines=1,
+        )
+        space = make_address_space(AddressSpaceKind.PARTIALLY_SHARED)
+        # The CPU kernel's ownership check must fail: the GPU acquired "s"
+        # and the host never acquired it back.
+        with pytest.raises(OwnershipError):
+            Interpreter(space).execute(program)
+
+    def test_ownership_statement_on_wrong_space_rejected(self):
+        program = Program(
+            kernel="buggy",
+            address_space=AddressSpaceKind.UNIFIED,
+            statements=(
+                Alloc("a", 64, "malloc"),
+                ReleaseOwnership(("a",)),
+            ),
+            computation_lines=1,
+        )
+        with pytest.raises(ProgramError):
+            Interpreter().execute(program)
+
+    def test_adsm_gpu_cannot_touch_host_private(self):
+        program = Program(
+            kernel="buggy",
+            address_space=AddressSpaceKind.ADSM,
+            statements=(
+                Alloc("host_only", 64, "malloc"),
+                KernelLaunch(kernel="k", args=("host_only",), pu=ProcessingUnit.GPU),
+            ),
+            computation_lines=1,
+        )
+        with pytest.raises(AccessViolationError):
+            Interpreter().execute(program)
+
+    def test_space_kind_mismatch(self):
+        program = lower(program_spec("dct"), AddressSpaceKind.UNIFIED)
+        wrong_space = make_address_space(AddressSpaceKind.DISJOINT)
+        with pytest.raises(ProgramError):
+            Interpreter(wrong_space).execute(program)

@@ -1,0 +1,132 @@
+"""Tests for the Figure 4 locality-annotated code patterns."""
+
+import pytest
+
+from repro.errors import LocalityError
+from repro.progmodel.ast import KernelLaunch, Push
+from repro.progmodel.interpreter import Interpreter
+from repro.progmodel.locality_lowering import count_pushes, lower_with_locality
+from repro.progmodel.lowering import lower
+from repro.progmodel.spec import program_spec
+from repro.taxonomy import AddressSpaceKind, LocalityScheme
+
+PAS = AddressSpaceKind.PARTIALLY_SHARED
+UNI = AddressSpaceKind.UNIFIED
+
+
+@pytest.fixture
+def spec():
+    return program_spec("reduction")
+
+
+class TestFigure4Patterns:
+    def test_fig4a_unified_explicit_everywhere(self, spec):
+        """Figure 4(a): explicit private on both PUs + explicit shared."""
+        program = lower_with_locality(
+            spec, UNI, LocalityScheme.EXPLICIT_PRIVATE_EXPLICIT_SHARED
+        )
+        source = program.render()
+        assert "push(a, CPU.P);" in source
+        assert "push(a, GPU.P);" in source
+        assert "push(c, S);" in source
+        # 2 inputs pushed to each PU's private storage + 1 output to S.
+        assert count_pushes(program) == 5
+
+    def test_fig4b_pas_explicit_everywhere(self, spec):
+        """Figure 4(b): the same pattern under the partially shared space."""
+        program = lower_with_locality(
+            spec, PAS, LocalityScheme.EXPLICIT_PRIVATE_EXPLICIT_SHARED
+        )
+        assert count_pushes(program) == 5
+        # All ownership statements of the ordinary PAS lowering survive.
+        assert program.comm_lines() == lower(spec, PAS).comm_lines()
+
+    def test_fig4c_pas_implicit_private(self, spec):
+        """Figure 4(c): implicit private caches — only the shared pushes."""
+        program = lower_with_locality(
+            spec, PAS, LocalityScheme.IMPLICIT_PRIVATE_EXPLICIT_SHARED
+        )
+        source = program.render()
+        assert "CPU.P" not in source
+        assert "GPU.P" not in source
+        assert "push(c, S);" in source
+        assert count_pushes(program) == 1
+
+    def test_mixed_private_scheme_pushes_only_gpu(self, spec):
+        program = lower_with_locality(
+            spec, PAS, LocalityScheme.MIXED_PRIVATE_EXPLICIT_SHARED
+        )
+        source = program.render()
+        assert "GPU.P" in source
+        assert "CPU.P" not in source
+
+    def test_fully_implicit_scheme_has_no_pushes(self, spec):
+        program = lower_with_locality(
+            spec, PAS, LocalityScheme.IMPLICIT_PRIVATE_IMPLICIT_SHARED
+        )
+        assert count_pushes(program) == 0
+        assert program.statements == lower(spec, PAS).statements
+
+
+class TestStructure:
+    def test_private_pushes_precede_first_launch(self, spec):
+        program = lower_with_locality(
+            spec, PAS, LocalityScheme.EXPLICIT_PRIVATE_EXPLICIT_SHARED
+        )
+        stmts = list(program)
+        first_launch = next(i for i, s in enumerate(stmts) if isinstance(s, KernelLaunch))
+        private_pushes = [
+            i for i, s in enumerate(stmts) if isinstance(s, Push) and s.level != "S"
+        ]
+        assert all(i < first_launch for i in private_pushes)
+
+    def test_shared_pushes_follow_last_launch(self, spec):
+        program = lower_with_locality(
+            spec, PAS, LocalityScheme.EXPLICIT_PRIVATE_EXPLICIT_SHARED
+        )
+        stmts = list(program)
+        last_launch = max(i for i, s in enumerate(stmts) if isinstance(s, KernelLaunch))
+        shared_pushes = [
+            i for i, s in enumerate(stmts) if isinstance(s, Push) and s.level == "S"
+        ]
+        assert all(i > last_launch for i in shared_pushes)
+
+    def test_pushes_are_not_comm_lines(self, spec):
+        """Locality control is §II-B, not data communication — Table V's
+        metric must be unchanged by the annotations."""
+        plain = lower(spec, PAS)
+        annotated = lower_with_locality(
+            spec, PAS, LocalityScheme.EXPLICIT_PRIVATE_EXPLICIT_SHARED
+        )
+        assert annotated.comm_lines() == plain.comm_lines()
+
+
+class TestFeasibility:
+    def test_disjoint_rejects_shared_schemes(self, spec):
+        with pytest.raises(LocalityError):
+            lower_with_locality(
+                spec,
+                AddressSpaceKind.DISJOINT,
+                LocalityScheme.IMPLICIT_PRIVATE_EXPLICIT_SHARED,
+            )
+
+    def test_disjoint_private_only_works(self, spec):
+        program = lower_with_locality(
+            spec, AddressSpaceKind.DISJOINT, LocalityScheme.PRIVATE_ONLY
+        )
+        assert count_pushes(program) == 2  # GPU-explicit inputs
+
+
+class TestExecution:
+    @pytest.mark.parametrize(
+        "scheme",
+        [
+            LocalityScheme.EXPLICIT_PRIVATE_EXPLICIT_SHARED,
+            LocalityScheme.IMPLICIT_PRIVATE_EXPLICIT_SHARED,
+            LocalityScheme.HYBRID_SHARED,
+        ],
+    )
+    def test_annotated_programs_execute(self, spec, scheme):
+        program = lower_with_locality(spec, PAS, scheme)
+        log = Interpreter().execute(program)
+        assert log.pushes == count_pushes(program)

@@ -1,0 +1,126 @@
+"""Tests for the per-address-space lowering (Figures 2 and 3 patterns)."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.progmodel.ast import (
+    AcquireOwnership,
+    Alloc,
+    KernelLaunch,
+    Memcpy,
+    ReleaseOwnership,
+)
+from repro.progmodel.lowering import lower
+from repro.progmodel.spec import all_program_specs, program_spec
+from repro.taxonomy import AddressSpaceKind, ProcessingUnit
+from repro.trace.phase import Direction
+
+
+@pytest.fixture
+def spec():
+    return program_spec("reduction")
+
+
+class TestUnified:
+    def test_no_comm_statements(self, spec):
+        program = lower(spec, AddressSpaceKind.UNIFIED)
+        assert program.comm_lines() == 0
+
+    def test_plain_mallocs(self, spec):
+        program = lower(spec, AddressSpaceKind.UNIFIED)
+        allocs = [s for s in program if isinstance(s, Alloc)]
+        assert all(a.kind == "malloc" for a in allocs)
+
+
+class TestPartiallyShared:
+    def test_ownership_brackets_each_call_site(self, spec):
+        program = lower(spec, AddressSpaceKind.PARTIALLY_SHARED)
+        stmts = list(program)
+        releases = [i for i, s in enumerate(stmts) if isinstance(s, ReleaseOwnership)]
+        acquires = [i for i, s in enumerate(stmts) if isinstance(s, AcquireOwnership)]
+        launches = [i for i, s in enumerate(stmts) if isinstance(s, KernelLaunch)]
+        assert len(releases) == len(acquires) == len(launches) == spec.gpu_call_sites
+        for r, l, a in zip(releases, launches, acquires):
+            assert r < l < a
+
+    def test_sharedmalloc_replaces_malloc(self, spec):
+        program = lower(spec, AddressSpaceKind.PARTIALLY_SHARED)
+        allocs = [s for s in program if isinstance(s, Alloc)]
+        assert all(a.kind == "sharedmalloc" for a in allocs)
+        # sharedmalloc is not an extra line (it replaces malloc).
+        assert all(not a.is_comm for a in allocs)
+
+    def test_convolution_has_two_ownership_pairs(self):
+        program = lower(program_spec("convolution"), AddressSpaceKind.PARTIALLY_SHARED)
+        assert program.comm_lines() == 4
+
+
+class TestAdsm:
+    def test_adsm_alloc_and_accfree_per_buffer(self, spec):
+        program = lower(spec, AddressSpaceKind.ADSM)
+        adsm_allocs = [s for s in program if isinstance(s, Alloc) and s.kind == "adsmAlloc"]
+        assert len(adsm_allocs) == len(spec.buffers)
+        assert program.comm_lines() == 2 * len(spec.buffers)
+
+    def test_no_memcpys(self, spec):
+        """Figure 3(b): 'there is no need to transfer data back'."""
+        program = lower(spec, AddressSpaceKind.ADSM)
+        assert not [s for s in program if isinstance(s, Memcpy)]
+
+
+class TestDisjoint:
+    def test_memcpy_directions_follow_dataflow(self, spec):
+        program = lower(spec, AddressSpaceKind.DISJOINT)
+        copies = [s for s in program if isinstance(s, Memcpy)]
+        h2d = [c for c in copies if c.direction is Direction.H2D]
+        d2h = [c for c in copies if c.direction is Direction.D2H]
+        assert len(h2d) == len(spec.inputs())
+        assert len(d2h) == len(spec.outputs())
+
+    def test_gpu_allocs_are_comm_lines(self, spec):
+        program = lower(spec, AddressSpaceKind.DISJOINT)
+        gpu_allocs = [s for s in program if isinstance(s, Alloc) and s.kind == "gpu_malloc"]
+        assert len(gpu_allocs) == len(spec.buffers)
+        assert all(a.is_comm for a in gpu_allocs)
+
+    def test_three_lines_per_buffer(self, spec):
+        program = lower(spec, AddressSpaceKind.DISJOINT)
+        assert program.comm_lines() == 3 * len(spec.buffers)
+
+
+class TestRendering:
+    @pytest.mark.parametrize("kind", list(AddressSpaceKind))
+    def test_renders_source(self, spec, kind):
+        source = lower(spec, kind).render()
+        assert "reduction" in source
+        assert source.count("\n") >= 3
+
+    def test_pas_source_mirrors_figure2b(self, spec):
+        source = lower(spec, AddressSpaceKind.PARTIALLY_SHARED).render()
+        assert "sharedmalloc" in source
+        assert "releaseOwnership(a, b, c);" in source
+        assert "acquireOwnership" in source
+
+    def test_dis_source_mirrors_figure3a(self, spec):
+        source = lower(spec, AddressSpaceKind.DISJOINT).render()
+        assert "GPUmemallocate" in source
+        assert "MemcpyHosttoDevice" in source
+        assert "MemcpyDevicetoHost" in source
+
+    def test_adsm_source_mirrors_figure3b(self, spec):
+        source = lower(spec, AddressSpaceKind.ADSM).render()
+        assert "adsmAlloc" in source
+        assert "accfree" in source
+
+
+class TestGpuLaunchCount:
+    @pytest.mark.parametrize("kind", list(AddressSpaceKind))
+    def test_launch_count_matches_call_sites(self, kind):
+        for spec in all_program_specs():
+            program = lower(spec, kind)
+            launches = [
+                s
+                for s in program
+                if isinstance(s, KernelLaunch) and s.pu is ProcessingUnit.GPU
+            ]
+            assert len(launches) == spec.gpu_call_sites

@@ -1,0 +1,102 @@
+"""Property-based tests for allocators and page tables."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError
+from repro.addrspace.allocator import RegionAllocator
+from repro.addrspace.paging import PageTable
+from repro.taxonomy import ProcessingUnit
+from repro.units import KB, MB
+
+
+class TestRegionAllocatorProperties:
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=64 * KB), max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_allocations_never_overlap(self, sizes):
+        region = RegionAllocator("prop", base=0x1000, size=16 * MB)
+        spans = []
+        for size in sizes:
+            addr = region.allocate(size)
+            for start, end in spans:
+                assert addr >= end or addr + size <= start
+            spans.append((addr, addr + size))
+
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=64 * KB), max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_allocations_stay_in_region(self, sizes):
+        region = RegionAllocator("prop", base=0x1000, size=16 * MB)
+        for size in sizes:
+            addr = region.allocate(size)
+            assert region.base <= addr
+            assert addr + size <= region.end
+
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=4 * KB), min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_alignment_always_honoured(self, sizes):
+        region = RegionAllocator("prop", base=0, size=16 * MB, align=64)
+        for size in sizes:
+            assert region.allocate(size) % 64 == 0
+
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=1 * KB), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_free_all_resets_arena(self, sizes):
+        region = RegionAllocator("prop", base=0, size=1 * MB)
+        addrs = [region.allocate(size) for size in sizes]
+        for addr in addrs:
+            region.free(addr)
+        assert region.live_bytes == 0
+        assert region.allocate(64) == 0
+
+
+class TestPageTableProperties:
+    @given(
+        vaddrs=st.lists(
+            st.integers(min_value=0, max_value=1 << 24), min_size=1, max_size=60
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_translation_is_a_function(self, vaddrs):
+        """The same virtual address always maps to the same physical one."""
+        table = PageTable(ProcessingUnit.CPU, 4 * KB, 256 * MB)
+        first = {v: table.translate(v, on_demand=True) for v in vaddrs}
+        second = {v: table.translate(v, on_demand=True) for v in vaddrs}
+        assert first == second
+
+    @given(
+        vaddrs=st.lists(
+            st.integers(min_value=0, max_value=1 << 24),
+            min_size=2,
+            max_size=60,
+            unique_by=lambda v: v // (4 * KB),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_distinct_pages_get_distinct_frames(self, vaddrs):
+        table = PageTable(ProcessingUnit.CPU, 4 * KB, 256 * MB)
+        frames = [table.translate(v, on_demand=True) // (4 * KB) for v in vaddrs]
+        assert len(set(frames)) == len(frames)
+
+    @given(
+        vaddrs=st.lists(
+            st.integers(min_value=0, max_value=1 << 24), min_size=1, max_size=60
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_offset_preserved(self, vaddrs):
+        table = PageTable(ProcessingUnit.GPU, 64 * KB, 256 * MB)
+        for v in vaddrs:
+            pa = table.translate(v, on_demand=True)
+            assert pa % (64 * KB) == v % (64 * KB)
+
+    @given(
+        vaddrs=st.lists(
+            st.integers(min_value=0, max_value=1 << 24), min_size=1, max_size=60
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fault_count_equals_distinct_pages(self, vaddrs):
+        table = PageTable(ProcessingUnit.CPU, 4 * KB, 256 * MB)
+        for v in vaddrs:
+            table.translate(v, on_demand=True)
+        assert table.page_faults == len({v // (4 * KB) for v in vaddrs})

@@ -1,0 +1,68 @@
+"""Property-based tests for the communication channels."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.base import make_channel
+from repro.config.comm import CommParams
+from repro.taxonomy import CommMechanism
+from repro.trace.phase import CommPhase, Direction
+
+sizes = st.integers(min_value=0, max_value=1 << 26)
+mechanisms = st.sampled_from(list(CommMechanism))
+directions = st.sampled_from(list(Direction))
+
+
+def phase(num_bytes, direction=Direction.H2D, objects=1, first_touch=False):
+    return CommPhase(
+        direction=direction,
+        num_bytes=num_bytes,
+        num_objects=objects,
+        first_touch=first_touch,
+    )
+
+
+class TestChannelProperties:
+    @given(mechanism=mechanisms, num_bytes=sizes, direction=directions)
+    @settings(max_examples=100, deadline=None)
+    def test_exposed_never_exceeds_total(self, mechanism, num_bytes, direction):
+        channel = make_channel(mechanism, CommParams())
+        result = channel.transfer(phase(num_bytes, direction))
+        assert 0 <= result.exposed <= result.total + 1e-15
+
+    @given(mechanism=mechanisms, a=sizes, b=sizes, direction=directions)
+    @settings(max_examples=100, deadline=None)
+    def test_total_monotone_in_bytes(self, mechanism, a, b, direction):
+        small, large = sorted((a, b))
+        channel = make_channel(mechanism, CommParams())
+        t_small = channel.transfer(phase(small, direction)).total
+        t_large = channel.transfer(phase(large, direction)).total
+        assert t_large >= t_small - 1e-15
+
+    @given(num_bytes=sizes, w1=st.floats(0, 1e-3), w2=st.floats(0, 1e-3))
+    @settings(max_examples=100, deadline=None)
+    def test_async_exposed_monotone_in_window(self, num_bytes, w1, w2):
+        small, large = sorted((w1, w2))
+        channel = make_channel(CommMechanism.DMA_ASYNC, CommParams())
+        less_hidden = channel.transfer(phase(num_bytes), overlap_window=small)
+        more_hidden = channel.transfer(phase(num_bytes), overlap_window=large)
+        assert more_hidden.exposed <= less_hidden.exposed + 1e-15
+        assert more_hidden.total == less_hidden.total
+
+    @given(mechanism=mechanisms, num_bytes=sizes)
+    @settings(max_examples=60, deadline=None)
+    def test_stats_conserve_bytes(self, mechanism, num_bytes):
+        channel = make_channel(mechanism, CommParams())
+        channel.transfer(phase(num_bytes))
+        channel.transfer(phase(num_bytes, Direction.D2H))
+        stats = channel.stats()
+        assert stats["transfers"] == 2
+        assert stats["bytes_moved"] == 2 * num_bytes
+
+    @given(num_bytes=sizes, objects=st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_aperture_first_touch_costs_more(self, num_bytes, objects):
+        channel = make_channel(CommMechanism.PCI_APERTURE, CommParams())
+        cold = channel.transfer(phase(num_bytes, objects=objects, first_touch=num_bytes > 0))
+        warm = channel.transfer(phase(num_bytes, objects=objects))
+        assert cold.total >= warm.total - 1e-15

@@ -1,0 +1,71 @@
+"""Property-based tests for the consistency models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consistency.model import allowed_outcomes
+from repro.consistency.ops import Fence, Load, Program, Store
+from repro.taxonomy import ProcessingUnit
+
+CPU, GPU = ProcessingUnit.CPU, ProcessingUnit.GPU
+
+locations = st.sampled_from(["x", "y"])
+
+
+def ops_strategy(reg_prefix):
+    def build(draw_ops):
+        ops = []
+        for i, (kind, loc, value) in enumerate(draw_ops):
+            if kind == "store":
+                ops.append(Store(loc, value))
+            elif kind == "load":
+                ops.append(Load(loc, f"{reg_prefix}{i}"))
+            else:
+                ops.append(Fence())
+        return tuple(ops)
+
+    return st.lists(
+        st.tuples(
+            st.sampled_from(["store", "load", "fence"]),
+            locations,
+            st.integers(min_value=1, max_value=2),
+        ),
+        min_size=1,
+        max_size=3,
+    ).map(build)
+
+
+@st.composite
+def programs(draw):
+    return Program(
+        threads={
+            CPU: draw(ops_strategy("a")),
+            GPU: draw(ops_strategy("b")),
+        }
+    )
+
+
+class TestModelProperties:
+    @given(program=programs())
+    @settings(max_examples=50, deadline=None)
+    def test_sc_outcomes_are_subset_of_weak(self, program):
+        """Weakening the model can only add behaviours."""
+        assert allowed_outcomes(program, "sc") <= allowed_outcomes(program, "weak")
+
+    @given(program=programs())
+    @settings(max_examples=50, deadline=None)
+    def test_at_least_one_outcome_exists(self, program):
+        for model in ("sc", "weak"):
+            assert allowed_outcomes(program, model)
+
+    @given(program=programs())
+    @settings(max_examples=30, deadline=None)
+    def test_outcomes_are_deterministic(self, program):
+        assert allowed_outcomes(program, "weak") == allowed_outcomes(program, "weak")
+
+    @given(program=programs())
+    @settings(max_examples=30, deadline=None)
+    def test_every_outcome_values_every_register(self, program):
+        regs = set(program.registers)
+        for outcome in allowed_outcomes(program, "sc"):
+            assert {reg for reg, _value in outcome} == regs

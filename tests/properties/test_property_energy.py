@@ -1,0 +1,64 @@
+"""Property-based tests for the energy model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.presets import CASE_STUDIES, case_study
+from repro.energy.accounting import trace_energy
+from repro.energy.model import EnergyModel
+from repro.kernels.registry import all_kernels
+from repro.taxonomy import CommMechanism, ProcessingUnit
+from repro.trace.mix import InstructionMix
+
+sizes = st.integers(min_value=0, max_value=1 << 26)
+mechanisms = st.sampled_from(list(CommMechanism))
+
+
+class TestTransferEnergyProperties:
+    @given(mechanism=mechanisms, a=sizes, b=sizes)
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_bytes(self, mechanism, a, b):
+        small, large = sorted((a, b))
+        model = EnergyModel()
+        assert model.transfer_nj(large, mechanism) >= model.transfer_nj(
+            small, mechanism
+        )
+
+    @given(num_bytes=sizes)
+    @settings(max_examples=60, deadline=None)
+    def test_offchip_always_costs_most(self, num_bytes):
+        model = EnergyModel()
+        offchip = model.transfer_nj(num_bytes, CommMechanism.PCIE)
+        for mechanism in CommMechanism:
+            assert model.transfer_nj(num_bytes, mechanism) <= offchip + 1e-12
+
+    @given(num_bytes=sizes, mechanism=mechanisms)
+    @settings(max_examples=60, deadline=None)
+    def test_nonnegative(self, num_bytes, mechanism):
+        assert EnergyModel().transfer_nj(num_bytes, mechanism) >= 0.0
+
+
+class TestRunEnergyProperties:
+    @given(
+        kernel=st.sampled_from(all_kernels()),
+        case_name=st.sampled_from(list(CASE_STUDIES)),
+        factor=st.floats(min_value=0.1, max_value=1.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_scaling_down_never_costs_more(self, kernel, case_name, factor):
+        case = case_study(case_name)
+        full = trace_energy(kernel.trace(), case)
+        scaled = trace_energy(kernel.trace().scaled(factor), case)
+        assert scaled.total_nj <= full.total_nj + 1e-9
+
+    @given(total=st.integers(min_value=0, max_value=10**7))
+    @settings(max_examples=60, deadline=None)
+    def test_core_energy_linear(self, total):
+        import pytest
+
+        model = EnergyModel()
+        mix = InstructionMix(int_alu=total)
+        one = model.core_energy_nj(InstructionMix(int_alu=1), ProcessingUnit.CPU)
+        assert model.core_energy_nj(mix, ProcessingUnit.CPU) == pytest.approx(
+            total * one, rel=1e-12
+        )

@@ -1,0 +1,58 @@
+"""Property-based tests for MESI and the directory."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.coherence.directory import Directory
+from repro.mem.coherence.protocol import MESIState
+from repro.taxonomy import ProcessingUnit
+
+accesses = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=0x400),  # addr (few lines: forces conflict)
+        st.sampled_from(list(ProcessingUnit)),
+        st.booleans(),  # is_write
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+class TestDirectoryProperties:
+    @given(trace=accesses)
+    @settings(max_examples=100, deadline=None)
+    def test_single_writer_invariant_always_holds(self, trace):
+        directory = Directory(line_bytes=64)
+        for addr, pu, is_write in trace:
+            directory.access(addr, pu, is_write)
+            directory.check_invariants()
+
+    @given(trace=accesses)
+    @settings(max_examples=100, deadline=None)
+    def test_writer_always_ends_in_modified(self, trace):
+        directory = Directory(line_bytes=64)
+        for addr, pu, is_write in trace:
+            directory.access(addr, pu, is_write)
+            if is_write:
+                assert directory.state_of(addr, pu) is MESIState.MODIFIED
+                assert directory.state_of(addr, pu.other) is MESIState.INVALID
+
+    @given(trace=accesses)
+    @settings(max_examples=100, deadline=None)
+    def test_reader_always_ends_readable(self, trace):
+        directory = Directory(line_bytes=64)
+        for addr, pu, is_write in trace:
+            directory.access(addr, pu, is_write)
+            state = directory.state_of(addr, pu)
+            assert state is not MESIState.INVALID
+
+    @given(trace=accesses)
+    @settings(max_examples=60, deadline=None)
+    def test_sharers_consistent_with_states(self, trace):
+        directory = Directory(line_bytes=64)
+        for addr, pu, is_write in trace:
+            directory.access(addr, pu, is_write)
+            sharers = directory.sharers(addr)
+            for unit in ProcessingUnit:
+                holds = directory.state_of(addr, unit) is not MESIState.INVALID
+                assert (unit in sharers) == holds

@@ -1,0 +1,80 @@
+"""Property-based tests for instruction mixes and mix construction."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.base import MixProfile, make_mix
+from repro.taxonomy import ProcessingUnit
+from repro.trace.mix import InstructionMix
+
+counts = st.integers(min_value=0, max_value=10**7)
+
+
+@st.composite
+def mixes(draw):
+    return InstructionMix(
+        int_alu=draw(counts),
+        fp_alu=draw(counts),
+        simd_alu=draw(counts),
+        loads=draw(counts),
+        stores=draw(counts),
+        simd_loads=draw(counts),
+        simd_stores=draw(counts),
+        branches=draw(counts),
+        specials=draw(counts),
+    )
+
+
+@st.composite
+def profiles(draw):
+    fracs = draw(
+        st.lists(st.floats(min_value=0.0, max_value=0.5), min_size=4, max_size=4).filter(
+            lambda fs: sum(fs) <= 1.0
+        )
+    )
+    return MixProfile(*fracs)
+
+
+class TestMixProperties:
+    @given(a=mixes(), b=mixes())
+    def test_addition_is_commutative(self, a, b):
+        assert a + b == b + a
+
+    @given(a=mixes(), b=mixes())
+    def test_addition_preserves_totals(self, a, b):
+        assert (a + b).total == a.total + b.total
+
+    @given(mix=mixes())
+    def test_categories_partition_total(self, mix):
+        assert (
+            mix.compute_ops + mix.memory_ops + mix.branches + mix.specials == mix.total
+        )
+
+    @given(mix=mixes())
+    def test_scaled_one_is_identity(self, mix):
+        assert mix.scaled(1.0) == mix
+
+    @given(mix=mixes(), factor=st.floats(min_value=0.0, max_value=1.0))
+    def test_scaling_never_exceeds_original(self, mix, factor):
+        scaled = mix.scaled(factor)
+        # Rounding can add at most half an instruction per field.
+        assert scaled.total <= mix.total + 5
+
+    @given(mix=mixes())
+    def test_roundtrip_through_dict(self, mix):
+        assert InstructionMix.from_dict(mix.as_dict()) == mix
+
+
+class TestMakeMixProperties:
+    @given(
+        total=st.integers(min_value=0, max_value=10**7),
+        profile=profiles(),
+        pu=st.sampled_from(list(ProcessingUnit)),
+    )
+    def test_total_is_always_exact(self, total, profile, pu):
+        assert make_mix(total, profile, pu).total == total
+
+    @given(total=st.integers(min_value=0, max_value=10**6), profile=profiles())
+    def test_gpu_mixes_have_no_scalar_memory(self, total, profile):
+        mix = make_mix(total, profile, ProcessingUnit.GPU)
+        assert mix.loads == 0 and mix.stores == 0 and mix.fp_alu == 0

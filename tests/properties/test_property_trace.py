@@ -1,0 +1,59 @@
+"""Property-based tests for trace structures and kernel generators."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.registry import all_kernels, kernel
+from repro.trace.encode import trace_from_dict, trace_to_dict
+
+kernel_strategy = st.sampled_from(all_kernels())
+
+
+class TestKernelTraceProperties:
+    @given(k=kernel_strategy, factor=st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_scaling_preserves_structure(self, k, factor):
+        base = k.trace()
+        scaled = base.scaled(factor)
+        assert len(scaled.phases) == len(base.phases)
+        assert scaled.num_communications == base.num_communications
+        assert scaled.total_transfer_bytes == base.total_transfer_bytes
+
+    @given(k=kernel_strategy, factor=st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=40, deadline=None)
+    def test_scaling_reduces_compute(self, k, factor):
+        base = k.trace()
+        scaled = base.scaled(factor)
+        assert scaled.cpu_instructions <= base.cpu_instructions
+        assert scaled.gpu_instructions <= base.gpu_instructions
+
+    @given(k=kernel_strategy)
+    @settings(max_examples=12, deadline=None)
+    def test_serialization_roundtrip(self, k):
+        trace = k.trace()
+        assert trace_from_dict(trace_to_dict(trace)) == trace
+
+    @given(k=kernel_strategy, n=st.integers(min_value=64, max_value=1 << 18))
+    @settings(max_examples=40, deadline=None)
+    def test_for_size_shapes_build_valid_traces(self, k, n):
+        shape = k.for_size(n)
+        trace = k.build(shape)
+        assert trace.cpu_instructions == shape.cpu_instructions
+        assert trace.gpu_instructions == shape.gpu_instructions
+        assert trace.serial_instructions == shape.serial_instructions
+        assert trace.num_communications >= 2
+
+
+class TestSegmentExpansionProperties:
+    @given(k=kernel_strategy, factor=st.floats(min_value=0.0005, max_value=0.002))
+    @settings(max_examples=10, deadline=None)
+    def test_expanded_instructions_match_mix(self, k, factor):
+        trace = k.trace().scaled(factor)
+        for phase in trace.parallel_phases:
+            for segment in (phase.cpu, phase.gpu):
+                instrs = list(segment.instructions())
+                assert len(instrs) == segment.mix.total
+                loads = sum(1 for i in instrs if i.is_load)
+                stores = sum(1 for i in instrs if i.is_store)
+                assert loads == segment.mix.load_ops
+                assert stores == segment.mix.store_ops

@@ -1,0 +1,75 @@
+"""Tests for the analytic segment-timing model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.analytic import AnalyticTiming
+from repro.taxonomy import ProcessingUnit
+from repro.trace.mix import InstructionMix
+from repro.trace.phase import Segment
+from repro.units import KB, MB
+
+
+@pytest.fixture(scope="module")
+def timing(system):
+    return AnalyticTiming(system)
+
+
+def seg(pu, total=10000, footprint=16 * KB, loads_frac=0.3, branches_frac=0.1):
+    loads = int(total * loads_frac)
+    branches = int(total * branches_frac)
+    if pu is ProcessingUnit.GPU:
+        mix = InstructionMix(
+            simd_loads=loads, branches=branches, simd_alu=total - loads - branches
+        )
+    else:
+        mix = InstructionMix(
+            loads=loads, branches=branches, int_alu=total - loads - branches
+        )
+    return Segment(pu=pu, mix=mix, base_addr=0, footprint_bytes=footprint)
+
+
+class TestCpuTiming:
+    def test_time_scales_with_instructions(self, timing):
+        small = timing.cpu_segment_seconds(seg(ProcessingUnit.CPU, 1000))
+        large = timing.cpu_segment_seconds(seg(ProcessingUnit.CPU, 10000))
+        assert large == pytest.approx(10 * small, rel=0.05)
+
+    def test_larger_footprints_are_slower(self, timing):
+        l1_fit = timing.cpu_segment_seconds(seg(ProcessingUnit.CPU, footprint=16 * KB))
+        l2_fit = timing.cpu_segment_seconds(seg(ProcessingUnit.CPU, footprint=128 * KB))
+        dram = timing.cpu_segment_seconds(seg(ProcessingUnit.CPU, footprint=64 * MB))
+        assert l1_fit < l2_fit < dram
+
+    def test_branchier_code_is_slower(self, timing):
+        low = timing.cpu_segment_seconds(seg(ProcessingUnit.CPU, branches_frac=0.05))
+        high = timing.cpu_segment_seconds(seg(ProcessingUnit.CPU, branches_frac=0.3))
+        assert high > low
+
+    def test_rejects_gpu_segment(self, timing):
+        with pytest.raises(SimulationError):
+            timing.cpu_segment_seconds(seg(ProcessingUnit.GPU))
+
+
+class TestGpuTiming:
+    def test_in_order_is_slower_per_instruction_than_cpu(self, timing):
+        cpu = timing.cpu_segment_seconds(seg(ProcessingUnit.CPU))
+        gpu = timing.gpu_segment_seconds(seg(ProcessingUnit.GPU))
+        # One GPU instruction per 1.5 GHz cycle vs ~2 CPU instructions per
+        # 3.5 GHz cycle: the GPU side takes longer for the same count.
+        assert gpu > cpu
+
+    def test_branch_stalls_charged(self, timing):
+        smooth = timing.gpu_segment_seconds(seg(ProcessingUnit.GPU, branches_frac=0.0))
+        branchy = timing.gpu_segment_seconds(seg(ProcessingUnit.GPU, branches_frac=0.25))
+        assert branchy > smooth
+
+    def test_rejects_cpu_segment(self, timing):
+        with pytest.raises(SimulationError):
+            timing.gpu_segment_seconds(seg(ProcessingUnit.CPU))
+
+    def test_dispatch(self, timing):
+        c = seg(ProcessingUnit.CPU)
+        g = seg(ProcessingUnit.GPU)
+        assert timing.segment_seconds(c) == timing.cpu_segment_seconds(c)
+        assert timing.segment_seconds(g) == timing.gpu_segment_seconds(g)

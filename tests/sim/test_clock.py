@@ -1,0 +1,38 @@
+"""Tests for clock domains."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import ClockDomain
+from repro.units import GHZ, Frequency
+
+
+class TestClockDomain:
+    def test_advance_accumulates(self):
+        clock = ClockDomain("cpu", Frequency(3.5 * GHZ))
+        clock.advance(7)
+        clock.advance(3)
+        assert clock.cycles == 10
+
+    def test_seconds(self):
+        clock = ClockDomain("gpu", Frequency(1.5 * GHZ))
+        clock.advance(1500)
+        assert clock.seconds == pytest.approx(1e-6)
+
+    def test_rejects_negative(self):
+        clock = ClockDomain("cpu", Frequency(1 * GHZ))
+        with pytest.raises(SimulationError):
+            clock.advance(-1)
+
+    def test_reset(self):
+        clock = ClockDomain("cpu", Frequency(1 * GHZ))
+        clock.advance(5)
+        clock.reset()
+        assert clock.cycles == 0
+
+    def test_domains_tick_independently(self):
+        cpu = ClockDomain("cpu", Frequency(3.5 * GHZ))
+        gpu = ClockDomain("gpu", Frequency(1.5 * GHZ))
+        cpu.advance(3500)
+        gpu.advance(1500)
+        assert cpu.seconds == pytest.approx(gpu.seconds)

@@ -1,0 +1,129 @@
+"""Tests for the fast (segment-analytic) simulator."""
+
+import pytest
+
+from repro.config.presets import case_study
+from repro.comm.base import IdealChannel
+from repro.errors import SimulationError
+from repro.kernels.registry import all_kernels, kernel
+from repro.sim.fast import SPACE_OVERHEAD_INSTRUCTIONS, FastSimulator
+from repro.taxonomy import AddressSpaceKind
+
+
+class TestBasicRuns:
+    def test_requires_case_or_channel(self, fast_sim):
+        with pytest.raises(SimulationError):
+            fast_sim.run(kernel("reduction").trace())
+
+    @pytest.mark.parametrize("k", all_kernels(), ids=lambda k: k.name)
+    def test_all_kernels_all_cases(self, fast_sim, k):
+        trace = k.trace()
+        for name in ("CPU+GPU", "LRB", "GMAC", "Fusion", "IDEAL-HETERO"):
+            result = fast_sim.run(trace, case=case_study(name))
+            assert result.total_seconds > 0
+            assert result.kernel == k.name
+            assert result.system == name
+
+    def test_breakdown_matches_phase_sum(self, fast_sim):
+        result = fast_sim.run(kernel("reduction").trace(), case=case_study("CPU+GPU"))
+        phase_total = sum(p.seconds for p in result.phases)
+        assert phase_total == pytest.approx(result.total_seconds)
+
+    def test_phase_kinds_cover_trace(self, fast_sim):
+        trace = kernel("k-mean").trace()
+        result = fast_sim.run(trace, case=case_study("LRB"))
+        kinds = [p.kind for p in result.phases]
+        assert kinds.count("communication") == trace.num_communications
+        assert kinds.count("parallel") == len(trace.parallel_phases)
+        assert kinds.count("sequential") == len(trace.sequential_phases)
+
+
+class TestPaperShapes:
+    def test_ideal_has_zero_communication(self, fast_sim):
+        result = fast_sim.run(kernel("dct").trace(), case=case_study("IDEAL-HETERO"))
+        assert result.breakdown.communication == 0.0
+
+    def test_parallel_time_is_max_of_sides(self, fast_sim):
+        result = fast_sim.run(kernel("matmul").trace(), case=case_study("IDEAL-HETERO"))
+        for phase in result.phases:
+            if phase.kind == "parallel":
+                assert phase.seconds == pytest.approx(
+                    max(phase.cpu_seconds, phase.gpu_seconds)
+                )
+
+    def test_gmac_overlaps_copies(self, fast_sim):
+        blocked = fast_sim.run(kernel("reduction").trace(), case=case_study("CPU+GPU"))
+        overlapped = fast_sim.run(kernel("reduction").trace(), case=case_study("GMAC"))
+        assert (
+            overlapped.breakdown.communication < blocked.breakdown.communication
+        )
+        comm_phases = [p for p in overlapped.phases if p.kind == "communication"]
+        assert any(p.overlapped_seconds > 0 for p in comm_phases)
+
+    def test_fusion_cheaper_than_pcie(self, fast_sim):
+        pcie = fast_sim.run(kernel("reduction").trace(), case=case_study("CPU+GPU"))
+        fusion = fast_sim.run(kernel("reduction").trace(), case=case_study("Fusion"))
+        assert fusion.breakdown.communication < pcie.breakdown.communication
+
+    def test_compute_time_identical_across_systems(self, fast_sim):
+        """§V-A isolates memory systems: compute must not vary."""
+        trace = kernel("dct").trace()
+        results = [
+            fast_sim.run(trace, case=case_study(n))
+            for n in ("CPU+GPU", "LRB", "GMAC", "Fusion", "IDEAL-HETERO")
+        ]
+        parallels = {round(r.breakdown.parallel, 15) for r in results}
+        sequentials = {round(r.breakdown.sequential, 15) for r in results}
+        assert len(parallels) == 1
+        assert len(sequentials) == 1
+
+
+class TestAddressSpaceOverhead:
+    def test_unified_adds_nothing(self, fast_sim):
+        trace = kernel("reduction").trace()
+        base = fast_sim.run(trace, channel=IdealChannel())
+        uni = fast_sim.run(trace, channel=IdealChannel(), address_space=AddressSpaceKind.UNIFIED)
+        assert uni.total_seconds == pytest.approx(base.total_seconds)
+
+    def test_disjoint_adds_most(self, fast_sim):
+        trace = kernel("reduction").trace()
+        results = {
+            space: fast_sim.run(
+                trace, channel=IdealChannel(), address_space=space
+            ).total_seconds
+            for space in AddressSpaceKind
+        }
+        assert results[AddressSpaceKind.DISJOINT] == max(results.values())
+        assert results[AddressSpaceKind.UNIFIED] == min(results.values())
+
+    def test_overhead_is_tiny(self, fast_sim):
+        """Figure 7: 'almost no performance difference between options'."""
+        trace = kernel("matmul").trace()
+        uni = fast_sim.run(
+            trace, channel=IdealChannel(), address_space=AddressSpaceKind.UNIFIED
+        )
+        dis = fast_sim.run(
+            trace, channel=IdealChannel(), address_space=AddressSpaceKind.DISJOINT
+        )
+        assert dis.total_seconds / uni.total_seconds < 1.001
+
+    def test_overhead_table_is_ordered(self):
+        assert (
+            SPACE_OVERHEAD_INSTRUCTIONS[AddressSpaceKind.UNIFIED]
+            < SPACE_OVERHEAD_INSTRUCTIONS[AddressSpaceKind.PARTIALLY_SHARED]
+            < SPACE_OVERHEAD_INSTRUCTIONS[AddressSpaceKind.ADSM]
+            < SPACE_OVERHEAD_INSTRUCTIONS[AddressSpaceKind.DISJOINT]
+        )
+
+
+class TestAnalyticProperties:
+    def test_more_instructions_take_longer(self, fast_sim):
+        k = kernel("reduction")
+        small = fast_sim.run(k.build(k.for_size(10_000)), case=case_study("IDEAL-HETERO"))
+        large = fast_sim.run(k.build(k.for_size(100_000)), case=case_study("IDEAL-HETERO"))
+        assert large.total_seconds > small.total_seconds * 5
+
+    def test_counters_expose_channel_stats(self, fast_sim):
+        result = fast_sim.run(kernel("k-mean").trace(), case=case_study("LRB"))
+        assert result.counters["transfers"] == 6
+        assert result.counters["page_faults"] > 0

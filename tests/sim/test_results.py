@@ -1,0 +1,71 @@
+"""Tests for simulation results and the time breakdown."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.results import PhaseTiming, SimulationResult, TimeBreakdown
+
+
+class TestTimeBreakdown:
+    def test_total(self):
+        b = TimeBreakdown(sequential=1.0, parallel=2.0, communication=0.5)
+        assert b.total == pytest.approx(3.5)
+
+    def test_communication_fraction(self):
+        b = TimeBreakdown(sequential=1.0, parallel=2.0, communication=1.0)
+        assert b.communication_fraction == pytest.approx(0.25)
+
+    def test_zero_total_fraction(self):
+        assert TimeBreakdown().communication_fraction == 0.0
+
+    def test_add(self):
+        a = TimeBreakdown(1.0, 2.0, 3.0)
+        b = TimeBreakdown(0.5, 0.5, 0.5)
+        c = a + b
+        assert c.sequential == 1.5
+        assert c.parallel == 2.5
+        assert c.communication == 3.5
+
+    def test_normalized_to(self):
+        a = TimeBreakdown(1.0, 2.0, 1.0)
+        ref = TimeBreakdown(2.0, 4.0, 2.0)
+        assert a.normalized_to(ref) == pytest.approx((0.125, 0.25, 0.125))
+
+    def test_normalized_to_zero_reference(self):
+        with pytest.raises(SimulationError):
+            TimeBreakdown(1.0, 0, 0).normalized_to(TimeBreakdown())
+
+    def test_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            TimeBreakdown(sequential=-1.0)
+
+
+class TestSimulationResult:
+    def make(self, total=2.0):
+        return SimulationResult(
+            kernel="k",
+            system="s",
+            breakdown=TimeBreakdown(parallel=total),
+        )
+
+    def test_total_seconds(self):
+        assert self.make(3.0).total_seconds == 3.0
+
+    def test_speedup(self):
+        fast = self.make(1.0)
+        slow = self.make(4.0)
+        assert fast.speedup_over(slow) == pytest.approx(4.0)
+
+    def test_speedup_of_zero_run(self):
+        zero = SimulationResult(kernel="k", system="s", breakdown=TimeBreakdown())
+        with pytest.raises(SimulationError):
+            zero.speedup_over(self.make())
+
+    def test_summary_mentions_kernel_and_system(self):
+        text = self.make().summary()
+        assert "k on s" in text
+        assert "comm" in text
+
+    def test_phase_timing_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            PhaseTiming(label="x", kind="parallel", seconds=-1.0)

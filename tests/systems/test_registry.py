@@ -1,0 +1,64 @@
+"""Tests for the Table I system registry."""
+
+import pytest
+
+from repro.errors import DesignSpaceError
+from repro.systems.registry import (
+    all_systems,
+    system,
+    systems_by_address_space,
+    table1_rows,
+)
+from repro.taxonomy import AddressSpaceKind, ConsistencyModel
+
+
+class TestContents:
+    def test_thirteen_systems(self):
+        assert len(all_systems()) == 13
+
+    def test_lookup(self):
+        assert system("GMAC").address_space is AddressSpaceKind.ADSM
+        assert system("gmac").name == "GMAC"
+
+    def test_unknown(self):
+        with pytest.raises(DesignSpaceError):
+            system("Grace Hopper")
+
+    def test_rigel_is_the_only_homogeneous_entry(self):
+        homogeneous = [d for d in all_systems() if not d.heterogeneous]
+        assert [d.name for d in homogeneous] == ["Rigel"]
+
+
+class TestPaperObservations:
+    def test_no_unified_strong_consistent_system(self):
+        """'None of the heterogeneous computing systems has employed a
+        unified, fully-coherent, strong-consistent memory system yet.'"""
+        for d in all_systems():
+            if d.heterogeneous and d.address_space is AddressSpaceKind.UNIFIED:
+                assert d.consistency is not ConsistencyModel.STRONG
+
+    def test_disjoint_is_the_most_common(self):
+        counts = {
+            kind: len(systems_by_address_space(kind)) for kind in AddressSpaceKind
+        }
+        assert counts[AddressSpaceKind.DISJOINT] == max(counts.values())
+
+    def test_only_lrb_is_partially_shared(self):
+        pas = systems_by_address_space(AddressSpaceKind.PARTIALLY_SHARED)
+        assert [d.name for d in pas] == ["CPU+LRB"]
+
+    def test_only_gmac_is_adsm(self):
+        adsm = systems_by_address_space(AddressSpaceKind.ADSM)
+        assert [d.name for d in adsm] == ["GMAC"]
+
+
+class TestRows:
+    def test_row_shape(self):
+        for row in table1_rows():
+            assert len(row) == 8
+
+    def test_rows_cover_all_systems(self):
+        names = [row[0] for row in table1_rows()]
+        assert "CPU+CUDA*" in names
+        assert "Xbox 360" in names
+        assert len(names) == 13

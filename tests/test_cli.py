@@ -1,0 +1,114 @@
+"""Tests for the repro-explore CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTables:
+    @pytest.mark.parametrize("number", [1, 2, 3, 4, 5])
+    def test_table_commands(self, number, capsys):
+        assert main(["table", str(number)]) == 0
+        out = capsys.readouterr().out
+        assert f"Table" in out
+
+    def test_table5_values(self, capsys):
+        main(["table", "5"])
+        out = capsys.readouterr().out
+        assert "410" in out
+
+
+class TestFigures:
+    @pytest.mark.parametrize("number", [5, 6, 7])
+    def test_figure_commands(self, number, capsys):
+        assert main(["figure", str(number)]) == 0
+        out = capsys.readouterr().out
+        assert f"Figure {number}" in out
+
+
+class TestCompare:
+    def test_compare_exits_zero_when_all_pass(self, capsys):
+        assert main(["compare"]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS]" in out
+        assert "checks passed" in out
+
+
+class TestGuidelines:
+    def test_guidelines_recommend_pas(self, capsys):
+        assert main(["guidelines"]) == 0
+        out = capsys.readouterr().out
+        assert "recommendation: PAS" in out
+
+    def test_weights_change_outcome(self, capsys):
+        assert main(["guidelines", "--w-options", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "recommendation: UNI" in out
+
+
+class TestPartition:
+    def test_partition_table(self, capsys):
+        assert main(["partition"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal split" in out
+        assert "reduction" in out
+
+
+class TestLitmus:
+    def test_litmus_verdicts(self, capsys):
+        assert main(["litmus"]) == 0
+        out = capsys.readouterr().out
+        assert "SB" in out
+        assert "forbidden" in out and "allowed" in out
+
+
+class TestReport:
+    def test_report_to_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main(["report", str(out)]) == 0
+        text = out.read_text()
+        assert "30/30 passed" in text
+        assert "Table V" in text
+        assert "Figure 7" in text
+
+    def test_report_to_stdout(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "# Reproduction report" in out
+
+
+class TestCodegen:
+    def test_codegen_writes_24_sources(self, tmp_path, capsys):
+        out = tmp_path / "gen"
+        assert main(["codegen", str(out)]) == 0
+        files = list(out.glob("*.c"))
+        assert len(files) == 24  # 6 kernels x 4 address spaces
+        pas = (out / "reduction.pas.c").read_text()
+        assert "releaseOwnership" in pas
+        dis = (out / "reduction.dis.c").read_text()
+        assert "MemcpyHosttoDevice" in dis
+
+
+class TestExport:
+    def test_export_writes_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "results.json"
+        assert main(["export", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert data["table3"]["reduction"]["cpu_instructions"] == 70006
+
+
+class TestRank:
+    def test_rank_prints_table(self, capsys):
+        assert main(["rank", "--top", "3", "--sample", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "design point" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["explode"])
+
+    def test_bad_table_number(self):
+        with pytest.raises(SystemExit):
+            main(["table", "9"])

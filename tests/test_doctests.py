@@ -1,0 +1,24 @@
+"""Run the doctests embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.space
+import repro.mem.coherence.protocol
+import repro.mem.interconnect.ring
+import repro.units
+
+MODULES = (
+    repro.units,
+    repro.mem.coherence.protocol,
+    repro.mem.interconnect.ring,
+    repro.core.space,
+)
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} doctest failures"
+    assert results.attempted > 0, f"{module.__name__} has no doctests to run"

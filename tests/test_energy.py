@@ -1,0 +1,126 @@
+"""Tests for the energy model and accounting."""
+
+import pytest
+
+from repro.config.presets import case_study
+from repro.energy.accounting import EnergyReport, machine_energy, trace_energy
+from repro.energy.model import EnergyModel, EnergyParams
+from repro.errors import ConfigError
+from repro.kernels.registry import kernel
+from repro.sim.detailed import DetailedSimulator
+from repro.taxonomy import CommMechanism, ProcessingUnit
+from repro.trace.mix import InstructionMix
+from repro.units import KB, MB
+
+
+class TestEnergyModel:
+    def test_core_energy_scales_with_instructions(self):
+        model = EnergyModel()
+        small = model.core_energy_nj(InstructionMix(int_alu=100), ProcessingUnit.CPU)
+        large = model.core_energy_nj(InstructionMix(int_alu=1000), ProcessingUnit.CPU)
+        assert large == pytest.approx(10 * small)
+
+    def test_gpu_ops_cheaper_than_cpu_ops(self):
+        model = EnergyModel()
+        mix = InstructionMix(int_alu=1000)
+        assert model.core_energy_nj(mix, ProcessingUnit.GPU) < model.core_energy_nj(
+            mix, ProcessingUnit.CPU
+        )
+
+    def test_bigger_caches_cost_more_per_access(self):
+        model = EnergyModel()
+        assert model.l3_access_nj() > model.l2_access_nj() > model.l1_access_nj(
+            ProcessingUnit.CPU
+        )
+
+    def test_offchip_transfer_most_expensive(self):
+        model = EnergyModel()
+        size = 64 * KB
+        pcie = model.transfer_nj(size, CommMechanism.PCIE)
+        fusion = model.transfer_nj(size, CommMechanism.MEMORY_CONTROLLER)
+        icn = model.transfer_nj(size, CommMechanism.INTERCONNECT)
+        ideal = model.transfer_nj(size, CommMechanism.IDEAL)
+        assert pcie > fusion > icn > ideal == 0.0
+
+    def test_pcie_roughly_double_fusion(self):
+        """Two DRAM touches + link vs one DRAM touch."""
+        model = EnergyModel()
+        size = 1 * MB
+        ratio = model.transfer_nj(size, CommMechanism.PCIE) / model.transfer_nj(
+            size, CommMechanism.MEMORY_CONTROLLER
+        )
+        assert 1.5 < ratio < 3.0
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ConfigError):
+            EnergyModel().transfer_nj(-1, CommMechanism.PCIE)
+
+    def test_rejects_negative_params(self):
+        with pytest.raises(ConfigError):
+            EnergyParams(dram_nj_per_line=-1.0)
+
+
+class TestEnergyReport:
+    def test_total_and_fraction(self):
+        report = EnergyReport(core_nj=60, cache_nj=20, dram_nj=10, comm_nj=10)
+        assert report.total_nj == 100
+        assert report.total_uj == pytest.approx(0.1)
+        assert report.comm_fraction == pytest.approx(0.1)
+
+    def test_add(self):
+        a = EnergyReport(1, 2, 3, 4)
+        b = EnergyReport(10, 20, 30, 40)
+        c = a + b
+        assert c.total_nj == 110
+
+    def test_zero_total_fraction(self):
+        assert EnergyReport(0, 0, 0, 0).comm_fraction == 0.0
+
+
+class TestTraceEnergy:
+    def test_compute_energy_system_independent(self):
+        trace = kernel("dct").trace()
+        reports = [
+            trace_energy(trace, case_study(n))
+            for n in ("CPU+GPU", "LRB", "Fusion", "IDEAL-HETERO")
+        ]
+        cores = {round(r.core_nj, 9) for r in reports}
+        caches = {round(r.cache_nj, 9) for r in reports}
+        assert len(cores) == 1
+        assert len(caches) == 1
+
+    def test_comm_energy_follows_mechanism(self):
+        trace = kernel("reduction").trace()
+        pcie = trace_energy(trace, case_study("CPU+GPU"))
+        fusion = trace_energy(trace, case_study("Fusion"))
+        ideal = trace_energy(trace, case_study("IDEAL-HETERO"))
+        assert pcie.comm_nj > fusion.comm_nj > ideal.comm_nj == 0.0
+
+    def test_larger_problems_use_more_energy(self):
+        k = kernel("reduction")
+        small = trace_energy(k.build(k.for_size(10_000)), case_study("CPU+GPU"))
+        large = trace_energy(k.build(k.for_size(100_000)), case_study("CPU+GPU"))
+        assert large.total_nj > 5 * small.total_nj
+
+
+class TestMachineEnergy:
+    def test_detailed_run_energy(self):
+        sim = DetailedSimulator()
+        sim.run(kernel("reduction").trace(), case=case_study("CPU+GPU"), scale=0.02)
+        report = machine_energy(
+            sim.last_machine,
+            comm_bytes=321024,
+            comm_mechanism=CommMechanism.PCIE,
+        )
+        assert report.core_nj > 0
+        assert report.cache_nj > 0
+        assert report.comm_nj > 0
+
+    def test_detailed_and_analytic_same_magnitude(self):
+        trace = kernel("reduction").trace().scaled(0.05)
+        sim = DetailedSimulator()
+        sim.run(trace, case=case_study("IDEAL-HETERO"))
+        detailed = machine_energy(sim.last_machine)
+        analytic = trace_energy(trace, case_study("IDEAL-HETERO"))
+        ratio = detailed.total_nj / analytic.total_nj
+        assert 0.3 < ratio < 3.0

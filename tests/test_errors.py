@@ -1,0 +1,37 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.ReproError)
+
+    def test_address_space_family(self):
+        for exc in (
+            errors.AccessViolationError,
+            errors.OwnershipError,
+            errors.AllocationError,
+            errors.TranslationError,
+        ):
+            assert issubclass(exc, errors.AddressSpaceError)
+
+    def test_single_catch_covers_library_failures(self):
+        """The documented usage pattern: one except clause."""
+        from repro.kernels.registry import kernel
+
+        with pytest.raises(errors.ReproError):
+            kernel("does-not-exist")
+
+    def test_protocol_error_is_simulation_error(self):
+        from repro.mem.coherence.protocol import ProtocolError
+
+        assert issubclass(ProtocolError, errors.SimulationError)
+
+    def test_all_exports_are_exceptions(self):
+        for name in errors.__all__:
+            assert isinstance(getattr(errors, name), type)

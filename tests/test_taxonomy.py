@@ -1,0 +1,77 @@
+"""Tests for the design-space taxonomy enums."""
+
+import pytest
+
+from repro.taxonomy import (
+    AddressSpaceKind,
+    CommMechanism,
+    LocalityPolicy,
+    LocalityScheme,
+    ProcessingUnit,
+)
+
+
+class TestProcessingUnit:
+    def test_other_is_involutive(self):
+        for pu in ProcessingUnit:
+            assert pu.other.other is pu
+
+    def test_cpu_other_is_gpu(self):
+        assert ProcessingUnit.CPU.other is ProcessingUnit.GPU
+
+    def test_str(self):
+        assert str(ProcessingUnit.GPU) == "gpu"
+
+
+class TestAddressSpaceKind:
+    def test_shorts_match_paper(self):
+        assert AddressSpaceKind.UNIFIED.short == "UNI"
+        assert AddressSpaceKind.DISJOINT.short == "DIS"
+        assert AddressSpaceKind.PARTIALLY_SHARED.short == "PAS"
+        assert AddressSpaceKind.ADSM.short == "ADSM"
+
+    def test_only_disjoint_lacks_shared_window(self):
+        for kind in AddressSpaceKind:
+            expected = kind is not AddressSpaceKind.DISJOINT
+            assert kind.has_shared_window is expected
+
+    def test_four_options(self):
+        # Figure 1 shows exactly four design options.
+        assert len(AddressSpaceKind) == 4
+
+
+class TestCommMechanism:
+    def test_off_chip_classification(self):
+        assert CommMechanism.PCIE.off_chip
+        assert CommMechanism.PCI_APERTURE.off_chip
+        assert CommMechanism.DMA_ASYNC.off_chip
+        assert not CommMechanism.MEMORY_CONTROLLER.off_chip
+        assert not CommMechanism.INTERCONNECT.off_chip
+        assert not CommMechanism.IDEAL.off_chip
+
+
+class TestLocalityScheme:
+    def test_shared_policy_mapping(self):
+        assert (
+            LocalityScheme.IMPLICIT_PRIVATE_EXPLICIT_SHARED.shared_policy
+            is LocalityPolicy.EXPLICIT
+        )
+        assert (
+            LocalityScheme.EXPLICIT_PRIVATE_IMPLICIT_SHARED.shared_policy
+            is LocalityPolicy.IMPLICIT
+        )
+
+    def test_hybrid_has_no_single_shared_policy(self):
+        assert LocalityScheme.HYBRID_SHARED.shared_policy is None
+
+    def test_private_only_has_no_shared_policy(self):
+        assert LocalityScheme.PRIVATE_ONLY.shared_policy is None
+
+    def test_mixed_private_flags(self):
+        assert LocalityScheme.MIXED_PRIVATE_EXPLICIT_SHARED.mixed_private
+        assert LocalityScheme.HYBRID_SHARED.mixed_private
+        assert not LocalityScheme.IMPLICIT_PRIVATE_IMPLICIT_SHARED.mixed_private
+
+    def test_policy_shorts(self):
+        assert LocalityPolicy.IMPLICIT.short == "impl"
+        assert LocalityPolicy.EXPLICIT.short == "expl"

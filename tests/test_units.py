@@ -1,0 +1,106 @@
+"""Tests for repro.units."""
+
+import math
+
+import pytest
+
+from repro.units import (
+    GB,
+    GHZ,
+    KB,
+    MB,
+    Bandwidth,
+    Frequency,
+    ceil_div,
+    transfer_seconds,
+)
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(9, 4) == 3
+
+    def test_one(self):
+        assert ceil_div(1, 64) == 1
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 4) == 0
+
+    def test_rejects_zero_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+    def test_rejects_negative_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, -1)
+
+
+class TestFrequency:
+    def test_period(self):
+        assert Frequency(2 * GHZ).period == pytest.approx(0.5e-9)
+
+    def test_cycles_to_seconds(self):
+        assert Frequency(1 * GHZ).cycles_to_seconds(5) == pytest.approx(5e-9)
+
+    def test_seconds_to_cycles_rounds_up(self):
+        f = Frequency(1 * GHZ)
+        assert f.seconds_to_cycles(1.5e-9) == 2
+
+    def test_seconds_to_cycles_exact(self):
+        f = Frequency(1 * GHZ)
+        assert f.seconds_to_cycles(3e-9) == 3
+
+    def test_roundtrip(self):
+        f = Frequency(3.5 * GHZ)
+        assert f.seconds_to_cycles(f.cycles_to_seconds(1234)) == 1234
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Frequency(0)
+
+    def test_str_ghz(self):
+        assert str(Frequency(3.5 * GHZ)) == "3.5GHz"
+
+
+class TestBandwidth:
+    def test_from_gb_per_s(self):
+        bw = Bandwidth.from_gb_per_s(16.0)
+        assert bw.bytes_per_second == pytest.approx(16e9)
+
+    def test_seconds_for(self):
+        bw = Bandwidth.from_gb_per_s(16.0)
+        assert bw.seconds_for(16 * 10**9) == pytest.approx(1.0)
+
+    def test_seconds_for_zero(self):
+        assert Bandwidth(1.0).seconds_for(0) == 0.0
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError):
+            Bandwidth(1.0).seconds_for(-1)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            Bandwidth(0.0)
+
+    def test_str(self):
+        assert str(Bandwidth.from_gb_per_s(41.6)) == "41.6GB/s"
+
+
+class TestTransferSeconds:
+    def test_latency_plus_bandwidth(self):
+        bw = Bandwidth.from_gb_per_s(1.0)
+        assert transfer_seconds(10**9, bw, latency=0.5) == pytest.approx(1.5)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            transfer_seconds(1, Bandwidth(1.0), latency=-1.0)
+
+
+class TestSizeConstants:
+    def test_kb_mb_gb(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB

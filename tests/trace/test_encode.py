@@ -1,0 +1,57 @@
+"""Tests for trace serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import TraceError
+from repro.kernels.registry import all_kernels
+from repro.trace.encode import load_trace, save_trace, trace_from_dict, trace_to_dict
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("kernel", all_kernels(), ids=lambda k: k.name)
+    def test_all_kernels_roundtrip(self, kernel):
+        trace = kernel.trace()
+        restored = trace_from_dict(trace_to_dict(trace))
+        assert restored == trace
+
+    def test_file_roundtrip(self, tmp_path):
+        trace = all_kernels()[0].trace()
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        assert load_trace(path) == trace
+
+    def test_file_is_valid_json(self, tmp_path):
+        trace = all_kernels()[0].trace()
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        data = json.loads(path.read_text())
+        assert data["name"] == trace.name
+
+
+class TestErrors:
+    def test_unknown_format_version(self):
+        with pytest.raises(TraceError):
+            trace_from_dict({"format": 99, "name": "x", "phases": []})
+
+    def test_unknown_phase_kind(self):
+        with pytest.raises(TraceError):
+            trace_from_dict(
+                {"format": 1, "name": "x", "phases": [{"kind": "mystery"}]}
+            )
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+
+class TestStats:
+    def test_stats_survive_roundtrip(self):
+        kernel = all_kernels()[0]
+        trace = kernel.trace()
+        restored = trace_from_dict(trace_to_dict(trace))
+        assert restored.cpu_instructions == trace.cpu_instructions
+        assert restored.initial_transfer_bytes == trace.initial_transfer_bytes

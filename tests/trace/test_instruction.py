@@ -1,0 +1,66 @@
+"""Tests for concrete instruction records."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.isa.opcodes import Opcode
+from repro.isa.special import SpecialOp
+from repro.trace.instruction import Instruction
+
+
+class TestConstructors:
+    def test_compute_default_is_int(self):
+        assert Instruction.compute().opcode is Opcode.INT_ALU
+
+    def test_compute_fp(self):
+        assert Instruction.compute(fp=True).opcode is Opcode.FP_ALU
+
+    def test_compute_simd(self):
+        assert Instruction.compute(simd=True).opcode is Opcode.SIMD_ALU
+
+    def test_load(self):
+        inst = Instruction.load(0x100, size=8)
+        assert inst.opcode is Opcode.LOAD
+        assert inst.addr == 0x100
+        assert inst.size == 8
+        assert inst.is_load and not inst.is_store
+
+    def test_store_simd(self):
+        inst = Instruction.store(0x40, simd=True)
+        assert inst.opcode is Opcode.SIMD_STORE
+        assert inst.is_store
+
+    def test_branch(self):
+        assert Instruction.branch(taken=False).taken is False
+
+    def test_special(self):
+        inst = Instruction.special_op(SpecialOp.API_PCI, payload_bytes=4096)
+        assert inst.opcode is Opcode.SPECIAL
+        assert inst.special is SpecialOp.API_PCI
+        assert inst.payload_bytes == 4096
+
+
+class TestValidation:
+    def test_memory_requires_addr(self):
+        with pytest.raises(TraceError):
+            Instruction(Opcode.LOAD)
+
+    def test_memory_requires_positive_size(self):
+        with pytest.raises(TraceError):
+            Instruction(Opcode.LOAD, addr=0, size=0)
+
+    def test_non_memory_rejects_addr(self):
+        with pytest.raises(TraceError):
+            Instruction(Opcode.INT_ALU, addr=0x100)
+
+    def test_special_requires_special_op(self):
+        with pytest.raises(TraceError):
+            Instruction(Opcode.SPECIAL)
+
+    def test_non_special_rejects_special_op(self):
+        with pytest.raises(TraceError):
+            Instruction(Opcode.INT_ALU, special=SpecialOp.PUSH)
+
+    def test_rejects_negative_payload(self):
+        with pytest.raises(TraceError):
+            Instruction(Opcode.SPECIAL, special=SpecialOp.API_PCI, payload_bytes=-1)

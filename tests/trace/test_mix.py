@@ -1,0 +1,81 @@
+"""Tests for instruction mixes."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.mix import InstructionMix
+
+
+class TestTotals:
+    def test_total(self):
+        mix = InstructionMix(int_alu=5, loads=3, stores=2, branches=1)
+        assert mix.total == 11
+
+    def test_empty_total(self):
+        assert InstructionMix().total == 0
+
+    def test_memory_ops(self):
+        mix = InstructionMix(loads=3, stores=2, simd_loads=4, simd_stores=1)
+        assert mix.memory_ops == 10
+        assert mix.load_ops == 7
+        assert mix.store_ops == 3
+
+    def test_compute_ops(self):
+        mix = InstructionMix(int_alu=1, fp_alu=2, simd_alu=3)
+        assert mix.compute_ops == 6
+
+    def test_simd_ops(self):
+        mix = InstructionMix(simd_alu=2, simd_loads=1, simd_stores=1, loads=5)
+        assert mix.simd_ops == 4
+
+
+class TestArithmetic:
+    def test_add(self):
+        a = InstructionMix(int_alu=1, loads=2)
+        b = InstructionMix(int_alu=3, stores=4)
+        c = a + b
+        assert c.int_alu == 4
+        assert c.loads == 2
+        assert c.stores == 4
+
+    def test_add_preserves_total(self):
+        a = InstructionMix(int_alu=7, branches=3)
+        b = InstructionMix(fp_alu=5)
+        assert (a + b).total == a.total + b.total
+
+    def test_scaled_half(self):
+        mix = InstructionMix(int_alu=100, loads=50)
+        half = mix.scaled(0.5)
+        assert half.int_alu == 50
+        assert half.loads == 25
+
+    def test_scaled_identity(self):
+        mix = InstructionMix(int_alu=7, loads=13, branches=3)
+        assert mix.scaled(1.0) == mix
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(TraceError):
+            InstructionMix().scaled(-0.5)
+
+
+class TestValidationAndSerialization:
+    def test_rejects_negative_counts(self):
+        with pytest.raises(TraceError):
+            InstructionMix(loads=-1)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TraceError):
+            InstructionMix(loads=1.5)
+
+    def test_dict_roundtrip(self):
+        mix = InstructionMix(int_alu=1, fp_alu=2, loads=3, branches=4)
+        assert InstructionMix.from_dict(mix.as_dict()) == mix
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(TraceError):
+            InstructionMix.from_dict({"vector_ops": 3})
+
+    def test_frozen(self):
+        mix = InstructionMix()
+        with pytest.raises(Exception):
+            mix.loads = 5

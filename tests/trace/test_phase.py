@@ -1,0 +1,139 @@
+"""Tests for segments and phases."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.taxonomy import ProcessingUnit
+from repro.trace.instruction import Instruction
+from repro.trace.mix import InstructionMix
+from repro.trace.phase import (
+    CommPhase,
+    Direction,
+    ParallelPhase,
+    Segment,
+    SequentialPhase,
+)
+
+
+def make_segment(pu=ProcessingUnit.CPU, **mix_kwargs):
+    mix = InstructionMix(**mix_kwargs)
+    return Segment(pu=pu, mix=mix, base_addr=0x1000, footprint_bytes=4096)
+
+
+class TestDirection:
+    def test_h2d_endpoints(self):
+        assert Direction.H2D.source is ProcessingUnit.CPU
+        assert Direction.H2D.destination is ProcessingUnit.GPU
+
+    def test_d2h_endpoints(self):
+        assert Direction.D2H.source is ProcessingUnit.GPU
+        assert Direction.D2H.destination is ProcessingUnit.CPU
+
+
+class TestSegmentValidation:
+    def test_memory_ops_require_footprint(self):
+        with pytest.raises(TraceError):
+            Segment(
+                pu=ProcessingUnit.CPU,
+                mix=InstructionMix(loads=1),
+                footprint_bytes=0,
+            )
+
+    def test_pure_compute_allows_zero_footprint(self):
+        seg = Segment(pu=ProcessingUnit.CPU, mix=InstructionMix(int_alu=10))
+        assert seg.footprint_bytes == 0
+
+    def test_rejects_negative_base(self):
+        with pytest.raises(TraceError):
+            Segment(pu=ProcessingUnit.CPU, mix=InstructionMix(), base_addr=-4)
+
+
+class TestSegmentInstructionExpansion:
+    def test_expansion_matches_mix_exactly(self):
+        seg = make_segment(int_alu=10, fp_alu=5, loads=7, stores=3, branches=4)
+        instrs = list(seg.instructions())
+        assert len(instrs) == seg.mix.total
+        assert sum(1 for i in instrs if i.is_load) == 7
+        assert sum(1 for i in instrs if i.is_store) == 3
+        assert sum(1 for i in instrs if i.opcode.value == "branch") == 4
+
+    def test_gpu_segment_uses_simd_opcodes(self):
+        seg = Segment(
+            pu=ProcessingUnit.GPU,
+            mix=InstructionMix(simd_alu=4, simd_loads=3, simd_stores=1, int_alu=2),
+            base_addr=0,
+            footprint_bytes=1024,
+        )
+        instrs = list(seg.instructions())
+        assert sum(1 for i in instrs if i.opcode.is_simd) >= 7
+
+    def test_addresses_stay_in_footprint(self):
+        seg = make_segment(loads=100, stores=20)
+        for inst in seg.instructions():
+            if inst.addr is not None:
+                assert 0x1000 <= inst.addr < 0x1000 + 4096
+
+    def test_addresses_stride_sequentially(self):
+        seg = make_segment(loads=4)
+        addrs = [i.addr for i in seg.instructions() if i.addr is not None]
+        assert addrs == [0x1000, 0x1004, 0x1008, 0x100C]
+
+    def test_addresses_wrap_at_footprint(self):
+        seg = Segment(
+            pu=ProcessingUnit.CPU,
+            mix=InstructionMix(loads=5),
+            base_addr=0,
+            footprint_bytes=8,
+        )
+        addrs = [i.addr for i in seg.instructions()]
+        assert addrs == [0, 4, 0, 4, 0]
+
+    def test_expansion_is_deterministic(self):
+        seg = make_segment(int_alu=50, loads=30, branches=10)
+        first = list(seg.instructions())
+        second = list(seg.instructions())
+        assert first == second
+
+    def test_memory_ops_interleaved_with_compute(self):
+        seg = make_segment(int_alu=90, loads=10)
+        instrs = list(seg.instructions())
+        first_mem = next(i for i, inst in enumerate(instrs) if inst.is_load)
+        # Compute is spread between memory ops, not all dumped at the end.
+        assert first_mem < len(instrs) - 1
+        assert first_mem > 0
+
+    def test_scaled(self):
+        seg = make_segment(int_alu=100, loads=50)
+        half = seg.scaled(0.5)
+        assert half.mix.total == 75
+        assert half.footprint_bytes == seg.footprint_bytes
+        assert half.pu is seg.pu
+
+
+class TestPhaseValidation:
+    def test_sequential_requires_cpu_segment(self):
+        gpu_seg = Segment(pu=ProcessingUnit.GPU, mix=InstructionMix(int_alu=1))
+        with pytest.raises(TraceError):
+            SequentialPhase(segment=gpu_seg)
+
+    def test_parallel_checks_pu_sides(self):
+        cpu = make_segment()
+        with pytest.raises(TraceError):
+            ParallelPhase(cpu=cpu, gpu=cpu)
+
+    def test_parallel_requires_both_segments(self):
+        with pytest.raises(TraceError):
+            ParallelPhase(cpu=make_segment(), gpu=None)
+
+    def test_comm_rejects_negative_bytes(self):
+        with pytest.raises(TraceError):
+            CommPhase(direction=Direction.H2D, num_bytes=-1)
+
+    def test_comm_rejects_zero_objects(self):
+        with pytest.raises(TraceError):
+            CommPhase(direction=Direction.H2D, num_bytes=64, num_objects=0)
+
+    def test_comm_defaults(self):
+        comm = CommPhase(direction=Direction.D2H, num_bytes=128)
+        assert comm.num_objects == 1
+        assert not comm.first_touch

@@ -1,0 +1,52 @@
+"""Tests for the Table III statistics extraction."""
+
+import pytest
+
+from repro.kernels.registry import kernel
+from repro.taxonomy import ProcessingUnit
+from repro.trace.mix import InstructionMix
+from repro.trace.phase import CommPhase, Direction, ParallelPhase, Segment, SequentialPhase
+from repro.trace.stats import TraceStats, compute_stats
+from repro.trace.stream import KernelTrace
+
+
+def tiny_trace():
+    cpu = Segment(pu=ProcessingUnit.CPU, mix=InstructionMix(int_alu=100))
+    gpu = Segment(pu=ProcessingUnit.GPU, mix=InstructionMix(simd_alu=80))
+    serial = Segment(pu=ProcessingUnit.CPU, mix=InstructionMix(int_alu=30))
+    return KernelTrace(
+        name="tiny",
+        phases=(
+            CommPhase(direction=Direction.H2D, num_bytes=512),
+            ParallelPhase(cpu=cpu, gpu=gpu),
+            CommPhase(direction=Direction.D2H, num_bytes=64),
+            SequentialPhase(segment=serial),
+        ),
+    )
+
+
+class TestComputeStats:
+    def test_row_fields(self):
+        stats = compute_stats(tiny_trace(), compute_pattern="p -> s")
+        assert stats == TraceStats(
+            name="tiny",
+            compute_pattern="p -> s",
+            cpu_instructions=100,
+            gpu_instructions=80,
+            serial_instructions=30,
+            num_communications=2,
+            initial_transfer_bytes=512,
+        )
+
+    def test_as_row_order(self):
+        row = compute_stats(tiny_trace()).as_row()
+        assert row == ("tiny", "", 100, 80, 30, 2, 512)
+
+    def test_matches_trace_properties(self):
+        trace = kernel("dct").trace()
+        stats = compute_stats(trace)
+        assert stats.cpu_instructions == trace.cpu_instructions
+        assert stats.initial_transfer_bytes == trace.initial_transfer_bytes
+
+    def test_default_pattern_empty(self):
+        assert compute_stats(tiny_trace()).compute_pattern == ""
