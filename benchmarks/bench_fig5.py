@@ -7,12 +7,19 @@ six kernels, split into sequential / parallel / communication time.
 from repro.analysis.figures import figure5_data, figure5_text
 from repro.analysis.paper_data import FIG5_TOTAL_TIME_ORDERING
 from repro.core.explorer import Explorer
+from repro.exec.cache import SHARED_TRACE_CACHE
 
 
 def test_figure5(benchmark, write_artifact):
     explorer = Explorer()
     results = benchmark(figure5_data, explorer)
     write_artifact("figure5", figure5_text(explorer))
+
+    # The explorer runs on the process-wide trace memo: repeated benchmark
+    # rounds (and the other figure benches in this session) rebuild no
+    # kernel traces.
+    assert explorer.trace_cache is SHARED_TRACE_CACHE
+    assert explorer.trace_cache.hits > 0
 
     # Shape 1: the majority of execution time is parallel computation.
     for per_system in results.values():

@@ -3,12 +3,18 @@
 from repro.analysis.figures import figure6_data, figure6_text
 from repro.analysis.paper_data import FIG6_COMM_ORDERING
 from repro.core.explorer import Explorer
+from repro.exec.cache import SHARED_TRACE_CACHE
 
 
 def test_figure6(benchmark, write_artifact):
     explorer = Explorer()
     data = benchmark(figure6_data, explorer)
     write_artifact("figure6", figure6_text(explorer))
+
+    # Shares the process-wide trace memo with bench_fig5: the six kernel
+    # traces are generated once per session, not once per figure per round.
+    assert explorer.trace_cache is SHARED_TRACE_CACHE
+    assert explorer.trace_cache.hits > 0
 
     # Shape 1: per-kernel communication-cost ordering from §V-A.
     for slower, faster in FIG6_COMM_ORDERING:

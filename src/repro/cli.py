@@ -36,13 +36,15 @@ def _cmd_table(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    explorer = Explorer()
+    explorer = Explorer(jobs=args.jobs)
     builders = {
         5: figures.figure5_text,
         6: figures.figure6_text,
         7: figures.figure7_text,
     }
     print(builders[args.number](explorer))
+    if args.stats:
+        print(f"\n[run] {explorer.run_stats.summary()}")
     return 0
 
 
@@ -56,7 +58,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_rank(args: argparse.Namespace) -> int:
-    explorer = Explorer()
+    explorer = Explorer(jobs=args.jobs)
     points = DesignSpace().feasible_points()
     if args.sample and args.sample < len(points):
         step = max(len(points) // args.sample, 1)
@@ -79,6 +81,8 @@ def _cmd_rank(args: argparse.Namespace) -> int:
             title=f"Top {len(rows)} design points",
         )
     )
+    if args.stats:
+        print(f"\n[run] {explorer.run_stats.summary()}")
     return 0
 
 
@@ -190,6 +194,22 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for simulation fan-out (default 1 = in-process; "
+        "results are identical at any job count)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print runtime job/cache statistics after the output",
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-explore",
@@ -204,6 +224,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("number", type=int, choices=(5, 6, 7))
+    _add_jobs_arg(p_fig)
     p_fig.set_defaults(func=_cmd_figure)
 
     p_cmp = sub.add_parser("compare", help="run all paper-vs-measured checks")
@@ -214,6 +235,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_rank.add_argument(
         "--sample", type=int, default=40, help="evaluate at most N points (0 = all)"
     )
+    _add_jobs_arg(p_rank)
     p_rank.set_defaults(func=_cmd_rank)
 
     p_guide = sub.add_parser(

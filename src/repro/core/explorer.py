@@ -17,11 +17,14 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.config.comm import CommParams
 from repro.config.presets import CASE_STUDIES, CaseStudy
 from repro.config.system import SystemConfig
-from repro.comm.base import IdealChannel, make_channel
 from repro.core.design_point import DesignPoint
 from repro.core.space import DesignSpace
 from repro.core.programmability import table5_dict
 from repro.errors import DesignSpaceError
+from repro.exec.cache import SHARED_TRACE_CACHE, ResultCache, TraceCache
+from repro.exec.job import SimJob
+from repro.exec.runner import ParallelRunner
+from repro.exec.stats import RunStats
 from repro.kernels.base import Kernel
 from repro.kernels.registry import all_kernels
 from repro.locality.schemes import feasible_schemes
@@ -61,6 +64,9 @@ class Explorer:
         comm_params: Optional[CommParams] = None,
         detailed: bool = False,
         detailed_scale: float = 0.02,
+        jobs: int = 1,
+        trace_cache: Optional[TraceCache] = None,
+        result_cache: Optional[ResultCache] = None,
     ) -> None:
         self.system = system or SystemConfig()
         self.comm_params = comm_params or CommParams()
@@ -70,6 +76,24 @@ class Explorer:
         #: :meth:`run_case_studies_detailed`).
         self.detailed = detailed
         self.detailed_scale = detailed_scale
+        #: The exploration runtime: ``jobs`` worker processes (1 = fully
+        #: in-process), a trace memo shared across explorers by default,
+        #: and a per-explorer result memo. Parallel runs preserve
+        #: submission order, so results are identical to ``jobs=1``.
+        self.run_stats = RunStats()
+        self.runner = ParallelRunner(jobs=jobs, stats=self.run_stats)
+        self.trace_cache = trace_cache if trace_cache is not None else SHARED_TRACE_CACHE
+        self.result_cache = result_cache if result_cache is not None else ResultCache()
+
+    @property
+    def jobs(self) -> int:
+        return self.runner.jobs
+
+    def _job(self, trace, **kwargs) -> SimJob:
+        """A :class:`SimJob` pinned to this explorer's machine parameters."""
+        return SimJob(
+            trace=trace, system=self.system, comm_params=self.comm_params, **kwargs
+        )
 
     def run_case_studies_detailed(
         self,
@@ -106,11 +130,19 @@ class Explorer:
         """{kernel: {system: result}} over the five §V-A systems."""
         kernels = list(kernels or all_kernels())
         cases = list(cases or CASE_STUDIES.values())
+        jobs = [
+            self._job(self.trace_cache.get(kernel), case=case)
+            for kernel in kernels
+            for case in cases
+        ]
+        flat = self.runner.run_jobs(
+            jobs, result_cache=self.result_cache, stage="case-studies"
+        )
         results: Dict[str, Dict[str, SimulationResult]] = {}
-        for kernel in kernels:
-            trace = kernel.trace()
+        for i, kernel in enumerate(kernels):
+            row = flat[i * len(cases) : (i + 1) * len(cases)]
             results[kernel.name] = {
-                case.name: self.simulator.run(trace, case=case) for case in cases
+                case.name: result for case, result in zip(cases, row)
             }
         return results
 
@@ -129,21 +161,77 @@ class Explorer:
         """
         kernels = list(kernels or all_kernels())
         spaces = list(spaces or AddressSpaceKind)
+        jobs = [
+            self._job(
+                self.trace_cache.get(kernel),
+                mechanism=CommMechanism.IDEAL,
+                address_space=space,
+                system_name=space.short,
+            )
+            for kernel in kernels
+            for space in spaces
+        ]
+        flat = self.runner.run_jobs(
+            jobs, result_cache=self.result_cache, stage="address-spaces"
+        )
         results: Dict[str, Dict[AddressSpaceKind, SimulationResult]] = {}
-        for kernel in kernels:
-            trace = kernel.trace()
-            per_space: Dict[AddressSpaceKind, SimulationResult] = {}
-            for space in spaces:
-                per_space[space] = self.simulator.run(
-                    trace,
-                    channel=IdealChannel(self.comm_params),
-                    address_space=space,
-                    system_name=space.short,
-                )
-            results[kernel.name] = per_space
+        for i, kernel in enumerate(kernels):
+            row = flat[i * len(spaces) : (i + 1) * len(spaces)]
+            results[kernel.name] = {
+                space: result for space, result in zip(spaces, row)
+            }
         return results
 
     # -- design-point evaluation ---------------------------------------------
+
+    def _point_jobs(
+        self, point: DesignPoint, kernels: Sequence[Kernel]
+    ) -> List[SimJob]:
+        """One simulation job per kernel for a feasible design point."""
+        point.require_feasible()
+        return [
+            self._job(
+                self.trace_cache.get(kernel),
+                mechanism=point.comm,
+                async_overlap=point.comm is CommMechanism.DMA_ASYNC,
+                address_space=point.address_space,
+                system_name=point.label,
+            )
+            for kernel in kernels
+        ]
+
+    @staticmethod
+    def _comm_lines_by_space() -> Dict[AddressSpaceKind, int]:
+        """Table V's total comm-handling lines per address space.
+
+        Constant for a given repo state, but derived by lowering every
+        program spec — expensive enough that ranking 1457 points must not
+        recompute it per point.
+        """
+        table5 = table5_dict()
+        return {
+            space: sum(per_kernel[space] for per_kernel in table5.values())
+            for space in AddressSpaceKind
+        }
+
+    def _evaluation(
+        self,
+        point: DesignPoint,
+        results: Sequence[SimulationResult],
+        comm_lines_by_space: Optional[Dict[AddressSpaceKind, int]] = None,
+    ) -> DesignPointEvaluation:
+        """Aggregate one point's per-kernel results into an evaluation."""
+        totals = [r.total_seconds for r in results]
+        comm_fracs = [r.breakdown.communication_fraction for r in results]
+        if comm_lines_by_space is None:
+            comm_lines_by_space = self._comm_lines_by_space()
+        return DesignPointEvaluation(
+            point=point,
+            mean_seconds=sum(totals) / len(totals),
+            mean_comm_fraction=sum(comm_fracs) / len(comm_fracs),
+            comm_lines_total=comm_lines_by_space[point.address_space],
+            locality_options=len(feasible_schemes(point.address_space)),
+        )
 
     def evaluate_design_point(
         self,
@@ -151,47 +239,48 @@ class Explorer:
         kernels: Optional[Sequence[Kernel]] = None,
     ) -> DesignPointEvaluation:
         """Simulate a feasible design point over the kernels."""
-        point.require_feasible()
         kernels = list(kernels or all_kernels())
-        channel_async = point.comm is CommMechanism.DMA_ASYNC
-        totals: List[float] = []
-        comm_fracs: List[float] = []
-        for kernel in kernels:
-            channel = make_channel(
-                point.comm,
-                params=self.comm_params,
-                system=self.system,
-                async_overlap=channel_async,
-            )
-            result = self.simulator.run(
-                kernel.trace(),
-                channel=channel,
-                address_space=point.address_space,
-                system_name=point.label,
-            )
-            totals.append(result.total_seconds)
-            comm_fracs.append(result.breakdown.communication_fraction)
-        table5 = table5_dict()
-        comm_lines = sum(
-            per_kernel[point.address_space] for per_kernel in table5.values()
+        results = self.runner.run_jobs(
+            self._point_jobs(point, kernels),
+            result_cache=self.result_cache,
+            stage="design-points",
         )
-        return DesignPointEvaluation(
-            point=point,
-            mean_seconds=sum(totals) / len(totals),
-            mean_comm_fraction=sum(comm_fracs) / len(comm_fracs),
-            comm_lines_total=comm_lines,
-            locality_options=len(feasible_schemes(point.address_space)),
-        )
+        return self._evaluation(point, results)
 
     def rank_design_points(
         self,
         points: Optional[Iterable[DesignPoint]] = None,
         kernels: Optional[Sequence[Kernel]] = None,
     ) -> List[DesignPointEvaluation]:
-        """Evaluate and rank design points (best first)."""
+        """Evaluate and rank design points (best first).
+
+        The whole batch — every (point, kernel) pair — fans out through the
+        runner in one submission, so worker processes stay busy and the
+        memo layer collapses points that differ only in axes that cannot
+        affect timing (locality, coherence, consistency) into one
+        simulation each. Results come back in submission order; the
+        evaluation per point is arithmetically identical to the serial
+        per-point path.
+        """
         if points is None:
             points = DesignSpace().feasible_points()
-        evaluations = [self.evaluate_design_point(p, kernels) for p in points]
+        points = list(points)
+        kernels = list(kernels or all_kernels())
+        jobs: List[SimJob] = []
+        for point in points:
+            jobs.extend(self._point_jobs(point, kernels))
+        flat = self.runner.run_jobs(
+            jobs, result_cache=self.result_cache, stage="rank"
+        )
+        comm_lines = self._comm_lines_by_space()
+        evaluations = [
+            self._evaluation(
+                point,
+                flat[i * len(kernels) : (i + 1) * len(kernels)],
+                comm_lines_by_space=comm_lines,
+            )
+            for i, point in enumerate(points)
+        ]
         if not evaluations:
             raise DesignSpaceError("no feasible design points to rank")
         return sorted(evaluations, key=DesignPointEvaluation.score)

@@ -22,6 +22,8 @@ from repro.config.presets import case_study
 from repro.config.system import SystemConfig
 from repro.comm.aperture import ApertureChannel
 from repro.errors import DesignSpaceError
+from repro.exec.job import SimJob
+from repro.exec.runner import ParallelRunner
 from repro.kernels.base import Kernel
 from repro.sim.fast import FastSimulator
 from repro.sim.results import SimulationResult
@@ -56,16 +58,28 @@ def repartition(trace: KernelTrace, cpu_fraction: float) -> KernelTrace:
         if not isinstance(phase, ParallelPhase):
             phases.append(phase)
             continue
-        total = phase.cpu.mix.total + phase.gpu.mix.total
+        cpu_total = phase.cpu.mix.total
+        gpu_total = phase.gpu.mix.total
+        total = cpu_total + gpu_total
+        if total == 0:
+            raise DesignSpaceError(
+                f"{trace.name}: parallel phase {phase.label!r} has no work "
+                "on either PU; nothing to repartition"
+            )
+        if cpu_total == 0 or gpu_total == 0:
+            # An empty side has no mix to scale up, so its share cannot be
+            # re-assigned; the busy side keeps all the work (conserving the
+            # phase's total instructions) instead of silently dropping the
+            # share that would have moved.
+            phases.append(phase)
+            continue
         cpu_target = total * cpu_fraction
         gpu_target = total - cpu_target
-        cpu_factor = cpu_target / phase.cpu.mix.total if phase.cpu.mix.total else 0.0
-        gpu_factor = gpu_target / phase.gpu.mix.total if phase.gpu.mix.total else 0.0
         phases.append(
             ParallelPhase(
                 label=phase.label,
-                cpu=phase.cpu.scaled(cpu_factor),
-                gpu=phase.gpu.scaled(gpu_factor),
+                cpu=phase.cpu.scaled(cpu_target / cpu_total),
+                gpu=phase.gpu.scaled(gpu_target / gpu_total),
             )
         )
     return KernelTrace(name=trace.name, phases=tuple(phases))
@@ -75,14 +89,21 @@ def sweep_pci_bandwidth(
     kernel: Kernel,
     gb_per_s_values: Sequence[float],
     system: Optional[SystemConfig] = None,
+    jobs: int = 1,
 ) -> Dict[float, SimulationResult]:
     """CPU+GPU (disjoint over PCI-E) at several link rates."""
-    results = {}
-    for rate in gb_per_s_values:
-        params = CommParams(pci_bandwidth=Bandwidth.from_gb_per_s(rate))
-        sim = FastSimulator(system, params)
-        results[rate] = sim.run(kernel.trace(), case=case_study("CPU+GPU"))
-    return results
+    trace = kernel.trace()
+    sim_jobs = [
+        SimJob(
+            trace=trace,
+            case=case_study("CPU+GPU"),
+            system=system,
+            comm_params=CommParams(pci_bandwidth=Bandwidth.from_gb_per_s(rate)),
+        )
+        for rate in gb_per_s_values
+    ]
+    results = ParallelRunner(jobs=jobs).run_jobs(sim_jobs, stage="pci-bandwidth")
+    return dict(zip(gb_per_s_values, results))
 
 
 def sweep_api_latency(
@@ -90,6 +111,7 @@ def sweep_api_latency(
     parameter: str,
     values: Sequence[int],
     system: Optional[SystemConfig] = None,
+    jobs: int = 1,
 ) -> Dict[int, SimulationResult]:
     """LRB with one Table IV parameter varied.
 
@@ -99,12 +121,18 @@ def sweep_api_latency(
     valid = ("api_pci_base_cycles", "api_acq_cycles", "api_tr_cycles", "lib_pf_cycles")
     if parameter not in valid:
         raise DesignSpaceError(f"unknown Table IV parameter {parameter!r}; use one of {valid}")
-    results = {}
-    for value in values:
-        params = replace(CommParams(), **{parameter: value})
-        sim = FastSimulator(system, params)
-        results[value] = sim.run(kernel.trace(), case=case_study("LRB"))
-    return results
+    trace = kernel.trace()
+    sim_jobs = [
+        SimJob(
+            trace=trace,
+            case=case_study("LRB"),
+            system=system,
+            comm_params=replace(CommParams(), **{parameter: value}),
+        )
+        for value in values
+    ]
+    results = ParallelRunner(jobs=jobs).run_jobs(sim_jobs, stage="api-latency")
+    return dict(zip(values, results))
 
 
 def sweep_partition(
@@ -112,14 +140,20 @@ def sweep_partition(
     cpu_fractions: Sequence[float],
     case_name: str = "IDEAL-HETERO",
     system: Optional[SystemConfig] = None,
+    jobs: int = 1,
 ) -> Dict[float, SimulationResult]:
     """Execution time vs CPU share of the parallel work."""
-    sim = FastSimulator(system)
     base = kernel.trace()
-    return {
-        fraction: sim.run(repartition(base, fraction), case=case_study(case_name))
+    sim_jobs = [
+        SimJob(
+            trace=repartition(base, fraction),
+            case=case_study(case_name),
+            system=system,
+        )
         for fraction in cpu_fractions
-    }
+    ]
+    results = ParallelRunner(jobs=jobs).run_jobs(sim_jobs, stage="partition")
+    return dict(zip(cpu_fractions, results))
 
 
 def find_lrb_crossover_bytes(
@@ -201,18 +235,29 @@ def sweep_aperture_size(sizes_bytes: Sequence[int]) -> Dict[int, List[str]]:
 def sweep_fault_granularity(
     kernel: Kernel,
     system: Optional[SystemConfig] = None,
+    jobs: int = 1,
 ) -> Dict[str, SimulationResult]:
-    """LRB with per-object vs per-page first-touch faulting."""
+    """LRB with per-object vs per-page first-touch faulting.
+
+    The custom-granularity aperture channel is passed as an explicit
+    channel object, so these jobs bypass the result memo (and fall back to
+    in-process execution if the channel ever stops pickling).
+    """
     system = system or SystemConfig()
-    results = {}
-    for granularity in ("object", "page"):
-        sim = FastSimulator(system)
-        channel = ApertureChannel(
-            sim.comm_params,
-            page_bytes=system.page_bytes_cpu,
-            fault_granularity=granularity,
+    trace = kernel.trace()
+    granularities = ("object", "page")
+    sim_jobs = [
+        SimJob(
+            trace=trace,
+            channel=ApertureChannel(
+                CommParams(),
+                page_bytes=system.page_bytes_cpu,
+                fault_granularity=granularity,
+            ),
+            system=system,
+            system_name=f"LRB[{granularity}]",
         )
-        results[granularity] = sim.run(
-            kernel.trace(), channel=channel, system_name=f"LRB[{granularity}]"
-        )
-    return results
+        for granularity in granularities
+    ]
+    results = ParallelRunner(jobs=jobs).run_jobs(sim_jobs, stage="fault-granularity")
+    return dict(zip(granularities, results))

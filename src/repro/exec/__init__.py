@@ -1,0 +1,33 @@
+"""The parallel exploration runtime.
+
+Everything the explorer, the sweeps, and the benchmarks use to scale
+design-space exploration:
+
+- :mod:`repro.exec.job` — :class:`SimJob`, a picklable description of one
+  fast-simulator run, and the worker entry point;
+- :mod:`repro.exec.runner` — :class:`ParallelRunner`, an order-preserving
+  process-pool fan-out with a deterministic in-process fallback;
+- :mod:`repro.exec.cache` — :class:`TraceCache` and :class:`ResultCache`
+  memo layers with hit/miss accounting;
+- :mod:`repro.exec.stats` — :class:`RunStats`, per-stage wall-clock and
+  job/cache counters.
+
+Parallel runs preserve submission order and are bit-identical to serial
+runs; see tests/exec/.
+"""
+
+from repro.exec.cache import SHARED_TRACE_CACHE, MemoCache, ResultCache, TraceCache
+from repro.exec.job import SimJob, run_sim_job
+from repro.exec.runner import ParallelRunner
+from repro.exec.stats import RunStats
+
+__all__ = [
+    "SimJob",
+    "run_sim_job",
+    "ParallelRunner",
+    "RunStats",
+    "MemoCache",
+    "TraceCache",
+    "ResultCache",
+    "SHARED_TRACE_CACHE",
+]

@@ -1,0 +1,135 @@
+"""Keyed memo caches for trace generation and simulation results.
+
+Exploration workloads re-evaluate the same (kernel, channel, address space)
+combinations constantly: ranking the full feasible design space simulates
+1457 points, but only a few dozen distinct simulations exist because a
+point's performance depends only on its communication mechanism and address
+space. Likewise every figure regenerates the same six default kernel traces.
+These caches memoize both layers:
+
+- :class:`TraceCache` — ``kernel.trace()`` outputs keyed on
+  ``(kernel name, shape)``;
+- :class:`ResultCache` — :class:`~repro.sim.results.SimulationResult`s keyed
+  on a :meth:`~repro.exec.job.SimJob.cache_key` (trace x channel spec x
+  address space x machine parameters).
+
+Both count hits and misses and support an explicit :meth:`~MemoCache.clear`.
+:data:`SHARED_TRACE_CACHE` is a process-wide instance the explorer and the
+benchmarks share so repeated figure regenerations stop rebuilding identical
+traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, Hashable, Optional, TypeVar
+
+from repro.kernels.base import Kernel, KernelShape
+from repro.sim.results import SimulationResult
+from repro.trace.stream import KernelTrace
+
+__all__ = ["MemoCache", "TraceCache", "ResultCache", "SHARED_TRACE_CACHE"]
+
+V = TypeVar("V")
+
+
+class MemoCache:
+    """A keyed memo store with hit/miss accounting.
+
+    Subclasses add typed convenience lookups; the base class owns the
+    mapping, the counters, and :meth:`clear`.
+    """
+
+    def __init__(self) -> None:
+        self._store: Dict[Hashable, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._store
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], V]) -> V:
+        """Return the cached value for ``key``, computing and storing on miss."""
+        try:
+            value = self._store[key]
+        except KeyError:
+            self.misses += 1
+            value = compute()
+            self._store[key] = value
+            return value
+        self.hits += 1
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry and zero the counters."""
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "entries": len(self._store),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class TraceCache(MemoCache):
+    """Memoizes ``kernel.trace()`` outputs per (kernel name, shape).
+
+    Traces are frozen dataclasses, so sharing one instance across
+    simulations is safe; generation is deterministic, so a cached trace is
+    identical to a regenerated one.
+    """
+
+    def get(self, kernel: Kernel, shape: Optional[KernelShape] = None) -> KernelTrace:
+        return self.get_or_compute(
+            (kernel.name, shape), lambda: kernel.trace(shape)
+        )
+
+
+class ResultCache(MemoCache):
+    """Memoizes :class:`SimulationResult`s per job cache key.
+
+    Keys come from :meth:`repro.exec.job.SimJob.cache_key`, which excludes
+    the display label — two jobs identical up to ``system_name`` share one
+    simulation, and :meth:`get` re-labels the cached result on hit.
+    """
+
+    def get(self, key: Hashable, system_name: Optional[str] = None) -> Optional[SimulationResult]:
+        """The cached result for ``key`` (re-labeled), or ``None`` on miss.
+
+        Unlike :meth:`MemoCache.get_or_compute` this does not compute: the
+        runner batches all misses into one parallel fan-out, so lookup and
+        insertion are separate steps (misses are counted here, and
+        :meth:`put` stores the computed results afterwards).
+        """
+        try:
+            result = self._store[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if system_name is not None and result.system != system_name:
+            result = replace(result, system=system_name)
+        return result
+
+    def put(self, key: Hashable, result: SimulationResult) -> None:
+        self._store[key] = result
+
+
+#: Process-wide trace cache: the explorer default, shared with the
+#: benchmark suite so bench_fig5/bench_fig6 build each kernel trace once.
+SHARED_TRACE_CACHE = TraceCache()

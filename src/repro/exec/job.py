@@ -1,0 +1,112 @@
+"""Simulation job descriptors and the process-pool worker entry point.
+
+A :class:`SimJob` is a pure-data description of one ``FastSimulator.run``
+call: the trace, the communication mechanism (as a case study, a mechanism
+spec, or an explicit channel object), the address space, and the machine
+parameters. Jobs are plain frozen dataclasses so they pickle cleanly into
+:class:`concurrent.futures.ProcessPoolExecutor` workers; :func:`run_sim_job`
+is the module-level function the pool executes.
+
+Because the fast simulator is pure deterministic float arithmetic and the
+job carries everything the run depends on, executing a job in a worker
+process produces a bit-identical :class:`~repro.sim.results.SimulationResult`
+to executing it in-process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.config.comm import CommParams
+from repro.config.presets import CaseStudy
+from repro.config.system import SystemConfig
+from repro.comm.base import CommChannel, make_channel
+from repro.sim.results import SimulationResult
+from repro.taxonomy import AddressSpaceKind, CommMechanism
+
+__all__ = ["SimJob", "run_sim_job"]
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation to run: trace x channel x address space x machine.
+
+    Exactly one of ``case``/``mechanism``/``channel`` selects the
+    communication mechanism (checked by ``__post_init__``). ``case`` and
+    ``mechanism`` are preferred — they are pure data, so the job both
+    pickles into worker processes and produces a stable memoization key;
+    an explicit ``channel`` object supports one-off channels (e.g. an
+    aperture channel with a custom fault granularity) at the cost of
+    bypassing the result cache.
+    """
+
+    trace: "KernelTrace"
+    case: Optional[CaseStudy] = None
+    mechanism: Optional[CommMechanism] = None
+    async_overlap: bool = False
+    channel: Optional[CommChannel] = None
+    address_space: Optional[AddressSpaceKind] = None
+    system_name: Optional[str] = None
+    system: Optional[SystemConfig] = None
+    comm_params: Optional[CommParams] = None
+
+    def __post_init__(self) -> None:
+        selectors = sum(
+            x is not None for x in (self.case, self.mechanism, self.channel)
+        )
+        if selectors != 1:
+            from repro.errors import SimulationError
+
+            raise SimulationError(
+                "a SimJob needs exactly one of case/mechanism/channel, "
+                f"got {selectors}"
+            )
+
+    def cache_key(self) -> Optional[Tuple]:
+        """A stable memoization key, or ``None`` when the job is uncacheable.
+
+        Explicit channel objects are stateful (their counters accumulate
+        across transfers), so jobs carrying one are never memoized. The
+        ``system_name`` label is deliberately *excluded*: two jobs differing
+        only in the display label share a result, and the cache re-labels on
+        hit.
+        """
+        if self.channel is not None:
+            return None
+        try:
+            key = (
+                self.trace,
+                self.case,
+                self.mechanism,
+                self.async_overlap,
+                self.address_space,
+                self.system,
+                self.comm_params,
+            )
+            hash(key)
+        except TypeError:
+            return None
+        return key
+
+
+def run_sim_job(job: SimJob) -> SimulationResult:
+    """Execute one job (the worker function run inside pool processes)."""
+    from repro.sim.fast import FastSimulator
+
+    simulator = FastSimulator(job.system, job.comm_params)
+    channel = job.channel
+    if channel is None and job.mechanism is not None:
+        channel = make_channel(
+            job.mechanism,
+            params=simulator.comm_params,
+            system=simulator.system,
+            async_overlap=job.async_overlap,
+        )
+    return simulator.run(
+        job.trace,
+        case=job.case,
+        channel=channel,
+        address_space=job.address_space,
+        system_name=job.system_name,
+    )

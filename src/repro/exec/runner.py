@@ -1,0 +1,165 @@
+"""Order-preserving parallel execution of simulation jobs.
+
+:class:`ParallelRunner` fans a batch of :class:`~repro.exec.job.SimJob`s out
+over a :class:`concurrent.futures.ProcessPoolExecutor` and returns results
+in submission order, so a parallel run is bit-identical to a serial one
+(the fast simulator is deterministic pure arithmetic and each job carries
+its full configuration). Three situations fall back to a deterministic
+in-process loop:
+
+- ``jobs <= 1`` (the default) — no pool is ever created;
+- a batch whose jobs do not pickle (e.g. a hand-built channel holding a
+  closure) — detected up front, before any worker starts;
+- pool creation failing outright (restricted environments without
+  ``fork``/semaphores).
+
+The runner also owns the memo integration: batches route through a
+:class:`~repro.exec.cache.ResultCache` so that duplicate jobs — the common
+case when ranking a design space whose points differ only in axes that do
+not affect timing — are simulated once and re-labeled on retrieval.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, TypeVar
+
+from repro.exec.cache import ResultCache
+from repro.exec.job import SimJob, run_sim_job
+from repro.exec.stats import RunStats
+from repro.sim.results import SimulationResult
+
+__all__ = ["ParallelRunner"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def _picklable(value: object) -> bool:
+    try:
+        pickle.dumps(value)
+    except Exception:
+        return False
+    return True
+
+
+class ParallelRunner:
+    """Executes job batches, in order, across worker processes.
+
+    ``jobs`` is the worker-process count; ``stats`` (a :class:`RunStats`)
+    accumulates submission/completion counts and per-stage wall-clock.
+    """
+
+    def __init__(self, jobs: int = 1, stats: Optional[RunStats] = None) -> None:
+        if jobs < 1:
+            from repro.errors import SimulationError
+
+            raise SimulationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.stats = stats or RunStats()
+
+    # -- generic order-preserving map --------------------------------------
+
+    def map(
+        self,
+        func: Callable[[T], R],
+        items: Sequence[T],
+        stage: str = "map",
+    ) -> List[R]:
+        """Apply ``func`` to every item, returning results in item order.
+
+        ``func`` must be a module-level callable for the pool path; when the
+        pool cannot be used (single worker, unpicklable payload, no process
+        support) the same loop runs in-process, in the same order.
+        """
+        items = list(items)
+        self.stats.record_submitted(len(items))
+        with self.stats.stage(stage):
+            results = self._execute(func, items)
+        self.stats.record_completed(len(results))
+        return results
+
+    def _execute(self, func: Callable[[T], R], items: List[T]) -> List[R]:
+        if self.jobs <= 1 or len(items) <= 1:
+            return [func(item) for item in items]
+        if not (_picklable(func) and all(_picklable(item) for item in items)):
+            return [func(item) for item in items]
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=min(self.jobs, len(items))) as pool:
+                # submit() in order, collect in order: identical to serial.
+                futures = [pool.submit(func, item) for item in items]
+                return [future.result() for future in futures]
+        except (OSError, ImportError, PermissionError):
+            # No usable process support (sandboxed interpreter): degrade to
+            # the deterministic in-process path.
+            return [func(item) for item in items]
+
+    # -- simulation batches with memoization -------------------------------
+
+    def run_jobs(
+        self,
+        jobs: Sequence[SimJob],
+        result_cache: Optional[ResultCache] = None,
+        stage: str = "simulate",
+    ) -> List[SimulationResult]:
+        """Run a batch of simulation jobs, in order, through the memo cache.
+
+        Jobs whose :meth:`~SimJob.cache_key` is already cached are served
+        without simulating; duplicate keys within the batch simulate once.
+        Uncacheable jobs (explicit channels) always run.
+        """
+        jobs = list(jobs)
+        hits_before = result_cache.hits if result_cache is not None else 0
+        misses_before = result_cache.misses if result_cache is not None else 0
+        results: List[Optional[SimulationResult]] = [None] * len(jobs)
+        pending_key: Dict[Hashable, int] = {}
+        dedup_slots: List[int] = []
+        to_run: List[SimJob] = []
+        run_slots: List[int] = []
+
+        for index, job in enumerate(jobs):
+            key = job.cache_key()
+            if key is None:
+                to_run.append(job)
+                run_slots.append(index)
+                continue
+            if key in pending_key:
+                dedup_slots.append(index)  # resolved after the batch runs
+                continue
+            if result_cache is not None:
+                cached = result_cache.get(key, system_name=job.system_name)
+                if cached is not None:
+                    results[index] = cached
+                    continue
+            pending_key[key] = index
+            to_run.append(job)
+            run_slots.append(index)
+
+        computed = self.map(run_sim_job, to_run, stage=stage)
+        for slot, job, result in zip(run_slots, to_run, computed):
+            results[slot] = result
+            key = job.cache_key()
+            if key is not None and result_cache is not None:
+                result_cache.put(key, result)
+
+        if dedup_slots:
+            memo = result_cache or ResultCache()
+            if result_cache is None:
+                for slot in run_slots:
+                    key = jobs[slot].cache_key()
+                    if key is not None:
+                        memo.put(key, results[slot])
+            for slot in dedup_slots:
+                job = jobs[slot]
+                results[slot] = memo.get(job.cache_key(), system_name=job.system_name)
+
+        if result_cache is not None:
+            self.stats.record_cache(
+                result_cache.hits - hits_before,
+                result_cache.misses - misses_before,
+            )
+
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]

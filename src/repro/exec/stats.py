@@ -1,0 +1,90 @@
+"""Lightweight run metrics for the exploration runtime.
+
+A :class:`RunStats` travels with a :class:`~repro.exec.runner.ParallelRunner`
+and records, per named stage, how many jobs were submitted to workers, how
+many completed, and the stage's wall-clock time; cache hit rates are merged
+in from the memo layer. The object is cheap enough to keep always-on and
+renders as a one-line summary for CLI output.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+__all__ = ["RunStats"]
+
+
+class RunStats:
+    """Counters and wall-clock timings for one exploration run."""
+
+    def __init__(self) -> None:
+        self.jobs_submitted = 0
+        self.jobs_completed = 0
+        self.stage_seconds: Dict[str, float] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def record_submitted(self, count: int = 1) -> None:
+        self.jobs_submitted += count
+
+    def record_completed(self, count: int = 1) -> None:
+        self.jobs_completed += count
+
+    def record_cache(self, hits: int, misses: int) -> None:
+        self.cache_hits += hits
+        self.cache_misses += misses
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a named stage; repeated stages accumulate."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + elapsed
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def cache_lookups(self) -> int:
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.cache_lookups if self.cache_lookups else 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.stage_seconds.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        data: Dict[str, float] = {
+            "jobs_submitted": self.jobs_submitted,
+            "jobs_completed": self.jobs_completed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+        }
+        for name, seconds in self.stage_seconds.items():
+            data[f"seconds[{name}]"] = seconds
+        return data
+
+    def summary(self) -> str:
+        stages = ", ".join(
+            f"{name} {seconds * 1e3:.1f}ms"
+            for name, seconds in self.stage_seconds.items()
+        )
+        return (
+            f"jobs {self.jobs_completed}/{self.jobs_submitted} completed; "
+            f"cache {self.cache_hits}/{self.cache_lookups} hits "
+            f"({self.cache_hit_rate:.0%})"
+            + (f"; stages: {stages}" if stages else "")
+        )
+
+    def __repr__(self) -> str:
+        return f"<RunStats {self.summary()}>"

@@ -80,6 +80,21 @@ class Cache(MemoryLevel):
         """Hit latency in seconds."""
         return self.frequency.cycles_to_seconds(self.config.latency)
 
+    def _write_back(self, index: int, block: CacheBlock) -> None:
+        """Send a dirty line's write-back traffic into the next level.
+
+        Off the critical path (the returned latency is discarded), but the
+        traffic must flow so lower-level byte/access statistics see it —
+        software-coherence flushes otherwise under-report.
+        """
+        self.writebacks += 1
+        if self.next_level is None:
+            return
+        addr = (block.tag * self._num_sets + index) * self._line
+        self.next_level.access(
+            MemRequest(addr=addr, size=self._line, is_write=True)
+        )
+
     # -- the MemoryLevel interface ----------------------------------------
 
     def access(self, request: MemRequest) -> AccessResult:
@@ -200,7 +215,7 @@ class Cache(MemoryLevel):
         if block.valid:
             self.evictions += 1
             if block.dirty and self.config.write_back:
-                self.writebacks += 1
+                self._write_back(index, block)
         block.fill(tag, self._tick, explicit=True)
 
     def contains(self, addr: int) -> bool:
@@ -230,12 +245,12 @@ class Cache(MemoryLevel):
         Returns the number of dirty lines written back.
         """
         dirty = 0
-        for blocks in self._sets:
+        for index, blocks in enumerate(self._sets):
             for block in blocks:
                 if block.valid:
                     if block.dirty:
                         dirty += 1
-                        self.writebacks += 1
+                        self._write_back(index, block)
                     block.invalidate()
         self.flushes += 1
         return dirty
@@ -269,3 +284,5 @@ class Cache(MemoryLevel):
         self.hits = self.misses = self.evictions = 0
         self.writebacks = self.bypasses = self.invalidations = self.flushes = 0
         self._mshr.reset()
+        if self.prefetcher is not None:
+            self.prefetcher.reset()

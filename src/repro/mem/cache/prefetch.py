@@ -39,6 +39,11 @@ class NextLinePrefetcher:
         """A demand access hit a prefetched block."""
         self.useful += 1
 
+    def reset(self) -> None:
+        """Zero the issued/useful counters (cache stats reset)."""
+        self.issued = 0
+        self.useful = 0
+
     @property
     def accuracy(self) -> float:
         return self.useful / self.issued if self.issued else 0.0

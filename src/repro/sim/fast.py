@@ -97,7 +97,16 @@ class FastSimulator:
                 compute_seconds[index] = (cpu_t, gpu_t)
 
         # Pass 2: price communications, offering adjacent parallel phases
-        # as overlap windows to asynchronous channels.
+        # as overlap windows to asynchronous channels. Each parallel phase
+        # has a finite overlap budget (its own duration): an H2D copy before
+        # it and a D2H copy after it draw from the *same* budget, so the
+        # total communication hidden under one phase can never exceed the
+        # time that phase actually runs.
+        overlap_budget: Dict[int, float] = {
+            index: max(cpu_t, gpu_t)
+            for index, (cpu_t, gpu_t) in compute_seconds.items()
+            if isinstance(trace.phases[index], ParallelPhase)
+        }
         sequential = parallel = communication = 0.0
         phase_timings: List[PhaseTiming] = []
         for index, phase in enumerate(trace.phases):
@@ -121,8 +130,13 @@ class FastSimulator:
                     )
                 )
             elif isinstance(phase, CommPhase):
-                window = self._overlap_window(trace, index, compute_seconds)
+                target = self._overlap_phase_index(trace, index)
+                window = overlap_budget.get(target, 0.0) if target is not None else 0.0
                 result = channel.transfer(phase, overlap_window=window)
+                if target is not None and result.overlapped > 0.0:
+                    overlap_budget[target] = max(
+                        0.0, overlap_budget[target] - result.overlapped
+                    )
                 communication += result.exposed
                 phase_timings.append(
                     PhaseTiming(
@@ -155,17 +169,15 @@ class FastSimulator:
         )
 
     @staticmethod
-    def _overlap_window(
-        trace: KernelTrace,
-        comm_index: int,
-        compute_seconds: Dict[int, Tuple[float, float]],
-    ) -> float:
-        """Computation time an async copy at ``comm_index`` could hide under.
+    def _overlap_phase_index(trace: KernelTrace, comm_index: int) -> Optional[int]:
+        """The parallel phase an async copy at ``comm_index`` hides under.
 
         Host-to-device copies overlap the *following* parallel phase
         (double buffering: the kernel starts on early chunks while later
         chunks stream in); device-to-host copies overlap the *preceding*
-        one (results stream out as they finish).
+        one (results stream out as they finish). How much time the copy may
+        actually claim is that phase's remaining overlap budget, tracked by
+        :meth:`run`.
         """
         phases = trace.phases
         # Look forward for H2D, backward for D2H.
@@ -180,8 +192,7 @@ class FastSimulator:
         )
         for j in indices:
             if isinstance(phases[j], ParallelPhase):
-                cpu_t, gpu_t = compute_seconds[j]
-                return max(cpu_t, gpu_t)
+                return j
             if isinstance(phases[j], CommPhase):
                 break
-        return 0.0
+        return None

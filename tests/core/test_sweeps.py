@@ -39,6 +39,52 @@ class TestRepartition:
             with pytest.raises(DesignSpaceError):
                 repartition(trace, bad)
 
+    @staticmethod
+    def _one_sided_trace(cpu_n, gpu_n):
+        from repro.taxonomy import ProcessingUnit
+        from repro.trace.mix import InstructionMix
+        from repro.trace.phase import CommPhase, Direction, ParallelPhase, Segment
+        from repro.trace.stream import KernelTrace
+
+        return KernelTrace(
+            name="one-sided",
+            phases=(
+                CommPhase(direction=Direction.H2D, num_bytes=4096),
+                ParallelPhase(
+                    label="lopsided",
+                    cpu=Segment(pu=ProcessingUnit.CPU, mix=InstructionMix(int_alu=cpu_n)),
+                    gpu=Segment(pu=ProcessingUnit.GPU, mix=InstructionMix(int_alu=gpu_n)),
+                ),
+                CommPhase(direction=Direction.D2H, num_bytes=4096),
+            ),
+        )
+
+    def test_one_sided_phase_conserves_total_work(self):
+        """Regression: a phase with an empty GPU side used to *drop* the
+        share destined for the empty side (scaling 0 instructions by any
+        factor is still 0), shrinking the kernel."""
+        trace = self._one_sided_trace(cpu_n=10_000, gpu_n=0)
+        skewed = repartition(trace, 0.3)
+        assert (
+            skewed.cpu_instructions + skewed.gpu_instructions
+            == trace.cpu_instructions + trace.gpu_instructions
+        )
+        # The busy side keeps everything; nothing materializes on the
+        # empty side either.
+        assert skewed.cpu_instructions == 10_000
+        assert skewed.gpu_instructions == 0
+
+    def test_empty_gpu_side_in_either_direction(self):
+        trace = self._one_sided_trace(cpu_n=0, gpu_n=7_000)
+        skewed = repartition(trace, 0.8)
+        assert skewed.gpu_instructions == 7_000
+        assert skewed.cpu_instructions == 0
+
+    def test_phase_with_no_work_at_all_raises(self):
+        trace = self._one_sided_trace(cpu_n=0, gpu_n=0)
+        with pytest.raises(DesignSpaceError, match="no work on either PU"):
+            repartition(trace, 0.5)
+
 
 class TestBandwidthSweep:
     def test_faster_link_reduces_comm(self):
@@ -84,6 +130,19 @@ class TestPartitionSweep:
         assert results[0.1].total_seconds == max(
             r.total_seconds for r in results.values()
         )
+
+
+class TestSweepJobs:
+    def test_parallel_bandwidth_sweep_matches_serial(self):
+        rates = [4.0, 8.0, 16.0, 32.0]
+        serial = sweep_pci_bandwidth(kernel("reduction"), rates)
+        parallel = sweep_pci_bandwidth(kernel("reduction"), rates, jobs=2)
+        assert serial == parallel
+
+    def test_parallel_fault_granularity_matches_serial(self):
+        serial = sweep_fault_granularity(kernel("reduction"))
+        parallel = sweep_fault_granularity(kernel("reduction"), jobs=2)
+        assert serial == parallel
 
 
 class TestApertureSizing:

@@ -1,0 +1,117 @@
+"""Tests for the exploration runtime's memo caches."""
+
+import pytest
+
+from repro.config.presets import case_study
+from repro.exec.cache import SHARED_TRACE_CACHE, MemoCache, ResultCache, TraceCache
+from repro.exec.job import SimJob, run_sim_job
+from repro.kernels.registry import kernel
+
+
+class TestMemoCache:
+    def test_miss_then_hit_accounting(self):
+        cache = MemoCache()
+        calls = []
+        assert cache.get_or_compute("k", lambda: calls.append(1) or 41) == 41
+        assert cache.get_or_compute("k", lambda: calls.append(1) or 99) == 41
+        assert len(calls) == 1  # second lookup never recomputes
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.lookups == 2
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_contains_and_len(self):
+        cache = MemoCache()
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("b", lambda: 2)
+        assert "a" in cache and "b" in cache and "c" not in cache
+        assert len(cache) == 2
+
+    def test_clear_drops_entries_and_counters(self):
+        cache = MemoCache()
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("a", lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 0 and cache.misses == 0
+        assert cache.hit_rate == 0.0
+        # The key is really gone: next lookup recomputes.
+        assert cache.get_or_compute("a", lambda: 7) == 7
+        assert cache.misses == 1
+
+    def test_stats_dict(self):
+        cache = MemoCache()
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("a", lambda: 1)
+        stats = cache.stats()
+        assert stats == {"entries": 1, "hits": 1, "misses": 1, "hit_rate": 0.5}
+
+
+class TestTraceCache:
+    def test_returns_identical_object_on_hit(self):
+        cache = TraceCache()
+        k = kernel("reduction")
+        first = cache.get(k)
+        second = cache.get(k)
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_cached_trace_equals_fresh_generation(self):
+        cache = TraceCache()
+        k = kernel("dct")
+        assert cache.get(k) == k.trace()
+
+    def test_shape_is_part_of_the_key(self):
+        cache = TraceCache()
+        k = kernel("reduction")
+        default = cache.get(k)
+        small = cache.get(k, k.for_size(1024))
+        assert default is not small
+        assert cache.misses == 2
+        assert cache.get(k, k.for_size(1024)) is small
+
+    def test_shared_instance_is_the_explorer_default(self):
+        from repro.core.explorer import Explorer
+
+        assert Explorer().trace_cache is SHARED_TRACE_CACHE
+        private = TraceCache()
+        assert Explorer(trace_cache=private).trace_cache is private
+
+
+class TestResultCache:
+    def _result(self, system_name=None):
+        job = SimJob(
+            trace=kernel("reduction").trace(),
+            case=case_study("CPU+GPU"),
+            system_name=system_name,
+        )
+        return job, run_sim_job(job)
+
+    def test_miss_returns_none_and_counts(self):
+        cache = ResultCache()
+        assert cache.get(("missing",)) is None
+        assert cache.misses == 1 and cache.hits == 0
+
+    def test_put_then_get_counts_hit(self):
+        cache = ResultCache()
+        job, result = self._result()
+        cache.put(job.cache_key(), result)
+        assert cache.get(job.cache_key()) is result
+        assert cache.hits == 1
+
+    def test_hit_relabels_without_mutating_the_stored_result(self):
+        cache = ResultCache()
+        job, result = self._result()
+        cache.put(job.cache_key(), result)
+        relabeled = cache.get(job.cache_key(), system_name="PCI/DIS")
+        assert relabeled.system == "PCI/DIS"
+        assert relabeled.total_seconds == result.total_seconds
+        assert relabeled.breakdown == result.breakdown
+        assert relabeled.phases == result.phases
+        # The cached original keeps its own label for future hits.
+        assert cache.get(job.cache_key()).system == result.system
+
+    def test_matching_label_skips_the_copy(self):
+        cache = ResultCache()
+        job, result = self._result()
+        cache.put(job.cache_key(), result)
+        assert cache.get(job.cache_key(), system_name=result.system) is result

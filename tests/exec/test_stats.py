@@ -1,0 +1,74 @@
+"""Tests for the exploration runtime's run statistics."""
+
+import pytest
+
+from repro.exec.stats import RunStats
+
+
+class TestCounters:
+    def test_submitted_and_completed_accumulate(self):
+        stats = RunStats()
+        stats.record_submitted(5)
+        stats.record_submitted()
+        stats.record_completed(6)
+        assert stats.jobs_submitted == 6
+        assert stats.jobs_completed == 6
+
+    def test_cache_hit_rate(self):
+        stats = RunStats()
+        assert stats.cache_hit_rate == 0.0  # no lookups yet
+        stats.record_cache(hits=3, misses=1)
+        stats.record_cache(hits=1, misses=1)
+        assert stats.cache_lookups == 6
+        assert stats.cache_hit_rate == pytest.approx(4 / 6)
+
+
+class TestStages:
+    def test_stage_records_wall_clock(self):
+        stats = RunStats()
+        with stats.stage("simulate"):
+            pass
+        assert stats.stage_seconds["simulate"] >= 0.0
+        assert stats.total_seconds == sum(stats.stage_seconds.values())
+
+    def test_repeated_stages_accumulate(self):
+        stats = RunStats()
+        with stats.stage("simulate"):
+            pass
+        first = stats.stage_seconds["simulate"]
+        with stats.stage("simulate"):
+            pass
+        assert stats.stage_seconds["simulate"] >= first
+        assert len(stats.stage_seconds) == 1
+
+    def test_stage_survives_exceptions(self):
+        stats = RunStats()
+        with pytest.raises(ValueError):
+            with stats.stage("boom"):
+                raise ValueError("simulated failure")
+        assert "boom" in stats.stage_seconds
+
+
+class TestReporting:
+    def test_as_dict_has_stage_entries(self):
+        stats = RunStats()
+        stats.record_submitted(2)
+        stats.record_completed(2)
+        with stats.stage("rank"):
+            pass
+        data = stats.as_dict()
+        assert data["jobs_submitted"] == 2
+        assert data["jobs_completed"] == 2
+        assert "seconds[rank]" in data
+
+    def test_summary_mentions_jobs_cache_and_stages(self):
+        stats = RunStats()
+        stats.record_submitted(4)
+        stats.record_completed(4)
+        stats.record_cache(hits=6, misses=2)
+        with stats.stage("rank"):
+            pass
+        text = stats.summary()
+        assert "jobs 4/4 completed" in text
+        assert "cache 6/8 hits (75%)" in text
+        assert "rank" in text

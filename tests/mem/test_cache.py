@@ -28,6 +28,18 @@ def write(addr, t=0.0):
     return MemRequest(addr=addr, is_write=True, issue_time=t)
 
 
+class _RecordingMemory(FixedLatencyMemory):
+    """A backing store that remembers every request it services."""
+
+    def __init__(self):
+        super().__init__(BACKING_LATENCY, "recording")
+        self.requests = []
+
+    def access(self, request):
+        self.requests.append(request)
+        return super().access(request)
+
+
 class TestHitMiss:
     def test_cold_miss_then_hit(self):
         cache, _ = make_cache()
@@ -108,6 +120,53 @@ class TestEvictionAndWriteback:
         assert cache.flush() == 2
         assert not cache.contains(0)
 
+    def test_flush_forwards_writeback_traffic_to_next_level(self):
+        """Regression: a software-coherence flush must push its dirty data
+        into the next level, or lower-level traffic stats under-report."""
+        cache, backing = make_cache()
+        cache.access(write(0))
+        cache.access(write(64))
+        cache.access(read(128))
+        writes_before = backing.stats()["writes"]
+        cache.flush()
+        assert backing.stats()["writes"] == writes_before + 2
+        assert cache.writebacks == 2
+
+    def test_flush_writeback_reconstructs_the_line_address(self):
+        recorder = _RecordingMemory()
+        config = CacheConfig("test", 4 * KB, ways=4, latency=2)
+        cache = Cache(config, FREQ, next_level=recorder)
+        addr = 0x1540  # arbitrary line well past set 0
+        cache.access(write(addr))
+        recorder.requests.clear()
+        cache.flush()
+        (req,) = recorder.requests
+        assert req.is_write
+        assert req.addr == (addr // 64) * 64  # the victim's line address
+        assert req.size == 64
+
+    def test_push_line_dirty_victim_writes_back_to_next_level(self):
+        """Regression: an explicit push evicting a dirty victim dropped the
+        victim's data instead of writing it back."""
+        cache, backing = make_cache()
+        stride = 16 * 64
+        for i in range(4):  # fill one set with dirty lines
+            cache.access(write(i * stride))
+        writes_before = backing.stats()["writes"]
+        cache.push_line(4 * stride)
+        assert cache.writebacks == 1
+        assert backing.stats()["writes"] == writes_before + 1
+
+    def test_push_line_clean_victim_stays_silent(self):
+        cache, backing = make_cache()
+        stride = 16 * 64
+        for i in range(4):
+            cache.access(read(i * stride))
+        accesses_before = backing.stats()["accesses"]
+        cache.push_line(4 * stride)
+        assert cache.writebacks == 0
+        assert backing.stats()["accesses"] == accesses_before
+
 
 class TestMSHRMerging:
     def test_concurrent_miss_to_same_line_merges(self):
@@ -166,6 +225,25 @@ class TestInvalidation:
         assert stats["hits"] == 1 and stats["misses"] == 1
         cache.reset_stats()
         assert cache.stats()["hits"] == 0
+
+    def test_reset_stats_also_resets_the_prefetcher(self):
+        """Regression: reset_stats zeroed the cache counters but left the
+        prefetcher's issued/useful counts accumulating across epochs."""
+        from repro.mem.cache.prefetch import NextLinePrefetcher
+
+        config = CacheConfig("test", 4 * KB, ways=4, latency=2)
+        backing = FixedLatencyMemory(BACKING_LATENCY, "backing")
+        cache = Cache(
+            config, FREQ, next_level=backing, prefetcher=NextLinePrefetcher()
+        )
+        cache.access(read(0))  # miss -> prefetch issued
+        cache.access(read(64))  # hits the prefetched line -> useful
+        assert cache.stats()["prefetches_issued"] > 0
+        assert cache.stats()["prefetches_useful"] > 0
+        cache.reset_stats()
+        assert cache.stats()["prefetches_issued"] == 0
+        assert cache.stats()["prefetches_useful"] == 0
+        assert cache.stats()["prefetch_accuracy"] == 0.0
 
 
 class TestErrors:

@@ -1,0 +1,78 @@
+"""Property-based tests for the parameter sweeps (repartitioning)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sweeps import repartition
+from repro.kernels.registry import all_kernels
+from repro.taxonomy import ProcessingUnit
+from repro.trace.mix import InstructionMix
+from repro.trace.phase import CommPhase, Direction, ParallelPhase, Segment
+from repro.trace.stream import KernelTrace
+
+kernel_strategy = st.sampled_from(all_kernels())
+fraction_strategy = st.floats(min_value=0.02, max_value=0.98)
+
+
+def one_sided_trace(cpu_n: int, gpu_n: int) -> KernelTrace:
+    return KernelTrace(
+        name="synthetic",
+        phases=(
+            CommPhase(direction=Direction.H2D, num_bytes=1024),
+            ParallelPhase(
+                label="phase",
+                cpu=Segment(pu=ProcessingUnit.CPU, mix=InstructionMix(int_alu=cpu_n)),
+                gpu=Segment(pu=ProcessingUnit.GPU, mix=InstructionMix(int_alu=gpu_n)),
+            ),
+            CommPhase(direction=Direction.D2H, num_bytes=1024),
+        ),
+    )
+
+
+class TestRepartitionConservation:
+    @given(k=kernel_strategy, fraction=fraction_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_total_mix_is_preserved(self, k, fraction):
+        """The headline invariant: re-splitting moves work between PUs,
+        it never creates or destroys instructions (up to per-field
+        rounding in the scaled mixes)."""
+        trace = k.trace()
+        skewed = repartition(trace, fraction)
+        before = trace.cpu_instructions + trace.gpu_instructions
+        after = skewed.cpu_instructions + skewed.gpu_instructions
+        # Each of the ~9 mix fields on each side rounds independently.
+        assert abs(after - before) <= 32
+
+    @given(k=kernel_strategy, fraction=fraction_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_fraction_is_respected(self, k, fraction):
+        skewed = repartition(k.trace(), fraction)
+        total = skewed.cpu_instructions + skewed.gpu_instructions
+        assert abs(skewed.cpu_instructions / total - fraction) < 0.01
+
+    @given(k=kernel_strategy, fraction=fraction_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_structure_untouched(self, k, fraction):
+        trace = k.trace()
+        skewed = repartition(trace, fraction)
+        assert len(skewed.phases) == len(trace.phases)
+        assert skewed.num_communications == trace.num_communications
+        assert skewed.total_transfer_bytes == trace.total_transfer_bytes
+        assert skewed.serial_instructions == trace.serial_instructions
+
+    @given(
+        cpu_n=st.integers(min_value=1, max_value=10**7),
+        fraction=fraction_strategy,
+        cpu_side=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_one_sided_phases_conserve_exactly(self, cpu_n, fraction, cpu_side):
+        """Zero-side phases cannot rebalance, so they must pass through
+        bit-for-bit (the pre-fix code silently dropped the moved share)."""
+        trace = (
+            one_sided_trace(cpu_n, 0) if cpu_side else one_sided_trace(0, cpu_n)
+        )
+        skewed = repartition(trace, fraction)
+        assert skewed.cpu_instructions == trace.cpu_instructions
+        assert skewed.gpu_instructions == trace.gpu_instructions
+        assert skewed.phases == trace.phases

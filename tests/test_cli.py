@@ -26,6 +26,27 @@ class TestFigures:
         assert f"Figure {number}" in out
 
 
+class TestJobsFlag:
+    def test_figure_with_jobs_and_stats(self, capsys):
+        assert main(["figure", "5", "--jobs", "2", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "[run]" in out and "completed" in out
+
+    def test_rank_with_jobs_matches_serial_output(self, capsys):
+        assert main(["rank", "--top", "3", "--sample", "6"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["rank", "--top", "3", "--sample", "6", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_rejects_invalid_jobs(self, capsys):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            main(["rank", "--jobs", "0", "--sample", "6"])
+
+
 class TestCompare:
     def test_compare_exits_zero_when_all_pass(self, capsys):
         assert main(["compare"]) == 0
