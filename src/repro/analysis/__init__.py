@@ -13,8 +13,12 @@ from repro.analysis.figures import figure5_data, figure6_data, figure7_data
 from repro.analysis.tables import table1, table2, table3, table4, table5
 from repro.analysis.compare import Check, compare_all
 from repro.analysis.export import collect_results, export_results
+from repro.analysis.metrics_diff import diff_metrics, format_metrics_diff, load_metrics
 
 __all__ = [
+    "load_metrics",
+    "diff_metrics",
+    "format_metrics_diff",
     "table1",
     "table2",
     "table3",

@@ -1,0 +1,97 @@
+"""Diff two metrics exports (the ``repro-explore metrics-diff`` backend).
+
+Two runs of the same experiment — before and after a model change, at
+different job counts, with a different simulator — each write a metrics
+file via ``--metrics-out``. This module loads either format (the
+``metric,value`` CSV or the flat JSON object), subtracts them sample by
+sample over the union of names, and renders the non-zero deltas as an
+aligned report, largest relative change first.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigError
+from repro.obs.metrics import MetricSnapshot
+
+__all__ = ["load_metrics", "diff_metrics", "format_metrics_diff"]
+
+
+def load_metrics(path: str) -> MetricSnapshot:
+    """Load a ``--metrics-out`` file (CSV with a header, or a JSON object)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ConfigError(f"cannot read metrics file {path!r}: {exc}") from exc
+    stripped = text.lstrip()
+    if not stripped:
+        raise ConfigError(f"metrics file {path!r} is empty")
+    if stripped.startswith("{"):
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ConfigError(f"metrics JSON {path!r} must be a flat object")
+        return MetricSnapshot({str(k): float(v) for k, v in data.items()})
+    samples: Dict[str, float] = {}
+    reader = csv.reader(text.splitlines())
+    for row_number, row in enumerate(reader):
+        if not row:
+            continue
+        if row_number == 0 and row[0].strip().lower() == "metric":
+            continue  # header line
+        if len(row) < 2:
+            raise ConfigError(
+                f"metrics CSV {path!r} line {row_number + 1}: expected metric,value"
+            )
+        try:
+            samples[row[0]] = float(row[1])
+        except ValueError as exc:
+            raise ConfigError(
+                f"metrics CSV {path!r} line {row_number + 1}: {exc}"
+            ) from exc
+    return MetricSnapshot(samples)
+
+
+def diff_metrics(before: MetricSnapshot, after: MetricSnapshot) -> MetricSnapshot:
+    """Per-sample ``after - before`` over the union of metric names."""
+    return after.diff(before)
+
+
+def _relative(delta: float, base: float) -> float:
+    if base:
+        return delta / abs(base)
+    return float("inf") if delta else 0.0
+
+
+def format_metrics_diff(
+    before: MetricSnapshot,
+    after: MetricSnapshot,
+    include_unchanged: bool = False,
+) -> str:
+    """An aligned before/after/delta report, largest relative change first."""
+    delta = diff_metrics(before, after)
+    rows: List[Tuple[str, float, float, float, float]] = []
+    for name in sorted(delta):
+        d = delta[name]
+        if d == 0.0 and not include_unchanged:
+            continue
+        b = before.get(name, 0.0)
+        a = after.get(name, 0.0)
+        rows.append((name, b, a, d, _relative(d, b)))
+    if not rows:
+        return "no metric changed"
+    rows.sort(key=lambda row: (-abs(row[4]), row[0]))
+    width = max(len(row[0]) for row in rows)
+    lines = [
+        f"{'metric'.ljust(width)}  {'before':>14}  {'after':>14}  "
+        f"{'delta':>14}  {'rel':>8}"
+    ]
+    for name, b, a, d, rel in rows:
+        rel_text = "new" if rel == float("inf") else f"{rel:+.1%}"
+        lines.append(
+            f"{name.ljust(width)}  {b:>14.6g}  {a:>14.6g}  {d:>+14.6g}  {rel_text:>8}"
+        )
+    return "\n".join(lines)

@@ -6,21 +6,91 @@ Installed as ``repro-explore``::
     repro-explore figure 6
     repro-explore compare
     repro-explore rank --top 10
+    repro-explore figure 5 --trace-out fig5.json --metrics-out fig5.csv
+    repro-explore metrics-diff before.csv after.csv
+
+All output goes through the structured ``repro`` logger onto stdout
+(byte-identical to plain printing by default); ``--quiet`` silences it and
+``-v`` adds debug detail. Exit codes: 0 success, 1 failed comparison
+checks, 2 configuration errors, 3 simulation errors.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.analysis import compare as compare_mod
-from repro.analysis import figures, tables
+from repro.analysis import figures, metrics_diff, tables
 from repro.core.explorer import Explorer
 from repro.core.report import format_table
 from repro.core.space import DesignSpace
+from repro.errors import (
+    ConfigError,
+    DesignSpaceError,
+    ProgramError,
+    ReproError,
+    TraceError,
+)
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.metrics import MetricSnapshot, write_metrics_csv, write_metrics_json
+from repro.obs.tracing import trace_from_results
+from repro.version import __version__
 
-__all__ = ["main"]
+__all__ = ["main", "EXIT_OK", "EXIT_CONFIG_ERROR", "EXIT_SIMULATION_ERROR"]
+
+#: Exit codes: configuration mistakes (bad flags/values) vs failures while
+#: actually simulating — scripts can tell them apart.
+EXIT_OK = 0
+EXIT_CONFIG_ERROR = 2
+EXIT_SIMULATION_ERROR = 3
+
+_log = get_logger("cli")
+
+
+def _out(text: str) -> None:
+    """Emit CLI output (INFO on stdout; ``--quiet`` silences it)."""
+    _log.info("%s", text)
+
+
+# -- observability sinks ------------------------------------------------------
+
+
+def _collect_metrics(explorer: Explorer) -> MetricSnapshot:
+    """One flat sample set for a finished run: summed simulation counters
+    (channel counters scoped under ``comm.``) plus the ``exec.`` runtime
+    metrics."""
+    totals: Dict[str, float] = {}
+    for result in explorer.last_results:
+        for key, value in result.counters.items():
+            name = key if "." in key else f"comm.{key}"
+            totals[name] = totals.get(name, 0.0) + value
+    for key, value in explorer.run_stats.metrics.as_dict().items():
+        totals[f"exec.{key}"] = value
+    return MetricSnapshot(totals)
+
+
+def _write_observability(args: argparse.Namespace, explorer: Explorer) -> None:
+    """Honor ``--trace-out`` / ``--metrics-out`` after a command's run."""
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if trace_out:
+        tracer = trace_from_results(
+            explorer.last_results, run_stats=explorer.run_stats
+        )
+        tracer.write(trace_out)
+        _out(f"wrote {trace_out}")
+    if metrics_out:
+        snapshot = _collect_metrics(explorer)
+        if metrics_out.endswith(".json"):
+            write_metrics_json(metrics_out, snapshot)
+        else:
+            write_metrics_csv(metrics_out, snapshot)
+        _out(f"wrote {metrics_out}")
+
+
+# -- subcommands --------------------------------------------------------------
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
@@ -31,8 +101,8 @@ def _cmd_table(args: argparse.Namespace) -> int:
         4: tables.table4,
         5: tables.table5,
     }
-    print(builders[args.number]())
-    return 0
+    _out(builders[args.number]())
+    return EXIT_OK
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -42,19 +112,20 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         6: figures.figure6_text,
         7: figures.figure7_text,
     }
-    print(builders[args.number](explorer))
+    _out(builders[args.number](explorer))
     if args.stats:
-        print(f"\n[run] {explorer.run_stats.summary()}")
-    return 0
+        _out(f"\n[run] {explorer.run_stats.summary()}")
+    _write_observability(args, explorer)
+    return EXIT_OK
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     checks = compare_mod.compare_all()
     for check in checks:
-        print(check.line())
+        _out(check.line())
     failed = sum(1 for c in checks if not c.passed)
-    print(f"\n{len(checks) - failed}/{len(checks)} checks passed")
-    return 1 if failed else 0
+    _out(f"\n{len(checks) - failed}/{len(checks)} checks passed")
+    return 1 if failed else EXIT_OK
 
 
 def _cmd_rank(args: argparse.Namespace) -> int:
@@ -74,7 +145,7 @@ def _cmd_rank(args: argparse.Namespace) -> int:
         )
         for e in evaluations
     ]
-    print(
+    _out(
         format_table(
             ("design point", "mean us", "comm%", "comm lines", "locality options"),
             rows,
@@ -82,8 +153,20 @@ def _cmd_rank(args: argparse.Namespace) -> int:
         )
     )
     if args.stats:
-        print(f"\n[run] {explorer.run_stats.summary()}")
-    return 0
+        _out(f"\n[run] {explorer.run_stats.summary()}")
+    _write_observability(args, explorer)
+    return EXIT_OK
+
+
+def _cmd_metrics_diff(args: argparse.Namespace) -> int:
+    before = metrics_diff.load_metrics(args.before)
+    after = metrics_diff.load_metrics(args.after)
+    _out(
+        metrics_diff.format_metrics_diff(
+            before, after, include_unchanged=args.all
+        )
+    )
+    return EXIT_OK
 
 
 def _cmd_guidelines(args: argparse.Namespace) -> int:
@@ -95,8 +178,8 @@ def _cmd_guidelines(args: argparse.Namespace) -> int:
         programmability=args.w_prog,
         versatility=args.w_options,
     )
-    print(EfficiencyMetric(weights=weights).guidelines())
-    return 0
+    _out(EfficiencyMetric(weights=weights).guidelines())
+    return EXIT_OK
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:
@@ -115,14 +198,14 @@ def _cmd_partition(args: argparse.Namespace) -> int:
                 f"{best.speedup_over_even:.2f}x",
             )
         )
-    print(
+    _out(
         format_table(
             ("kernel", "rate-based split", "optimal split", "speedup vs 50/50"),
             rows,
             title="Adaptive work partitioning (Qilin-style, paper ref [25])",
         )
     )
-    return 0
+    return EXIT_OK
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -130,10 +213,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     if args.path:
         path = write_report(args.path)
-        print(f"wrote {path}")
+        _out(f"wrote {path}")
     else:
-        print(full_report())
-    return 0
+        _out(full_report())
+    return EXIT_OK
 
 
 def _cmd_codegen(args: argparse.Namespace) -> int:
@@ -153,16 +236,16 @@ def _cmd_codegen(args: argparse.Namespace) -> int:
             path = out_dir / f"{slug}.{kind.short.lower()}.c"
             path.write_text(program.render() + "\n")
             count += 1
-    print(f"wrote {count} generated sources to {out_dir}/")
-    return 0
+    _out(f"wrote {count} generated sources to {out_dir}/")
+    return EXIT_OK
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.analysis.export import export_results
 
     path = export_results(args.path)
-    print(f"wrote {path}")
-    return 0
+    _out(f"wrote {path}")
+    return EXIT_OK
 
 
 def _cmd_litmus(args: argparse.Namespace) -> int:
@@ -184,14 +267,14 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
                 test.description,
             )
         )
-    print(
+    _out(
         format_table(
             ("litmus", "strong (SC)", "weak (buffered)", "description"),
             rows,
             title="Consistency-model litmus verdicts (Table I's consistency axis)",
         )
     )
-    return 0
+    return EXIT_OK
 
 
 def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
@@ -208,6 +291,20 @@ def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print runtime job/cache statistics after the output",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace_event JSON timeline of the run "
+        "(open in Perfetto or chrome://tracing)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the run's aggregated metrics (CSV, or JSON if the "
+        "path ends in .json)",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -215,6 +312,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="repro-explore",
         description="Design-space exploration of heterogeneous memory models "
         "(reproduction of Lim & Kim, MSPC 2012)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="debug logging (runner fallbacks, cache behaviour)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress all output except errors",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -237,6 +350,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     _add_jobs_arg(p_rank)
     p_rank.set_defaults(func=_cmd_rank)
+
+    p_diff = sub.add_parser(
+        "metrics-diff",
+        help="diff two --metrics-out files (largest relative change first)",
+    )
+    p_diff.add_argument("before", help="baseline metrics file (CSV or JSON)")
+    p_diff.add_argument("after", help="comparison metrics file (CSV or JSON)")
+    p_diff.add_argument(
+        "--all",
+        action="store_true",
+        help="include unchanged metrics in the report",
+    )
+    p_diff.set_defaults(func=_cmd_metrics_diff)
 
     p_guide = sub.add_parser(
         "guidelines", help="efficiency guidelines per address space (future work, §VII)"
@@ -278,7 +404,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_codegen.set_defaults(func=_cmd_codegen)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    configure_logging(-1 if args.quiet else args.verbose)
+    try:
+        return args.func(args)
+    except (ConfigError, TraceError, ProgramError, DesignSpaceError) as exc:
+        print(f"repro-explore: configuration error: {exc}", file=sys.stderr)
+        return EXIT_CONFIG_ERROR
+    except ReproError as exc:
+        print(f"repro-explore: simulation error: {exc}", file=sys.stderr)
+        return EXIT_SIMULATION_ERROR
 
 
 if __name__ == "__main__":

@@ -51,33 +51,40 @@ class ApertureChannel(CommChannel):
             )
         self.page_bytes = page_bytes
         self.fault_granularity = fault_granularity
-        self.page_faults = 0
-        self.ownership_actions = 0
-        self.transfer_calls = 0
+        self._page_faults = self.metrics.counter(
+            "page_faults", unit="faults", description="first-touch faults in the window"
+        )
+        self._ownership_actions = self.metrics.counter(
+            "ownership_actions", unit="actions", description="acquire/release handshakes"
+        )
+        self._transfer_calls = self.metrics.counter(
+            "transfer_calls", unit="calls", description="api-tr calls issued"
+        )
 
     def _timing(self, phase: CommPhase, overlap_window: float) -> TransferResult:
         cycles = self.params.api_acq_cycles
-        self.ownership_actions += 1
+        self._ownership_actions.inc()
         if phase.direction is Direction.H2D:
             cycles += phase.num_objects * self.params.api_tr_cycles
-            self.transfer_calls += phase.num_objects
+            self._transfer_calls.inc(phase.num_objects)
             if phase.first_touch and phase.num_bytes > 0:
                 if self.fault_granularity == "object":
                     faults = phase.num_objects
                 else:
                     faults = ceil_div(phase.num_bytes, self.page_bytes)
                 cycles += faults * self.params.lib_pf_cycles
-                self.page_faults += faults
+                self._page_faults.inc(faults)
         seconds = self.params.cpu_frequency.cycles_to_seconds(cycles)
         return TransferResult(total=seconds, exposed=seconds)
 
-    def stats(self):
-        merged = super().stats()
-        merged.update(
-            {
-                "page_faults": self.page_faults,
-                "ownership_actions": self.ownership_actions,
-                "transfer_calls": self.transfer_calls,
-            }
-        )
-        return merged
+    @property
+    def page_faults(self) -> int:
+        return self._page_faults.value
+
+    @property
+    def ownership_actions(self) -> int:
+        return self._ownership_actions.value
+
+    @property
+    def transfer_calls(self) -> int:
+        return self._transfer_calls.value

@@ -9,6 +9,7 @@ from typing import Dict, Optional
 from repro.config.comm import CommParams
 from repro.config.system import SystemConfig
 from repro.errors import CommunicationError
+from repro.obs.metrics import MetricRegistry
 from repro.taxonomy import CommMechanism
 from repro.trace.phase import CommPhase
 
@@ -45,10 +46,20 @@ class CommChannel(abc.ABC):
 
     def __init__(self, params: Optional[CommParams] = None) -> None:
         self.params = params or CommParams()
-        self.transfers = 0
-        self.bytes_moved = 0
-        self.total_seconds = 0.0
-        self.exposed_seconds = 0.0
+        mechanism = getattr(self, "mechanism", None)
+        self.metrics = MetricRegistry(f"comm.{mechanism}" if mechanism else "comm")
+        self._transfers = self.metrics.counter(
+            "transfers", unit="transfers", description="communication phases serviced"
+        )
+        self._bytes_moved = self.metrics.counter(
+            "bytes_moved", unit="bytes", description="payload bytes transferred"
+        )
+        self._total_seconds = self.metrics.counter(
+            "total_seconds", unit="s", description="total transfer time (incl. hidden)"
+        )
+        self._exposed_seconds = self.metrics.counter(
+            "exposed_seconds", unit="s", description="transfer time on the critical path"
+        )
 
     @abc.abstractmethod
     def _timing(self, phase: CommPhase, overlap_window: float) -> TransferResult:
@@ -64,19 +75,34 @@ class CommChannel(abc.ABC):
         if overlap_window < 0:
             raise CommunicationError("overlap window must be non-negative")
         result = self._timing(phase, overlap_window)
-        self.transfers += 1
-        self.bytes_moved += phase.num_bytes
-        self.total_seconds += result.total
-        self.exposed_seconds += result.exposed
+        self._transfers.inc()
+        self._bytes_moved.inc(phase.num_bytes)
+        self._total_seconds.inc(result.total)
+        self._exposed_seconds.inc(result.exposed)
         return result
 
+    @property
+    def transfers(self) -> int:
+        return self._transfers.value
+
+    @property
+    def bytes_moved(self) -> int:
+        return self._bytes_moved.value
+
+    @property
+    def total_seconds(self) -> float:
+        return self._total_seconds.value
+
+    @property
+    def exposed_seconds(self) -> float:
+        return self._exposed_seconds.value
+
     def stats(self) -> Dict[str, float]:
-        return {
-            "transfers": self.transfers,
-            "bytes_moved": self.bytes_moved,
-            "total_seconds": self.total_seconds,
-            "exposed_seconds": self.exposed_seconds,
-        }
+        """Every declared metric, including subclass-specific counters."""
+        return self.metrics.as_dict()
+
+    def reset_stats(self) -> None:
+        self.metrics.reset()
 
 
 class IdealChannel(CommChannel):

@@ -33,17 +33,18 @@ class InterconnectChannel(CommChannel):
     ) -> None:
         super().__init__(params)
         self.system = system or SystemConfig()
-        self.messages = 0
+        self._messages = self.metrics.counter(
+            "messages", unit="messages", description="on-chip network messages"
+        )
 
     def _timing(self, phase: CommPhase, overlap_window: float) -> TransferResult:
         icn = self.system.interconnect
         hop_cycles = PU_TO_PU_HOPS * icn.hop_latency
         ser_cycles = ceil_div(max(phase.num_bytes, 1), icn.link_bytes_per_cycle)
-        self.messages += 1
+        self._messages.inc()
         seconds = icn.frequency.cycles_to_seconds(hop_cycles + ser_cycles)
         return TransferResult(total=seconds, exposed=seconds)
 
-    def stats(self):
-        merged = super().stats()
-        merged["messages"] = self.messages
-        return merged
+    @property
+    def messages(self) -> int:
+        return self._messages.value

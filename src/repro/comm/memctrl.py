@@ -36,17 +36,18 @@ class MemCtrlChannel(CommChannel):
     ) -> None:
         super().__init__(params)
         self.system = system or SystemConfig()
-        self.dram_accesses = 0
+        self._dram_accesses = self.metrics.counter(
+            "dram_accesses", unit="accesses", description="line-sized DRAM transfers"
+        )
 
     def _timing(self, phase: CommPhase, overlap_window: float) -> TransferResult:
         dram = self.system.dram
         traffic_seconds = dram.bandwidth.seconds_for(phase.num_bytes)
         signal_seconds = self.params.cpu_frequency.cycles_to_seconds(SIGNAL_CYCLES)
-        self.dram_accesses += max(phase.num_bytes // 64, 1)
+        self._dram_accesses.inc(max(phase.num_bytes // 64, 1))
         seconds = traffic_seconds + signal_seconds
         return TransferResult(total=seconds, exposed=seconds)
 
-    def stats(self):
-        merged = super().stats()
-        merged["dram_accesses"] = self.dram_accesses
-        return merged
+    @property
+    def dram_accesses(self) -> int:
+        return self._dram_accesses.value

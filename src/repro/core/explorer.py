@@ -28,6 +28,7 @@ from repro.exec.stats import RunStats
 from repro.kernels.base import Kernel
 from repro.kernels.registry import all_kernels
 from repro.locality.schemes import feasible_schemes
+from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.sim.fast import FastSimulator
 from repro.sim.results import SimulationResult
 from repro.taxonomy import AddressSpaceKind, CommMechanism
@@ -67,10 +68,15 @@ class Explorer:
         jobs: int = 1,
         trace_cache: Optional[TraceCache] = None,
         result_cache: Optional[ResultCache] = None,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.system = system or SystemConfig()
         self.comm_params = comm_params or CommParams()
-        self.simulator = FastSimulator(self.system, self.comm_params)
+        #: Span tracer handed to directly-driven simulators. Worker
+        #: processes cannot stream into it; batch runs synthesize their
+        #: trace post-hoc from result phases (:func:`trace_from_results`).
+        self.tracer = tracer
+        self.simulator = FastSimulator(self.system, self.comm_params, tracer=tracer)
         #: With ``detailed`` the case-study suite also runs through the
         #: per-instruction machine at ``detailed_scale`` (see
         #: :meth:`run_case_studies_detailed`).
@@ -84,6 +90,9 @@ class Explorer:
         self.runner = ParallelRunner(jobs=jobs, stats=self.run_stats)
         self.trace_cache = trace_cache if trace_cache is not None else SHARED_TRACE_CACHE
         self.result_cache = result_cache if result_cache is not None else ResultCache()
+        #: Flat results of the most recent batch, in submission order —
+        #: the input :func:`~repro.obs.tracing.trace_from_results` needs.
+        self.last_results: List[SimulationResult] = []
 
     @property
     def jobs(self) -> int:
@@ -138,6 +147,7 @@ class Explorer:
         flat = self.runner.run_jobs(
             jobs, result_cache=self.result_cache, stage="case-studies"
         )
+        self.last_results = flat
         results: Dict[str, Dict[str, SimulationResult]] = {}
         for i, kernel in enumerate(kernels):
             row = flat[i * len(cases) : (i + 1) * len(cases)]
@@ -174,6 +184,7 @@ class Explorer:
         flat = self.runner.run_jobs(
             jobs, result_cache=self.result_cache, stage="address-spaces"
         )
+        self.last_results = flat
         results: Dict[str, Dict[AddressSpaceKind, SimulationResult]] = {}
         for i, kernel in enumerate(kernels):
             row = flat[i * len(spaces) : (i + 1) * len(spaces)]
@@ -245,6 +256,7 @@ class Explorer:
             result_cache=self.result_cache,
             stage="design-points",
         )
+        self.last_results = results
         return self._evaluation(point, results)
 
     def rank_design_points(
@@ -272,6 +284,7 @@ class Explorer:
         flat = self.runner.run_jobs(
             jobs, result_cache=self.result_cache, stage="rank"
         )
+        self.last_results = flat
         comm_lines = self._comm_lines_by_space()
         evaluations = [
             self._evaluation(

@@ -56,6 +56,21 @@ class EnergyReport:
             comm_nj=self.comm_nj + other.comm_nj,
         )
 
+    def to_metrics(self) -> "MetricSnapshot":
+        """The report as ``energy.*`` samples, including derived totals."""
+        from repro.obs.metrics import MetricSnapshot
+
+        return MetricSnapshot(
+            {
+                "energy.core_nj": self.core_nj,
+                "energy.cache_nj": self.cache_nj,
+                "energy.dram_nj": self.dram_nj,
+                "energy.comm_nj": self.comm_nj,
+                "energy.total_nj": self.total_nj,
+                "energy.comm_fraction": self.comm_fraction,
+            }
+        )
+
 
 def _segment_memory_energy(model: EnergyModel, segment: Segment) -> "tuple[float, float]":
     """(cache_nj, dram_nj) for one segment under the streaming miss model."""

@@ -27,9 +27,12 @@ from typing import Callable, Dict, Hashable, List, Optional, Sequence, TypeVar
 from repro.exec.cache import ResultCache
 from repro.exec.job import SimJob, run_sim_job
 from repro.exec.stats import RunStats
+from repro.obs.log import get_logger
 from repro.sim.results import SimulationResult
 
 __all__ = ["ParallelRunner"]
+
+_log = get_logger("exec.runner")
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -83,6 +86,9 @@ class ParallelRunner:
         if self.jobs <= 1 or len(items) <= 1:
             return [func(item) for item in items]
         if not (_picklable(func) and all(_picklable(item) for item in items)):
+            _log.debug(
+                "batch of %d does not pickle; running in-process", len(items)
+            )
             return [func(item) for item in items]
         try:
             from concurrent.futures import ProcessPoolExecutor
@@ -91,9 +97,14 @@ class ParallelRunner:
                 # submit() in order, collect in order: identical to serial.
                 futures = [pool.submit(func, item) for item in items]
                 return [future.result() for future in futures]
-        except (OSError, ImportError, PermissionError):
+        except (OSError, ImportError, PermissionError) as exc:
             # No usable process support (sandboxed interpreter): degrade to
             # the deterministic in-process path.
+            _log.debug(
+                "process pool unavailable (%s); running %d items in-process",
+                exc,
+                len(items),
+            )
             return [func(item) for item in items]
 
     # -- simulation batches with memoization -------------------------------

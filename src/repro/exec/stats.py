@@ -3,15 +3,18 @@
 A :class:`RunStats` travels with a :class:`~repro.exec.runner.ParallelRunner`
 and records, per named stage, how many jobs were submitted to workers, how
 many completed, and the stage's wall-clock time; cache hit rates are merged
-in from the memo layer. The object is cheap enough to keep always-on and
-renders as a one-line summary for CLI output.
+in from the memo layer. All counts live on a :class:`~repro.obs.metrics.MetricRegistry`
+(component ``exec``), so they snapshot/serialize with every other metric
+surface; the object stays cheap enough to keep always-on and renders as a
+one-line summary for CLI output.
 """
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator
+
+from repro.obs.metrics import MetricRegistry, MetricSnapshot, Timer
 
 __all__ = ["RunStats"]
 
@@ -20,35 +23,71 @@ class RunStats:
     """Counters and wall-clock timings for one exploration run."""
 
     def __init__(self) -> None:
-        self.jobs_submitted = 0
-        self.jobs_completed = 0
-        self.stage_seconds: Dict[str, float] = {}
-        self.cache_hits = 0
-        self.cache_misses = 0
+        self.metrics = MetricRegistry("exec")
+        self._submitted = self.metrics.counter(
+            "jobs_submitted", unit="jobs", description="jobs handed to the runner"
+        )
+        self._completed = self.metrics.counter(
+            "jobs_completed", unit="jobs", description="jobs that returned a result"
+        )
+        self._cache_hits = self.metrics.counter(
+            "cache_hits", unit="lookups", description="memo-cache hits"
+        )
+        self._cache_misses = self.metrics.counter(
+            "cache_misses", unit="lookups", description="memo-cache misses"
+        )
+        #: One wall-clock timer per named stage, created on first use.
+        self._stage_timers: Dict[str, Timer] = {}
 
     # -- recording ---------------------------------------------------------
 
     def record_submitted(self, count: int = 1) -> None:
-        self.jobs_submitted += count
+        self._submitted.inc(count)
 
     def record_completed(self, count: int = 1) -> None:
-        self.jobs_completed += count
+        self._completed.inc(count)
 
     def record_cache(self, hits: int, misses: int) -> None:
-        self.cache_hits += hits
-        self.cache_misses += misses
+        self._cache_hits.inc(hits)
+        self._cache_misses.inc(misses)
+
+    def _stage_timer(self, name: str) -> Timer:
+        timer = self._stage_timers.get(name)
+        if timer is None:
+            timer = self.metrics.timer(
+                f"stage.{name}", description=f"wall-clock of the {name!r} stage"
+            )
+            self._stage_timers[name] = timer
+        return timer
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
         """Time a named stage; repeated stages accumulate."""
-        start = time.perf_counter()
-        try:
+        with self._stage_timer(name).time():
             yield
-        finally:
-            elapsed = time.perf_counter() - start
-            self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + elapsed
 
     # -- reporting ---------------------------------------------------------
+
+    @property
+    def jobs_submitted(self) -> int:
+        return self._submitted.value
+
+    @property
+    def jobs_completed(self) -> int:
+        return self._completed.value
+
+    @property
+    def cache_hits(self) -> int:
+        return self._cache_hits.value
+
+    @property
+    def cache_misses(self) -> int:
+        return self._cache_misses.value
+
+    @property
+    def stage_seconds(self) -> Dict[str, float]:
+        """Accumulated wall-clock per stage, in first-use order."""
+        return {name: timer.seconds for name, timer in self._stage_timers.items()}
 
     @property
     def cache_lookups(self) -> int:
@@ -61,6 +100,10 @@ class RunStats:
     @property
     def total_seconds(self) -> float:
         return sum(self.stage_seconds.values())
+
+    def snapshot(self) -> MetricSnapshot:
+        """Immutable point-in-time view of every exec metric."""
+        return self.metrics.snapshot()
 
     def as_dict(self) -> Dict[str, float]:
         data: Dict[str, float] = {

@@ -12,6 +12,7 @@ from repro.mem.cache.prefetch import NextLinePrefetcher
 from repro.mem.cache.replacement import LRUPolicy, ReplacementPolicy
 from repro.mem.level import MemoryLevel
 from repro.mem.request import AccessResult, MemRequest
+from repro.obs.metrics import MetricRegistry
 from repro.units import Frequency
 
 __all__ = ["Cache"]
@@ -55,13 +56,29 @@ class Cache(MemoryLevel):
         self._line = config.line_bytes
         self._mshr = MSHRFile(config.mshr_entries)
         self._tick = 0
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.writebacks = 0
-        self.bypasses = 0
-        self.invalidations = 0
-        self.flushes = 0
+        #: Declared metrics — the uniform stats surface of this level.
+        self.metrics = MetricRegistry(f"cache.{self.name}")
+        self._hits = self.metrics.counter(
+            "hits", unit="accesses", description="demand accesses hitting this level"
+        )
+        self._misses = self.metrics.counter(
+            "misses", unit="accesses", description="demand accesses missing this level"
+        )
+        self._evictions = self.metrics.counter(
+            "evictions", unit="lines", description="valid lines displaced by fills"
+        )
+        self._writebacks = self.metrics.counter(
+            "writebacks", unit="lines", description="dirty lines written back below"
+        )
+        self._bypasses = self.metrics.counter(
+            "bypasses", unit="fills", description="fills rejected by the policy"
+        )
+        self._invalidations = self.metrics.counter(
+            "invalidations", unit="lines", description="coherence invalidations"
+        )
+        self._flushes = self.metrics.counter(
+            "flushes", unit="events", description="whole-cache flush operations"
+        )
 
     # -- geometry ---------------------------------------------------------
 
@@ -87,7 +104,7 @@ class Cache(MemoryLevel):
         traffic must flow so lower-level byte/access statistics see it —
         software-coherence flushes otherwise under-report.
         """
-        self.writebacks += 1
+        self._writebacks.inc()
         if self.next_level is None:
             return
         addr = (block.tag * self._num_sets + index) * self._line
@@ -104,7 +121,7 @@ class Cache(MemoryLevel):
         blocks = self._sets[index]
         way = self._find(index, tag)
         if way is not None:
-            self.hits += 1
+            self._hits.inc()
             block = blocks[way]
             if block.prefetched:
                 block.prefetched = False
@@ -117,7 +134,7 @@ class Cache(MemoryLevel):
             self.policy.on_access(blocks, way, self._tick)
             return AccessResult(latency=self.hit_latency, hit_level=self.name, was_hit=True)
 
-        self.misses += 1
+        self._misses.inc()
         # Merged miss? Pay only the residual fill time.
         line_addr = request.line_addr(self._line)
         merged = self._mshr.lookup(line_addr, request.issue_time)
@@ -163,13 +180,13 @@ class Cache(MemoryLevel):
             blocks = self._sets[index]
             victim = self.policy.victim(blocks, False)
             if victim is None:
-                self.bypasses += 1
+                self._bypasses.inc()
                 continue
             block = blocks[victim]
             if block.valid:
-                self.evictions += 1
+                self._evictions.inc()
                 if block.dirty and self.config.write_back:
-                    self.writebacks += 1
+                    self._writebacks.inc()
             block.fill(tag, self._tick, explicit=False, prefetched=True)
 
     def _fill(self, index: int, tag: int, request: MemRequest) -> None:
@@ -179,13 +196,13 @@ class Cache(MemoryLevel):
         blocks = self._sets[index]
         victim = self.policy.victim(blocks, request.explicit)
         if victim is None:
-            self.bypasses += 1
+            self._bypasses.inc()
             return
         block = blocks[victim]
         if block.valid:
-            self.evictions += 1
+            self._evictions.inc()
             if block.dirty and self.config.write_back and self.next_level is not None:
-                self.writebacks += 1
+                self._writebacks.inc()
         block.fill(tag, self._tick, request.explicit)
         if request.is_write:
             block.dirty = True
@@ -209,11 +226,11 @@ class Cache(MemoryLevel):
             return
         victim = self.policy.victim(blocks, True)
         if victim is None:
-            self.bypasses += 1
+            self._bypasses.inc()
             return
         block = blocks[victim]
         if block.valid:
-            self.evictions += 1
+            self._evictions.inc()
             if block.dirty and self.config.write_back:
                 self._write_back(index, block)
         block.fill(tag, self._tick, explicit=True)
@@ -236,7 +253,7 @@ class Cache(MemoryLevel):
         if way is None:
             return False
         self._sets[index][way].invalidate()
-        self.invalidations += 1
+        self._invalidations.inc()
         return True
 
     def flush(self) -> int:
@@ -252,10 +269,38 @@ class Cache(MemoryLevel):
                         dirty += 1
                         self._write_back(index, block)
                     block.invalidate()
-        self.flushes += 1
+        self._flushes.inc()
         return dirty
 
     # -- statistics ---------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
+
+    @property
+    def writebacks(self) -> int:
+        return self._writebacks.value
+
+    @property
+    def bypasses(self) -> int:
+        return self._bypasses.value
+
+    @property
+    def invalidations(self) -> int:
+        return self._invalidations.value
+
+    @property
+    def flushes(self) -> int:
+        return self._flushes.value
 
     @property
     def accesses(self) -> int:
@@ -266,23 +311,14 @@ class Cache(MemoryLevel):
         return self.misses / self.accesses if self.accesses else 0.0
 
     def stats(self) -> Dict[str, int]:
-        data = {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "writebacks": self.writebacks,
-            "bypasses": self.bypasses,
-            "invalidations": self.invalidations,
-            "flushes": self.flushes,
-        }
+        data = self.metrics.as_dict()
         data.update(self._mshr.stats())
         if self.prefetcher is not None:
             data.update(self.prefetcher.stats())
         return data
 
     def reset_stats(self) -> None:
-        self.hits = self.misses = self.evictions = 0
-        self.writebacks = self.bypasses = self.invalidations = self.flushes = 0
+        self.metrics.reset()
         self._mshr.reset()
         if self.prefetcher is not None:
             self.prefetcher.reset()

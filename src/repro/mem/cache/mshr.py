@@ -13,6 +13,7 @@ from collections import OrderedDict
 from typing import Dict
 
 from repro.errors import ConfigError
+from repro.obs.metrics import MetricRegistry
 
 __all__ = ["MSHRFile"]
 
@@ -32,8 +33,13 @@ class MSHRFile:
             raise ConfigError("MSHR file needs at least one entry")
         self.entries = entries
         self._inflight: "OrderedDict[int, float]" = OrderedDict()
-        self.merges = 0
-        self.allocations = 0
+        self.metrics = MetricRegistry("mshr")
+        self._merges = self.metrics.counter(
+            "mshr_merges", unit="misses", description="misses merged onto in-flight fills"
+        )
+        self._allocations = self.metrics.counter(
+            "mshr_allocations", unit="fills", description="new outstanding fills recorded"
+        )
 
     def lookup(self, line_addr: int, now: float) -> "float | None":
         """Remaining fill latency for a merged miss, or None."""
@@ -43,12 +49,12 @@ class MSHRFile:
         if done_at <= now:
             del self._inflight[line_addr]
             return None
-        self.merges += 1
+        self._merges.inc()
         return done_at - now
 
     def allocate(self, line_addr: int, now: float, latency: float) -> None:
         """Record a new outstanding fill."""
-        self.allocations += 1
+        self._allocations.inc()
         if line_addr in self._inflight:
             self._inflight.move_to_end(line_addr)
         while len(self._inflight) >= self.entries:
@@ -59,10 +65,17 @@ class MSHRFile:
     def outstanding(self) -> int:
         return len(self._inflight)
 
+    @property
+    def merges(self) -> int:
+        return self._merges.value
+
+    @property
+    def allocations(self) -> int:
+        return self._allocations.value
+
     def stats(self) -> Dict[str, int]:
-        return {"mshr_merges": self.merges, "mshr_allocations": self.allocations}
+        return self.metrics.as_dict()
 
     def reset(self) -> None:
         self._inflight.clear()
-        self.merges = 0
-        self.allocations = 0
+        self.metrics.reset()

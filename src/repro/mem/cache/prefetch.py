@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.errors import ConfigError
+from repro.obs.metrics import MetricRegistry
 
 __all__ = ["NextLinePrefetcher"]
 
@@ -25,32 +26,44 @@ class NextLinePrefetcher:
         if degree < 1:
             raise ConfigError("prefetch degree must be >= 1")
         self.degree = degree
-        self.issued = 0
-        self.useful = 0
+        self.metrics = MetricRegistry("prefetcher")
+        self._issued = self.metrics.counter(
+            "prefetches_issued", unit="lines", description="prefetch fills issued"
+        )
+        self._useful = self.metrics.counter(
+            "prefetches_useful",
+            unit="lines",
+            description="prefetched blocks later hit by demand accesses",
+        )
 
     def lines_to_prefetch(self, miss_line_addr: int, line_bytes: int) -> "list[int]":
         """Line addresses to install after a demand miss."""
-        self.issued += self.degree
+        self._issued.inc(self.degree)
         return [
             miss_line_addr + i * line_bytes for i in range(1, self.degree + 1)
         ]
 
     def record_useful(self) -> None:
         """A demand access hit a prefetched block."""
-        self.useful += 1
+        self._useful.inc()
 
     def reset(self) -> None:
         """Zero the issued/useful counters (cache stats reset)."""
-        self.issued = 0
-        self.useful = 0
+        self.metrics.reset()
+
+    @property
+    def issued(self) -> int:
+        return self._issued.value
+
+    @property
+    def useful(self) -> int:
+        return self._useful.value
 
     @property
     def accuracy(self) -> float:
         return self.useful / self.issued if self.issued else 0.0
 
     def stats(self) -> Dict[str, float]:
-        return {
-            "prefetches_issued": self.issued,
-            "prefetches_useful": self.useful,
-            "prefetch_accuracy": self.accuracy,
-        }
+        data = self.metrics.as_dict()
+        data["prefetch_accuracy"] = self.accuracy
+        return data

@@ -17,6 +17,7 @@ from repro.mem.dram.bank import Bank
 from repro.mem.dram.timing import DramTiming
 from repro.mem.level import MemoryLevel
 from repro.mem.request import AccessResult, MemRequest
+from repro.obs.metrics import MetricRegistry
 from repro.units import Bandwidth
 
 __all__ = ["MemoryController", "DramSystem"]
@@ -37,8 +38,13 @@ class MemoryController:
         self.channel_bandwidth = Bandwidth(per_channel)
         self.line_bytes = line_bytes
         self._bus_free_at = 0.0
-        self.requests = 0
-        self.queue_delay_total = 0.0
+        self.metrics = MetricRegistry("dram.controller")
+        self._requests = self.metrics.counter(
+            "requests", unit="requests", description="line fetches serviced"
+        )
+        self._queue_delay = self.metrics.histogram(
+            "queue_delay", unit="s", description="data-bus backlog per request"
+        )
 
     def _locate(self, addr: int) -> "tuple[int, int]":
         """(bank, row) for an address: line-interleaved across banks."""
@@ -50,7 +56,7 @@ class MemoryController:
     def service(self, addr: int, now: float) -> float:
         """Latency in seconds to return the line at ``addr`` requested at
         ``now``."""
-        self.requests += 1
+        self._requests.inc()
         bank_index, row = self._locate(addr)
         bank = self.banks[bank_index]
         array = bank.access_latency(row)
@@ -59,10 +65,18 @@ class MemoryController:
         backlog = max(0.0, self._bus_free_at - now)
         if bank.timing.row_hit == array and backlog > 0:
             backlog = max(0.0, backlog - self.timing.row_miss)
-        self.queue_delay_total += backlog
+        self._queue_delay.observe(backlog)
         start = now + backlog + array
         self._bus_free_at = start + burst
         return backlog + array + burst
+
+    @property
+    def requests(self) -> int:
+        return self._requests.value
+
+    @property
+    def queue_delay_total(self) -> float:
+        return self._queue_delay.total
 
     def stats(self) -> Dict[str, float]:
         hits = sum(b.row_hits for b in self.banks)

@@ -14,6 +14,7 @@ from repro.errors import ConfigError
 from repro.config.system import InterconnectConfig
 from repro.mem.level import MemoryLevel
 from repro.mem.request import AccessResult, MemRequest
+from repro.obs.metrics import MetricRegistry
 from repro.units import ceil_div
 
 __all__ = ["RingNetwork", "RingPath"]
@@ -37,8 +38,13 @@ class RingNetwork:
         self.config = config
         self.stops: List[str] = list(stops)
         self._index: Dict[str, int] = {name: i for i, name in enumerate(stops)}
-        self.messages = 0
-        self.bytes_moved = 0
+        self.metrics = MetricRegistry("ring")
+        self._messages = self.metrics.counter(
+            "messages", unit="messages", description="ring traversals"
+        )
+        self._bytes_moved = self.metrics.counter(
+            "bytes_moved", unit="bytes", description="payload bytes serialized"
+        )
 
     def hops(self, src: str, dst: str) -> int:
         """Hops along the shorter direction between two stops."""
@@ -53,14 +59,22 @@ class RingNetwork:
         """One-way message latency: per-hop cost plus serialization."""
         if payload_bytes < 0:
             raise ConfigError("payload must be non-negative")
-        self.messages += 1
-        self.bytes_moved += payload_bytes
+        self._messages.inc()
+        self._bytes_moved.inc(payload_bytes)
         hop_cycles = self.hops(src, dst) * self.config.hop_latency
         ser_cycles = ceil_div(max(payload_bytes, 1), self.config.link_bytes_per_cycle)
         return self.config.frequency.cycles_to_seconds(hop_cycles + ser_cycles)
 
+    @property
+    def messages(self) -> int:
+        return self._messages.value
+
+    @property
+    def bytes_moved(self) -> int:
+        return self._bytes_moved.value
+
     def stats(self) -> Dict[str, int]:
-        return {"messages": self.messages, "bytes_moved": self.bytes_moved}
+        return self.metrics.as_dict()
 
 
 class RingPath(MemoryLevel):

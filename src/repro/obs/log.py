@@ -1,0 +1,57 @@
+"""Structured logging for library code and the CLI.
+
+Library modules report progress through ``get_logger(__name__)`` instead
+of bare ``print()``; nothing is emitted unless a handler is installed, so
+importing the library stays silent. The CLI installs a stdout handler via
+:func:`configure_logging` with a verbosity knob:
+
+- ``-1`` (``--quiet``): errors only;
+- ``0`` (default): info — status lines like ``[run] ...`` / ``wrote ...``;
+- ``1`` (``-v``): library debug detail (runner fallbacks, cache traffic).
+
+The handler writes plain messages to *stdout* (status output is part of
+the CLI contract and tests capture it there); the format adds no prefix so
+default CLI output stays byte-identical to the historical ``print()``s.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+__all__ = ["get_logger", "configure_logging", "ROOT_LOGGER_NAME"]
+
+ROOT_LOGGER_NAME = "repro"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """The library logger for ``name`` (a module path or component name)."""
+    if not name or name == ROOT_LOGGER_NAME:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name.startswith(f"{ROOT_LOGGER_NAME}."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure_logging(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Install (or replace) the CLI handler on the ``repro`` logger.
+
+    Safe to call once per CLI invocation: existing handlers are replaced,
+    so repeated in-process ``main()`` calls (tests) never write to a stale
+    captured stream.
+    """
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stdout)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    logger.addHandler(handler)
+    if verbosity < 0:
+        logger.setLevel(logging.ERROR)
+    elif verbosity == 0:
+        logger.setLevel(logging.INFO)
+    else:
+        logger.setLevel(logging.DEBUG)
+    logger.propagate = False
+    return logger

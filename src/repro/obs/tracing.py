@@ -1,0 +1,274 @@
+"""Span/event tracing with Chrome ``trace_event`` JSON export.
+
+A :class:`Tracer` records *complete* spans ('X'), instants ('i'), and
+counter samples ('C') onto named tracks. A track is a ``(process,
+thread)`` pair — one process per simulation run (or the exploration
+runtime), one thread per clock domain (CPU core, GPU core, L3, ring, DRAM
+channels, comm link, DMA engine) — so the export opens directly in
+Perfetto / ``chrome://tracing`` with each domain on its own row.
+
+Timestamps are microseconds. Simulators pass *simulated* time; the
+exploration runtime passes wall-clock time relative to the tracer's epoch
+(the two live in different processes/tracks, so mixing units per track is
+fine — Chrome traces have no global unit).
+
+The disabled path is near-zero overhead: every emit method returns after a
+single ``self.enabled`` check, and hot callers can guard on the public
+``enabled`` flag to skip argument construction entirely.
+:data:`NULL_TRACER` is the shared disabled instance.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+__all__ = ["TraceEvent", "Tracer", "NULL_TRACER", "trace_from_results"]
+
+#: A Chrome trace event is just its JSON dict.
+TraceEvent = Dict[str, object]
+
+
+class Tracer:
+    """Collects trace events; serializes to Chrome ``trace_event`` JSON."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._events: List[TraceEvent] = []
+        self._tracks: Dict[Tuple[str, str], Tuple[int, int]] = {}
+        self._pids: Dict[str, int] = {}
+        self._epoch = time.perf_counter()
+
+    # -- track management ---------------------------------------------------
+
+    def track(self, process: str, thread: str) -> Tuple[int, int]:
+        """The ``(pid, tid)`` for a track, creating it (and its metadata
+        naming events) on first use."""
+        key = (process, thread)
+        ids = self._tracks.get(key)
+        if ids is not None:
+            return ids
+        pid = self._pids.get(process)
+        if pid is None:
+            pid = len(self._pids) + 1
+            self._pids[process] = pid
+            self._events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "ts": 0,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": process},
+                }
+            )
+        tid = sum(1 for (p, _t) in self._tracks if p == process) + 1
+        self._tracks[key] = (pid, tid)
+        self._events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": thread},
+            }
+        )
+        return pid, tid
+
+    @property
+    def track_count(self) -> int:
+        """Distinct (process, thread) tracks created so far."""
+        return len(self._tracks)
+
+    # -- emission -----------------------------------------------------------
+
+    def complete(
+        self,
+        process: str,
+        thread: str,
+        name: str,
+        start_us: float,
+        duration_us: float,
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """A complete span ('X'): ``duration_us`` starting at ``start_us``."""
+        if not self.enabled:
+            return
+        pid, tid = self.track(process, thread)
+        event: TraceEvent = {
+            "name": name,
+            "ph": "X",
+            "ts": start_us,
+            "dur": duration_us,
+            "pid": pid,
+            "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def instant(
+        self,
+        process: str,
+        thread: str,
+        name: str,
+        ts_us: float,
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if not self.enabled:
+            return
+        pid, tid = self.track(process, thread)
+        event: TraceEvent = {
+            "name": name,
+            "ph": "i",
+            "ts": ts_us,
+            "s": "t",
+            "pid": pid,
+            "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def counter(
+        self,
+        process: str,
+        thread: str,
+        name: str,
+        ts_us: float,
+        values: Dict[str, float],
+    ) -> None:
+        """A counter sample ('C') — renders as a counter track in Perfetto."""
+        if not self.enabled:
+            return
+        pid, tid = self.track(process, thread)
+        self._events.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": ts_us,
+                "pid": pid,
+                "tid": tid,
+                "args": dict(values),
+            }
+        )
+
+    @contextmanager
+    def span(
+        self,
+        process: str,
+        thread: str,
+        name: str,
+        args: Optional[Dict[str, object]] = None,
+    ) -> Iterator[None]:
+        """Wall-clock span relative to the tracer's epoch."""
+        if not self.enabled:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            end = time.perf_counter()
+            self.complete(
+                process,
+                thread,
+                name,
+                start_us=(start - self._epoch) * 1e6,
+                duration_us=(end - start) * 1e6,
+                args=args,
+            )
+
+    # -- export -------------------------------------------------------------
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def to_chrome(self) -> Dict[str, object]:
+        """The Chrome ``trace_event`` JSON object (Perfetto-loadable)."""
+        return {"traceEvents": list(self._events), "displayTimeUnit": "ms"}
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_chrome(), indent=indent)
+
+    def write(self, path: str) -> str:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+        return path
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._tracks.clear()
+        self._pids.clear()
+
+
+#: The shared disabled tracer: every emit method is a single-flag no-op.
+NULL_TRACER = Tracer(enabled=False)
+
+
+def trace_from_results(
+    results: Iterable["SimulationResult"],  # noqa: F821 - circular-import hint only
+    run_stats: Optional["RunStats"] = None,  # noqa: F821
+    tracer: Optional[Tracer] = None,
+) -> Tracer:
+    """Synthesize a per-clock-domain trace from finished simulation results.
+
+    Parallel exploration runs simulate in worker processes, where live
+    tracer state cannot be captured; every :class:`SimulationResult`
+    already carries its full per-phase timeline, so the trace is rebuilt
+    losslessly after the fact. One Chrome *process* per run (named
+    ``kernel @ system``), one *thread* per clock domain, spans in
+    simulated microseconds. ``run_stats`` adds an ``exploration-runtime``
+    process with the wall-clock stage timers.
+    """
+    tracer = tracer or Tracer()
+    for result in results:
+        process = f"{result.kernel} @ {result.system}"
+        now_us = 0.0
+        for phase in result.phases:
+            dur_us = phase.seconds * 1e6
+            if phase.kind == "sequential":
+                tracer.complete(process, "cpu-core", phase.label, now_us, dur_us)
+            elif phase.kind == "parallel":
+                tracer.complete(
+                    process, "cpu-core", phase.label, now_us, phase.cpu_seconds * 1e6
+                )
+                tracer.complete(
+                    process, "gpu-core", phase.label, now_us, phase.gpu_seconds * 1e6
+                )
+            else:
+                tracer.complete(
+                    process,
+                    "comm-link",
+                    phase.label,
+                    now_us,
+                    dur_us,
+                    args={"overlapped_us": phase.overlapped_seconds * 1e6},
+                )
+            now_us += dur_us
+        if result.counters:
+            tracer.counter(
+                process,
+                "comm-link",
+                "counters",
+                now_us,
+                {k: v for k, v in result.counters.items() if isinstance(v, (int, float))},
+            )
+    if run_stats is not None:
+        now_us = 0.0
+        for stage, seconds in run_stats.stage_seconds.items():
+            tracer.complete(
+                "exploration-runtime",
+                "runner",
+                stage,
+                now_us,
+                seconds * 1e6,
+                args={"wall_seconds": seconds},
+            )
+            now_us += seconds * 1e6
+    return tracer

@@ -157,3 +157,18 @@ class AnalyticTiming:
         if segment.pu is ProcessingUnit.CPU:
             return self.cpu_segment_seconds(segment)
         return self.gpu_segment_seconds(segment)
+
+    def estimated_memory_counters(self, segment: Segment) -> "tuple[float, float, float]":
+        """``(memory_ops, estimated_misses, estimated_dram_accesses)``.
+
+        The same streaming miss model the pricing uses, exported as event
+        counts so the fast simulator can publish cache/DRAM metrics
+        alongside its timing (the detailed simulator reports exact ones).
+        """
+        mem_ops = float(segment.mix.memory_ops)
+        profile = self._miss_profile(segment, segment.pu)
+        misses = mem_ops * profile.miss_rate
+        dram = (
+            misses if segment.footprint_bytes > self.system.l3.size_bytes else 0.0
+        )
+        return mem_ops, misses, dram

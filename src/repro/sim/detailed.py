@@ -20,6 +20,7 @@ from repro.config.system import SystemConfig
 from repro.errors import SimulationError
 from repro.comm.base import CommChannel, make_channel
 from repro.mem.cache.replacement import ReplacementPolicy
+from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.sim.engine import run_parallel_interleaved
 from repro.sim.mmu import TranslationFront, stage_trace
 from repro.sim.results import PhaseTiming, SimulationResult, TimeBreakdown
@@ -42,6 +43,7 @@ class DetailedSimulator:
         interleave_parallel: bool = True,
         l1_prefetch: bool = False,
         gpu_mode: str = "heuristic",
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.system = system or SystemConfig()
         self.comm_params = comm_params or CommParams()
@@ -54,6 +56,8 @@ class DetailedSimulator:
         #: Whether parallel phases run the two cores in timestamp order
         #: (contention-aware) or back-to-back (no cross-PU contention).
         self.interleave_parallel = interleave_parallel
+        #: Span tracer (disabled by default; near-zero overhead when off).
+        self.tracer = tracer
         self.last_machine: Optional[Machine] = None
         self.last_mmus: "Optional[Dict[ProcessingUnit, TranslationFront]]" = None
 
@@ -128,10 +132,37 @@ class DetailedSimulator:
         pending_h2d: List[CommPhase] = []
         phase_timings: List[PhaseTiming] = []
 
+        tracer = self.tracer
+        track = f"{trace.name} @ {name}" if tracer.enabled else ""
+
+        def sample_memory(at_seconds: float) -> None:
+            """Emit memory-hierarchy 'C' counter samples at ``at_seconds``."""
+            if not tracer.enabled:
+                return
+            ts = at_seconds * 1e6
+            tracer.counter(
+                track, "l3", "l3", ts,
+                {"hits": machine.l3.hits, "misses": machine.l3.misses},
+            )
+            tracer.counter(track, "ring", "ring", ts, {"messages": machine.ring.messages})
+            tracer.counter(
+                track, "dram", "dram", ts,
+                {"requests": machine.dram.stats().get("requests", 0.0)},
+            )
+
         def resolve_pending(window: float) -> None:
             nonlocal communication, now
             for comm in pending_h2d:
                 result = channel.transfer(comm, overlap_window=window)
+                if tracer.enabled:
+                    tracer.complete(
+                        track,
+                        "comm-link",
+                        comm.label,
+                        now * 1e6,
+                        result.exposed * 1e6,
+                        args={"overlapped_us": result.overlapped * 1e6},
+                    )
                 communication += result.exposed
                 now += result.exposed
                 phase_timings.append(
@@ -150,8 +181,11 @@ class DetailedSimulator:
                     phase.segment.instructions(), start_seconds=now
                 )
                 seconds = cpu_freq.cycles_to_seconds(cycles)
+                if tracer.enabled:
+                    tracer.complete(track, "cpu-core", phase.label, now * 1e6, seconds * 1e6)
                 sequential += seconds
                 now += seconds
+                sample_memory(now)
                 phase_timings.append(
                     PhaseTiming(
                         label=phase.label,
@@ -183,8 +217,12 @@ class DetailedSimulator:
                 seconds = max(cpu_seconds, gpu_seconds)
                 # Any deferred H2D copies overlapped with this phase.
                 resolve_pending(seconds)
+                if tracer.enabled:
+                    tracer.complete(track, "cpu-core", phase.label, now * 1e6, cpu_seconds * 1e6)
+                    tracer.complete(track, "gpu-core", phase.label, now * 1e6, gpu_seconds * 1e6)
                 parallel += seconds
                 now += seconds
+                sample_memory(now)
                 last_parallel_seconds = seconds
                 phase_timings.append(
                     PhaseTiming(
@@ -202,6 +240,15 @@ class DetailedSimulator:
                     pending_h2d.append(phase)
                     continue
                 result = channel.transfer(phase, overlap_window=last_parallel_seconds)
+                if tracer.enabled:
+                    tracer.complete(
+                        track,
+                        "comm-link",
+                        phase.label,
+                        now * 1e6,
+                        result.exposed * 1e6,
+                        args={"overlapped_us": result.overlapped * 1e6},
+                    )
                 communication += result.exposed
                 now += result.exposed
                 phase_timings.append(

@@ -9,9 +9,10 @@ breakdown plus per-phase detail.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Mapping, Tuple
 
 from repro.errors import SimulationError
+from repro.obs.metrics import MetricSnapshot
 
 __all__ = ["TimeBreakdown", "PhaseTiming", "SimulationResult"]
 
@@ -78,13 +79,23 @@ class PhaseTiming:
 
 @dataclass(frozen=True)
 class SimulationResult:
-    """Everything a run produced."""
+    """Everything a run produced.
+
+    ``counters`` is an immutable :class:`~repro.obs.metrics.MetricSnapshot`
+    (plain dicts passed by callers are converted on construction), so a
+    result is fully hashable and can be shared across
+    :class:`~repro.exec.cache.ResultCache` hits without aliasing risks.
+    """
 
     kernel: str
     system: str
     breakdown: TimeBreakdown
     phases: Tuple[PhaseTiming, ...] = ()
-    counters: Dict[str, float] = field(default_factory=dict)
+    counters: Mapping[str, float] = field(default_factory=MetricSnapshot)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.counters, MetricSnapshot):
+            object.__setattr__(self, "counters", MetricSnapshot(self.counters))
 
     @property
     def total_seconds(self) -> float:

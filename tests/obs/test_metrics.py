@@ -1,0 +1,171 @@
+"""Tests for the typed metric registry and immutable snapshots."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    MetricSnapshot,
+    Timer,
+    write_metrics_csv,
+    write_metrics_json,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("hits")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative_increment(self):
+        c = Counter("hits")
+        with pytest.raises(ConfigError):
+            c.inc(-1)
+
+    def test_reset(self):
+        c = Counter("hits")
+        c.inc(3)
+        c.reset()
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("depth")
+        g.set(7.0)
+        g.add(-2.0)
+        assert g.value == 5.0
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        h = Histogram("delay", unit="s")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 6.0
+        assert h.min == 1.0
+        assert h.max == 3.0
+        assert h.mean == 2.0
+
+    def test_values_export_suffixed_samples(self):
+        h = Histogram("delay")
+        h.observe(4.0)
+        values = h.values()
+        assert values["delay.count"] == 1
+        assert values["delay.sum"] == 4.0
+        assert values["delay.mean"] == 4.0
+
+
+class TestTimer:
+    def test_accumulates_recorded_seconds(self):
+        t = Timer("stage")
+        t.record(0.5)
+        t.record(0.25)
+        assert t.seconds == 0.75
+        assert t.count == 2
+
+    def test_context_manager_records_elapsed(self):
+        t = Timer("stage")
+        with t.time():
+            pass
+        assert t.count == 1
+        assert t.seconds >= 0.0
+
+
+class TestRegistry:
+    def test_declares_and_lists_metrics(self):
+        reg = MetricRegistry("cache.l1")
+        hits = reg.counter("hits", unit="accesses", description="lookup hits")
+        hits.inc(2)
+        assert reg.as_dict() == {"hits": 2}
+        assert ("hits", "counter", "accesses", "lookup hits") in reg.describe()
+
+    def test_duplicate_names_rejected(self):
+        reg = MetricRegistry("x")
+        reg.counter("hits")
+        with pytest.raises(ConfigError):
+            reg.counter("hits")
+
+    def test_reset_clears_every_metric(self):
+        reg = MetricRegistry("x")
+        c = reg.counter("n")
+        t = reg.timer("t")
+        c.inc(5)
+        t.record(1.0)
+        reg.reset()
+        assert c.value == 0
+        assert t.seconds == 0.0
+
+    def test_snapshot_is_immutable_view(self):
+        reg = MetricRegistry("x")
+        c = reg.counter("n")
+        c.inc(1)
+        snap = reg.snapshot()
+        c.inc(10)
+        assert snap["n"] == 1
+        assert reg.snapshot()["n"] == 11
+
+
+class TestMetricSnapshot:
+    def test_mapping_interface_and_dict_equality(self):
+        snap = MetricSnapshot({"a": 1.0, "b": 2.0})
+        assert snap["a"] == 1.0
+        assert len(snap) == 2
+        assert dict(snap) == {"a": 1.0, "b": 2.0}
+        assert snap == {"a": 1.0, "b": 2.0}
+
+    def test_hashable_and_stable(self):
+        a = MetricSnapshot({"x": 1.0})
+        b = MetricSnapshot({"x": 1.0})
+        assert hash(a) == hash(b)
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_immutable(self):
+        snap = MetricSnapshot({"a": 1.0})
+        with pytest.raises(AttributeError):
+            snap._items = ()
+        with pytest.raises(TypeError):
+            snap["a"] = 2.0  # Mapping has no __setitem__
+
+    def test_pickle_round_trip(self):
+        snap = MetricSnapshot({"a": 1.0, "b": 2.0})
+        clone = pickle.loads(pickle.dumps(snap))
+        assert clone == snap
+        assert hash(clone) == hash(snap)
+
+    def test_diff(self):
+        before = MetricSnapshot({"a": 1.0, "b": 5.0})
+        after = MetricSnapshot({"a": 4.0, "c": 2.0})
+        delta = after.diff(before)
+        assert delta == {"a": 3.0, "b": -5.0, "c": 2.0}
+
+    def test_prefixed_and_merged(self):
+        snap = MetricSnapshot({"hits": 2.0})
+        assert snap.prefixed("l1.") == {"l1.hits": 2.0}
+        merged = snap.merged({"hits": 3.0, "misses": 1.0})
+        assert merged == {"hits": 5.0, "misses": 1.0}
+
+    def test_json_and_csv_serialization(self, tmp_path):
+        snap = MetricSnapshot({"b": 2.0, "a": 1.0})
+        assert json.loads(snap.to_json()) == {"a": 1.0, "b": 2.0}
+        lines = snap.to_csv().strip().splitlines()
+        assert lines[0] == "metric,value"
+        assert lines[1].startswith("a,")
+
+        json_path = tmp_path / "m.json"
+        csv_path = tmp_path / "m.csv"
+        write_metrics_json(str(json_path), snap)
+        write_metrics_csv(str(csv_path), snap)
+        assert json.loads(json_path.read_text()) == {"a": 1.0, "b": 2.0}
+        assert csv_path.read_text().startswith("metric,value")

@@ -1,0 +1,57 @@
+"""Registry counters must agree exactly with the per-component stats.
+
+The observability refactor moved every component's counters onto a
+:class:`~repro.obs.metrics.MetricRegistry`; these tests pin the invariant
+that nothing drifted: the flat ``SimulationResult.counters`` a detailed
+run publishes equals the machine's own per-level ``stats()`` values, and
+cache counters reported through the registry equal the legacy attribute
+accessors the rest of the code still reads.
+"""
+
+import pytest
+
+from repro.config.presets import CASE_STUDIES
+from repro.kernels import kernel
+from repro.sim.detailed import DetailedSimulator
+
+
+@pytest.fixture(scope="module")
+def detailed_run():
+    sim = DetailedSimulator()
+    case = next(iter(CASE_STUDIES.values()))
+    result = sim.run(kernel("reduction").trace(), case=case, scale=0.02)
+    return sim, result
+
+
+class TestDetailedCounterParity:
+    def test_result_counters_match_component_stats(self, detailed_run):
+        sim, result = detailed_run
+        machine = sim.last_machine
+        for component, stats in machine.stats().items():
+            for key, value in stats.items():
+                name = f"{component}.{key}"
+                assert result.counters[name] == value, name
+
+    def test_cache_registry_matches_attribute_accessors(self, detailed_run):
+        sim, _ = detailed_run
+        for cache in (
+            sim.last_machine.cpu_l1d,
+            sim.last_machine.cpu_l2,
+            sim.last_machine.gpu_l1d,
+            sim.last_machine.l3,
+        ):
+            stats = cache.stats()
+            assert stats["hits"] == cache.hits
+            assert stats["misses"] == cache.misses
+            assert stats["evictions"] == cache.evictions
+            assert stats["writebacks"] == cache.writebacks
+
+    def test_l1_totals_cover_every_memory_access(self, detailed_run):
+        sim, result = detailed_run
+        l1_lookups = (
+            result.counters["cpu.l1d.hits"]
+            + result.counters["cpu.l1d.misses"]
+            + result.counters["gpu.l1d.hits"]
+            + result.counters["gpu.l1d.misses"]
+        )
+        assert l1_lookups > 0

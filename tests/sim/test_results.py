@@ -69,3 +69,35 @@ class TestSimulationResult:
     def test_phase_timing_rejects_negative(self):
         with pytest.raises(SimulationError):
             PhaseTiming(label="x", kind="parallel", seconds=-1.0)
+
+
+class TestCounterImmutability:
+    def make(self, counters):
+        return SimulationResult(
+            kernel="k",
+            system="s",
+            breakdown=TimeBreakdown(parallel=1.0),
+            counters=counters,
+        )
+
+    def test_plain_dict_converts_to_snapshot(self):
+        from repro.obs.metrics import MetricSnapshot
+
+        result = self.make({"transfers": 6.0})
+        assert isinstance(result.counters, MetricSnapshot)
+        assert result.counters["transfers"] == 6.0
+        assert result.counters == {"transfers": 6.0}
+
+    def test_counters_cannot_be_mutated(self):
+        result = self.make({"transfers": 6.0})
+        with pytest.raises(TypeError):
+            result.counters["transfers"] = 7.0
+
+    def test_result_is_hashable_and_shareable(self):
+        a = self.make({"transfers": 6.0})
+        b = self.make({"transfers": 6.0})
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_results_with_different_counters_differ(self):
+        assert self.make({"a": 1.0}) != self.make({"a": 2.0})

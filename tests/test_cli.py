@@ -41,10 +41,86 @@ class TestJobsFlag:
         assert parallel == serial
 
     def test_rejects_invalid_jobs(self, capsys):
-        from repro.errors import SimulationError
+        from repro.cli import EXIT_SIMULATION_ERROR
 
-        with pytest.raises(SimulationError):
-            main(["rank", "--jobs", "0", "--sample", "6"])
+        assert main(["rank", "--jobs", "0", "--sample", "6"]) == EXIT_SIMULATION_ERROR
+        err = capsys.readouterr().err
+        assert "simulation error" in err
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        from repro.version import __version__
+
+        assert __version__ in out
+
+
+class TestVerbosity:
+    def test_quiet_suppresses_output(self, capsys):
+        assert main(["-q", "table", "1"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_verbose_still_prints_output(self, capsys):
+        assert main(["-v", "table", "1"]) == 0
+        assert "Table" in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    def test_figure_trace_out_is_loadable_chrome_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.json"
+        assert main(["figure", "5", "--trace-out", str(path)]) == 0
+        data = json.loads(path.read_text())
+        events = data["traceEvents"]
+        assert events
+        for event in events:
+            assert "ph" in event and "ts" in event
+            assert "pid" in event and "tid" in event
+        tracks = {(e["pid"], e["tid"]) for e in events if e["ph"] != "M"}
+        assert len(tracks) >= 5
+        assert f"wrote {path}" in capsys.readouterr().out
+
+    def test_figure_metrics_out_covers_all_domains(self, tmp_path, capsys):
+        import csv
+
+        path = tmp_path / "metrics.csv"
+        assert main(["figure", "5", "--metrics-out", str(path)]) == 0
+        rows = list(csv.reader(path.read_text().splitlines()))
+        assert rows[0] == ["metric", "value"]
+        domains = {row[0].split(".")[0] for row in rows[1:]}
+        assert {"cache", "dram", "comm", "exec"} <= domains
+
+    def test_metrics_out_json_variant(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert main(["rank", "--sample", "6", "--metrics-out", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data and all(isinstance(v, (int, float)) for v in data.values())
+
+
+class TestMetricsDiff:
+    def test_diff_reports_changed_metrics(self, tmp_path, capsys):
+        before = tmp_path / "before.csv"
+        after = tmp_path / "after.csv"
+        before.write_text("metric,value\ncomm.transfers,4\ncache.hits,10\n")
+        after.write_text("metric,value\ncomm.transfers,6\ncache.hits,10\n")
+        assert main(["metrics-diff", str(before), str(after)]) == 0
+        out = capsys.readouterr().out
+        assert "comm.transfers" in out
+        assert "cache.hits" not in out  # unchanged metrics elided by default
+
+    def test_missing_file_is_config_error(self, tmp_path, capsys):
+        from repro.cli import EXIT_CONFIG_ERROR
+
+        code = main(["metrics-diff", str(tmp_path / "a.csv"), str(tmp_path / "b.csv")])
+        assert code == EXIT_CONFIG_ERROR
+        assert "configuration error" in capsys.readouterr().err
 
 
 class TestCompare:
