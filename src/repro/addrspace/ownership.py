@@ -9,9 +9,10 @@ shared object one does not own is an :class:`~repro.errors.OwnershipError`.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable
 
-from repro.errors import OwnershipError
+from repro.errors import ConfigError, OwnershipError
+from repro.obs.metrics import MetricRegistry
 from repro.taxonomy import ProcessingUnit
 
 __all__ = ["OwnershipTable"]
@@ -23,15 +24,45 @@ class OwnershipTable:
     Objects are identified by name (the LRB model's ``shared`` type
     qualifier tags objects, not address ranges). New shared objects start
     owned by the CPU, where data is initially allocated (§IV-B).
+
+    API-action counts are declared on a :class:`MetricRegistry` (the
+    ``addrspace.ownership`` component) like every other stats surface;
+    :attr:`acquires` and :attr:`releases` remain available as read-only
+    properties for existing consumers.
     """
 
     def __init__(self) -> None:
         self._owner: Dict[str, ProcessingUnit] = {}
-        self.acquires = 0
-        self.releases = 0
+        self.metrics = MetricRegistry("addrspace.ownership")
+        self._acquires = self.metrics.counter(
+            "acquires",
+            unit="api-actions",
+            description="acquireOwnership API actions (one per call, "
+            "covering any number of objects — Table IV's api-acq)",
+        )
+        self._releases = self.metrics.counter(
+            "releases",
+            unit="api-actions",
+            description="releaseOwnership API actions (one per call)",
+        )
+
+    @property
+    def acquires(self) -> int:
+        """acquireOwnership API actions so far (read-only)."""
+        return int(self._acquires.value)
+
+    @property
+    def releases(self) -> int:
+        """releaseOwnership API actions so far (read-only)."""
+        return int(self._releases.value)
 
     def register(self, name: str, owner: ProcessingUnit = ProcessingUnit.CPU) -> None:
         """Declare a new shared object."""
+        if not isinstance(owner, ProcessingUnit):
+            raise ConfigError(
+                f"shared object {name!r} needs a ProcessingUnit owner, "
+                f"got {owner!r}"
+            )
         if name in self._owner:
             raise OwnershipError(f"shared object {name!r} already registered")
         self._owner[name] = owner
@@ -62,7 +93,7 @@ class OwnershipTable:
             count += 1
         # Releases park ownership at the releasing PU until acquired; we
         # model the handshake by recording the release action only.
-        self.releases += 1
+        self._releases.inc()
         return count
 
     def acquire(self, names: Iterable[str], by: ProcessingUnit) -> int:
@@ -72,7 +103,7 @@ class OwnershipTable:
             self.owner_of(name)  # must exist
             self._owner[name] = by
             count += 1
-        self.acquires += 1
+        self._acquires.inc()
         return count
 
     def deregister(self, name: str) -> None:

@@ -1,0 +1,45 @@
+"""Static memory-model checker for kernel traces (``repro check``).
+
+The paper's Table I is, at heart, a table of *obligations*: every
+address-space/locality design point demands something from the program —
+ownership acquire/release discipline under the partially shared space
+(§II-A3), explicit transfers before consumption under disjoint spaces
+(§II-A2), a ``push`` before remote reads under explicit locality
+management (§II-B), and synchronization wherever the consistency model is
+weaker than SC (Table I's consistency column). The simulators enforce
+these *dynamically* (``OwnershipError`` mid-run); this package enforces
+them *statically*, by walking a :class:`~repro.trace.stream.KernelTrace`
+against a :class:`CheckConfig` and reporting typed :class:`Finding`\\ s in
+milliseconds — before any simulation cycles are spent.
+
+Suspicious concurrent phase pairs are additionally cross-validated
+against the operational consistency executors
+(:func:`repro.consistency.model.allowed_outcomes`): the checker compiles
+them to small litmus programs and upgrades the finding from *possible* to
+*confirmed* when the configured model really permits the bad outcome.
+
+Entry points:
+
+- :func:`check_trace` — analyze one trace under one configuration;
+- :func:`check_pairs` — batch helper over (trace, config) pairs;
+- ``repro-explore check`` — the CLI front door (exit code 4 on findings);
+- ``Explorer(check="warn"|"error")`` — the pre-simulation gate.
+"""
+
+from repro.check.analysis import check_pairs, check_trace
+from repro.check.config import CheckConfig
+from repro.check.findings import CheckReport, Finding, Severity, merge_reports
+from repro.check.rules import RULES, Rule, rule
+
+__all__ = [
+    "CheckConfig",
+    "CheckReport",
+    "Finding",
+    "Severity",
+    "Rule",
+    "RULES",
+    "rule",
+    "check_trace",
+    "check_pairs",
+    "merge_reports",
+]

@@ -1,0 +1,313 @@
+"""The static analysis passes behind ``repro check``.
+
+:func:`check_trace` walks a trace once per rule family, against the
+obligations the configuration imposes:
+
+- **races** — the two halves of a parallel phase run concurrently; where
+  their footprints overlap inside a shared window, writes race
+  (``RACE001``/``RACE002``) and, under a weak model, a store-buffering
+  exchange is compiled to a litmus program and confirmed against the
+  operational executor (``CONS001``);
+- **ownership** — under the partially shared space the checker abstracts
+  each H2D communication as a release+acquire granting ``num_objects``
+  shared objects to the GPU and each D2H as the GPU handing objects back
+  (Figure 2's flow); compute with nothing acquired, double grants, and
+  returns without a grant are ``PAS001``-``PAS003``;
+- **transfers** — disjoint spaces require a copy before consumption
+  (``DIS001``) and make back-to-back same-direction copies redundant
+  (``DIS002``);
+- **staleness** — under explicit shared locality, ranges written by one
+  PU must be pushed (a transfer in the producer-to-consumer direction)
+  before the other PU reads them (``LOC001``).
+
+Every pass is linear in the number of phases; the litmus confirmation
+runs the exhaustive executor only on 4-instruction programs, so checking
+a kernel takes well under the 1 s budget.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.check.config import CheckConfig
+from repro.check.findings import CheckReport, Finding
+from repro.check.rules import rule
+from repro.consistency.litmus import model_for
+from repro.consistency.model import is_allowed
+from repro.consistency.ops import Load, Program, Store
+from repro.taxonomy import ProcessingUnit
+from repro.trace.phase import CommPhase, Direction, ParallelPhase, Segment, SequentialPhase
+from repro.trace.stream import KernelTrace
+
+__all__ = ["check_trace", "check_pairs"]
+
+
+# -- range helpers ------------------------------------------------------------
+
+
+def _span(segment: Segment) -> Tuple[int, int]:
+    """The half-open byte range a segment's memory operations stride."""
+    return (segment.base_addr, segment.base_addr + segment.footprint_bytes)
+
+
+def _overlaps(a: Tuple[int, int], b: Tuple[int, int]) -> bool:
+    return a[0] < b[1] and b[0] < a[1]
+
+
+def _reads(segment: Segment) -> bool:
+    return segment.mix.load_ops > 0
+
+
+def _writes(segment: Segment) -> bool:
+    return segment.mix.store_ops > 0
+
+
+def _finding(
+    rule_id: str,
+    trace: KernelTrace,
+    index: int,
+    message: str,
+    segment: str = "",
+    confirmed: Optional[bool] = None,
+) -> Finding:
+    meta = rule(rule_id)
+    return Finding(
+        rule=rule_id,
+        severity=meta.severity,
+        message=message,
+        trace=trace.name,
+        phase_index=index,
+        phase_label=trace.phases[index].label,
+        segment=segment,
+        fix_hint=meta.fix_hint,
+        confirmed=confirmed,
+    )
+
+
+# -- RACE / CONS: concurrent halves of a parallel phase -----------------------
+
+
+def _sb_hazard_allowed(config: CheckConfig) -> bool:
+    """Litmus confirmation: compile the suspicious exchange to the classic
+    store-buffering program and ask the operational executor whether the
+    configured model reaches the bad outcome (both PUs missing each
+    other's update)."""
+    program = Program(
+        threads={
+            ProcessingUnit.CPU: (Store("x", 1), Load("y", "r0")),
+            ProcessingUnit.GPU: (Store("y", 1), Load("x", "r1")),
+        }
+    )
+    observation = {"r0": 0, "r1": 0}
+    return is_allowed(program, observation, model_for(config.consistency))
+
+
+def _check_races(trace: KernelTrace, config: CheckConfig) -> Iterable[Finding]:
+    if not config.has_shared_window:
+        # Overlapping virtual ranges name *different* memories under a
+        # disjoint space; there is nothing to race on.
+        return
+    for index, phase in enumerate(trace.phases):
+        if not isinstance(phase, ParallelPhase):
+            continue
+        cpu, gpu = phase.cpu, phase.gpu
+        if not _overlaps(_span(cpu), _span(gpu)):
+            continue
+        both = f"{cpu.label or 'cpu'}+{gpu.label or 'gpu'}"
+        if _writes(cpu) and _writes(gpu):
+            yield _finding(
+                "RACE001",
+                trace,
+                index,
+                "concurrent CPU and GPU segments write overlapping ranges "
+                f"[{cpu.base_addr:#x}..) and [{gpu.base_addr:#x}..) with no "
+                "intervening synchronization",
+                segment=both,
+            )
+        elif (_writes(cpu) and _reads(gpu)) or (_writes(gpu) and _reads(cpu)):
+            writer = cpu if _writes(cpu) else gpu
+            reader = gpu if writer is cpu else cpu
+            yield _finding(
+                "RACE002",
+                trace,
+                index,
+                f"{reader.pu} reads a range {writer.pu} is concurrently "
+                "writing; the value observed depends on interleaving",
+                segment=both,
+            )
+        if (
+            config.weak_consistency
+            and _writes(cpu)
+            and _writes(gpu)
+            and _reads(cpu)
+            and _reads(gpu)
+        ):
+            confirmed = _sb_hazard_allowed(config)
+            if confirmed:
+                yield _finding(
+                    "CONS001",
+                    trace,
+                    index,
+                    "store-buffering exchange on the overlapping range: the "
+                    f"{config.consistency} model permits both PUs to miss "
+                    "each other's writes",
+                    segment=both,
+                    confirmed=True,
+                )
+
+
+# -- PAS: ownership discipline ------------------------------------------------
+
+
+def _check_ownership(trace: KernelTrace, config: CheckConfig) -> Iterable[Finding]:
+    if not config.ownership_control:
+        return
+    held = 0  # shared objects currently acquired by the GPU
+    last_grant_index: Optional[int] = None  # H2D with no compute since
+    for index, phase in enumerate(trace.phases):
+        if isinstance(phase, CommPhase):
+            if phase.direction is Direction.H2D:
+                if last_grant_index is not None:
+                    yield _finding(
+                        "PAS002",
+                        trace,
+                        index,
+                        "ownership granted again (H2D at phase "
+                        f"{last_grant_index} and here) with no compute "
+                        "between the two acquires",
+                    )
+                held += phase.num_objects
+                last_grant_index = index
+            else:
+                last_grant_index = None  # ownership moved back; not a double grant
+                if phase.num_objects > held:
+                    yield _finding(
+                        "PAS003",
+                        trace,
+                        index,
+                        f"release of {phase.num_objects} shared object(s) "
+                        f"while the GPU holds only {held} (no matching "
+                        "acquire)",
+                    )
+                held = max(held - phase.num_objects, 0)
+        elif isinstance(phase, ParallelPhase):
+            last_grant_index = None
+            if held == 0:
+                yield _finding(
+                    "PAS001",
+                    trace,
+                    index,
+                    "GPU segment touches the shared window but the GPU has "
+                    "acquired no shared objects (missing acquireOwnership)",
+                    segment=phase.gpu.label,
+                )
+        elif isinstance(phase, SequentialPhase):
+            last_grant_index = None
+
+
+# -- DIS: explicit transfer discipline ----------------------------------------
+
+
+def _check_transfers(trace: KernelTrace, config: CheckConfig) -> Iterable[Finding]:
+    if not config.explicit_transfers:
+        return
+    device_resident = False
+    previous: Optional[Tuple[int, CommPhase]] = None  # adjacent comm phases
+    for index, phase in enumerate(trace.phases):
+        if isinstance(phase, CommPhase):
+            if previous is not None and previous[1].direction is phase.direction:
+                yield _finding(
+                    "DIS002",
+                    trace,
+                    index,
+                    f"back-to-back {phase.direction} copies (phases "
+                    f"{previous[0]} and {index}) with no compute between "
+                    "them: the second copies unchanged data",
+                )
+            if phase.direction is Direction.H2D:
+                device_resident = True
+            previous = (index, phase)
+        else:
+            previous = None
+            if isinstance(phase, ParallelPhase) and _reads(phase.gpu):
+                if not device_resident:
+                    yield _finding(
+                        "DIS001",
+                        trace,
+                        index,
+                        "GPU segment consumes data, but no H2D copy precedes "
+                        "it; under a disjoint space the device memory is "
+                        "uninitialized here",
+                        segment=phase.gpu.label,
+                    )
+
+
+# -- LOC: staleness under explicit locality -----------------------------------
+
+
+def _check_staleness(trace: KernelTrace, config: CheckConfig) -> Iterable[Finding]:
+    if not config.explicit_shared_locality:
+        return
+    # Ranges written by each PU and not yet pushed to the other side.
+    dirty: dict = {ProcessingUnit.CPU: [], ProcessingUnit.GPU: []}
+
+    def stale_overlap(reader: Segment) -> Optional[Tuple[Tuple[int, int], str]]:
+        if not _reads(reader):
+            return None
+        for span, label in dirty[reader.pu.other]:
+            if _overlaps(_span(reader), span):
+                return span, label
+        return None
+
+    for index, phase in enumerate(trace.phases):
+        if isinstance(phase, CommPhase):
+            # A transfer in a direction pushes everything the source PU
+            # produced (comm phases carry no ranges, so be conservative
+            # in the direction of *fewer* findings).
+            dirty[phase.direction.source] = []
+            continue
+        segments = (
+            (phase.segment,)
+            if isinstance(phase, SequentialPhase)
+            else (phase.cpu, phase.gpu)
+        )
+        # Reads see the state *before* this phase's writes land: check
+        # both halves first, then record the new dirty ranges.
+        for segment in segments:
+            hit = stale_overlap(segment)
+            if hit is not None:
+                span, producer = hit
+                yield _finding(
+                    "LOC001",
+                    trace,
+                    index,
+                    f"{segment.pu} reads [{span[0]:#x}..{span[1]:#x}) which "
+                    f"{segment.pu.other} produced in segment "
+                    f"{producer!r} with no intervening push/transfer",
+                    segment=segment.label,
+                )
+        for segment in segments:
+            if _writes(segment):
+                dirty[segment.pu].append(
+                    (_span(segment), segment.label or str(segment.pu))
+                )
+
+
+# -- entry points -------------------------------------------------------------
+
+_PASSES = (_check_races, _check_ownership, _check_transfers, _check_staleness)
+
+
+def check_trace(trace: KernelTrace, config: CheckConfig) -> CheckReport:
+    """Statically analyze one trace under one configuration."""
+    findings: List[Finding] = []
+    for check in _PASSES:
+        findings.extend(check(trace, config))
+    return CheckReport(trace=trace.name, config=config.label, findings=tuple(findings))
+
+
+def check_pairs(
+    pairs: Sequence[Tuple[KernelTrace, CheckConfig]],
+) -> List[CheckReport]:
+    """Check a batch of (trace, configuration) pairs."""
+    return [check_trace(trace, config) for trace, config in pairs]

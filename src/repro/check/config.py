@@ -1,0 +1,114 @@
+"""What the checker needs to know about a design point.
+
+A :class:`CheckConfig` is the four memory-model axes that carry
+correctness obligations — address space, coherence, consistency, and
+(optionally) the locality scheme. It is deliberately smaller than a
+:class:`~repro.core.design_point.DesignPoint` so the checker can be fed
+from a case study (no locality axis), a bare address-space kind
+(Figure 7's ideal-communication sweep), or a full design point alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.taxonomy import (
+    AddressSpaceKind,
+    CoherenceKind,
+    ConsistencyModel,
+    LocalityPolicy,
+    LocalityScheme,
+)
+
+__all__ = ["CheckConfig"]
+
+#: Coherence story each space gets when only the space kind is known
+#: (Figure 7 checks): PAS runs its ownership protocol, ADSM its runtime,
+#: a unified space is presumed hardware-coherent, disjoint needs nothing.
+_DEFAULT_COHERENCE = {
+    AddressSpaceKind.PARTIALLY_SHARED: CoherenceKind.OWNERSHIP,
+    AddressSpaceKind.ADSM: CoherenceKind.SOFTWARE_RUNTIME,
+    AddressSpaceKind.UNIFIED: CoherenceKind.HARDWARE_DIRECTORY,
+    AddressSpaceKind.DISJOINT: CoherenceKind.NONE,
+}
+
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """The axes of a design point that impose correctness obligations."""
+
+    address_space: AddressSpaceKind
+    coherence: CoherenceKind = CoherenceKind.NONE
+    consistency: ConsistencyModel = ConsistencyModel.WEAK
+    locality: Optional[LocalityScheme] = None
+    name: str = ""
+
+    @classmethod
+    def from_case_study(cls, case: "CaseStudy") -> "CheckConfig":
+        """The obligations of one of the §V-A case-study systems."""
+        return cls(
+            address_space=case.address_space,
+            coherence=case.coherence,
+            consistency=case.consistency,
+            name=case.name,
+        )
+
+    @classmethod
+    def from_design_point(cls, point: "DesignPoint") -> "CheckConfig":
+        """The obligations of a full design point (locality included)."""
+        return cls(
+            address_space=point.address_space,
+            coherence=point.coherence,
+            consistency=point.consistency,
+            locality=point.locality,
+            name=point.label,
+        )
+
+    @classmethod
+    def from_space(cls, space: AddressSpaceKind) -> "CheckConfig":
+        """Obligations implied by the space kind alone (Figure 7 sweep)."""
+        return cls(
+            address_space=space,
+            coherence=_DEFAULT_COHERENCE[space],
+            consistency=ConsistencyModel.WEAK,
+            name=space.short,
+        )
+
+    @property
+    def label(self) -> str:
+        return self.name or self.address_space.short
+
+    @property
+    def has_shared_window(self) -> bool:
+        """Whether overlapping virtual ranges can denote the same memory."""
+        return self.address_space.has_shared_window
+
+    @property
+    def ownership_control(self) -> bool:
+        """Whether the PAS acquire/release discipline applies (§II-A3)."""
+        return (
+            self.address_space is AddressSpaceKind.PARTIALLY_SHARED
+            and self.coherence is CoherenceKind.OWNERSHIP
+        )
+
+    @property
+    def explicit_transfers(self) -> bool:
+        """Whether data must be copied between spaces before use (§II-A2)."""
+        return self.address_space is AddressSpaceKind.DISJOINT
+
+    @property
+    def explicit_shared_locality(self) -> bool:
+        """Whether the shared level is explicitly managed (push required)."""
+        return (
+            self.locality is not None
+            and self.locality.shared_policy is LocalityPolicy.EXPLICIT
+        )
+
+    @property
+    def weak_consistency(self) -> bool:
+        """Any model of the weak family (everything but strong, Table I)."""
+        return self.consistency is not ConsistencyModel.STRONG
+
+    def __str__(self) -> str:
+        return self.label

@@ -1,0 +1,187 @@
+"""Typed findings and the report the checker returns.
+
+A :class:`Finding` pins one rule violation to a phase (and, when the rule
+is segment-level, a segment) of a kernel trace; a :class:`CheckReport`
+aggregates the findings of one (trace, configuration) pair and exports
+them as text, JSON, or :class:`~repro.obs.metrics.MetricSnapshot` samples
+so they flow through the same observability spine as every other stat.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.obs.metrics import MetricSnapshot
+
+__all__ = ["Severity", "Finding", "CheckReport", "merge_reports"]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is: errors gate simulation, warnings inform."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    @property
+    def rank(self) -> int:
+        """Sort key: errors first."""
+        return 0 if self is Severity.ERROR else 1
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls(text.strip().lower())
+        except ValueError:
+            raise ConfigError(
+                f"unknown severity {text!r}; use one of "
+                + ", ".join(s.value for s in cls)
+            ) from None
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, located in the trace.
+
+    ``confirmed`` carries the litmus cross-validation verdict where one was
+    run: ``True`` means the operational consistency executor proved the bad
+    outcome reachable under the configured model; ``None`` means the rule
+    is structural and no litmus program applies.
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    trace: str
+    phase_index: int
+    phase_label: str = ""
+    segment: str = ""
+    fix_hint: str = ""
+    confirmed: Optional[bool] = None
+
+    @property
+    def location(self) -> str:
+        """``trace@phase[i](label)``, with the segment when known."""
+        label = f"({self.phase_label})" if self.phase_label else ""
+        where = f"{self.trace}@phase[{self.phase_index}]{label}"
+        if self.segment:
+            where += f"/{self.segment}"
+        return where
+
+    def line(self) -> str:
+        """One human-readable report line."""
+        parts = [f"{self.severity.value.upper():7s} {self.rule} {self.location}: {self.message}"]
+        if self.confirmed is True:
+            parts.append(" [confirmed by litmus executor]")
+        elif self.confirmed is False:
+            parts.append(" [not reproducible under this model]")
+        if self.fix_hint:
+            parts.append(f" (fix: {self.fix_hint})")
+        return "".join(parts)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "trace": self.trace,
+            "phase_index": self.phase_index,
+            "phase_label": self.phase_label,
+            "segment": self.segment,
+            "fix_hint": self.fix_hint,
+            "confirmed": self.confirmed,
+        }
+
+
+@dataclass(frozen=True)
+class CheckReport:
+    """Findings of one trace under one configuration, sorted errors-first."""
+
+    trace: str
+    config: str
+    findings: Tuple[Finding, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(
+                self.findings,
+                key=lambda f: (f.severity.rank, f.phase_index, f.rule),
+            )
+        )
+        object.__setattr__(self, "findings", ordered)
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for f in self.findings if f.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for f in self.findings if f.severity is Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def filtered(
+        self,
+        rule: Optional[str] = None,
+        severity: Optional[Severity] = None,
+    ) -> "CheckReport":
+        """A report keeping only findings matching the filters."""
+        kept = tuple(
+            f
+            for f in self.findings
+            if (rule is None or f.rule == rule)
+            and (severity is None or f.severity is severity)
+        )
+        return CheckReport(trace=self.trace, config=self.config, findings=kept)
+
+    def format_text(self) -> str:
+        """The CLI's per-pair block: a headline plus one line per finding."""
+        status = "ok" if self.ok else (
+            f"{len(self.findings)} finding{'s' if len(self.findings) != 1 else ''} "
+            f"({self.errors} errors, {self.warnings} warnings)"
+        )
+        lines = [f"{self.trace} x {self.config}: {status}"]
+        lines.extend(f"  {f.line()}" for f in self.findings)
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "trace": self.trace,
+            "config": self.config,
+            "errors": self.errors,
+            "warnings": self.warnings,
+            "findings": [f.as_dict() for f in self.findings],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def to_metrics(self) -> MetricSnapshot:
+        """``check.*`` samples: totals plus a per-rule breakdown."""
+        samples: Dict[str, float] = {
+            "check.findings": float(len(self.findings)),
+            "check.errors": float(self.errors),
+            "check.warnings": float(self.warnings),
+        }
+        for finding in self.findings:
+            key = f"check.rule.{finding.rule}"
+            samples[key] = samples.get(key, 0.0) + 1.0
+        return MetricSnapshot(samples)
+
+
+def merge_reports(reports: Sequence[CheckReport]) -> MetricSnapshot:
+    """One flat metrics sample set over a batch of reports."""
+    merged = MetricSnapshot(
+        {"check.findings": 0.0, "check.errors": 0.0, "check.warnings": 0.0}
+    )
+    for report in reports:
+        merged = merged.merged(report.to_metrics())
+    return merged

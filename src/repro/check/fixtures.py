@@ -1,0 +1,313 @@
+"""Seeded-violation fixtures: one deliberately broken trace per rule id.
+
+These are the checker's ground truth — CI runs ``repro-explore check
+--fixtures`` and demands exit code 4 with every rule id reported — and
+double as executable documentation of what each rule catches. Each
+fixture is a small hand-built trace paired with the configuration under
+which it is wrong (the same trace is often *fine* under another design
+point; that asymmetry is the paper's Table I argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.check.config import CheckConfig
+from repro.taxonomy import (
+    AddressSpaceKind,
+    CoherenceKind,
+    ConsistencyModel,
+    LocalityScheme,
+    ProcessingUnit,
+)
+from repro.trace.mix import InstructionMix
+from repro.trace.phase import CommPhase, Direction, ParallelPhase, Segment, SequentialPhase
+from repro.trace.stream import KernelTrace
+
+__all__ = ["SeededViolation", "all_fixtures", "fixture_rule_ids"]
+
+_BASE = 0x1000_0000
+_KB = 1024
+
+
+@dataclass(frozen=True)
+class SeededViolation:
+    """A broken trace, the config it is broken under, and the expected rule."""
+
+    name: str
+    rule: str
+    trace: KernelTrace
+    config: CheckConfig
+    description: str
+
+
+def _seg(
+    pu: ProcessingUnit,
+    loads: int = 0,
+    stores: int = 0,
+    base: int = _BASE,
+    footprint: int = 4 * _KB,
+    label: str = "",
+) -> Segment:
+    """A tiny segment with the given memory behaviour (plus ALU filler)."""
+    if pu is ProcessingUnit.GPU:
+        mix = InstructionMix(simd_loads=loads, simd_stores=stores, int_alu=16)
+    else:
+        mix = InstructionMix(loads=loads, stores=stores, int_alu=16)
+    return Segment(
+        pu=pu,
+        mix=mix,
+        base_addr=base,
+        footprint_bytes=footprint,
+        label=label or f"{pu}-seg",
+    )
+
+
+def _h2d(num_bytes: int = 4 * _KB, num_objects: int = 1, label: str = "h2d") -> CommPhase:
+    return CommPhase(
+        label=label, direction=Direction.H2D, num_bytes=num_bytes, num_objects=num_objects
+    )
+
+
+def _d2h(num_bytes: int = 4 * _KB, num_objects: int = 1, label: str = "d2h") -> CommPhase:
+    return CommPhase(
+        label=label, direction=Direction.D2H, num_bytes=num_bytes, num_objects=num_objects
+    )
+
+
+_UNI_WEAK = CheckConfig(
+    address_space=AddressSpaceKind.UNIFIED,
+    coherence=CoherenceKind.HARDWARE_DIRECTORY,
+    consistency=ConsistencyModel.WEAK,
+    name="UNI/weak",
+)
+
+_PAS_OWNED = CheckConfig(
+    address_space=AddressSpaceKind.PARTIALLY_SHARED,
+    coherence=CoherenceKind.OWNERSHIP,
+    consistency=ConsistencyModel.WEAK,
+    name="PAS/ownership",
+)
+
+_DIS = CheckConfig(
+    address_space=AddressSpaceKind.DISJOINT,
+    coherence=CoherenceKind.NONE,
+    consistency=ConsistencyModel.WEAK,
+    name="DIS/pci-e",
+)
+
+_PAS_EXPLICIT = CheckConfig(
+    address_space=AddressSpaceKind.PARTIALLY_SHARED,
+    coherence=CoherenceKind.OWNERSHIP,
+    consistency=ConsistencyModel.WEAK,
+    locality=LocalityScheme.EXPLICIT_PRIVATE_EXPLICIT_SHARED,
+    name="PAS/expl-shared",
+)
+
+
+def all_fixtures() -> Tuple[SeededViolation, ...]:
+    """Every seeded violation, at least one per rule id."""
+    return (
+        SeededViolation(
+            name="race-write-write",
+            rule="RACE001",
+            trace=KernelTrace(
+                name="seeded-race-ww",
+                phases=(
+                    _h2d(label="send"),
+                    ParallelPhase(
+                        label="collide",
+                        cpu=_seg(ProcessingUnit.CPU, stores=8, label="cpu-writer"),
+                        gpu=_seg(ProcessingUnit.GPU, stores=8, label="gpu-writer"),
+                    ),
+                    _d2h(label="return"),
+                ),
+            ),
+            config=_UNI_WEAK,
+            description="both PUs write the same shared range concurrently",
+        ),
+        SeededViolation(
+            name="race-write-read",
+            rule="RACE002",
+            trace=KernelTrace(
+                name="seeded-race-wr",
+                phases=(
+                    _h2d(label="send"),
+                    ParallelPhase(
+                        label="snoop",
+                        cpu=_seg(ProcessingUnit.CPU, stores=8, label="cpu-writer"),
+                        gpu=_seg(ProcessingUnit.GPU, loads=8, label="gpu-reader"),
+                    ),
+                    _d2h(label="return"),
+                ),
+            ),
+            config=_UNI_WEAK,
+            description="the GPU reads a range the CPU is concurrently writing",
+        ),
+        SeededViolation(
+            name="store-buffering-exchange",
+            rule="CONS001",
+            trace=KernelTrace(
+                name="seeded-sb",
+                phases=(
+                    _h2d(label="send"),
+                    ParallelPhase(
+                        label="flag-exchange",
+                        cpu=_seg(ProcessingUnit.CPU, loads=4, stores=4, label="cpu-rw"),
+                        gpu=_seg(ProcessingUnit.GPU, loads=4, stores=4, label="gpu-rw"),
+                    ),
+                    _d2h(label="return"),
+                ),
+            ),
+            config=_UNI_WEAK,
+            description="read+write exchange on a shared range under a weak "
+            "model; the litmus executor confirms the SB outcome",
+        ),
+        SeededViolation(
+            name="unacquired-access",
+            rule="PAS001",
+            trace=KernelTrace(
+                name="seeded-unacquired",
+                phases=(
+                    ParallelPhase(
+                        label="eager-kernel",
+                        cpu=_seg(ProcessingUnit.CPU, loads=8, label="cpu-half"),
+                        gpu=_seg(
+                            ProcessingUnit.GPU, loads=8, base=_BASE + 8 * _KB, label="gpu-half"
+                        ),
+                    ),
+                    _d2h(label="return"),
+                ),
+            ),
+            config=_PAS_OWNED,
+            description="the GPU computes before any ownership was acquired",
+        ),
+        SeededViolation(
+            name="double-acquire",
+            rule="PAS002",
+            trace=KernelTrace(
+                name="seeded-double-acquire",
+                phases=(
+                    _h2d(label="grant-1"),
+                    _h2d(label="grant-2"),
+                    ParallelPhase(
+                        label="kernel",
+                        cpu=_seg(ProcessingUnit.CPU, loads=8, label="cpu-half"),
+                        gpu=_seg(
+                            ProcessingUnit.GPU, loads=8, base=_BASE + 8 * _KB, label="gpu-half"
+                        ),
+                    ),
+                    _d2h(label="return"),
+                ),
+            ),
+            config=_PAS_OWNED,
+            description="ownership granted twice with no compute in between",
+        ),
+        SeededViolation(
+            name="release-without-acquire",
+            rule="PAS003",
+            trace=KernelTrace(
+                name="seeded-bad-release",
+                phases=(
+                    _h2d(num_objects=1, label="grant"),
+                    ParallelPhase(
+                        label="kernel",
+                        cpu=_seg(ProcessingUnit.CPU, loads=8, label="cpu-half"),
+                        gpu=_seg(
+                            ProcessingUnit.GPU, loads=8, base=_BASE + 8 * _KB, label="gpu-half"
+                        ),
+                    ),
+                    _d2h(num_objects=1, label="return-1"),
+                    SequentialPhase(
+                        label="host-step",
+                        segment=_seg(ProcessingUnit.CPU, loads=4, label="host-read"),
+                    ),
+                    _d2h(num_objects=1, label="return-2"),
+                ),
+            ),
+            config=_PAS_OWNED,
+            description="a second return releases objects the GPU no longer holds",
+        ),
+        SeededViolation(
+            name="consume-before-copy",
+            rule="DIS001",
+            trace=KernelTrace(
+                name="seeded-no-h2d",
+                phases=(
+                    ParallelPhase(
+                        label="eager-kernel",
+                        cpu=_seg(ProcessingUnit.CPU, loads=8, label="cpu-half"),
+                        gpu=_seg(
+                            ProcessingUnit.GPU, loads=8, base=_BASE + 8 * _KB, label="gpu-half"
+                        ),
+                    ),
+                    _d2h(label="return"),
+                ),
+            ),
+            config=_DIS,
+            description="the GPU consumes device memory nothing ever copied into",
+        ),
+        SeededViolation(
+            name="redundant-copy",
+            rule="DIS002",
+            trace=KernelTrace(
+                name="seeded-double-copy",
+                phases=(
+                    _h2d(label="copy-1"),
+                    _h2d(label="copy-2"),
+                    ParallelPhase(
+                        label="kernel",
+                        cpu=_seg(ProcessingUnit.CPU, loads=8, label="cpu-half"),
+                        gpu=_seg(
+                            ProcessingUnit.GPU, loads=8, base=_BASE + 8 * _KB, label="gpu-half"
+                        ),
+                    ),
+                    _d2h(label="return"),
+                ),
+            ),
+            config=_DIS,
+            description="the same unchanged data is copied H2D twice in a row",
+        ),
+        SeededViolation(
+            name="stale-read",
+            rule="LOC001",
+            trace=KernelTrace(
+                name="seeded-stale-read",
+                phases=(
+                    _h2d(num_objects=2, label="grant"),
+                    ParallelPhase(
+                        label="produce",
+                        cpu=_seg(ProcessingUnit.CPU, loads=8, label="cpu-half"),
+                        gpu=_seg(
+                            ProcessingUnit.GPU,
+                            stores=8,
+                            base=_BASE + 8 * _KB,
+                            label="gpu-producer",
+                        ),
+                    ),
+                    SequentialPhase(
+                        label="consume",
+                        segment=_seg(
+                            ProcessingUnit.CPU,
+                            loads=8,
+                            base=_BASE + 8 * _KB,
+                            label="cpu-consumer",
+                        ),
+                    ),
+                    _d2h(label="late-return"),
+                ),
+            ),
+            config=_PAS_EXPLICIT,
+            description="the CPU reads GPU-produced data before any push",
+        ),
+    )
+
+
+def fixture_rule_ids() -> Tuple[str, ...]:
+    """The distinct rule ids the fixture suite seeds."""
+    seen = []
+    for fixture in all_fixtures():
+        if fixture.rule not in seen:
+            seen.append(fixture.rule)
+    return tuple(seen)

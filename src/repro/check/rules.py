@@ -1,0 +1,134 @@
+"""The checker's rule catalog: ids, severities, and paper provenance.
+
+Rule ids are stable API (CI greps them, ``--rule`` filters on them, and
+``docs/check-rules.md`` documents them); add new rules, never renumber.
+Families follow the design-space axes of the paper:
+
+- ``RACE`` — concurrent-access races inside a parallel phase;
+- ``CONS`` — hazards specific to weak consistency models (litmus-confirmed);
+- ``PAS`` — ownership discipline of the partially shared space (§II-A3);
+- ``DIS`` — explicit-transfer discipline of disjoint spaces (§II-A2);
+- ``LOC`` — staleness under explicit locality management (§II-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.check.findings import Severity
+from repro.errors import ConfigError
+
+__all__ = ["Rule", "RULES", "rule", "rule_ids"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Metadata for one check rule."""
+
+    id: str
+    title: str
+    severity: Severity
+    paper_section: str
+    applies_to: str
+    fix_hint: str
+
+
+_RULES: Tuple[Rule, ...] = (
+    Rule(
+        id="RACE001",
+        title="concurrent write-write overlap",
+        severity=Severity.ERROR,
+        paper_section="§II-A (shared address spaces), Table I",
+        applies_to="any address space with a shared window (UNI/PAS/ADSM)",
+        fix_hint="separate the writers with a communication phase or give the "
+        "segments disjoint footprints",
+    ),
+    Rule(
+        id="RACE002",
+        title="concurrent write-read overlap",
+        severity=Severity.ERROR,
+        paper_section="§II-A (shared address spaces), Table I",
+        applies_to="any address space with a shared window (UNI/PAS/ADSM)",
+        fix_hint="move the reader after a communication phase that publishes "
+        "the writer's data",
+    ),
+    Rule(
+        id="CONS001",
+        title="store-buffering hazard permitted by the weak model",
+        severity=Severity.WARNING,
+        paper_section="Table I consistency column; §II (weak models)",
+        applies_to="weak/release consistency over a shared window",
+        fix_hint="insert fences (or pick a strong-consistency design point) "
+        "so both PUs observe each other's updates",
+    ),
+    Rule(
+        id="PAS001",
+        title="shared-object access without ownership",
+        severity=Severity.ERROR,
+        paper_section="§II-A3 (ownership control), Figure 2",
+        applies_to="partially shared space with ownership control",
+        fix_hint="insert an H2D transfer (releaseOwnership on the CPU + "
+        "acquireOwnership on the GPU) before this phase",
+    ),
+    Rule(
+        id="PAS002",
+        title="double acquire (back-to-back ownership grants)",
+        severity=Severity.WARNING,
+        paper_section="§II-A3 (ownership control), Table IV api-acq cost",
+        applies_to="partially shared space with ownership control",
+        fix_hint="drop the second transfer or move compute between the two "
+        "ownership grants",
+    ),
+    Rule(
+        id="PAS003",
+        title="release without matching acquire",
+        severity=Severity.ERROR,
+        paper_section="§II-A3 (ownership control), Figure 2",
+        applies_to="partially shared space with ownership control",
+        fix_hint="acquire the shared objects (H2D transfer) before returning "
+        "them to the host",
+    ),
+    Rule(
+        id="DIS001",
+        title="kernel consumes data never copied host-to-device",
+        severity=Severity.ERROR,
+        paper_section="§II-A2 (disjoint spaces), Figure 3 memcpy pattern",
+        applies_to="disjoint address spaces",
+        fix_hint="copy the GPU's input H2D before the first parallel phase",
+    ),
+    Rule(
+        id="DIS002",
+        title="redundant back-to-back copies of unchanged data",
+        severity=Severity.WARNING,
+        paper_section="§II-A2 (disjoint spaces); §V-C communication overhead",
+        applies_to="disjoint address spaces",
+        fix_hint="drop the second copy: no compute phase touched the data "
+        "between the two transfers",
+    ),
+    Rule(
+        id="LOC001",
+        title="stale read of remotely-produced data (missing push)",
+        severity=Severity.ERROR,
+        paper_section="§II-B (explicit locality management), push semantics",
+        applies_to="design points whose shared level is explicitly managed",
+        fix_hint="push (transfer) the producer's range before the remote read",
+    ),
+)
+
+RULES: Dict[str, Rule] = {r.id: r for r in _RULES}
+
+
+def rule(rule_id: str) -> Rule:
+    """Look up a rule by id; raises :class:`ConfigError` for unknown ids."""
+    try:
+        return RULES[rule_id]
+    except KeyError:
+        raise ConfigError(
+            f"unknown check rule {rule_id!r}; known: {', '.join(RULES)}"
+        ) from None
+
+
+def rule_ids() -> Tuple[str, ...]:
+    """All rule ids, in catalog order."""
+    return tuple(RULES)

@@ -8,11 +8,14 @@ Installed as ``repro-explore``::
     repro-explore rank --top 10
     repro-explore figure 5 --trace-out fig5.json --metrics-out fig5.csv
     repro-explore metrics-diff before.csv after.csv
+    repro-explore check
+    repro-explore check --fixtures --rule PAS001
 
 All output goes through the structured ``repro`` logger onto stdout
 (byte-identical to plain printing by default); ``--quiet`` silences it and
 ``-v`` adds debug detail. Exit codes: 0 success, 1 failed comparison
-checks, 2 configuration errors, 3 simulation errors.
+checks, 2 configuration errors, 3 simulation errors, 4 static-checker
+violations (``check`` subcommand, or a ``--check error`` gate refusal).
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ from repro.core.explorer import Explorer
 from repro.core.report import format_table
 from repro.core.space import DesignSpace
 from repro.errors import (
+    CheckError,
     ConfigError,
     DesignSpaceError,
     ProgramError,
@@ -38,13 +42,21 @@ from repro.obs.metrics import MetricSnapshot, write_metrics_csv, write_metrics_j
 from repro.obs.tracing import trace_from_results
 from repro.version import __version__
 
-__all__ = ["main", "EXIT_OK", "EXIT_CONFIG_ERROR", "EXIT_SIMULATION_ERROR"]
+__all__ = [
+    "main",
+    "EXIT_OK",
+    "EXIT_CONFIG_ERROR",
+    "EXIT_SIMULATION_ERROR",
+    "EXIT_CHECK_VIOLATIONS",
+]
 
 #: Exit codes: configuration mistakes (bad flags/values) vs failures while
-#: actually simulating — scripts can tell them apart.
+#: actually simulating vs static-checker violations — scripts can tell
+#: them apart.
 EXIT_OK = 0
 EXIT_CONFIG_ERROR = 2
 EXIT_SIMULATION_ERROR = 3
+EXIT_CHECK_VIOLATIONS = 4
 
 _log = get_logger("cli")
 
@@ -106,7 +118,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    explorer = Explorer(jobs=args.jobs)
+    explorer = Explorer(jobs=args.jobs, check=args.check)
     builders = {
         5: figures.figure5_text,
         6: figures.figure6_text,
@@ -129,7 +141,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_rank(args: argparse.Namespace) -> int:
-    explorer = Explorer(jobs=args.jobs)
+    explorer = Explorer(jobs=args.jobs, check=args.check)
     points = DesignSpace().feasible_points()
     if args.sample and args.sample < len(points):
         step = max(len(points) // args.sample, 1)
@@ -248,6 +260,65 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check import CheckConfig, Severity, check_trace, merge_reports
+    from repro.check.rules import rule
+    from repro.config.presets import CASE_STUDIES, case_study
+    from repro.kernels.registry import all_kernels, kernel
+
+    severity = Severity.parse(args.severity) if args.severity else None
+    if args.rule:
+        rule(args.rule)  # validate the id up front (ConfigError on typos)
+
+    pairs = []
+    if args.fixtures:
+        from repro.check.fixtures import all_fixtures
+
+        pairs = [(fx.trace, fx.config) for fx in all_fixtures()]
+    else:
+        kernels = [kernel(name) for name in args.kernel] or list(all_kernels())
+        cases = [case_study(name) for name in args.case] or list(
+            CASE_STUDIES.values()
+        )
+        pairs = [
+            (k.trace(), CheckConfig.from_case_study(case))
+            for k in kernels
+            for case in cases
+        ]
+
+    reports = [
+        check_trace(trace, config).filtered(rule=args.rule, severity=severity)
+        for trace, config in pairs
+    ]
+    shown = reports if args.all else [r for r in reports if not r.ok]
+    for report in shown:
+        _out(report.format_text())
+    findings = sum(len(r.findings) for r in reports)
+    errors = sum(r.errors for r in reports)
+    warnings = sum(r.warnings for r in reports)
+    _out(
+        f"\n{len(reports)} checks, {findings} findings "
+        f"({errors} errors, {warnings} warnings)"
+    )
+    if args.json:
+        import json as json_mod
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_mod.dump(
+                [r.as_dict() for r in reports], handle, indent=2, sort_keys=True
+            )
+            handle.write("\n")
+        _out(f"wrote {args.json}")
+    if args.metrics_out:
+        snapshot = merge_reports(reports)
+        if args.metrics_out.endswith(".json"):
+            write_metrics_json(args.metrics_out, snapshot)
+        else:
+            write_metrics_csv(args.metrics_out, snapshot)
+        _out(f"wrote {args.metrics_out}")
+    return EXIT_CHECK_VIOLATIONS if findings else EXIT_OK
+
+
 def _cmd_litmus(args: argparse.Namespace) -> int:
     from repro.consistency.litmus import LITMUS_TESTS, model_for
     from repro.consistency.model import is_allowed
@@ -304,6 +375,14 @@ def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="write the run's aggregated metrics (CSV, or JSON if the "
         "path ends in .json)",
+    )
+    parser.add_argument(
+        "--check",
+        choices=("off", "warn", "error"),
+        default="off",
+        help="pre-simulation static memory-model checker: warn logs "
+        "findings, error refuses violating (trace, design point) pairs "
+        "with exit code 4 (default off)",
     )
 
 
@@ -383,6 +462,58 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_litmus.set_defaults(func=_cmd_litmus)
 
+    p_check = sub.add_parser(
+        "check",
+        help="static memory-model checker: races, ownership, transfers, "
+        "staleness (exit 4 when violations are found)",
+    )
+    p_check.add_argument(
+        "--kernel",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="check only this kernel (repeatable; default: all six)",
+    )
+    p_check.add_argument(
+        "--case",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="check only under this case-study system (repeatable; "
+        "default: all five paper systems)",
+    )
+    p_check.add_argument(
+        "--fixtures",
+        action="store_true",
+        help="check the seeded-violation fixture suite instead of the "
+        "paper kernels (exercises every rule id; exits 4)",
+    )
+    p_check.add_argument(
+        "--rule", default=None, metavar="ID", help="report only this rule id"
+    )
+    p_check.add_argument(
+        "--severity",
+        default=None,
+        choices=("error", "warning"),
+        help="report only findings of this severity",
+    )
+    p_check.add_argument(
+        "--all",
+        action="store_true",
+        help="also print clean (trace, configuration) pairs",
+    )
+    p_check.add_argument(
+        "--json", default=None, metavar="PATH", help="write the reports as JSON"
+    )
+    p_check.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write aggregated check.* metrics (CSV, or JSON if the path "
+        "ends in .json)",
+    )
+    p_check.set_defaults(func=_cmd_check)
+
     p_export = sub.add_parser(
         "export", help="write every regenerated experiment to a JSON file"
     )
@@ -410,6 +541,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (ConfigError, TraceError, ProgramError, DesignSpaceError) as exc:
         print(f"repro-explore: configuration error: {exc}", file=sys.stderr)
         return EXIT_CONFIG_ERROR
+    except CheckError as exc:
+        print(f"repro-explore: check violations: {exc}", file=sys.stderr)
+        return EXIT_CHECK_VIOLATIONS
     except ReproError as exc:
         print(f"repro-explore: simulation error: {exc}", file=sys.stderr)
         return EXIT_SIMULATION_ERROR

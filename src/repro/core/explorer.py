@@ -14,13 +14,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.check import CheckConfig, check_trace
 from repro.config.comm import CommParams
 from repro.config.presets import CASE_STUDIES, CaseStudy
 from repro.config.system import SystemConfig
 from repro.core.design_point import DesignPoint
 from repro.core.space import DesignSpace
 from repro.core.programmability import table5_dict
-from repro.errors import DesignSpaceError
+from repro.errors import CheckError, ConfigError, DesignSpaceError
 from repro.exec.cache import SHARED_TRACE_CACHE, ResultCache, TraceCache
 from repro.exec.job import SimJob
 from repro.exec.runner import ParallelRunner
@@ -28,12 +29,18 @@ from repro.exec.stats import RunStats
 from repro.kernels.base import Kernel
 from repro.kernels.registry import all_kernels
 from repro.locality.schemes import feasible_schemes
+from repro.obs.log import get_logger
 from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.sim.fast import FastSimulator
 from repro.sim.results import SimulationResult
 from repro.taxonomy import AddressSpaceKind, CommMechanism
 
 __all__ = ["Explorer", "DesignPointEvaluation"]
+
+_log = get_logger("core.explorer")
+
+#: Valid values for the Explorer's pre-simulation check gate.
+CHECK_MODES = ("off", "warn", "error")
 
 
 @dataclass(frozen=True)
@@ -69,6 +76,7 @@ class Explorer:
         trace_cache: Optional[TraceCache] = None,
         result_cache: Optional[ResultCache] = None,
         tracer: Tracer = NULL_TRACER,
+        check: str = "off",
     ) -> None:
         self.system = system or SystemConfig()
         self.comm_params = comm_params or CommParams()
@@ -93,6 +101,16 @@ class Explorer:
         #: Flat results of the most recent batch, in submission order —
         #: the input :func:`~repro.obs.tracing.trace_from_results` needs.
         self.last_results: List[SimulationResult] = []
+        #: Pre-simulation static checker gate (``repro.check``): ``"off"``
+        #: skips it entirely (default — output stays byte-identical),
+        #: ``"warn"`` logs findings, ``"error"`` refuses to simulate a
+        #: trace that violates its design point's obligations.
+        if check not in CHECK_MODES:
+            raise ConfigError(
+                f"check mode must be one of {CHECK_MODES}, got {check!r}"
+            )
+        self.check = check
+        self._check_memo: Dict[Tuple, bool] = {}
 
     @property
     def jobs(self) -> int:
@@ -103,6 +121,35 @@ class Explorer:
         return SimJob(
             trace=trace, system=self.system, comm_params=self.comm_params, **kwargs
         )
+
+    def _gate(self, trace, config: CheckConfig) -> None:
+        """Run the static checker on one (trace, config) pair if enabled.
+
+        ``warn`` logs every finding; ``error`` raises :class:`CheckError`
+        when the report contains error-severity findings. Reports are
+        memoized per (trace, config), so repeated submissions of the same
+        pair (rank's big fan-out) check once.
+        """
+        if self.check == "off":
+            return
+        key = (trace, config)
+        if key in self._check_memo:
+            ok = self._check_memo[key]
+            if not ok and self.check == "error":
+                raise CheckError(
+                    f"{trace.name} violates the {config.label} obligations "
+                    "(previously reported)"
+                )
+            return
+        report = check_trace(trace, config)
+        for finding in report.findings:
+            _log.warning("[check] %s", finding.line())
+        self._check_memo[key] = not report.errors
+        if self.check == "error" and report.errors:
+            raise CheckError(
+                f"{trace.name} violates the {config.label} obligations: "
+                + "; ".join(f.line() for f in report.findings)
+            )
 
     def run_case_studies_detailed(
         self,
@@ -139,6 +186,12 @@ class Explorer:
         """{kernel: {system: result}} over the five §V-A systems."""
         kernels = list(kernels or all_kernels())
         cases = list(cases or CASE_STUDIES.values())
+        if self.check != "off":
+            for kernel in kernels:
+                for case in cases:
+                    self._gate(
+                        self.trace_cache.get(kernel), CheckConfig.from_case_study(case)
+                    )
         jobs = [
             self._job(self.trace_cache.get(kernel), case=case)
             for kernel in kernels
@@ -171,6 +224,12 @@ class Explorer:
         """
         kernels = list(kernels or all_kernels())
         spaces = list(spaces or AddressSpaceKind)
+        if self.check != "off":
+            for kernel in kernels:
+                for space in spaces:
+                    self._gate(
+                        self.trace_cache.get(kernel), CheckConfig.from_space(space)
+                    )
         jobs = [
             self._job(
                 self.trace_cache.get(kernel),
@@ -200,6 +259,11 @@ class Explorer:
     ) -> List[SimJob]:
         """One simulation job per kernel for a feasible design point."""
         point.require_feasible()
+        if self.check != "off":
+            for kernel in kernels:
+                self._gate(
+                    self.trace_cache.get(kernel), CheckConfig.from_design_point(point)
+                )
         return [
             self._job(
                 self.trace_cache.get(kernel),

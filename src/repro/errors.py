@@ -21,6 +21,7 @@ __all__ = [
     "LocalityError",
     "DesignSpaceError",
     "ProgramError",
+    "CheckError",
 ]
 
 
@@ -82,3 +83,12 @@ class DesignSpaceError(ReproError):
 
 class ProgramError(ReproError):
     """A mini-DSL program is malformed or violates model rules."""
+
+
+class CheckError(ReproError):
+    """The static memory-model checker found violations that gate a run.
+
+    Raised by :class:`~repro.core.explorer.Explorer` in ``check="error"``
+    mode when a trace breaks the obligations of the design point it is
+    about to be simulated under.
+    """

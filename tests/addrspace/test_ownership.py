@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import OwnershipError
+from repro.errors import ConfigError, OwnershipError
 from repro.addrspace.ownership import OwnershipTable
 from repro.taxonomy import ProcessingUnit
 
@@ -38,6 +38,16 @@ class TestRegistration:
     def test_is_registered(self, table):
         assert table.is_registered("a")
         assert not table.is_registered("zzz")
+
+    @pytest.mark.parametrize("owner", ["CPU", 0, None])
+    def test_owner_must_be_processing_unit(self, owner):
+        """Regression: register("x", owner="CPU") used to silently store the
+        string, making every later owner_of/check_access comparison fail in
+        confusing ways. Now it is rejected up front."""
+        t = OwnershipTable()
+        with pytest.raises(ConfigError, match="ProcessingUnit"):
+            t.register("x", owner=owner)
+        assert not t.is_registered("x")
 
 
 class TestTransfer:
@@ -84,3 +94,33 @@ class TestAccessChecks:
         table.acquire(["a"], by=GPU)
         stats = table.stats()
         assert stats == {"acquires": 1, "releases": 1, "objects": 3}
+
+
+class TestMetrics:
+    """acquire/release counts live on the obs MetricRegistry (the one
+    stats surface), with the old attributes kept as read-only views."""
+
+    def test_counts_are_registry_backed(self, table):
+        table.release(["a", "b"], by=CPU)
+        table.acquire(["a"], by=GPU)
+        table.acquire(["b"], by=GPU)
+        assert table.metrics.component == "addrspace.ownership"
+        assert table.metrics.snapshot() == {"acquires": 2.0, "releases": 1.0}
+
+    def test_properties_track_registry(self, table):
+        assert table.acquires == 0 and table.releases == 0
+        table.release(["a"], by=CPU)
+        table.acquire(["a"], by=GPU)
+        assert table.acquires == 1
+        assert table.releases == 1
+        assert isinstance(table.acquires, int)
+
+    def test_counts_are_read_only(self, table):
+        with pytest.raises(AttributeError):
+            table.acquires = 5
+        with pytest.raises(AttributeError):
+            table.releases = 5
+
+    def test_counters_documented(self, table):
+        names = {name for name, _, _, _ in table.metrics.describe()}
+        assert names == {"acquires", "releases"}

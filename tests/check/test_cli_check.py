@@ -1,0 +1,87 @@
+"""End-to-end tests of the ``repro-explore check`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import EXIT_CHECK_VIOLATIONS, EXIT_CONFIG_ERROR, EXIT_OK, main
+
+
+class TestPaperKernels:
+    def test_all_kernels_all_cases_are_clean(self, capsys):
+        assert main(["check"]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "30 checks, 0 findings (0 errors, 0 warnings)" in out
+
+    def test_kernel_and_case_filters(self, capsys):
+        code = main(["check", "--kernel", "matmul", "--case", "LRB"])
+        assert code == EXIT_OK
+        assert "1 checks, 0 findings" in capsys.readouterr().out
+
+    def test_all_flag_prints_clean_reports(self, capsys):
+        main(["check", "--kernel", "matmul", "--case", "LRB", "--all"])
+        assert ": ok" in capsys.readouterr().out
+
+
+class TestFixtures:
+    def test_fixtures_exit_with_check_violations(self, capsys):
+        assert main(["check", "--fixtures"]) == EXIT_CHECK_VIOLATIONS
+        out = capsys.readouterr().out
+        for rule_id in (
+            "RACE001",
+            "RACE002",
+            "CONS001",
+            "PAS001",
+            "PAS002",
+            "PAS003",
+            "DIS001",
+            "DIS002",
+            "LOC001",
+        ):
+            assert rule_id in out, f"{rule_id} missing from fixture report"
+
+    def test_rule_filter(self, capsys):
+        code = main(["check", "--fixtures", "--rule", "LOC001"])
+        assert code == EXIT_CHECK_VIOLATIONS
+        out = capsys.readouterr().out
+        assert "LOC001" in out
+        assert "RACE001" not in out
+
+    def test_severity_filter_drops_errors(self, capsys):
+        code = main(["check", "--fixtures", "--severity", "warning"])
+        assert code == EXIT_CHECK_VIOLATIONS
+        out = capsys.readouterr().out
+        assert "WARNING" in out
+        assert "ERROR" not in out
+
+    def test_unknown_rule_is_a_config_error(self):
+        assert main(["check", "--rule", "RACE999"]) == EXIT_CONFIG_ERROR
+
+
+class TestExports:
+    def test_json_export(self, tmp_path, capsys):
+        path = tmp_path / "reports.json"
+        main(["check", "--fixtures", "--json", str(path)])
+        capsys.readouterr()
+        reports = json.loads(path.read_text())
+        assert len(reports) == 9
+        rules = {f["rule"] for r in reports for f in r["findings"]}
+        assert "RACE001" in rules and "LOC001" in rules
+
+    @pytest.mark.parametrize("suffix", ["csv", "json"])
+    def test_metrics_export(self, tmp_path, capsys, suffix):
+        path = tmp_path / f"metrics.{suffix}"
+        main(["check", "--fixtures", "--metrics-out", str(path)])
+        capsys.readouterr()
+        text = path.read_text()
+        assert "check.findings" in text
+        assert "check.rule.RACE001" in text
+
+    def test_clean_run_exports_zero_counts(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        main(
+            ["check", "--kernel", "matmul", "--case", "LRB", "--metrics-out", str(path)]
+        )
+        capsys.readouterr()
+        data = json.loads(path.read_text())
+        assert data["check.findings"] == 0.0

@@ -1,0 +1,114 @@
+"""The Explorer's pre-simulation check gate (``check="off"|"warn"|"error"``)."""
+
+import io
+
+import pytest
+
+from repro.check import CheckConfig
+from repro.obs.log import configure_logging
+from repro.check.fixtures import all_fixtures
+from repro.config.presets import CASE_STUDIES
+from repro.core.explorer import CHECK_MODES, Explorer
+from repro.errors import CheckError, ConfigError
+from repro.kernels.registry import all_kernels
+
+
+def _fixture(name):
+    for fixture in all_fixtures():
+        if fixture.name == name:
+            return fixture
+    raise AssertionError(name)
+
+
+class FakeKernel:
+    """Just enough kernel surface for the explorer's trace cache."""
+
+    def __init__(self, trace):
+        self.name = trace.name
+        self._trace = trace
+
+    def trace(self, shape=None):
+        return self._trace
+
+
+class TestModes:
+    def test_valid_modes(self):
+        assert CHECK_MODES == ("off", "warn", "error")
+        for mode in CHECK_MODES:
+            assert Explorer(check=mode).check == mode
+
+    def test_default_is_off(self):
+        assert Explorer().check == "off"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigError, match="check mode"):
+            Explorer(check="strict")
+
+
+class TestGate:
+    def test_error_mode_raises_on_violation(self):
+        fixture = _fixture("race-write-write")
+        explorer = Explorer(check="error")
+        with pytest.raises(CheckError, match="RACE001"):
+            explorer._gate(fixture.trace, fixture.config)
+
+    def test_error_mode_memoizes_the_verdict(self):
+        fixture = _fixture("race-write-write")
+        explorer = Explorer(check="error")
+        for _ in range(2):  # second hit comes from the memo
+            with pytest.raises(CheckError):
+                explorer._gate(fixture.trace, fixture.config)
+        assert len(explorer._check_memo) == 1
+
+    def test_warn_mode_logs_but_does_not_raise(self):
+        fixture = _fixture("race-write-write")
+        explorer = Explorer(check="warn")
+        stream = io.StringIO()
+        configure_logging(0, stream=stream)
+        try:
+            explorer._gate(fixture.trace, fixture.config)
+        finally:
+            configure_logging(0)  # hand the repro logger back to stdout
+        assert "RACE001" in stream.getvalue()
+
+    def test_warnings_do_not_trip_the_error_gate(self):
+        """A warning-severity finding (DIS002) informs but never blocks."""
+        fixture = _fixture("redundant-copy")
+        explorer = Explorer(check="error")
+        explorer._gate(fixture.trace, fixture.config)  # must not raise
+
+    def test_clean_trace_passes_the_gate(self):
+        explorer = Explorer(check="error")
+        config = CheckConfig.from_case_study(CASE_STUDIES["LRB"])
+        explorer._gate(all_kernels()[0].trace(), config)
+
+
+class TestExplorerRuns:
+    def test_run_case_studies_refuses_violating_trace(self):
+        fixture = _fixture("race-write-write")
+        explorer = Explorer(check="error")
+        with pytest.raises(CheckError, match="RACE001"):
+            explorer.run_case_studies(
+                kernels=[FakeKernel(fixture.trace)],
+                cases=[CASE_STUDIES["IDEAL-HETERO"]],
+            )
+
+    def test_run_case_studies_passes_paper_kernels(self):
+        explorer = Explorer(check="error")
+        results = explorer.run_case_studies(
+            kernels=[all_kernels()[0]], cases=[CASE_STUDIES["CPU+GPU"]]
+        )
+        assert len(results) == 1
+
+    def test_gated_run_matches_ungated_run(self):
+        """check="error" on clean inputs must not change any result."""
+        kernels = [all_kernels()[0]]
+        cases = [CASE_STUDIES["CPU+GPU"], CASE_STUDIES["LRB"]]
+        baseline = Explorer().run_case_studies(kernels=kernels, cases=cases)
+        gated = Explorer(check="error").run_case_studies(kernels=kernels, cases=cases)
+        assert gated == baseline
+
+    def test_run_address_spaces_gated(self):
+        explorer = Explorer(check="error")
+        results = explorer.run_address_spaces(kernels=[all_kernels()[0]])
+        assert len(results) == 1

@@ -1,0 +1,150 @@
+"""Tests for the checker's finding/report datatypes."""
+
+import json
+
+import pytest
+
+from repro.check import CheckReport, Finding, Severity, merge_reports
+from repro.errors import ConfigError
+from repro.obs.metrics import MetricSnapshot
+
+
+def _finding(rule="RACE001", severity=Severity.ERROR, phase=1, **kwargs):
+    defaults = dict(
+        message="boom",
+        trace="t",
+        phase_index=phase,
+        phase_label="kernel",
+        segment="gpu-half",
+    )
+    defaults.update(kwargs)
+    return Finding(rule=rule, severity=severity, **defaults)
+
+
+class TestSeverity:
+    def test_parse_roundtrip(self):
+        assert Severity.parse("error") is Severity.ERROR
+        assert Severity.parse(" Warning ") is Severity.WARNING
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ConfigError, match="unknown severity"):
+            Severity.parse("fatal")
+
+    def test_errors_rank_first(self):
+        assert Severity.ERROR.rank < Severity.WARNING.rank
+
+
+class TestFinding:
+    def test_location_includes_phase_and_segment(self):
+        f = _finding()
+        assert f.location == "t@phase[1](kernel)/gpu-half"
+
+    def test_location_without_label_or_segment(self):
+        f = _finding(phase_label="", segment="")
+        assert f.location == "t@phase[1]"
+
+    def test_line_carries_severity_rule_and_hint(self):
+        line = _finding(fix_hint="sync first").line()
+        assert "ERROR" in line and "RACE001" in line and "(fix: sync first)" in line
+
+    def test_line_marks_litmus_confirmation(self):
+        assert "confirmed by litmus" in _finding(confirmed=True).line()
+        assert "not reproducible" in _finding(confirmed=False).line()
+        assert "litmus" not in _finding(confirmed=None).line()
+
+    def test_as_dict_is_json_serializable(self):
+        data = _finding().as_dict()
+        assert json.loads(json.dumps(data)) == data
+
+
+class TestCheckReport:
+    def test_findings_sorted_errors_first_then_phase(self):
+        report = CheckReport(
+            trace="t",
+            config="c",
+            findings=(
+                _finding(rule="DIS002", severity=Severity.WARNING, phase=0),
+                _finding(rule="RACE001", severity=Severity.ERROR, phase=5),
+                _finding(rule="PAS001", severity=Severity.ERROR, phase=2),
+            ),
+        )
+        assert [f.rule for f in report.findings] == ["PAS001", "RACE001", "DIS002"]
+
+    def test_counts_and_ok(self):
+        report = CheckReport(
+            trace="t",
+            config="c",
+            findings=(
+                _finding(),
+                _finding(rule="DIS002", severity=Severity.WARNING),
+            ),
+        )
+        assert (report.errors, report.warnings, report.ok) == (1, 1, False)
+        assert CheckReport(trace="t", config="c").ok
+
+    def test_filtered_by_rule_and_severity(self):
+        report = CheckReport(
+            trace="t",
+            config="c",
+            findings=(
+                _finding(rule="RACE001"),
+                _finding(rule="RACE002"),
+                _finding(rule="DIS002", severity=Severity.WARNING),
+            ),
+        )
+        assert [f.rule for f in report.filtered(rule="RACE002").findings] == ["RACE002"]
+        only_errors = report.filtered(severity=Severity.ERROR)
+        assert all(f.severity is Severity.ERROR for f in only_errors.findings)
+        assert len(only_errors.findings) == 2
+
+    def test_format_text_headline(self):
+        report = CheckReport(trace="t", config="c")
+        assert report.format_text() == "t x c: ok"
+        report = CheckReport(trace="t", config="c", findings=(_finding(),))
+        assert "1 finding (1 errors, 0 warnings)" in report.format_text()
+
+    def test_to_metrics_per_rule_breakdown(self):
+        report = CheckReport(
+            trace="t",
+            config="c",
+            findings=(
+                _finding(rule="RACE001"),
+                _finding(rule="RACE001", phase=3),
+                _finding(rule="DIS002", severity=Severity.WARNING),
+            ),
+        )
+        metrics = report.to_metrics()
+        assert metrics["check.findings"] == 3.0
+        assert metrics["check.errors"] == 2.0
+        assert metrics["check.rule.RACE001"] == 2.0
+        assert metrics["check.rule.DIS002"] == 1.0
+
+    def test_to_json_parses(self):
+        report = CheckReport(trace="t", config="c", findings=(_finding(),))
+        data = json.loads(report.to_json())
+        assert data["trace"] == "t" and data["findings"][0]["rule"] == "RACE001"
+
+
+class TestMergeReports:
+    def test_sums_across_reports(self):
+        reports = [
+            CheckReport(trace="a", config="c", findings=(_finding(),)),
+            CheckReport(
+                trace="b",
+                config="c",
+                findings=(_finding(rule="DIS002", severity=Severity.WARNING),),
+            ),
+        ]
+        merged = merge_reports(reports)
+        assert isinstance(merged, MetricSnapshot)
+        assert merged["check.findings"] == 2.0
+        assert merged["check.errors"] == 1.0
+        assert merged["check.warnings"] == 1.0
+
+    def test_empty_batch_exports_zeroes(self):
+        merged = merge_reports([])
+        assert merged == {
+            "check.findings": 0.0,
+            "check.errors": 0.0,
+            "check.warnings": 0.0,
+        }

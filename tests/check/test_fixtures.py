@@ -1,0 +1,65 @@
+"""The seeded-violation fixtures are the checker's ground truth."""
+
+from repro.check import check_trace
+from repro.check.fixtures import all_fixtures, fixture_rule_ids
+from repro.check.rules import RULES
+
+#: Where each fixture's seeded violation lives (phase index in its trace).
+EXPECTED_PHASE = {
+    "race-write-write": 1,
+    "race-write-read": 1,
+    "store-buffering-exchange": 1,
+    "unacquired-access": 0,
+    "double-acquire": 1,
+    "release-without-acquire": 4,
+    "consume-before-copy": 0,
+    "redundant-copy": 1,
+    "stale-read": 2,
+}
+
+
+def _by_name():
+    return {fixture.name: fixture for fixture in all_fixtures()}
+
+
+class TestCoverage:
+    def test_every_rule_id_is_seeded(self):
+        assert set(fixture_rule_ids()) == set(RULES)
+
+    def test_fixture_names_are_unique(self):
+        names = [f.name for f in all_fixtures()]
+        assert len(names) == len(set(names))
+
+    def test_expected_phase_table_is_complete(self):
+        assert set(EXPECTED_PHASE) == set(_by_name())
+
+
+class TestDetection:
+    def test_each_fixture_reports_its_rule_at_the_seeded_phase(self):
+        for fixture in all_fixtures():
+            report = check_trace(fixture.trace, fixture.config)
+            matching = [f for f in report.findings if f.rule == fixture.rule]
+            assert matching, (
+                f"{fixture.name}: {fixture.rule} not reported; got "
+                f"{[f.rule for f in report.findings]}"
+            )
+            phases = {f.phase_index for f in matching}
+            assert EXPECTED_PHASE[fixture.name] in phases, (
+                f"{fixture.name}: {fixture.rule} found at {sorted(phases)}, "
+                f"expected phase {EXPECTED_PHASE[fixture.name]}"
+            )
+
+    def test_findings_carry_rule_metadata(self):
+        for fixture in all_fixtures():
+            report = check_trace(fixture.trace, fixture.config)
+            for finding in report.findings:
+                meta = RULES[finding.rule]
+                assert finding.severity is meta.severity
+                assert finding.fix_hint == meta.fix_hint
+                assert finding.trace == fixture.trace.name
+
+    def test_sb_fixture_is_litmus_confirmed(self):
+        fixture = _by_name()["store-buffering-exchange"]
+        report = check_trace(fixture.trace, fixture.config)
+        cons = [f for f in report.findings if f.rule == "CONS001"]
+        assert cons and cons[0].confirmed is True

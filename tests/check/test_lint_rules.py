@@ -1,0 +1,71 @@
+"""Tests for the repo lint (tools/lint_rules.py)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+LINT = REPO_ROOT / "tools" / "lint_rules.py"
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+import lint_rules  # noqa: E402
+
+
+def violations(source):
+    return [(rule, line) for _, line, rule, _ in lint_rules.lint_source(source, Path("x.py"))]
+
+
+class TestBarePrint:
+    def test_bare_print_flagged(self):
+        assert violations("print('hi')\n") == [("L001", 1)]
+
+    def test_print_with_file_allowed(self):
+        assert violations("import sys\nprint('hi', file=sys.stderr)\n") == []
+
+    def test_method_named_print_allowed(self):
+        assert violations("obj.print('hi')\n") == []
+
+
+class TestMutableDefaults:
+    def test_list_literal_default(self):
+        assert violations("def f(x=[]):\n    pass\n") == [("L002", 1)]
+
+    def test_dict_and_set_literals(self):
+        assert violations("def f(x={}, y={1}):\n    pass\n") == [
+            ("L002", 1),
+            ("L002", 1),
+        ]
+
+    def test_constructor_call_default(self):
+        assert violations("def f(x=list()):\n    pass\n") == [("L002", 1)]
+
+    def test_keyword_only_default(self):
+        assert violations("def f(*, x=[]):\n    pass\n") == [("L002", 1)]
+
+    def test_lambda_default(self):
+        assert violations("g = lambda x=[]: x\n") == [("L002", 1)]
+
+    def test_none_default_allowed(self):
+        assert violations("def f(x=None, y=0, z=()):\n    pass\n") == []
+
+
+class TestCommandLine:
+    def run(self, *args):
+        return subprocess.run(
+            [sys.executable, str(LINT), *args],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+
+    def test_src_tree_is_clean(self):
+        result = self.run("src")
+        assert result.returncode == 0, result.stderr
+        assert "0 violations" in result.stderr
+
+    def test_violating_file_exits_nonzero(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x=[]):\n    print(x)\n")
+        result = self.run(str(bad))
+        assert result.returncode == 1
+        assert "L001" in result.stderr and "L002" in result.stderr

@@ -1,0 +1,67 @@
+"""Exact allowed-outcome sets for SB, MP, and CoRR under both executors.
+
+``test_litmus.py`` checks the single observation of interest per test;
+these tests pin the *complete* outcome set returned by
+:func:`allowed_outcomes` so an executor regression that silently admits
+(or drops) any interleaving fails loudly.
+"""
+
+import pytest
+
+from repro.consistency.litmus import LITMUS_TESTS, model_for
+from repro.consistency.model import allowed_outcomes
+from repro.taxonomy import ConsistencyModel
+
+
+def _program(name):
+    for test in LITMUS_TESTS:
+        if test.name == name:
+            return test.program
+    raise AssertionError(f"unknown litmus test {name!r}")
+
+
+def _pairs(outcomes):
+    """Canonicalize frozenset outcomes to sorted (r0, r1) tuples."""
+    return sorted(tuple(value for _, value in sorted(outcome)) for outcome in outcomes)
+
+
+class TestStoreBuffering:
+    def test_sc_forbids_both_zero(self):
+        outcomes = allowed_outcomes(_program("SB"), "sc")
+        assert _pairs(outcomes) == [(0, 1), (1, 0), (1, 1)]
+
+    def test_weak_adds_exactly_both_zero(self):
+        sc = allowed_outcomes(_program("SB"), "sc")
+        weak = allowed_outcomes(_program("SB"), "weak")
+        assert _pairs(weak) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+        assert weak - sc == {frozenset({("r0", 0), ("r1", 0)})}
+
+    def test_fences_restore_sc(self):
+        fenced = allowed_outcomes(_program("SB+fences"), "weak")
+        assert _pairs(fenced) == [(0, 1), (1, 0), (1, 1)]
+
+
+class TestMessagePassing:
+    @pytest.mark.parametrize("model", ["sc", "weak"])
+    def test_flag_never_outruns_data(self, model):
+        """(r0=1, r1=0) — flag seen, data stale — is forbidden even with
+        store buffers, because each PU's buffer drains FIFO."""
+        outcomes = allowed_outcomes(_program("MP"), model)
+        assert _pairs(outcomes) == [(0, 0), (0, 1), (1, 1)]
+
+
+class TestCoherenceReadRead:
+    @pytest.mark.parametrize("model", ["sc", "weak"])
+    def test_location_never_goes_backwards(self, model):
+        """Two loads of one location: (r0=1, r1=0) would mean the value
+        went backwards; forbidden under both executors."""
+        outcomes = allowed_outcomes(_program("CoRR"), model)
+        assert _pairs(outcomes) == [(0, 0), (0, 1), (1, 1)]
+
+
+class TestModelMapping:
+    def test_only_strong_maps_to_sc(self):
+        assert model_for(ConsistencyModel.STRONG) == "sc"
+        for model in ConsistencyModel:
+            if model is not ConsistencyModel.STRONG:
+                assert model_for(model) == "weak"

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""AST-based repo lint enforcing two project invariants.
+
+- **L001 — no bare ``print()`` in library code.** Status output must go
+  through ``repro.obs.log`` so ``--quiet``/``-v`` and test capture work;
+  a ``print`` with an explicit ``file=`` argument (deliberate stderr
+  error reporting, as in the CLI's exception handlers) is allowed.
+- **L002 — no mutable default arguments.** ``def f(x=[])`` shares one
+  list across every call; use ``None`` plus an in-body default.
+
+Usage::
+
+    python tools/lint_rules.py src [more dirs or files...]
+
+Prints ``path:line: RULE message`` per violation and exits 1 when any
+were found (0 otherwise) so it slots straight into CI. Standard library
+only — no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+Violation = Tuple[Path, int, str, str]
+
+#: Builtin constructors whose call as a default argument is just as
+#: mutable (and shared) as the display-literal forms.
+MUTABLE_CONSTRUCTORS = ("list", "dict", "set", "bytearray")
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in MUTABLE_CONSTRUCTORS
+    )
+
+
+def lint_source(source: str, path: Path) -> List[Violation]:
+    """All violations in one python source file."""
+    violations: List[Violation] = []
+    tree = ast.parse(source, filename=str(path))
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+            and not any(kw.arg == "file" for kw in node.keywords)
+        ):
+            violations.append(
+                (
+                    path,
+                    node.lineno,
+                    "L001",
+                    "bare print(); route output through repro.obs.log "
+                    "(print(..., file=...) is allowed for stderr)",
+                )
+            )
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            args = node.args
+            defaults = list(args.defaults) + [
+                default for default in args.kw_defaults if default is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    violations.append(
+                        (
+                            path,
+                            default.lineno,
+                            "L002",
+                            "mutable default argument; use None and build "
+                            "the value inside the function",
+                        )
+                    )
+    return violations
+
+
+def iter_python_files(targets: List[str]) -> Iterator[Path]:
+    for target in targets:
+        path = Path(target)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def main(argv: List[str]) -> int:
+    targets = argv or ["src"]
+    violations: List[Violation] = []
+    checked = 0
+    for path in iter_python_files(targets):
+        checked += 1
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            print(f"{path}: unreadable: {exc}", file=sys.stderr)
+            return 2
+        violations.extend(lint_source(source, path))
+    for path, line, rule_id, message in violations:
+        print(f"{path}:{line}: {rule_id} {message}", file=sys.stderr)
+    print(
+        f"lint_rules: {checked} files checked, {len(violations)} violations",
+        file=sys.stderr,
+    )
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
