@@ -6,6 +6,9 @@ Installed as ``repro-explore``::
     repro-explore figure 6
     repro-explore compare
     repro-explore rank --top 10
+    repro-explore rank --checkpoint sweep.jsonl   # killed? rerun to resume
+    repro-explore rank --faults "pcie:fail=0.2" --retries 3
+    repro-explore faults --rates 0.05,0.1,0.2
     repro-explore figure 5 --trace-out fig5.json --metrics-out fig5.csv
     repro-explore metrics-diff before.csv after.csv
     repro-explore check
@@ -14,8 +17,11 @@ Installed as ``repro-explore``::
 All output goes through the structured ``repro`` logger onto stdout
 (byte-identical to plain printing by default); ``--quiet`` silences it and
 ``-v`` adds debug detail. Exit codes: 0 success, 1 failed comparison
-checks, 2 configuration errors, 3 simulation errors, 4 static-checker
-violations (``check`` subcommand, or a ``--check error`` gate refusal).
+checks, 2 configuration errors (including malformed ``--faults`` specs),
+3 simulation errors (including jobs that failed every retry), 4
+static-checker violations (``check`` subcommand, or a ``--check error``
+gate refusal), 130 interrupted (Ctrl-C; any ``--checkpoint`` file keeps
+the completed points, so rerunning resumes).
 """
 
 from __future__ import annotations
@@ -37,6 +43,8 @@ from repro.errors import (
     ReproError,
     TraceError,
 )
+from repro.exec.retry import RetryPolicy
+from repro.faults.spec import FaultPlan
 from repro.obs.log import configure_logging, get_logger
 from repro.obs.metrics import MetricSnapshot, write_metrics_csv, write_metrics_json
 from repro.obs.tracing import trace_from_results
@@ -48,15 +56,18 @@ __all__ = [
     "EXIT_CONFIG_ERROR",
     "EXIT_SIMULATION_ERROR",
     "EXIT_CHECK_VIOLATIONS",
+    "EXIT_INTERRUPTED",
 ]
 
 #: Exit codes: configuration mistakes (bad flags/values) vs failures while
 #: actually simulating vs static-checker violations — scripts can tell
-#: them apart.
+#: them apart. 130 (128 + SIGINT) follows shell convention for Ctrl-C;
+#: checkpointed sweeps flush completed points before it is returned.
 EXIT_OK = 0
 EXIT_CONFIG_ERROR = 2
 EXIT_SIMULATION_ERROR = 3
 EXIT_CHECK_VIOLATIONS = 4
+EXIT_INTERRUPTED = 130
 
 _log = get_logger("cli")
 
@@ -102,6 +113,24 @@ def _write_observability(args: argparse.Namespace, explorer: Explorer) -> None:
         _out(f"wrote {metrics_out}")
 
 
+def _explorer_from_args(args: argparse.Namespace) -> Explorer:
+    """Build a subcommand's Explorer, resilience knobs included.
+
+    A malformed ``--faults`` spec raises
+    :class:`~repro.errors.FaultSpecError` (a :class:`ConfigError`), which
+    ``main`` maps to exit code 2 like any other bad flag value.
+    """
+    faults = FaultPlan.parse(args.faults) if getattr(args, "faults", None) else None
+    retries = getattr(args, "retries", 0)
+    return Explorer(
+        jobs=args.jobs,
+        check=args.check,
+        faults=faults,
+        retry=RetryPolicy(retries=retries) if retries else None,
+        job_timeout=getattr(args, "job_timeout", None),
+    )
+
+
 # -- subcommands --------------------------------------------------------------
 
 
@@ -118,7 +147,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    explorer = Explorer(jobs=args.jobs, check=args.check)
+    explorer = _explorer_from_args(args)
     builders = {
         5: figures.figure5_text,
         6: figures.figure6_text,
@@ -141,12 +170,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_rank(args: argparse.Namespace) -> int:
-    explorer = Explorer(jobs=args.jobs, check=args.check)
+    explorer = _explorer_from_args(args)
     points = DesignSpace().feasible_points()
     if args.sample and args.sample < len(points):
         step = max(len(points) // args.sample, 1)
         points = points[::step]
-    evaluations = explorer.rank_design_points(points)[: args.top]
+    evaluations = explorer.rank_design_points(
+        points, checkpoint=args.checkpoint
+    )[: args.top]
     rows = [
         (
             e.point.label,
@@ -348,6 +379,55 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.core.resilience import DEFAULT_FAULT_RATES, fault_sensitivity
+
+    if args.rates:
+        try:
+            rates = tuple(float(token) for token in args.rates.split(","))
+        except ValueError:
+            raise ConfigError(
+                f"--rates wants comma-separated numbers, got {args.rates!r}"
+            ) from None
+    else:
+        rates = DEFAULT_FAULT_RATES
+    points = DesignSpace().feasible_points()
+    if args.sample and args.sample < len(points):
+        step = max(len(points) // args.sample, 1)
+        points = points[::step]
+    sensitivities = fault_sensitivity(
+        points=points,
+        rates=rates,
+        seed=args.seed,
+        jobs=args.jobs,
+        retries=args.retries,
+    )
+    shown = sensitivities[: args.top]
+    nonzero = [rate for rate, _ in shown[0].seconds_by_rate if rate > 0.0]
+    rows = []
+    for entry in shown:
+        cells: List[str] = [entry.point.label, f"{entry.baseline_seconds * 1e6:.1f}"]
+        for rate, seconds in entry.seconds_by_rate:
+            if rate == 0.0:
+                continue
+            if seconds == float("inf") or entry.baseline_seconds <= 0:
+                cells.append("failed")
+            else:
+                cells.append(f"x{seconds / entry.baseline_seconds:.3f}")
+        rows.append(tuple(cells))
+    _out(
+        format_table(
+            ("design point", "base us") + tuple(f"@{r:g}" for r in nonzero),
+            rows,
+            title=(
+                f"Fault sensitivity: {len(rows)} most fragile of "
+                f"{len(sensitivities)} points (seed {args.seed})"
+            ),
+        )
+    )
+    return EXIT_OK
+
+
 def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
@@ -383,6 +463,32 @@ def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
         help="pre-simulation static memory-model checker: warn logs "
         "findings, error refuses violating (trace, design point) pairs "
         "with exit code 4 (default off)",
+    )
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="inject seeded communication faults, e.g. "
+        "'seed=1;pcie:fail=0.2,degrade=0.1;dma:drop=0.05' "
+        "(targets: pcie, aperture, memctrl, interconnect, dma, ideal, or "
+        "'*'; faults: fail, attempts, degrade, factor, window, drop). "
+        "Deterministic per seed; results are uncached.",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="re-attempt failed simulation jobs up to N times with "
+        "deterministic exponential backoff (default 0 = fail fast)",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry any worker job running longer than this "
+        "(parallel runs only; counts against --retries)",
     )
 
 
@@ -427,8 +533,51 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_rank.add_argument(
         "--sample", type=int, default=40, help="evaluate at most N points (0 = all)"
     )
+    p_rank.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="persist completed point evaluations to a JSONL file; "
+        "rerunning with the same path resumes a killed sweep and "
+        "produces identical output",
+    )
     _add_jobs_arg(p_rank)
     p_rank.set_defaults(func=_cmd_rank)
+
+    p_faults = sub.add_parser(
+        "faults",
+        help="rank design points by fragility under injected "
+        "communication faults (most fragile first)",
+    )
+    p_faults.add_argument(
+        "--rates",
+        metavar="R1,R2,...",
+        default=None,
+        help="comma-separated fault rates to sweep (default 0.05,0.1,0.2; "
+        "a clean 0.0 baseline always runs first)",
+    )
+    p_faults.add_argument(
+        "--seed", type=int, default=0, help="fault-injection seed (default 0)"
+    )
+    p_faults.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="harness re-attempts per failed job (default 2)",
+    )
+    p_faults.add_argument(
+        "--sample", type=int, default=12, help="evaluate at most N points (0 = all)"
+    )
+    p_faults.add_argument("--top", type=int, default=10)
+    p_faults.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default 1 = in-process)",
+    )
+    p_faults.set_defaults(func=_cmd_faults)
 
     p_diff = sub.add_parser(
         "metrics-diff",
@@ -538,6 +687,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     configure_logging(-1 if args.quiet else args.verbose)
     try:
         return args.func(args)
+    except KeyboardInterrupt:
+        # Checkpoint entries are flushed as each chunk completes, so a
+        # rerun with the same --checkpoint path resumes; 130 = 128 + SIGINT.
+        print("repro-explore: interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
     except (ConfigError, TraceError, ProgramError, DesignSpaceError) as exc:
         print(f"repro-explore: configuration error: {exc}", file=sys.stderr)
         return EXIT_CONFIG_ERROR

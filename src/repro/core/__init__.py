@@ -9,6 +9,8 @@
 - :mod:`repro.core.explorer` — runs the quantitative experiments
   (Figures 5-7) and ranks design points;
 - :mod:`repro.core.sweeps` — parameter sweeps beyond the paper (ablations);
+- :mod:`repro.core.resilience` — fault-sensitivity ranking: which points
+  degrade most under injected communication faults;
 - :mod:`repro.core.report` — plain-text table/figure rendering.
 """
 
@@ -17,6 +19,7 @@ from repro.core.space import DesignSpace
 from repro.core.programmability import table5_rows, programmability_rank
 from repro.core.explorer import Explorer
 from repro.core.report import format_table
+from repro.core.resilience import FaultSensitivity, fault_sensitivity
 
 __all__ = [
     "DesignPoint",
@@ -25,4 +28,6 @@ __all__ = [
     "programmability_rank",
     "Explorer",
     "format_table",
+    "FaultSensitivity",
+    "fault_sensitivity",
 ]

@@ -23,9 +23,12 @@ from repro.core.space import DesignSpace
 from repro.core.programmability import table5_dict
 from repro.errors import CheckError, ConfigError, DesignSpaceError
 from repro.exec.cache import SHARED_TRACE_CACHE, ResultCache, TraceCache
+from repro.exec.checkpoint import SweepCheckpoint, sweep_signature
 from repro.exec.job import SimJob
+from repro.exec.retry import RetryPolicy
 from repro.exec.runner import ParallelRunner
 from repro.exec.stats import RunStats
+from repro.faults.spec import FaultPlan
 from repro.kernels.base import Kernel
 from repro.kernels.registry import all_kernels
 from repro.locality.schemes import feasible_schemes
@@ -77,6 +80,9 @@ class Explorer:
         result_cache: Optional[ResultCache] = None,
         tracer: Tracer = NULL_TRACER,
         check: str = "off",
+        faults: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
+        job_timeout: Optional[float] = None,
     ) -> None:
         self.system = system or SystemConfig()
         self.comm_params = comm_params or CommParams()
@@ -95,7 +101,15 @@ class Explorer:
         #: and a per-explorer result memo. Parallel runs preserve
         #: submission order, so results are identical to ``jobs=1``.
         self.run_stats = RunStats()
-        self.runner = ParallelRunner(jobs=jobs, stats=self.run_stats)
+        #: Resilience knobs: ``faults`` wraps every job's channel in a
+        #: fault-injecting decorator (see :mod:`repro.faults`), ``retry``
+        #: bounds harness-level re-attempts with deterministic backoff,
+        #: ``job_timeout`` caps each pool job's wall-clock. All default to
+        #: off, keeping the clean path byte-identical.
+        self.faults = faults if (faults is not None and faults.active) else None
+        self.runner = ParallelRunner(
+            jobs=jobs, stats=self.run_stats, retry=retry, job_timeout=job_timeout
+        )
         self.trace_cache = trace_cache if trace_cache is not None else SHARED_TRACE_CACHE
         self.result_cache = result_cache if result_cache is not None else ResultCache()
         #: Flat results of the most recent batch, in submission order —
@@ -119,7 +133,11 @@ class Explorer:
     def _job(self, trace, **kwargs) -> SimJob:
         """A :class:`SimJob` pinned to this explorer's machine parameters."""
         return SimJob(
-            trace=trace, system=self.system, comm_params=self.comm_params, **kwargs
+            trace=trace,
+            system=self.system,
+            comm_params=self.comm_params,
+            fault_plan=self.faults,
+            **kwargs,
         )
 
     def _gate(self, trace, config: CheckConfig) -> None:
@@ -160,19 +178,31 @@ class Explorer:
 
         Slower by orders of magnitude than :meth:`run_case_studies`; used
         to confirm the fast model's orderings at instruction fidelity.
+        The batch routes through the runner like every other suite, so it
+        parallelizes, retries, and — when the detailed machine raises a
+        :class:`~repro.errors.SimulationError` — degrades to the fast
+        model per job (result flagged ``degraded``) instead of aborting.
         """
-        from repro.sim.detailed import DetailedSimulator
-
         kernels = list(kernels or all_kernels())
         cases = list(cases or CASE_STUDIES.values())
+        jobs = [
+            self._job(
+                kernel.trace().scaled(self.detailed_scale),
+                case=case,
+                detailed=True,
+            )
+            for kernel in kernels
+            for case in cases
+        ]
+        flat = self.runner.run_jobs(
+            jobs, result_cache=self.result_cache, stage="case-studies-detailed"
+        )
+        self.last_results = flat
         results: Dict[str, Dict[str, SimulationResult]] = {}
-        for kernel in kernels:
-            trace = kernel.trace().scaled(self.detailed_scale)
+        for i, kernel in enumerate(kernels):
+            row = flat[i * len(cases) : (i + 1) * len(cases)]
             results[kernel.name] = {
-                case.name: DetailedSimulator(self.system, self.comm_params).run(
-                    trace, case=case
-                )
-                for case in cases
+                case.name: result for case, result in zip(cases, row)
             }
         return results
 
@@ -327,6 +357,8 @@ class Explorer:
         self,
         points: Optional[Iterable[DesignPoint]] = None,
         kernels: Optional[Sequence[Kernel]] = None,
+        checkpoint: Optional[str] = None,
+        checkpoint_chunk: int = 8,
     ) -> List[DesignPointEvaluation]:
         """Evaluate and rank design points (best first).
 
@@ -337,27 +369,116 @@ class Explorer:
         simulation each. Results come back in submission order; the
         evaluation per point is arithmetically identical to the serial
         per-point path.
+
+        With ``checkpoint`` the sweep instead processes points in chunks of
+        ``checkpoint_chunk``, persisting each completed evaluation to a
+        JSONL file (see :class:`~repro.exec.checkpoint.SweepCheckpoint`);
+        a killed sweep re-run with the same checkpoint path resumes from
+        the completed points and produces identical output to an
+        uninterrupted run. Without it, the one-shot path is untouched.
         """
         if points is None:
             points = DesignSpace().feasible_points()
         points = list(points)
         kernels = list(kernels or all_kernels())
-        jobs: List[SimJob] = []
-        for point in points:
-            jobs.extend(self._point_jobs(point, kernels))
-        flat = self.runner.run_jobs(
-            jobs, result_cache=self.result_cache, stage="rank"
-        )
-        self.last_results = flat
-        comm_lines = self._comm_lines_by_space()
-        evaluations = [
-            self._evaluation(
-                point,
-                flat[i * len(kernels) : (i + 1) * len(kernels)],
-                comm_lines_by_space=comm_lines,
+        if checkpoint is not None:
+            evaluations = self._rank_checkpointed(
+                points, kernels, checkpoint, max(1, checkpoint_chunk)
             )
-            for i, point in enumerate(points)
-        ]
+        else:
+            jobs: List[SimJob] = []
+            for point in points:
+                jobs.extend(self._point_jobs(point, kernels))
+            flat = self.runner.run_jobs(
+                jobs, result_cache=self.result_cache, stage="rank"
+            )
+            self.last_results = flat
+            comm_lines = self._comm_lines_by_space()
+            evaluations = [
+                self._evaluation(
+                    point,
+                    flat[i * len(kernels) : (i + 1) * len(kernels)],
+                    comm_lines_by_space=comm_lines,
+                )
+                for i, point in enumerate(points)
+            ]
         if not evaluations:
             raise DesignSpaceError("no feasible design points to rank")
         return sorted(evaluations, key=DesignPointEvaluation.score)
+
+    def _rank_checkpointed(
+        self,
+        points: Sequence[DesignPoint],
+        kernels: Sequence[Kernel],
+        checkpoint: str,
+        chunk: int,
+    ) -> List[DesignPointEvaluation]:
+        """The resumable rank engine behind ``rank_design_points(checkpoint=)``.
+
+        Completed evaluations persist as JSONL entries; floats round-trip
+        through JSON bit-exactly, so a resumed sweep's ranking is
+        byte-identical to an uninterrupted one. The checkpoint signature
+        covers point labels, kernel names, and the fault plan — resuming
+        against a changed sweep starts fresh rather than mixing results.
+        """
+        signature = sweep_signature(
+            [point.label for point in points],
+            [kernel.name for kernel in kernels],
+            [self.faults.describe()] if self.faults is not None else [],
+        )
+        store = SweepCheckpoint(checkpoint)
+        loaded = store.load(signature)
+        by_label = {point.label: point for point in points}
+        evaluations: Dict[str, DesignPointEvaluation] = {}
+        for label, entry in loaded.items():
+            point = by_label.get(label)
+            if point is None:
+                continue
+            evaluations[label] = DesignPointEvaluation(
+                point=point,
+                mean_seconds=entry["mean_seconds"],
+                mean_comm_fraction=entry["mean_comm_fraction"],
+                comm_lines_total=entry["comm_lines_total"],
+                locality_options=entry["locality_options"],
+            )
+        if evaluations:
+            # Debug, not info: resumed stdout stays byte-identical to an
+            # uninterrupted run (the resume CI check diffs them).
+            _log.debug(
+                "checkpoint %s: resuming with %d/%d point(s) already evaluated",
+                checkpoint,
+                len(evaluations),
+                len(points),
+            )
+        remaining = [point for point in points if point.label not in evaluations]
+        comm_lines = self._comm_lines_by_space()
+        store.open(signature, resume=bool(loaded))
+        try:
+            for start in range(0, len(remaining), chunk):
+                batch = remaining[start : start + chunk]
+                jobs: List[SimJob] = []
+                for point in batch:
+                    jobs.extend(self._point_jobs(point, kernels))
+                flat = self.runner.run_jobs(
+                    jobs, result_cache=self.result_cache, stage="rank"
+                )
+                self.last_results = flat
+                for i, point in enumerate(batch):
+                    evaluation = self._evaluation(
+                        point,
+                        flat[i * len(kernels) : (i + 1) * len(kernels)],
+                        comm_lines_by_space=comm_lines,
+                    )
+                    evaluations[point.label] = evaluation
+                    store.append(
+                        {
+                            "label": point.label,
+                            "mean_seconds": evaluation.mean_seconds,
+                            "mean_comm_fraction": evaluation.mean_comm_fraction,
+                            "comm_lines_total": evaluation.comm_lines_total,
+                            "locality_options": evaluation.locality_options,
+                        }
+                    )
+        finally:
+            store.close()
+        return [evaluations[point.label] for point in points]

@@ -22,6 +22,8 @@ __all__ = [
     "DesignSpaceError",
     "ProgramError",
     "CheckError",
+    "FaultSpecError",
+    "CheckpointError",
 ]
 
 
@@ -92,3 +94,15 @@ class CheckError(ReproError):
     mode when a trace breaks the obligations of the design point it is
     about to be simulated under.
     """
+
+
+class FaultSpecError(ConfigError):
+    """A fault-injection spec string or parameter set is malformed.
+
+    A :class:`ConfigError` subclass so the CLI maps bad ``--faults``
+    grammar onto the configuration exit code.
+    """
+
+
+class CheckpointError(ReproError):
+    """A sweep checkpoint file cannot be read or written."""

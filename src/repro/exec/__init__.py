@@ -10,14 +10,20 @@ design-space exploration:
 - :mod:`repro.exec.cache` — :class:`TraceCache` and :class:`ResultCache`
   memo layers with hit/miss accounting;
 - :mod:`repro.exec.stats` — :class:`RunStats`, per-stage wall-clock and
-  job/cache counters.
+  job/cache/resilience counters;
+- :mod:`repro.exec.retry` — :class:`RetryPolicy`, deterministic seeded
+  exponential backoff for failed jobs;
+- :mod:`repro.exec.checkpoint` — :class:`SweepCheckpoint`, JSONL
+  checkpoint/resume for long ranking sweeps.
 
 Parallel runs preserve submission order and are bit-identical to serial
 runs; see tests/exec/.
 """
 
 from repro.exec.cache import SHARED_TRACE_CACHE, MemoCache, ResultCache, TraceCache
+from repro.exec.checkpoint import SweepCheckpoint, sweep_signature
 from repro.exec.job import SimJob, run_sim_job
+from repro.exec.retry import NO_RETRY, RetryPolicy, backoff_delay, backoff_schedule
 from repro.exec.runner import ParallelRunner
 from repro.exec.stats import RunStats
 
@@ -26,6 +32,12 @@ __all__ = [
     "run_sim_job",
     "ParallelRunner",
     "RunStats",
+    "RetryPolicy",
+    "NO_RETRY",
+    "backoff_delay",
+    "backoff_schedule",
+    "SweepCheckpoint",
+    "sweep_signature",
     "MemoCache",
     "TraceCache",
     "ResultCache",

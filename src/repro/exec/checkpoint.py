@@ -1,0 +1,143 @@
+"""JSONL checkpoint/resume for long ranking sweeps.
+
+A checkpoint file is a header line followed by one JSON object per
+completed design-point evaluation::
+
+    {"version": 1, "signature": "<sha256 of the sweep configuration>"}
+    {"label": "PAS/pci-e/...", "mean_seconds": ..., ...}
+    ...
+
+The header signature hashes everything the results depend on (point
+labels, kernel names, fault plan), so resuming against a different sweep
+silently starts fresh instead of mixing incompatible results. Entries are
+appended and flushed as each chunk of points completes, so a killed run
+loses at most the in-flight chunk; a trailing partially-written line
+(the kill landed mid-write) is ignored on load. Floats round-trip through
+JSON bit-exactly (``repr`` shortest-round-trip), which is what lets a
+resumed sweep produce byte-identical output to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Iterable, Optional
+
+from repro.errors import CheckpointError
+from repro.obs.log import get_logger
+
+__all__ = ["SweepCheckpoint", "sweep_signature"]
+
+_log = get_logger("exec.checkpoint")
+
+FORMAT_VERSION = 1
+
+
+def sweep_signature(*parts: Iterable[str]) -> str:
+    """A stable digest of the configuration a sweep's results depend on."""
+    payload = json.dumps([sorted(part) for part in parts], sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class SweepCheckpoint:
+    """Append-only JSONL store of completed per-point evaluations."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle = None
+
+    # -- reading -----------------------------------------------------------
+
+    def load(self, signature: str) -> Dict[str, dict]:
+        """Completed entries keyed by point label, or ``{}``.
+
+        Returns empty when the file is missing, its header does not match
+        ``signature``/:data:`FORMAT_VERSION` (the sweep changed — start
+        fresh), or the header itself is unreadable. A corrupt *entry* line
+        stops the scan there: everything before a mid-write kill is kept.
+        """
+        if not os.path.exists(self.path):
+            return {}
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except OSError as exc:
+            raise CheckpointError(f"cannot read checkpoint {self.path}: {exc}") from exc
+        if not lines:
+            return {}
+        try:
+            header = json.loads(lines[0])
+        except ValueError:
+            _log.warning("checkpoint %s has a corrupt header; starting fresh", self.path)
+            return {}
+        if (
+            not isinstance(header, dict)
+            or header.get("version") != FORMAT_VERSION
+            or header.get("signature") != signature
+        ):
+            _log.warning(
+                "checkpoint %s was written by a different sweep configuration; "
+                "starting fresh",
+                self.path,
+            )
+            return {}
+        entries: Dict[str, dict] = {}
+        for line in lines[1:]:
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+                label = entry["label"]
+            except (ValueError, TypeError, KeyError):
+                _log.warning(
+                    "checkpoint %s has a truncated trailing entry; "
+                    "resuming from the %d completed point(s) before it",
+                    self.path,
+                    len(entries),
+                )
+                break
+            entries[label] = entry
+        return entries
+
+    # -- writing -----------------------------------------------------------
+
+    def open(self, signature: str, resume: bool) -> None:
+        """Open for appending (``resume``) or truncate and write the header."""
+        if self._handle is not None:
+            raise CheckpointError(f"checkpoint {self.path} is already open")
+        try:
+            if resume:
+                self._handle = open(self.path, "a", encoding="utf-8")
+            else:
+                self._handle = open(self.path, "w", encoding="utf-8")
+                self._write_line(
+                    {"version": FORMAT_VERSION, "signature": signature}
+                )
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot write checkpoint {self.path}: {exc}"
+            ) from exc
+
+    def append(self, entry: dict) -> None:
+        """Persist one completed evaluation (flushed immediately)."""
+        if self._handle is None:
+            raise CheckpointError(f"checkpoint {self.path} is not open")
+        self._write_line(entry)
+
+    def _write_line(self, payload: dict) -> None:
+        self._handle.write(json.dumps(payload, sort_keys=True))
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SweepCheckpoint":
+        return self
+
+    def __exit__(self, *exc_info: object) -> Optional[bool]:
+        self.close()
+        return None

@@ -1,27 +1,30 @@
 """Simulation job descriptors and the process-pool worker entry point.
 
-A :class:`SimJob` is a pure-data description of one ``FastSimulator.run``
-call: the trace, the communication mechanism (as a case study, a mechanism
-spec, or an explicit channel object), the address space, and the machine
-parameters. Jobs are plain frozen dataclasses so they pickle cleanly into
+A :class:`SimJob` is a pure-data description of one simulator run: the
+trace, the communication mechanism (as a case study, a mechanism spec, or
+an explicit channel object), the address space, the machine parameters,
+and optionally a :class:`~repro.faults.spec.FaultPlan` perturbing the
+channel. Jobs are plain frozen dataclasses so they pickle cleanly into
 :class:`concurrent.futures.ProcessPoolExecutor` workers; :func:`run_sim_job`
 is the module-level function the pool executes.
 
 Because the fast simulator is pure deterministic float arithmetic and the
-job carries everything the run depends on, executing a job in a worker
-process produces a bit-identical :class:`~repro.sim.results.SimulationResult`
-to executing it in-process.
+job carries everything the run depends on — fault injection included,
+since the plan's RNG seeds derive from (plan seed, job identity, attempt)
+— executing a job in a worker process produces a bit-identical
+:class:`~repro.sim.results.SimulationResult` to executing it in-process.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 from repro.config.comm import CommParams
 from repro.config.presets import CaseStudy
 from repro.config.system import SystemConfig
 from repro.comm.base import CommChannel, make_channel
+from repro.faults.spec import FaultPlan
 from repro.sim.results import SimulationResult
 from repro.taxonomy import AddressSpaceKind, CommMechanism
 
@@ -39,6 +42,13 @@ class SimJob:
     an explicit ``channel`` object supports one-off channels (e.g. an
     aperture channel with a custom fault granularity) at the cost of
     bypassing the result cache.
+
+    ``fault_plan`` wraps the job's channel in a fault-injecting decorator;
+    ``fault_attempt`` is the harness-level retry ordinal (it perturbs the
+    fault seed so a retried job does not deterministically re-fail).
+    ``detailed`` routes the job through the cycle-approximate simulator,
+    degrading to the fast model (result flagged ``degraded``) when the
+    detailed machine raises a :class:`~repro.errors.SimulationError`.
     """
 
     trace: "KernelTrace"
@@ -50,6 +60,9 @@ class SimJob:
     system_name: Optional[str] = None
     system: Optional[SystemConfig] = None
     comm_params: Optional[CommParams] = None
+    fault_plan: Optional[FaultPlan] = None
+    fault_attempt: int = 0
+    detailed: bool = False
 
     def __post_init__(self) -> None:
         selectors = sum(
@@ -63,16 +76,47 @@ class SimJob:
                 f"got {selectors}"
             )
 
+    @property
+    def target_name(self) -> str:
+        """The system/design-point label this job simulates under."""
+        if self.system_name:
+            return self.system_name
+        if self.case is not None:
+            return self.case.name
+        if self.mechanism is not None:
+            return str(self.mechanism)
+        return str(self.channel.mechanism)
+
+    def describe(self) -> str:
+        """Job identity for error messages: kernel plus design-point key."""
+        text = f"{self.trace.name} @ {self.target_name}"
+        if self.fault_attempt:
+            text += f" (attempt {self.fault_attempt + 1})"
+        return text
+
+    def for_attempt(self, attempt: int) -> "SimJob":
+        """This job re-keyed to harness-retry ``attempt``.
+
+        Only fault-injected jobs change: their channel RNG seed derives
+        from the attempt ordinal, so a retried job sees a fresh (still
+        deterministic) fault sequence instead of re-failing identically.
+        """
+        if self.fault_plan is None or attempt == self.fault_attempt:
+            return self
+        return replace(self, fault_attempt=attempt)
+
     def cache_key(self) -> Optional[Tuple]:
         """A stable memoization key, or ``None`` when the job is uncacheable.
 
         Explicit channel objects are stateful (their counters accumulate
-        across transfers), so jobs carrying one are never memoized. The
+        across transfers), so jobs carrying one are never memoized, and
+        neither are fault-injected jobs (their timing depends on the
+        injected fault sequence, which varies per harness attempt). The
         ``system_name`` label is deliberately *excluded*: two jobs differing
         only in the display label share a result, and the cache re-labels on
         hit.
         """
-        if self.channel is not None:
+        if self.channel is not None or self.fault_plan is not None:
             return None
         try:
             key = (
@@ -83,6 +127,7 @@ class SimJob:
                 self.address_space,
                 self.system,
                 self.comm_params,
+                self.detailed,
             )
             hash(key)
         except TypeError:
@@ -95,18 +140,73 @@ def run_sim_job(job: SimJob) -> SimulationResult:
     from repro.sim.fast import FastSimulator
 
     simulator = FastSimulator(job.system, job.comm_params)
-    channel = job.channel
-    if channel is None and job.mechanism is not None:
-        channel = make_channel(
-            job.mechanism,
-            params=simulator.comm_params,
-            system=simulator.system,
-            async_overlap=job.async_overlap,
-        )
+    case = job.case
+    system_name = job.system_name
+    if case is not None and job.fault_plan is not None:
+        # Case-study job under faults: materialize the case's channel so
+        # the fault decorator can wrap it; keep the case's display name.
+        system_name = job.system_name or case.name
+        case = None
+
+    def build_channel() -> Optional[CommChannel]:
+        """A fresh channel per simulator run (counters and fault RNG at zero)."""
+        if job.channel is not None:
+            channel = job.channel
+        elif job.mechanism is not None:
+            channel = make_channel(
+                job.mechanism,
+                params=simulator.comm_params,
+                system=simulator.system,
+                async_overlap=job.async_overlap,
+            )
+        elif case is None and job.case is not None:
+            channel = make_channel(
+                job.case.comm,
+                params=simulator.comm_params,
+                system=simulator.system,
+                async_overlap=job.case.async_overlap,
+            )
+        else:
+            return None
+        if job.fault_plan is not None:
+            channel = job.fault_plan.wrap(
+                channel,
+                context=f"{job.trace.name}:{system_name or job.target_name}",
+                attempt=job.fault_attempt,
+            )
+        return channel
+
+    if job.detailed:
+        from dataclasses import replace as dc_replace
+
+        from repro.errors import SimulationError
+        from repro.sim.detailed import DetailedSimulator
+
+        try:
+            return DetailedSimulator(job.system, job.comm_params).run(
+                job.trace,
+                case=case,
+                channel=build_channel(),
+                address_space=job.address_space,
+                system_name=system_name,
+            )
+        except SimulationError:
+            # Graceful degradation: the fast model prices the same trace
+            # analytically (through a fresh channel); the result is
+            # flagged so consumers can tell it apart.
+            result = simulator.run(
+                job.trace,
+                case=case,
+                channel=build_channel(),
+                address_space=job.address_space,
+                system_name=system_name,
+            )
+            return dc_replace(result, degraded=True)
+
     return simulator.run(
         job.trace,
-        case=job.case,
-        channel=channel,
+        case=case,
+        channel=build_channel(),
         address_space=job.address_space,
-        system_name=job.system_name,
+        system_name=system_name,
     )

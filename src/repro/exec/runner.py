@@ -1,4 +1,4 @@
-"""Order-preserving parallel execution of simulation jobs.
+"""Order-preserving, fault-tolerant parallel execution of simulation jobs.
 
 :class:`ParallelRunner` fans a batch of :class:`~repro.exec.job.SimJob`s out
 over a :class:`concurrent.futures.ProcessPoolExecutor` and returns results
@@ -13,6 +13,22 @@ in-process loop:
 - pool creation failing outright (restricted environments without
   ``fork``/semaphores).
 
+On top of the fan-out the runner owns the batch's *resilience*:
+
+- **bounded retry** — a job that raises is re-attempted per its
+  :class:`~repro.exec.retry.RetryPolicy` with deterministic exponential
+  backoff; fault-injected jobs are re-seeded per attempt so a transient
+  injected failure does not repeat identically;
+- **per-job timeout** — a pool job whose result does not arrive within
+  ``job_timeout`` seconds is charged a failed attempt and the (possibly
+  hung) pool is torn down and rebuilt;
+- **worker supervision** — a crashed worker (``BrokenProcessPool``) gets
+  the pool rebuilt and every unfinished job re-dispatched instead of
+  aborting the batch; repeated crashes degrade to the in-process loop;
+- **identity-preserving errors** — a job that fails every attempt raises
+  :class:`~repro.errors.SimulationError` carrying the job's label and
+  design-point key, with the original exception as ``__cause__``.
+
 The runner also owns the memo integration: batches route through a
 :class:`~repro.exec.cache.ResultCache` so that duplicate jobs — the common
 case when ranking a design space whose points differ only in axes that do
@@ -22,20 +38,27 @@ not affect timing — are simulated once and re-labeled on retrieval.
 from __future__ import annotations
 
 import pickle
+import time
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, TypeVar
 
+from repro.errors import SimulationError
 from repro.exec.cache import ResultCache
 from repro.exec.job import SimJob, run_sim_job
+from repro.exec.retry import NO_RETRY, RetryPolicy, backoff_delay
 from repro.exec.stats import RunStats
 from repro.obs.log import get_logger
 from repro.sim.results import SimulationResult
 
-__all__ = ["ParallelRunner"]
+__all__ = ["ParallelRunner", "MAX_POOL_RESTARTS"]
 
 _log = get_logger("exec.runner")
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Crash-triggered pool rebuilds tolerated per batch before the runner
+#: gives up on process isolation and finishes the batch in-process.
+MAX_POOL_RESTARTS = 3
 
 
 def _picklable(value: object) -> bool:
@@ -46,20 +69,50 @@ def _picklable(value: object) -> bool:
     return True
 
 
+def _describe(item: object) -> str:
+    """Job identity for error messages (compact repr for generic items)."""
+    if isinstance(item, SimJob):
+        return item.describe()
+    text = repr(item)
+    return text if len(text) <= 80 else text[:77] + "..."
+
+
+def _item_for_attempt(item: T, attempt: int) -> T:
+    """Re-key a job to a harness attempt (no-op for non-job items)."""
+    if attempt and isinstance(item, SimJob):
+        return item.for_attempt(attempt)
+    return item
+
+
 class ParallelRunner:
     """Executes job batches, in order, across worker processes.
 
     ``jobs`` is the worker-process count; ``stats`` (a :class:`RunStats`)
-    accumulates submission/completion counts and per-stage wall-clock.
+    accumulates submission/completion counts, per-stage wall-clock, and
+    the retry/timeout/crash counters. ``retry`` bounds re-attempts of
+    failed jobs (default: a single attempt), ``job_timeout`` bounds each
+    pool job's wall-clock, and ``sleep`` is injectable for tests.
     """
 
-    def __init__(self, jobs: int = 1, stats: Optional[RunStats] = None) -> None:
+    def __init__(
+        self,
+        jobs: int = 1,
+        stats: Optional[RunStats] = None,
+        retry: Optional[RetryPolicy] = None,
+        job_timeout: Optional[float] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
         if jobs < 1:
-            from repro.errors import SimulationError
-
             raise SimulationError(f"jobs must be >= 1, got {jobs}")
+        if job_timeout is not None and job_timeout <= 0:
+            raise SimulationError(
+                f"job timeout must be positive, got {job_timeout}"
+            )
         self.jobs = jobs
         self.stats = stats or RunStats()
+        self.retry = retry or NO_RETRY
+        self.job_timeout = job_timeout
+        self._sleep = sleep
 
     # -- generic order-preserving map --------------------------------------
 
@@ -82,21 +135,86 @@ class ParallelRunner:
         self.stats.record_completed(len(results))
         return results
 
+    # -- retry plumbing ----------------------------------------------------
+
+    def _backoff(self, attempt: int) -> None:
+        """Record and serve the delay before re-attempt ``attempt`` (0-based)."""
+        delay = backoff_delay(self.retry, attempt)
+        self.stats.record_retry(delay)
+        if delay > 0.0:
+            self._sleep(delay)
+
+    def _wrap_failure(
+        self, item: object, exc: BaseException, attempts: int
+    ) -> SimulationError:
+        """The batch-aborting error: job identity plus the original cause."""
+        self.stats.record_retry_exhausted()
+        wrapped = SimulationError(
+            f"job {_describe(item)} failed after {attempts} attempt(s): {exc}"
+        )
+        wrapped.__cause__ = exc
+        return wrapped
+
+    def _run_one(self, func: Callable[[T], R], item: T, first_attempt: int = 0) -> R:
+        """One item, in-process, with the full retry budget."""
+        start = min(first_attempt, self.retry.retries)
+        last_exc: Optional[BaseException] = None
+        for attempt in range(start, self.retry.retries + 1):
+            if attempt > start or (attempt == start and last_exc is not None):
+                self._backoff(attempt - 1)
+            try:
+                return func(_item_for_attempt(item, attempt))
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                last_exc = exc
+                _log.debug(
+                    "job %s failed on attempt %d/%d: %s",
+                    _describe(item),
+                    attempt + 1,
+                    self.retry.retries + 1,
+                    exc,
+                )
+        raise self._wrap_failure(item, last_exc, self.retry.retries + 1)
+
+    # -- execution engines -------------------------------------------------
+
     def _execute(self, func: Callable[[T], R], items: List[T]) -> List[R]:
         if self.jobs <= 1 or len(items) <= 1:
-            return [func(item) for item in items]
+            return [self._run_one(func, item) for item in items]
         if not (_picklable(func) and all(_picklable(item) for item in items)):
             _log.debug(
                 "batch of %d does not pickle; running in-process", len(items)
             )
-            return [func(item) for item in items]
-        try:
-            from concurrent.futures import ProcessPoolExecutor
+            return [self._run_one(func, item) for item in items]
+        return self._execute_pool(func, items)
 
-            with ProcessPoolExecutor(max_workers=min(self.jobs, len(items))) as pool:
-                # submit() in order, collect in order: identical to serial.
-                futures = [pool.submit(func, item) for item in items]
-                return [future.result() for future in futures]
+    def _execute_pool(self, func: Callable[[T], R], items: List[T]) -> List[R]:
+        """The supervised pool engine: submit in order, collect in order.
+
+        The pool is rebuilt after a worker crash or a job timeout; jobs
+        whose futures were casualties of a teardown are re-dispatched at
+        their current attempt (only the job actually blamed is charged).
+        """
+        try:
+            from concurrent.futures import (
+                ProcessPoolExecutor,
+                TimeoutError as FuturesTimeout,
+            )
+            from concurrent.futures.process import BrokenProcessPool
+        except ImportError as exc:  # pragma: no cover - exotic interpreters
+            _log.debug(
+                "process pools unavailable (%s); running %d items in-process",
+                exc,
+                len(items),
+            )
+            return [self._run_one(func, item) for item in items]
+
+        def make_pool():
+            return ProcessPoolExecutor(max_workers=min(self.jobs, len(items)))
+
+        try:
+            pool = make_pool()
         except (OSError, ImportError, PermissionError) as exc:
             # No usable process support (sandboxed interpreter): degrade to
             # the deterministic in-process path.
@@ -105,7 +223,111 @@ class ParallelRunner:
                 exc,
                 len(items),
             )
-            return [func(item) for item in items]
+            return [self._run_one(func, item) for item in items]
+
+        results: List[Optional[R]] = [None] * len(items)
+        done = [False] * len(items)
+        attempts = [0] * len(items)
+        crash_restarts = 0
+        try:
+            while not all(done):
+                # submit() in order, collect in order: identical to serial.
+                futures: Dict[int, object] = {}
+                pool_broken = False
+                try:
+                    for index, item in enumerate(items):
+                        if not done[index]:
+                            futures[index] = pool.submit(
+                                func, _item_for_attempt(item, attempts[index])
+                            )
+                except Exception:
+                    pool_broken = True
+                for index in sorted(futures):
+                    if pool_broken:
+                        break
+                    try:
+                        results[index] = futures[index].result(
+                            timeout=self.job_timeout
+                        )
+                        done[index] = True
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except FuturesTimeout:
+                        self.stats.record_timeout()
+                        _log.debug(
+                            "job %s exceeded its %.3fs timeout; tearing the "
+                            "pool down",
+                            _describe(items[index]),
+                            self.job_timeout,
+                        )
+                        cause = SimulationError(
+                            f"timed out after {self.job_timeout}s"
+                        )
+                        self._charge_attempt(items[index], index, attempts, cause)
+                        pool_broken = True
+                    except BrokenProcessPool as exc:
+                        # A worker died. We cannot know which job killed it;
+                        # charge the one we were waiting on and re-dispatch
+                        # the rest at their current attempt.
+                        self.stats.record_worker_restart()
+                        crash_restarts += 1
+                        _log.debug(
+                            "worker crashed while running %s; rebuilding the "
+                            "pool (restart %d/%d)",
+                            _describe(items[index]),
+                            crash_restarts,
+                            MAX_POOL_RESTARTS,
+                        )
+                        self._charge_attempt(items[index], index, attempts, exc)
+                        pool_broken = True
+                    except Exception as exc:
+                        # The job itself raised inside the worker; the pool
+                        # is still healthy.
+                        _log.debug(
+                            "job %s failed on attempt %d/%d: %s",
+                            _describe(items[index]),
+                            attempts[index] + 1,
+                            self.retry.retries + 1,
+                            exc,
+                        )
+                        self._charge_attempt(items[index], index, attempts, exc)
+                if pool_broken:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    if crash_restarts > MAX_POOL_RESTARTS:
+                        _log.debug(
+                            "pool crashed %d times; finishing %d job(s) "
+                            "in-process",
+                            crash_restarts,
+                            sum(1 for d in done if not d),
+                        )
+                        for index, item in enumerate(items):
+                            if not done[index]:
+                                results[index] = self._run_one(
+                                    func, item, first_attempt=attempts[index]
+                                )
+                                done[index] = True
+                        break
+                    pool = make_pool()
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return results  # type: ignore[return-value]
+
+    def _charge_attempt(
+        self,
+        item: object,
+        index: int,
+        attempts: List[int],
+        exc: BaseException,
+    ) -> None:
+        """Consume one retry-budget unit for ``item``; raise when exhausted.
+
+        When budget remains, the backoff delay is recorded and slept here
+        (re-submission happens on the supervisor's next round).
+        """
+        if attempts[index] >= self.retry.retries:
+            raise self._wrap_failure(item, exc, attempts[index] + 1)
+        self._backoff(attempts[index])
+        attempts[index] += 1
 
     # -- simulation batches with memoization -------------------------------
 
@@ -119,7 +341,8 @@ class ParallelRunner:
 
         Jobs whose :meth:`~SimJob.cache_key` is already cached are served
         without simulating; duplicate keys within the batch simulate once.
-        Uncacheable jobs (explicit channels) always run.
+        Uncacheable jobs (explicit channels, fault-injected jobs) always
+        run.
         """
         jobs = list(jobs)
         hits_before = result_cache.hits if result_cache is not None else 0
@@ -149,11 +372,16 @@ class ParallelRunner:
             run_slots.append(index)
 
         computed = self.map(run_sim_job, to_run, stage=stage)
+        degraded = 0
         for slot, job, result in zip(run_slots, to_run, computed):
             results[slot] = result
+            if result.degraded:
+                degraded += 1
             key = job.cache_key()
             if key is not None and result_cache is not None:
                 result_cache.put(key, result)
+        if degraded:
+            self.stats.record_degraded(degraded)
 
         if dedup_slots:
             memo = result_cache or ResultCache()

@@ -36,6 +36,24 @@ class RunStats:
         self._cache_misses = self.metrics.counter(
             "cache_misses", unit="lookups", description="memo-cache misses"
         )
+        self._retry_attempts = self.metrics.counter(
+            "retry.attempts", unit="attempts", description="job re-attempts after a failure"
+        )
+        self._retry_sleep = self.metrics.counter(
+            "retry.sleep_seconds", unit="s", description="backoff time slept before re-attempts"
+        )
+        self._retry_exhausted = self.metrics.counter(
+            "retry.exhausted", unit="jobs", description="jobs that failed every allowed attempt"
+        )
+        self._timeouts = self.metrics.counter(
+            "timeouts", unit="jobs", description="jobs killed for exceeding the per-job timeout"
+        )
+        self._worker_restarts = self.metrics.counter(
+            "worker_restarts", unit="pools", description="process pools rebuilt after a crash or timeout"
+        )
+        self._degraded = self.metrics.counter(
+            "degraded_results", unit="jobs", description="results produced by a degraded (fallback) simulator"
+        )
         #: One wall-clock timer per named stage, created on first use.
         self._stage_timers: Dict[str, Timer] = {}
 
@@ -50,6 +68,22 @@ class RunStats:
     def record_cache(self, hits: int, misses: int) -> None:
         self._cache_hits.inc(hits)
         self._cache_misses.inc(misses)
+
+    def record_retry(self, slept_seconds: float = 0.0) -> None:
+        self._retry_attempts.inc()
+        self._retry_sleep.inc(slept_seconds)
+
+    def record_retry_exhausted(self) -> None:
+        self._retry_exhausted.inc()
+
+    def record_timeout(self) -> None:
+        self._timeouts.inc()
+
+    def record_worker_restart(self) -> None:
+        self._worker_restarts.inc()
+
+    def record_degraded(self, count: int = 1) -> None:
+        self._degraded.inc(count)
 
     def _stage_timer(self, name: str) -> Timer:
         timer = self._stage_timers.get(name)
@@ -83,6 +117,26 @@ class RunStats:
     @property
     def cache_misses(self) -> int:
         return self._cache_misses.value
+
+    @property
+    def retry_attempts(self) -> int:
+        return self._retry_attempts.value
+
+    @property
+    def retries_exhausted(self) -> int:
+        return self._retry_exhausted.value
+
+    @property
+    def timeouts(self) -> int:
+        return self._timeouts.value
+
+    @property
+    def worker_restarts(self) -> int:
+        return self._worker_restarts.value
+
+    @property
+    def degraded_results(self) -> int:
+        return self._degraded.value
 
     @property
     def stage_seconds(self) -> Dict[str, float]:
@@ -122,10 +176,22 @@ class RunStats:
             f"{name} {seconds * 1e3:.1f}ms"
             for name, seconds in self.stage_seconds.items()
         )
+        # Resilience counters appear only when something actually went
+        # wrong, so a clean run's summary stays byte-identical.
+        extras = []
+        if self.retry_attempts:
+            extras.append(f"retries {self.retry_attempts}")
+        if self.timeouts:
+            extras.append(f"timeouts {self.timeouts}")
+        if self.worker_restarts:
+            extras.append(f"worker restarts {self.worker_restarts}")
+        if self.degraded_results:
+            extras.append(f"degraded {self.degraded_results}")
         return (
             f"jobs {self.jobs_completed}/{self.jobs_submitted} completed; "
             f"cache {self.cache_hits}/{self.cache_lookups} hits "
             f"({self.cache_hit_rate:.0%})"
+            + (f"; {'; '.join(extras)}" if extras else "")
             + (f"; stages: {stages}" if stages else "")
         )
 

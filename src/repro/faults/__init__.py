@@ -1,0 +1,37 @@
+"""Deterministic fault injection for communication channels.
+
+The paper's second design axis — the hardware communication mechanism —
+is modeled as perfectly reliable everywhere else in this package. Real
+CPU–accelerator paths are not: transfers fail and retry, links degrade,
+and asynchronous completions get lost. ``repro.faults`` makes those
+behaviours a first-class, *seeded* part of the model so Figure 5/7-style
+experiments can be re-run under fault sweeps and design points compared
+by how gracefully they degrade:
+
+- :mod:`repro.faults.spec` — :class:`FaultSpec` / :class:`FaultPlan`
+  (pure data, hashable, picklable) and the ``--faults`` grammar;
+- :mod:`repro.faults.channel` — :class:`FaultyChannel`, the decorator
+  that injects failures, degradation windows, and dropped completions
+  into any :class:`~repro.comm.base.CommChannel`.
+
+The ranking side lives in :mod:`repro.core.resilience`
+(:func:`~repro.core.resilience.fault_sensitivity`).
+"""
+
+from repro.faults.channel import FaultyChannel
+from repro.faults.spec import (
+    MECHANISM_TOKENS,
+    WILDCARD_TARGET,
+    FaultPlan,
+    FaultSpec,
+    derive_seed,
+)
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "FaultyChannel",
+    "MECHANISM_TOKENS",
+    "WILDCARD_TARGET",
+    "derive_seed",
+]

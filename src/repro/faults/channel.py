@@ -1,0 +1,153 @@
+"""The fault-injecting channel decorator.
+
+:class:`FaultyChannel` wraps any :class:`~repro.comm.base.CommChannel` and
+perturbs its timing according to a :class:`~repro.faults.spec.FaultSpec`,
+drawing from a private seeded RNG so the same (seed, transfer sequence)
+always produces the same faults:
+
+- **transfer failures** — with probability ``fail_rate`` an attempt runs
+  for its full exposed time and then fails; the channel re-attempts (a
+  modeled retry whose wasted time lands on the critical path) up to
+  ``attempts`` times, then raises
+  :class:`~repro.errors.CommunicationError` so the harness-level retry
+  machinery takes over;
+- **bandwidth degradation** — with probability ``degrade_rate`` an episode
+  starts that multiplies transfer time by ``degrade_factor`` for
+  ``degrade_window`` consecutive transfers (the already-hidden portion
+  stays hidden; the extra time is exposed);
+- **dropped completions** — with probability ``drop_rate`` an asynchronous
+  copy's completion is lost and its whole duration lands on the critical
+  path (the overlap budget it claimed is wasted).
+
+Every injection is published as a ``faults.*`` counter on the channel's
+metric registry, so fault sweeps can report exactly what was injected.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.comm.base import CommChannel, TransferResult
+from repro.errors import CommunicationError
+from repro.faults.spec import FaultSpec
+from repro.trace.phase import CommPhase
+
+__all__ = ["FaultyChannel"]
+
+
+class FaultyChannel(CommChannel):
+    """A decorator injecting seeded, deterministic faults into a channel."""
+
+    def __init__(self, inner: CommChannel, spec: FaultSpec, seed: int = 0) -> None:
+        # The wrapper reports the wrapped mechanism so simulators, cache
+        # keys, and fault plans see through the decoration.
+        self.mechanism = inner.mechanism
+        super().__init__(inner.params)
+        self.inner = inner
+        self.spec = spec
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._degrade_left = 0
+        self._injected = self.metrics.counter(
+            "faults.injected_failures",
+            unit="failures",
+            description="transfer attempts that were failed by injection",
+        )
+        self._modeled_retries = self.metrics.counter(
+            "faults.modeled_retries",
+            unit="retries",
+            description="channel-level re-attempts after an injected failure",
+        )
+        self._retry_seconds = self.metrics.counter(
+            "faults.retry_seconds",
+            unit="s",
+            description="critical-path time wasted by failed attempts",
+        )
+        self._degraded = self.metrics.counter(
+            "faults.degraded_transfers",
+            unit="transfers",
+            description="transfers serviced inside a degraded-bandwidth window",
+        )
+        self._dropped = self.metrics.counter(
+            "faults.dropped_completions",
+            unit="transfers",
+            description="async copies whose completion (and overlap) was lost",
+        )
+        self._aborted = self.metrics.counter(
+            "faults.aborted_transfers",
+            unit="transfers",
+            description="transfers that failed every modeled attempt",
+        )
+
+    def _timing(self, phase: CommPhase, overlap_window: float) -> TransferResult:
+        spec = self.spec
+        rng = self._rng
+        # Bandwidth degradation episodes: once triggered, the next
+        # `degrade_window` transfers (this one included) run slowed.
+        if (
+            self._degrade_left == 0
+            and spec.degrade_rate > 0.0
+            and rng.random() < spec.degrade_rate
+        ):
+            self._degrade_left = spec.degrade_window
+        slowdown = 1.0
+        if self._degrade_left > 0:
+            slowdown = spec.degrade_factor
+            self._degrade_left -= 1
+            self._degraded.inc()
+
+        wasted = 0.0
+        for attempt in range(1, spec.attempts + 1):
+            base = self.inner._timing(phase, overlap_window)
+            total, exposed = base.total, base.exposed
+            if slowdown != 1.0:
+                # The copy takes longer but the overlap window is unchanged,
+                # so the hidden portion is capped at what already fit.
+                hidden = total - exposed
+                total *= slowdown
+                exposed = total - hidden
+            if (
+                spec.drop_rate > 0.0
+                and total > exposed
+                and rng.random() < spec.drop_rate
+            ):
+                exposed = total
+                self._dropped.inc()
+            if spec.fail_rate > 0.0 and rng.random() < spec.fail_rate:
+                self._injected.inc()
+                self._retry_seconds.inc(exposed)
+                wasted += exposed
+                if attempt == spec.attempts:
+                    self._aborted.inc()
+                    raise CommunicationError(
+                        f"injected fault: transfer {phase.label!r} over "
+                        f"{self.mechanism} failed after {spec.attempts} "
+                        "modeled attempt(s)"
+                    )
+                self._modeled_retries.inc()
+                continue
+            return TransferResult(total=wasted + total, exposed=wasted + exposed)
+        raise AssertionError("unreachable: the attempt loop returns or raises")
+
+    def stats(self):
+        """Inner subclass-specific counters merged under this wrapper's.
+
+        The inner channel's base counters are never incremented (transfers
+        route through this wrapper), so the wrapper's own registry wins on
+        name collisions.
+        """
+        merged = dict(self.inner.stats())
+        merged.update(self.metrics.as_dict())
+        return merged
+
+    def reset_stats(self) -> None:
+        super().reset_stats()
+        self.inner.reset_stats()
+        self._rng = random.Random(self.seed)
+        self._degrade_left = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FaultyChannel {self.mechanism} seed={self.seed} "
+            f"spec=({self.spec.describe()})>"
+        )

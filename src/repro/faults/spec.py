@@ -1,0 +1,249 @@
+"""Fault-injection specs: what goes wrong, how often, on which channel.
+
+A :class:`FaultSpec` describes the failure behaviour of one communication
+mechanism; a :class:`FaultPlan` maps mechanisms (or the wildcard ``*``) to
+specs and carries the seed that makes every injected fault deterministic.
+Plans are frozen, hashable, and picklable, so a :class:`~repro.exec.job.SimJob`
+can carry one into worker processes, and two runs with the same plan (and
+the same seed) inject the exact same fault sequence.
+
+The CLI grammar (``--faults SPEC``) is ``;``-separated clauses::
+
+    SPEC    := [ "seed=" INT ";" ] CLAUSE { ";" CLAUSE }
+    CLAUSE  := TARGET ":" FAULT { "," FAULT }
+    TARGET  := "pcie" | "aperture" | "memctrl" | "interconnect"
+             | "dma" | "ideal" | "*"
+    FAULT   := "fail=" RATE          per-transfer failure probability
+             | "attempts=" N         modeled channel-level attempts (default 3)
+             | "degrade=" RATE       probability a degraded window starts
+             | "factor=" F           slowdown during a degraded window
+             | "window=" N           transfers per degraded window
+             | "drop=" RATE          dropped async-completion probability
+
+Examples: ``pcie:fail=0.2``, ``seed=7;pcie:fail=0.1,drop=0.05;*:degrade=0.02``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Optional, Tuple
+
+from repro.errors import FaultSpecError
+from repro.taxonomy import CommMechanism
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "MECHANISM_TOKENS",
+    "WILDCARD_TARGET",
+    "derive_seed",
+]
+
+#: Spec-grammar token per mechanism (and the reverse map for matching).
+MECHANISM_TOKENS: Dict[str, CommMechanism] = {
+    "pcie": CommMechanism.PCIE,
+    "aperture": CommMechanism.PCI_APERTURE,
+    "memctrl": CommMechanism.MEMORY_CONTROLLER,
+    "interconnect": CommMechanism.INTERCONNECT,
+    "dma": CommMechanism.DMA_ASYNC,
+    "ideal": CommMechanism.IDEAL,
+}
+_TOKEN_BY_MECHANISM = {mech: token for token, mech in MECHANISM_TOKENS.items()}
+
+WILDCARD_TARGET = "*"
+
+_RATE_FIELDS = ("fail_rate", "degrade_rate", "drop_rate")
+_SPEC_KEYS = {
+    "fail": "fail_rate",
+    "attempts": "attempts",
+    "degrade": "degrade_rate",
+    "factor": "degrade_factor",
+    "window": "degrade_window",
+    "drop": "drop_rate",
+}
+
+
+def derive_seed(seed: int, *parts: str) -> int:
+    """A stable 64-bit RNG seed from a plan seed plus context strings.
+
+    Python's builtin ``hash`` is salted per process, so channel seeds go
+    through SHA-256 instead — the same (plan seed, mechanism, job, attempt)
+    tuple yields the same fault sequence in every worker process.
+    """
+    digest = hashlib.sha256(
+        ":".join((str(seed), *parts)).encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Failure behaviour of one communication channel.
+
+    - ``fail_rate``: per-transfer-attempt probability that the transfer
+      fails after running (its exposed time is wasted). The channel
+      re-attempts up to ``attempts`` times, then raises
+      :class:`~repro.errors.CommunicationError` to the harness.
+    - ``degrade_rate``: per-transfer probability that a bandwidth
+      degradation episode starts, multiplying transfer time by
+      ``degrade_factor`` for the next ``degrade_window`` transfers.
+    - ``drop_rate``: per-transfer probability that an asynchronous copy's
+      completion is dropped — the copy silently loses its overlap and its
+      full time lands on the critical path.
+    """
+
+    fail_rate: float = 0.0
+    attempts: int = 3
+    degrade_rate: float = 0.0
+    degrade_factor: float = 2.0
+    degrade_window: int = 4
+    drop_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise FaultSpecError(f"{name} must be in [0, 1], got {rate}")
+        if self.attempts < 1:
+            raise FaultSpecError(f"attempts must be >= 1, got {self.attempts}")
+        if self.degrade_factor < 1.0:
+            raise FaultSpecError(
+                f"degrade_factor must be >= 1, got {self.degrade_factor}"
+            )
+        if self.degrade_window < 1:
+            raise FaultSpecError(
+                f"degrade_window must be >= 1, got {self.degrade_window}"
+            )
+
+    @property
+    def active(self) -> bool:
+        """Whether this spec can inject anything at all."""
+        return any(getattr(self, name) > 0.0 for name in _RATE_FIELDS)
+
+    def describe(self) -> str:
+        """Canonical clause text (non-default fields only)."""
+        parts = []
+        defaults = FaultSpec()
+        for key, attr in _SPEC_KEYS.items():
+            value = getattr(self, attr)
+            if value != getattr(defaults, attr):
+                parts.append(f"{key}={value:g}" if isinstance(value, float) else f"{key}={value}")
+        return ",".join(parts) or "fail=0"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded mapping from communication mechanisms to fault specs.
+
+    ``specs`` preserves clause order; the first exact mechanism match wins,
+    then the first wildcard. The plan is pure data — wrapping a channel
+    happens in :meth:`wrap`, which derives a per-(job, attempt) seed so
+    harness-level retries of a failed job see a fresh (but still
+    deterministic) fault sequence.
+    """
+
+    seed: int = 0
+    specs: Tuple[Tuple[str, FaultSpec], ...] = ()
+
+    def __post_init__(self) -> None:
+        for target, spec in self.specs:
+            if target != WILDCARD_TARGET and target not in MECHANISM_TOKENS:
+                raise FaultSpecError(
+                    f"unknown fault target {target!r}; use one of "
+                    f"{sorted(MECHANISM_TOKENS)} or {WILDCARD_TARGET!r}"
+                )
+            if not isinstance(spec, FaultSpec):
+                raise FaultSpecError(
+                    f"fault target {target!r} needs a FaultSpec, got {type(spec).__name__}"
+                )
+
+    def spec_for(self, mechanism: CommMechanism) -> Optional[FaultSpec]:
+        """The spec governing ``mechanism`` (exact target beats wildcard)."""
+        token = _TOKEN_BY_MECHANISM[mechanism]
+        wildcard: Optional[FaultSpec] = None
+        for target, spec in self.specs:
+            if target == token:
+                return spec
+            if target == WILDCARD_TARGET and wildcard is None:
+                wildcard = spec
+        return wildcard
+
+    @property
+    def active(self) -> bool:
+        return any(spec.active for _, spec in self.specs)
+
+    def wrap(self, channel, context: str = "", attempt: int = 0):
+        """Wrap ``channel`` in a :class:`~repro.faults.channel.FaultyChannel`.
+
+        Returns the channel untouched when no spec targets its mechanism.
+        ``context`` identifies the job (e.g. ``"fft:CPU+GPU"``) and
+        ``attempt`` the harness-level retry, so every logical transfer
+        sequence is independently seeded yet fully reproducible.
+        """
+        from repro.faults.channel import FaultyChannel
+
+        spec = self.spec_for(channel.mechanism)
+        if spec is None:
+            return channel
+        seed = derive_seed(self.seed, str(channel.mechanism), context, str(attempt))
+        return FaultyChannel(channel, spec, seed=seed)
+
+    def describe(self) -> str:
+        """Canonical round-trippable spec text (used in checkpoint signatures)."""
+        clauses = [f"seed={self.seed}"]
+        clauses.extend(f"{target}:{spec.describe()}" for target, spec in self.specs)
+        return ";".join(clauses)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse the ``--faults`` grammar into a plan."""
+        if not text or not text.strip():
+            raise FaultSpecError("empty fault spec")
+        seed = 0
+        specs = []
+        for clause in text.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            if clause.startswith("seed="):
+                try:
+                    seed = int(clause[len("seed="):])
+                except ValueError as exc:
+                    raise FaultSpecError(f"bad seed in fault spec: {clause!r}") from exc
+                continue
+            if ":" not in clause:
+                raise FaultSpecError(
+                    f"fault clause {clause!r} needs the form TARGET:FAULT[,FAULT...]"
+                )
+            target, _, body = clause.partition(":")
+            target = target.strip()
+            kwargs = {}
+            for item in body.split(","):
+                item = item.strip()
+                if not item:
+                    continue
+                key, sep, value = item.partition("=")
+                key = key.strip()
+                if not sep or key not in _SPEC_KEYS:
+                    raise FaultSpecError(
+                        f"unknown fault parameter {item!r}; use one of "
+                        f"{sorted(_SPEC_KEYS)}"
+                    )
+                attr = _SPEC_KEYS[key]
+                field_type = {f.name: f.type for f in fields(FaultSpec)}[attr]
+                try:
+                    kwargs[attr] = int(value) if field_type == "int" else float(value)
+                except ValueError as exc:
+                    raise FaultSpecError(
+                        f"bad value for {key!r} in fault spec: {value!r}"
+                    ) from exc
+            if not kwargs:
+                raise FaultSpecError(f"fault clause {clause!r} declares no faults")
+            specs.append((target, FaultSpec(**kwargs)))
+        if not specs:
+            raise FaultSpecError(f"fault spec {text!r} declares no fault clauses")
+        return cls(seed=seed, specs=tuple(specs))
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=seed)

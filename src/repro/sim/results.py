@@ -85,6 +85,10 @@ class SimulationResult:
     (plain dicts passed by callers are converted on construction), so a
     result is fully hashable and can be shared across
     :class:`~repro.exec.cache.ResultCache` hits without aliasing risks.
+
+    ``degraded`` marks a result produced by a fallback simulator — the
+    detailed machine failed and the fast model answered instead (see
+    :func:`~repro.exec.job.run_sim_job`).
     """
 
     kernel: str
@@ -92,6 +96,7 @@ class SimulationResult:
     breakdown: TimeBreakdown
     phases: Tuple[PhaseTiming, ...] = ()
     counters: Mapping[str, float] = field(default_factory=MetricSnapshot)
+    degraded: bool = False
 
     def __post_init__(self) -> None:
         if not isinstance(self.counters, MetricSnapshot):
@@ -114,4 +119,5 @@ class SimulationResult:
             f"{self.kernel} on {self.system}: {b.total * 1e6:.1f} us "
             f"(seq {b.sequential * 1e6:.1f}, par {b.parallel * 1e6:.1f}, "
             f"comm {b.communication * 1e6:.1f}; comm {b.communication_fraction:.1%})"
+            + (" [degraded]" if self.degraded else "")
         )

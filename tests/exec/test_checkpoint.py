@@ -1,0 +1,140 @@
+"""Tests for JSONL sweep checkpointing and explorer-level resume."""
+
+import json
+
+import pytest
+
+from repro.core.explorer import Explorer
+from repro.core.space import DesignSpace
+from repro.errors import CheckpointError
+from repro.exec.cache import ResultCache, TraceCache
+from repro.exec.checkpoint import FORMAT_VERSION, SweepCheckpoint, sweep_signature
+from repro.kernels.registry import all_kernels
+
+
+class TestSignature:
+    def test_order_insensitive_within_a_part(self):
+        assert sweep_signature(["b", "a"], ["k"]) == sweep_signature(["a", "b"], ["k"])
+
+    def test_parts_are_not_interchangeable(self):
+        assert sweep_signature(["a"], ["b"]) != sweep_signature(["b"], ["a"])
+
+    def test_content_sensitive(self):
+        assert sweep_signature(["a"], ["k"]) != sweep_signature(["a", "c"], ["k"])
+
+
+class TestStore:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "cp.jsonl")
+        store = SweepCheckpoint(path)
+        store.open("sig", resume=False)
+        store.append({"label": "p1", "mean_seconds": 0.25})
+        store.append({"label": "p2", "mean_seconds": 0.5})
+        store.close()
+        entries = SweepCheckpoint(path).load("sig")
+        assert entries["p1"]["mean_seconds"] == 0.25
+        assert list(entries) == ["p1", "p2"]
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert SweepCheckpoint(str(tmp_path / "absent.jsonl")).load("sig") == {}
+
+    def test_signature_mismatch_starts_fresh(self, tmp_path):
+        path = str(tmp_path / "cp.jsonl")
+        with SweepCheckpoint(path) as store:
+            store.open("old-sweep", resume=False)
+            store.append({"label": "p1"})
+        assert SweepCheckpoint(path).load("new-sweep") == {}
+
+    def test_version_mismatch_starts_fresh(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        path.write_text(
+            json.dumps({"version": FORMAT_VERSION + 1, "signature": "sig"}) + "\n"
+        )
+        assert SweepCheckpoint(str(path)).load("sig") == {}
+
+    def test_corrupt_header_starts_fresh(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        path.write_text("not json\n")
+        assert SweepCheckpoint(str(path)).load("sig") == {}
+
+    def test_truncated_trailing_entry_keeps_the_rest(self, tmp_path):
+        """A kill can land mid-write; everything before it must survive."""
+        path = tmp_path / "cp.jsonl"
+        with SweepCheckpoint(str(path)) as store:
+            store.open("sig", resume=False)
+            store.append({"label": "p1", "mean_seconds": 1.0})
+            store.append({"label": "p2", "mean_seconds": 2.0})
+        path.write_text(path.read_text() + '{"label": "p3", "mean_s')
+        entries = SweepCheckpoint(str(path)).load("sig")
+        assert sorted(entries) == ["p1", "p2"]
+
+    def test_append_requires_open(self, tmp_path):
+        store = SweepCheckpoint(str(tmp_path / "cp.jsonl"))
+        with pytest.raises(CheckpointError):
+            store.append({"label": "p1"})
+
+    def test_double_open_rejected(self, tmp_path):
+        store = SweepCheckpoint(str(tmp_path / "cp.jsonl"))
+        store.open("sig", resume=False)
+        try:
+            with pytest.raises(CheckpointError):
+                store.open("sig", resume=False)
+        finally:
+            store.close()
+
+
+class TestExplorerResume:
+    """The acceptance check: killed-and-resumed sweep == uninterrupted sweep."""
+
+    def _explorer(self):
+        return Explorer(trace_cache=TraceCache(), result_cache=ResultCache())
+
+    def _rank(self, checkpoint=None):
+        points = DesignSpace().feasible_points()[:6]
+        kernels = all_kernels()[:2]
+        return self._explorer().rank_design_points(
+            points, kernels, checkpoint=checkpoint, checkpoint_chunk=2
+        )
+
+    @staticmethod
+    def _flat(evaluations):
+        return [
+            (
+                e.point.label,
+                e.mean_seconds,
+                e.mean_comm_fraction,
+                e.comm_lines_total,
+                e.locality_options,
+            )
+            for e in evaluations
+        ]
+
+    def test_checkpointed_matches_plain(self, tmp_path):
+        plain = self._rank()
+        checkpointed = self._rank(checkpoint=str(tmp_path / "cp.jsonl"))
+        assert self._flat(checkpointed) == self._flat(plain)
+
+    def test_resume_after_a_kill_is_identical(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        full = self._rank(checkpoint=str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 7  # header + 6 points
+        # Simulate a kill after the first chunk: keep header + 2 entries.
+        path.write_text("\n".join(lines[:3]) + "\n")
+        resumed = self._rank(checkpoint=str(path))
+        assert self._flat(resumed) == self._flat(full)
+        # The resumed run completed the file.
+        assert len(path.read_text().splitlines()) == 7
+
+    def test_changed_sweep_is_not_mixed_in(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        self._rank(checkpoint=str(path))
+        points = DesignSpace().feasible_points()[:3]  # different point set
+        kernels = all_kernels()[:2]
+        explorer = self._explorer()
+        evaluations = explorer.rank_design_points(
+            points, kernels, checkpoint=str(path)
+        )
+        assert len(evaluations) == 3
+        # The file was rewritten for the new sweep (header + 3 entries).
+        assert len(path.read_text().splitlines()) == 4

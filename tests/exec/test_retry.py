@@ -1,0 +1,62 @@
+"""Tests for the deterministic backoff policy."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.exec.retry import NO_RETRY, RetryPolicy, backoff_delay, backoff_schedule
+
+
+class TestValidation:
+    def test_defaults_are_fail_fast(self):
+        assert NO_RETRY.retries == 0
+        assert NO_RETRY.max_attempts == 1
+        assert backoff_schedule(NO_RETRY) == ()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"retries": -1},
+            {"base_delay": -0.1},
+            {"backoff": 0.5},
+            {"base_delay": 1.0, "max_delay": 0.5},
+            {"jitter": 1.0},
+            {"jitter": -0.1},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            RetryPolicy(**kwargs)
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ConfigError):
+            backoff_delay(NO_RETRY, -1)
+
+
+class TestSchedule:
+    def test_deterministic_per_seed(self):
+        policy = RetryPolicy(retries=5, seed=11)
+        assert backoff_schedule(policy) == backoff_schedule(
+            RetryPolicy(retries=5, seed=11)
+        )
+        assert backoff_schedule(policy) != backoff_schedule(
+            RetryPolicy(retries=5, seed=12)
+        )
+
+    def test_exponential_growth_capped_at_max_delay(self):
+        policy = RetryPolicy(
+            retries=8, base_delay=0.01, backoff=2.0, max_delay=0.05, jitter=0.0
+        )
+        schedule = backoff_schedule(policy)
+        assert schedule[0] == pytest.approx(0.01)
+        assert schedule[1] == pytest.approx(0.02)
+        assert schedule[2] == pytest.approx(0.04)
+        assert all(delay == pytest.approx(0.05) for delay in schedule[3:])
+
+    def test_jitter_stays_within_the_bound(self):
+        policy = RetryPolicy(retries=20, jitter=0.25, seed=3)
+        for delay in backoff_schedule(policy):
+            assert 0.0 <= delay <= policy.delay_bound
+
+    def test_zero_base_delay_never_sleeps(self):
+        policy = RetryPolicy(retries=4, base_delay=0.0, max_delay=0.0, jitter=0.0)
+        assert backoff_schedule(policy) == (0.0, 0.0, 0.0, 0.0)

@@ -1,0 +1,155 @@
+"""Tests for the fault-injecting channel decorator."""
+
+import pytest
+
+from repro.comm.base import make_channel
+from repro.errors import CommunicationError
+from repro.faults.channel import FaultyChannel
+from repro.faults.spec import FaultPlan, FaultSpec
+from repro.taxonomy import CommMechanism
+from repro.trace.phase import CommPhase, Direction
+
+MB = 1 << 20
+
+
+def phase(num_bytes=MB, direction=Direction.H2D):
+    return CommPhase(label="xfer", direction=direction, num_bytes=num_bytes)
+
+
+def pcie():
+    return make_channel(CommMechanism.PCIE)
+
+
+def dma():
+    return make_channel(CommMechanism.DMA_ASYNC, async_overlap=True)
+
+
+class TestDecoration:
+    def test_reports_the_wrapped_mechanism(self):
+        wrapped = FaultyChannel(pcie(), FaultSpec(fail_rate=0.1), seed=1)
+        assert wrapped.mechanism is CommMechanism.PCIE
+
+    def test_inactive_spec_changes_nothing(self):
+        clean = pcie().transfer(phase())
+        wrapped = FaultyChannel(pcie(), FaultSpec(), seed=1)
+        assert wrapped.transfer(phase()) == clean
+
+    def test_stats_merge_fault_counters_with_inner(self):
+        wrapped = FaultyChannel(pcie(), FaultSpec(fail_rate=1.0, attempts=2), seed=1)
+        with pytest.raises(CommunicationError):
+            wrapped.transfer(phase())
+        stats = wrapped.stats()
+        assert stats["faults.injected_failures"] == 2
+        assert "bytes_moved" in stats
+
+
+class TestDeterminism:
+    def _exposed_series(self, seed, n=50):
+        wrapped = FaultyChannel(
+            pcie(),
+            FaultSpec(fail_rate=0.3, attempts=10, degrade_rate=0.2),
+            seed=seed,
+        )
+        return [wrapped.transfer(phase()).exposed for _ in range(n)]
+
+    def test_same_seed_same_faults(self):
+        assert self._exposed_series(seed=42) == self._exposed_series(seed=42)
+
+    def test_different_seed_different_faults(self):
+        assert self._exposed_series(seed=42) != self._exposed_series(seed=43)
+
+    def test_reset_stats_replays_the_sequence(self):
+        wrapped = FaultyChannel(
+            pcie(), FaultSpec(fail_rate=0.3, attempts=10), seed=7
+        )
+        first = [wrapped.transfer(phase()).exposed for _ in range(20)]
+        wrapped.reset_stats()
+        again = [wrapped.transfer(phase()).exposed for _ in range(20)]
+        assert first == again
+        assert wrapped.transfers == 20  # counters were reset too
+
+
+class TestTransferFailures:
+    def test_always_failing_raises_after_modeled_attempts(self):
+        wrapped = FaultyChannel(pcie(), FaultSpec(fail_rate=1.0, attempts=3), seed=1)
+        with pytest.raises(CommunicationError) as excinfo:
+            wrapped.transfer(phase())
+        assert "3 modeled attempt" in str(excinfo.value)
+        assert wrapped.stats()["faults.injected_failures"] == 3
+        assert wrapped.stats()["faults.modeled_retries"] == 2
+        assert wrapped.stats()["faults.aborted_transfers"] == 1
+
+    def test_modeled_retry_cost_lands_on_the_critical_path(self):
+        clean = pcie().transfer(phase())
+        # seed chosen so the first attempt fails and the second succeeds
+        wrapped = FaultyChannel(pcie(), FaultSpec(fail_rate=0.5, attempts=10), seed=3)
+        while True:
+            result = wrapped.transfer(phase())
+            if wrapped.stats()["faults.injected_failures"]:
+                break
+        # The successful transfer carries the failed attempts' wasted time.
+        assert result.exposed > clean.exposed
+        assert result.total >= result.exposed
+
+
+class TestDegradation:
+    def test_degrade_window_slows_consecutive_transfers(self):
+        clean = pcie().transfer(phase())
+        wrapped = FaultyChannel(
+            pcie(),
+            FaultSpec(degrade_rate=1.0, degrade_factor=2.0, degrade_window=3),
+            seed=1,
+        )
+        slowed = [wrapped.transfer(phase()) for _ in range(3)]
+        for result in slowed:
+            assert result.total == pytest.approx(clean.total * 2.0)
+        assert wrapped.stats()["faults.degraded_transfers"] == 3
+
+    def test_hidden_time_stays_hidden_under_degradation(self):
+        """Slowdown inflates the exposed part; already-overlapped time is
+        capped at what the overlap window already absorbed."""
+        window = 1.0
+        clean = dma().transfer(phase(), overlap_window=window)
+        assert clean.overlapped > 0
+        wrapped = FaultyChannel(
+            dma(),
+            FaultSpec(degrade_rate=1.0, degrade_factor=3.0, degrade_window=1),
+            seed=1,
+        )
+        slowed = wrapped.transfer(phase(), overlap_window=window)
+        assert slowed.total == pytest.approx(clean.total * 3.0)
+        assert slowed.overlapped == pytest.approx(clean.overlapped)
+
+
+class TestDroppedCompletions:
+    def test_drop_exposes_the_whole_copy(self):
+        window = 1.0
+        clean = dma().transfer(phase(), overlap_window=window)
+        assert clean.overlapped > 0  # something to lose
+        wrapped = FaultyChannel(dma(), FaultSpec(drop_rate=1.0), seed=1)
+        dropped = wrapped.transfer(phase(), overlap_window=window)
+        assert dropped.exposed == dropped.total
+        assert wrapped.stats()["faults.dropped_completions"] == 1
+
+    def test_synchronous_transfers_have_nothing_to_drop(self):
+        wrapped = FaultyChannel(pcie(), FaultSpec(drop_rate=1.0), seed=1)
+        wrapped.transfer(phase())
+        assert wrapped.stats()["faults.dropped_completions"] == 0
+
+
+class TestPlanWrap:
+    def test_wrap_returns_channel_untouched_without_a_matching_spec(self):
+        plan = FaultPlan.parse("dma:fail=0.5")
+        channel = pcie()
+        assert plan.wrap(channel, context="fft:CPU+GPU") is channel
+
+    def test_wrap_seeds_by_context_and_attempt(self):
+        plan = FaultPlan.parse("seed=5;pcie:fail=0.5,attempts=10")
+
+        def series(context, attempt):
+            wrapped = plan.wrap(pcie(), context=context, attempt=attempt)
+            return [wrapped.transfer(phase()).exposed for _ in range(30)]
+
+        assert series("fft:CPU+GPU", 0) == series("fft:CPU+GPU", 0)
+        assert series("fft:CPU+GPU", 0) != series("fft:LRB", 0)
+        assert series("fft:CPU+GPU", 0) != series("fft:CPU+GPU", 1)

@@ -1,0 +1,129 @@
+"""Tests for the fault-spec grammar and the plan's seeding rules."""
+
+import pickle
+
+import pytest
+
+from repro.errors import FaultSpecError
+from repro.faults.spec import (
+    FaultPlan,
+    FaultSpec,
+    WILDCARD_TARGET,
+    derive_seed,
+)
+from repro.taxonomy import CommMechanism
+
+
+class TestFaultSpecValidation:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(FaultSpecError):
+            FaultSpec(fail_rate=1.5)
+        with pytest.raises(FaultSpecError):
+            FaultSpec(degrade_rate=-0.1)
+        with pytest.raises(FaultSpecError):
+            FaultSpec(drop_rate=2.0)
+
+    def test_attempts_window_factor_bounds(self):
+        with pytest.raises(FaultSpecError):
+            FaultSpec(attempts=0)
+        with pytest.raises(FaultSpecError):
+            FaultSpec(degrade_window=0)
+        with pytest.raises(FaultSpecError):
+            FaultSpec(degrade_factor=0.5)
+
+    def test_active_means_some_rate_is_nonzero(self):
+        assert not FaultSpec().active
+        assert not FaultSpec(attempts=5, degrade_factor=3.0).active
+        assert FaultSpec(fail_rate=0.1).active
+        assert FaultSpec(drop_rate=0.1).active
+
+
+class TestParse:
+    def test_single_clause(self):
+        plan = FaultPlan.parse("pcie:fail=0.2")
+        assert plan.seed == 0
+        assert plan.spec_for(CommMechanism.PCIE) == FaultSpec(fail_rate=0.2)
+        assert plan.spec_for(CommMechanism.IDEAL) is None
+
+    def test_seed_and_multiple_clauses(self):
+        plan = FaultPlan.parse("seed=7;pcie:fail=0.1,drop=0.05;*:degrade=0.02")
+        assert plan.seed == 7
+        assert plan.spec_for(CommMechanism.PCIE).drop_rate == 0.05
+        # The wildcard covers every other mechanism.
+        assert plan.spec_for(CommMechanism.DMA_ASYNC).degrade_rate == 0.02
+
+    def test_exact_target_beats_wildcard(self):
+        plan = FaultPlan.parse("*:fail=0.5;dma:fail=0.1")
+        assert plan.spec_for(CommMechanism.DMA_ASYNC).fail_rate == 0.1
+        assert plan.spec_for(CommMechanism.PCIE).fail_rate == 0.5
+
+    def test_all_parameter_kinds(self):
+        plan = FaultPlan.parse(
+            "memctrl:fail=0.1,attempts=5,degrade=0.2,factor=3.5,window=2,drop=0.3"
+        )
+        spec = plan.spec_for(CommMechanism.MEMORY_CONTROLLER)
+        assert spec == FaultSpec(
+            fail_rate=0.1,
+            attempts=5,
+            degrade_rate=0.2,
+            degrade_factor=3.5,
+            degrade_window=2,
+            drop_rate=0.3,
+        )
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "   ",
+            "seed=3",  # no clauses
+            "pcie",  # no faults
+            "pcie:",  # empty fault list
+            "warp:fail=0.1",  # unknown target
+            "pcie:explode=0.1",  # unknown fault key
+            "pcie:fail=lots",  # unparsable value
+            "pcie:fail=2.0",  # out-of-range rate
+            "seed=x;pcie:fail=0.1",  # bad seed
+        ],
+    )
+    def test_malformed_specs_are_rejected(self, text):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.parse(text)
+
+    def test_describe_round_trips(self):
+        plan = FaultPlan.parse("seed=9;pcie:fail=0.2,attempts=2;*:degrade=0.1")
+        assert FaultPlan.parse(plan.describe()) == plan
+
+    def test_plans_pickle(self):
+        plan = FaultPlan.parse("seed=9;pcie:fail=0.2")
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+class TestDeriveSeed:
+    def test_stable_across_calls(self):
+        assert derive_seed(1, "pcie", "fft:CPU+GPU", "0") == derive_seed(
+            1, "pcie", "fft:CPU+GPU", "0"
+        )
+
+    def test_every_part_matters(self):
+        base = derive_seed(1, "pcie", "fft:CPU+GPU", "0")
+        assert derive_seed(2, "pcie", "fft:CPU+GPU", "0") != base
+        assert derive_seed(1, "dma", "fft:CPU+GPU", "0") != base
+        assert derive_seed(1, "pcie", "fft:LRB", "0") != base
+        assert derive_seed(1, "pcie", "fft:CPU+GPU", "1") != base
+
+
+class TestPlanMisc:
+    def test_unknown_target_rejected_at_construction(self):
+        with pytest.raises(FaultSpecError):
+            FaultPlan(specs=(("warp", FaultSpec(fail_rate=0.1)),))
+
+    def test_active_requires_an_active_spec(self):
+        assert not FaultPlan().active
+        assert not FaultPlan(specs=((WILDCARD_TARGET, FaultSpec()),)).active
+        assert FaultPlan.parse("pcie:fail=0.1").active
+
+    def test_with_seed(self):
+        plan = FaultPlan.parse("pcie:fail=0.1")
+        assert plan.with_seed(5).seed == 5
+        assert plan.with_seed(5).specs == plan.specs

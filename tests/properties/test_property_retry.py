@@ -1,0 +1,58 @@
+"""Property-based tests for the backoff schedule (satellite: determinism
+and boundedness of harness retries)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec.retry import RetryPolicy, backoff_delay, backoff_schedule
+
+policy_strategy = st.builds(
+    RetryPolicy,
+    retries=st.integers(min_value=0, max_value=12),
+    base_delay=st.floats(min_value=0.0, max_value=0.5),
+    backoff=st.floats(min_value=1.0, max_value=4.0),
+    max_delay=st.floats(min_value=0.5, max_value=5.0),
+    jitter=st.floats(min_value=0.0, max_value=0.9),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+
+
+class TestScheduleProperties:
+    @given(policy=policy_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_deterministic_per_seed(self, policy):
+        """The same policy always sleeps the same schedule — no shared RNG
+        state leaks between computations."""
+        assert backoff_schedule(policy) == backoff_schedule(policy)
+
+    @given(policy=policy_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_never_exceeds_the_bound(self, policy):
+        for delay in backoff_schedule(policy):
+            assert 0.0 <= delay <= policy.delay_bound
+
+    @given(policy=policy_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_one_delay_per_retry(self, policy):
+        assert len(backoff_schedule(policy)) == policy.retries
+        assert policy.max_attempts == policy.retries + 1
+
+    @given(policy=policy_strategy, attempt=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=120, deadline=None)
+    def test_delay_is_a_pure_function_of_policy_and_attempt(self, policy, attempt):
+        assert backoff_delay(policy, attempt) == backoff_delay(policy, attempt)
+
+    @given(
+        retries=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_jitter_varies_with_the_seed_not_within_a_run(self, retries, seed):
+        """Two policies differing only in seed produce different (but
+        individually stable) schedules when jitter is on."""
+        a = backoff_schedule(RetryPolicy(retries=retries, jitter=0.5, seed=seed))
+        b = backoff_schedule(
+            RetryPolicy(retries=retries, jitter=0.5, seed=seed + 1)
+        )
+        assert len(a) == len(b) == retries
+        assert a != b

@@ -209,3 +209,90 @@ class TestRank:
     def test_bad_table_number(self):
         with pytest.raises(SystemExit):
             main(["table", "9"])
+
+
+class TestFaultFlags:
+    def test_malformed_faults_spec_is_config_error(self, capsys):
+        from repro.cli import EXIT_CONFIG_ERROR
+
+        code = main(["rank", "--sample", "6", "--faults", "warp:explode=9"])
+        assert code == EXIT_CONFIG_ERROR
+        assert "configuration error" in capsys.readouterr().err
+
+    def test_faulty_rank_is_reproducible_and_exits_zero(self, capsys):
+        args = ["rank", "--sample", "6", "--faults", "seed=3;pcie:fail=0.2", "--retries", "3"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_faults_change_the_timings(self, capsys):
+        assert main(["rank", "--sample", "6"]) == 0
+        clean = capsys.readouterr().out
+        assert main(["rank", "--sample", "6", "--faults", "*:degrade=0.5,factor=4"]) == 0
+        assert capsys.readouterr().out != clean
+
+    def test_fault_metrics_are_exported(self, tmp_path, capsys):
+        path = tmp_path / "metrics.csv"
+        assert (
+            main(
+                [
+                    "rank",
+                    "--sample", "6",
+                    "--faults", "*:degrade=0.5,factor=4",
+                    "--retries", "3",
+                    "--metrics-out", str(path),
+                ]
+            )
+            == 0
+        )
+        text = path.read_text()
+        assert "faults.degraded_transfers" in text
+        assert "exec.retry.attempts" in text
+
+    def test_faults_subcommand_ranks_fragility(self, capsys):
+        assert main(["faults", "--sample", "4", "--top", "4", "--rates", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fault sensitivity" in out
+        assert "@0.1" in out
+
+    def test_bad_rates_is_config_error(self, capsys):
+        from repro.cli import EXIT_CONFIG_ERROR
+
+        assert main(["faults", "--rates", "lots"]) == EXIT_CONFIG_ERROR
+        assert "configuration error" in capsys.readouterr().err
+
+
+class TestCheckpointFlag:
+    def test_kill_and_resume_reproduces_the_uninterrupted_output(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "sweep.jsonl"
+        args = ["rank", "--sample", "6", "--checkpoint", str(path)]
+        assert main(args) == 0
+        full = capsys.readouterr().out
+        # Simulate a mid-sweep kill: drop everything after the first chunk.
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:3]) + "\n")
+        assert main(args) == 0
+        assert capsys.readouterr().out == full
+
+    def test_checkpointed_output_matches_plain(self, tmp_path, capsys):
+        assert main(["rank", "--sample", "6"]) == 0
+        plain = capsys.readouterr().out
+        assert main(
+            ["rank", "--sample", "6", "--checkpoint", str(tmp_path / "cp.jsonl")]
+        ) == 0
+        assert capsys.readouterr().out == plain
+
+
+class TestInterrupt:
+    def test_keyboard_interrupt_exits_130(self, monkeypatch, capsys):
+        from repro import cli as cli_mod
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli_mod, "_cmd_compare", interrupted)
+        assert main(["compare"]) == cli_mod.EXIT_INTERRUPTED == 130
+        assert "interrupted" in capsys.readouterr().err
