@@ -1,0 +1,52 @@
+"""The compiled-hot-path perf benchmark: legacy vs compiled wall-clock.
+
+Runs :func:`repro.perf.bench.run_hotpath_bench` over the six Table III
+kernels and writes ``benchmarks/output/BENCH_hotpath.json`` — the perf
+trajectory the CI perf-smoke job (and future PRs) regress against. The
+committed baseline was recorded with ``repro-explore bench --scale 0.05
+--repeats 3``; this benchmark re-measures at the same scale and asserts
+the compiled path is still clearly ahead.
+
+The in-test assertion threshold is deliberately looser than the baseline
+(shared CI runners are noisy); the committed baseline documents the real
+speedups (>= 3x geomean, serial fidelity).
+"""
+
+import json
+
+from repro.perf.bench import run_hotpath_bench
+
+#: Loose floor for CI: the compiled path must beat legacy clearly even on
+#: a noisy shared runner. The committed baseline documents the real >= 3x.
+MIN_GEOMEAN_SPEEDUP = 1.3
+
+BENCH_SCALE = 0.05
+
+
+def test_hotpath(benchmark, output_dir):
+    doc = benchmark.pedantic(
+        run_hotpath_bench,
+        kwargs={"scale": BENCH_SCALE, "repeats": 1},
+        iterations=1,
+        rounds=1,
+    )
+
+    path = output_dir / "BENCH_hotpath.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    assert set(doc["fidelities"]) == {"serial", "interleaved"}
+    for name, data in doc["fidelities"].items():
+        assert len(data["kernels"]) == 6, name
+        for kernel_name, cell in data["kernels"].items():
+            assert cell["legacy_seconds"] > 0, (name, kernel_name)
+            assert cell["compiled_seconds"] > 0, (name, kernel_name)
+        assert data["geomean_speedup"] >= MIN_GEOMEAN_SPEEDUP, (
+            f"{name}: compiled path no longer clearly ahead "
+            f"(geomean {data['geomean_speedup']:.2f}x)"
+        )
+
+    # The fast simulator remains orders of magnitude faster than either
+    # detailed path — it is the exploration workhorse, not the hot path.
+    serial = doc["fidelities"]["serial"]["kernels"]
+    for kernel_name, fast_seconds in doc["fast_reference_seconds"].items():
+        assert fast_seconds < serial[kernel_name]["compiled_seconds"]

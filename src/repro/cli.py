@@ -13,6 +13,7 @@ Installed as ``repro-explore``::
     repro-explore metrics-diff before.csv after.csv
     repro-explore check
     repro-explore check --fixtures --rule PAS001
+    repro-explore bench --out BENCH_hotpath.json --baseline benchmarks/output/BENCH_hotpath.json
 
 All output goes through the structured ``repro`` logger onto stdout
 (byte-identical to plain printing by default); ``--quiet`` silences it and
@@ -350,6 +351,47 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return EXIT_CHECK_VIOLATIONS if findings else EXIT_OK
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import (
+        compare_to_baseline,
+        format_bench,
+        load_bench_json,
+        run_hotpath_bench,
+        write_bench_json,
+    )
+
+    doc = run_hotpath_bench(
+        scale=args.scale,
+        repeats=args.repeats,
+        case_name=args.case,
+        kernels=args.kernel or None,
+    )
+    _out(format_bench(doc))
+    if args.out:
+        write_bench_json(args.out, doc)
+        _out(f"wrote {args.out}")
+    failed = False
+    if args.min_speedup is not None:
+        for name, data in doc["fidelities"].items():
+            if data["geomean_speedup"] < args.min_speedup:
+                _out(
+                    f"FAIL: {name} geomean speedup "
+                    f"{data['geomean_speedup']:.2f}x < {args.min_speedup:g}x"
+                )
+                failed = True
+    if args.baseline:
+        problems = compare_to_baseline(
+            doc, load_bench_json(args.baseline), tolerance=args.tolerance
+        )
+        for problem in problems:
+            _out(f"REGRESSION: {problem}")
+        if problems:
+            failed = True
+        else:
+            _out(f"no regressions vs {args.baseline}")
+    return 1 if failed else EXIT_OK
+
+
 def _cmd_litmus(args: argparse.Namespace) -> int:
     from repro.consistency.litmus import LITMUS_TESTS, model_for
     from repro.consistency.model import is_allowed
@@ -610,6 +652,66 @@ def main(argv: Optional[List[str]] = None) -> int:
         "litmus", help="consistency-model litmus verdicts (strong vs weak)"
     )
     p_litmus.set_defaults(func=_cmd_litmus)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="benchmark the detailed simulator's compiled hot path against "
+        "the legacy generator path (exit 1 on regression)",
+    )
+    p_bench.add_argument(
+        "--scale",
+        type=float,
+        default=0.05,
+        help="trace scale factor for the timed runs (default 0.05)",
+    )
+    p_bench.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        metavar="N",
+        help="take the best of N timings per cell (default 1)",
+    )
+    p_bench.add_argument(
+        "--case",
+        default="CPU+GPU",
+        metavar="NAME",
+        help="case-study system to simulate (default CPU+GPU)",
+    )
+    p_bench.add_argument(
+        "--kernel",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="benchmark only this kernel (repeatable; default: all six)",
+    )
+    p_bench.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the BENCH_hotpath JSON document here",
+    )
+    p_bench.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="compare speedups against a stored BENCH_hotpath JSON; any "
+        "regression beyond --tolerance exits 1",
+    )
+    p_bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="allowed fractional speedup drop vs the baseline before "
+        "failing (default 0.5, loose enough for shared CI runners)",
+    )
+    p_bench.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless every fidelity's geomean speedup is at least X",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_check = sub.add_parser(
         "check",

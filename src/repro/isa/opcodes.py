@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 
-__all__ = ["OpClass", "Opcode"]
+__all__ = ["OpClass", "Opcode", "OPCODE_TO_CODE", "CODE_TO_OPCODE"]
 
 
 class OpClass(enum.Enum):
@@ -62,6 +62,13 @@ class Opcode(enum.Enum):
     @property
     def is_simd(self) -> bool:
         return self in (Opcode.SIMD_ALU, Opcode.SIMD_LOAD, Opcode.SIMD_STORE)
+
+
+#: Stable compact integer codes used by the compiled-trace hot path
+#: (:mod:`repro.perf.compiled`): segments encode opcodes as uint8 arrays
+#: instead of enum members. Codes index :data:`CODE_TO_OPCODE`.
+CODE_TO_OPCODE = tuple(Opcode)
+OPCODE_TO_CODE = {opcode: code for code, opcode in enumerate(CODE_TO_OPCODE)}
 
 
 _OP_CLASS = {

@@ -2,12 +2,12 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["CacheBlock"]
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheBlock:
     """One cache line's metadata.
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.errors import ConfigError, SimulationError
+from repro.errors import SimulationError
 from repro.config.system import CacheConfig
 from repro.mem.cache.block import CacheBlock
 from repro.mem.cache.mshr import MSHRFile
@@ -32,6 +32,11 @@ class Cache(MemoryLevel):
     §II-B5 hybrid shared cache. When the policy rejects a fill (no
     evictable way for an implicit fill), the access bypasses this level:
     the requester still gets its data from below, but nothing is installed.
+
+    Lookup is O(1): alongside the per-set block arrays the cache keeps a
+    per-set ``tag -> way`` dict (``_tags``), maintained at every fill and
+    invalidation. The invariant is that ``_tags[index]`` maps exactly the
+    valid blocks of set ``index``.
     """
 
     def __init__(
@@ -49,13 +54,18 @@ class Cache(MemoryLevel):
         self.policy = policy or LRUPolicy()
         self.prefetcher = prefetcher
         total_sets = config.num_sets * config.tiles
-        self._sets: List[List[CacheBlock]] = [
-            [CacheBlock() for _ in range(config.ways)] for _ in range(total_sets)
-        ]
+        #: Sets are allocated lazily on first touch: an 8 MB L3 has ~130k
+        #: blocks, and small runs touch a fraction of them — eager
+        #: allocation would dominate machine-build time.
+        self._sets: "List[Optional[List[CacheBlock]]]" = [None] * total_sets
+        #: Per-set tag -> way index of every *valid* block (O(1) lookup).
+        self._tags: List[Dict[int, int]] = [{} for _ in range(total_sets)]
+        self._ways = config.ways
         self._num_sets = total_sets
         self._line = config.line_bytes
         self._mshr = MSHRFile(config.mshr_entries)
         self._tick = 0
+        self._hit_latency = frequency.cycles_to_seconds(config.latency)
         #: Declared metrics — the uniform stats surface of this level.
         self.metrics = MetricRegistry(f"cache.{self.name}")
         self._hits = self.metrics.counter(
@@ -79,6 +89,9 @@ class Cache(MemoryLevel):
         self._flushes = self.metrics.counter(
             "flushes", unit="events", description="whole-cache flush operations"
         )
+        # Bound methods hoisted for the access fast path.
+        self._hits_inc = self._hits.inc
+        self._misses_inc = self._misses.inc
 
     # -- geometry ---------------------------------------------------------
 
@@ -87,15 +100,19 @@ class Cache(MemoryLevel):
         return line % self._num_sets, line // self._num_sets
 
     def _find(self, index: int, tag: int) -> Optional[int]:
-        for way, block in enumerate(self._sets[index]):
-            if block.valid and block.tag == tag:
-                return way
-        return None
+        return self._tags[index].get(tag)
+
+    def _blocks(self, index: int) -> List[CacheBlock]:
+        """The block array of set ``index``, allocating it on first touch."""
+        blocks = self._sets[index]
+        if blocks is None:
+            blocks = self._sets[index] = [CacheBlock() for _ in range(self._ways)]
+        return blocks
 
     @property
     def hit_latency(self) -> float:
         """Hit latency in seconds."""
-        return self.frequency.cycles_to_seconds(self.config.latency)
+        return self._hit_latency
 
     def _write_back(self, index: int, block: CacheBlock) -> None:
         """Send a dirty line's write-back traffic into the next level.
@@ -117,38 +134,87 @@ class Cache(MemoryLevel):
     def access(self, request: MemRequest) -> AccessResult:
         """Service a request; recurse into the next level on a miss."""
         self._tick += 1
-        index, tag = self._index_tag(request.addr)
-        blocks = self._sets[index]
-        way = self._find(index, tag)
+        line = request.addr // self._line
+        index = line % self._num_sets
+        tag = line // self._num_sets
+        way = self._tags[index].get(tag)
         if way is not None:
-            self._hits.inc()
-            block = blocks[way]
-            if block.prefetched:
-                block.prefetched = False
-                if self.prefetcher is not None:
-                    self.prefetcher.record_useful()
-            if request.is_write:
-                block.dirty = True
-            if request.explicit:
-                block.explicit = True
-            self.policy.on_access(blocks, way, self._tick)
-            return AccessResult(latency=self.hit_latency, hit_level=self.name, was_hit=True)
+            self._hit(index, way, request.is_write, request.explicit)
+            return AccessResult(
+                latency=self._hit_latency, hit_level=self.name, was_hit=True
+            )
+        return self._miss(request, index, tag)
 
-        self._misses.inc()
+    def access_latency(
+        self,
+        addr: int,
+        size: int,
+        is_write: bool,
+        pu,
+        explicit: bool = False,
+        shared_space: bool = False,
+        issue_time: float = 0.0,
+    ) -> float:
+        """Scalar fast path: a hit allocates no request/result objects.
+
+        Behaviourally identical to :meth:`access` — same bookkeeping, same
+        latency — but the common case (a top-level hit) touches only plain
+        ints and dicts, which is what makes the compiled core loops cheap.
+        """
+        self._tick += 1
+        line = addr // self._line
+        index = line % self._num_sets
+        tag = line // self._num_sets
+        way = self._tags[index].get(tag)
+        if way is not None:
+            self._hit(index, way, is_write, explicit)
+            return self._hit_latency
+        return self._miss(
+            MemRequest(
+                addr=addr,
+                size=size,
+                is_write=is_write,
+                pu=pu,
+                explicit=explicit,
+                shared_space=shared_space,
+                issue_time=issue_time,
+            ),
+            index,
+            tag,
+        ).latency
+
+    def _hit(self, index: int, way: int, is_write: bool, explicit: bool) -> None:
+        """Demand-hit bookkeeping shared by both access entry points."""
+        self._hits_inc()
+        blocks = self._sets[index]
+        block = blocks[way]
+        if block.prefetched:
+            block.prefetched = False
+            if self.prefetcher is not None:
+                self.prefetcher.record_useful()
+        if is_write:
+            block.dirty = True
+        if explicit:
+            block.explicit = True
+        self.policy.on_access(blocks, way, self._tick)
+
+    def _miss(self, request: MemRequest, index: int, tag: int) -> AccessResult:
+        """Demand-miss path: MSHR merge, fetch from below, fill, prefetch."""
+        self._misses_inc()
         # Merged miss? Pay only the residual fill time.
         line_addr = request.line_addr(self._line)
         merged = self._mshr.lookup(line_addr, request.issue_time)
         if merged is not None:
             return AccessResult(
-                latency=self.hit_latency + merged, hit_level=self.name, was_hit=False
+                latency=self._hit_latency + merged, hit_level=self.name, was_hit=False
             )
 
         if self.next_level is None:
             raise SimulationError(f"{self.name}: miss with no next level")
         below = self.next_level.access(
-            request.with_time(request.issue_time + self.hit_latency)
+            request.with_time(request.issue_time + self._hit_latency)
         )
-        latency = self.hit_latency + below.latency
+        latency = self._hit_latency + below.latency
         self._mshr.allocate(line_addr, request.issue_time, latency)
         self._fill(index, tag, request)
         if self.prefetcher is not None:
@@ -166,7 +232,8 @@ class Cache(MemoryLevel):
             miss_line_addr, self._line
         ):
             index, tag = self._index_tag(line_addr)
-            if self._find(index, tag) is not None:
+            tags = self._tags[index]
+            if tag in tags:
                 continue
             if self.next_level is not None:
                 self.next_level.access(
@@ -177,7 +244,7 @@ class Cache(MemoryLevel):
                         issue_time=request.issue_time,
                     )
                 )
-            blocks = self._sets[index]
+            blocks = self._blocks(index)
             victim = self.policy.victim(blocks, False)
             if victim is None:
                 self._bypasses.inc()
@@ -187,23 +254,28 @@ class Cache(MemoryLevel):
                 self._evictions.inc()
                 if block.dirty and self.config.write_back:
                     self._writebacks.inc()
+                del tags[block.tag]
             block.fill(tag, self._tick, explicit=False, prefetched=True)
+            tags[tag] = victim
 
     def _fill(self, index: int, tag: int, request: MemRequest) -> None:
         """Install the fetched line, honouring the replacement policy."""
         if not self.config.write_allocate and request.is_write:
             return
-        blocks = self._sets[index]
+        blocks = self._blocks(index)
         victim = self.policy.victim(blocks, request.explicit)
         if victim is None:
             self._bypasses.inc()
             return
         block = blocks[victim]
+        tags = self._tags[index]
         if block.valid:
             self._evictions.inc()
             if block.dirty and self.config.write_back and self.next_level is not None:
                 self._writebacks.inc()
+            del tags[block.tag]
         block.fill(tag, self._tick, request.explicit)
+        tags[tag] = victim
         if request.is_write:
             block.dirty = True
         self.policy.on_access(blocks, victim, self._tick)
@@ -218,8 +290,9 @@ class Cache(MemoryLevel):
         """
         self._tick += 1
         index, tag = self._index_tag(addr)
-        way = self._find(index, tag)
-        blocks = self._sets[index]
+        tags = self._tags[index]
+        way = tags.get(tag)
+        blocks = self._blocks(index)
         if way is not None:
             blocks[way].explicit = True
             self.policy.on_access(blocks, way, self._tick)
@@ -233,26 +306,29 @@ class Cache(MemoryLevel):
             self._evictions.inc()
             if block.dirty and self.config.write_back:
                 self._write_back(index, block)
+            del tags[block.tag]
         block.fill(tag, self._tick, explicit=True)
+        tags[tag] = victim
 
     def contains(self, addr: int) -> bool:
         """Whether the line holding ``addr`` is resident."""
         index, tag = self._index_tag(addr)
-        return self._find(index, tag) is not None
+        return tag in self._tags[index]
 
     def is_explicit(self, addr: int) -> bool:
         """Whether the resident line holding ``addr`` carries the locality bit."""
         index, tag = self._index_tag(addr)
-        way = self._find(index, tag)
+        way = self._tags[index].get(tag)
         return way is not None and self._sets[index][way].explicit
 
     def invalidate_line(self, addr: int) -> bool:
         """Invalidate one line (coherence); returns True if it was present."""
         index, tag = self._index_tag(addr)
-        way = self._find(index, tag)
+        way = self._tags[index].get(tag)
         if way is None:
             return False
         self._sets[index][way].invalidate()
+        del self._tags[index][tag]
         self._invalidations.inc()
         return True
 
@@ -263,12 +339,15 @@ class Cache(MemoryLevel):
         """
         dirty = 0
         for index, blocks in enumerate(self._sets):
+            if blocks is None:
+                continue
             for block in blocks:
                 if block.valid:
                     if block.dirty:
                         dirty += 1
                         self._write_back(index, block)
                     block.invalidate()
+            self._tags[index].clear()
         self._flushes.inc()
         return dirty
 

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
 from typing import Dict
 
 from repro.errors import SimulationError
@@ -24,6 +23,36 @@ class MemoryLevel(abc.ABC):
     @abc.abstractmethod
     def access(self, request: MemRequest) -> AccessResult:
         """Service ``request``, returning total latency from this level down."""
+
+    def access_latency(
+        self,
+        addr: int,
+        size: int,
+        is_write: bool,
+        pu,
+        explicit: bool = False,
+        shared_space: bool = False,
+        issue_time: float = 0.0,
+    ) -> float:
+        """Service an access described by scalars, returning only latency.
+
+        The compiled core loops call this instead of :meth:`access` so that
+        levels with a cheap common case (an L1 hit) can skip constructing
+        :class:`MemRequest`/:class:`AccessResult` objects entirely. The
+        default simply wraps :meth:`access`, so subclasses only override it
+        when they have a genuine fast path — behaviour must stay identical.
+        """
+        return self.access(
+            MemRequest(
+                addr=addr,
+                size=size,
+                is_write=is_write,
+                pu=pu,
+                explicit=explicit,
+                shared_space=shared_space,
+                issue_time=issue_time,
+            )
+        ).latency
 
     def reset_stats(self) -> None:
         """Clear accumulated counters (default: nothing to clear)."""

@@ -2,8 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass
 
 from repro.errors import SimulationError
 from repro.taxonomy import ProcessingUnit
@@ -11,7 +10,7 @@ from repro.taxonomy import ProcessingUnit
 __all__ = ["MemRequest", "AccessResult"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemRequest:
     """One memory access descending the hierarchy.
 
@@ -41,10 +40,20 @@ class MemRequest:
         return self.addr & ~(line_bytes - 1)
 
     def with_time(self, issue_time: float) -> "MemRequest":
-        return replace(self, issue_time=issue_time)
+        # Direct construction: dataclasses.replace() is generic and slow,
+        # and this runs once per cache-level traversal.
+        return MemRequest(
+            self.addr,
+            self.size,
+            self.is_write,
+            self.pu,
+            self.explicit,
+            self.shared_space,
+            issue_time,
+        )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AccessResult:
     """Outcome of sending a request into a memory level.
 

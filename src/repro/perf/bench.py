@@ -1,0 +1,213 @@
+"""The hot-path perf harness: legacy vs compiled wall-clock per kernel.
+
+Measures :meth:`repro.sim.detailed.DetailedSimulator.run` on the six
+Table III kernels at a reduced scale, once through the legacy generator
+path (``compiled=False``) and once through the compiled hot path, at two
+fidelities — ``serial`` (cores run back-to-back, the batched
+``run_compiled`` loops) and ``interleaved`` (timestamp-ordered parallel
+phases, the per-instruction steppers) — plus the analytic
+:class:`~repro.sim.fast.FastSimulator` as a reference row. The result
+feeds ``BENCH_hotpath.json``: the repo's perf trajectory, and what the CI
+perf-smoke job regresses against.
+
+Comparisons against a stored baseline use the *speedup ratio*, not raw
+wall-clock — absolute seconds differ across machines, but legacy and
+compiled run on the same machine in the same process, so their ratio
+travels well.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.config.presets import case_study
+from repro.errors import ConfigError
+from repro.kernels.registry import all_kernels, kernel
+from repro.perf.compiled import SegmentCompileCache
+from repro.sim.detailed import DetailedSimulator
+from repro.sim.fast import FastSimulator
+
+__all__ = [
+    "SCHEMA",
+    "run_hotpath_bench",
+    "format_bench",
+    "compare_to_baseline",
+    "write_bench_json",
+    "load_bench_json",
+]
+
+SCHEMA = "bench_hotpath/v1"
+
+#: (fidelity name, interleave_parallel flag) measured by the harness.
+FIDELITIES = (("serial", False), ("interleaved", True))
+
+
+def _geomean(values: Sequence[float]) -> float:
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return 0.0
+    return math.exp(sum(map(math.log, positive)) / len(positive))
+
+
+def _time_detailed(
+    trace,
+    case,
+    compiled: bool,
+    interleave: bool,
+    repeats: int,
+    compile_cache: SegmentCompileCache,
+) -> float:
+    best = math.inf
+    for _ in range(repeats):
+        sim = DetailedSimulator(
+            compiled=compiled,
+            interleave_parallel=interleave,
+            compile_cache=compile_cache,
+        )
+        start = time.perf_counter()
+        sim.run(trace, case=case)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_hotpath_bench(
+    scale: float = 0.05,
+    repeats: int = 1,
+    case_name: str = "CPU+GPU",
+    kernels: Optional[Sequence[str]] = None,
+) -> Dict:
+    """Benchmark the six kernels; returns the ``BENCH_hotpath`` document.
+
+    ``scale`` shrinks the compute phases (0.05 keeps the full run under a
+    minute while the largest kernels still execute >400k instructions);
+    ``repeats`` takes the best of N timings per cell. Segment compilation
+    is pre-warmed through a private cache so the compiled timings measure
+    execution, not compilation — matching exploration, where every design
+    point past the first reuses the cached compilation.
+    """
+    if scale <= 0:
+        raise ConfigError(f"bench scale must be positive, got {scale}")
+    if repeats < 1:
+        raise ConfigError(f"bench repeats must be >= 1, got {repeats}")
+    case = case_study(case_name)
+    if kernels:
+        selected = [kernel(name) for name in kernels]
+    else:
+        selected = list(all_kernels())
+
+    compile_cache = SegmentCompileCache()
+    fidelities: Dict[str, Dict] = {
+        name: {"kernels": {}} for name, _ in FIDELITIES
+    }
+    fast_rows: Dict[str, float] = {}
+    fast_sim = FastSimulator()
+    for k in selected:
+        trace = k.build().scaled(scale)
+        # Warm the compile cache (and any lazy kernel state) off the clock.
+        DetailedSimulator(
+            compiled=True, interleave_parallel=False, compile_cache=compile_cache
+        ).run(trace, case=case)
+        for name, interleave in FIDELITIES:
+            legacy = _time_detailed(trace, case, False, interleave, repeats, compile_cache)
+            compiled = _time_detailed(trace, case, True, interleave, repeats, compile_cache)
+            fidelities[name]["kernels"][k.name] = {
+                "legacy_seconds": legacy,
+                "compiled_seconds": compiled,
+                "speedup": legacy / compiled if compiled > 0 else 0.0,
+            }
+        start = time.perf_counter()
+        fast_sim.run(trace, case=case)
+        fast_rows[k.name] = time.perf_counter() - start
+
+    for name, _ in FIDELITIES:
+        rows = fidelities[name]["kernels"]
+        fidelities[name]["geomean_speedup"] = _geomean(
+            [row["speedup"] for row in rows.values()]
+        )
+    return {
+        "schema": SCHEMA,
+        "scale": scale,
+        "repeats": repeats,
+        "case": case.name,
+        "fidelities": fidelities,
+        "fast_reference_seconds": fast_rows,
+    }
+
+
+def format_bench(doc: Dict) -> str:
+    """Human-readable report of a bench document."""
+    from repro.core.report import format_table
+
+    lines: List[str] = []
+    for name, data in doc["fidelities"].items():
+        rows = [
+            (
+                kernel_name,
+                f"{cell['legacy_seconds']:.3f}",
+                f"{cell['compiled_seconds']:.3f}",
+                f"{cell['speedup']:.2f}x",
+            )
+            for kernel_name, cell in data["kernels"].items()
+        ]
+        lines.append(
+            format_table(
+                ("kernel", "legacy s", "compiled s", "speedup"),
+                rows,
+                title=(
+                    f"DetailedSimulator hot path — {name} "
+                    f"(scale {doc['scale']:g}, geomean "
+                    f"{data['geomean_speedup']:.2f}x)"
+                ),
+            )
+        )
+    return "\n\n".join(lines)
+
+
+def compare_to_baseline(
+    current: Dict, baseline: Dict, tolerance: float = 0.5
+) -> List[str]:
+    """Speedup regressions of ``current`` against a stored ``baseline``.
+
+    A cell regresses when its speedup falls below the baseline's by more
+    than ``tolerance`` (a fraction — 0.5 tolerates halving, loose enough
+    for shared CI runners). Returns human-readable regression lines;
+    empty means the compiled path is still ahead.
+    """
+    problems: List[str] = []
+    for name, base_data in baseline.get("fidelities", {}).items():
+        cur_data = current.get("fidelities", {}).get(name)
+        if cur_data is None:
+            problems.append(f"{name}: fidelity missing from current run")
+            continue
+        for kernel_name, base_cell in base_data.get("kernels", {}).items():
+            cur_cell = cur_data.get("kernels", {}).get(kernel_name)
+            if cur_cell is None:
+                problems.append(f"{name}/{kernel_name}: missing from current run")
+                continue
+            floor = base_cell["speedup"] * (1.0 - tolerance)
+            if cur_cell["speedup"] < floor:
+                problems.append(
+                    f"{name}/{kernel_name}: speedup {cur_cell['speedup']:.2f}x "
+                    f"fell below {floor:.2f}x "
+                    f"(baseline {base_cell['speedup']:.2f}x - {tolerance:.0%})"
+                )
+    return problems
+
+
+def write_bench_json(path: str, doc: Dict) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_bench_json(path: str) -> Dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if doc.get("schema") != SCHEMA:
+        raise ConfigError(
+            f"{path}: not a {SCHEMA} document (schema={doc.get('schema')!r})"
+        )
+    return doc

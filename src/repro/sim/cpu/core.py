@@ -19,6 +19,7 @@ from repro.config.system import CpuConfig
 from repro.errors import SimulationError
 from repro.mem.level import MemoryLevel
 from repro.mem.request import MemRequest
+from repro.perf.compiled import EV_COMPUTE_RUN, EV_MEMORY, CompiledSegment
 from repro.sim.cpu.branch import GsharePredictor
 from repro.taxonomy import ProcessingUnit
 
@@ -64,7 +65,14 @@ class CpuCore:
         ``explicit_addrs`` is an optional predicate ``addr -> bool`` that
         marks accesses to explicitly managed data (sets the locality bit in
         the caches).
+
+        A :class:`~repro.perf.compiled.CompiledSegment` may be passed in
+        place of the instruction iterable; it is stepped through the
+        batched decoder (:meth:`step_compiled`), with identical yields.
         """
+        if isinstance(instructions, CompiledSegment):
+            yield from self.step_compiled(instructions, start_seconds, explicit_addrs)
+            return
         freq = self.config.frequency
         issue_width = self.config.issue_width
         penalty = self.config.branch_mispredict_penalty
@@ -109,13 +117,163 @@ class CpuCore:
         self.instructions_retired += count
         yield cycles
 
+    def run_compiled(
+        self,
+        compiled: CompiledSegment,
+        start_seconds: float = 0.0,
+        explicit_addrs: Optional[object] = None,
+    ) -> int:
+        """Batched fast path over a compiled segment; returns cycles.
+
+        Cycle-for-cycle identical to draining :meth:`run_stepwise` on the
+        segment's instruction stream (the ``tests/perf`` parity suite pins
+        this), but executes whole compute runs per event record and never
+        constructs an :class:`~repro.trace.instruction.Instruction` or
+        (on an L1 hit) a :class:`~repro.mem.request.MemRequest`.
+
+        Exactness notes: issue-group wraps are added one ``+= 1.0`` at a
+        time whenever ``cycles`` carries a fractional part (float addition
+        is not associative, and the legacy loop adds sequentially); when
+        ``cycles`` is integer-valued the batched add is exact. Stalls
+        accumulate onto the instance attributes per miss, in stream order,
+        exactly like the legacy loop.
+        """
+        freq = self.config.frequency
+        hertz = freq.hertz
+        issue_width = self.config.issue_width
+        penalty = self.config.branch_mispredict_penalty
+        hit_latency = freq.cycles_to_seconds(self.config.l1d.latency)
+        mlp = self.mlp
+        access_latency = self.memory.access_latency
+        predict_and_update = self.predictor.predict_and_update
+        pu = ProcessingUnit.CPU
+
+        cycles = 0.0
+        slot = 0
+        for kind, a, b, c in compiled.events:
+            if kind == EV_COMPUTE_RUN:
+                slot += a
+                wraps = slot // issue_width
+                slot -= wraps * issue_width
+                if wraps:
+                    if cycles.is_integer():
+                        cycles += wraps
+                    else:
+                        for _ in range(wraps):
+                            cycles += 1.0
+            elif kind == EV_MEMORY:
+                slot += 1
+                if slot >= issue_width:
+                    cycles += 1.0
+                    slot = 0
+                explicit = bool(explicit_addrs is not None and explicit_addrs(a))
+                latency = access_latency(
+                    a,
+                    b,
+                    bool(c),
+                    pu,
+                    explicit,
+                    False,
+                    start_seconds + int(cycles) / hertz,
+                )
+                if latency > hit_latency:
+                    stall = (latency - hit_latency) / mlp
+                    stall_cycles = stall * hertz
+                    cycles += stall_cycles
+                    self.memory_stall_cycles += stall_cycles
+            else:  # EV_BRANCH
+                slot += 1
+                if slot >= issue_width:
+                    cycles += 1.0
+                    slot = 0
+                if not predict_and_update(b, bool(a)):
+                    cycles += penalty
+                    self.branch_stall_cycles += penalty
+                    slot = 0
+        if slot:
+            cycles += 1
+        self.instructions_retired += compiled.length
+        return int(cycles)
+
+    def step_compiled(
+        self,
+        compiled: CompiledSegment,
+        start_seconds: float = 0.0,
+        explicit_addrs: Optional[object] = None,
+    ) -> Iterator[float]:
+        """Per-instruction stepper over a compiled segment.
+
+        Yield-for-yield identical to :meth:`run_stepwise` on the decoded
+        stream — the interleaving engine needs the per-instruction
+        granularity — but skips Instruction decoding and hit-path request
+        objects.
+        """
+        freq = self.config.frequency
+        hertz = freq.hertz
+        issue_width = self.config.issue_width
+        penalty = self.config.branch_mispredict_penalty
+        hit_latency = freq.cycles_to_seconds(self.config.l1d.latency)
+        mlp = self.mlp
+        access_latency = self.memory.access_latency
+        predict_and_update = self.predictor.predict_and_update
+        pu = ProcessingUnit.CPU
+
+        cycles = 0.0
+        slot = 0
+        for kind, a, b, c in compiled.events:
+            if kind == EV_COMPUTE_RUN:
+                for _ in range(a):
+                    slot += 1
+                    if slot >= issue_width:
+                        cycles += 1.0
+                        slot = 0
+                    yield cycles
+                continue
+            slot += 1
+            if slot >= issue_width:
+                cycles += 1.0
+                slot = 0
+            if kind == EV_MEMORY:
+                explicit = bool(explicit_addrs is not None and explicit_addrs(a))
+                latency = access_latency(
+                    a,
+                    b,
+                    bool(c),
+                    pu,
+                    explicit,
+                    False,
+                    start_seconds + int(cycles) / hertz,
+                )
+                if latency > hit_latency:
+                    stall = (latency - hit_latency) / mlp
+                    stall_cycles = stall * hertz
+                    cycles += stall_cycles
+                    self.memory_stall_cycles += stall_cycles
+            else:  # EV_BRANCH
+                if not predict_and_update(b, bool(a)):
+                    cycles += penalty
+                    self.branch_stall_cycles += penalty
+                    slot = 0
+            yield cycles
+        if slot:
+            cycles += 1
+        self.instructions_retired += compiled.length
+        yield cycles
+
     def run_segment(
         self,
         instructions: Iterable,
         start_seconds: float = 0.0,
         explicit_addrs: Optional[object] = None,
     ) -> int:
-        """Execute a whole stream; returns cycles consumed."""
+        """Execute a whole stream; returns cycles consumed.
+
+        Accepts either an iterable of instructions (the legacy generator
+        path) or a :class:`~repro.perf.compiled.CompiledSegment` (the
+        batched fast path).
+        """
+        if isinstance(instructions, CompiledSegment):
+            return self.run_compiled(instructions, start_seconds, explicit_addrs)
         cycles = 0.0
         for cycles in self.run_stepwise(instructions, start_seconds, explicit_addrs):
             pass

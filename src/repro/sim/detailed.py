@@ -11,7 +11,7 @@ model against the fast simulator.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.addrspace.base import AddressSpace, make_address_space
 from repro.config.comm import CommParams
@@ -21,6 +21,7 @@ from repro.errors import SimulationError
 from repro.comm.base import CommChannel, make_channel
 from repro.mem.cache.replacement import ReplacementPolicy
 from repro.obs.tracing import NULL_TRACER, Tracer
+from repro.perf.compiled import SHARED_COMPILE_CACHE, SegmentCompileCache
 from repro.sim.engine import run_parallel_interleaved
 from repro.sim.mmu import TranslationFront, stage_trace
 from repro.sim.results import PhaseTiming, SimulationResult, TimeBreakdown
@@ -44,6 +45,9 @@ class DetailedSimulator:
         l1_prefetch: bool = False,
         gpu_mode: str = "heuristic",
         tracer: Tracer = NULL_TRACER,
+        compiled: bool = True,
+        interleave_quantum: int = 1,
+        compile_cache: Optional[SegmentCompileCache] = None,
     ) -> None:
         self.system = system or SystemConfig()
         self.comm_params = comm_params or CommParams()
@@ -58,6 +62,22 @@ class DetailedSimulator:
         self.interleave_parallel = interleave_parallel
         #: Span tracer (disabled by default; near-zero overhead when off).
         self.tracer = tracer
+        #: Execute segments through the compiled hot path
+        #: (:mod:`repro.perf.compiled`). Bit-identical to the legacy
+        #: generator path; ``False`` forces the legacy expansion (used by
+        #: the parity suite and the perf harness baseline).
+        self.compiled = compiled
+        #: Interleave granularity for parallel phases; 1 is exact, larger
+        #: values are a documented approximation (see
+        #: :func:`repro.sim.engine.run_parallel_interleaved`).
+        if interleave_quantum < 1:
+            raise SimulationError(
+                f"interleave quantum must be >= 1, got {interleave_quantum}"
+            )
+        self.interleave_quantum = interleave_quantum
+        #: Segment-compilation memo; defaults to the process-wide cache so
+        #: design points sharing a trace compile each segment once.
+        self.compile_cache = compile_cache or SHARED_COMPILE_CACHE
         self.last_machine: Optional[Machine] = None
         self.last_mmus: "Optional[Dict[ProcessingUnit, TranslationFront]]" = None
 
@@ -132,13 +152,17 @@ class DetailedSimulator:
         pending_h2d: List[CommPhase] = []
         phase_timings: List[PhaseTiming] = []
 
+        # Hoisted tracing state: with the NULL tracer the per-phase cost is
+        # a single falsy check — no track label, no timestamp math, no
+        # sample dict allocations.
         tracer = self.tracer
-        track = f"{trace.name} @ {name}" if tracer.enabled else ""
+        tracing = tracer.enabled
+        track = f"{trace.name} @ {name}" if tracing else ""
+        compiled = self.compiled
+        compile_get = self.compile_cache.get
 
         def sample_memory(at_seconds: float) -> None:
             """Emit memory-hierarchy 'C' counter samples at ``at_seconds``."""
-            if not tracer.enabled:
-                return
             ts = at_seconds * 1e6
             tracer.counter(
                 track, "l3", "l3", ts,
@@ -154,7 +178,7 @@ class DetailedSimulator:
             nonlocal communication, now
             for comm in pending_h2d:
                 result = channel.transfer(comm, overlap_window=window)
-                if tracer.enabled:
+                if tracing:
                     tracer.complete(
                         track,
                         "comm-link",
@@ -178,14 +202,18 @@ class DetailedSimulator:
         for phase in trace.phases:
             if isinstance(phase, SequentialPhase):
                 cycles = machine.cpu_core.run_segment(
-                    phase.segment.instructions(), start_seconds=now
+                    compile_get(phase.segment)
+                    if compiled
+                    else phase.segment.instructions(),
+                    start_seconds=now,
                 )
                 seconds = cpu_freq.cycles_to_seconds(cycles)
-                if tracer.enabled:
+                if tracing:
                     tracer.complete(track, "cpu-core", phase.label, now * 1e6, seconds * 1e6)
                 sequential += seconds
                 now += seconds
-                sample_memory(now)
+                if tracing:
+                    sample_memory(now)
                 phase_timings.append(
                     PhaseTiming(
                         label=phase.label,
@@ -199,30 +227,38 @@ class DetailedSimulator:
                     outcome = run_parallel_interleaved(
                         machine.cpu_core,
                         machine.gpu_core,
-                        phase.cpu,
-                        phase.gpu,
+                        compile_get(phase.cpu) if compiled else phase.cpu,
+                        compile_get(phase.gpu) if compiled else phase.gpu,
                         start_seconds=now,
+                        quantum=self.interleave_quantum,
                     )
                     cpu_seconds = outcome.cpu_seconds
                     gpu_seconds = outcome.gpu_seconds
                 else:
                     cpu_cycles = machine.cpu_core.run_segment(
-                        phase.cpu.instructions(), start_seconds=now
+                        compile_get(phase.cpu)
+                        if compiled
+                        else phase.cpu.instructions(),
+                        start_seconds=now,
                     )
                     gpu_cycles = machine.gpu_core.run_segment(
-                        phase.gpu.instructions(), start_seconds=now
+                        compile_get(phase.gpu)
+                        if compiled
+                        else phase.gpu.instructions(),
+                        start_seconds=now,
                     )
                     cpu_seconds = cpu_freq.cycles_to_seconds(cpu_cycles)
                     gpu_seconds = gpu_freq.cycles_to_seconds(gpu_cycles)
                 seconds = max(cpu_seconds, gpu_seconds)
                 # Any deferred H2D copies overlapped with this phase.
                 resolve_pending(seconds)
-                if tracer.enabled:
+                if tracing:
                     tracer.complete(track, "cpu-core", phase.label, now * 1e6, cpu_seconds * 1e6)
                     tracer.complete(track, "gpu-core", phase.label, now * 1e6, gpu_seconds * 1e6)
                 parallel += seconds
                 now += seconds
-                sample_memory(now)
+                if tracing:
+                    sample_memory(now)
                 last_parallel_seconds = seconds
                 phase_timings.append(
                     PhaseTiming(
@@ -240,7 +276,7 @@ class DetailedSimulator:
                     pending_h2d.append(phase)
                     continue
                 result = channel.transfer(phase, overlap_window=last_parallel_seconds)
-                if tracer.enabled:
+                if tracing:
                     tracer.complete(
                         track,
                         "comm-link",

@@ -19,6 +19,7 @@ from repro.config.system import GpuConfig
 from repro.errors import SimulationError
 from repro.mem.level import MemoryLevel
 from repro.mem.request import MemRequest
+from repro.perf.compiled import EV_COMPUTE_RUN, EV_MEMORY, CompiledSegment
 from repro.sim.gpu.smem import Scratchpad
 from repro.taxonomy import ProcessingUnit
 
@@ -72,8 +73,13 @@ class GpuCore:
         """Execute instructions one at a time, yielding cumulative cycles.
 
         See :meth:`repro.sim.cpu.core.CpuCore.run_stepwise` for the
-        stepping protocol used by the interleaving engine.
+        stepping protocol used by the interleaving engine. A
+        :class:`~repro.perf.compiled.CompiledSegment` may be passed in
+        place of the instruction iterable.
         """
+        if isinstance(instructions, CompiledSegment):
+            yield from self.step_compiled(instructions, start_seconds, explicit_addrs)
+            return
         if self.mode == "warp":
             yield from self._run_stepwise_warp(
                 instructions, start_seconds, explicit_addrs
@@ -175,13 +181,148 @@ class GpuCore:
         self.instructions_retired += count
         yield cycle
 
+    def run_compiled(
+        self,
+        compiled: CompiledSegment,
+        start_seconds: float = 0.0,
+        explicit_addrs: Optional[object] = None,
+    ) -> int:
+        """Batched fast path over a compiled segment; returns GPU cycles.
+
+        Heuristic mode only — warp mode keeps its scheduler and simply
+        decodes the compiled stream (latency hiding there depends on
+        per-instruction warp state). Cycle accounting matches the legacy
+        loop exactly; see :meth:`repro.sim.cpu.core.CpuCore.run_compiled`
+        for the float-exactness rules.
+        """
+        if self.mode == "warp":
+            cycles = 0.0
+            for cycles in self._run_stepwise_warp(
+                compiled.instructions(), start_seconds, explicit_addrs
+            ):
+                pass
+            return int(cycles)
+        freq = self.config.frequency
+        hertz = freq.hertz
+        branch_stall = self.config.branch_stall_cycles if self.config.stall_on_branch else 0
+        hit_latency = freq.cycles_to_seconds(self.config.l1d.latency)
+        warps = self.warps
+        access_latency = self.memory.access_latency
+        scratchpad_access = self.scratchpad.access
+        pu = ProcessingUnit.GPU
+
+        cycles = 0.0
+        for kind, a, b, c in compiled.events:
+            if kind == EV_COMPUTE_RUN:
+                if cycles.is_integer():
+                    cycles += a
+                else:
+                    for _ in range(a):
+                        cycles += 1.0
+            elif kind == EV_MEMORY:
+                cycles += 1.0
+                smem = scratchpad_access(a)
+                if smem is not None:
+                    self.scratchpad_hits += 1
+                    cycles += max(smem - 1, 0)
+                    continue
+                explicit = bool(explicit_addrs is not None and explicit_addrs(a))
+                latency = access_latency(
+                    a,
+                    b,
+                    bool(c),
+                    pu,
+                    explicit,
+                    False,
+                    start_seconds + int(cycles) / hertz,
+                )
+                if latency > hit_latency:
+                    stall = (latency - hit_latency) / warps
+                    stall_cycles = stall * hertz
+                    cycles += stall_cycles
+                    self.memory_stall_cycles += stall_cycles
+            else:  # EV_BRANCH
+                cycles += 1.0
+                cycles += branch_stall
+                self.branch_stall_cycles += branch_stall
+        self.instructions_retired += compiled.length
+        return int(cycles)
+
+    def step_compiled(
+        self,
+        compiled: CompiledSegment,
+        start_seconds: float = 0.0,
+        explicit_addrs: Optional[object] = None,
+    ) -> Iterator[float]:
+        """Per-instruction stepper over a compiled segment.
+
+        Yield-for-yield identical to :meth:`run_stepwise` on the decoded
+        stream; warp mode decodes into its scheduler unchanged.
+        """
+        if self.mode == "warp":
+            yield from self._run_stepwise_warp(
+                compiled.instructions(), start_seconds, explicit_addrs
+            )
+            return
+        freq = self.config.frequency
+        hertz = freq.hertz
+        branch_stall = self.config.branch_stall_cycles if self.config.stall_on_branch else 0
+        hit_latency = freq.cycles_to_seconds(self.config.l1d.latency)
+        warps = self.warps
+        access_latency = self.memory.access_latency
+        scratchpad_access = self.scratchpad.access
+        pu = ProcessingUnit.GPU
+
+        cycles = 0.0
+        for kind, a, b, c in compiled.events:
+            if kind == EV_COMPUTE_RUN:
+                for _ in range(a):
+                    cycles += 1.0
+                    yield cycles
+                continue
+            cycles += 1.0
+            if kind == EV_MEMORY:
+                smem = scratchpad_access(a)
+                if smem is not None:
+                    self.scratchpad_hits += 1
+                    cycles += max(smem - 1, 0)
+                    yield cycles
+                    continue
+                explicit = bool(explicit_addrs is not None and explicit_addrs(a))
+                latency = access_latency(
+                    a,
+                    b,
+                    bool(c),
+                    pu,
+                    explicit,
+                    False,
+                    start_seconds + int(cycles) / hertz,
+                )
+                if latency > hit_latency:
+                    stall = (latency - hit_latency) / warps
+                    stall_cycles = stall * hertz
+                    cycles += stall_cycles
+                    self.memory_stall_cycles += stall_cycles
+            else:  # EV_BRANCH
+                cycles += branch_stall
+                self.branch_stall_cycles += branch_stall
+            yield cycles
+        self.instructions_retired += compiled.length
+        yield cycles
+
     def run_segment(
         self,
         instructions: Iterable,
         start_seconds: float = 0.0,
         explicit_addrs: Optional[object] = None,
     ) -> int:
-        """Execute a whole stream; returns GPU cycles consumed."""
+        """Execute a whole stream; returns GPU cycles consumed.
+
+        Accepts either an iterable of instructions or a
+        :class:`~repro.perf.compiled.CompiledSegment` (batched fast path).
+        """
+        if isinstance(instructions, CompiledSegment):
+            return self.run_compiled(instructions, start_seconds, explicit_addrs)
         cycles = 0.0
         for cycles in self.run_stepwise(instructions, start_seconds, explicit_addrs):
             pass

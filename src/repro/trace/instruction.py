@@ -4,10 +4,20 @@ The detailed simulator consumes these one at a time; they are produced
 lazily by :meth:`repro.trace.phase.Segment.instructions` so that full-size
 traces (up to ~8.6M records for matrix multiply, Table III) never need to be
 materialized in memory at once.
+
+Construction is deliberately cheap: the dataclass uses ``__slots__`` and
+does **not** validate per instance, because trace generation constructs
+millions of records on the simulator's hot path. Validation lives in
+:meth:`Instruction.validate` and the :meth:`Instruction.checked`
+constructor (used by anything building instructions from untrusted input),
+and can be re-enabled globally for every construction with
+:func:`set_validation` or the ``REPRO_TRACE_VALIDATE=1`` environment
+variable (a debug aid for chasing malformed generators).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Optional
 
@@ -15,10 +25,26 @@ from repro.errors import TraceError
 from repro.isa.opcodes import Opcode
 from repro.isa.special import SpecialOp
 
-__all__ = ["Instruction"]
+__all__ = ["Instruction", "set_validation", "validation_enabled"]
+
+#: When True, every Instruction construction validates (debug mode).
+_VALIDATE_ON_INIT = os.environ.get("REPRO_TRACE_VALIDATE", "") not in ("", "0")
 
 
-@dataclass(frozen=True)
+def set_validation(enabled: bool) -> bool:
+    """Toggle per-construction validation; returns the previous setting."""
+    global _VALIDATE_ON_INIT
+    previous = _VALIDATE_ON_INIT
+    _VALIDATE_ON_INIT = bool(enabled)
+    return previous
+
+
+def validation_enabled() -> bool:
+    """Whether every construction currently validates."""
+    return _VALIDATE_ON_INIT
+
+
+@dataclass(frozen=True, slots=True)
 class Instruction:
     """One dynamic instruction.
 
@@ -35,6 +61,14 @@ class Instruction:
     payload_bytes: int = 0
 
     def __post_init__(self) -> None:
+        if _VALIDATE_ON_INIT:
+            self.validate()
+
+    def validate(self) -> "Instruction":
+        """Check structural invariants; raise :class:`TraceError` if broken.
+
+        Returns ``self`` so decoders can validate in an expression.
+        """
         if self.opcode.is_memory:
             if self.addr is None or self.size <= 0:
                 raise TraceError(
@@ -49,6 +83,20 @@ class Instruction:
             raise TraceError(f"{self.opcode} must not carry a SpecialOp")
         if self.payload_bytes < 0:
             raise TraceError("payload_bytes must be non-negative")
+        return self
+
+    @classmethod
+    def checked(
+        cls,
+        opcode: Opcode,
+        addr: Optional[int] = None,
+        size: int = 0,
+        taken: bool = False,
+        special: Optional[SpecialOp] = None,
+        payload_bytes: int = 0,
+    ) -> "Instruction":
+        """Construct and validate — the entry point for untrusted input."""
+        return cls(opcode, addr, size, taken, special, payload_bytes).validate()
 
     @property
     def is_load(self) -> bool:

@@ -10,10 +10,11 @@ splits the computational work evenly, §IV-B).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from dataclasses import dataclass
+from typing import Iterator
 
 from repro.errors import TraceError
+from repro.isa.opcodes import CODE_TO_OPCODE, OPCODE_TO_CODE, Opcode
 from repro.taxonomy import ProcessingUnit
 from repro.trace.instruction import Instruction
 from repro.trace.mix import InstructionMix
@@ -76,8 +77,17 @@ class Segment:
         if self.base_addr < 0:
             raise TraceError("base address must be non-negative")
 
-    def instructions(self) -> Iterator[Instruction]:
-        """Expand the mix into a deterministic instruction stream.
+    def raw_ops(self) -> "Iterator[tuple[int, int, int, bool]]":
+        """Expand the mix into compact ``(code, addr, size, taken)`` tuples.
+
+        This is the single source of truth for the deterministic expansion:
+        :meth:`instructions` decodes these records into
+        :class:`~repro.trace.instruction.Instruction` objects and the
+        compiled hot path (:mod:`repro.perf.compiled`) packs them into
+        parallel numpy arrays without ever materializing objects.
+
+        ``code`` indexes :data:`repro.isa.opcodes.CODE_TO_OPCODE`; ``addr``
+        is ``-1`` for non-memory records.
 
         Memory operations stride sequentially through the footprint (the
         kernels studied are streaming workloads), wrapping on overflow;
@@ -94,6 +104,17 @@ class Segment:
         per_slot = total_other // (total_mem + 1) if total_mem else total_other
         remainder = total_other - per_slot * total_mem if total_mem else 0
 
+        int_alu_code = OPCODE_TO_CODE[Opcode.INT_ALU]
+        fp_alu_code = OPCODE_TO_CODE[Opcode.FP_ALU]
+        simd_alu_code = OPCODE_TO_CODE[Opcode.SIMD_ALU]
+        branch_code = OPCODE_TO_CODE[Opcode.BRANCH]
+        load_code = OPCODE_TO_CODE[
+            Opcode.SIMD_LOAD if simd and mix.simd_loads > 0 else Opcode.LOAD
+        ]
+        store_code = OPCODE_TO_CODE[
+            Opcode.SIMD_STORE if simd and mix.simd_stores > 0 else Opcode.STORE
+        ]
+
         counters = {
             "int_alu": mix.int_alu,
             "fp_alu": mix.fp_alu,
@@ -102,25 +123,25 @@ class Segment:
         }
         branch_seq = [0]
 
-        def emit_other(count: int) -> Iterator[Instruction]:
+        def emit_other(count: int) -> "Iterator[tuple[int, int, int, bool]]":
             emitted = 0
             while emitted < count:
                 if counters["simd_alu"] > 0:
                     counters["simd_alu"] -= 1
-                    yield Instruction.compute(simd=True)
+                    yield (simd_alu_code, -1, 0, False)
                 elif counters["fp_alu"] > 0:
                     counters["fp_alu"] -= 1
-                    yield Instruction.compute(fp=True)
+                    yield (fp_alu_code, -1, 0, False)
                 elif counters["int_alu"] > 0:
                     counters["int_alu"] -= 1
-                    yield Instruction.compute()
+                    yield (int_alu_code, -1, 0, False)
                 elif counters["branches"] > 0:
                     counters["branches"] -= 1
                     # Loop-shaped control flow: backward branches taken,
                     # with an exit (not-taken) every 16th iteration — a
                     # pattern gshare can learn but not trivially.
                     branch_seq[0] += 1
-                    yield Instruction.branch(taken=branch_seq[0] % 16 != 0)
+                    yield (branch_code, -1, 0, branch_seq[0] % 16 != 0)
                 else:
                     break
                 emitted += 1
@@ -131,26 +152,37 @@ class Segment:
         stores_left = mix.store_ops
         offset = 0
         span = max(self.footprint_bytes, self.elem_bytes)
-
-        def next_addr() -> int:
-            nonlocal offset
-            addr = self.base_addr + (offset % span)
-            offset += self.elem_bytes
-            return addr
+        base_addr = self.base_addr
+        elem_bytes = self.elem_bytes
 
         emitted_mem = 0
         while loads_left or stores_left:
             yield from emit_other(per_slot + (1 if emitted_mem < remainder else 0))
             do_load = loads_left and (not stores_left or loads_left >= 2 * stores_left or emitted_mem % 3 != 2)
+            addr = base_addr + (offset % span)
+            offset += elem_bytes
             if do_load:
                 loads_left -= 1
-                yield Instruction.load(next_addr(), self.elem_bytes, simd=simd and mix.simd_loads > 0)
+                yield (load_code, addr, elem_bytes, False)
             else:
                 stores_left -= 1
-                yield Instruction.store(next_addr(), self.elem_bytes, simd=simd and mix.simd_stores > 0)
+                yield (store_code, addr, elem_bytes, False)
             emitted_mem += 1
         # Trailing non-memory instructions.
         yield from emit_other(sum(counters.values()))
+
+    def instructions(self) -> Iterator[Instruction]:
+        """Expand the mix into a deterministic instruction stream.
+
+        Decodes :meth:`raw_ops` into :class:`Instruction` objects; see
+        there for the emission schedule.
+        """
+        opcodes = CODE_TO_OPCODE
+        for code, addr, size, taken in self.raw_ops():
+            if addr >= 0:
+                yield Instruction(opcodes[code], addr=addr, size=size)
+            else:
+                yield Instruction(opcodes[code], taken=taken)
 
     def scaled(self, factor: float) -> "Segment":
         """A segment with its mix scaled (footprint kept)."""

@@ -49,6 +49,46 @@ class TestMutableDefaults:
         assert violations("def f(x=None, y=0, z=()):\n    pass\n") == []
 
 
+class TestHotLoopAllocations:
+    def test_instruction_in_run_compiled_flagged(self):
+        source = (
+            "def run_compiled(self, compiled):\n"
+            "    for i in range(compiled.length):\n"
+            "        inst = Instruction(op, addr, size)\n"
+        )
+        assert violations(source) == [("L003", 3)]
+
+    def test_memrequest_in_step_compiled_flagged(self):
+        source = (
+            "def step_compiled_gpu(self, compiled):\n"
+            "    req = MemRequest(addr, size, True)\n"
+        )
+        assert violations(source) == [("L003", 2)]
+
+    def test_attribute_constructor_flagged(self):
+        source = (
+            "def run_compiled(self, compiled):\n"
+            "    block = cache.CacheBlock()\n"
+        )
+        assert violations(source) == [("L003", 2)]
+
+    def test_other_functions_unrestricted(self):
+        source = (
+            "def run_stepwise(self, instructions):\n"
+            "    req = MemRequest(addr, size, True)\n"
+        )
+        assert violations(source) == []
+
+    def test_decoding_helpers_allowed_in_hot_loop(self):
+        # Calling a *method named* instructions() is fine — only the
+        # record constructors themselves are forbidden.
+        source = (
+            "def run_compiled(self, compiled):\n"
+            "    return self._run_stepwise_warp(compiled.instructions())\n"
+        )
+        assert violations(source) == []
+
+
 class TestCommandLine:
     def run(self, *args):
         return subprocess.run(

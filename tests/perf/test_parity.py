@@ -1,0 +1,132 @@
+"""Bit-identity of the compiled hot path against the legacy generator path.
+
+The compiled path is only allowed to exist because it changes nothing:
+every timing (to the last float bit) and every counter of the
+:class:`~repro.sim.results.SimulationResult` must match the legacy
+per-instruction expansion, for all six paper kernels across all five
+case-study systems, in both interleaved and serial parallel-phase modes.
+"""
+
+import pytest
+
+from repro.config.presets import case_study, case_study_names
+from repro.errors import SimulationError
+from repro.kernels.registry import all_kernels, kernel
+from repro.sim.detailed import DetailedSimulator
+from repro.sim.engine import run_parallel_interleaved
+from repro.taxonomy import AddressSpaceKind
+
+#: Small enough to keep the full 6x5x2 sweep under ~10 s, large enough
+#: that every kernel exercises branches, cache misses, and both PUs.
+SCALE = 0.002
+
+KERNELS = [k.name for k in all_kernels()]
+CASES = list(case_study_names())
+
+
+def run_pair(trace, case, **kwargs):
+    legacy = DetailedSimulator(compiled=False, **kwargs).run(trace, case=case)
+    compiled = DetailedSimulator(compiled=True, **kwargs).run(trace, case=case)
+    return legacy, compiled
+
+
+def assert_identical(legacy, compiled):
+    assert legacy.breakdown == compiled.breakdown
+    assert legacy.phases == compiled.phases
+    assert set(legacy.counters) == set(compiled.counters)
+    for key, value in legacy.counters.items():
+        assert compiled.counters[key] == value, key
+
+
+class TestKernelsBySystem:
+    @pytest.mark.parametrize("kernel_name", KERNELS)
+    @pytest.mark.parametrize("case_name", CASES)
+    def test_interleaved_bit_identical(self, kernel_name, case_name):
+        trace = kernel(kernel_name).build().scaled(SCALE)
+        legacy, compiled = run_pair(trace, case_study(case_name))
+        assert_identical(legacy, compiled)
+
+    @pytest.mark.parametrize("kernel_name", KERNELS)
+    def test_serial_bit_identical(self, kernel_name):
+        trace = kernel(kernel_name).build().scaled(SCALE)
+        legacy, compiled = run_pair(
+            trace, case_study("CPU+GPU"), interleave_parallel=False
+        )
+        assert_identical(legacy, compiled)
+
+
+class TestVariantModes:
+    def test_warp_mode_bit_identical(self):
+        trace = kernel("reduction").build().scaled(SCALE)
+        legacy, compiled = run_pair(trace, case_study("CPU+GPU"), gpu_mode="warp")
+        assert_identical(legacy, compiled)
+
+    def test_hardware_coherence_bit_identical(self):
+        # IDEAL-HETERO runs the hardware directory.
+        trace = kernel("k-mean").build().scaled(SCALE)
+        legacy, compiled = run_pair(trace, case_study("IDEAL-HETERO"))
+        assert_identical(legacy, compiled)
+
+    def test_l1_prefetch_bit_identical(self):
+        trace = kernel("convolution").build().scaled(SCALE)
+        legacy, compiled = run_pair(trace, case_study("CPU+GPU"), l1_prefetch=True)
+        assert_identical(legacy, compiled)
+
+    def test_mmu_staged_bit_identical(self):
+        trace = kernel("merge sort").build().scaled(SCALE)
+        case = case_study("CPU+GPU")
+        legacy = DetailedSimulator(compiled=False).run(
+            trace, case=case, address_space=AddressSpaceKind.DISJOINT
+        )
+        compiled = DetailedSimulator(compiled=True).run(
+            trace, case=case, address_space=AddressSpaceKind.DISJOINT
+        )
+        assert_identical(legacy, compiled)
+
+
+class TestInterleaveQuantum:
+    def test_quantum_one_is_default_and_exact(self):
+        sim = DetailedSimulator()
+        assert sim.interleave_quantum == 1
+        assert sim.compiled is True
+
+    def test_quantum_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            DetailedSimulator(interleave_quantum=0)
+        with pytest.raises(SimulationError):
+            run_parallel_interleaved(None, None, None, None, quantum=0)
+
+    def test_large_quantum_still_completes_every_instruction(self):
+        trace = kernel("reduction").build().scaled(SCALE)
+        case = case_study("CPU+GPU")
+        exact = DetailedSimulator(compiled=True).run(trace, case=case)
+        coarse = DetailedSimulator(compiled=True, interleave_quantum=64).run(
+            trace, case=case
+        )
+        # Retired-instruction counters are invariant under the quantum;
+        # only shared-hierarchy contention ordering (and thus timing) may
+        # shift, within a sane band.
+        for side in ("cpu_core", "gpu_core"):
+            key = f"{side}.instructions"
+            assert coarse.counters[key] == exact.counters[key]
+        assert coarse.breakdown.parallel == pytest.approx(
+            exact.breakdown.parallel, rel=0.2
+        )
+
+    def test_quantum_approximation_is_documented_nonidentical_knob(self):
+        # Guard against someone "optimizing" quantum>1 into the default:
+        # the default configuration must stay exact (quantum == 1).
+        sim = DetailedSimulator(interleave_quantum=4)
+        assert sim.interleave_quantum == 4
+
+
+class TestCompileCacheSharing:
+    def test_runs_share_the_default_compile_cache(self):
+        from repro.perf.compiled import SHARED_COMPILE_CACHE
+
+        trace = kernel("reduction").build().scaled(SCALE)
+        case = case_study("CPU+GPU")
+        DetailedSimulator().run(trace, case=case)
+        before = SHARED_COMPILE_CACHE.hits
+        DetailedSimulator().run(trace, case=case)
+        assert SHARED_COMPILE_CACHE.hits > before

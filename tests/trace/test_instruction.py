@@ -5,7 +5,7 @@ import pytest
 from repro.errors import TraceError
 from repro.isa.opcodes import Opcode
 from repro.isa.special import SpecialOp
-from repro.trace.instruction import Instruction
+from repro.trace.instruction import Instruction, set_validation, validation_enabled
 
 
 class TestConstructors:
@@ -41,26 +41,61 @@ class TestConstructors:
 
 
 class TestValidation:
+    """Invalid instructions must still raise through the checked paths."""
+
     def test_memory_requires_addr(self):
         with pytest.raises(TraceError):
-            Instruction(Opcode.LOAD)
+            Instruction.checked(Opcode.LOAD)
 
     def test_memory_requires_positive_size(self):
         with pytest.raises(TraceError):
-            Instruction(Opcode.LOAD, addr=0, size=0)
+            Instruction.checked(Opcode.LOAD, addr=0, size=0)
 
     def test_non_memory_rejects_addr(self):
         with pytest.raises(TraceError):
-            Instruction(Opcode.INT_ALU, addr=0x100)
+            Instruction.checked(Opcode.INT_ALU, addr=0x100)
 
     def test_special_requires_special_op(self):
         with pytest.raises(TraceError):
-            Instruction(Opcode.SPECIAL)
+            Instruction.checked(Opcode.SPECIAL)
 
     def test_non_special_rejects_special_op(self):
         with pytest.raises(TraceError):
-            Instruction(Opcode.INT_ALU, special=SpecialOp.PUSH)
+            Instruction.checked(Opcode.INT_ALU, special=SpecialOp.PUSH)
 
     def test_rejects_negative_payload(self):
         with pytest.raises(TraceError):
-            Instruction(Opcode.SPECIAL, special=SpecialOp.API_PCI, payload_bytes=-1)
+            Instruction.checked(
+                Opcode.SPECIAL, special=SpecialOp.API_PCI, payload_bytes=-1
+            )
+
+    def test_validate_returns_self(self):
+        inst = Instruction.load(0x100)
+        assert inst.validate() is inst
+
+    def test_checked_returns_valid_instruction(self):
+        inst = Instruction.checked(Opcode.LOAD, addr=0x40, size=8)
+        assert inst == Instruction.load(0x40, size=8)
+
+    def test_hot_path_construction_skips_validation(self):
+        # Trace generation relies on plain construction being unchecked.
+        assert not validation_enabled()
+        inst = Instruction(Opcode.LOAD)  # invalid, but not validated
+        with pytest.raises(TraceError):
+            inst.validate()
+
+    def test_global_flag_restores_eager_validation(self):
+        previous = set_validation(True)
+        try:
+            assert validation_enabled()
+            with pytest.raises(TraceError):
+                Instruction(Opcode.LOAD)
+        finally:
+            set_validation(previous)
+
+    def test_set_validation_returns_previous(self):
+        previous = set_validation(True)
+        try:
+            assert set_validation(previous) is True
+        finally:
+            set_validation(previous)

@@ -7,6 +7,12 @@
   error reporting, as in the CLI's exception handlers) is allowed.
 - **L002 — no mutable default arguments.** ``def f(x=[])`` shares one
   list across every call; use ``None`` plus an in-body default.
+- **L003 — no per-instruction object construction in batched hot
+  loops.** Functions named ``run_compiled*`` / ``step_compiled*`` exist
+  precisely to avoid allocating ``Instruction`` / ``MemRequest`` /
+  ``AccessResult`` / ``CacheBlock`` objects per instruction; building
+  one inside them silently reintroduces the overhead the compiled path
+  removed. Allocate outside the loop or use the array records instead.
 
 Usage::
 
@@ -29,6 +35,23 @@ Violation = Tuple[Path, int, str, str]
 #: Builtin constructors whose call as a default argument is just as
 #: mutable (and shared) as the display-literal forms.
 MUTABLE_CONSTRUCTORS = ("list", "dict", "set", "bytearray")
+
+#: Hot-path function name prefixes covered by L003.
+HOT_LOOP_PREFIXES = ("run_compiled", "step_compiled")
+
+#: Per-instruction record types that must never be built inside a
+#: batched hot loop (L003).
+HOT_LOOP_FORBIDDEN = frozenset(
+    {"Instruction", "MemRequest", "AccessResult", "CacheBlock"}
+)
+
+
+def _called_name(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
 
 
 def _is_mutable_default(node: ast.expr) -> bool:
@@ -75,6 +98,24 @@ def lint_source(source: str, path: Path) -> List[Violation]:
                             "L002",
                             "mutable default argument; use None and build "
                             "the value inside the function",
+                        )
+                    )
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ) and node.name.startswith(HOT_LOOP_PREFIXES):
+            for inner in ast.walk(node):
+                if (
+                    isinstance(inner, ast.Call)
+                    and _called_name(inner) in HOT_LOOP_FORBIDDEN
+                ):
+                    violations.append(
+                        (
+                            path,
+                            inner.lineno,
+                            "L003",
+                            f"{_called_name(inner)} constructed inside "
+                            f"batched hot loop {node.name}(); per-"
+                            "instruction objects defeat the compiled path",
                         )
                     )
     return violations
