@@ -1,26 +1,44 @@
 """The compiled-hot-path perf benchmark: legacy vs compiled wall-clock.
 
 Runs :func:`repro.perf.bench.run_hotpath_bench` over the six Table III
-kernels and writes ``benchmarks/output/BENCH_hotpath.json`` — the perf
-trajectory the CI perf-smoke job (and future PRs) regress against. The
-committed baseline was recorded with ``repro-explore bench --scale 0.05
---repeats 3``; this benchmark re-measures at the same scale and asserts
-the compiled path is still clearly ahead.
+kernels plus :func:`repro.perf.bench.run_sweep_bench` (the batched
+design-point axis on a rank-style workload) and writes
+``benchmarks/output/BENCH_hotpath.json`` — the perf trajectory the CI
+perf-smoke job (and future PRs) regress against. The committed baseline
+was recorded with ``repro-explore bench --mode all --scale 0.05
+--sweep-scale 0.01``; this benchmark re-measures and asserts both paths
+are still clearly ahead.
 
-The in-test assertion threshold is deliberately looser than the baseline
-(shared CI runners are noisy); the committed baseline documents the real
-speedups (>= 3x geomean, serial fidelity).
+The in-test assertion thresholds are deliberately looser than the
+baseline (shared CI runners are noisy); the committed baseline documents
+the real speedups (>= 3x geomean hotpath, >= 15x geomean sweep).
 """
 
 import json
 
-from repro.perf.bench import run_hotpath_bench
+from repro.perf.bench import run_hotpath_bench, run_sweep_bench
 
 #: Loose floor for CI: the compiled path must beat legacy clearly even on
 #: a noisy shared runner. The committed baseline documents the real >= 3x.
 MIN_GEOMEAN_SPEEDUP = 1.3
 
+#: Sweep floor: dedup alone contributes ~22x machine-independently, so
+#: even a noisy runner clears the paper-target 10x with margin to spare.
+MIN_SWEEP_GEOMEAN_SPEEDUP = 10.0
+
 BENCH_SCALE = 0.05
+
+#: The sweep's per-point oracle replays the trace once per sampled design
+#: point, so it runs at a smaller trace scale than the hotpath cells.
+SWEEP_SCALE = 0.002
+
+
+def _merge_into_baseline(output_dir, doc):
+    """Merge ``doc``'s sections into BENCH_hotpath.json, keeping the rest."""
+    path = output_dir / "BENCH_hotpath.json"
+    merged = json.loads(path.read_text()) if path.exists() else {}
+    merged.update(doc)
+    path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
 
 
 def test_hotpath(benchmark, output_dir):
@@ -31,8 +49,7 @@ def test_hotpath(benchmark, output_dir):
         rounds=1,
     )
 
-    path = output_dir / "BENCH_hotpath.json"
-    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    _merge_into_baseline(output_dir, doc)
 
     assert set(doc["fidelities"]) == {"serial", "interleaved"}
     for name, data in doc["fidelities"].items():
@@ -50,3 +67,26 @@ def test_hotpath(benchmark, output_dir):
     serial = doc["fidelities"]["serial"]["kernels"]
     for kernel_name, fast_seconds in doc["fast_reference_seconds"].items():
         assert fast_seconds < serial[kernel_name]["compiled_seconds"]
+
+
+def test_sweep(benchmark, output_dir):
+    doc = benchmark.pedantic(
+        run_sweep_bench,
+        kwargs={"scale": SWEEP_SCALE, "repeats": 1},
+        iterations=1,
+        rounds=1,
+    )
+
+    _merge_into_baseline(output_dir, doc)
+
+    sweep = doc["sweep"]
+    # run_sweep_bench itself asserts the batched results are bit-identical
+    # to the single-point compiled path before reporting any timing.
+    assert sweep["points"] > sweep["distinct"] > 1
+    for kernel_name, cell in sweep["kernels"].items():
+        assert cell["single_seconds"] > 0, kernel_name
+        assert cell["batched_seconds"] > 0, kernel_name
+    assert sweep["geomean_speedup"] >= MIN_SWEEP_GEOMEAN_SPEEDUP, (
+        f"sweep: batched design-point axis no longer clearly ahead "
+        f"(geomean {sweep['geomean_speedup']:.2f}x)"
+    )

@@ -357,28 +357,49 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         format_bench,
         load_bench_json,
         run_hotpath_bench,
+        run_sweep_bench,
         write_bench_json,
     )
 
-    doc = run_hotpath_bench(
-        scale=args.scale,
-        repeats=args.repeats,
-        case_name=args.case,
-        kernels=args.kernel or None,
-    )
+    doc: dict = {}
+    if args.mode in ("hotpath", "all"):
+        doc = run_hotpath_bench(
+            scale=args.scale,
+            repeats=args.repeats,
+            case_name=args.case,
+            kernels=args.kernel or None,
+        )
+    if args.mode in ("sweep", "all"):
+        sweep_doc = run_sweep_bench(
+            scale=args.sweep_scale,
+            repeats=args.repeats,
+            kernels=args.kernel or None,
+            stride=args.stride,
+        )
+        if doc:
+            doc["sweep"] = sweep_doc["sweep"]
+        else:
+            doc = sweep_doc
     _out(format_bench(doc))
     if args.out:
         write_bench_json(args.out, doc)
         _out(f"wrote {args.out}")
     failed = False
     if args.min_speedup is not None:
-        for name, data in doc["fidelities"].items():
+        for name, data in doc.get("fidelities", {}).items():
             if data["geomean_speedup"] < args.min_speedup:
                 _out(
                     f"FAIL: {name} geomean speedup "
                     f"{data['geomean_speedup']:.2f}x < {args.min_speedup:g}x"
                 )
                 failed = True
+        sweep = doc.get("sweep")
+        if sweep is not None and sweep["geomean_speedup"] < args.min_speedup:
+            _out(
+                f"FAIL: sweep geomean speedup "
+                f"{sweep['geomean_speedup']:.2f}x < {args.min_speedup:g}x"
+            )
+            failed = True
     if args.baseline:
         problems = compare_to_baseline(
             doc, load_bench_json(args.baseline), tolerance=args.tolerance
@@ -659,10 +680,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         "the legacy generator path (exit 1 on regression)",
     )
     p_bench.add_argument(
+        "--mode",
+        choices=("hotpath", "sweep", "all"),
+        default="hotpath",
+        help="hotpath: legacy vs compiled per kernel; sweep: per-point vs "
+        "batched design-point axis on a rank-style workload; all: both "
+        "(default hotpath)",
+    )
+    p_bench.add_argument(
         "--scale",
         type=float,
         default=0.05,
-        help="trace scale factor for the timed runs (default 0.05)",
+        help="trace scale factor for the hotpath cells (default 0.05)",
+    )
+    p_bench.add_argument(
+        "--sweep-scale",
+        type=float,
+        default=0.01,
+        metavar="X",
+        help="trace scale for the sweep mode's rank-style workload "
+        "(default 0.01 — smaller than --scale because the per-point "
+        "oracle replays the trace once per sampled design point)",
+    )
+    p_bench.add_argument(
+        "--stride",
+        type=int,
+        default=3,
+        metavar="N",
+        help="sample every Nth feasible design point for the sweep "
+        "workload (default 3: ~486 of the 1457 points)",
     )
     p_bench.add_argument(
         "--repeats",

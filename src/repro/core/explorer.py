@@ -83,6 +83,7 @@ class Explorer:
         faults: Optional[FaultPlan] = None,
         retry: Optional[RetryPolicy] = None,
         job_timeout: Optional[float] = None,
+        sweep: bool = False,
     ) -> None:
         self.system = system or SystemConfig()
         self.comm_params = comm_params or CommParams()
@@ -125,6 +126,14 @@ class Explorer:
             )
         self.check = check
         self._check_memo: Dict[Tuple, bool] = {}
+        #: Route detailed point sweeps through the batched design-point
+        #: axis (:mod:`repro.perf.sweep`): points partition into per-trace
+        #: batches instead of per-point jobs, sharing one compiled event
+        #: stream pass per batch. Results are bit-identical to the per-job
+        #: path (the parity suite pins it); fault-injected runs fall back
+        #: automatically. Off by default — the per-job path stays the
+        #: oracle.
+        self.sweep = sweep
 
     @property
     def jobs(self) -> int:
@@ -194,9 +203,7 @@ class Explorer:
             for kernel in kernels
             for case in cases
         ]
-        flat = self.runner.run_jobs(
-            jobs, result_cache=self.result_cache, stage="case-studies-detailed"
-        )
+        flat = self._run_detailed_jobs(jobs, stage="case-studies-detailed")
         self.last_results = flat
         results: Dict[str, Dict[str, SimulationResult]] = {}
         for i, kernel in enumerate(kernels):
@@ -205,6 +212,36 @@ class Explorer:
                 case.name: result for case, result in zip(cases, row)
             }
         return results
+
+    def _run_detailed_jobs(
+        self, jobs: List[SimJob], stage: str
+    ) -> List[SimulationResult]:
+        """Detailed batches: per-point jobs, or batched sweeps when opted in.
+
+        With :attr:`sweep` set, the points partition into per-trace
+        :class:`~repro.exec.sweepjob.SweepBatchJob`\\ s (one compiled event
+        stream pass per trace) and fan out through the runner; ineligible
+        batches (faults, explicit channels) fall back to the per-job path.
+        Either way the results come back in submission order, bit-identical
+        to per-job execution.
+        """
+        if self.sweep:
+            from repro.exec.sweepjob import partition_jobs, run_sweep_batch
+
+            batches = partition_jobs(jobs)
+            if batches is not None:
+                computed = self.runner.map(
+                    run_sweep_batch, [batch for batch, _ in batches], stage=stage
+                )
+                flat: List[Optional[SimulationResult]] = [None] * len(jobs)
+                for (_, indices), batch_results in zip(batches, computed):
+                    for index, result in zip(indices, batch_results):
+                        flat[index] = result
+                assert all(r is not None for r in flat)
+                return flat  # type: ignore[return-value]
+        return self.runner.run_jobs(
+            jobs, result_cache=self.result_cache, stage=stage
+        )
 
     # -- Figure 5 / Figure 6 -------------------------------------------------
 

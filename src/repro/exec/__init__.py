@@ -5,6 +5,9 @@ design-space exploration:
 
 - :mod:`repro.exec.job` — :class:`SimJob`, a picklable description of one
   fast-simulator run, and the worker entry point;
+- :mod:`repro.exec.sweepjob` — :class:`SweepBatchJob`, N design points
+  batched against one trace for the compiled hot path's design-point axis
+  (:mod:`repro.perf.sweep`), and its worker entry point;
 - :mod:`repro.exec.runner` — :class:`ParallelRunner`, an order-preserving
   process-pool fan-out with a deterministic in-process fallback;
 - :mod:`repro.exec.cache` — :class:`TraceCache` and :class:`ResultCache`
@@ -26,10 +29,14 @@ from repro.exec.job import SimJob, run_sim_job
 from repro.exec.retry import NO_RETRY, RetryPolicy, backoff_delay, backoff_schedule
 from repro.exec.runner import ParallelRunner
 from repro.exec.stats import RunStats
+from repro.exec.sweepjob import SweepBatchJob, partition_jobs, run_sweep_batch
 
 __all__ = [
     "SimJob",
     "run_sim_job",
+    "SweepBatchJob",
+    "run_sweep_batch",
+    "partition_jobs",
     "ParallelRunner",
     "RunStats",
     "RetryPolicy",

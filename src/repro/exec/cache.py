@@ -77,7 +77,7 @@ class MemoCache:
         self.hits = 0
         self.misses = 0
 
-    def stats(self) -> Dict[str, float]:
+    def stats(self) -> "Dict[str, int | float]":
         return {
             "entries": len(self._store),
             "hits": self.hits,
@@ -87,16 +87,26 @@ class MemoCache:
 
 
 class TraceCache(MemoCache):
-    """Memoizes ``kernel.trace()`` outputs per (kernel name, shape).
+    """Memoizes ``kernel.trace()`` outputs per (kernel name, resolved shape).
 
     Traces are frozen dataclasses, so sharing one instance across
     simulations is safe; generation is deterministic, so a cached trace is
     identical to a regenerated one.
+
+    The key normalizes ``shape=None`` to the kernel's ``default_shape``:
+    asking for the default explicitly and asking with ``None`` must share
+    one entry, and a reconfigured kernel instance that shares a name but
+    carries a different default must *not* hit the stale default trace.
+    (Duck-typed kernels without a ``default_shape`` — test fakes wrapping
+    a fixed trace — key on ``None``, the only shape they can serve.)
     """
 
     def get(self, kernel: Kernel, shape: Optional[KernelShape] = None) -> KernelTrace:
+        resolved = (
+            shape if shape is not None else getattr(kernel, "default_shape", None)
+        )
         return self.get_or_compute(
-            (kernel.name, shape), lambda: kernel.trace(shape)
+            (kernel.name, resolved), lambda: kernel.trace(shape)
         )
 
 

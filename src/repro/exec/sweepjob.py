@@ -1,0 +1,120 @@
+"""Batched design-point execution through the exploration runtime.
+
+:class:`~repro.exec.job.SimJob` describes one simulator run; a
+:class:`SweepBatchJob` describes N of them sharing a trace, evaluated in
+one pass by the :class:`~repro.perf.sweep.SweepSimulator` (the design-point
+axis of the compiled hot path). :func:`partition_jobs` converts a batch of
+detailed jobs into sweep batches — one per trace — so rank-style and
+figure sweeps fan out *batches of points* instead of individual jobs;
+:func:`run_sweep_batch` is the module-level worker the
+:class:`~repro.exec.runner.ParallelRunner` pool executes.
+
+Results are bit-identical to running each job through
+:func:`~repro.exec.job.run_sim_job`: the sweep engine's per-point walk is
+operation-for-operation the detailed simulator's, its timing-equivalence
+dedup mirrors :class:`~repro.exec.cache.ResultCache` relabel-on-hit, and
+``tests/perf/test_sweep.py`` pins both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.config.comm import CommParams
+from repro.config.system import SystemConfig
+from repro.exec.job import SimJob
+from repro.perf.sweep import SweepPoint, SweepSimulator
+from repro.sim.results import SimulationResult
+from repro.trace.stream import KernelTrace
+
+__all__ = ["SweepBatchJob", "run_sweep_batch", "partition_jobs", "point_for_job"]
+
+
+@dataclass(frozen=True)
+class SweepBatchJob:
+    """N design points against one trace — a picklable unit of pool work."""
+
+    trace: KernelTrace
+    points: Tuple[SweepPoint, ...]
+    system: Optional[SystemConfig] = None
+    comm_params: Optional[CommParams] = None
+    interleave_parallel: bool = True
+    l1_prefetch: bool = False
+    gpu_mode: str = "heuristic"
+    interleave_quantum: int = 1
+
+
+def run_sweep_batch(job: SweepBatchJob) -> List[SimulationResult]:
+    """Execute one batch (the worker function run inside pool processes)."""
+    simulator = SweepSimulator(
+        system=job.system,
+        comm_params=job.comm_params,
+        interleave_parallel=job.interleave_parallel,
+        l1_prefetch=job.l1_prefetch,
+        gpu_mode=job.gpu_mode,
+        interleave_quantum=job.interleave_quantum,
+    )
+    return simulator.run(job.trace, list(job.points))
+
+
+def point_for_job(job: SimJob) -> Optional[SweepPoint]:
+    """The :class:`SweepPoint` equivalent of ``job``, or ``None``.
+
+    Only detailed, cacheable, fault-free jobs translate: explicit channel
+    objects are stateful, fault plans perturb the channel per attempt, and
+    fast-simulator jobs have no compiled hot path to batch.
+    """
+    if not job.detailed or job.fault_plan is not None or job.channel is not None:
+        return None
+    return SweepPoint(
+        case=job.case,
+        mechanism=job.mechanism,
+        async_overlap=job.async_overlap,
+        address_space=job.address_space,
+        system_name=job.system_name,
+        system=job.system,
+        comm_params=job.comm_params,
+    )
+
+
+def partition_jobs(
+    jobs: Sequence[SimJob],
+    interleave_parallel: bool = True,
+    l1_prefetch: bool = False,
+    gpu_mode: str = "heuristic",
+    interleave_quantum: int = 1,
+) -> Optional[List[Tuple[SweepBatchJob, List[int]]]]:
+    """Partition detailed jobs into per-trace sweep batches.
+
+    Returns ``(batch, original_indices)`` pairs whose concatenated results,
+    scattered back to ``original_indices``, reproduce the per-job result
+    list exactly — or ``None`` when any job is ineligible (the caller falls
+    back to the per-job path for the whole batch, keeping semantics
+    uniform).
+    """
+    translated: List[SweepPoint] = []
+    for job in jobs:
+        point = point_for_job(job)
+        if point is None:
+            return None
+        translated.append(point)
+    grouped: "dict[KernelTrace, List[int]]" = {}
+    for index, job in enumerate(jobs):
+        grouped.setdefault(job.trace, []).append(index)
+    batches: List[Tuple[SweepBatchJob, List[int]]] = []
+    for trace, indices in grouped.items():
+        batches.append(
+            (
+                SweepBatchJob(
+                    trace=trace,
+                    points=tuple(translated[i] for i in indices),
+                    interleave_parallel=interleave_parallel,
+                    l1_prefetch=l1_prefetch,
+                    gpu_mode=gpu_mode,
+                    interleave_quantum=interleave_quantum,
+                ),
+                indices,
+            )
+        )
+    return batches

@@ -25,6 +25,12 @@ from repro.perf.compiled import (
     SHARED_COMPILE_CACHE,
     compile_segment,
 )
+from repro.perf.sweep import (
+    BatchedDesignPoints,
+    SweepPoint,
+    SweepSimulator,
+    run_design_sweep,
+)
 
 __all__ = [
     "CompiledSegment",
@@ -34,4 +40,8 @@ __all__ = [
     "EV_COMPUTE_RUN",
     "EV_MEMORY",
     "EV_BRANCH",
+    "SweepPoint",
+    "BatchedDesignPoints",
+    "SweepSimulator",
+    "run_design_sweep",
 ]

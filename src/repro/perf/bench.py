@@ -10,6 +10,14 @@ phases, the per-instruction steppers) — plus the analytic
 feeds ``BENCH_hotpath.json``: the repo's perf trajectory, and what the CI
 perf-smoke job regresses against.
 
+A second mode, :func:`run_sweep_bench`, measures the design-point axis
+(:mod:`repro.perf.sweep`) on a rank-style workload: a stride sample of
+the full feasible design space evaluated per kernel, once point-by-point
+through ``DetailedSimulator(compiled=True)`` and once as one
+:class:`~repro.perf.sweep.BatchedDesignPoints` pass. The two result lists
+are asserted equal before either timing is reported, so the recorded
+speedup is only ever for bit-identical output.
+
 Comparisons against a stored baseline use the *speedup ratio*, not raw
 wall-clock — absolute seconds differ across machines, but legacy and
 compiled run on the same machine in the same process, so their ratio
@@ -24,7 +32,7 @@ import time
 from typing import Dict, List, Optional, Sequence
 
 from repro.config.presets import case_study
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SimulationError
 from repro.kernels.registry import all_kernels, kernel
 from repro.perf.compiled import SegmentCompileCache
 from repro.sim.detailed import DetailedSimulator
@@ -33,6 +41,7 @@ from repro.sim.fast import FastSimulator
 __all__ = [
     "SCHEMA",
     "run_hotpath_bench",
+    "run_sweep_bench",
     "format_bench",
     "compare_to_baseline",
     "write_bench_json",
@@ -43,6 +52,14 @@ SCHEMA = "bench_hotpath/v1"
 
 #: (fidelity name, interleave_parallel flag) measured by the harness.
 FIDELITIES = (("serial", False), ("interleaved", True))
+
+#: Defaults for the sweep mode. Two kernels bound the workload shapes
+#: (reduction: comm-heavy with short phases; k-mean: the largest compute
+#: trace); a smaller trace scale than the hotpath cells because the
+#: single-point oracle replays the trace once per sampled design point.
+SWEEP_KERNELS = ("reduction", "k-mean")
+SWEEP_SCALE = 0.01
+SWEEP_STRIDE = 3
 
 
 def _geomean(values: Sequence[float]) -> float:
@@ -137,12 +154,145 @@ def run_hotpath_bench(
     }
 
 
+def _rank_style_points(stride: int) -> List:
+    """A stride sample of the feasible design space as sweep points.
+
+    Mirrors ``Explorer._point_jobs``: one point per feasible
+    (space, comm, locality, coherence, consistency) combination, labeled
+    with the design point's display label so duplicate-timing points
+    exercise the relabel-on-scatter path exactly like a real ranking run.
+    """
+    from repro.core.space import DesignSpace
+    from repro.perf.sweep import SweepPoint
+    from repro.taxonomy import CommMechanism
+
+    return [
+        SweepPoint(
+            mechanism=point.comm,
+            async_overlap=point.comm is CommMechanism.DMA_ASYNC,
+            address_space=point.address_space,
+            system_name=point.label,
+        )
+        for point in DesignSpace().feasible_points()[::stride]
+    ]
+
+
+def run_sweep_bench(
+    scale: float = SWEEP_SCALE,
+    repeats: int = 1,
+    kernels: Optional[Sequence[str]] = None,
+    stride: int = SWEEP_STRIDE,
+) -> Dict:
+    """Benchmark the batched design-point axis; returns a bench document.
+
+    The workload is rank-style: every ``stride``-th feasible design point
+    of the full space (stride 3 samples ~486 of the 1457 points), each
+    kernel's trace evaluated against all of them — once per point through
+    ``DetailedSimulator(compiled=True)`` (the single-point compiled path)
+    and once as a single :class:`~repro.perf.sweep.SweepSimulator` pass.
+    Both runs share a pre-warmed compile cache so neither pays
+    compilation, and their result lists are asserted equal before any
+    timing is reported. The returned document carries a ``sweep`` section
+    (no ``fidelities``); the CLI merges it with the hotpath section under
+    ``--mode all``.
+    """
+    if scale <= 0:
+        raise ConfigError(f"bench scale must be positive, got {scale}")
+    if repeats < 1:
+        raise ConfigError(f"bench repeats must be >= 1, got {repeats}")
+    if stride < 1:
+        raise ConfigError(f"bench stride must be >= 1, got {stride}")
+    from repro.comm.base import make_channel
+    from repro.config.comm import CommParams
+    from repro.config.system import SystemConfig
+    from repro.perf.sweep import BatchedDesignPoints, SweepSimulator
+
+    selected = [kernel(name) for name in (kernels or SWEEP_KERNELS)]
+    system = SystemConfig()
+    params = CommParams()
+    points = _rank_style_points(stride)
+    batch = BatchedDesignPoints(points, system, params)
+    compile_cache = SegmentCompileCache()
+    rows: Dict[str, Dict] = {}
+    for k in selected:
+        trace = k.build().scaled(scale)
+        # Warm the compile cache off the clock; the warm pass's results
+        # also serve as the batched output for the identity check.
+        batched_results = SweepSimulator(
+            system=system, comm_params=params, compile_cache=compile_cache
+        ).run(trace, batch)
+
+        single_results = None
+        single_seconds = math.inf
+        for _ in range(repeats):
+            start = time.perf_counter()
+            results = []
+            for point in points:
+                sim = DetailedSimulator(
+                    system=system,
+                    comm_params=params,
+                    compiled=True,
+                    compile_cache=compile_cache,
+                )
+                channel = make_channel(
+                    point.mechanism,
+                    params=params,
+                    system=system,
+                    async_overlap=point.async_overlap,
+                )
+                results.append(
+                    sim.run(
+                        trace,
+                        channel=channel,
+                        system_name=point.system_name,
+                        address_space=point.address_space,
+                    )
+                )
+            single_seconds = min(single_seconds, time.perf_counter() - start)
+            single_results = results
+
+        batched_seconds = math.inf
+        for _ in range(repeats):
+            simulator = SweepSimulator(
+                system=system, comm_params=params, compile_cache=compile_cache
+            )
+            start = time.perf_counter()
+            batched_results = simulator.run(trace, batch)
+            batched_seconds = min(batched_seconds, time.perf_counter() - start)
+
+        if single_results != batched_results:
+            raise SimulationError(
+                f"sweep bench identity violation: batched results for "
+                f"{k.name} differ from the single-point compiled path"
+            )
+        rows[k.name] = {
+            "single_seconds": single_seconds,
+            "batched_seconds": batched_seconds,
+            "speedup": (
+                single_seconds / batched_seconds if batched_seconds > 0 else 0.0
+            ),
+        }
+
+    return {
+        "schema": SCHEMA,
+        "sweep": {
+            "scale": scale,
+            "repeats": repeats,
+            "stride": stride,
+            "points": len(points),
+            "distinct": len(batch.distinct),
+            "kernels": rows,
+            "geomean_speedup": _geomean([row["speedup"] for row in rows.values()]),
+        },
+    }
+
+
 def format_bench(doc: Dict) -> str:
     """Human-readable report of a bench document."""
     from repro.core.report import format_table
 
     lines: List[str] = []
-    for name, data in doc["fidelities"].items():
+    for name, data in doc.get("fidelities", {}).items():
         rows = [
             (
                 kernel_name,
@@ -163,6 +313,29 @@ def format_bench(doc: Dict) -> str:
                 ),
             )
         )
+    sweep = doc.get("sweep")
+    if sweep is not None:
+        rows = [
+            (
+                kernel_name,
+                f"{cell['single_seconds']:.3f}",
+                f"{cell['batched_seconds']:.3f}",
+                f"{cell['speedup']:.2f}x",
+            )
+            for kernel_name, cell in sweep["kernels"].items()
+        ]
+        lines.append(
+            format_table(
+                ("kernel", "per-point s", "batched s", "speedup"),
+                rows,
+                title=(
+                    f"Batched design-point sweep — rank-style, "
+                    f"{sweep['points']} points ({sweep['distinct']} "
+                    f"timing-distinct), scale {sweep['scale']:g}, geomean "
+                    f"{sweep['geomean_speedup']:.2f}x"
+                ),
+            )
+        )
     return "\n\n".join(lines)
 
 
@@ -175,22 +348,44 @@ def compare_to_baseline(
     than ``tolerance`` (a fraction — 0.5 tolerates halving, loose enough
     for shared CI runners). Returns human-readable regression lines;
     empty means the compiled path is still ahead.
+
+    Only sections the current run measured are compared — a ``--mode
+    sweep`` run is judged against the baseline's ``sweep`` section alone,
+    a ``--mode hotpath`` run against the fidelities alone — so partial
+    runs never fail on sections they deliberately skipped.
     """
     problems: List[str] = []
-    for name, base_data in baseline.get("fidelities", {}).items():
-        cur_data = current.get("fidelities", {}).get(name)
-        if cur_data is None:
-            problems.append(f"{name}: fidelity missing from current run")
-            continue
-        for kernel_name, base_cell in base_data.get("kernels", {}).items():
-            cur_cell = cur_data.get("kernels", {}).get(kernel_name)
+    if current.get("fidelities"):
+        for name, base_data in baseline.get("fidelities", {}).items():
+            cur_data = current.get("fidelities", {}).get(name)
+            if cur_data is None:
+                problems.append(f"{name}: fidelity missing from current run")
+                continue
+            for kernel_name, base_cell in base_data.get("kernels", {}).items():
+                cur_cell = cur_data.get("kernels", {}).get(kernel_name)
+                if cur_cell is None:
+                    problems.append(
+                        f"{name}/{kernel_name}: missing from current run"
+                    )
+                    continue
+                floor = base_cell["speedup"] * (1.0 - tolerance)
+                if cur_cell["speedup"] < floor:
+                    problems.append(
+                        f"{name}/{kernel_name}: speedup {cur_cell['speedup']:.2f}x "
+                        f"fell below {floor:.2f}x "
+                        f"(baseline {base_cell['speedup']:.2f}x - {tolerance:.0%})"
+                    )
+    if current.get("sweep") and baseline.get("sweep"):
+        cur_rows = current["sweep"].get("kernels", {})
+        for kernel_name, base_cell in baseline["sweep"].get("kernels", {}).items():
+            cur_cell = cur_rows.get(kernel_name)
             if cur_cell is None:
-                problems.append(f"{name}/{kernel_name}: missing from current run")
+                problems.append(f"sweep/{kernel_name}: missing from current run")
                 continue
             floor = base_cell["speedup"] * (1.0 - tolerance)
             if cur_cell["speedup"] < floor:
                 problems.append(
-                    f"{name}/{kernel_name}: speedup {cur_cell['speedup']:.2f}x "
+                    f"sweep/{kernel_name}: speedup {cur_cell['speedup']:.2f}x "
                     f"fell below {floor:.2f}x "
                     f"(baseline {base_cell['speedup']:.2f}x - {tolerance:.0%})"
                 )

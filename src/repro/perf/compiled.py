@@ -70,8 +70,10 @@ class CompiledSegment:
 
     ``opcodes`` (uint8) indexes :data:`repro.isa.opcodes.CODE_TO_OPCODE`;
     ``addrs`` (int64) is ``-1`` for non-memory records; ``sizes`` (int32)
-    and ``taken`` (bool) complete the record. ``events`` is the lazily
-    built batched encoding consumed by the cores' ``run_compiled`` loops.
+    and ``taken`` (bool) complete the record. ``events`` is the batched
+    encoding consumed by the cores' ``run_compiled`` loops —
+    :meth:`from_segment` builds it eagerly, so compiled segments shipped
+    into worker processes never rebuild it.
     """
 
     __slots__ = ("segment", "opcodes", "addrs", "sizes", "taken", "length", "_events")
@@ -108,13 +110,20 @@ class CompiledSegment:
             addrs_append(addr)
             sizes_append(size)
             taken_append(tk)
-        return cls(
+        compiled = cls(
             segment,
             np.asarray(codes, dtype=np.uint8),
             np.asarray(addrs, dtype=np.int64),
             np.asarray(sizes, dtype=np.int32),
             np.asarray(taken, dtype=np.bool_),
         )
+        # Build the event encoding eagerly: a compilation always ends up
+        # executed through `events`, and building it here means a compiled
+        # segment that crosses a process boundary (``repro.exec`` worker
+        # fan-out pickles warm caches' entries) arrives ready to run
+        # instead of every worker re-deriving the same event list.
+        compiled._events = compiled._build_events()
+        return compiled
 
     @property
     def nbytes(self) -> int:
@@ -125,7 +134,8 @@ class CompiledSegment:
 
     @property
     def events(self) -> "List[Tuple[int, int, int, int]]":
-        """The batched event encoding (built on first use, then cached).
+        """The batched event encoding (eager via :meth:`from_segment`;
+        built on first use for hand-constructed instances).
 
         Records are 4-tuples:
 
@@ -240,7 +250,7 @@ class SegmentCompileCache:
         self.hits = 0
         self.misses = 0
 
-    def stats(self) -> Dict[str, float]:
+    def stats(self) -> "Dict[str, int | float]":
         lookups = self.hits + self.misses
         return {
             "entries": len(self._store),

@@ -13,17 +13,18 @@ A trace-driven approximation of a Sandy-Bridge-class core:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.config.system import CpuConfig
 from repro.errors import SimulationError
+from repro.mem.cache.cache import Cache
 from repro.mem.level import MemoryLevel
 from repro.mem.request import MemRequest
 from repro.perf.compiled import EV_COMPUTE_RUN, EV_MEMORY, CompiledSegment
 from repro.sim.cpu.branch import GsharePredictor
 from repro.taxonomy import ProcessingUnit
 
-__all__ = ["CpuCore"]
+__all__ = ["CpuCore", "run_compiled_batch"]
 
 #: Memory-level parallelism the OoO window sustains on streaming code.
 DEFAULT_MLP = 4.0
@@ -296,3 +297,129 @@ class CpuCore:
             "branch_stall_cycles": self.branch_stall_cycles,
             "branch_mispredictions": self.predictor.mispredictions,
         }
+
+
+def run_compiled_batch(
+    cores: Sequence[CpuCore],
+    compiled: CompiledSegment,
+    start_seconds: Sequence[float],
+    explicit_addrs: Optional[Sequence[Optional[object]]] = None,
+) -> List[int]:
+    """Run one compiled event stream through N cores in a single pass.
+
+    The design-point axis of the compiled hot path: each core belongs to a
+    different design point's machine, and the batch loop decodes every
+    event record exactly once, applying it to all N per-point states
+    (cycles, issue slot, predictor, memory hierarchy). Per point, the
+    arithmetic is operation-for-operation the same sequence as
+    :meth:`CpuCore.run_compiled`, so results are bit-identical to running
+    the cores one at a time — ``tests/perf/test_sweep.py`` pins this.
+
+    When every core's memory is a bare :class:`~repro.mem.cache.cache.Cache`
+    with equal :attr:`~repro.mem.cache.cache.Cache.geometry`, each memory
+    event's set index and tag are computed once and the per-point caches
+    are probed through
+    :meth:`~repro.mem.cache.cache.Cache.access_latency_located`.
+
+    Returns each core's cycle count, in core order.
+    """
+    n = len(cores)
+    if len(start_seconds) != n:
+        raise SimulationError(
+            f"need one start time per core: {n} cores, {len(start_seconds)} times"
+        )
+    if explicit_addrs is None:
+        explicit_addrs = [None] * n
+    if n == 1:
+        return [cores[0].run_compiled(compiled, start_seconds[0], explicit_addrs[0])]
+
+    hertz = [core.config.frequency.hertz for core in cores]
+    issue_width = [core.config.issue_width for core in cores]
+    penalty = [core.config.branch_mispredict_penalty for core in cores]
+    hit_latency = [
+        core.config.frequency.cycles_to_seconds(core.config.l1d.latency)
+        for core in cores
+    ]
+    mlp = [core.mlp for core in cores]
+    memories = [core.memory for core in cores]
+    access = [memory.access_latency for memory in memories]
+    predict = [core.predictor.predict_and_update for core in cores]
+    pu = ProcessingUnit.CPU
+
+    # Shared address decomposition: legal only when every point's top level
+    # is a raw cache and all geometries agree (no MMU/coherence fronts).
+    located = None
+    if all(type(memory) is Cache for memory in memories):
+        geometries = {memory.geometry for memory in memories}
+        if len(geometries) == 1:
+            line_bytes, num_sets = geometries.pop()
+            located = [memory.access_latency_located for memory in memories]
+
+    cycles = [0.0] * n
+    slots = [0] * n
+    for kind, a, b, c in compiled.events:
+        if kind == EV_COMPUTE_RUN:
+            for i in range(n):
+                slot = slots[i] + a
+                width = issue_width[i]
+                wraps = slot // width
+                slots[i] = slot - wraps * width
+                if wraps:
+                    cy = cycles[i]
+                    if cy.is_integer():
+                        cycles[i] = cy + wraps
+                    else:
+                        for _ in range(wraps):
+                            cy += 1.0
+                        cycles[i] = cy
+        elif kind == EV_MEMORY:
+            is_write = bool(c)
+            if located is not None:
+                line = a // line_bytes
+                index = line % num_sets
+                tag = line // num_sets
+            for i in range(n):
+                slot = slots[i] + 1
+                cy = cycles[i]
+                if slot >= issue_width[i]:
+                    cy += 1.0
+                    slot = 0
+                slots[i] = slot
+                marker = explicit_addrs[i]
+                explicit = bool(marker is not None and marker(a))
+                issue_time = start_seconds[i] + int(cy) / hertz[i]
+                if located is not None:
+                    latency = located[i](
+                        index, tag, a, b, is_write, pu, explicit, False, issue_time
+                    )
+                else:
+                    latency = access[i](
+                        a, b, is_write, pu, explicit, False, issue_time
+                    )
+                hit = hit_latency[i]
+                if latency > hit:
+                    stall = (latency - hit) / mlp[i]
+                    stall_cycles = stall * hertz[i]
+                    cy += stall_cycles
+                    cores[i].memory_stall_cycles += stall_cycles
+                cycles[i] = cy
+        else:  # EV_BRANCH
+            taken = bool(a)
+            for i in range(n):
+                slot = slots[i] + 1
+                if slot >= issue_width[i]:
+                    cycles[i] += 1.0
+                    slot = 0
+                if not predict[i](b, taken):
+                    cycles[i] += penalty[i]
+                    cores[i].branch_stall_cycles += penalty[i]
+                    slot = 0
+                slots[i] = slot
+    out: List[int] = []
+    for i in range(n):
+        cy = cycles[i]
+        if slots[i]:
+            cy += 1
+        cores[i].instructions_retired += compiled.length
+        out.append(int(cy))
+    return out

@@ -13,17 +13,18 @@ A Fermi-like streaming multiprocessor reduced to its timing essentials:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.config.system import GpuConfig
 from repro.errors import SimulationError
+from repro.mem.cache.cache import Cache
 from repro.mem.level import MemoryLevel
 from repro.mem.request import MemRequest
 from repro.perf.compiled import EV_COMPUTE_RUN, EV_MEMORY, CompiledSegment
 from repro.sim.gpu.smem import Scratchpad
 from repro.taxonomy import ProcessingUnit
 
-__all__ = ["GpuCore"]
+__all__ = ["GpuCore", "run_compiled_batch"]
 
 
 class GpuCore:
@@ -342,3 +343,111 @@ class GpuCore:
         for key, value in self.scratchpad.stats().items():
             data[f"smem_{key}"] = value
         return data
+
+
+def run_compiled_batch(
+    cores: Sequence[GpuCore],
+    compiled: CompiledSegment,
+    start_seconds: Sequence[float],
+    explicit_addrs: Optional[Sequence[Optional[object]]] = None,
+) -> List[int]:
+    """Run one compiled event stream through N GPU cores in a single pass.
+
+    The GPU side of the design-point axis: event records are decoded once
+    and applied to every per-point core state. Heuristic-mode accounting is
+    operation-for-operation :meth:`GpuCore.run_compiled`; any core in warp
+    mode makes the whole batch fall back to per-core execution (warp
+    latency hiding depends on per-instruction scheduler state that cannot
+    share a decode pass). Shared ``(index, tag)`` cache probing mirrors
+    :func:`repro.sim.cpu.core.run_compiled_batch`.
+
+    Returns each core's cycle count, in core order.
+    """
+    n = len(cores)
+    if len(start_seconds) != n:
+        raise SimulationError(
+            f"need one start time per core: {n} cores, {len(start_seconds)} times"
+        )
+    if explicit_addrs is None:
+        explicit_addrs = [None] * n
+    if n == 1 or any(core.mode == "warp" for core in cores):
+        return [
+            core.run_compiled(compiled, start_seconds[i], explicit_addrs[i])
+            for i, core in enumerate(cores)
+        ]
+
+    hertz = [core.config.frequency.hertz for core in cores]
+    branch_stall = [
+        core.config.branch_stall_cycles if core.config.stall_on_branch else 0
+        for core in cores
+    ]
+    hit_latency = [
+        core.config.frequency.cycles_to_seconds(core.config.l1d.latency)
+        for core in cores
+    ]
+    warps = [core.warps for core in cores]
+    memories = [core.memory for core in cores]
+    access = [memory.access_latency for memory in memories]
+    scratchpad = [core.scratchpad.access for core in cores]
+    pu = ProcessingUnit.GPU
+
+    located = None
+    if all(type(memory) is Cache for memory in memories):
+        geometries = {memory.geometry for memory in memories}
+        if len(geometries) == 1:
+            line_bytes, num_sets = geometries.pop()
+            located = [memory.access_latency_located for memory in memories]
+
+    cycles = [0.0] * n
+    for kind, a, b, c in compiled.events:
+        if kind == EV_COMPUTE_RUN:
+            for i in range(n):
+                cy = cycles[i]
+                if cy.is_integer():
+                    cycles[i] = cy + a
+                else:
+                    for _ in range(a):
+                        cy += 1.0
+                    cycles[i] = cy
+        elif kind == EV_MEMORY:
+            is_write = bool(c)
+            if located is not None:
+                line = a // line_bytes
+                index = line % num_sets
+                tag = line // num_sets
+            for i in range(n):
+                cy = cycles[i] + 1.0
+                smem = scratchpad[i](a)
+                if smem is not None:
+                    cores[i].scratchpad_hits += 1
+                    cy += max(smem - 1, 0)
+                    cycles[i] = cy
+                    continue
+                marker = explicit_addrs[i]
+                explicit = bool(marker is not None and marker(a))
+                issue_time = start_seconds[i] + int(cy) / hertz[i]
+                if located is not None:
+                    latency = located[i](
+                        index, tag, a, b, is_write, pu, explicit, False, issue_time
+                    )
+                else:
+                    latency = access[i](
+                        a, b, is_write, pu, explicit, False, issue_time
+                    )
+                hit = hit_latency[i]
+                if latency > hit:
+                    stall = (latency - hit) / warps[i]
+                    stall_cycles = stall * hertz[i]
+                    cy += stall_cycles
+                    cores[i].memory_stall_cycles += stall_cycles
+                cycles[i] = cy
+        else:  # EV_BRANCH
+            for i in range(n):
+                cycles[i] += 1.0
+                cycles[i] += branch_stall[i]
+                cores[i].branch_stall_cycles += branch_stall[i]
+    out: List[int] = []
+    for i in range(n):
+        cores[i].instructions_retired += compiled.length
+        out.append(int(cycles[i]))
+    return out

@@ -69,6 +69,32 @@ class TestTraceCache:
         assert cache.misses == 2
         assert cache.get(k, k.for_size(1024)) is small
 
+    def test_default_shape_and_none_share_one_entry(self):
+        # Regression: the key used to record shape=None unresolved, so
+        # get(k) and get(k, k.default_shape) occupied two entries.
+        cache = TraceCache()
+        k = kernel("reduction")
+        implicit = cache.get(k)
+        explicit = cache.get(k, k.default_shape)
+        assert implicit is explicit
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_reconfigured_default_does_not_hit_the_stale_trace(self):
+        # Regression: with shape=None keyed as None, a kernel instance
+        # sharing the name but carrying a different default_shape would
+        # collide with the original default's cached trace.
+        import copy
+
+        cache = TraceCache()
+        k = kernel("reduction")
+        original = cache.get(k)
+        reconfigured = copy.copy(k)
+        reconfigured.default_shape = k.for_size(1024)
+        other = cache.get(reconfigured)
+        assert other is not original
+        assert other == reconfigured.trace()
+        assert cache.misses == 2
+
     def test_shared_instance_is_the_explorer_default(self):
         from repro.core.explorer import Explorer
 

@@ -126,6 +126,39 @@ class TestExplorerResume:
         # The resumed run completed the file.
         assert len(path.read_text().splitlines()) == 7
 
+    def test_relabel_on_hit_lands_with_its_own_label(self, tmp_path):
+        # Satellite check: points equal on every timing axis (only the
+        # label-bearing axes differ) trigger ResultCache relabel-on-hit;
+        # the checkpoint row must record the *point's* label, and a resume
+        # loading such a row must stay byte-identical to a fresh run.
+        all_points = DesignSpace().feasible_points()
+        first = all_points[0]
+        twins = [
+            p
+            for p in all_points
+            if (p.address_space, p.comm) == (first.address_space, first.comm)
+        ][:4]
+        assert len(twins) >= 2  # same timing key, distinct labels
+        kernels = all_kernels()[:1]
+        path = tmp_path / "cp.jsonl"
+        full = self._explorer().rank_design_points(
+            twins, kernels, checkpoint=str(path), checkpoint_chunk=1
+        )
+        import json
+
+        rows = [json.loads(line) for line in path.read_text().splitlines()[1:]]
+        assert [row["label"] for row in rows] == [p.label for p in twins]
+        # Kill after the first (cache-priming) point; the resumed run's
+        # remaining points are all relabel-on-hit.
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:2]) + "\n")
+        resumed = self._explorer().rank_design_points(
+            twins, kernels, checkpoint=str(path), checkpoint_chunk=1
+        )
+        assert self._flat(resumed) == self._flat(full)
+        plain = self._explorer().rank_design_points(twins, kernels)
+        assert self._flat(resumed) == self._flat(plain)
+
     def test_changed_sweep_is_not_mixed_in(self, tmp_path):
         path = tmp_path / "cp.jsonl"
         self._rank(checkpoint=str(path))

@@ -182,6 +182,57 @@ class TestCompileCache:
         assert SHARED_COMPILE_CACHE.get(segment) is compiled
 
 
+class TestEagerEvents:
+    """``from_segment`` builds the event stream eagerly (regression).
+
+    The event list used to build lazily on first ``.events`` access, so a
+    worker receiving a cache-warm compilation still paid the build once
+    per process. Now the build happens inside ``from_segment`` and rides
+    along through pickling: a warm worker performs zero ``_build_events``
+    calls.
+    """
+
+    def make_segment(self):
+        return Segment(
+            pu=ProcessingUnit.CPU,
+            mix=InstructionMix(int_alu=4, loads=2, branches=1),
+            footprint_bytes=64,
+        )
+
+    def test_from_segment_builds_events_eagerly(self):
+        compiled = CompiledSegment.from_segment(self.make_segment())
+        assert compiled._events is not None
+
+    def test_cache_warm_worker_makes_zero_build_calls(self, monkeypatch):
+        import pickle
+
+        cache = SegmentCompileCache()
+        warm = cache.get(self.make_segment())
+        # Ship the warm compilation to a "worker" the way the pool does.
+        shipped = pickle.loads(pickle.dumps(warm))
+        calls = []
+        original = CompiledSegment._build_events
+
+        def counting(self):
+            calls.append(self)
+            return original(self)
+
+        monkeypatch.setattr(CompiledSegment, "_build_events", counting)
+        assert cache.get(self.make_segment()) is warm
+        assert warm.events == shipped.events
+        assert shipped.events is not None
+        assert calls == []
+
+    def test_hand_constructed_segments_still_build_lazily(self):
+        eager = CompiledSegment.from_segment(self.make_segment())
+        compiled = CompiledSegment(
+            eager.segment, eager.opcodes, eager.addrs, eager.sizes, eager.taken
+        )
+        assert compiled._events is None
+        assert compiled.events == eager.events
+        assert compiled._events is not None
+
+
 class TestInstructionObjects:
     def test_decoded_instructions_are_valid(self):
         segment = Segment(

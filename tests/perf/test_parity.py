@@ -120,6 +120,27 @@ class TestInterleaveQuantum:
         assert sim.interleave_quantum == 4
 
 
+class TestBatchedSweepParity:
+    """The design-point axis: every point of a batch matches its own run.
+
+    The deeper suite lives in tests/perf/test_sweep.py; this pins the
+    headline contract next to the legacy-vs-compiled parity it extends.
+    """
+
+    @pytest.mark.parametrize("kernel_name", KERNELS)
+    def test_every_point_of_a_batch_bit_identical(self, kernel_name):
+        from repro.perf.sweep import SweepPoint, SweepSimulator
+
+        trace = kernel(kernel_name).build().scaled(SCALE)
+        points = [SweepPoint(case=case_study(name)) for name in CASES]
+        batched = SweepSimulator().run(trace, points)
+        for point, result in zip(points, batched):
+            single = DetailedSimulator(compiled=True).run(trace, case=point.case)
+            assert single.breakdown == result.breakdown
+            assert single.phases == result.phases
+            assert single.counters == result.counters
+
+
 class TestCompileCacheSharing:
     def test_runs_share_the_default_compile_cache(self):
         from repro.perf.compiled import SHARED_COMPILE_CACHE
