@@ -1,4 +1,5 @@
-"""Regenerate Figures 5-7 as data series and text charts."""
+"""Regenerate Figures 5-7 (and the coherence-overhead figure) as data
+series and text charts."""
 
 from __future__ import annotations
 
@@ -6,7 +7,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.analysis.paper_data import FIG5_SYSTEM_ORDER
 from repro.core.explorer import Explorer
-from repro.core.report import format_breakdown_chart, format_series
+from repro.core.report import format_breakdown_chart, format_series, format_table
 from repro.sim.results import SimulationResult
 from repro.taxonomy import AddressSpaceKind
 
@@ -17,6 +18,8 @@ __all__ = [
     "figure5_text",
     "figure6_text",
     "figure7_text",
+    "coherence_data",
+    "coherence_text",
 ]
 
 
@@ -78,6 +81,92 @@ def figure6_text(explorer: Optional[Explorer] = None) -> str:
         for kernel, row in data.items()
     }
     return format_series(scaled, value_label="Figure 6: communication overhead (us)")
+
+
+def coherence_data(
+    explorer: Optional[Explorer] = None,
+    kernels: Optional[Tuple] = None,
+) -> Dict[str, Dict[str, Dict[str, SimulationResult]]]:
+    """The coherence figure's content: {space: {protocol: {kernel: result}}}.
+
+    Every address space's shared data is staged into the shared window
+    (:func:`~repro.sim.mmu.stage_shared_trace`) and run under each protocol
+    variant with ideal communication, so protocol traffic is the only
+    variable between the columns. ``"none"`` is the overhead baseline.
+    ``kernels`` restricts the sweep (default: all six paper kernels).
+    """
+    explorer = explorer or Explorer()
+    return explorer.run_coherence_overhead(kernels=kernels)
+
+
+def _protocol_invalidations(per_kernel: Dict[str, SimulationResult], kind: str) -> float:
+    key = f"{kind}.invalidations_sent"
+    return sum(r.counters.get(key, 0.0) for r in per_kernel.values())
+
+
+def coherence_text(
+    explorer: Optional[Explorer] = None,
+    data: Optional[Dict[str, Dict[str, Dict[str, SimulationResult]]]] = None,
+) -> str:
+    """The coherence figure as a text table, plus the Table V deltas.
+
+    One row per address space: total time (all six kernels) under no
+    protocol, snooping, and a directory; the percentage each protocol adds
+    over the protocol-free baseline; and the invalidations each generated.
+    A second table shows what access-mode declarations do to the Table V
+    communication-line counts — the programmability face of the same axis.
+    """
+    from repro.core.programmability import (
+        TABLE5_SPACE_ORDER,
+        table5_declared_dict,
+        table5_dict,
+    )
+
+    data = data if data is not None else coherence_data(explorer)
+    rows = []
+    for space in ("UNI", "PAS", "DIS", "ADSM"):
+        per_protocol = data[space]
+        totals = {
+            kind: sum(r.total_seconds for r in per_kernel.values())
+            for kind, per_kernel in per_protocol.items()
+        }
+        base = totals["none"]
+        rows.append(
+            (
+                space,
+                f"{base * 1e6:.1f}",
+                f"{totals['snoop'] * 1e6:.1f}",
+                f"{(totals['snoop'] / base - 1) * 100:+.2f}%",
+                f"{totals['directory'] * 1e6:.1f}",
+                f"{(totals['directory'] / base - 1) * 100:+.2f}%",
+                int(_protocol_invalidations(per_protocol["snoop"], "snoop")),
+                int(_protocol_invalidations(per_protocol["directory"], "directory")),
+            )
+        )
+    overhead = format_table(
+        ("space", "none us", "snoop us", "snoop d", "dir us", "dir d", "inv(s)", "inv(d)"),
+        rows,
+        title="Coherence overhead by address space "
+        "(six kernels, ideal communication, shared data staged)",
+    )
+
+    plain = table5_dict()
+    declared = table5_declared_dict()
+    delta_rows = []
+    for kernel in sorted(plain):
+        delta_rows.append(
+            (kernel,)
+            + tuple(
+                f"{plain[kernel][kind]} -> {declared[kernel][kind]}"
+                for kind in TABLE5_SPACE_ORDER
+            )
+        )
+    deltas = format_table(
+        ("kernel", "UNI", "PAS", "DIS", "ADSM"),
+        delta_rows,
+        title="Table V comm lines without -> with access declarations",
+    )
+    return overhead + "\n\n" + deltas
 
 
 def figure7_text(explorer: Optional[Explorer] = None) -> str:

@@ -18,7 +18,15 @@ obligations the configuration imposes:
   (``DIS002``);
 - **staleness** — under explicit shared locality, ranges written by one
   PU must be pushed (a transfer in the producer-to-consumer direction)
-  before the other PU reads them (``LOC001``).
+  before the other PU reads them (``LOC001``);
+- **coherence declarations** — when the configuration carries access-mode
+  declarations (a runtime that elides transfers from them), every
+  parallel-phase write must land in a declared write/reduce range
+  (``COH001``), and a reduce-declared range both PUs accumulate into must
+  be merged afterwards (``COH002``). Both findings are confirmed against
+  the operational executor: the stale read respectively the
+  multiple-outcome nondeterminism is actually reachable under the design
+  point's model (:func:`~repro.consistency.litmus.model_for_design`).
 
 Every pass is linear in the number of phases; the litmus confirmation
 runs the exhaustive executor only on 4-instruction programs, so checking
@@ -32,8 +40,8 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 from repro.check.config import CheckConfig
 from repro.check.findings import CheckReport, Finding
 from repro.check.rules import rule
-from repro.consistency.litmus import model_for
-from repro.consistency.model import is_allowed
+from repro.consistency.litmus import model_for, model_for_design
+from repro.consistency.model import allowed_outcomes, is_allowed
 from repro.consistency.ops import Load, Program, Store
 from repro.taxonomy import ProcessingUnit
 from repro.trace.phase import CommPhase, Direction, ParallelPhase, Segment, SequentialPhase
@@ -102,6 +110,18 @@ def _sb_hazard_allowed(config: CheckConfig) -> bool:
     return is_allowed(program, observation, model_for(config.consistency))
 
 
+def _reduce_declared(config: CheckConfig, a: Segment, b: Segment) -> bool:
+    """Whether the overlap of two segments lies inside a reduce-declared
+    range. Such concurrency is the intended reduction pattern — each PU
+    accumulates its own partials — so the RACE rules stand down there and
+    COH002 takes over (demanding the merge)."""
+    if not config.reduce_ranges:
+        return False
+    lo = max(a.base_addr, b.base_addr)
+    hi = min(_span(a)[1], _span(b)[1])
+    return any(start <= lo and hi <= end for start, end in config.reduce_ranges)
+
+
 def _check_races(trace: KernelTrace, config: CheckConfig) -> Iterable[Finding]:
     if not config.has_shared_window:
         # Overlapping virtual ranges name *different* memories under a
@@ -112,6 +132,8 @@ def _check_races(trace: KernelTrace, config: CheckConfig) -> Iterable[Finding]:
             continue
         cpu, gpu = phase.cpu, phase.gpu
         if not _overlaps(_span(cpu), _span(gpu)):
+            continue
+        if _reduce_declared(config, cpu, gpu):
             continue
         both = f"{cpu.label or 'cpu'}+{gpu.label or 'gpu'}"
         if _writes(cpu) and _writes(gpu):
@@ -293,9 +315,116 @@ def _check_staleness(trace: KernelTrace, config: CheckConfig) -> Iterable[Findin
                 )
 
 
+# -- COH: access-mode declaration discipline ----------------------------------
+
+
+def _stale_read_reachable(config: CheckConfig) -> bool:
+    """Litmus confirmation for COH001: compile the undeclared write to the
+    minimal producer/consumer exchange — a store the runtime was never told
+    about, read by the peer with nothing ordering the two — and ask the
+    executor whether the stale observation is reachable under the design
+    point's cross-PU model."""
+    program = Program(
+        threads={
+            ProcessingUnit.CPU: (Store("data", 1),),
+            ProcessingUnit.GPU: (Load("data", "r0"),),
+        }
+    )
+    model = model_for_design(config.consistency, config.coherence)
+    return is_allowed(program, {"r0": 0}, model)
+
+
+def _unmerged_reduce_nondeterministic(config: CheckConfig) -> bool:
+    """Litmus confirmation for COH002: both PUs store their partial into
+    the same reduce-declared location and then read it back with no merge
+    in between; the finding is real iff the executor reaches more than one
+    final valuation (the consumer's value depends on interleaving)."""
+    program = Program(
+        threads={
+            ProcessingUnit.CPU: (Store("acc", 1), Load("acc", "r0")),
+            ProcessingUnit.GPU: (Store("acc", 2), Load("acc", "r1")),
+        }
+    )
+    model = model_for_design(config.consistency, config.coherence)
+    return len(allowed_outcomes(program, model)) > 1
+
+
+def _check_coherence(trace: KernelTrace, config: CheckConfig) -> Iterable[Finding]:
+    if not config.has_declarations or not config.has_shared_window:
+        return
+    declared = tuple(config.declared_writes or ()) + tuple(config.reduce_ranges or ())
+
+    def covered(span: Tuple[int, int]) -> bool:
+        return any(lo <= span[0] and span[1] <= hi for lo, hi in declared)
+
+    # COH001 — every concurrent write must land in a declared range: the
+    # runtime elides invalidations for anything it was not told about.
+    for index, phase in enumerate(trace.phases):
+        if not isinstance(phase, ParallelPhase):
+            continue
+        for segment in (phase.cpu, phase.gpu):
+            if not _writes(segment) or segment.footprint_bytes == 0:
+                continue
+            span = _span(segment)
+            if covered(span):
+                continue
+            yield _finding(
+                "COH001",
+                trace,
+                index,
+                f"{segment.pu} writes [{span[0]:#x}..{span[1]:#x}) but no "
+                "access declaration covers it; the runtime keeps remote "
+                "copies of the range and the peer can read them stale",
+                segment=segment.label,
+                confirmed=_stale_read_reachable(config),
+            )
+
+    # COH002 — a reduce-declared range both PUs accumulate into must be
+    # merged (a sequential read of the partials, or a transfer gathering
+    # them) before the trace ends.
+    for span in config.reduce_ranges or ():
+        reduce_index: Optional[int] = None
+        merged = False
+        for index, phase in enumerate(trace.phases):
+            if isinstance(phase, ParallelPhase):
+                if (
+                    _writes(phase.cpu)
+                    and _writes(phase.gpu)
+                    and _overlaps(_span(phase.cpu), span)
+                    and _overlaps(_span(phase.gpu), span)
+                ):
+                    if reduce_index is None:
+                        reduce_index = index
+                    merged = False  # a new round of partials needs a new merge
+            elif reduce_index is not None and not merged:
+                if isinstance(phase, CommPhase):
+                    merged = True  # the transfer gathers the partials
+                elif isinstance(phase, SequentialPhase) and (
+                    _reads(phase.segment)
+                    and _overlaps(_span(phase.segment), span)
+                ):
+                    merged = True
+        if reduce_index is not None and not merged:
+            yield _finding(
+                "COH002",
+                trace,
+                reduce_index,
+                f"both PUs accumulate partials into reduce-declared range "
+                f"[{span[0]:#x}..{span[1]:#x}) but nothing ever merges "
+                "them; the final value depends on interleaving",
+                confirmed=_unmerged_reduce_nondeterministic(config),
+            )
+
+
 # -- entry points -------------------------------------------------------------
 
-_PASSES = (_check_races, _check_ownership, _check_transfers, _check_staleness)
+_PASSES = (
+    _check_races,
+    _check_ownership,
+    _check_transfers,
+    _check_staleness,
+    _check_coherence,
+)
 
 
 def check_trace(trace: KernelTrace, config: CheckConfig) -> CheckReport:

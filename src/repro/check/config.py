@@ -11,7 +11,7 @@ from a case study (no locality axis), a bare address-space kind
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.taxonomy import (
     AddressSpaceKind,
@@ -43,6 +43,14 @@ class CheckConfig:
     consistency: ConsistencyModel = ConsistencyModel.WEAK
     locality: Optional[LocalityScheme] = None
     name: str = ""
+    #: Byte ranges (half-open ``(lo, hi)``) the program declared it writes
+    #: (``declareAccess(..., write)``). ``None`` means the program carries
+    #: no declarations at all, and the COH rules stay inactive.
+    declared_writes: Optional[Tuple[Tuple[int, int], ...]] = None
+    #: Byte ranges declared ``reduce``: per-PU partials that a later merge
+    #: step combines. Concurrent writes inside one are the *intended*
+    #: pattern (no RACE finding), but a missing merge is COH002.
+    reduce_ranges: Optional[Tuple[Tuple[int, int], ...]] = None
 
     @classmethod
     def from_case_study(cls, case: "CaseStudy") -> "CheckConfig":
@@ -104,6 +112,11 @@ class CheckConfig:
             self.locality is not None
             and self.locality.shared_policy is LocalityPolicy.EXPLICIT
         )
+
+    @property
+    def has_declarations(self) -> bool:
+        """Whether the program declared its access modes (COH rules active)."""
+        return self.declared_writes is not None or self.reduce_ranges is not None
 
     @property
     def weak_consistency(self) -> bool:

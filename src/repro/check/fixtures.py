@@ -105,6 +105,23 @@ _PAS_EXPLICIT = CheckConfig(
     name="PAS/expl-shared",
 )
 
+_UNI_DECLARED = CheckConfig(
+    address_space=AddressSpaceKind.UNIFIED,
+    coherence=CoherenceKind.HARDWARE_SNOOP,
+    consistency=ConsistencyModel.WEAK,
+    name="UNI/snoop+decls",
+    declared_writes=((_BASE, _BASE + 4 * _KB),),
+)
+
+_UNI_REDUCE = CheckConfig(
+    address_space=AddressSpaceKind.UNIFIED,
+    coherence=CoherenceKind.HARDWARE_SNOOP,
+    consistency=ConsistencyModel.WEAK,
+    name="UNI/snoop+reduce",
+    declared_writes=(),
+    reduce_ranges=((_BASE, _BASE + 4 * _KB),),
+)
+
 
 def all_fixtures() -> Tuple[SeededViolation, ...]:
     """Every seeded violation, at least one per rule id."""
@@ -300,6 +317,48 @@ def all_fixtures() -> Tuple[SeededViolation, ...]:
             ),
             config=_PAS_EXPLICIT,
             description="the CPU reads GPU-produced data before any push",
+        ),
+        SeededViolation(
+            name="undeclared-write",
+            rule="COH001",
+            trace=KernelTrace(
+                name="seeded-undeclared-write",
+                phases=(
+                    _h2d(label="send"),
+                    ParallelPhase(
+                        label="sneaky-writer",
+                        cpu=_seg(ProcessingUnit.CPU, stores=8, label="declared-writer"),
+                        gpu=_seg(
+                            ProcessingUnit.GPU,
+                            stores=8,
+                            base=_BASE + 16 * _KB,
+                            label="undeclared-writer",
+                        ),
+                    ),
+                    _d2h(label="return"),
+                ),
+            ),
+            config=_UNI_DECLARED,
+            description="the GPU writes a range no access declaration covers, "
+            "so the runtime leaves remote copies of it intact",
+        ),
+        SeededViolation(
+            name="reduce-without-merge",
+            rule="COH002",
+            trace=KernelTrace(
+                name="seeded-unmerged-reduce",
+                phases=(
+                    _h2d(label="send"),
+                    ParallelPhase(
+                        label="accumulate",
+                        cpu=_seg(ProcessingUnit.CPU, stores=8, label="cpu-partials"),
+                        gpu=_seg(ProcessingUnit.GPU, stores=8, label="gpu-partials"),
+                    ),
+                ),
+            ),
+            config=_UNI_REDUCE,
+            description="both PUs accumulate into the reduce-declared range "
+            "but the trace ends without a merge step",
         ),
     )
 

@@ -8,7 +8,9 @@ Families follow the design-space axes of the paper:
 - ``CONS`` — hazards specific to weak consistency models (litmus-confirmed);
 - ``PAS`` — ownership discipline of the partially shared space (§II-A3);
 - ``DIS`` — explicit-transfer discipline of disjoint spaces (§II-A2);
-- ``LOC`` — staleness under explicit locality management (§II-B).
+- ``LOC`` — staleness under explicit locality management (§II-B);
+- ``COH`` — access-mode declaration discipline when a coherent runtime
+  elides transfers from the declared modes (the coherence axis).
 """
 
 from __future__ import annotations
@@ -113,6 +115,25 @@ _RULES: Tuple[Rule, ...] = (
         paper_section="§II-B (explicit locality management), push semantics",
         applies_to="design points whose shared level is explicitly managed",
         fix_hint="push (transfer) the producer's range before the remote read",
+    ),
+    Rule(
+        id="COH001",
+        title="undeclared write to coherent shared data",
+        severity=Severity.ERROR,
+        paper_section="Table I coherence column; declared-modes lowering",
+        applies_to="shared-window spaces whose runtime elides transfers "
+        "from access-mode declarations",
+        fix_hint="declare the written range (declareAccess(..., write)) so "
+        "the runtime invalidates or writes back remote copies",
+    ),
+    Rule(
+        id="COH002",
+        title="reduce-declared range is never merged",
+        severity=Severity.ERROR,
+        paper_section="Table I coherence column; declared-modes lowering",
+        applies_to="shared-window spaces with reduce-declared buffers",
+        fix_hint="add a merge step (a sequential phase reading the partials, "
+        "or a transfer gathering them) after the parallel reduction",
     ),
 )
 

@@ -150,9 +150,10 @@ def _cmd_table(args: argparse.Namespace) -> int:
 def _cmd_figure(args: argparse.Namespace) -> int:
     explorer = _explorer_from_args(args)
     builders = {
-        5: figures.figure5_text,
-        6: figures.figure6_text,
-        7: figures.figure7_text,
+        "5": figures.figure5_text,
+        "6": figures.figure6_text,
+        "7": figures.figure7_text,
+        "coherence": figures.coherence_text,
     }
     _out(builders[args.number](explorer))
     if args.stats:
@@ -356,6 +357,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         compare_to_baseline,
         format_bench,
         load_bench_json,
+        run_coherence_bench,
         run_hotpath_bench,
         run_sweep_bench,
         write_bench_json,
@@ -369,6 +371,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             case_name=args.case,
             kernels=args.kernel or None,
         )
+    if args.mode in ("coherence", "all"):
+        coherence_doc = run_coherence_bench(
+            scale=args.scale,
+            repeats=args.repeats,
+            case_name=args.case,
+            kernels=args.kernel or None,
+        )
+        if doc:
+            doc["coherence"] = coherence_doc["coherence"]
+        else:
+            doc = coherence_doc
     if args.mode in ("sweep", "all"):
         sweep_doc = run_sweep_bench(
             scale=args.sweep_scale,
@@ -583,8 +596,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_table.add_argument("number", type=int, choices=(1, 2, 3, 4, 5))
     p_table.set_defaults(func=_cmd_table)
 
-    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
-    p_fig.add_argument("number", type=int, choices=(5, 6, 7))
+    p_fig = sub.add_parser(
+        "figure",
+        help="regenerate a paper figure (5/6/7) or the coherence-overhead "
+        "figure ('coherence')",
+    )
+    p_fig.add_argument("number", choices=("5", "6", "7", "coherence"))
     _add_jobs_arg(p_fig)
     p_fig.set_defaults(func=_cmd_figure)
 
@@ -681,11 +698,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_bench.add_argument(
         "--mode",
-        choices=("hotpath", "sweep", "all"),
+        choices=("hotpath", "sweep", "coherence", "all"),
         default="hotpath",
         help="hotpath: legacy vs compiled per kernel; sweep: per-point vs "
-        "batched design-point axis on a rank-style workload; all: both "
-        "(default hotpath)",
+        "batched design-point axis on a rank-style workload; coherence: "
+        "protocol-on vs protocol-off simulation overhead; all: every "
+        "section (default hotpath)",
     )
     p_bench.add_argument(
         "--scale",
@@ -708,7 +726,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=3,
         metavar="N",
         help="sample every Nth feasible design point for the sweep "
-        "workload (default 3: ~486 of the 1457 points)",
+        "workload (default 3: ~645 of the 1933 points)",
     )
     p_bench.add_argument(
         "--repeats",

@@ -24,6 +24,7 @@ from repro.consistency.litmus import (
     LitmusTest,
     litmus_verdict,
     model_for,
+    model_for_design,
 )
 
 __all__ = [
@@ -37,4 +38,5 @@ __all__ = [
     "LITMUS_TESTS",
     "litmus_verdict",
     "model_for",
+    "model_for_design",
 ]

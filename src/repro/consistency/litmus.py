@@ -20,9 +20,15 @@ from typing import Dict, Tuple
 from repro.consistency.model import is_allowed
 from repro.consistency.ops import Fence, Load, Program, Store
 from repro.errors import SimulationError
-from repro.taxonomy import ConsistencyModel, ProcessingUnit
+from repro.taxonomy import CoherenceKind, ConsistencyModel, ProcessingUnit
 
-__all__ = ["LitmusTest", "LITMUS_TESTS", "litmus_verdict", "model_for"]
+__all__ = [
+    "LitmusTest",
+    "LITMUS_TESTS",
+    "litmus_verdict",
+    "model_for",
+    "model_for_design",
+]
 
 CPU, GPU = ProcessingUnit.CPU, ProcessingUnit.GPU
 
@@ -102,6 +108,22 @@ def model_for(consistency: ConsistencyModel) -> str:
     release) all permit store-buffering relaxations.
     """
     return "sc" if consistency is ConsistencyModel.STRONG else "weak"
+
+
+def model_for_design(
+    consistency: ConsistencyModel, coherence: CoherenceKind
+) -> str:
+    """Executor for a (consistency, coherence) design point.
+
+    A strong ordering only yields SC behaviour across PUs when a hardware
+    protocol actually keeps the shared window coherent; without one, a PU
+    can keep serving a stale cached copy — indistinguishable, to the other
+    PU, from a delayed store buffer. So the cross-PU model is ``"sc"`` only
+    for STRONG + hardware coherence, and ``"weak"`` everywhere else.
+    """
+    if consistency is ConsistencyModel.STRONG and coherence.hardware:
+        return "sc"
+    return "weak"
 
 
 def litmus_verdict(test_name: str, consistency: ConsistencyModel) -> bool:

@@ -61,10 +61,7 @@ class DesignPoint:
                 "the PCI aperture backs a shared window (partially shared or "
                 "virtually unified spaces, §II-A3)"
             )
-        if (
-            self.consistency is ConsistencyModel.STRONG
-            and self.coherence is not CoherenceKind.HARDWARE_DIRECTORY
-        ):
+        if self.consistency is ConsistencyModel.STRONG and not self.coherence.hardware:
             problems.append(
                 "strong consistency across PUs requires hardware coherence"
             )
@@ -92,7 +89,7 @@ class DesignPoint:
         if (
             self.comm is CommMechanism.PCIE
             and self.address_space is AddressSpaceKind.UNIFIED
-            and self.coherence is CoherenceKind.HARDWARE_DIRECTORY
+            and self.coherence.hardware
         ):
             notes.append("hardware coherence over PCI-E is very expensive")
         return tuple(notes)

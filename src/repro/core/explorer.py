@@ -35,6 +35,7 @@ from repro.locality.schemes import feasible_schemes
 from repro.obs.log import get_logger
 from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.sim.fast import FastSimulator
+from repro.sim.mmu import stage_shared_trace
 from repro.sim.results import SimulationResult
 from repro.taxonomy import AddressSpaceKind, CommMechanism
 
@@ -243,6 +244,62 @@ class Explorer:
             jobs, result_cache=self.result_cache, stage=stage
         )
 
+    # -- coherence-overhead experiment ----------------------------------------
+
+    def run_coherence_overhead(
+        self,
+        kernels: Optional[Sequence[Kernel]] = None,
+        spaces: Optional[Sequence[AddressSpaceKind]] = None,
+        protocols: Sequence[str] = ("none", "snoop", "directory"),
+    ) -> Dict[str, Dict[str, Dict[str, SimulationResult]]]:
+        """{space: {protocol: {kernel: result}}} — the coherence sweep.
+
+        For every address space the kernels are restaged so the data that
+        space actually shares lives in the shared window
+        (:func:`~repro.sim.mmu.stage_shared_trace`), then simulated in
+        detail (at :attr:`detailed_scale`, ideal communication, so protocol
+        traffic is the only variable) once per protocol variant. The
+        ``"none"`` column is the baseline each variant's overhead is
+        measured against; a disjoint space shares nothing, so its protocol
+        columns measure a true zero.
+        """
+        kernels = list(kernels or all_kernels())
+        spaces = list(spaces or AddressSpaceKind)
+        staged = {
+            space: {
+                kernel.name: stage_shared_trace(
+                    kernel.trace().scaled(self.detailed_scale), space
+                )
+                for kernel in kernels
+            }
+            for space in spaces
+        }
+        jobs = [
+            self._job(
+                staged[space][kernel.name],
+                mechanism=CommMechanism.IDEAL,
+                detailed=True,
+                coherence=protocol,
+                system_name=f"{space.short}/{protocol}",
+            )
+            for space in spaces
+            for protocol in protocols
+            for kernel in kernels
+        ]
+        flat = self._run_detailed_jobs(jobs, stage="coherence-overhead")
+        self.last_results = flat
+        results: Dict[str, Dict[str, Dict[str, SimulationResult]]] = {}
+        index = 0
+        for space in spaces:
+            per_protocol: Dict[str, Dict[str, SimulationResult]] = {}
+            for protocol in protocols:
+                per_protocol[protocol] = {
+                    kernel.name: flat[index + k] for k, kernel in enumerate(kernels)
+                }
+                index += len(kernels)
+            results[space.short] = per_protocol
+        return results
+
     # -- Figure 5 / Figure 6 -------------------------------------------------
 
     def run_case_studies(
@@ -347,7 +404,7 @@ class Explorer:
         """Table V's total comm-handling lines per address space.
 
         Constant for a given repo state, but derived by lowering every
-        program spec — expensive enough that ranking 1457 points must not
+        program spec — expensive enough that ranking 1933 points must not
         recompute it per point.
         """
         table5 = table5_dict()

@@ -12,10 +12,23 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.progmodel.lowering import lower
-from repro.progmodel.spec import KernelProgramSpec, all_program_specs, program_spec
+from repro.progmodel.spec import (
+    KernelProgramSpec,
+    access_modes,
+    all_program_specs,
+    program_spec,
+)
 from repro.taxonomy import AddressSpaceKind
 
-__all__ = ["TABLE5_SPACE_ORDER", "table5_rows", "table5_dict", "programmability_rank"]
+__all__ = [
+    "TABLE5_SPACE_ORDER",
+    "table5_rows",
+    "table5_dict",
+    "table5_declared_rows",
+    "table5_declared_dict",
+    "declaration_savings",
+    "programmability_rank",
+]
 
 #: Column order of the paper's Table V.
 TABLE5_SPACE_ORDER: Tuple[AddressSpaceKind, ...] = (
@@ -62,6 +75,59 @@ def table5_dict() -> Dict[str, Dict[AddressSpaceKind, int]]:
     return {
         spec.name: {kind: lower(spec, kind).comm_lines() for kind in TABLE5_SPACE_ORDER}
         for spec in all_program_specs()
+    }
+
+
+def table5_declared_rows() -> List[Tuple[str, int, int, int, int, int]]:
+    """Table V recomputed with access-mode declarations.
+
+    Same row/column layout as :func:`table5_rows`, but every kernel is
+    lowered with its :func:`~repro.progmodel.spec.access_modes` map: with N
+    shared buffers the counts become UNI N, PAS 2+N, DIS 3·buffers+N,
+    ADSM N. Comparing the two tables is the programmability side of the
+    coherence study — declarations buy the most where the undeclared
+    boilerplate scales with call sites or buffers, and buy nothing (cost a
+    line per buffer) where copies are physically required.
+    """
+    rows = []
+    for name in TABLE5_KERNEL_ORDER:
+        spec = program_spec(name)
+        modes = access_modes(spec)
+        counts = {
+            kind: lower(spec, kind, modes).comm_lines()
+            for kind in TABLE5_SPACE_ORDER
+        }
+        rows.append(
+            (
+                name,
+                spec.computation_lines,
+                counts[AddressSpaceKind.UNIFIED],
+                counts[AddressSpaceKind.PARTIALLY_SHARED],
+                counts[AddressSpaceKind.DISJOINT],
+                counts[AddressSpaceKind.ADSM],
+            )
+        )
+    return rows
+
+
+def table5_declared_dict() -> Dict[str, Dict[AddressSpaceKind, int]]:
+    """{kernel: {space: comm lines}} under access-mode declarations."""
+    return {
+        spec.name: {
+            kind: lower(spec, kind, access_modes(spec)).comm_lines()
+            for kind in TABLE5_SPACE_ORDER
+        }
+        for spec in all_program_specs()
+    }
+
+
+def declaration_savings() -> Dict[AddressSpaceKind, int]:
+    """Total comm lines saved (negative: added) by declarations, per space."""
+    plain = table5_dict()
+    declared = table5_declared_dict()
+    return {
+        kind: sum(plain[name][kind] - declared[name][kind] for name in plain)
+        for kind in TABLE5_SPACE_ORDER
     }
 
 

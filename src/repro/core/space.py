@@ -21,7 +21,7 @@ class DesignSpace:
     """The cross product of all design axes, with feasibility filtering.
 
     >>> space = DesignSpace()
-    >>> space.total_points() == (4 * 6 * 8 * 5 * 4)
+    >>> space.total_points() == (4 * 6 * 8 * 6 * 4)
     True
     """
 

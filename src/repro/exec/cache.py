@@ -2,7 +2,7 @@
 
 Exploration workloads re-evaluate the same (kernel, channel, address space)
 combinations constantly: ranking the full feasible design space simulates
-1457 points, but only a few dozen distinct simulations exist because a
+1933 points, but only a few dozen distinct simulations exist because a
 point's performance depends only on its communication mechanism and address
 space. Likewise every figure regenerates the same six default kernel traces.
 These caches memoize both layers:

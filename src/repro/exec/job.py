@@ -26,7 +26,7 @@ from repro.config.system import SystemConfig
 from repro.comm.base import CommChannel, make_channel
 from repro.faults.spec import FaultPlan
 from repro.sim.results import SimulationResult
-from repro.taxonomy import AddressSpaceKind, CommMechanism
+from repro.taxonomy import AddressSpaceKind, CoherenceKind, CommMechanism
 
 __all__ = ["SimJob", "run_sim_job"]
 
@@ -63,6 +63,12 @@ class SimJob:
     fault_plan: Optional[FaultPlan] = None
     fault_attempt: int = 0
     detailed: bool = False
+    #: Coherence-protocol override for the run (``"none" | "snoop" |
+    #: "directory"`` or a :class:`~repro.taxonomy.CoherenceKind`). Detailed
+    #: jobs build the machine with that protocol; fast jobs publish the
+    #: analytic ``coherence.estimated_*`` counters. ``None`` keeps the
+    #: historical behaviour (derive from the case study, detailed only).
+    coherence: "str | CoherenceKind | None" = None
 
     def __post_init__(self) -> None:
         selectors = sum(
@@ -128,6 +134,7 @@ class SimJob:
                 self.system,
                 self.comm_params,
                 self.detailed,
+                self.coherence,
             )
             hash(key)
         except TypeError:
@@ -189,6 +196,7 @@ def run_sim_job(job: SimJob) -> SimulationResult:
                 channel=build_channel(),
                 address_space=job.address_space,
                 system_name=system_name,
+                coherence=job.coherence,
             )
         except SimulationError:
             # Graceful degradation: the fast model prices the same trace
@@ -200,6 +208,7 @@ def run_sim_job(job: SimJob) -> SimulationResult:
                 channel=build_channel(),
                 address_space=job.address_space,
                 system_name=system_name,
+                coherence=job.coherence,
             )
             return dc_replace(result, degraded=True)
 
@@ -209,4 +218,5 @@ def run_sim_job(job: SimJob) -> SimulationResult:
         channel=build_channel(),
         address_space=job.address_space,
         system_name=system_name,
+        coherence=job.coherence,
     )

@@ -75,6 +75,7 @@ def point_for_job(job: SimJob) -> Optional[SweepPoint]:
         system_name=job.system_name,
         system=job.system,
         comm_params=job.comm_params,
+        coherence=job.coherence,
     )
 
 

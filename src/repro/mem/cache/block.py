@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.mem.coherence.protocol import MESIState, reset_block_state
+
 __all__ = ["CacheBlock"]
 
 
@@ -15,6 +17,11 @@ class CacheBlock:
     placed by an explicit ``push`` (or an explicitly-managed allocation),
     and consulted by :class:`~repro.mem.cache.replacement.HybridLocalityPolicy`
     so implicitly cached data cannot evict explicitly managed data.
+
+    ``state`` is the MESI coherence state, owned entirely by
+    :mod:`repro.mem.coherence`: it stays ``INVALID`` unless a
+    :class:`~repro.mem.coherence.api.CoherenceProtocol` manages the cache,
+    and only that package may assign it (repo lint rule L004).
     """
 
     tag: int = -1
@@ -23,6 +30,7 @@ class CacheBlock:
     explicit: bool = False
     prefetched: bool = False
     last_use: int = 0
+    state: MESIState = MESIState.INVALID
 
     def fill(self, tag: int, tick: int, explicit: bool, prefetched: bool = False) -> None:
         """Install a new line in this block."""
@@ -32,6 +40,7 @@ class CacheBlock:
         self.explicit = explicit
         self.prefetched = prefetched
         self.last_use = tick
+        reset_block_state(self)
 
     def invalidate(self) -> None:
         self.tag = -1
@@ -39,3 +48,4 @@ class CacheBlock:
         self.dirty = False
         self.explicit = False
         self.prefetched = False
+        reset_block_state(self)

@@ -365,6 +365,20 @@ class Cache(MemoryLevel):
         index, tag = self._index_tag(addr)
         return tag in self._tags[index]
 
+    def block_for(self, addr: int) -> Optional[CacheBlock]:
+        """The resident block holding ``addr``, or ``None``.
+
+        A read-only lookup for the coherence layer: the protocol package
+        mirrors its per-line MESI state onto the block it returns (block
+        state mutation itself is confined to ``repro.mem.coherence``,
+        lint rule L004).
+        """
+        index, tag = self._index_tag(addr)
+        way = self._tags[index].get(tag)
+        if way is None:
+            return None
+        return self._sets[index][way]
+
     def is_explicit(self, addr: int) -> bool:
         """Whether the resident line holding ``addr`` carries the locality bit."""
         index, tag = self._index_tag(addr)

@@ -1,8 +1,10 @@
 """A two-PU directory over the shared address window, plus software coherence.
 
 The paper's shared-space options keep coherent data either with hardware
-coherence (directory) or "purely by software coherence support" (a runtime
-that flushes/invalidates at synchronization points). Both appear here:
+coherence (directory or snooping — see
+:mod:`repro.mem.coherence.snoop`) or "purely by software coherence
+support" (a runtime that flushes/invalidates at synchronization points).
+Both appear here:
 
 - :class:`Directory` tracks MESI state per line per PU, tells the system
   when to invalidate the peer's private copies, and counts protocol
@@ -14,51 +16,53 @@ that flushes/invalidates at synchronization points). Both appear here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, Tuple
+from typing import Dict
 
-from repro.errors import SimulationError
-from repro.mem.coherence.protocol import MESIState, next_state, remote_state_on_snoop
+from repro.mem.coherence.api import CoherenceAction, CoherenceProtocol
+from repro.mem.coherence.protocol import MESIState
+from repro.obs.metrics import MetricRegistry
 from repro.taxonomy import ProcessingUnit
 
 __all__ = ["Directory", "SoftwareCoherence", "CoherenceAction"]
 
 
-@dataclass(frozen=True)
-class CoherenceAction:
-    """What the system must do for one shared-space access.
-
-    ``invalidate_peer``: remove the peer PU's private copies of the line.
-    ``extra_latency_messages``: protocol messages on the critical path
-    (each costs one interconnect traversal).
-    """
-
-    invalidate_peer: bool
-    extra_latency_messages: int
-
-
-class Directory:
-    """Per-line MESI bookkeeping for the two PUs.
+class Directory(CoherenceProtocol):
+    """Per-line MESI bookkeeping for the two PUs behind a sharer directory.
 
     The directory is *not* a MemoryLevel: the system model consults it on
     each shared-space access and applies the returned action (invalidating
     peer caches, charging message latency).
     """
 
+    kind = "directory"
+
     def __init__(self, line_bytes: int = 64) -> None:
-        if line_bytes <= 0 or line_bytes & (line_bytes - 1):
-            raise SimulationError("line size must be a positive power of two")
-        self.line_bytes = line_bytes
-        self._state: Dict[Tuple[int, ProcessingUnit], MESIState] = {}
-        self.invalidations_sent = 0
-        self.downgrades = 0
-        self.upgrades = 0
+        super().__init__(line_bytes)
+        self._invalidations_sent = self.metrics.counter(
+            "invalidations_sent",
+            unit="lines",
+            description="peer copies invalidated on behalf of a writer",
+        )
+        self._downgrades = self.metrics.counter(
+            "downgrades", unit="lines", description="remote M/E copies demoted to S"
+        )
+        self._upgrades = self.metrics.counter(
+            "upgrades", unit="lines", description="local S copies promoted to M"
+        )
 
-    def _line(self, addr: int) -> int:
-        return addr & ~(self.line_bytes - 1)
+    # -- counter views ------------------------------------------------------
 
-    def state_of(self, addr: int, pu: ProcessingUnit) -> MESIState:
-        return self._state.get((self._line(addr), pu), MESIState.INVALID)
+    @property
+    def invalidations_sent(self) -> int:
+        return self._invalidations_sent.value
+
+    @property
+    def downgrades(self) -> int:
+        return self._downgrades.value
+
+    @property
+    def upgrades(self) -> int:
+        return self._upgrades.value
 
     def access(self, addr: int, pu: ProcessingUnit, is_write: bool) -> CoherenceAction:
         """Record an access and return the required action."""
@@ -71,55 +75,21 @@ class Directory:
         messages = 0
         if local is MESIState.INVALID:
             messages += 1  # directory lookup / fetch permission
-        new_local, invalidate = next_state(local, is_write, others)
+        new_local, invalidate = self._apply(
+            line, pu, peer, is_write, local, remote, others
+        )
         if invalidate:
-            self.invalidations_sent += 1
+            self._invalidations_sent.inc()
             messages += 2  # invalidate + ack
         if others and not is_write and remote in (MESIState.MODIFIED, MESIState.EXCLUSIVE):
-            self.downgrades += 1
+            self._downgrades.inc()
             messages += 1  # writeback / share request
-        if local in (MESIState.SHARED,) and new_local is MESIState.MODIFIED:
-            self.upgrades += 1
-
-        new_remote = remote_state_on_snoop(remote, is_write) if others else remote
-        self._state[(line, pu)] = new_local
-        if others:
-            if new_remote is MESIState.INVALID:
-                self._state.pop((line, peer), None)
-            else:
-                self._state[(line, peer)] = new_remote
+        if local is MESIState.SHARED and new_local is MESIState.MODIFIED:
+            self._upgrades.inc()
         return CoherenceAction(
             invalidate_peer=invalidate,
             extra_latency_messages=messages,
         )
-
-    def sharers(self, addr: int) -> Tuple[ProcessingUnit, ...]:
-        line = self._line(addr)
-        return tuple(
-            pu
-            for pu in ProcessingUnit
-            if self._state.get((line, pu), MESIState.INVALID) is not MESIState.INVALID
-        )
-
-    def check_invariants(self) -> None:
-        """Raise if the single-writer invariant is violated anywhere."""
-        lines: Dict[int, list] = {}
-        for (line, pu), state in self._state.items():
-            lines.setdefault(line, []).append(state)
-        for line, states in lines.items():
-            writers = sum(1 for s in states if s in (MESIState.MODIFIED, MESIState.EXCLUSIVE))
-            if writers > 1 or (writers == 1 and len(states) > 1):
-                raise SimulationError(
-                    f"coherence invariant violated on line {line:#x}: {states}"
-                )
-
-    def stats(self) -> Dict[str, int]:
-        return {
-            "invalidations_sent": self.invalidations_sent,
-            "downgrades": self.downgrades,
-            "upgrades": self.upgrades,
-            "tracked_lines": len({line for (line, _pu) in self._state}),
-        }
 
 
 class SoftwareCoherence:
@@ -133,8 +103,21 @@ class SoftwareCoherence:
     def __init__(self, line_bytes: int = 64) -> None:
         self.line_bytes = line_bytes
         self._dirty: Dict[ProcessingUnit, set] = {pu: set() for pu in ProcessingUnit}
-        self.syncs = 0
-        self.lines_flushed = 0
+        self.metrics = MetricRegistry("coherence.software")
+        self._syncs = self.metrics.counter(
+            "syncs", unit="events", description="synchronization points serviced"
+        )
+        self._lines_flushed = self.metrics.counter(
+            "lines_flushed", unit="lines", description="dirty shared lines written back"
+        )
+
+    @property
+    def syncs(self) -> int:
+        return self._syncs.value
+
+    @property
+    def lines_flushed(self) -> int:
+        return self._lines_flushed.value
 
     def record_write(self, addr: int, pu: ProcessingUnit) -> None:
         self._dirty[pu].add(addr & ~(self.line_bytes - 1))
@@ -146,9 +129,13 @@ class SoftwareCoherence:
         """Synchronize ``pu``'s shared writes; returns lines flushed."""
         flushed = len(self._dirty[pu])
         self._dirty[pu].clear()
-        self.syncs += 1
-        self.lines_flushed += flushed
+        self._syncs.inc()
+        if flushed:
+            self._lines_flushed.inc(flushed)
         return flushed
 
     def stats(self) -> Dict[str, int]:
-        return {"syncs": self.syncs, "lines_flushed": self.lines_flushed}
+        return self.metrics.as_dict()
+
+    def reset_stats(self) -> None:
+        self.metrics.reset()

@@ -1,0 +1,97 @@
+"""Broadcast (bus-snooping) coherence over the shared address window.
+
+Where the :class:`~repro.mem.coherence.directory.Directory` pays
+indirection — a lookup message on cold accesses and an explicit
+invalidate/ack pair on conflicting writes — a snooping bus announces every
+cold access and every upgrade to the peer directly. The trade the sweep
+exposes:
+
+- snoop pays a broadcast probe on **every** cold access (plus a data
+  response whenever the peer holds the line), so read-shared working sets
+  cost more than under a directory;
+- conflicts resolve in the broadcast itself (bus order is the
+  acknowledgement), so invalidating writes and S→M upgrades cost *fewer*
+  messages than the directory's three-hop exchange.
+"""
+
+from __future__ import annotations
+
+from repro.mem.coherence.api import CoherenceAction, CoherenceProtocol
+from repro.mem.coherence.protocol import MESIState
+from repro.taxonomy import ProcessingUnit
+
+__all__ = ["SnoopBus"]
+
+
+class SnoopBus(CoherenceProtocol):
+    """MESI kept coherent by broadcast probes on a shared bus."""
+
+    kind = "snoop"
+
+    def __init__(self, line_bytes: int = 64) -> None:
+        super().__init__(line_bytes)
+        self._broadcasts = self.metrics.counter(
+            "broadcasts", unit="messages", description="bus probes announced to the peer"
+        )
+        self._snoop_hits = self.metrics.counter(
+            "snoop_hits", unit="messages", description="probes answered from a peer copy"
+        )
+        self._invalidations_sent = self.metrics.counter(
+            "invalidations_sent",
+            unit="lines",
+            description="peer copies invalidated by a broadcast",
+        )
+        self._upgrades = self.metrics.counter(
+            "upgrades", unit="lines", description="S->M upgrades announced on the bus"
+        )
+
+    # -- counter views (mirroring Directory's attribute surface) -----------
+
+    @property
+    def broadcasts(self) -> int:
+        return self._broadcasts.value
+
+    @property
+    def snoop_hits(self) -> int:
+        return self._snoop_hits.value
+
+    @property
+    def invalidations_sent(self) -> int:
+        return self._invalidations_sent.value
+
+    @property
+    def upgrades(self) -> int:
+        return self._upgrades.value
+
+    def access(self, addr: int, pu: ProcessingUnit, is_write: bool) -> CoherenceAction:
+        """Record an access and return the required action."""
+        line = self._line(addr)
+        peer = pu.other
+        local = self._state.get((line, pu), MESIState.INVALID)
+        remote = self._state.get((line, peer), MESIState.INVALID)
+        others = remote is not MESIState.INVALID
+
+        messages = 0
+        if local is MESIState.INVALID:
+            # Cold access: probe the bus; a holding peer supplies the line.
+            self._broadcasts.inc()
+            messages += 1
+            if others:
+                self._snoop_hits.inc()
+                messages += 1
+        elif is_write and local is MESIState.SHARED:
+            # Upgrade broadcast; bus order acknowledges it implicitly.
+            self._broadcasts.inc()
+            messages += 1
+
+        new_local, invalidate = self._apply(
+            line, pu, peer, is_write, local, remote, others
+        )
+        if invalidate:
+            # The kill rode the broadcast — no separate invalidate/ack pair.
+            self._invalidations_sent.inc()
+        if local is MESIState.SHARED and new_local is MESIState.MODIFIED:
+            self._upgrades.inc()
+        return CoherenceAction(
+            invalidate_peer=invalidate, extra_latency_messages=messages
+        )

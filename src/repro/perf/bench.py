@@ -18,10 +18,16 @@ through ``DetailedSimulator(compiled=True)`` and once as one
 are asserted equal before either timing is reported, so the recorded
 speedup is only ever for bit-identical output.
 
-Comparisons against a stored baseline use the *speedup ratio*, not raw
-wall-clock — absolute seconds differ across machines, but legacy and
-compiled run on the same machine in the same process, so their ratio
-travels well.
+A third mode, :func:`run_coherence_bench`, measures what the coherence
+axis costs the simulator itself: every kernel trace staged into the
+shared window and run through the compiled path with protocol modeling
+off (``coherence="none"``) and once per hardware protocol. The recorded
+*slowdown* ratio bounds what a sweep pays for turning the axis on.
+
+Comparisons against a stored baseline use the *speedup ratio* (or, for
+the coherence section, the slowdown ratio), not raw wall-clock —
+absolute seconds differ across machines, but both sides of each ratio
+run on the same machine in the same process, so the ratio travels well.
 """
 
 from __future__ import annotations
@@ -42,6 +48,7 @@ __all__ = [
     "SCHEMA",
     "run_hotpath_bench",
     "run_sweep_bench",
+    "run_coherence_bench",
     "format_bench",
     "compare_to_baseline",
     "write_bench_json",
@@ -60,6 +67,9 @@ FIDELITIES = (("serial", False), ("interleaved", True))
 SWEEP_KERNELS = ("reduction", "k-mean")
 SWEEP_SCALE = 0.01
 SWEEP_STRIDE = 3
+
+#: Hardware protocols measured by the coherence mode, in report order.
+COHERENCE_PROTOCOLS = ("snoop", "directory")
 
 
 def _geomean(values: Sequence[float]) -> float:
@@ -154,6 +164,90 @@ def run_hotpath_bench(
     }
 
 
+def _time_coherent(trace, case, coherence: str, repeats: int, compile_cache):
+    """Best-of-N wall clock (and that run's result) for one protocol cell."""
+    best = math.inf
+    result = None
+    for _ in range(repeats):
+        sim = DetailedSimulator(compiled=True, compile_cache=compile_cache)
+        start = time.perf_counter()
+        out = sim.run(trace, case=case, coherence=coherence)
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best, result = elapsed, out
+    return best, result
+
+
+def run_coherence_bench(
+    scale: float = 0.05,
+    repeats: int = 1,
+    case_name: str = "CPU+GPU",
+    kernels: Optional[Sequence[str]] = None,
+) -> Dict:
+    """Benchmark protocol-on vs protocol-off simulation; returns a document.
+
+    Every kernel trace is staged into the shared window with the unified
+    layout (so the protocol sees the whole working set — the worst case
+    for bookkeeping cost) and run through the compiled
+    ``DetailedSimulator`` once with coherence modeling off
+    (``coherence="none"``) and once per hardware protocol. The recorded
+    *slowdown* ratio (protocol-on wall clock over protocol-off) is what
+    travels to the baseline: it bounds what enabling the coherence axis
+    costs a sweep, independent of the machine's absolute speed.
+    """
+    if scale <= 0:
+        raise ConfigError(f"bench scale must be positive, got {scale}")
+    if repeats < 1:
+        raise ConfigError(f"bench repeats must be >= 1, got {repeats}")
+    from repro.sim.mmu import stage_shared_trace
+    from repro.taxonomy import AddressSpaceKind
+
+    case = case_study(case_name)
+    if kernels:
+        selected = [kernel(name) for name in kernels]
+    else:
+        selected = list(all_kernels())
+    compile_cache = SegmentCompileCache()
+    rows: Dict[str, Dict] = {}
+    for k in selected:
+        trace = stage_shared_trace(
+            k.build().scaled(scale), AddressSpaceKind.UNIFIED
+        )
+        # Warm the compile cache off the clock; coherence runs reuse the
+        # same compiled segments, so one warm pass covers every cell.
+        DetailedSimulator(compiled=True, compile_cache=compile_cache).run(
+            trace, case=case, coherence="none"
+        )
+        off_seconds, _ = _time_coherent(trace, case, "none", repeats, compile_cache)
+        protocols: Dict[str, Dict] = {}
+        for kind in COHERENCE_PROTOCOLS:
+            seconds, result = _time_coherent(trace, case, kind, repeats, compile_cache)
+            protocols[kind] = {
+                "seconds": seconds,
+                "slowdown": seconds / off_seconds if off_seconds > 0 else 0.0,
+                "invalidations": result.counters.get(
+                    f"{kind}.invalidations_sent", 0.0
+                ),
+            }
+        rows[k.name] = {"off_seconds": off_seconds, "protocols": protocols}
+
+    return {
+        "schema": SCHEMA,
+        "coherence": {
+            "scale": scale,
+            "repeats": repeats,
+            "case": case.name,
+            "kernels": rows,
+            "geomean_slowdown": {
+                kind: _geomean(
+                    [row["protocols"][kind]["slowdown"] for row in rows.values()]
+                )
+                for kind in COHERENCE_PROTOCOLS
+            },
+        },
+    }
+
+
 def _rank_style_points(stride: int) -> List:
     """A stride sample of the feasible design space as sweep points.
 
@@ -186,7 +280,7 @@ def run_sweep_bench(
     """Benchmark the batched design-point axis; returns a bench document.
 
     The workload is rank-style: every ``stride``-th feasible design point
-    of the full space (stride 3 samples ~486 of the 1457 points), each
+    of the full space (stride 3 samples ~645 of the 1933 points), each
     kernel's trace evaluated against all of them — once per point through
     ``DetailedSimulator(compiled=True)`` (the single-point compiled path)
     and once as a single :class:`~repro.perf.sweep.SweepSimulator` pass.
@@ -313,6 +407,34 @@ def format_bench(doc: Dict) -> str:
                 ),
             )
         )
+    coherence = doc.get("coherence")
+    if coherence is not None:
+        kinds = [k for k in COHERENCE_PROTOCOLS if k in coherence["geomean_slowdown"]]
+        rows = []
+        for kernel_name, cell in coherence["kernels"].items():
+            row = [kernel_name, f"{cell['off_seconds']:.3f}"]
+            for kind in kinds:
+                proto = cell["protocols"][kind]
+                row.append(f"{proto['seconds']:.3f}")
+                row.append(f"{proto['slowdown']:.2f}x")
+            rows.append(tuple(row))
+        headers = ("kernel", "off s") + tuple(
+            h for kind in kinds for h in (f"{kind} s", f"{kind} x")
+        )
+        geomeans = ", ".join(
+            f"{kind} {coherence['geomean_slowdown'][kind]:.2f}x" for kind in kinds
+        )
+        lines.append(
+            format_table(
+                headers,
+                rows,
+                title=(
+                    f"Coherence protocol overhead — compiled path, shared "
+                    f"staging (scale {coherence['scale']:g}, geomean "
+                    f"slowdown {geomeans})"
+                ),
+            )
+        )
     sweep = doc.get("sweep")
     if sweep is not None:
         rows = [
@@ -374,6 +496,27 @@ def compare_to_baseline(
                         f"{name}/{kernel_name}: speedup {cur_cell['speedup']:.2f}x "
                         f"fell below {floor:.2f}x "
                         f"(baseline {base_cell['speedup']:.2f}x - {tolerance:.0%})"
+                    )
+    if current.get("coherence") and baseline.get("coherence"):
+        cur_rows = current["coherence"].get("kernels", {})
+        for kernel_name, base_cell in baseline["coherence"].get("kernels", {}).items():
+            cur_cell = cur_rows.get(kernel_name)
+            if cur_cell is None:
+                problems.append(f"coherence/{kernel_name}: missing from current run")
+                continue
+            for kind, base_proto in base_cell.get("protocols", {}).items():
+                cur_proto = cur_cell.get("protocols", {}).get(kind)
+                if cur_proto is None:
+                    problems.append(
+                        f"coherence/{kernel_name}/{kind}: missing from current run"
+                    )
+                    continue
+                ceiling = base_proto["slowdown"] * (1.0 + tolerance)
+                if cur_proto["slowdown"] > ceiling:
+                    problems.append(
+                        f"coherence/{kernel_name}/{kind}: slowdown "
+                        f"{cur_proto['slowdown']:.2f}x rose above {ceiling:.2f}x "
+                        f"(baseline {base_proto['slowdown']:.2f}x + {tolerance:.0%})"
                     )
     if current.get("sweep") and baseline.get("sweep"):
         cur_rows = current["sweep"].get("kernels", {})

@@ -41,6 +41,7 @@ from repro.config.system import SystemConfig
 from repro.comm.base import make_channel
 from repro.errors import SimulationError
 from repro.mem.cache.replacement import ReplacementPolicy
+from repro.mem.coherence.api import resolve_protocol_kind
 from repro.perf.compiled import SHARED_COMPILE_CACHE, SegmentCompileCache
 from repro.sim.cpu.core import run_compiled_batch as cpu_run_compiled_batch
 from repro.sim.engine import run_parallel_interleaved
@@ -83,6 +84,10 @@ class SweepPoint:
     system_name: Optional[str] = None
     system: Optional[SystemConfig] = None
     comm_params: Optional[CommParams] = None
+    #: Coherence-protocol override (``"none" | "snoop" | "directory"`` or a
+    #: :class:`~repro.taxonomy.CoherenceKind`); ``None`` derives from the
+    #: case study, matching :meth:`repro.sim.detailed.DetailedSimulator.run`.
+    coherence: "str | CoherenceKind | None" = None
 
     def __post_init__(self) -> None:
         selectors = sum(x is not None for x in (self.case, self.mechanism))
@@ -97,12 +102,23 @@ class SweepPoint:
             self.case and self.case.coherence is CoherenceKind.HARDWARE_DIRECTORY
         )
 
+    @property
+    def protocol_kind(self) -> str:
+        """The protocol variant this point's machine is built with."""
+        if self.coherence is not None:
+            return resolve_protocol_kind(self.coherence)
+        if self.case is not None:
+            return self.case.coherence.protocol
+        return "none"
+
     def timing_key(self) -> Tuple:
         """Everything that can affect this point's timing — the dedup key.
 
         Excludes ``system_name``, exactly like
         :meth:`repro.exec.job.SimJob.cache_key`: two points equal up to the
         label share one simulation and the result is re-labeled on scatter.
+        The coherence override enters as its *resolved* protocol kind, so
+        spelling the case's own kind explicitly still dedups.
         """
         return (
             self.case,
@@ -111,6 +127,7 @@ class SweepPoint:
             self.address_space,
             self.system,
             self.comm_params,
+            self.protocol_kind,
         )
 
     def label(self) -> str:
@@ -210,7 +227,7 @@ class BatchedDesignPoints:
         for position, index in enumerate(self.distinct):
             point = self.points[index]
             system, params = self.resolved(point)
-            key = (system, point.address_space, point.hardware_coherence)
+            key = (system, point.address_space, point.protocol_kind)
             grouped.setdefault(key, []).append(position)
         return list(grouped.values())
 
@@ -306,7 +323,7 @@ class SweepSimulator:
         cpu_freq = system.cpu.frequency
         gpu_freq = system.gpu.frequency
         space_kind = points[0].address_space
-        hardware_coherence = points[0].hardware_coherence
+        protocol_kind = points[0].protocol_kind
 
         channels = []
         for point in points:
@@ -346,7 +363,7 @@ class SweepSimulator:
             build_machine(
                 system,
                 l3_policy=self.l3_policy,
-                hardware_coherence=hardware_coherence,
+                coherence=protocol_kind,
                 l1_prefetch=self.l1_prefetch,
                 gpu_mode=self.gpu_mode,
             )

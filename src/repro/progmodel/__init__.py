@@ -23,6 +23,8 @@ accesses in the generated code are caught by the substrate.
 """
 
 from repro.progmodel.ast import (
+    AccessDecl,
+    AccessMode,
     AcquireOwnership,
     Alloc,
     Comment,
@@ -39,6 +41,7 @@ from repro.progmodel.spec import (
     BufferDirection,
     BufferSpec,
     KernelProgramSpec,
+    access_modes,
     program_spec,
     all_program_specs,
 )
@@ -57,10 +60,13 @@ __all__ = [
     "Push",
     "Sync",
     "Comment",
+    "AccessMode",
+    "AccessDecl",
     "Program",
     "BufferDirection",
     "BufferSpec",
     "KernelProgramSpec",
+    "access_modes",
     "program_spec",
     "all_program_specs",
     "lower",

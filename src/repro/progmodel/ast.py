@@ -9,6 +9,7 @@ data communication and data handling operations").
 from __future__ import annotations
 
 import abc
+import enum
 from dataclasses import dataclass, field
 from typing import Tuple
 
@@ -27,7 +28,27 @@ __all__ = [
     "KernelLaunch",
     "Push",
     "Sync",
+    "AccessMode",
+    "AccessDecl",
 ]
+
+
+class AccessMode(enum.Enum):
+    """How a kernel accesses a shared buffer, as declared to the runtime.
+
+    Declarations let a coherent runtime elide transfers and invalidations:
+    a ``READ`` buffer never needs write-back, a ``WRITE`` buffer's remote
+    copies are invalidated once (not per transfer round-trip), and a
+    ``REDUCE`` buffer holds per-PU partials that only the merge step
+    combines — no coherence traffic until then.
+    """
+
+    READ = "read"
+    WRITE = "write"
+    REDUCE = "reduce"
+
+    def __str__(self) -> str:
+        return self.value
 
 
 class Stmt(abc.ABC):
@@ -194,6 +215,25 @@ class Push(Stmt):
 
     def render(self) -> str:
         return f"push({self.name}, {self.level});"
+
+
+@dataclass(frozen=True)
+class AccessDecl(Stmt):
+    """Declare a buffer's access mode to the coherence runtime.
+
+    One line per shared buffer; it counts as communication handling (the
+    programmer writes it only so data movement works), but it *replaces*
+    the per-site and per-buffer boilerplate of the undeclared lowerings —
+    see :func:`~repro.progmodel.lowering.lower` with ``modes``.
+    """
+
+    name: str
+    mode: AccessMode
+
+    is_comm = True
+
+    def render(self) -> str:
+        return f"declareAccess({self.name}, {self.mode.value});"
 
 
 @dataclass(frozen=True)

@@ -12,14 +12,33 @@ ADSM                    adsmAlloc + accfree per shared buffer    2*buffers
 disjoint                device alloc + Memcpy + device free      3*buffers
                         per shared buffer
 ======================  =======================================  =========
+
+Passing a ``modes`` map (see :func:`~repro.progmodel.spec.access_modes`)
+lowers with **access-mode declarations**: one ``declareAccess`` line per
+shared buffer tells the coherent runtime which way the data flows, and the
+runtime elides the boilerplate the declarations make inferable. With N
+shared buffers the declared counts become:
+
+======================  =======================================  =========
+Address space           communication lines with declarations    formula
+======================  =======================================  =========
+unified                 declarations only                        N
+partially shared        one release/acquire pair for the whole   2 + N
+                        kernel (per-site pairs inferred)
+ADSM                    declarations replace adsmAlloc/accfree   N
+disjoint                declarations cannot elide physical       3*buffers
+                        copies; they only add lines              + N
+======================  =======================================  =========
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Mapping, Optional
 
 from repro.errors import ProgramError
 from repro.progmodel.ast import (
+    AccessDecl,
+    AccessMode,
     AcquireOwnership,
     Alloc,
     Comment,
@@ -107,15 +126,99 @@ _LOWERINGS = {
 }
 
 
-def lower(spec: KernelProgramSpec, kind: AddressSpaceKind) -> Program:
-    """Lower ``spec`` to a program for the given address space."""
+def _decls(spec: KernelProgramSpec, modes: Mapping[str, AccessMode]) -> List[Stmt]:
+    """One declaration per shared buffer, in buffer order; every shared
+    buffer must carry a mode (an elision based on a missing declaration is
+    exactly the bug rule COH001 exists to catch)."""
+    missing = [b.name for b in spec.buffers if b.name not in modes]
+    if missing:
+        raise ProgramError(
+            f"{spec.name}: no access mode declared for {', '.join(missing)}"
+        )
+    unknown = [name for name in modes if name not in spec.buffer_names]
+    if unknown:
+        raise ProgramError(
+            f"{spec.name}: access mode for unknown buffer {', '.join(unknown)}"
+        )
+    return [AccessDecl(b.name, modes[b.name]) for b in spec.buffers]
+
+
+def _declared_unified(
+    spec: KernelProgramSpec, modes: Mapping[str, AccessMode]
+) -> List[Stmt]:
+    """Unified + declarations: the declarations are the only comm lines."""
+    stmts: List[Stmt] = [Alloc(b.name, b.size, "malloc") for b in spec.buffers]
+    stmts.extend(_decls(spec, modes))
+    stmts.extend(_launches(spec, ProcessingUnit.GPU))
+    stmts.extend(Free(b.name, "free") for b in spec.buffers)
+    return stmts
+
+
+def _declared_partially_shared(
+    spec: KernelProgramSpec, modes: Mapping[str, AccessMode]
+) -> List[Stmt]:
+    """PAS + declarations: the runtime infers the per-site ownership moves
+    from the declared modes, so one release/acquire pair brackets the whole
+    kernel instead of every call site."""
+    names = spec.buffer_names
+    stmts: List[Stmt] = [Alloc(b.name, b.size, "sharedmalloc") for b in spec.buffers]
+    stmts.extend(_decls(spec, modes))
+    stmts.append(ReleaseOwnership(names, by=ProcessingUnit.CPU))
+    stmts.extend(_launches(spec, ProcessingUnit.GPU))
+    stmts.append(AcquireOwnership(names, by=ProcessingUnit.CPU))
+    stmts.extend(Free(b.name, "free") for b in spec.buffers)
+    return stmts
+
+
+def _declared_adsm(
+    spec: KernelProgramSpec, modes: Mapping[str, AccessMode]
+) -> List[Stmt]:
+    """ADSM + declarations: the declaration carries the mapping information
+    adsmAlloc/accfree existed to convey, so those per-buffer pairs go."""
+    stmts: List[Stmt] = [Alloc(b.name, b.size, "malloc") for b in spec.buffers]
+    stmts.extend(_decls(spec, modes))
+    stmts.extend(_launches(spec, ProcessingUnit.GPU))
+    stmts.extend(Free(b.name, "free") for b in spec.buffers)
+    return stmts
+
+
+def _declared_disjoint(
+    spec: KernelProgramSpec, modes: Mapping[str, AccessMode]
+) -> List[Stmt]:
+    """Disjoint + declarations: physical copies between private memories
+    cannot be elided by intent declarations — the lines only add up."""
+    return _lower_disjoint(spec) + _decls(spec, modes)
+
+
+_DECLARED_LOWERINGS = {
+    AddressSpaceKind.UNIFIED: _declared_unified,
+    AddressSpaceKind.PARTIALLY_SHARED: _declared_partially_shared,
+    AddressSpaceKind.ADSM: _declared_adsm,
+    AddressSpaceKind.DISJOINT: _declared_disjoint,
+}
+
+
+def lower(
+    spec: KernelProgramSpec,
+    kind: AddressSpaceKind,
+    modes: Optional[Mapping[str, AccessMode]] = None,
+) -> Program:
+    """Lower ``spec`` to a program for the given address space.
+
+    Without ``modes`` this produces the paper's Figure 2/3 patterns (the
+    committed Table V counts). With a ``modes`` map the lowering emits
+    access-mode declarations and elides what they make inferable — the
+    "with declarations" column of the coherence study.
+    """
+    table = _LOWERINGS if modes is None else _DECLARED_LOWERINGS
     try:
-        build = _LOWERINGS[kind]
+        build = table[kind]
     except KeyError:
         raise ProgramError(f"no lowering for address space {kind}") from None
+    statements = build(spec) if modes is None else build(spec, modes)
     return Program(
         kernel=spec.name,
         address_space=kind,
-        statements=tuple(build(spec)),
+        statements=tuple(statements),
         computation_lines=spec.computation_lines,
     )

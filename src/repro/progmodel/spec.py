@@ -20,6 +20,7 @@ __all__ = [
     "BufferDirection",
     "BufferSpec",
     "KernelProgramSpec",
+    "access_modes",
     "program_spec",
     "all_program_specs",
 ]
@@ -58,6 +59,9 @@ class KernelProgramSpec:
     gpu_call_sites: int
     computation_lines: int
     private_buffers: Tuple[BufferSpec, ...] = ()
+    #: Shared buffers that accumulate per-PU partial results combined by a
+    #: later merge step (declared ``reduce`` under access-mode lowering).
+    reduce_buffers: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.buffers:
@@ -69,6 +73,12 @@ class KernelProgramSpec:
         names = [b.name for b in self.buffers + self.private_buffers]
         if len(set(names)) != len(names):
             raise ProgramError(f"{self.name}: duplicate buffer names")
+        shared = {b.name for b in self.buffers}
+        for reduced in self.reduce_buffers:
+            if reduced not in shared:
+                raise ProgramError(
+                    f"{self.name}: reduce buffer {reduced!r} is not a shared buffer"
+                )
 
     @property
     def buffer_names(self) -> Tuple[str, ...]:
@@ -104,6 +114,7 @@ _SPECS: Dict[str, KernelProgramSpec] = {
             ),
             gpu_call_sites=1,
             computation_lines=142,
+            reduce_buffers=("c",),
         ),
         KernelProgramSpec(
             name="matrix mul",
@@ -151,9 +162,32 @@ _SPECS: Dict[str, KernelProgramSpec] = {
             ),
             gpu_call_sites=3,
             computation_lines=332,
+            reduce_buffers=("partials",),
         ),
     )
 }
+
+
+def access_modes(spec: KernelProgramSpec) -> "Dict[str, AccessMode]":
+    """The access-mode declaration each shared buffer of ``spec`` gets.
+
+    Derived from the data-flow direction: pure inputs are ``READ``, outputs
+    (and inouts, conservatively) are ``WRITE``, and buffers listed in
+    ``reduce_buffers`` are ``REDUCE``. This is the mode map
+    :func:`~repro.progmodel.lowering.lower` consumes when lowering with
+    declarations.
+    """
+    from repro.progmodel.ast import AccessMode
+
+    modes: Dict[str, AccessMode] = {}
+    for buffer in spec.buffers:
+        if buffer.name in spec.reduce_buffers:
+            modes[buffer.name] = AccessMode.REDUCE
+        elif buffer.direction is BufferDirection.IN:
+            modes[buffer.name] = AccessMode.READ
+        else:
+            modes[buffer.name] = AccessMode.WRITE
+    return modes
 
 
 def program_spec(name: str) -> KernelProgramSpec:

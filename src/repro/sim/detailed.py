@@ -89,6 +89,7 @@ class DetailedSimulator:
         scale: float = 1.0,
         system_name: Optional[str] = None,
         address_space: "AddressSpaceKind | AddressSpace | None" = None,
+        coherence: "str | CoherenceKind | None" = None,
     ) -> SimulationResult:
         """Simulate ``trace`` (optionally scaled down) in detail.
 
@@ -101,6 +102,12 @@ class DetailedSimulator:
         trace is first staged into regions each PU may legally reach (see
         :func:`repro.sim.mmu.stage_trace`), TLB misses pay page walks,
         first touches pay faults, and reachability violations raise.
+
+        ``coherence`` overrides the protocol variant over the shared
+        window (``"none" | "snoop" | "directory"`` or a
+        :class:`~repro.taxonomy.CoherenceKind`); when omitted it derives
+        from the case study's coherence kind, which keeps the historical
+        behaviour (only hardware kinds build a protocol).
         """
         if case is None and channel is None:
             raise SimulationError("provide a case study or a channel")
@@ -124,13 +131,12 @@ class DetailedSimulator:
             )
             trace = stage_trace(trace, space)
 
-        hardware_coherence = bool(
-            case and case.coherence is CoherenceKind.HARDWARE_DIRECTORY
-        )
+        if coherence is None and case is not None:
+            coherence = case.coherence
         machine = build_machine(
             self.system,
             l3_policy=self.l3_policy,
-            hardware_coherence=hardware_coherence,
+            coherence=coherence,
             l1_prefetch=self.l1_prefetch,
             gpu_mode=self.gpu_mode,
         )

@@ -15,16 +15,18 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.addrspace.layout import SHARED_BASE
 from repro.config.comm import CommParams
 from repro.config.presets import CaseStudy
 from repro.config.system import SystemConfig
 from repro.errors import SimulationError
 from repro.comm.base import CommChannel, make_channel
+from repro.mem.coherence.api import resolve_protocol_kind
 from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.sim.analytic import AnalyticTiming
 from repro.sim.results import PhaseTiming, SimulationResult, TimeBreakdown
-from repro.taxonomy import AddressSpaceKind, CommMechanism
-from repro.trace.phase import CommPhase, ParallelPhase, SequentialPhase
+from repro.taxonomy import AddressSpaceKind, CoherenceKind, CommMechanism
+from repro.trace.phase import CommPhase, ParallelPhase, Segment, SequentialPhase
 from repro.trace.stream import KernelTrace
 
 __all__ = ["FastSimulator", "SPACE_OVERHEAD_INSTRUCTIONS"]
@@ -75,12 +77,21 @@ class FastSimulator:
         channel: Optional[CommChannel] = None,
         address_space: Optional[AddressSpaceKind] = None,
         system_name: Optional[str] = None,
+        coherence: "str | CoherenceKind | None" = None,
     ) -> SimulationResult:
         """Simulate ``trace`` on a case-study system (or explicit channel).
 
         Exactly one of ``case``/``channel`` selects the communication
         mechanism; ``address_space`` adds the per-communication space
         management instructions (Figure 7 experiment).
+
+        ``coherence`` publishes analytic invalidation-traffic estimates
+        (``coherence.estimated_*`` counters) for the requested protocol
+        variant so metrics-diffing fast against detailed runs stays
+        meaningful on coherent design points. It must be requested
+        explicitly — unlike the detailed simulator, the case study's
+        coherence kind is deliberately *not* consulted, so every
+        historical fast-path figure stays byte-identical.
         """
         if case is None and channel is None:
             raise SimulationError("provide a case study or a channel")
@@ -197,6 +208,10 @@ class FastSimulator:
         counters["cache.memory_ops"] = mem_ops
         counters["cache.estimated_misses"] = est_misses
         counters["dram.estimated_accesses"] = est_dram
+        if coherence is not None:
+            kind = resolve_protocol_kind(coherence)
+            if kind != "none":
+                counters.update(self.estimated_coherence_counters(trace, kind))
         return SimulationResult(
             kernel=trace.name,
             system=name,
@@ -208,6 +223,60 @@ class FastSimulator:
             phases=tuple(phase_timings),
             counters=counters,
         )
+
+    # -- analytic coherence-traffic estimate ----------------------------------
+
+    def estimated_coherence_counters(
+        self, trace: KernelTrace, kind: str
+    ) -> Dict[str, float]:
+        """Analytic invalidation-traffic estimate for protocol ``kind``.
+
+        Mirrors the streaming-miss philosophy of
+        :meth:`AnalyticTiming.estimated_memory_counters`: each parallel
+        phase's shared-window segments (``base_addr`` inside the shared
+        window) cold-fill one protocol consultation per cache line of
+        footprint, and where the two PUs' footprints overlap, every
+        writing PU invalidates the peer once per co-resident line. Message
+        counts follow the variants' cost models — a snoop invalidation
+        rides the upgrade broadcast (1 message), a directory invalidation
+        is a lookup + inv + ack exchange (3 messages).
+        """
+        line = float(self.system.l3.line_bytes)
+        shared_lines = invalidations = messages = 0.0
+        for phase in trace.phases:
+            if not isinstance(phase, ParallelPhase):
+                continue
+            cpu, gpu = phase.cpu, phase.gpu
+            cpu_lines = self._shared_lines(cpu, line)
+            gpu_lines = self._shared_lines(gpu, line)
+            shared_lines += cpu_lines + gpu_lines
+            # One consultation (snoop broadcast / directory lookup) per
+            # cold fill of a shared line.
+            messages += cpu_lines + gpu_lines
+            if cpu_lines == 0.0 or gpu_lines == 0.0:
+                continue
+            lo = max(cpu.base_addr, gpu.base_addr)
+            hi = min(
+                cpu.base_addr + cpu.footprint_bytes,
+                gpu.base_addr + gpu.footprint_bytes,
+            )
+            co_lines = max(0.0, (hi - lo) / line)
+            writers = (cpu.mix.store_ops > 0) + (gpu.mix.store_ops > 0)
+            inv = co_lines * writers
+            invalidations += inv
+            messages += inv * (1.0 if kind == "snoop" else 3.0)
+        return {
+            "coherence.estimated_shared_lines": shared_lines,
+            "coherence.estimated_invalidations": invalidations,
+            "coherence.estimated_messages": messages,
+        }
+
+    @staticmethod
+    def _shared_lines(segment: Segment, line: float) -> float:
+        """Cache lines of shared-window footprint a segment touches."""
+        if segment.base_addr < SHARED_BASE or segment.mix.memory_ops == 0:
+            return 0.0
+        return segment.footprint_bytes / line
 
     @staticmethod
     def _overlap_phase_index(trace: KernelTrace, comm_index: int) -> Optional[int]:

@@ -11,7 +11,11 @@ memory management units"; this module makes those costs visible:
   :class:`~repro.errors.AccessViolationError`, exactly as the model demands;
 - :func:`stage_trace` rewrites a kernel trace's segment base addresses into
   regions each PU may legally reach under a given address space (what the
-  runtime's allocation + transfer calls accomplish in a real system).
+  runtime's allocation + transfer calls accomplish in a real system);
+- :func:`stage_shared_trace` rebases the data an address space *shares*
+  into the shared window, so a coherence protocol over that window sees
+  the sharing the space actually exposes (the coherence-overhead
+  experiment's staging).
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.addrspace.base import AddressSpace
+from repro.addrspace.layout import CPU_PRIVATE_BASE, GPU_PRIVATE_BASE, SHARED_BASE
 from repro.addrspace.tlb import TLB
 from repro.errors import SimulationError
 from repro.mem.level import MemoryLevel
@@ -27,7 +32,7 @@ from repro.taxonomy import AddressSpaceKind, ProcessingUnit
 from repro.trace.phase import CommPhase, ParallelPhase, Phase, Segment, SequentialPhase
 from repro.trace.stream import KernelTrace
 
-__all__ = ["TranslationFront", "stage_trace"]
+__all__ = ["TranslationFront", "stage_trace", "stage_shared_trace"]
 
 #: Page-table-walk latency (two-level walk hitting the cache hierarchy).
 DEFAULT_WALK_SECONDS = 30e-9
@@ -149,6 +154,89 @@ def stage_trace(trace: KernelTrace, space: AddressSpace) -> KernelTrace:
             phases.append(
                 ParallelPhase(label=phase.label, cpu=rebase(phase.cpu), gpu=rebase(phase.gpu))
             )
+        else:
+            phases.append(phase)
+    return KernelTrace(name=trace.name, phases=tuple(phases))
+
+
+def stage_shared_trace(trace: KernelTrace, kind: AddressSpaceKind) -> KernelTrace:
+    """Rebase the data ``kind`` shares between the PUs into the shared window.
+
+    The raw kernel traces keep their buffers in the private regions, so a
+    coherence protocol watching the shared window (see
+    :class:`~repro.sim.system.CoherentFront`) never fires on them. This
+    staging expresses how much of the working set each address space
+    actually exposes to coherent sharing:
+
+    - **unified** — every address is reachable by every PU, so the whole
+      trace moves into the shared window (hardware coherence over a
+      unified space covers all data);
+    - **partially shared / ADSM** — the kernel-phase buffers live in the
+      shared window (that is where the programming model stages GPU data);
+      serial-phase CPU work stays private;
+    - **disjoint** — nothing is shared; the trace is returned unchanged,
+      and a protocol over it measures zero traffic.
+
+    The rebase is a pure offset shift (``addr - CPU_PRIVATE_BASE +
+    SHARED_BASE``), so segments that overlapped in the private layout —
+    the CPU and GPU halves of a parallel phase working the same array —
+    overlap identically in the shared window, which is exactly what the
+    protocol's invalidation traffic measures.
+
+    One producer-consumer rule on top of the shift: in a shared space a
+    sequential phase that works on a *result* buffer (the raw trace keeps
+    those in the output region) consumes the GPU's data **in place** —
+    that is the point of coherent shared memory; the disjoint path's
+    explicit copy-out is what makes such a phase private. Those segments
+    rebase onto the most recent parallel GPU segment's staged base, so the
+    CPU's merge/update work hits lines the GPU holds Modified — the
+    migratory sharing that drives the protocols' invalidation and
+    downgrade traffic.
+    """
+    if kind is AddressSpaceKind.DISJOINT:
+        return trace
+    share_serial = kind is AddressSpaceKind.UNIFIED
+
+    def rebase(segment: Segment) -> Segment:
+        if segment.footprint_bytes == 0 or segment.base_addr >= SHARED_BASE:
+            return segment
+        return Segment(
+            pu=segment.pu,
+            mix=segment.mix,
+            base_addr=segment.base_addr - CPU_PRIVATE_BASE + SHARED_BASE,
+            footprint_bytes=segment.footprint_bytes,
+            elem_bytes=segment.elem_bytes,
+            label=segment.label,
+        )
+
+    phases: List[Phase] = []
+    last_gpu_base: Optional[int] = None
+    for phase in trace.phases:
+        if isinstance(phase, SequentialPhase):
+            segment = phase.segment
+            consumes_results = (
+                last_gpu_base is not None
+                and segment.footprint_bytes > 0
+                and GPU_PRIVATE_BASE <= segment.base_addr < SHARED_BASE
+            )
+            if consumes_results:
+                segment = Segment(
+                    pu=segment.pu,
+                    mix=segment.mix,
+                    base_addr=last_gpu_base,
+                    footprint_bytes=segment.footprint_bytes,
+                    elem_bytes=segment.elem_bytes,
+                    label=segment.label,
+                )
+            elif share_serial:
+                segment = rebase(segment)
+            phases.append(SequentialPhase(label=phase.label, segment=segment))
+        elif isinstance(phase, ParallelPhase):
+            cpu = rebase(phase.cpu)
+            gpu = rebase(phase.gpu)
+            if gpu.footprint_bytes > 0:
+                last_gpu_base = gpu.base_addr
+            phases.append(ParallelPhase(label=phase.label, cpu=cpu, gpu=gpu))
         else:
             phases.append(phase)
     return KernelTrace(name=trace.name, phases=tuple(phases))

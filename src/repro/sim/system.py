@@ -2,13 +2,14 @@
 
 Topology (Table II): each PU's private hierarchy reaches the shared,
 tiled L3 over the ring; the L3 reaches the DRAM controllers over the ring;
-a directory (optional) keeps shared-window data coherent between the PUs.
+a coherence protocol (optional — the ``none | snoop | directory`` axis)
+keeps shared-window data coherent between the PUs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Union
 
 from repro.config.system import SystemConfig
 from repro.errors import SimulationError
@@ -16,49 +17,57 @@ from repro.addrspace.layout import SHARED_BASE
 from repro.mem.cache.cache import Cache
 from repro.mem.cache.hierarchy import build_cpu_hierarchy, build_gpu_hierarchy
 from repro.mem.cache.replacement import HybridLocalityPolicy, ReplacementPolicy
+from repro.mem.coherence.api import CoherenceProtocol, protocol_for, resolve_protocol_kind
 from repro.mem.coherence.directory import Directory
+from repro.mem.coherence.protocol import set_block_state
 from repro.mem.dram.controller import DramSystem
 from repro.mem.interconnect.ring import RingNetwork, RingPath
 from repro.mem.level import MemoryLevel
 from repro.mem.request import AccessResult, MemRequest
 from repro.sim.cpu.core import CpuCore
 from repro.sim.gpu.core import GpuCore
-from repro.taxonomy import ProcessingUnit
+from repro.taxonomy import CoherenceKind, ProcessingUnit
 
 __all__ = ["Machine", "CoherentFront", "build_machine"]
 
 
 class CoherentFront(MemoryLevel):
-    """Per-PU front-end enforcing directory coherence on shared addresses.
+    """Per-PU front-end enforcing protocol coherence on shared addresses.
 
     Wraps a PU's top-level cache: accesses to the shared window consult the
-    directory first; when the peer holds a conflicting copy, its private
-    caches are invalidated and the protocol messages are charged as ring
-    traversals on the critical path.
+    coherence protocol (directory or snoop bus) first; when the peer holds
+    a conflicting copy, its private caches are invalidated and the protocol
+    messages are charged as ring traversals on the critical path. The
+    protocol's per-line MESI state is mirrored onto the local L1's
+    :class:`~repro.mem.cache.block.CacheBlock` after each access.
     """
 
     def __init__(
         self,
         pu: ProcessingUnit,
         below: MemoryLevel,
-        directory: Directory,
+        protocol: CoherenceProtocol,
         ring: RingNetwork,
         peer_caches: "list[Cache]",
         shared_predicate: Callable[[int], bool],
     ) -> None:
         self.pu = pu
         self.below = below
-        self.directory = directory
+        self.protocol = protocol
         self.ring = ring
         self.peer_caches = peer_caches
         self.shared_predicate = shared_predicate
         self.name = f"coherent-front[{pu}]"
         self.coherence_latency = 0.0
+        #: The local L1's block lookup, when the wrapped level exposes one
+        #: (it always does in the standard topology).
+        self._block_for = getattr(below, "block_for", None)
 
     def access(self, request: MemRequest) -> AccessResult:
         extra = 0.0
-        if self.shared_predicate(request.addr):
-            action = self.directory.access(request.addr, self.pu, request.is_write)
+        shared = self.shared_predicate(request.addr)
+        if shared:
+            action = self.protocol.access(request.addr, self.pu, request.is_write)
             if action.invalidate_peer:
                 for cache in self.peer_caches:
                     cache.invalidate_line(request.addr)
@@ -68,6 +77,10 @@ class CoherentFront(MemoryLevel):
                 )
                 self.coherence_latency += extra
         below = self.below.access(request)
+        if shared and self._block_for is not None:
+            block = self._block_for(request.addr)
+            if block is not None:
+                set_block_state(block, self.protocol.state_of(request.addr, self.pu))
         if extra == 0.0:
             return below
         return AccessResult(
@@ -77,7 +90,7 @@ class CoherentFront(MemoryLevel):
         )
 
     def stats(self) -> Dict[str, float]:
-        data = dict(self.directory.stats())
+        data = dict(self.protocol.stats())
         data["coherence_latency_s"] = self.coherence_latency
         return data
 
@@ -96,6 +109,11 @@ class Machine:
     cpu_core: CpuCore
     gpu_core: GpuCore
     directory: Optional[Directory] = None
+    #: The active coherence protocol — the :attr:`directory` when the
+    #: machine runs the directory variant, a
+    #: :class:`~repro.mem.coherence.snoop.SnoopBus` for the snoop variant,
+    #: ``None`` for ``coherence="none"``.
+    protocol: Optional[CoherenceProtocol] = None
 
     def stats(self) -> Dict[str, Dict[str, float]]:
         """Per-component counters, keyed by component name."""
@@ -111,6 +129,8 @@ class Machine:
         }
         if self.directory is not None:
             data["directory"] = self.directory.stats()
+        elif self.protocol is not None:
+            data[self.protocol.kind] = self.protocol.stats()
         return data
 
 
@@ -125,14 +145,19 @@ def build_machine(
     shared_predicate: Callable[[int], bool] = _is_shared_addr,
     l1_prefetch: bool = False,
     gpu_mode: str = "heuristic",
+    coherence: "Union[str, CoherenceKind, None]" = None,
 ) -> Machine:
     """Assemble the Table II machine.
 
     ``l3_policy`` installs a custom shared-cache replacement policy (pass a
     :class:`HybridLocalityPolicy` for the §II-B5 hybrid scheme);
-    ``hardware_coherence`` inserts a directory over the shared window;
-    ``l1_prefetch`` attaches next-line prefetchers to both L1 data caches;
-    ``gpu_mode`` selects the GPU scheduler (``"heuristic"`` or ``"warp"``).
+    ``coherence`` selects the protocol variant over the shared window
+    (``"none"``, ``"snoop"``, ``"directory"``, or a
+    :class:`~repro.taxonomy.CoherenceKind`); ``hardware_coherence`` is the
+    legacy boolean spelling of ``coherence="directory"`` (``coherence``
+    wins when both are given); ``l1_prefetch`` attaches next-line
+    prefetchers to both L1 data caches; ``gpu_mode`` selects the GPU
+    scheduler (``"heuristic"`` or ``"warp"``).
     """
     from repro.mem.cache.prefetch import NextLinePrefetcher
 
@@ -155,16 +180,19 @@ def build_machine(
         l1_prefetcher=NextLinePrefetcher() if l1_prefetch else None,
     )
 
-    directory: Optional[Directory] = None
+    if coherence is None:
+        protocol_kind = "directory" if hardware_coherence else "none"
+    else:
+        protocol_kind = resolve_protocol_kind(coherence)
+    protocol = protocol_for(protocol_kind, config.l3.line_bytes)
     cpu_top: MemoryLevel = cpu_l1d
     gpu_top: MemoryLevel = gpu_l1d
-    if hardware_coherence:
-        directory = Directory(config.l3.line_bytes)
+    if protocol is not None:
         cpu_top = CoherentFront(
-            ProcessingUnit.CPU, cpu_l1d, directory, ring, [gpu_l1d], shared_predicate
+            ProcessingUnit.CPU, cpu_l1d, protocol, ring, [gpu_l1d], shared_predicate
         )
         gpu_top = CoherentFront(
-            ProcessingUnit.GPU, gpu_l1d, directory, ring, [cpu_l1d, cpu_l2], shared_predicate
+            ProcessingUnit.GPU, gpu_l1d, protocol, ring, [cpu_l1d, cpu_l2], shared_predicate
         )
 
     cpu_core = CpuCore(config.cpu, cpu_top)
@@ -179,5 +207,6 @@ def build_machine(
         gpu_l1d=gpu_l1d,
         cpu_core=cpu_core,
         gpu_core=gpu_core,
-        directory=directory,
+        directory=protocol if isinstance(protocol, Directory) else None,
+        protocol=protocol,
     )

@@ -168,9 +168,27 @@ class CoherenceKind(enum.Enum):
 
     NONE = "none"
     HARDWARE_DIRECTORY = "hw-directory"
+    HARDWARE_SNOOP = "hw-snoop"
     SOFTWARE_RUNTIME = "sw-runtime"
     HYBRID = "hw-sw-hybrid"
     OWNERSHIP = "ownership"
+
+    @property
+    def hardware(self) -> bool:
+        """Whether a hardware protocol keeps the shared window coherent."""
+        return self in (CoherenceKind.HARDWARE_DIRECTORY, CoherenceKind.HARDWARE_SNOOP)
+
+    @property
+    def protocol(self) -> str:
+        """The :mod:`repro.mem.coherence` protocol variant this kind maps to
+        (``"none"``, ``"snoop"`` or ``"directory"``). Software-managed kinds
+        map to ``"none"``: they pay at synchronization points, not per access.
+        """
+        if self is CoherenceKind.HARDWARE_DIRECTORY:
+            return "directory"
+        if self is CoherenceKind.HARDWARE_SNOOP:
+            return "snoop"
+        return "none"
 
     def __str__(self) -> str:
         return self.value

@@ -58,3 +58,42 @@ class TestFigure7:
         text = figure7_text(explorer)
         assert "ideal communication" in text
         assert "UNI" in text
+
+
+class TestCoherenceFigure:
+    @pytest.fixture(scope="class")
+    def coh(self, explorer):
+        from repro.analysis.figures import coherence_data
+        from repro.kernels.registry import kernel
+
+        return coherence_data(explorer, kernels=(kernel("reduction"),))
+
+    def test_grid_shape(self, coh):
+        assert set(coh) == {"UNI", "DIS", "PAS", "ADSM"}
+        for per_protocol in coh.values():
+            assert set(per_protocol) == {"none", "snoop", "directory"}
+
+    def test_protocols_generate_traffic_where_data_is_shared(self, coh):
+        # The shared spaces must measure real protocol activity...
+        for space in ("UNI", "PAS", "ADSM"):
+            result = coh[space]["snoop"]["reduction"]
+            assert result.counters["snoop.tracked_lines"] > 0
+        # ...while a disjoint space shares nothing, so the protocol
+        # columns measure a true zero.
+        dis = coh["DIS"]["snoop"]["reduction"]
+        assert dis.counters["snoop.tracked_lines"] == 0
+        assert dis.counters["snoop.broadcasts"] == 0
+
+    def test_none_is_the_cheapest_column(self, coh):
+        for space, per_protocol in coh.items():
+            base = per_protocol["none"]["reduction"].total_seconds
+            for kind in ("snoop", "directory"):
+                assert per_protocol[kind]["reduction"].total_seconds >= base
+
+    def test_text(self, explorer, coh):
+        from repro.analysis.figures import coherence_text
+
+        text = coherence_text(explorer, data=coh)
+        assert "Coherence overhead by address space" in text
+        assert "Table V comm lines without -> with access declarations" in text
+        assert "k-mean" in text  # the declarations table always covers all six

@@ -64,7 +64,7 @@ class TestExports:
         main(["check", "--fixtures", "--json", str(path)])
         capsys.readouterr()
         reports = json.loads(path.read_text())
-        assert len(reports) == 9
+        assert len(reports) == 11
         rules = {f["rule"] for r in reports for f in r["findings"]}
         assert "RACE001" in rules and "LOC001" in rules
 

@@ -1,0 +1,191 @@
+"""COH001/COH002: access-mode declaration discipline, litmus-confirmed."""
+
+from dataclasses import replace
+
+from repro.check import check_trace
+from repro.check.config import CheckConfig
+from repro.config.presets import CASE_STUDIES
+from repro.kernels.registry import all_kernels
+from repro.taxonomy import (
+    AddressSpaceKind,
+    CoherenceKind,
+    ConsistencyModel,
+    ProcessingUnit,
+)
+from repro.trace.mix import InstructionMix
+from repro.trace.phase import CommPhase, Direction, ParallelPhase, Segment, SequentialPhase
+from repro.trace.stream import KernelTrace
+
+BASE = 0x3000_0000
+KB = 1024
+
+
+def _seg(pu, loads=0, stores=0, base=BASE, footprint=4 * KB, label=""):
+    if pu is ProcessingUnit.GPU:
+        mix = InstructionMix(simd_loads=loads, simd_stores=stores, int_alu=8)
+    else:
+        mix = InstructionMix(loads=loads, stores=stores, int_alu=8)
+    return Segment(pu=pu, mix=mix, base_addr=base, footprint_bytes=footprint, label=label)
+
+
+def _config(**overrides):
+    base = CheckConfig(
+        address_space=AddressSpaceKind.UNIFIED,
+        coherence=CoherenceKind.HARDWARE_SNOOP,
+        consistency=ConsistencyModel.WEAK,
+        name="UNI/snoop",
+    )
+    return replace(base, **overrides)
+
+
+def _rules(trace, config):
+    return [f.rule for f in check_trace(trace, config).findings]
+
+
+def _parallel(cpu_stores=8, gpu_stores=8, cpu_base=BASE, gpu_base=BASE):
+    return ParallelPhase(
+        label="kernel",
+        cpu=_seg(ProcessingUnit.CPU, stores=cpu_stores, base=cpu_base, label="cpu"),
+        gpu=_seg(ProcessingUnit.GPU, stores=gpu_stores, base=gpu_base, label="gpu"),
+    )
+
+
+def _h2d():
+    return CommPhase(
+        label="send", direction=Direction.H2D, num_bytes=4 * KB, num_objects=1
+    )
+
+
+def _merge(base=BASE):
+    return SequentialPhase(
+        label="merge",
+        segment=_seg(ProcessingUnit.CPU, loads=8, base=base, label="merge"),
+    )
+
+
+class TestInactiveByDefault:
+    def test_no_declarations_means_no_coh_findings(self):
+        trace = KernelTrace(
+            name="undeclared", phases=(_h2d(), _parallel(cpu_base=BASE, gpu_base=BASE + 16 * KB),)
+        )
+        assert not any(r.startswith("COH") for r in _rules(trace, _config()))
+
+    def test_paper_kernels_stay_clean_under_every_case_study(self):
+        # Case-study configs carry no declarations, so the committed check
+        # runs (CI's exit-0 gate on the real kernels) cannot change.
+        for kernel in all_kernels():
+            trace = kernel.trace()
+            for case in CASE_STUDIES.values():
+                config = CheckConfig.from_case_study(case)
+                assert not any(
+                    f.rule.startswith("COH")
+                    for f in check_trace(trace, config).findings
+                )
+
+
+class TestCOH001:
+    def test_undeclared_write_fires(self):
+        config = _config(declared_writes=((BASE, BASE + 4 * KB),))
+        trace = KernelTrace(
+            name="t", phases=(_h2d(), _parallel(cpu_base=BASE, gpu_base=BASE + 16 * KB),)
+        )
+        findings = check_trace(trace, config).findings
+        coh = [f for f in findings if f.rule == "COH001"]
+        assert len(coh) == 1
+        assert coh[0].segment == "gpu"
+        assert coh[0].confirmed is True
+
+    def test_declared_write_is_clean(self):
+        config = _config(
+            declared_writes=((BASE, BASE + 4 * KB), (BASE + 16 * KB, BASE + 20 * KB))
+        )
+        trace = KernelTrace(
+            name="t", phases=(_h2d(), _parallel(cpu_base=BASE, gpu_base=BASE + 16 * KB),)
+        )
+        assert "COH001" not in _rules(trace, config)
+
+    def test_reduce_declaration_also_covers_the_write(self):
+        config = _config(
+            declared_writes=((BASE, BASE + 4 * KB),),
+            reduce_ranges=((BASE + 16 * KB, BASE + 20 * KB),),
+        )
+        trace = KernelTrace(
+            name="t",
+            phases=(
+                _h2d(),
+                _parallel(cpu_base=BASE, gpu_base=BASE + 16 * KB),
+                _merge(base=BASE + 16 * KB),
+            ),
+        )
+        assert "COH001" not in _rules(trace, config)
+
+    def test_readers_need_no_declaration(self):
+        config = _config(declared_writes=((BASE, BASE + 4 * KB),))
+        trace = KernelTrace(
+            name="t",
+            phases=(
+                _h2d(),
+                ParallelPhase(
+                    label="kernel",
+                    cpu=_seg(ProcessingUnit.CPU, stores=8, base=BASE, label="cpu"),
+                    gpu=_seg(
+                        ProcessingUnit.GPU, loads=8, base=BASE + 16 * KB, label="gpu"
+                    ),
+                ),
+            ),
+        )
+        assert "COH001" not in _rules(trace, config)
+
+    def test_disjoint_space_has_no_coherent_window(self):
+        config = _config(
+            address_space=AddressSpaceKind.DISJOINT,
+            coherence=CoherenceKind.NONE,
+            declared_writes=((BASE, BASE + 4 * KB),),
+        )
+        trace = KernelTrace(
+            name="t", phases=(_h2d(), _parallel(cpu_base=BASE, gpu_base=BASE + 16 * KB),)
+        )
+        assert not any(r.startswith("COH") for r in _rules(trace, config))
+
+
+class TestCOH002:
+    def _reduce_config(self):
+        return _config(declared_writes=(), reduce_ranges=((BASE, BASE + 4 * KB),))
+
+    def test_unmerged_reduce_fires_confirmed(self):
+        trace = KernelTrace(name="t", phases=(_h2d(), _parallel(),))
+        findings = check_trace(trace, self._reduce_config()).findings
+        coh = [f for f in findings if f.rule == "COH002"]
+        assert len(coh) == 1
+        assert coh[0].phase_index == 1
+        assert coh[0].confirmed is True
+
+    def test_sequential_merge_satisfies_the_rule(self):
+        trace = KernelTrace(name="t", phases=(_h2d(), _parallel(), _merge()))
+        assert "COH002" not in _rules(trace, self._reduce_config())
+
+    def test_gathering_transfer_satisfies_the_rule(self):
+        d2h = CommPhase(
+            label="gather", direction=Direction.D2H, num_bytes=4 * KB, num_objects=1
+        )
+        trace = KernelTrace(name="t", phases=(_h2d(), _parallel(), d2h))
+        assert "COH002" not in _rules(trace, self._reduce_config())
+
+    def test_second_round_needs_a_second_merge(self):
+        trace = KernelTrace(name="t", phases=(_h2d(), _parallel(), _merge(), _parallel()))
+        assert "COH002" in _rules(trace, self._reduce_config())
+
+    def test_reduce_declaration_suppresses_the_race_rules(self):
+        # Both PUs store the same range: with the reduce declaration that
+        # is the intended accumulation pattern, not RACE001.
+        config = self._reduce_config()
+        trace = KernelTrace(name="t", phases=(_h2d(), _parallel(), _merge()))
+        rules = _rules(trace, config)
+        assert "RACE001" not in rules and "COH002" not in rules
+        undeclared = _config()
+        assert "RACE001" in _rules(trace, undeclared)
+
+    def test_single_writer_is_not_a_reduction(self):
+        config = self._reduce_config()
+        trace = KernelTrace(name="t", phases=(_h2d(), _parallel(gpu_stores=0),))
+        assert "COH002" not in _rules(trace, config)

@@ -15,6 +15,8 @@ EXPECTED_PHASE = {
     "consume-before-copy": 0,
     "redundant-copy": 1,
     "stale-read": 2,
+    "undeclared-write": 1,
+    "reduce-without-merge": 1,
 }
 
 

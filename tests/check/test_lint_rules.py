@@ -109,3 +109,23 @@ class TestCommandLine:
         result = self.run(str(bad))
         assert result.returncode == 1
         assert "L001" in result.stderr and "L002" in result.stderr
+
+
+class TestMesiStateOwnership:
+    def test_state_assignment_flagged_outside_coherence(self):
+        assert violations("block.state = MESIState.MODIFIED\n") == [("L004", 1)]
+
+    def test_annotated_and_augmented_assignments_flagged(self):
+        assert violations("block.state: MESIState = s\n") == [("L004", 1)]
+        assert violations("block.state |= s\n") == [("L004", 1)]
+
+    def test_coherence_package_may_assign(self):
+        source = "block.state = MESIState.INVALID\n"
+        path = Path("src/repro/mem/coherence/protocol.py")
+        assert lint_rules.lint_source(source, path) == []
+
+    def test_reading_state_allowed(self):
+        assert violations("if block.state is MESIState.MODIFIED:\n    pass\n") == []
+
+    def test_local_variable_named_state_allowed(self):
+        assert violations("state = compute()\n") == []

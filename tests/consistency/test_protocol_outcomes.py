@@ -1,0 +1,121 @@
+"""Exact allowed-outcome sets per coherence-protocol variant.
+
+The coherence axis feeds the litmus executor through
+:func:`~repro.consistency.litmus.model_for_design`: only STRONG ordering
+*plus* a hardware protocol (snoop or directory) yields SC behaviour across
+the PUs; every other combination — software runtimes, ownership schemes,
+no coherence at all — behaves like the weak model, because a stale cached
+copy is indistinguishable from a delayed store buffer. These tests pin the
+**full** outcome sets (not just the single observation of interest) for
+SB, MP, and CoRR under every protocol variant.
+"""
+
+import pytest
+
+from repro.consistency.litmus import LITMUS_TESTS, model_for_design
+from repro.consistency.model import allowed_outcomes
+from repro.taxonomy import CoherenceKind, ConsistencyModel
+
+HARDWARE = (CoherenceKind.HARDWARE_SNOOP, CoherenceKind.HARDWARE_DIRECTORY)
+SOFTWARE = (
+    CoherenceKind.NONE,
+    CoherenceKind.SOFTWARE_RUNTIME,
+    CoherenceKind.OWNERSHIP,
+    CoherenceKind.HYBRID,
+)
+
+
+def _test(name):
+    return next(t for t in LITMUS_TESTS if t.name == name)
+
+
+def _outcomes(name, consistency, coherence):
+    test = _test(name)
+    model = model_for_design(consistency, coherence)
+    return {tuple(sorted(dict(o).items())) for o in allowed_outcomes(test.program, model)}
+
+
+#: The executor's exact outcome sets, enumerated by hand: SB drops the
+#: both-stale outcome exactly when the design behaves SC; MP and CoRR have
+#: identical sets under both models (FIFO buffers preserve store order and
+#: single-location order), so the *forbidden* outcome is what matters.
+SB_SC = {
+    (("r0", 0), ("r1", 1)),
+    (("r0", 1), ("r1", 0)),
+    (("r0", 1), ("r1", 1)),
+}
+SB_WEAK = SB_SC | {(("r0", 0), ("r1", 0))}
+MP_BOTH = {
+    (("r0", 0), ("r1", 0)),
+    (("r0", 0), ("r1", 1)),
+    (("r0", 1), ("r1", 1)),
+}
+CORR_BOTH = {
+    (("r0", 0), ("r1", 0)),
+    (("r0", 0), ("r1", 1)),
+    (("r0", 1), ("r1", 1)),
+}
+
+
+class TestModelForDesign:
+    @pytest.mark.parametrize("coherence", HARDWARE)
+    def test_strong_plus_hardware_is_sc(self, coherence):
+        assert model_for_design(ConsistencyModel.STRONG, coherence) == "sc"
+
+    @pytest.mark.parametrize("coherence", SOFTWARE)
+    def test_strong_without_hardware_is_weak(self, coherence):
+        assert model_for_design(ConsistencyModel.STRONG, coherence) == "weak"
+
+    @pytest.mark.parametrize("coherence", HARDWARE + SOFTWARE)
+    @pytest.mark.parametrize(
+        "consistency",
+        (
+            ConsistencyModel.WEAK,
+            ConsistencyModel.RELEASE,
+            ConsistencyModel.CENTRALIZED_RELEASE,
+        ),
+    )
+    def test_weak_family_is_weak_regardless_of_protocol(self, consistency, coherence):
+        assert model_for_design(consistency, coherence) == "weak"
+
+
+class TestStoreBuffering:
+    @pytest.mark.parametrize("coherence", HARDWARE)
+    def test_exact_outcomes_under_hardware_protocols(self, coherence):
+        assert _outcomes("SB", ConsistencyModel.STRONG, coherence) == SB_SC
+
+    @pytest.mark.parametrize("coherence", SOFTWARE)
+    def test_exact_outcomes_without_hardware_coherence(self, coherence):
+        assert _outcomes("SB", ConsistencyModel.STRONG, coherence) == SB_WEAK
+
+    @pytest.mark.parametrize("coherence", HARDWARE)
+    def test_weak_ordering_readmits_the_stale_outcome(self, coherence):
+        assert _outcomes("SB", ConsistencyModel.WEAK, coherence) == SB_WEAK
+
+
+class TestMessagePassing:
+    @pytest.mark.parametrize("coherence", HARDWARE + SOFTWARE)
+    @pytest.mark.parametrize(
+        "consistency", (ConsistencyModel.STRONG, ConsistencyModel.WEAK)
+    )
+    def test_exact_outcomes_every_variant(self, consistency, coherence):
+        assert _outcomes("MP", consistency, coherence) == MP_BOTH
+
+    def test_flag_without_data_is_always_forbidden(self):
+        bad = (("r0", 1), ("r1", 0))
+        for coherence in HARDWARE + SOFTWARE:
+            assert bad not in _outcomes("MP", ConsistencyModel.WEAK, coherence)
+
+
+class TestCoherenceOfReads:
+    @pytest.mark.parametrize("coherence", HARDWARE + SOFTWARE)
+    @pytest.mark.parametrize(
+        "consistency", (ConsistencyModel.STRONG, ConsistencyModel.WEAK)
+    )
+    def test_exact_outcomes_every_variant(self, consistency, coherence):
+        assert _outcomes("CoRR", consistency, coherence) == CORR_BOTH
+
+    def test_value_never_goes_backwards(self):
+        bad = (("r0", 1), ("r1", 0))
+        for coherence in HARDWARE + SOFTWARE:
+            assert bad not in _outcomes("CoRR", ConsistencyModel.WEAK, coherence)

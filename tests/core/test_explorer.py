@@ -109,3 +109,31 @@ class TestDesignPointEvaluation:
             points=[dis, self.lrb_point()], kernels=two_kernels
         )
         assert ranked[0].point.address_space is AddressSpaceKind.PARTIALLY_SHARED
+
+
+class TestCoherenceOverhead:
+    @pytest.fixture(scope="class")
+    def overhead(self, explorer):
+        return explorer.run_coherence_overhead(kernels=[kernel("reduction")])
+
+    def test_grid_shape(self, overhead):
+        assert set(overhead) == {s.short for s in AddressSpaceKind}
+        for per_protocol in overhead.values():
+            assert set(per_protocol) == {"none", "snoop", "directory"}
+            for per_kernel in per_protocol.values():
+                assert set(per_kernel) == {"reduction"}
+
+    def test_results_labelled_by_space_and_protocol(self, overhead):
+        result = overhead["UNI"]["snoop"]["reduction"]
+        assert result.system == "UNI/snoop"
+        assert result.kernel == "reduction"
+
+    def test_unified_snoop_measures_nonzero_traffic(self, overhead):
+        counters = overhead["UNI"]["snoop"]["reduction"].counters
+        assert counters["snoop.broadcasts"] > 0
+        assert counters["snoop.tracked_lines"] > 0
+
+    def test_disjoint_shares_nothing(self, overhead):
+        for kind in ("snoop", "directory"):
+            counters = overhead["DIS"][kind]["reduction"].counters
+            assert counters[f"{kind}.tracked_lines"] == 0

@@ -131,3 +131,71 @@ class TestSoftwareCoherence:
         sw.record_write(0x0, GPU)
         sw.sync(GPU)
         assert sw.stats() == {"syncs": 1, "lines_flushed": 1}
+
+
+class TestStatsReset:
+    """Counter hygiene: every protocol counter registers and resets.
+
+    Mirrors the PR 1 prefetcher-reset bug, where a counter survived
+    ``reset_stats`` because it lived outside the registry: here the audit
+    is structural (stats() must be exactly the registry plus the derived
+    ``tracked_lines``) and behavioural (reset zeroes everything while the
+    MESI line state is kept).
+    """
+
+    def _drive(self, protocol):
+        protocol.access(0x0, CPU, is_write=False)
+        protocol.access(0x0, GPU, is_write=True)
+        protocol.access(0x40, GPU, is_write=False)
+        protocol.access(0x40, GPU, is_write=True)
+        protocol.access(0x40, CPU, is_write=False)
+
+    @pytest.mark.parametrize("kind", ["snoop", "directory"])
+    def test_every_stat_lives_in_the_metric_registry(self, kind):
+        from repro.mem.coherence.api import protocol_for
+
+        protocol = protocol_for(kind)
+        self._drive(protocol)
+        registered = set(protocol.metrics.as_dict())
+        assert set(protocol.stats()) == registered | {"tracked_lines"}
+
+    @pytest.mark.parametrize("kind", ["snoop", "directory"])
+    def test_reset_zeroes_counters_but_keeps_line_state(self, kind):
+        from repro.mem.coherence.api import protocol_for
+
+        protocol = protocol_for(kind)
+        self._drive(protocol)
+        before = protocol.stats()
+        assert any(v for name, v in before.items() if name != "tracked_lines")
+        tracked = protocol.tracked_lines
+        sharers = protocol.sharers(0x40)
+        protocol.reset_stats()
+        after = protocol.stats()
+        for name, value in after.items():
+            if name == "tracked_lines":
+                continue
+            assert value == 0, f"{kind}.{name} survived reset_stats"
+        assert protocol.tracked_lines == tracked
+        assert protocol.sharers(0x40) == sharers
+
+    def test_detailed_runs_do_not_leak_counters_across_runs(self):
+        # A second identical simulation must report identical protocol
+        # counters — each run builds a fresh machine, so any accumulation
+        # means a counter escaped the per-run registry.
+        from repro.config.presets import case_study
+        from repro.kernels.registry import kernel
+        from repro.sim.detailed import DetailedSimulator
+        from repro.sim.mmu import stage_shared_trace
+        from repro.taxonomy import AddressSpaceKind
+
+        trace = stage_shared_trace(
+            kernel("reduction").build().scaled(0.002), AddressSpaceKind.UNIFIED
+        )
+        case = case_study("CPU+GPU")
+        sim = DetailedSimulator()
+        first = sim.run(trace, case=case, coherence="snoop")
+        second = sim.run(trace, case=case, coherence="snoop")
+        keys = [k for k in first.counters if k.startswith("snoop.")]
+        assert keys, "snoop counters missing from the result"
+        for key in keys:
+            assert second.counters[key] == first.counters[key], key

@@ -101,3 +101,75 @@ class TestFormat:
         text = format_bench(sweep_doc())
         assert "Batched design-point sweep" in text
         assert "DetailedSimulator hot path" not in text
+
+
+def coherence_doc(slowdown=1.2):
+    return {
+        "schema": SCHEMA,
+        "coherence": {
+            "scale": 0.05,
+            "repeats": 1,
+            "case": "CPU+GPU",
+            "kernels": {
+                "reduction": {
+                    "off_seconds": 1.0,
+                    "protocols": {
+                        "snoop": {
+                            "seconds": slowdown,
+                            "slowdown": slowdown,
+                            "invalidations": 42.0,
+                        },
+                        "directory": {
+                            "seconds": 1.1,
+                            "slowdown": 1.1,
+                            "invalidations": 42.0,
+                        },
+                    },
+                }
+            },
+            "geomean_slowdown": {"snoop": slowdown, "directory": 1.1},
+        },
+    }
+
+
+class TestCoherenceSection:
+    def test_identical_docs_have_no_regressions(self):
+        assert compare_to_baseline(coherence_doc(), coherence_doc()) == []
+
+    def test_slowdown_growth_is_a_regression(self):
+        # The coherence section judges *slowdown* (higher is worse), the
+        # mirror of the speedup sections.
+        problems = compare_to_baseline(
+            coherence_doc(slowdown=2.0), coherence_doc(slowdown=1.2)
+        )
+        assert any(p.startswith("coherence/reduction/snoop") for p in problems)
+
+    def test_slowdown_within_tolerance_passes(self):
+        problems = compare_to_baseline(
+            coherence_doc(slowdown=1.5), coherence_doc(slowdown=1.2), tolerance=0.5
+        )
+        assert problems == []
+
+    def test_coherence_only_run_skips_other_sections(self):
+        assert compare_to_baseline(coherence_doc(), full_doc()) == []
+        assert compare_to_baseline(full_doc(), coherence_doc()) == []
+
+    def test_missing_kernel_flagged(self):
+        current = coherence_doc()
+        current["coherence"]["kernels"] = {}
+        problems = compare_to_baseline(current, coherence_doc())
+        assert problems == ["coherence/reduction: missing from current run"]
+
+    def test_format_renders_the_protocol_table(self):
+        text = format_bench(coherence_doc())
+        assert "Coherence protocol overhead" in text
+        assert "snoop x" in text and "directory x" in text
+        assert "1.20x" in text
+
+    def test_full_doc_with_coherence_renders_all_tables(self):
+        doc = full_doc()
+        doc["coherence"] = coherence_doc()["coherence"]
+        text = format_bench(doc)
+        assert "DetailedSimulator hot path" in text
+        assert "Coherence protocol overhead" in text
+        assert "Batched design-point sweep" in text

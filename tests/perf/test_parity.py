@@ -151,3 +151,54 @@ class TestCompileCacheSharing:
         before = SHARED_COMPILE_CACHE.hits
         DetailedSimulator().run(trace, case=case)
         assert SHARED_COMPILE_CACHE.hits > before
+
+
+class TestCoherentDesignPoints:
+    """The coherence axis rides the same bit-identity contract.
+
+    A protocol-on machine runs the per-access coherent front; the compiled
+    path must drive it through exactly the same access sequence as the
+    legacy generator — timings, protocol counters, everything.
+    """
+
+    def _staged(self, kernel_name):
+        from repro.sim.mmu import stage_shared_trace
+
+        return stage_shared_trace(
+            kernel(kernel_name).build().scaled(SCALE), AddressSpaceKind.UNIFIED
+        )
+
+    @pytest.mark.parametrize("protocol", ["snoop", "directory"])
+    def test_protocol_bit_identical(self, protocol):
+        trace = self._staged("reduction")
+        case = case_study("CPU+GPU")
+        legacy = DetailedSimulator(compiled=False).run(
+            trace, case=case, coherence=protocol
+        )
+        compiled = DetailedSimulator(compiled=True).run(
+            trace, case=case, coherence=protocol
+        )
+        assert_identical(legacy, compiled)
+        # The parity only means something if the protocol actually fired.
+        assert compiled.counters[f"{protocol}.tracked_lines"] > 0
+
+    def test_batched_sweep_matches_single_runs_per_protocol(self):
+        from repro.perf.sweep import SweepPoint, SweepSimulator
+
+        trace = self._staged("k-mean")
+        case = case_study("CPU+GPU")
+        points = [
+            SweepPoint(case=case, coherence=protocol, system_name=f"p/{protocol}")
+            for protocol in ("none", "snoop", "directory")
+        ]
+        batched = SweepSimulator().run(trace, points)
+        for point, result in zip(points, batched):
+            single = DetailedSimulator(compiled=True).run(
+                trace,
+                case=case,
+                coherence=point.coherence,
+                system_name=point.system_name,
+            )
+            assert single.breakdown == result.breakdown
+            assert single.phases == result.phases
+            assert single.counters == result.counters

@@ -1,0 +1,151 @@
+"""Access-mode declarations: derived modes, declared lowering, Table V deltas."""
+
+import pytest
+
+from repro.core.programmability import (
+    TABLE5_SPACE_ORDER,
+    declaration_savings,
+    table5_declared_dict,
+    table5_declared_rows,
+    table5_dict,
+    table5_rows,
+)
+from repro.errors import ProgramError
+from repro.progmodel import (
+    AccessDecl,
+    AccessMode,
+    access_modes,
+    all_program_specs,
+    lower,
+    program_spec,
+)
+from repro.taxonomy import AddressSpaceKind
+
+
+class TestAccessModes:
+    def test_inputs_are_read(self):
+        spec = program_spec("matrix mul")
+        modes = access_modes(spec)
+        assert modes["a"] is AccessMode.READ
+        assert modes["b"] is AccessMode.READ
+
+    def test_outputs_are_write(self):
+        assert access_modes(program_spec("matrix mul"))["c"] is AccessMode.WRITE
+
+    def test_reduce_buffers_are_reduce(self):
+        assert access_modes(program_spec("reduction"))["c"] is AccessMode.REDUCE
+        assert (
+            access_modes(program_spec("k-mean"))["partials"] is AccessMode.REDUCE
+        )
+
+    def test_every_shared_buffer_gets_a_mode(self):
+        for spec in all_program_specs():
+            assert set(access_modes(spec)) == set(spec.buffer_names)
+
+    def test_reduce_buffer_must_be_shared(self):
+        spec = program_spec("reduction")
+        with pytest.raises(ProgramError):
+            type(spec)(
+                name="broken",
+                buffers=spec.buffers,
+                gpu_call_sites=1,
+                computation_lines=10,
+                reduce_buffers=("nonexistent",),
+            )
+
+
+class TestDeclaredLowering:
+    """Comm-line formulas with N declarations (one per shared buffer)."""
+
+    @pytest.mark.parametrize("spec", all_program_specs(), ids=lambda s: s.name)
+    def test_unified_costs_only_the_declarations(self, spec):
+        n = len(spec.buffers)
+        program = lower(spec, AddressSpaceKind.UNIFIED, access_modes(spec))
+        assert program.comm_lines() == n
+
+    @pytest.mark.parametrize("spec", all_program_specs(), ids=lambda s: s.name)
+    def test_pas_collapses_to_one_ownership_pair(self, spec):
+        n = len(spec.buffers)
+        program = lower(spec, AddressSpaceKind.PARTIALLY_SHARED, access_modes(spec))
+        assert program.comm_lines() == 2 + n
+
+    @pytest.mark.parametrize("spec", all_program_specs(), ids=lambda s: s.name)
+    def test_adsm_declarations_replace_alloc_pairs(self, spec):
+        n = len(spec.buffers)
+        program = lower(spec, AddressSpaceKind.ADSM, access_modes(spec))
+        assert program.comm_lines() == n
+
+    @pytest.mark.parametrize("spec", all_program_specs(), ids=lambda s: s.name)
+    def test_disjoint_cannot_elide_copies(self, spec):
+        n = len(spec.buffers)
+        plain = lower(spec, AddressSpaceKind.DISJOINT).comm_lines()
+        program = lower(spec, AddressSpaceKind.DISJOINT, access_modes(spec))
+        assert program.comm_lines() == plain + n
+
+    def test_declarations_render_as_source_lines(self):
+        spec = program_spec("reduction")
+        program = lower(spec, AddressSpaceKind.UNIFIED, access_modes(spec))
+        decls = [s for s in program.statements if isinstance(s, AccessDecl)]
+        assert len(decls) == len(spec.buffers)
+        assert "declareAccess(c, reduce);" in program.render()
+
+    def test_missing_mode_is_an_error(self):
+        spec = program_spec("reduction")
+        modes = access_modes(spec)
+        modes.pop("a")
+        with pytest.raises(ProgramError):
+            lower(spec, AddressSpaceKind.UNIFIED, modes)
+
+    def test_unknown_buffer_mode_is_an_error(self):
+        spec = program_spec("reduction")
+        modes = access_modes(spec)
+        modes["bogus"] = AccessMode.READ
+        with pytest.raises(ProgramError):
+            lower(spec, AddressSpaceKind.UNIFIED, modes)
+
+    def test_legacy_lowering_is_untouched(self):
+        # The committed Table V counts must not move: no-modes lowering is
+        # byte-for-byte the Figure 2/3 pattern.
+        spec = program_spec("k-mean")
+        program = lower(spec, AddressSpaceKind.PARTIALLY_SHARED)
+        assert program.comm_lines() == 2 * spec.gpu_call_sites
+        assert "declareAccess" not in program.render()
+
+
+class TestDeclaredTable5:
+    def test_declared_rows_match_declared_dict(self):
+        table = table5_declared_dict()
+        for name, _comp, uni, pas, dis, adsm in table5_declared_rows():
+            assert table[name][AddressSpaceKind.UNIFIED] == uni
+            assert table[name][AddressSpaceKind.PARTIALLY_SHARED] == pas
+            assert table[name][AddressSpaceKind.DISJOINT] == dis
+            assert table[name][AddressSpaceKind.ADSM] == adsm
+
+    def test_rows_align_with_plain_table(self):
+        plain = table5_rows()
+        declared = table5_declared_rows()
+        assert [r[0] for r in plain] == [r[0] for r in declared]
+        assert [r[1] for r in plain] == [r[1] for r in declared]
+
+    def test_savings_sign_per_space(self):
+        savings = declaration_savings()
+        # ADSM always gets cheaper (N declarations replace 2N alloc lines);
+        # DIS strictly pays for useless declarations; UNI goes from zero to
+        # N per kernel. PAS only wins where call sites multiply: see below.
+        assert savings[AddressSpaceKind.ADSM] > 0
+        assert savings[AddressSpaceKind.DISJOINT] < 0
+        assert savings[AddressSpaceKind.UNIFIED] < 0
+
+    def test_pas_declarations_pay_off_with_many_call_sites(self):
+        plain = table5_dict()
+        declared = table5_declared_dict()
+        pas = AddressSpaceKind.PARTIALLY_SHARED
+        # k-mean has three GPU call sites: 2*3 = 6 plain ownership lines
+        # collapse to one pair plus two declarations.
+        assert plain["k-mean"][pas] == 6
+        assert declared["k-mean"][pas] == 4
+        # single-site kernels pay: the pair stays and declarations add.
+        assert declared["matrix mul"][pas] > plain["matrix mul"][pas]
+
+    def test_savings_cover_every_space(self):
+        assert set(declaration_savings()) == set(TABLE5_SPACE_ORDER)

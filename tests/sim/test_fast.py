@@ -221,3 +221,78 @@ class TestAnalyticProperties:
         result = fast_sim.run(kernel("k-mean").trace(), case=case_study("LRB"))
         assert result.counters["transfers"] == 6
         assert result.counters["page_faults"] > 0
+
+
+class TestCoherenceEstimate:
+    """The analytic invalidation-traffic estimate vs the detailed protocol.
+
+    The estimate is a streaming upper bound (every co-resident line
+    invalidated once per writer); the detailed protocol resolves some of
+    those conflicts silently. Parity here means order-of-magnitude: the
+    estimate must be nonzero when the protocol measures traffic, bound the
+    measured invalidations from above, and stay within a 10x band — close
+    enough that ``metrics-diff`` between fast and detailed is meaningful.
+    """
+
+    def _sharing_trace(self):
+        from repro.sim.mmu import SHARED_BASE
+        from repro.trace.mix import InstructionMix
+        from repro.trace.phase import CommPhase, Direction, ParallelPhase, Segment
+        from repro.trace.stream import KernelTrace
+        from repro.taxonomy import ProcessingUnit
+
+        kb = 1024
+        return KernelTrace(
+            name="pingpong",
+            phases=(
+                CommPhase(
+                    label="h2d",
+                    direction=Direction.H2D,
+                    num_bytes=4 * kb,
+                    num_objects=1,
+                ),
+                ParallelPhase(
+                    label="share",
+                    cpu=Segment(
+                        pu=ProcessingUnit.CPU,
+                        mix=InstructionMix(loads=256, stores=256, int_alu=256),
+                        base_addr=SHARED_BASE,
+                        footprint_bytes=4 * kb,
+                        label="cpu",
+                    ),
+                    gpu=Segment(
+                        pu=ProcessingUnit.GPU,
+                        mix=InstructionMix(simd_loads=256, simd_stores=256, int_alu=256),
+                        base_addr=SHARED_BASE,
+                        footprint_bytes=4 * kb,
+                        label="gpu",
+                    ),
+                ),
+            ),
+        )
+
+    def test_default_run_publishes_no_coherence_counters(self, fast_sim):
+        result = fast_sim.run(kernel("reduction").trace(), case=case_study("CPU+GPU"))
+        assert not any(k.startswith("coherence.") for k in result.counters)
+
+    @pytest.mark.parametrize("kind", ["snoop", "directory"])
+    def test_estimate_bounds_the_detailed_protocol(self, fast_sim, kind):
+        from repro.sim.detailed import DetailedSimulator
+
+        trace = self._sharing_trace()
+        case = case_study("CPU+GPU")
+        fast = fast_sim.run(trace, case=case, coherence=kind)
+        detailed = DetailedSimulator().run(trace, case=case, coherence=kind)
+        estimated = fast.counters["coherence.estimated_invalidations"]
+        actual = detailed.counters[f"{kind}.invalidations_sent"]
+        assert actual > 0
+        assert estimated >= actual
+        assert estimated <= 10 * actual
+
+    def test_none_estimate_matches_default(self, fast_sim):
+        trace = self._sharing_trace()
+        case = case_study("CPU+GPU")
+        default = fast_sim.run(trace, case=case)
+        off = fast_sim.run(trace, case=case, coherence="none")
+        assert off.counters == default.counters
+        assert off.total_seconds == default.total_seconds

@@ -296,3 +296,43 @@ class TestInterrupt:
         monkeypatch.setattr(cli_mod, "_cmd_compare", interrupted)
         assert main(["compare"]) == cli_mod.EXIT_INTERRUPTED == 130
         assert "interrupted" in capsys.readouterr().err
+
+
+class TestCoherenceSurfaces:
+    def test_figure_coherence_dispatches(self, capsys, monkeypatch):
+        # The full coherence figure is an 18 s detailed sweep (covered by
+        # tests/analysis); here we only pin the CLI wiring.
+        from repro.analysis import figures
+
+        monkeypatch.setattr(
+            figures, "coherence_text", lambda explorer: "coherence-figure-stub"
+        )
+        assert main(["figure", "coherence"]) == 0
+        assert "coherence-figure-stub" in capsys.readouterr().out
+
+    def test_bench_mode_coherence(self, capsys, tmp_path):
+        out = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench",
+                "--mode",
+                "coherence",
+                "--scale",
+                "0.002",
+                "--kernel",
+                "reduction",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "Coherence protocol overhead" in text
+        import json
+
+        doc = json.loads(out.read_text())
+        assert set(doc["coherence"]["kernels"]) == {"reduction"}
+        protocols = doc["coherence"]["kernels"]["reduction"]["protocols"]
+        assert set(protocols) == {"snoop", "directory"}
+        for cell in protocols.values():
+            assert cell["slowdown"] > 0

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""AST-based repo lint enforcing two project invariants.
+"""AST-based repo lint enforcing the project invariants.
 
 - **L001 — no bare ``print()`` in library code.** Status output must go
   through ``repro.obs.log`` so ``--quiet``/``-v`` and test capture work;
@@ -13,6 +13,11 @@
   ``AccessResult`` / ``CacheBlock`` objects per instruction; building
   one inside them silently reintroduces the overhead the compiled path
   removed. Allocate outside the loop or use the array records instead.
+- **L004 — no ``.state`` assignment outside the coherence package.**
+  ``CacheBlock.state`` is the MESI coherence state, owned entirely by
+  :mod:`repro.mem.coherence`; assigning it anywhere else bypasses the
+  protocol's transition functions and silently breaks the single-writer
+  invariant the sweep's traffic model depends on.
 
 Usage::
 
@@ -45,6 +50,10 @@ HOT_LOOP_FORBIDDEN = frozenset(
     {"Instruction", "MemRequest", "AccessResult", "CacheBlock"}
 )
 
+#: The package that owns MESI state transitions; ``.state`` attribute
+#: assignment in any file outside it is L004.
+COHERENCE_PACKAGE = "repro/mem/coherence"
+
 
 def _called_name(node: ast.Call) -> str | None:
     if isinstance(node.func, ast.Name):
@@ -68,7 +77,27 @@ def lint_source(source: str, path: Path) -> List[Violation]:
     """All violations in one python source file."""
     violations: List[Violation] = []
     tree = ast.parse(source, filename=str(path))
+    owns_mesi_state = COHERENCE_PACKAGE in path.as_posix()
     for node in ast.walk(tree):
+        if not owns_mesi_state:
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Attribute) and sub.attr == "state":
+                        violations.append(
+                            (
+                                path,
+                                sub.lineno,
+                                "L004",
+                                "direct .state assignment outside "
+                                "repro.mem.coherence; MESI transitions go "
+                                "through the protocol module only",
+                            )
+                        )
         if (
             isinstance(node, ast.Call)
             and isinstance(node.func, ast.Name)
