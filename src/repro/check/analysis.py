@@ -18,7 +18,10 @@ obligations the configuration imposes:
   (``DIS002``);
 - **staleness** — under explicit shared locality, ranges written by one
   PU must be pushed (a transfer in the producer-to-consumer direction)
-  before the other PU reads them (``LOC001``);
+  before the other PU reads them (``LOC001``). Since check v2 this is a
+  dataflow fact: the reaching-transfers fixpoint of
+  :mod:`repro.check.passes`, litmus-confirmed against the operational
+  executor;
 - **coherence declarations** — when the configuration carries access-mode
   declarations (a runtime that elides transfers from them), every
   parallel-phase write must land in a declared write/reduce range
@@ -28,7 +31,16 @@ obligations the configuration imposes:
   multiple-outcome nondeterminism is actually reachable under the design
   point's model (:func:`~repro.consistency.litmus.model_for_design`).
 
-Every pass is linear in the number of phases; the litmus confirmation
+With ``optimize=True`` the dataflow optimization passes join in:
+buffer liveness (``OPT001`` dead transfers), available copies
+(``OPT002`` redundant transfers, bytes-saved estimated), and access-mode
+inference (``INF001``, Table V-verified declareAccess suggestions). They
+are advisory — warnings that never gate simulation — so the default
+check keeps the paper kernels clean while ``--optimize`` (or the
+Explorer's ``check="optimize"``) surfaces the opportunities.
+
+Every pass is linear in the number of phases (the dataflow fixpoints
+converge in one sweep on linear trace CFGs); the litmus confirmation
 runs the exhaustive executor only on 4-instruction programs, so checking
 a kernel takes well under the 1 s budget.
 """
@@ -39,6 +51,12 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.check.config import CheckConfig
 from repro.check.findings import CheckReport, Finding
+from repro.check.passes import (
+    access_mode_findings,
+    dead_transfer_findings,
+    redundant_transfer_findings,
+    staleness_findings,
+)
 from repro.check.rules import rule
 from repro.consistency.litmus import model_for, model_for_design
 from repro.consistency.model import allowed_outcomes, is_allowed
@@ -264,55 +282,15 @@ def _check_transfers(trace: KernelTrace, config: CheckConfig) -> Iterable[Findin
                     )
 
 
-# -- LOC: staleness under explicit locality -----------------------------------
+# -- LOC: staleness under explicit locality (dataflow-backed) -----------------
 
 
 def _check_staleness(trace: KernelTrace, config: CheckConfig) -> Iterable[Finding]:
-    if not config.explicit_shared_locality:
-        return
-    # Ranges written by each PU and not yet pushed to the other side.
-    dirty: dict = {ProcessingUnit.CPU: [], ProcessingUnit.GPU: []}
-
-    def stale_overlap(reader: Segment) -> Optional[Tuple[Tuple[int, int], str]]:
-        if not _reads(reader):
-            return None
-        for span, label in dirty[reader.pu.other]:
-            if _overlaps(_span(reader), span):
-                return span, label
-        return None
-
-    for index, phase in enumerate(trace.phases):
-        if isinstance(phase, CommPhase):
-            # A transfer in a direction pushes everything the source PU
-            # produced (comm phases carry no ranges, so be conservative
-            # in the direction of *fewer* findings).
-            dirty[phase.direction.source] = []
-            continue
-        segments = (
-            (phase.segment,)
-            if isinstance(phase, SequentialPhase)
-            else (phase.cpu, phase.gpu)
-        )
-        # Reads see the state *before* this phase's writes land: check
-        # both halves first, then record the new dirty ranges.
-        for segment in segments:
-            hit = stale_overlap(segment)
-            if hit is not None:
-                span, producer = hit
-                yield _finding(
-                    "LOC001",
-                    trace,
-                    index,
-                    f"{segment.pu} reads [{span[0]:#x}..{span[1]:#x}) which "
-                    f"{segment.pu.other} produced in segment "
-                    f"{producer!r} with no intervening push/transfer",
-                    segment=segment.label,
-                )
-        for segment in segments:
-            if _writes(segment):
-                dirty[segment.pu].append(
-                    (_span(segment), segment.label or str(segment.pu))
-                )
+    """LOC001 via the reaching-transfers fixpoint (check v2): same
+    obligations as the PR-3 segment walk — reads see the state before
+    their phase's writes, a transfer pushes everything its source PU
+    produced — but computed as a dataflow fact and litmus-confirmed."""
+    return staleness_findings(trace, config)
 
 
 # -- COH: access-mode declaration discipline ----------------------------------
@@ -416,6 +394,20 @@ def _check_coherence(trace: KernelTrace, config: CheckConfig) -> Iterable[Findin
             )
 
 
+# -- OPT/INF: advisory optimization passes (optimize mode only) ---------------
+
+
+def _check_optimizations(
+    trace: KernelTrace, config: CheckConfig
+) -> Iterable[Finding]:
+    """The dataflow optimization rules: dead transfers (OPT001),
+    redundant transfers (OPT002), and inferable declarations (INF001).
+    Advisory only — check_trace runs them only with ``optimize=True``."""
+    yield from dead_transfer_findings(trace)
+    yield from redundant_transfer_findings(trace)
+    yield from access_mode_findings(trace, config)
+
+
 # -- entry points -------------------------------------------------------------
 
 _PASSES = (
@@ -427,16 +419,26 @@ _PASSES = (
 )
 
 
-def check_trace(trace: KernelTrace, config: CheckConfig) -> CheckReport:
-    """Statically analyze one trace under one configuration."""
+def check_trace(
+    trace: KernelTrace, config: CheckConfig, optimize: bool = False
+) -> CheckReport:
+    """Statically analyze one trace under one configuration.
+
+    ``optimize=True`` additionally runs the OPT/INF dataflow passes —
+    advisory warnings about transfer traffic the program could drop; the
+    default keeps the correctness rules only, so clean programs stay
+    clean."""
     findings: List[Finding] = []
     for check in _PASSES:
         findings.extend(check(trace, config))
+    if optimize:
+        findings.extend(_check_optimizations(trace, config))
     return CheckReport(trace=trace.name, config=config.label, findings=tuple(findings))
 
 
 def check_pairs(
     pairs: Sequence[Tuple[KernelTrace, CheckConfig]],
+    optimize: bool = False,
 ) -> List[CheckReport]:
     """Check a batch of (trace, configuration) pairs."""
-    return [check_trace(trace, config) for trace, config in pairs]
+    return [check_trace(trace, config, optimize=optimize) for trace, config in pairs]

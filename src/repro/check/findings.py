@@ -53,6 +53,11 @@ class Finding:
     run: ``True`` means the operational consistency executor proved the bad
     outcome reachable under the configured model; ``None`` means the rule
     is structural and no litmus program applies.
+
+    The optimization rules (``OPT*``) additionally estimate their payoff:
+    ``bytes_saved`` is the transfer traffic dropping the flagged phase
+    would remove, and ``space`` names the destination space it lands in
+    (``"host"``/``"device"``); both stay zero/empty for correctness rules.
     """
 
     rule: str
@@ -64,6 +69,8 @@ class Finding:
     segment: str = ""
     fix_hint: str = ""
     confirmed: Optional[bool] = None
+    bytes_saved: int = 0
+    space: str = ""
 
     @property
     def location(self) -> str:
@@ -96,6 +103,8 @@ class Finding:
             "segment": self.segment,
             "fix_hint": self.fix_hint,
             "confirmed": self.confirmed,
+            "bytes_saved": self.bytes_saved,
+            "space": self.space,
         }
 
 
@@ -153,12 +162,18 @@ class CheckReport:
         return "\n".join(lines)
 
     def as_dict(self) -> Dict[str, object]:
+        """JSON-facing form, byte-stable across runs: findings are emitted
+        in (rule, phase_index, segment) order — a total order independent
+        of discovery order — so exported reports diff cleanly in CI."""
+        serialized = sorted(
+            self.findings, key=lambda f: (f.rule, f.phase_index, f.segment)
+        )
         return {
             "trace": self.trace,
             "config": self.config,
             "errors": self.errors,
             "warnings": self.warnings,
-            "findings": [f.as_dict() for f in self.findings],
+            "findings": [f.as_dict() for f in serialized],
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -174,6 +189,11 @@ class CheckReport:
         for finding in self.findings:
             key = f"check.rule.{finding.rule}"
             samples[key] = samples.get(key, 0.0) + 1.0
+            if finding.bytes_saved:
+                saved = f"check.opt.bytes_saved.{finding.space or 'unknown'}"
+                samples[saved] = samples.get(saved, 0.0) + float(
+                    finding.bytes_saved
+                )
         return MetricSnapshot(samples)
 
 

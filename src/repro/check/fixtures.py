@@ -33,13 +33,20 @@ _KB = 1024
 
 @dataclass(frozen=True)
 class SeededViolation:
-    """A broken trace, the config it is broken under, and the expected rule."""
+    """A broken trace, the config it is broken under, and the expected rule.
+
+    ``optimize`` marks fixtures whose rule lives in the OPT/INF family:
+    those findings only surface when the checker runs in optimize mode
+    (``check_trace(..., optimize=True)`` / ``repro-explore check
+    --optimize``), so the harness must pass the flag through.
+    """
 
     name: str
     rule: str
     trace: KernelTrace
     config: CheckConfig
     description: str
+    optimize: bool = False
 
 
 def _seg(
@@ -360,6 +367,97 @@ def all_fixtures() -> Tuple[SeededViolation, ...]:
             description="both PUs accumulate into the reduce-declared range "
             "but the trace ends without a merge step",
         ),
+        SeededViolation(
+            name="dead-copy",
+            rule="OPT001",
+            trace=KernelTrace(
+                name="seeded-dead-copy",
+                phases=(
+                    _h2d(label="send"),
+                    ParallelPhase(
+                        label="compute",
+                        cpu=_seg(ProcessingUnit.CPU, loads=8, label="cpu-reader"),
+                        gpu=_seg(
+                            ProcessingUnit.GPU,
+                            loads=4,
+                            stores=4,
+                            base=_BASE + 8 * _KB,
+                            label="gpu-worker",
+                        ),
+                    ),
+                    _d2h(label="return"),
+                    SequentialPhase(
+                        label="host-update",
+                        segment=_seg(
+                            ProcessingUnit.CPU, stores=8, label="host-writer"
+                        ),
+                    ),
+                    _h2d(label="preload-unused"),
+                ),
+            ),
+            config=_DIS,
+            description="a trailing H2D delivers data no later phase ever "
+            "reads; the liveness pass proves every delivered byte dead",
+            optimize=True,
+        ),
+        SeededViolation(
+            name="redundant-resend",
+            rule="OPT002",
+            trace=KernelTrace(
+                name="seeded-kmean-resend",
+                phases=(
+                    _h2d(label="send-points"),
+                    ParallelPhase(
+                        label="assign-0",
+                        cpu=_seg(ProcessingUnit.CPU, loads=8, label="cpu-assign"),
+                        gpu=_seg(
+                            ProcessingUnit.GPU,
+                            loads=4,
+                            stores=4,
+                            base=_BASE + 8 * _KB,
+                            label="gpu-assign",
+                        ),
+                    ),
+                    _h2d(label="resend-points"),
+                    ParallelPhase(
+                        label="assign-1",
+                        cpu=_seg(ProcessingUnit.CPU, loads=8, label="cpu-assign"),
+                        gpu=_seg(
+                            ProcessingUnit.GPU,
+                            loads=4,
+                            stores=4,
+                            base=_BASE + 8 * _KB,
+                            label="gpu-assign",
+                        ),
+                    ),
+                    _d2h(label="return-partials"),
+                ),
+            ),
+            config=_DIS,
+            description="the k-mean resend anti-pattern: the point set is "
+            "copied H2D again between iterations although nothing host-side "
+            "touched it; the available-copies pass proves the copy redundant",
+            optimize=True,
+        ),
+        _inferred_modes_fixture(),
+    )
+
+
+def _inferred_modes_fixture() -> SeededViolation:
+    """INF001: the real k-mean kernel trace under an undeclared PAS
+    config — the inference pass reconstructs the declareAccess lines the
+    program admits and prices them against Table V's declared counts."""
+    from repro.kernels.registry import kernel
+
+    return SeededViolation(
+        name="undeclared-modes",
+        rule="INF001",
+        trace=kernel("k-mean").trace(),
+        config=_PAS_OWNED,
+        description="the k-mean kernel admits exact access-mode "
+        "declarations (points: read, partials: reduce) the program never "
+        "writes; declaring them saves two communication lines under PAS",
+        optimize=True,
     )
 
 

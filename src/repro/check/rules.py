@@ -10,7 +10,13 @@ Families follow the design-space axes of the paper:
 - ``DIS`` — explicit-transfer discipline of disjoint spaces (§II-A2);
 - ``LOC`` — staleness under explicit locality management (§II-B);
 - ``COH`` — access-mode declaration discipline when a coherent runtime
-  elides transfers from the declared modes (the coherence axis).
+  elides transfers from the declared modes (the coherence axis);
+- ``OPT`` — transfer-optimization opportunities found by the dataflow
+  passes (:mod:`repro.check.passes`): dead and redundant copies. These
+  never gate — they are reported only in optimize mode;
+- ``INF`` — inference suggestions: declarations the program admits but
+  never writes (access modes, cross-checked against Table V's declared
+  communication-line counts). Optimize mode only, like ``OPT``.
 """
 
 from __future__ import annotations
@@ -134,6 +140,34 @@ _RULES: Tuple[Rule, ...] = (
         applies_to="shared-window spaces with reduce-declared buffers",
         fix_hint="add a merge step (a sequential phase reading the partials, "
         "or a transfer gathering them) after the parallel reduction",
+    ),
+    Rule(
+        id="OPT001",
+        title="dead transfer (destination never read)",
+        severity=Severity.WARNING,
+        paper_section="§V-C communication overhead; buffer-liveness pass",
+        applies_to="any design point, in optimize mode",
+        fix_hint="drop the transfer: no later phase reads the copy it "
+        "delivers before it is overwritten or the trace ends",
+    ),
+    Rule(
+        id="OPT002",
+        title="redundant transfer (data already resident)",
+        severity=Severity.WARNING,
+        paper_section="§V-C communication overhead; available-copies pass",
+        applies_to="any design point, in optimize mode",
+        fix_hint="drop the transfer: every incoming path already left a "
+        "current copy of the data in the destination space",
+    ),
+    Rule(
+        id="INF001",
+        title="inferable access-mode declarations missing",
+        severity=Severity.WARNING,
+        paper_section="Table V declared counts; access-mode inference pass",
+        applies_to="undeclared programs on spaces where declarations elide "
+        "communication lines (UNI/PAS/ADSM)",
+        fix_hint="declare each shared buffer's access mode "
+        "(declareAccess(read|write|reduce))",
     ),
 )
 

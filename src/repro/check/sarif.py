@@ -1,0 +1,145 @@
+"""SARIF 2.1.0 export for check reports (``repro-explore check --sarif``).
+
+SARIF (Static Analysis Results Interchange Format, OASIS) is the lingua
+franca CI systems ingest to surface findings as code annotations. One
+:func:`to_sarif` document holds one run: the full rule catalog as
+``tool.driver.rules`` (stable indices, severity mapped to SARIF levels,
+fix hints as rule help), and one ``result`` per finding.
+
+Traces have no source files, so locations are *logical*: the fully
+qualified name is the finding's ``trace@phase[i](label)/segment``
+location string, the artifact URI is ``trace/<name>``, and the region's
+``startLine`` is the 1-based phase ordinal — phase ``i`` annotates "line"
+``i+1``, which renders usefully in any SARIF viewer.
+
+Findings are emitted in each report's byte-stable serialization order
+(rule, phase, segment), so the document — like the JSON export — diffs
+cleanly across runs. ``tools/validate_sarif.py`` structurally validates
+the output in CI without third-party schema dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.check.findings import CheckReport, Finding, Severity
+from repro.check.rules import RULES
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA_URI", "to_sarif", "write_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _rule_descriptors() -> List[Dict[str, object]]:
+    """The whole catalog, in stable catalog order (results index into it)."""
+    descriptors = []
+    for meta in RULES.values():
+        descriptors.append(
+            {
+                "id": meta.id,
+                "name": meta.title.title().replace(" ", "").replace("-", ""),
+                "shortDescription": {"text": meta.title},
+                "fullDescription": {
+                    "text": f"{meta.title} — applies to {meta.applies_to}."
+                },
+                "help": {"text": f"Fix: {meta.fix_hint}"},
+                "defaultConfiguration": {"level": _LEVELS[meta.severity]},
+                "properties": {
+                    "paperSection": meta.paper_section,
+                    "appliesTo": meta.applies_to,
+                },
+            }
+        )
+    return descriptors
+
+
+def _result(finding: Finding, config: str, rule_index: Dict[str, int]) -> Dict[str, object]:
+    message = finding.message
+    if finding.fix_hint:
+        message += f" Fix: {finding.fix_hint}."
+    result: Dict[str, object] = {
+        "ruleId": finding.rule,
+        "ruleIndex": rule_index[finding.rule],
+        "level": _LEVELS[finding.severity],
+        "message": {"text": message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f"trace/{finding.trace}",
+                        "uriBaseId": "TRACES",
+                    },
+                    "region": {"startLine": finding.phase_index + 1},
+                },
+                "logicalLocations": [
+                    {
+                        "name": finding.segment or finding.phase_label
+                        or f"phase[{finding.phase_index}]",
+                        "fullyQualifiedName": finding.location,
+                        "kind": "member",
+                    }
+                ],
+            }
+        ],
+        "properties": {
+            "trace": finding.trace,
+            "config": config,
+            "phaseIndex": finding.phase_index,
+            "phaseLabel": finding.phase_label,
+            "segment": finding.segment,
+            "confirmed": finding.confirmed,
+            "bytesSaved": finding.bytes_saved,
+            "space": finding.space,
+        },
+    }
+    return result
+
+
+def to_sarif(reports: Sequence[CheckReport]) -> Dict[str, object]:
+    """One SARIF 2.1.0 document over a batch of check reports."""
+    rule_index = {rule_id: i for i, rule_id in enumerate(RULES)}
+    results: List[Dict[str, object]] = []
+    for report in reports:
+        ordered = sorted(
+            report.findings, key=lambda f: (f.rule, f.phase_index, f.segment)
+        )
+        results.extend(
+            _result(finding, report.config, rule_index) for finding in ordered
+        )
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-check",
+                        "semanticVersion": "2.0.0",
+                        "rules": _rule_descriptors(),
+                    }
+                },
+                "invocations": [{"executionSuccessful": True}],
+                "results": results,
+                "properties": {
+                    "reports": len(reports),
+                    "findings": len(results),
+                    "errors": sum(r.errors for r in reports),
+                    "warnings": sum(r.warnings for r in reports),
+                },
+            }
+        ],
+    }
+
+
+def write_sarif(path: str, reports: Sequence[CheckReport]) -> None:
+    """Write the SARIF document (sorted keys, trailing newline)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_sarif(reports), handle, indent=2, sort_keys=True)
+        handle.write("\n")

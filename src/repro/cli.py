@@ -303,25 +303,32 @@ def _cmd_check(args: argparse.Namespace) -> int:
     if args.rule:
         rule(args.rule)  # validate the id up front (ConfigError on typos)
 
-    pairs = []
+    triples = []
     if args.fixtures:
         from repro.check.fixtures import all_fixtures
 
-        pairs = [(fx.trace, fx.config) for fx in all_fixtures()]
+        # OPT/INF fixtures only fire in optimize mode; each fixture says
+        # which mode it needs.
+        triples = [
+            (fx.trace, fx.config, fx.optimize or args.optimize)
+            for fx in all_fixtures()
+        ]
     else:
         kernels = [kernel(name) for name in args.kernel] or list(all_kernels())
         cases = [case_study(name) for name in args.case] or list(
             CASE_STUDIES.values()
         )
-        pairs = [
-            (k.trace(), CheckConfig.from_case_study(case))
+        triples = [
+            (k.trace(), CheckConfig.from_case_study(case), args.optimize)
             for k in kernels
             for case in cases
         ]
 
     reports = [
-        check_trace(trace, config).filtered(rule=args.rule, severity=severity)
-        for trace, config in pairs
+        check_trace(trace, config, optimize=optimize).filtered(
+            rule=args.rule, severity=severity
+        )
+        for trace, config, optimize in triples
     ]
     shown = reports if args.all else [r for r in reports if not r.ok]
     for report in shown:
@@ -342,6 +349,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
             )
             handle.write("\n")
         _out(f"wrote {args.json}")
+    if args.sarif:
+        from repro.check.sarif import write_sarif
+
+        write_sarif(args.sarif, reports)
+        _out(f"wrote {args.sarif}")
     if args.metrics_out:
         snapshot = merge_reports(reports)
         if args.metrics_out.endswith(".json"):
@@ -534,11 +546,12 @@ def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--check",
-        choices=("off", "warn", "error"),
+        choices=("off", "warn", "error", "optimize"),
         default="off",
         help="pre-simulation static memory-model checker: warn logs "
         "findings, error refuses violating (trace, design point) pairs "
-        "with exit code 4 (default off)",
+        "with exit code 4, optimize additionally logs advisory OPT/INF "
+        "findings without gating (default off)",
     )
     parser.add_argument(
         "--faults",
@@ -818,7 +831,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also print clean (trace, configuration) pairs",
     )
     p_check.add_argument(
+        "--optimize",
+        action="store_true",
+        help="also run the advisory dataflow optimization passes "
+        "(OPT001 dead transfers, OPT002 redundant transfers, INF001 "
+        "inferable declareAccess modes)",
+    )
+    p_check.add_argument(
         "--json", default=None, metavar="PATH", help="write the reports as JSON"
+    )
+    p_check.add_argument(
+        "--sarif",
+        default=None,
+        metavar="PATH",
+        help="write the findings as a SARIF 2.1.0 document (rule "
+        "metadata, locations, fix hints) for CI annotation",
     )
     p_check.add_argument(
         "--metrics-out",

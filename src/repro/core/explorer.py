@@ -44,7 +44,10 @@ __all__ = ["Explorer", "DesignPointEvaluation"]
 _log = get_logger("core.explorer")
 
 #: Valid values for the Explorer's pre-simulation check gate.
-CHECK_MODES = ("off", "warn", "error")
+#: ``optimize`` runs the checker with the advisory OPT/INF dataflow
+#: passes enabled and logs every finding, but — like ``warn`` — never
+#: refuses to simulate: optimization opportunities are not violations.
+CHECK_MODES = ("off", "warn", "error", "optimize")
 
 
 @dataclass(frozen=True)
@@ -120,7 +123,9 @@ class Explorer:
         #: Pre-simulation static checker gate (``repro.check``): ``"off"``
         #: skips it entirely (default — output stays byte-identical),
         #: ``"warn"`` logs findings, ``"error"`` refuses to simulate a
-        #: trace that violates its design point's obligations.
+        #: trace that violates its design point's obligations, and
+        #: ``"optimize"`` logs correctness *and* advisory OPT/INF
+        #: findings without ever gating.
         if check not in CHECK_MODES:
             raise ConfigError(
                 f"check mode must be one of {CHECK_MODES}, got {check!r}"
@@ -154,9 +159,12 @@ class Explorer:
         """Run the static checker on one (trace, config) pair if enabled.
 
         ``warn`` logs every finding; ``error`` raises :class:`CheckError`
-        when the report contains error-severity findings. Reports are
-        memoized per (trace, config), so repeated submissions of the same
-        pair (rank's big fan-out) check once.
+        when the report contains error-severity findings; ``optimize``
+        behaves like ``warn`` but additionally runs the OPT/INF dataflow
+        passes (dead/redundant transfers, inferable declarations) —
+        advisory findings that never gate. Reports are memoized per
+        (trace, config), so repeated submissions of the same pair (rank's
+        big fan-out) check once.
         """
         if self.check == "off":
             return
@@ -169,7 +177,7 @@ class Explorer:
                     "(previously reported)"
                 )
             return
-        report = check_trace(trace, config)
+        report = check_trace(trace, config, optimize=self.check == "optimize")
         for finding in report.findings:
             _log.warning("[check] %s", finding.line())
         self._check_memo[key] = not report.errors

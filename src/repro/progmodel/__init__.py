@@ -36,6 +36,7 @@ from repro.progmodel.ast import (
     Stmt,
     Sync,
 )
+from repro.progmodel.events import StmtEvent, statement_events
 from repro.progmodel.program import Program
 from repro.progmodel.spec import (
     BufferDirection,
@@ -74,4 +75,6 @@ __all__ = [
     "count_pushes",
     "Interpreter",
     "ExecutionLog",
+    "StmtEvent",
+    "statement_events",
 ]

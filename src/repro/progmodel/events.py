@@ -1,0 +1,145 @@
+"""IR lowering hook: the per-buffer event stream of a lowered program.
+
+The checker's analysis IR (:mod:`repro.check.ir`) wants to know *what
+each statement does to which buffers* without pattern-matching AST node
+types itself. :func:`statement_events` is that boundary: it walks a
+:class:`~repro.progmodel.program.Program` once and emits one neutral
+:class:`StmtEvent` per data-relevant statement (allocations, copies,
+ownership moves, launches, declarations, pushes, syncs), keyed by the
+statement's index so findings can point back at a source line. Comments
+and plain frees produce nothing.
+
+Keeping the hook here — inside ``repro.progmodel`` — means the AST can
+grow new statement types without the checker breaking: the statement's
+author extends the hook in the same change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.progmodel.ast import (
+    AccessDecl,
+    AcquireOwnership,
+    Alloc,
+    KernelLaunch,
+    Memcpy,
+    Push,
+    ReleaseOwnership,
+    Sync,
+)
+from repro.progmodel.program import Program
+from repro.taxonomy import ProcessingUnit
+from repro.trace.phase import Direction
+
+__all__ = ["StmtEvent", "statement_events"]
+
+
+@dataclass(frozen=True)
+class StmtEvent:
+    """What one statement does to the named buffers.
+
+    ``kind`` is one of ``alloc``/``copy``/``launch``/``acquire``/
+    ``release``/``declare``/``push``/``sync``; ``direction`` is set for
+    copies, ``mode`` for declarations, ``size`` in bytes where the
+    statement carries one.
+    """
+
+    index: int
+    kind: str
+    buffers: Tuple[str, ...]
+    label: str = ""
+    pu: ProcessingUnit = ProcessingUnit.CPU
+    direction: Optional[Direction] = None
+    size: int = 0
+    mode: str = ""
+
+
+def statement_events(program: Program) -> Tuple[StmtEvent, ...]:
+    """The data-relevant statements of ``program`` as neutral events."""
+    events: List[StmtEvent] = []
+    for index, stmt in enumerate(program.statements):
+        if isinstance(stmt, Alloc):
+            events.append(
+                StmtEvent(
+                    index=index,
+                    kind="alloc",
+                    buffers=(stmt.name,),
+                    label=stmt.render(),
+                    pu=(
+                        ProcessingUnit.GPU
+                        if stmt.kind in ("gpu_malloc", "adsmAlloc")
+                        else ProcessingUnit.CPU
+                    ),
+                    size=stmt.size,
+                )
+            )
+        elif isinstance(stmt, Memcpy):
+            events.append(
+                StmtEvent(
+                    index=index,
+                    kind="copy",
+                    buffers=(stmt.name,),
+                    label=stmt.render(),
+                    pu=stmt.direction.source,
+                    direction=stmt.direction,
+                    size=stmt.size,
+                )
+            )
+        elif isinstance(stmt, KernelLaunch):
+            events.append(
+                StmtEvent(
+                    index=index,
+                    kind="launch",
+                    buffers=tuple(stmt.args),
+                    label=stmt.render(),
+                    pu=stmt.pu,
+                )
+            )
+        elif isinstance(stmt, AcquireOwnership):
+            # The CPU "acquiring" takes the objects back from the GPU; the
+            # space gaining access is the acquirer's.
+            events.append(
+                StmtEvent(
+                    index=index,
+                    kind="acquire",
+                    buffers=tuple(stmt.names),
+                    label=stmt.render(),
+                    pu=stmt.by,
+                )
+            )
+        elif isinstance(stmt, ReleaseOwnership):
+            events.append(
+                StmtEvent(
+                    index=index,
+                    kind="release",
+                    buffers=tuple(stmt.names),
+                    label=stmt.render(),
+                    pu=stmt.by,
+                )
+            )
+        elif isinstance(stmt, AccessDecl):
+            events.append(
+                StmtEvent(
+                    index=index,
+                    kind="declare",
+                    buffers=(stmt.name,),
+                    label=stmt.render(),
+                    mode=stmt.mode.value,
+                )
+            )
+        elif isinstance(stmt, Push):
+            events.append(
+                StmtEvent(
+                    index=index,
+                    kind="push",
+                    buffers=(stmt.name,),
+                    label=stmt.render(),
+                )
+            )
+        elif isinstance(stmt, Sync):
+            events.append(
+                StmtEvent(index=index, kind="sync", buffers=(), label=stmt.render())
+            )
+    return tuple(events)

@@ -37,6 +37,11 @@ class TestFixtures:
             "DIS001",
             "DIS002",
             "LOC001",
+            "COH001",
+            "COH002",
+            "OPT001",
+            "OPT002",
+            "INF001",
         ):
             assert rule_id in out, f"{rule_id} missing from fixture report"
 
@@ -54,8 +59,63 @@ class TestFixtures:
         assert "WARNING" in out
         assert "ERROR" not in out
 
-    def test_unknown_rule_is_a_config_error(self):
+    def test_unknown_rule_is_a_config_error(self, capsys):
+        """Regression: an unknown --rule id must exit 2 with the known-id
+        list on stderr — never a traceback."""
         assert main(["check", "--rule", "RACE999"]) == EXIT_CONFIG_ERROR
+        err = capsys.readouterr().err
+        assert "unknown check rule 'RACE999'" in err
+        assert "known:" in err
+        for rule_id in ("RACE001", "OPT001", "OPT002", "INF001"):
+            assert rule_id in err
+        assert "Traceback" not in err
+
+    def test_unknown_rule_with_fixtures_still_exits_two(self):
+        assert (
+            main(["check", "--fixtures", "--rule", "BOGUS"]) == EXIT_CONFIG_ERROR
+        )
+
+
+class TestOptimizeMode:
+    def test_kernels_stay_clean_of_opt_rules_by_default(self, capsys):
+        assert main(["check"]) == EXIT_OK
+        out = capsys.readouterr().out
+        for rule_id in ("OPT001", "OPT002", "INF001"):
+            assert rule_id not in out
+
+    def test_optimize_surfaces_inf001_on_kmean(self, capsys):
+        code = main(["check", "--optimize", "--kernel", "k-mean", "--case", "LRB"])
+        assert code == EXIT_CHECK_VIOLATIONS
+        out = capsys.readouterr().out
+        assert "INF001" in out
+        assert "declareAccess(points, read)" in out
+        assert "declareAccess(partials, reduce)" in out
+
+    def test_optimize_finds_no_dead_or_redundant_transfers_in_paper_kernels(
+        self, capsys
+    ):
+        """The paper kernels' transfer schedules are already minimal: the
+        OPT passes must not flag them under any case study."""
+        main(["check", "--optimize"])
+        out = capsys.readouterr().out
+        assert "OPT001" not in out
+        assert "OPT002" not in out
+
+    def test_figure_accepts_check_optimize(self, capsys):
+        """Regression: the simulation commands' --check flag must accept
+        every Explorer gate mode. optimize logs the advisory findings
+        (INF001 on the undeclared kernels) but never gates, so the run
+        still exits 0 with the figure body unchanged after the log lines."""
+        assert main(["figure", "5"]) == EXIT_OK
+        plain = capsys.readouterr().out
+        assert main(["figure", "5", "--check", "optimize"]) == EXIT_OK
+        gated = capsys.readouterr().out
+        advisories = [line for line in gated.splitlines() if "INF001" in line]
+        assert advisories, "optimize gate should surface INF001 advisories"
+        body = "\n".join(
+            line for line in gated.splitlines() if "[check]" not in line
+        )
+        assert body.strip("\n") == plain.strip("\n")
 
 
 class TestExports:
@@ -64,9 +124,30 @@ class TestExports:
         main(["check", "--fixtures", "--json", str(path)])
         capsys.readouterr()
         reports = json.loads(path.read_text())
-        assert len(reports) == 11
+        assert len(reports) == 14
         rules = {f["rule"] for r in reports for f in r["findings"]}
         assert "RACE001" in rules and "LOC001" in rules
+        assert {"OPT001", "OPT002", "INF001"} <= rules
+
+    def test_sarif_export(self, tmp_path, capsys):
+        path = tmp_path / "findings.sarif"
+        main(["check", "--fixtures", "--sarif", str(path)])
+        capsys.readouterr()
+        doc = json.loads(path.read_text())
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-check"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        result_rules = {r["ruleId"] for r in run["results"]}
+        assert result_rules <= rule_ids
+        assert {"OPT001", "OPT002", "INF001"} <= result_rules
+
+    def test_sarif_export_is_byte_stable(self, tmp_path, capsys):
+        a, b = tmp_path / "a.sarif", tmp_path / "b.sarif"
+        main(["check", "--fixtures", "--sarif", str(a)])
+        main(["check", "--fixtures", "--sarif", str(b)])
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
 
     @pytest.mark.parametrize("suffix", ["csv", "json"])
     def test_metrics_export(self, tmp_path, capsys, suffix):

@@ -33,7 +33,7 @@ class FakeKernel:
 
 class TestModes:
     def test_valid_modes(self):
-        assert CHECK_MODES == ("off", "warn", "error")
+        assert CHECK_MODES == ("off", "warn", "error", "optimize")
         for mode in CHECK_MODES:
             assert Explorer(check=mode).check == mode
 
@@ -81,6 +81,26 @@ class TestGate:
         explorer = Explorer(check="error")
         config = CheckConfig.from_case_study(CASE_STUDIES["LRB"])
         explorer._gate(all_kernels()[0].trace(), config)
+
+    def test_optimize_mode_logs_opt_findings_without_raising(self):
+        """check="optimize" surfaces the advisory OPT findings (here a
+        dead transfer) but never refuses to simulate."""
+        fixture = _fixture("dead-copy")
+        explorer = Explorer(check="optimize")
+        stream = io.StringIO()
+        configure_logging(0, stream=stream)
+        try:
+            explorer._gate(fixture.trace, fixture.config)  # must not raise
+        finally:
+            configure_logging(0)
+        assert "OPT001" in stream.getvalue()
+
+    def test_optimize_mode_never_gates_even_on_errors(self):
+        """Even error-severity correctness findings only log in optimize
+        mode — it is a reporting mode, not a gate."""
+        fixture = _fixture("race-write-write")
+        explorer = Explorer(check="optimize")
+        explorer._gate(fixture.trace, fixture.config)  # must not raise
 
 
 class TestExplorerRuns:

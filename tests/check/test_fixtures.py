@@ -17,11 +17,19 @@ EXPECTED_PHASE = {
     "stale-read": 2,
     "undeclared-write": 1,
     "reduce-without-merge": 1,
+    "dead-copy": 4,
+    "redundant-resend": 2,
+    "undeclared-modes": 1,
 }
 
 
 def _by_name():
     return {fixture.name: fixture for fixture in all_fixtures()}
+
+
+def _report(fixture):
+    """Check a fixture in the mode it declares (OPT/INF need optimize)."""
+    return check_trace(fixture.trace, fixture.config, optimize=fixture.optimize)
 
 
 class TestCoverage:
@@ -39,7 +47,7 @@ class TestCoverage:
 class TestDetection:
     def test_each_fixture_reports_its_rule_at_the_seeded_phase(self):
         for fixture in all_fixtures():
-            report = check_trace(fixture.trace, fixture.config)
+            report = _report(fixture)
             matching = [f for f in report.findings if f.rule == fixture.rule]
             assert matching, (
                 f"{fixture.name}: {fixture.rule} not reported; got "
@@ -53,15 +61,46 @@ class TestDetection:
 
     def test_findings_carry_rule_metadata(self):
         for fixture in all_fixtures():
-            report = check_trace(fixture.trace, fixture.config)
+            report = _report(fixture)
             for finding in report.findings:
                 meta = RULES[finding.rule]
                 assert finding.severity is meta.severity
-                assert finding.fix_hint == meta.fix_hint
+                # INF001 refines the catalog hint with the exact
+                # declareAccess lines; every other rule uses it verbatim.
+                if finding.rule == "INF001":
+                    assert finding.fix_hint.startswith("add declareAccess(")
+                else:
+                    assert finding.fix_hint == meta.fix_hint
                 assert finding.trace == fixture.trace.name
 
     def test_sb_fixture_is_litmus_confirmed(self):
         fixture = _by_name()["store-buffering-exchange"]
-        report = check_trace(fixture.trace, fixture.config)
+        report = _report(fixture)
         cons = [f for f in report.findings if f.rule == "CONS001"]
         assert cons and cons[0].confirmed is True
+
+    def test_opt_fixtures_are_silent_without_optimize(self):
+        """The OPT/INF rules are advisory: in default (correctness) mode
+        their fixtures report nothing at all."""
+        for name in ("dead-copy", "redundant-resend", "undeclared-modes"):
+            fixture = _by_name()[name]
+            report = check_trace(fixture.trace, fixture.config)
+            assert report.ok, report.format_text()
+
+    def test_opt_fixtures_fire_exactly_their_rule(self):
+        """Each optimize fixture seeds exactly one opportunity — no
+        collateral findings from the other passes."""
+        for name in ("dead-copy", "redundant-resend", "undeclared-modes"):
+            fixture = _by_name()[name]
+            report = _report(fixture)
+            assert [f.rule for f in report.findings] == [fixture.rule], (
+                report.format_text()
+            )
+
+    def test_opt_fixtures_carry_bytes_saved(self):
+        for name in ("dead-copy", "redundant-resend"):
+            fixture = _by_name()[name]
+            report = _report(fixture)
+            finding = report.findings[0]
+            assert finding.bytes_saved > 0
+            assert finding.space in ("host", "device")

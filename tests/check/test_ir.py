@@ -1,0 +1,181 @@
+"""Unit tests for the analysis IR (`repro.check.ir`)."""
+
+import pytest
+
+from repro.check.ir import (
+    AddressAtoms,
+    AnalysisCFG,
+    EventKind,
+    IRNode,
+    Space,
+    cfg_from_program,
+    cfg_from_trace,
+)
+from repro.errors import CheckError
+from repro.progmodel.lowering import lower
+from repro.progmodel.spec import program_spec
+from repro.taxonomy import AddressSpaceKind, ProcessingUnit
+from repro.trace.mix import InstructionMix
+from repro.trace.phase import CommPhase, Direction, ParallelPhase, Segment
+from repro.trace.stream import KernelTrace
+
+KB = 1024
+BASE = 0x1000_0000
+
+
+def _seg(pu, loads=0, stores=0, base=BASE, footprint=4 * KB, label="seg"):
+    if pu is ProcessingUnit.GPU:
+        mix = InstructionMix(simd_loads=loads, simd_stores=stores, int_alu=8)
+    else:
+        mix = InstructionMix(loads=loads, stores=stores, int_alu=8)
+    return Segment(
+        pu=pu, mix=mix, base_addr=base, footprint_bytes=footprint, label=label
+    )
+
+
+class TestSpace:
+    def test_other_is_an_involution(self):
+        for space in Space:
+            assert space.other.other is space
+
+    def test_pu_round_trips(self):
+        for space in Space:
+            assert Space.of(space.pu) is space
+
+
+class TestAddressAtoms:
+    def test_overlapping_spans_are_cut_at_every_boundary(self):
+        atoms = AddressAtoms([(0, 100), (50, 150)])
+        assert atoms.atoms == ((0, 50), (50, 100), (100, 150))
+
+    def test_gaps_between_spans_are_not_atoms(self):
+        atoms = AddressAtoms([(0, 10), (20, 30)])
+        assert atoms.atoms == ((0, 10), (20, 30))
+
+    def test_mask_for_selects_contained_atoms_only(self):
+        atoms = AddressAtoms([(0, 100), (50, 150)])
+        assert atoms.mask_for(0, 100) == 0b011
+        assert atoms.mask_for(50, 150) == 0b110
+        assert atoms.mask_for(0, 150) == atoms.all_mask == 0b111
+        # A range strictly inside one atom contains no whole atom.
+        assert atoms.mask_for(60, 70) == 0
+
+    def test_bytes_of_sums_selected_atom_sizes(self):
+        atoms = AddressAtoms([(0, 100), (50, 150)])
+        assert atoms.bytes_of(atoms.all_mask) == 150
+        assert atoms.bytes_of(0b010) == 50
+
+    def test_spans_of_merges_contiguous_atoms(self):
+        atoms = AddressAtoms([(0, 100), (50, 150)])
+        assert atoms.spans_of(0b111) == ((0, 150),)
+        assert atoms.spans_of(0b101) == ((0, 50), (100, 150))
+
+    def test_empty_and_degenerate_spans(self):
+        assert AddressAtoms([]).atoms == ()
+        assert AddressAtoms([(5, 5)]).atoms == ()
+        assert AddressAtoms([]).all_mask == 0
+
+
+class TestAnalysisCFG:
+    def _node(self, i):
+        return IRNode(index=i, kind="stmt", phase_index=i)
+
+    def test_preds_and_succs(self):
+        cfg = AnalysisCFG(
+            nodes=tuple(self._node(i) for i in range(3)),
+            edges=((0, 1), (1, 2), (0, 2)),
+        )
+        assert cfg.preds(2) == (1, 0)
+        assert cfg.succs(0) == (1, 2)
+        assert cfg.preds(0) == ()
+        assert len(cfg) == 3
+
+    def test_misindexed_node_rejected(self):
+        with pytest.raises(CheckError, match="carries index"):
+            AnalysisCFG(nodes=(self._node(1),), edges=())
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(CheckError, match="out of range"):
+            AnalysisCFG(nodes=(self._node(0),), edges=((0, 5),))
+
+
+class TestTraceLowering:
+    def _trace(self):
+        return KernelTrace(
+            name="t",
+            phases=(
+                CommPhase(
+                    label="send",
+                    direction=Direction.H2D,
+                    num_bytes=4 * KB,
+                    num_objects=2,
+                ),
+                ParallelPhase(
+                    label="work",
+                    cpu=_seg(ProcessingUnit.CPU, loads=4, label="c"),
+                    gpu=_seg(ProcessingUnit.GPU, loads=2, stores=2, label="g"),
+                ),
+            ),
+        )
+
+    def test_linear_shape_with_entry_and_exit(self):
+        ir = cfg_from_trace(self._trace())
+        kinds = [node.kind for node in ir.cfg.nodes]
+        assert kinds == ["entry", "comm", "parallel", "exit"]
+        assert ir.cfg.edges == ((0, 1), (1, 2), (2, 3))
+        assert ir.cfg.nodes[0].phase_index == -1
+        assert ir.cfg.nodes[1].phase_index == 0
+
+    def test_comm_phase_events(self):
+        ir = cfg_from_trace(self._trace())
+        events = ir.cfg.nodes[1].events
+        kinds = {e.kind for e in events}
+        assert kinds == {EventKind.TRANSFER, EventKind.RELEASE, EventKind.ACQUIRE}
+        transfer = next(e for e in events if e.kind is EventKind.TRANSFER)
+        # H2D lands in the device space and conservatively covers all atoms.
+        assert transfer.space is Space.DEVICE
+        assert transfer.mask == ir.atoms.all_mask
+        assert transfer.num_bytes == 4 * KB
+        release = next(e for e in events if e.kind is EventKind.RELEASE)
+        assert release.space is Space.HOST and release.num_objects == 2
+
+    def test_segment_use_precedes_def(self):
+        ir = cfg_from_trace(self._trace())
+        gpu_events = [
+            e for e in ir.cfg.nodes[2].events if e.space is Space.DEVICE
+        ]
+        assert [e.kind for e in gpu_events] == [EventKind.USE, EventKind.DEF]
+
+    def test_read_only_segment_has_no_def(self):
+        ir = cfg_from_trace(self._trace())
+        cpu_events = [e for e in ir.cfg.nodes[2].events if e.space is Space.HOST]
+        assert [e.kind for e in cpu_events] == [EventKind.USE]
+
+
+class TestProgramLowering:
+    def test_device_aliases_fold_onto_host_buffers(self):
+        spec = program_spec("k-mean")
+        program = lower(spec, AddressSpaceKind.DISJOINT)
+        ir = cfg_from_program(program, spec)
+        # The disjoint lowering names gpu_points/gpu_partials; the IR
+        # universe still has one atom per *host* buffer.
+        assert set(ir.buffer_bits) == {"points", "partials"}
+        assert ir.mask_for("points") != ir.mask_for("partials")
+
+    def test_launch_splits_into_use_inputs_def_outputs(self):
+        spec = program_spec("k-mean")
+        program = lower(spec, AddressSpaceKind.DISJOINT)
+        ir = cfg_from_program(program, spec)
+        launches = [
+            node
+            for node in ir.cfg.nodes
+            if any(e.kind is EventKind.DEF for e in node.events)
+            and node.kind == "stmt"
+            and any(e.kind is EventKind.USE for e in node.events)
+        ]
+        assert launches, "expected at least one kernel launch node"
+        for node in launches:
+            use = next(e for e in node.events if e.kind is EventKind.USE)
+            define = next(e for e in node.events if e.kind is EventKind.DEF)
+            assert use.mask == ir.mask_for("points")
+            assert define.mask == ir.mask_for("partials")

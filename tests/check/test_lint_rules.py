@@ -111,6 +111,61 @@ class TestCommandLine:
         assert "L001" in result.stderr and "L002" in result.stderr
 
 
+class TestRuleCatalogCoverage:
+    """L005: every check rule needs a fixture and a docs entry."""
+
+    RULES_SRC = (
+        "_RULES = (\n"
+        '    Rule(id="RACE001", title="t"),\n'
+        '    Rule(id="OPT999", title="t"),\n'
+        ")\n"
+    )
+
+    def catalog_violations(self, fixtures_src, docs_text):
+        return [
+            (rule, message)
+            for _, _, rule, message in lint_rules.lint_rule_catalog(
+                self.RULES_SRC, fixtures_src, docs_text
+            )
+        ]
+
+    def test_covered_catalog_is_clean(self):
+        fixtures = 'SeededViolation(rule="RACE001")\nSeededViolation(rule="OPT999")\n'
+        docs = "| `RACE001` | error | ... |\n| `OPT999` | warning | ... |\n"
+        assert self.catalog_violations(fixtures, docs) == []
+
+    def test_missing_fixture_flagged(self):
+        fixtures = 'SeededViolation(rule="RACE001")\n'
+        docs = "`RACE001` `OPT999`"
+        found = self.catalog_violations(fixtures, docs)
+        assert len(found) == 1
+        rule, message = found[0]
+        assert rule == "L005" and "OPT999" in message and "fixture" in message
+
+    def test_missing_docs_entry_flagged(self):
+        fixtures = 'SeededViolation(rule="RACE001")\nSeededViolation(rule="OPT999")\n'
+        docs = "only `RACE001` is documented"
+        found = self.catalog_violations(fixtures, docs)
+        assert len(found) == 1
+        rule, message = found[0]
+        assert rule == "L005" and "OPT999" in message and "documented" in message
+
+    def test_live_catalog_is_covered(self):
+        """The real rules.py / fixtures.py / docs triple passes L005."""
+        rules_path = REPO_ROOT / "src" / "repro" / "check" / "rules.py"
+        found = lint_rules._lint_catalog_files(rules_path)
+        assert found == [], found
+
+    def test_cli_runs_catalog_check(self):
+        result = subprocess.run(
+            [sys.executable, str(LINT), "src/repro/check/rules.py"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        assert result.returncode == 0, result.stderr
+
+
 class TestMesiStateOwnership:
     def test_state_assignment_flagged_outside_coherence(self):
         assert violations("block.state = MESIState.MODIFIED\n") == [("L004", 1)]

@@ -1,0 +1,59 @@
+"""Golden-file pin of the byte-stable CheckReport JSON export.
+
+``CheckReport.as_dict`` sorts findings by ``(rule, phase_index,
+segment)`` and the CLI serializes with ``indent=2, sort_keys=True``, so
+the fixture suite's JSON export is a deterministic function of the
+checker alone. The committed golden pins that contract: any byte drift
+means either the export stability broke (a bug) or the checker's output
+deliberately changed (regenerate with
+``repro-explore check --fixtures --json tests/check/golden/fixture_reports.json``
+and review the diff).
+"""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+GOLDEN = Path(__file__).parent / "golden" / "fixture_reports.json"
+
+
+def _export(tmp_path, name):
+    path = tmp_path / name
+    main(["check", "--fixtures", "--json", str(path)])
+    return path
+
+
+class TestGolden:
+    def test_fixture_export_matches_the_committed_golden(self, tmp_path, capsys):
+        produced = _export(tmp_path, "reports.json")
+        capsys.readouterr()
+        assert produced.read_bytes() == GOLDEN.read_bytes(), (
+            "fixture JSON export drifted from tests/check/golden/"
+            "fixture_reports.json — if the change is intentional, "
+            "regenerate the golden and review the diff"
+        )
+
+    def test_export_is_byte_stable_run_to_run(self, tmp_path, capsys):
+        first = _export(tmp_path, "a.json")
+        second = _export(tmp_path, "b.json")
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_golden_findings_are_in_canonical_order(self):
+        """The stability contract itself: findings sorted by
+        (rule, phase_index, segment) within every report."""
+        reports = json.loads(GOLDEN.read_text())
+        assert len(reports) == 14
+        for report in reports:
+            keys = [
+                (f["rule"], f["phase_index"], f["segment"])
+                for f in report["findings"]
+            ]
+            assert keys == sorted(keys), report["trace"]
+
+    def test_golden_covers_every_rule_family(self):
+        reports = json.loads(GOLDEN.read_text())
+        rules = {f["rule"] for r in reports for f in r["findings"]}
+        assert {"RACE001", "CONS001", "PAS001", "DIS001", "LOC001"} <= rules
+        assert {"COH001", "COH002", "OPT001", "OPT002", "INF001"} <= rules

@@ -1,0 +1,183 @@
+"""Unit tests for the SARIF export and its CI validator.
+
+The export itself (`repro.check.sarif`) is pinned here at the document
+level; the end-to-end CLI path and byte-stability live in
+`test_cli_check.py`. The second half drives `tools/validate_sarif.py` —
+the stdlib validator CI runs against the export — both ways: the real
+export must validate clean, and targeted corruptions must each produce
+an error (a validator that accepts everything would be worse than none).
+"""
+
+import copy
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.check import check_trace
+from repro.check.fixtures import all_fixtures
+from repro.check.rules import RULES
+from repro.check.sarif import SARIF_SCHEMA_URI, SARIF_VERSION, to_sarif
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+import validate_sarif  # noqa: E402
+
+
+def _fixture_reports():
+    return [
+        check_trace(fx.trace, fx.config, optimize=fx.optimize)
+        for fx in all_fixtures()
+    ]
+
+
+def _doc():
+    return to_sarif(_fixture_reports())
+
+
+class TestExport:
+    def test_envelope(self):
+        doc = _doc()
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        assert doc["$schema"] == SARIF_SCHEMA_URI
+        assert len(doc["runs"]) == 1
+
+    def test_driver_carries_the_whole_catalog_in_order(self):
+        driver = _doc()["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-check"
+        assert [r["id"] for r in driver["rules"]] == list(RULES)
+
+    def test_rule_indices_point_into_the_catalog(self):
+        run = _doc()["runs"][0]
+        ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        for result in run["results"]:
+            assert ids[result["ruleIndex"]] == result["ruleId"]
+
+    def test_levels_map_severities(self):
+        for result in _doc()["runs"][0]["results"]:
+            assert result["level"] == RULES[result["ruleId"]].severity.value
+
+    def test_region_start_line_is_the_one_based_phase_ordinal(self):
+        for result in _doc()["runs"][0]["results"]:
+            physical = result["locations"][0]["physicalLocation"]
+            assert (
+                physical["region"]["startLine"]
+                == result["properties"]["phaseIndex"] + 1
+            )
+            assert physical["artifactLocation"]["uri"].startswith("trace/")
+
+    def test_results_are_sorted_within_each_report(self):
+        # One report per fixture, each internally (rule, phase, segment)
+        # sorted; fixtures have one finding family each, so adjacent
+        # same-trace results must be non-decreasing in that key.
+        results = _doc()["runs"][0]["results"]
+        for a, b in zip(results, results[1:]):
+            if a["properties"]["trace"] != b["properties"]["trace"]:
+                continue
+            key = lambda r: (  # noqa: E731
+                r["ruleId"],
+                r["properties"]["phaseIndex"],
+                r["properties"]["segment"],
+            )
+            assert key(a) <= key(b)
+
+    def test_run_properties_count_findings(self):
+        reports = _fixture_reports()
+        run = to_sarif(reports)["runs"][0]
+        assert run["properties"]["reports"] == len(reports)
+        assert run["properties"]["findings"] == len(run["results"])
+
+
+class TestValidator:
+    def test_real_export_validates_clean(self):
+        assert validate_sarif.validate(_doc()) == []
+
+    def test_reported_rule_ids(self):
+        seen = validate_sarif.reported_rule_ids(_doc())
+        assert {"RACE001", "OPT001", "OPT002", "INF001"} <= seen
+
+    def _corrupt(self, mutate):
+        doc = copy.deepcopy(_doc())
+        mutate(doc)
+        return validate_sarif.validate(doc)
+
+    def test_wrong_version_rejected(self):
+        errors = self._corrupt(lambda d: d.__setitem__("version", "2.0.0"))
+        assert any("version" in e for e in errors)
+
+    def test_unknown_rule_id_rejected(self):
+        def mutate(doc):
+            doc["runs"][0]["results"][0]["ruleId"] = "BOGUS999"
+
+        errors = self._corrupt(mutate)
+        assert any("BOGUS999" in e for e in errors)
+
+    def test_mismatched_rule_index_rejected(self):
+        def mutate(doc):
+            doc["runs"][0]["results"][0]["ruleIndex"] += 1
+
+        assert self._corrupt(mutate)
+
+    def test_missing_message_rejected(self):
+        def mutate(doc):
+            doc["runs"][0]["results"][0]["message"] = {}
+
+        errors = self._corrupt(mutate)
+        assert any("message.text" in e for e in errors)
+
+    def test_zero_start_line_rejected(self):
+        def mutate(doc):
+            location = doc["runs"][0]["results"][0]["locations"][0]
+            location["physicalLocation"]["region"]["startLine"] = 0
+
+        errors = self._corrupt(mutate)
+        assert any("startLine" in e for e in errors)
+
+    def test_empty_runs_rejected(self):
+        errors = self._corrupt(lambda d: d.__setitem__("runs", []))
+        assert any("runs" in e for e in errors)
+
+    def test_duplicate_rule_ids_rejected(self):
+        def mutate(doc):
+            rules = doc["runs"][0]["tool"]["driver"]["rules"]
+            rules.append(dict(rules[0]))
+
+        errors = self._corrupt(mutate)
+        assert any("duplicate" in e for e in errors)
+
+
+class TestValidatorCli:
+    def _run(self, *args):
+        return subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "validate_sarif.py"), *args],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+
+    def test_valid_file_with_required_rules_exits_zero(self, tmp_path):
+        from repro.check.sarif import write_sarif
+
+        path = tmp_path / "f.sarif"
+        write_sarif(str(path), _fixture_reports())
+        result = self._run(
+            str(path), "--require-rules", "OPT001,OPT002,INF001"
+        )
+        assert result.returncode == 0, result.stderr
+
+    def test_missing_required_rule_exits_one(self, tmp_path):
+        from repro.check.sarif import write_sarif
+
+        path = tmp_path / "f.sarif"
+        write_sarif(str(path), _fixture_reports())
+        result = self._run(str(path), "--require-rules", "NOPE001")
+        assert result.returncode == 1
+        assert "NOPE001" in result.stderr
+
+    def test_non_json_file_exits_two(self, tmp_path):
+        path = tmp_path / "junk.sarif"
+        path.write_text("not json")
+        assert self._run(str(path)).returncode == 2
+
+    def test_usage_error_exits_two(self):
+        assert self._run().returncode == 2

@@ -18,6 +18,12 @@
   :mod:`repro.mem.coherence`; assigning it anywhere else bypasses the
   protocol's transition functions and silently breaks the single-writer
   invariant the sweep's traffic model depends on.
+- **L005 — every check rule is seeded and documented.** Each ``Rule``
+  in ``repro/check/rules.py`` must have a fixture in
+  ``repro/check/fixtures.py`` (the checker's ground truth — an
+  undetectable rule is dead code) and an entry in
+  ``docs/check-rules.md`` (rule ids are stable user-facing API). Runs
+  automatically whenever the linted set includes the rule catalog.
 
 Usage::
 
@@ -53,6 +59,10 @@ HOT_LOOP_FORBIDDEN = frozenset(
 #: The package that owns MESI state transitions; ``.state`` attribute
 #: assignment in any file outside it is L004.
 COHERENCE_PACKAGE = "repro/mem/coherence"
+
+#: The checker's rule catalog; whenever it is part of the linted set,
+#: L005 cross-checks it against the fixtures and the docs.
+RULE_CATALOG = "repro/check/rules.py"
 
 
 def _called_name(node: ast.Call) -> str | None:
@@ -150,6 +160,83 @@ def lint_source(source: str, path: Path) -> List[Violation]:
     return violations
 
 
+def _catalog_rules(rules_source: str, path: Path) -> List[Tuple[str, int]]:
+    """``(rule_id, lineno)`` for every ``Rule(id=...)`` in the catalog."""
+    rules: List[Tuple[str, int]] = []
+    for node in ast.walk(ast.parse(rules_source, filename=str(path))):
+        if isinstance(node, ast.Call) and _called_name(node) == "Rule":
+            for kw in node.keywords:
+                if kw.arg == "id" and isinstance(kw.value, ast.Constant):
+                    rules.append((str(kw.value.value), node.lineno))
+    return rules
+
+
+def _fixture_rule_ids(fixtures_source: str, path: Path) -> set:
+    """Every ``rule="..."`` keyword value in the fixtures module."""
+    ids = set()
+    for node in ast.walk(ast.parse(fixtures_source, filename=str(path))):
+        if isinstance(node, ast.keyword) and node.arg == "rule":
+            if isinstance(node.value, ast.Constant):
+                ids.add(str(node.value.value))
+    return ids
+
+
+def lint_rule_catalog(
+    rules_source: str,
+    fixtures_source: str,
+    docs_text: str,
+    rules_path: Path = Path(RULE_CATALOG),
+) -> List[Violation]:
+    """L005: every catalog rule has a fixture and a docs entry."""
+    violations: List[Violation] = []
+    fixture_ids = _fixture_rule_ids(fixtures_source, rules_path)
+    for rule_id, lineno in _catalog_rules(rules_source, rules_path):
+        if rule_id not in fixture_ids:
+            violations.append(
+                (
+                    rules_path,
+                    lineno,
+                    "L005",
+                    f"rule {rule_id} has no seeded fixture in "
+                    "repro/check/fixtures.py; an undetectable rule is "
+                    "dead code",
+                )
+            )
+        if f"`{rule_id}`" not in docs_text:
+            violations.append(
+                (
+                    rules_path,
+                    lineno,
+                    "L005",
+                    f"rule {rule_id} is not documented in "
+                    "docs/check-rules.md; rule ids are stable API",
+                )
+            )
+    return violations
+
+
+def _lint_catalog_files(rules_path: Path) -> List[Violation]:
+    """Resolve the catalog's companion files on disk and run L005."""
+    fixtures_path = rules_path.with_name("fixtures.py")
+    docs_path = rules_path.parents[3] / "docs" / "check-rules.md"
+    for companion in (fixtures_path, docs_path):
+        if not companion.is_file():
+            return [
+                (
+                    rules_path,
+                    1,
+                    "L005",
+                    f"rule catalog companion {companion} is missing",
+                )
+            ]
+    return lint_rule_catalog(
+        rules_path.read_text(encoding="utf-8"),
+        fixtures_path.read_text(encoding="utf-8"),
+        docs_path.read_text(encoding="utf-8"),
+        rules_path,
+    )
+
+
 def iter_python_files(targets: List[str]) -> Iterator[Path]:
     for target in targets:
         path = Path(target)
@@ -171,6 +258,8 @@ def main(argv: List[str]) -> int:
             print(f"{path}: unreadable: {exc}", file=sys.stderr)
             return 2
         violations.extend(lint_source(source, path))
+        if path.as_posix().endswith(RULE_CATALOG):
+            violations.extend(_lint_catalog_files(path))
     for path, line, rule_id, message in violations:
         print(f"{path}:{line}: {rule_id} {message}", file=sys.stderr)
     print(

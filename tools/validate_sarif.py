@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Structural validator for the checker's SARIF 2.1.0 export.
+
+CI cannot fetch the OASIS JSON schema (network-free runners), so this
+validates the shape we rely on with the standard library only: the
+top-level envelope, the tool.driver rule catalog, and every result's
+rule reference, level, message, and locations. It is deliberately
+stricter than the schema where our own guarantees are stronger (results
+must reference catalog rules by both id and index; regions must carry a
+positive startLine) and silent about optional SARIF features we never
+emit.
+
+Usage::
+
+    python tools/validate_sarif.py findings.sarif
+    python tools/validate_sarif.py findings.sarif --require-rules OPT001,OPT002,INF001
+
+``--require-rules`` additionally asserts that each listed rule id
+appears among the results (CI uses it to prove the OPT/INF passes fired
+on the fixture suite). Exit 0 when valid, 1 on any structural error,
+2 on usage/IO problems.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, List
+
+SARIF_VERSION = "2.1.0"
+LEVELS = ("none", "note", "warning", "error")
+
+
+def _fail(errors: List[str], where: str, message: str) -> None:
+    errors.append(f"{where}: {message}")
+
+
+def _check_rule(rule: Any, where: str, errors: List[str]) -> str:
+    if not isinstance(rule, dict):
+        _fail(errors, where, "rule is not an object")
+        return ""
+    rule_id = rule.get("id")
+    if not isinstance(rule_id, str) or not rule_id:
+        _fail(errors, where, "rule has no string 'id'")
+        return ""
+    short = rule.get("shortDescription", {})
+    if not isinstance(short, dict) or not short.get("text"):
+        _fail(errors, where, f"rule {rule_id}: missing shortDescription.text")
+    config = rule.get("defaultConfiguration", {})
+    if config.get("level") not in LEVELS:
+        _fail(errors, where, f"rule {rule_id}: bad defaultConfiguration.level")
+    return rule_id
+
+
+def _check_result(
+    result: Any, rule_ids: List[str], where: str, errors: List[str]
+) -> None:
+    if not isinstance(result, dict):
+        _fail(errors, where, "result is not an object")
+        return
+    rule_id = result.get("ruleId")
+    if rule_id not in rule_ids:
+        _fail(errors, where, f"ruleId {rule_id!r} not in the driver catalog")
+    index = result.get("ruleIndex")
+    if not isinstance(index, int) or not 0 <= index < len(rule_ids):
+        _fail(errors, where, f"ruleIndex {index!r} out of catalog range")
+    elif rule_id in rule_ids and rule_ids[index] != rule_id:
+        _fail(errors, where, f"ruleIndex {index} does not point at {rule_id}")
+    if result.get("level") not in LEVELS:
+        _fail(errors, where, f"bad level {result.get('level')!r}")
+    message = result.get("message", {})
+    if not isinstance(message, dict) or not message.get("text"):
+        _fail(errors, where, "missing message.text")
+    locations = result.get("locations")
+    if not isinstance(locations, list) or not locations:
+        _fail(errors, where, "missing locations")
+        return
+    for i, location in enumerate(locations):
+        physical = location.get("physicalLocation", {})
+        artifact = physical.get("artifactLocation", {})
+        if not artifact.get("uri"):
+            _fail(errors, f"{where}.locations[{i}]", "missing artifactLocation.uri")
+        region = physical.get("region", {})
+        start = region.get("startLine")
+        if not isinstance(start, int) or start < 1:
+            _fail(errors, f"{where}.locations[{i}]", f"bad startLine {start!r}")
+
+
+def validate(doc: Any) -> List[str]:
+    """All structural errors in a parsed SARIF document (empty = valid)."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document: not a JSON object"]
+    if doc.get("version") != SARIF_VERSION:
+        _fail(errors, "document", f"version must be {SARIF_VERSION!r}")
+    if not isinstance(doc.get("$schema"), str) or "sarif" not in doc["$schema"]:
+        _fail(errors, "document", "missing or non-SARIF $schema URI")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        _fail(errors, "document", "runs must be a non-empty array")
+        return errors
+    for r, run in enumerate(runs):
+        where = f"runs[{r}]"
+        driver = run.get("tool", {}).get("driver", {})
+        if not driver.get("name"):
+            _fail(errors, where, "missing tool.driver.name")
+        rules = driver.get("rules")
+        if not isinstance(rules, list) or not rules:
+            _fail(errors, where, "tool.driver.rules must be a non-empty array")
+            continue
+        rule_ids = [
+            _check_rule(rule, f"{where}.rules[{i}]", errors)
+            for i, rule in enumerate(rules)
+        ]
+        if len(set(rule_ids)) != len(rule_ids):
+            _fail(errors, where, "duplicate rule ids in the driver catalog")
+        results = run.get("results")
+        if not isinstance(results, list):
+            _fail(errors, where, "results must be an array")
+            continue
+        for i, result in enumerate(results):
+            _check_result(result, rule_ids, f"{where}.results[{i}]", errors)
+    return errors
+
+
+def reported_rule_ids(doc: Any) -> set:
+    """Rule ids that appear among the results of a parsed document."""
+    ids = set()
+    for run in doc.get("runs", []):
+        for result in run.get("results", []):
+            if isinstance(result, dict) and isinstance(result.get("ruleId"), str):
+                ids.add(result["ruleId"])
+    return ids
+
+
+def main(argv: List[str]) -> int:
+    require: List[str] = []
+    paths: List[str] = []
+    it = iter(argv)
+    for arg in it:
+        if arg == "--require-rules":
+            value = next(it, "")
+            require.extend(v for v in value.split(",") if v)
+        else:
+            paths.append(arg)
+    if len(paths) != 1:
+        print(
+            "usage: validate_sarif.py FILE [--require-rules ID,ID,...]",
+            file=sys.stderr,
+        )
+        return 2
+    path = Path(paths[0])
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"{path}: unreadable or not JSON: {exc}", file=sys.stderr)
+        return 2
+    errors = validate(doc)
+    seen = reported_rule_ids(doc)
+    for rule_id in require:
+        if rule_id not in seen:
+            errors.append(f"document: required rule {rule_id} never reported")
+    for error in errors:
+        print(f"{path}: {error}", file=sys.stderr)
+    print(
+        f"validate_sarif: {path}: "
+        f"{len(seen)} distinct rule(s) reported, {len(errors)} error(s)",
+        file=sys.stderr,
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
