@@ -2,12 +2,13 @@
 
 Runs :func:`repro.perf.bench.run_hotpath_bench` over the six Table III
 kernels plus :func:`repro.perf.bench.run_sweep_bench` (the batched
-design-point axis on a rank-style workload) and writes
-``benchmarks/output/BENCH_hotpath.json`` — the perf trajectory the CI
-perf-smoke job (and future PRs) regress against. The committed baseline
-was recorded with ``repro-explore bench --mode all --scale 0.05
---sweep-scale 0.01``; this benchmark re-measures and asserts both paths
-are still clearly ahead.
+design-point axis on a rank-style workload) and
+:func:`repro.perf.bench.run_store_bench` (warm durable-store vs cold
+sweep), and writes ``benchmarks/output/BENCH_hotpath.json`` — the perf
+trajectory the CI perf-smoke job (and future PRs) regress against. The
+committed baseline was recorded with ``repro-explore bench --mode all
+--scale 0.05 --sweep-scale 0.01``; this benchmark re-measures and
+asserts both compiled paths are still clearly ahead.
 
 The in-test assertion thresholds are deliberately looser than the
 baseline (shared CI runners are noisy); the committed baseline documents
@@ -16,7 +17,7 @@ the real speedups (>= 3x geomean hotpath, >= 15x geomean sweep).
 
 import json
 
-from repro.perf.bench import run_hotpath_bench, run_sweep_bench
+from repro.perf.bench import run_hotpath_bench, run_store_bench, run_sweep_bench
 
 #: Loose floor for CI: the compiled path must beat legacy clearly even on
 #: a noisy shared runner. The committed baseline documents the real >= 3x.
@@ -90,3 +91,24 @@ def test_sweep(benchmark, output_dir):
         f"sweep: batched design-point axis no longer clearly ahead "
         f"(geomean {sweep['geomean_speedup']:.2f}x)"
     )
+
+
+def test_store(benchmark, output_dir):
+    doc = benchmark.pedantic(
+        run_store_bench,
+        kwargs={"repeats": 1},
+        iterations=1,
+        rounds=1,
+    )
+
+    _merge_into_baseline(output_dir, doc)
+
+    store = doc["store"]
+    # run_store_bench itself asserts the warm-store ranking is identical
+    # to the cold run and that the warm run never missed the store. The
+    # warm/cold *ratio* is fsync- and disk-bound, so the perf gate lives
+    # in the section-gated baseline comparison, not an absolute floor here.
+    assert store["cold_seconds"] > 0
+    assert store["warm_seconds"] > 0
+    assert store["entries"] > 0
+    assert store["warm_hits"] >= store["entries"]

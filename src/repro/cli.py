@@ -14,6 +14,10 @@ Installed as ``repro-explore``::
     repro-explore check
     repro-explore check --fixtures --rule PAS001
     repro-explore bench --out BENCH_hotpath.json --baseline benchmarks/output/BENCH_hotpath.json
+    repro-explore rank --store results.store      # killed? rerun replays from disk
+    repro-explore store verify results.store
+    repro-explore serve --port 8763 --store results.store
+    repro-explore chaos --seed 7
 
 All output goes through the structured ``repro`` logger onto stdout
 (byte-identical to plain printing by default); ``--quiet`` silences it and
@@ -21,8 +25,10 @@ All output goes through the structured ``repro`` logger onto stdout
 checks, 2 configuration errors (including malformed ``--faults`` specs),
 3 simulation errors (including jobs that failed every retry), 4
 static-checker violations (``check`` subcommand, or a ``--check error``
-gate refusal), 130 interrupted (Ctrl-C; any ``--checkpoint`` file keeps
-the completed points, so rerunning resumes).
+gate refusal), 5 store integrity errors (``store verify`` on a corrupt
+store, or a chaos scenario ending in an unexpected state), 130
+interrupted (Ctrl-C; any ``--checkpoint`` file keeps the completed
+points, so rerunning resumes).
 """
 
 from __future__ import annotations
@@ -37,11 +43,14 @@ from repro.core.explorer import Explorer
 from repro.core.report import format_table
 from repro.core.space import DesignSpace
 from repro.errors import (
+    ChaosError,
     CheckError,
     ConfigError,
     DesignSpaceError,
     ProgramError,
     ReproError,
+    StoreCorruptionError,
+    StoreError,
     TraceError,
 )
 from repro.exec.retry import RetryPolicy
@@ -57,17 +66,20 @@ __all__ = [
     "EXIT_CONFIG_ERROR",
     "EXIT_SIMULATION_ERROR",
     "EXIT_CHECK_VIOLATIONS",
+    "EXIT_STORE_ERROR",
     "EXIT_INTERRUPTED",
 ]
 
 #: Exit codes: configuration mistakes (bad flags/values) vs failures while
-#: actually simulating vs static-checker violations — scripts can tell
-#: them apart. 130 (128 + SIGINT) follows shell convention for Ctrl-C;
-#: checkpointed sweeps flush completed points before it is returned.
+#: actually simulating vs static-checker violations vs store integrity
+#: problems — scripts can tell them apart. 130 (128 + SIGINT) follows
+#: shell convention for Ctrl-C; checkpointed sweeps flush completed
+#: points before it is returned.
 EXIT_OK = 0
 EXIT_CONFIG_ERROR = 2
 EXIT_SIMULATION_ERROR = 3
 EXIT_CHECK_VIOLATIONS = 4
+EXIT_STORE_ERROR = 5
 EXIT_INTERRUPTED = 130
 
 _log = get_logger("cli")
@@ -83,8 +95,9 @@ def _out(text: str) -> None:
 
 def _collect_metrics(explorer: Explorer) -> MetricSnapshot:
     """One flat sample set for a finished run: summed simulation counters
-    (channel counters scoped under ``comm.``) plus the ``exec.`` runtime
-    metrics."""
+    (channel counters scoped under ``comm.``), the ``exec.`` runtime
+    metrics, and — when a durable store backs the run — its ``store.``
+    hit/miss/corruption counters."""
     totals: Dict[str, float] = {}
     for result in explorer.last_results:
         for key, value in result.counters.items():
@@ -92,7 +105,23 @@ def _collect_metrics(explorer: Explorer) -> MetricSnapshot:
             totals[name] = totals.get(name, 0.0) + value
     for key, value in explorer.run_stats.metrics.as_dict().items():
         totals[f"exec.{key}"] = value
+    if explorer.store is not None:
+        for key, value in explorer.store.metrics.as_dict().items():
+            totals[f"store.{key}"] = value
     return MetricSnapshot(totals)
+
+
+def _print_stats(args: argparse.Namespace, explorer: Explorer) -> None:
+    """Honor ``--stats``: runtime summary plus the store line when backed."""
+    if not getattr(args, "stats", False):
+        return
+    _out(f"\n[run] {explorer.run_stats.summary()}")
+    store = explorer.store
+    if store is not None:
+        _out(
+            f"[store] entries={len(store)} hits={store.hits} "
+            f"misses={store.misses} corruptions={store.corruptions}"
+        )
 
 
 def _write_observability(args: argparse.Namespace, explorer: Explorer) -> None:
@@ -123,12 +152,18 @@ def _explorer_from_args(args: argparse.Namespace) -> Explorer:
     """
     faults = FaultPlan.parse(args.faults) if getattr(args, "faults", None) else None
     retries = getattr(args, "retries", 0)
+    store = None
+    if getattr(args, "store", None):
+        from repro.store import ResultStore
+
+        store = ResultStore(args.store)
     return Explorer(
         jobs=args.jobs,
         check=args.check,
         faults=faults,
         retry=RetryPolicy(retries=retries) if retries else None,
         job_timeout=getattr(args, "job_timeout", None),
+        store=store,
     )
 
 
@@ -156,8 +191,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         "coherence": figures.coherence_text,
     }
     _out(builders[args.number](explorer))
-    if args.stats:
-        _out(f"\n[run] {explorer.run_stats.summary()}")
+    _print_stats(args, explorer)
     _write_observability(args, explorer)
     return EXIT_OK
 
@@ -197,8 +231,7 @@ def _cmd_rank(args: argparse.Namespace) -> int:
             title=f"Top {len(rows)} design points",
         )
     )
-    if args.stats:
-        _out(f"\n[run] {explorer.run_stats.summary()}")
+    _print_stats(args, explorer)
     _write_observability(args, explorer)
     return EXIT_OK
 
@@ -371,6 +404,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         load_bench_json,
         run_coherence_bench,
         run_hotpath_bench,
+        run_store_bench,
         run_sweep_bench,
         write_bench_json,
     )
@@ -405,6 +439,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             doc["sweep"] = sweep_doc["sweep"]
         else:
             doc = sweep_doc
+    if args.mode in ("store", "all"):
+        store_doc = run_store_bench(
+            repeats=args.repeats,
+            kernels=args.kernel or None,
+            stride=args.store_stride,
+        )
+        if doc:
+            doc["store"] = store_doc["store"]
+        else:
+            doc = store_doc
     _out(format_bench(doc))
     if args.out:
         write_bench_json(args.out, doc)
@@ -516,6 +560,75 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import run_scenarios, scenarios
+
+    if args.list:
+        from repro.core.report import format_table
+
+        rows = [(s.id, s.description) for s in scenarios()]
+        _out(format_table(("scenario", "contract"), rows, title="chaos scenarios"))
+        return EXIT_OK
+    outcomes = run_scenarios(args.scenario or None, seed=args.seed)
+    for outcome in outcomes:
+        _out(outcome.line())
+    failed = [o for o in outcomes if not o.ok]
+    _out(f"\n{len(outcomes) - len(failed)}/{len(outcomes)} scenarios passed")
+    return EXIT_STORE_ERROR if failed else EXIT_OK
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import run_server
+
+    server = run_server(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        queue_depth=args.queue_depth,
+        deadline=args.deadline,
+        watchdog_budget=args.watchdog_budget,
+        store_path=args.store,
+        retries=args.retries,
+        job_timeout=args.job_timeout,
+    )
+    _out(f"serving on {server.address} (Ctrl-C to stop)")
+    server.serve_forever()
+    return EXIT_OK
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.core.report import format_table
+    from repro.store import ResultStore
+
+    with ResultStore(args.root) as store:
+        if args.action == "stat":
+            rows = [
+                (name, f"{value:g}") for name, value in sorted(store.stat().items())
+            ]
+            _out(format_table(("statistic", "value"), rows, title=f"store {args.root}"))
+            return EXIT_OK
+        if args.action == "verify":
+            report = store.verify()
+            _out(f"store {args.root}: {report.summary()}")
+            for key in report.corrupt:
+                _out(f"  corrupt: {key}")
+            return EXIT_OK if report.ok else EXIT_STORE_ERROR
+        if args.action == "gc":
+            outcome = store.gc()
+            _out(
+                f"store {args.root}: kept {outcome['kept']} entr"
+                f"{'y' if outcome['kept'] == 1 else 'ies'}, dropped "
+                f"{outcome['dropped']}, reclaimed {outcome['reclaimed_bytes']} bytes"
+            )
+            return EXIT_OK
+        # export
+        if not args.out:
+            raise ConfigError("store export needs an output path argument")
+        count = store.export(args.out)
+        _out(f"exported {count} entries to {args.out}")
+        return EXIT_OK
+
+
 def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
@@ -578,6 +691,14 @@ def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
         metavar="SECONDS",
         help="kill and retry any worker job running longer than this "
         "(parallel runs only; counts against --retries)",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="back the result memo with a durable content-addressed store "
+        "at this directory: completed simulations survive crashes and "
+        "reruns replay them from disk (default: no persistence)",
     )
 
 
@@ -711,12 +832,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_bench.add_argument(
         "--mode",
-        choices=("hotpath", "sweep", "coherence", "all"),
+        choices=("hotpath", "sweep", "coherence", "store", "all"),
         default="hotpath",
         help="hotpath: legacy vs compiled per kernel; sweep: per-point vs "
         "batched design-point axis on a rank-style workload; coherence: "
-        "protocol-on vs protocol-off simulation overhead; all: every "
-        "section (default hotpath)",
+        "protocol-on vs protocol-off simulation overhead; store: "
+        "warm-store vs cold sweep wall-clock; all: every section "
+        "(default hotpath)",
     )
     p_bench.add_argument(
         "--scale",
@@ -740,6 +862,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="N",
         help="sample every Nth feasible design point for the sweep "
         "workload (default 3: ~645 of the 1933 points)",
+    )
+    p_bench.add_argument(
+        "--store-stride",
+        type=int,
+        default=8,
+        metavar="N",
+        help="sample every Nth feasible design point for the store "
+        "workload (default 8 — the cold side simulates every point)",
     )
     p_bench.add_argument(
         "--repeats",
@@ -876,6 +1006,107 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_codegen.add_argument("dir", help="output directory")
     p_codegen.set_defaults(func=_cmd_codegen)
 
+    p_store = sub.add_parser(
+        "store",
+        help="inspect or maintain a durable result store (see --store): "
+        "stat, verify (exit 5 on corruption), gc, export",
+    )
+    p_store.add_argument("action", choices=("stat", "verify", "gc", "export"))
+    p_store.add_argument("root", help="store directory")
+    p_store.add_argument(
+        "out", nargs="?", default=None, help="output path (export only)"
+    )
+    p_store.set_defaults(func=_cmd_store)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the supervised exploration daemon: queued, coalesced, "
+        "deadline-bounded design-point evaluations over HTTP",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8763,
+        help="listen port (0 picks a free port; default 8763)",
+    )
+    p_serve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes per evaluation (default 1)",
+    )
+    p_serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=32,
+        metavar="N",
+        help="pending-job bound; submissions past it get HTTP 503 "
+        "(default 32)",
+    )
+    p_serve.add_argument(
+        "--deadline",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="default per-request deadline (default 30; requests can "
+        "override)",
+    )
+    p_serve.add_argument(
+        "--watchdog-budget",
+        type=int,
+        default=3,
+        metavar="N",
+        help="explorer rebuilds allowed after crashed worker pools "
+        "before the service goes unready (default 3)",
+    )
+    p_serve.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="durable result store to warm-start from and write through to",
+    )
+    p_serve.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="per-job retry budget (default 0)",
+    )
+    p_serve.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry any worker job running longer than this",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run the seeded chaos scenario suite (worker kills, torn "
+        "writes, corruption, live-server faults); any violated contract "
+        "exits 5",
+    )
+    p_chaos.add_argument(
+        "--scenario",
+        action="append",
+        default=[],
+        metavar="ID",
+        help="run only this scenario (repeatable; default: all)",
+    )
+    p_chaos.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for every scenario's random choices (default 0)",
+    )
+    p_chaos.add_argument(
+        "--list", action="store_true", help="list scenarios and their contracts"
+    )
+    p_chaos.set_defaults(func=_cmd_chaos)
+
     args = parser.parse_args(argv)
     configure_logging(-1 if args.quiet else args.verbose)
     try:
@@ -885,6 +1116,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         # rerun with the same --checkpoint path resumes; 130 = 128 + SIGINT.
         print("repro-explore: interrupted", file=sys.stderr)
         return EXIT_INTERRUPTED
+    except (StoreCorruptionError, ChaosError) as exc:
+        # Integrity failures: a corrupt store surfaced by an explicit
+        # verify, or a chaos scenario that ended in an unexpected state.
+        print(f"repro-explore: integrity error: {exc}", file=sys.stderr)
+        return EXIT_STORE_ERROR
+    except StoreError as exc:
+        # Structural store problems (unwritable root, wrong format) are
+        # configuration mistakes, not integrity failures.
+        print(f"repro-explore: store error: {exc}", file=sys.stderr)
+        return EXIT_CONFIG_ERROR
     except (ConfigError, TraceError, ProgramError, DesignSpaceError) as exc:
         print(f"repro-explore: configuration error: {exc}", file=sys.stderr)
         return EXIT_CONFIG_ERROR

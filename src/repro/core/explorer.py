@@ -37,6 +37,8 @@ from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.sim.fast import FastSimulator
 from repro.sim.mmu import stage_shared_trace
 from repro.sim.results import SimulationResult
+from repro.store.cache import StoreBackedResultCache
+from repro.store.store import ResultStore
 from repro.taxonomy import AddressSpaceKind, CommMechanism
 
 __all__ = ["Explorer", "DesignPointEvaluation"]
@@ -88,6 +90,7 @@ class Explorer:
         retry: Optional[RetryPolicy] = None,
         job_timeout: Optional[float] = None,
         sweep: bool = False,
+        store: Optional[ResultStore] = None,
     ) -> None:
         self.system = system or SystemConfig()
         self.comm_params = comm_params or CommParams()
@@ -116,7 +119,19 @@ class Explorer:
             jobs=jobs, stats=self.run_stats, retry=retry, job_timeout=job_timeout
         )
         self.trace_cache = trace_cache if trace_cache is not None else SHARED_TRACE_CACHE
-        self.result_cache = result_cache if result_cache is not None else ResultCache()
+        #: With ``store`` the result memo is backed by a durable
+        #: :class:`~repro.store.store.ResultStore`: misses fall through to
+        #: disk, computed results write through, so a killed run replays
+        #: completed simulations on restart (see :mod:`repro.store`). An
+        #: explicit ``result_cache`` wins; without either, the memo is the
+        #: plain in-process :class:`ResultCache` and nothing touches disk.
+        self.store = store
+        if result_cache is not None:
+            self.result_cache = result_cache
+        elif store is not None:
+            self.result_cache = StoreBackedResultCache(store)
+        else:
+            self.result_cache = ResultCache()
         #: Flat results of the most recent batch, in submission order —
         #: the input :func:`~repro.obs.tracing.trace_from_results` needs.
         self.last_results: List[SimulationResult] = []

@@ -24,6 +24,12 @@ __all__ = [
     "CheckError",
     "FaultSpecError",
     "CheckpointError",
+    "StoreError",
+    "StoreCorruptionError",
+    "ServeError",
+    "QueueFullError",
+    "DeadlineExceededError",
+    "ChaosError",
 ]
 
 
@@ -106,3 +112,53 @@ class FaultSpecError(ConfigError):
 
 class CheckpointError(ReproError):
     """A sweep checkpoint file cannot be read or written."""
+
+
+class StoreError(ReproError):
+    """The durable result store cannot be opened, read, or written.
+
+    Raised for structural problems (unwritable root, journal that cannot
+    be appended, a root that is not a store). Corrupt *entries* never
+    raise on the read path — they are quarantined and recomputed (see
+    :class:`~repro.store.store.ResultStore`); :class:`StoreCorruptionError`
+    is reserved for explicit integrity commands (``store verify``).
+    """
+
+
+class StoreCorruptionError(StoreError):
+    """An explicit integrity check found corrupt store entries.
+
+    Raised by :meth:`~repro.store.store.ResultStore.verify` in strict
+    mode so ``repro-explore store verify`` can map corruption onto its
+    own exit code (5) distinct from configuration or simulation errors.
+    """
+
+
+class ServeError(ReproError):
+    """The exploration service failed structurally (bind, boot, shutdown)."""
+
+
+class QueueFullError(ServeError):
+    """The service job queue is at capacity and shed this request.
+
+    Explicit backpressure: the daemon bounds queue depth and answers
+    over-capacity submissions with this typed error (HTTP 503) instead of
+    growing without bound.
+    """
+
+
+class DeadlineExceededError(ServeError):
+    """A request's deadline expired before its job produced a result.
+
+    The job itself keeps running to completion (its result still lands in
+    the store for the next asker); only this request's wait is abandoned.
+    """
+
+
+class ChaosError(ReproError):
+    """A chaos scenario ended in an unexpected state.
+
+    Every scenario must terminate with either byte-identical-to-clean
+    results or an explicit typed error; anything else — a hang proxy, a
+    silent mismatch, an untyped crash — raises this.
+    """

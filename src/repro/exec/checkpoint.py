@@ -46,6 +46,10 @@ class SweepCheckpoint:
     def __init__(self, path: str) -> None:
         self.path = path
         self._handle = None
+        #: Byte offset of the end of the last cleanly-parsed line seen by
+        #: :meth:`load`; a resume truncates to it first so a torn trailing
+        #: line can never concatenate with the next appended entry.
+        self._resume_offset: Optional[int] = None
 
     # -- reading -----------------------------------------------------------
 
@@ -57,13 +61,15 @@ class SweepCheckpoint:
         fresh), or the header itself is unreadable. A corrupt *entry* line
         stops the scan there: everything before a mid-write kill is kept.
         """
+        self._resume_offset = None
         if not os.path.exists(self.path):
             return {}
         try:
-            with open(self.path, "r", encoding="utf-8") as handle:
-                lines = handle.read().splitlines()
+            with open(self.path, "rb") as handle:
+                raw = handle.read()
         except OSError as exc:
             raise CheckpointError(f"cannot read checkpoint {self.path}: {exc}") from exc
+        lines = raw.decode("utf-8", errors="replace").splitlines()
         if not lines:
             return {}
         try:
@@ -82,9 +88,16 @@ class SweepCheckpoint:
                 self.path,
             )
             return {}
+        # Track the byte offset of the end of each good line so a resume
+        # can truncate away a torn tail (a kill mid-write) before
+        # appending — otherwise the partial line would concatenate with
+        # the first resumed entry and corrupt the file for the *next* load.
+        offset = len(lines[0].encode("utf-8")) + 1
         entries: Dict[str, dict] = {}
         for line in lines[1:]:
+            line_end = offset + len(line.encode("utf-8")) + 1
             if not line.strip():
+                offset = line_end
                 continue
             try:
                 entry = json.loads(line)
@@ -97,7 +110,20 @@ class SweepCheckpoint:
                     len(entries),
                 )
                 break
+            if line_end > len(raw):
+                # The last line parses but was never newline-terminated —
+                # the kill landed after the bytes, before the newline.
+                # Treat it as torn: its rewrite costs one evaluation.
+                _log.warning(
+                    "checkpoint %s ends in an unterminated entry; "
+                    "resuming from the %d completed point(s) before it",
+                    self.path,
+                    len(entries),
+                )
+                break
             entries[label] = entry
+            offset = line_end
+        self._resume_offset = offset
         return entries
 
     # -- writing -----------------------------------------------------------
@@ -108,6 +134,15 @@ class SweepCheckpoint:
             raise CheckpointError(f"checkpoint {self.path} is already open")
         try:
             if resume:
+                if self._resume_offset is not None and os.path.exists(self.path):
+                    size = os.path.getsize(self.path)
+                    if size > self._resume_offset:
+                        # Drop the torn tail found by load() so appended
+                        # entries start on a clean line boundary.
+                        with open(self.path, "r+b") as handle:
+                            handle.truncate(self._resume_offset)
+                            handle.flush()
+                            os.fsync(handle.fileno())
                 self._handle = open(self.path, "a", encoding="utf-8")
             else:
                 self._handle = open(self.path, "w", encoding="utf-8")
@@ -129,6 +164,9 @@ class SweepCheckpoint:
         self._handle.write(json.dumps(payload, sort_keys=True))
         self._handle.write("\n")
         self._handle.flush()
+        # Durability, not just process-crash safety: a machine losing
+        # power mid-sweep must still find every flushed entry on resume.
+        os.fsync(self._handle.fileno())
 
     def close(self) -> None:
         if self._handle is not None:

@@ -41,7 +41,7 @@ import pickle
 import time
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, TypeVar
 
-from repro.errors import SimulationError
+from repro.errors import ConfigError, SimulationError
 from repro.exec.cache import ResultCache
 from repro.exec.job import SimJob, run_sim_job
 from repro.exec.retry import NO_RETRY, RetryPolicy, backoff_delay
@@ -103,9 +103,9 @@ class ParallelRunner:
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if jobs < 1:
-            raise SimulationError(f"jobs must be >= 1, got {jobs}")
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
         if job_timeout is not None and job_timeout <= 0:
-            raise SimulationError(
+            raise ConfigError(
                 f"job timeout must be positive, got {job_timeout}"
             )
         self.jobs = jobs

@@ -24,6 +24,13 @@ shared window and run through the compiled path with protocol modeling
 off (``coherence="none"``) and once per hardware protocol. The recorded
 *slowdown* ratio bounds what a sweep pays for turning the axis on.
 
+A fourth mode, :func:`run_store_bench`, measures the durable result
+store's warm-start payoff: the same rank-style sweep run cold (fresh
+store, every point simulated and written through) and warm (fresh
+explorer and caches against the store the cold run populated, so every
+result is a disk hit). Both evaluation lists are asserted equal before
+either timing is reported.
+
 Comparisons against a stored baseline use the *speedup ratio* (or, for
 the coherence section, the slowdown ratio), not raw wall-clock —
 absolute seconds differ across machines, but both sides of each ratio
@@ -49,6 +56,7 @@ __all__ = [
     "run_hotpath_bench",
     "run_sweep_bench",
     "run_coherence_bench",
+    "run_store_bench",
     "format_bench",
     "compare_to_baseline",
     "write_bench_json",
@@ -70,6 +78,10 @@ SWEEP_STRIDE = 3
 
 #: Hardware protocols measured by the coherence mode, in report order.
 COHERENCE_PROTOCOLS = ("snoop", "directory")
+
+#: Defaults for the store mode: same bounding kernels as the sweep mode,
+#: a coarser stride (the cold side simulates every sampled point).
+STORE_STRIDE = 8
 
 
 def _geomean(values: Sequence[float]) -> float:
@@ -381,6 +393,108 @@ def run_sweep_bench(
     }
 
 
+def run_store_bench(
+    repeats: int = 1,
+    kernels: Optional[Sequence[str]] = None,
+    stride: int = STORE_STRIDE,
+) -> Dict:
+    """Benchmark warm-store vs cold sweep wall-clock; returns a document.
+
+    The workload is a rank over every ``stride``-th feasible design point.
+    The *cold* side is a fresh explorer writing through to an empty
+    :class:`~repro.store.store.ResultStore` — full simulation plus
+    durability cost. The *warm* side is a fresh explorer (empty in-memory
+    caches, as a new process would have) reopening the store the cold run
+    populated, so every result is a verified disk hit. Both evaluation
+    lists are asserted equal before either timing is reported, and the
+    warm run must be all hits — the recorded *speedup* (cold wall-clock
+    over warm) is only ever for bit-identical output.
+    """
+    if repeats < 1:
+        raise ConfigError(f"bench repeats must be >= 1, got {repeats}")
+    if stride < 1:
+        raise ConfigError(f"bench stride must be >= 1, got {stride}")
+    import os
+    import shutil
+    import tempfile
+
+    from repro.core.explorer import Explorer
+    from repro.core.space import DesignSpace
+    from repro.exec.cache import TraceCache
+    from repro.store.store import ResultStore
+
+    selected = [kernel(name) for name in (kernels or SWEEP_KERNELS)]
+    points = DesignSpace().feasible_points()[::stride]
+
+    def _flat(evaluations):
+        return [
+            (e.point.label, e.mean_seconds, e.mean_comm_fraction)
+            for e in evaluations
+        ]
+
+    root = tempfile.mkdtemp(prefix="repro-store-bench-")
+    try:
+        cold_seconds = math.inf
+        cold_flat = None
+        entries = 0
+        for attempt in range(repeats):
+            cold_root = os.path.join(root, f"cold-{attempt}")
+            store = ResultStore(cold_root)
+            explorer = Explorer(trace_cache=TraceCache(), store=store)
+            start = time.perf_counter()
+            evaluations = explorer.rank_design_points(points, selected)
+            elapsed = time.perf_counter() - start
+            count = len(store)
+            store.close()
+            if elapsed < cold_seconds:
+                cold_seconds = elapsed
+                cold_flat = _flat(evaluations)
+                entries = count
+                warm_root = cold_root
+
+        warm_seconds = math.inf
+        warm_hits = 0
+        for _ in range(repeats):
+            store = ResultStore(warm_root)
+            explorer = Explorer(trace_cache=TraceCache(), store=store)
+            start = time.perf_counter()
+            evaluations = explorer.rank_design_points(points, selected)
+            elapsed = time.perf_counter() - start
+            if _flat(evaluations) != cold_flat:
+                store.close()
+                raise SimulationError(
+                    "store bench identity violation: warm-store ranking "
+                    "differs from the cold run that populated the store"
+                )
+            if store.misses:
+                store.close()
+                raise SimulationError(
+                    f"store bench warm run was not warm: "
+                    f"{store.misses} store miss(es)"
+                )
+            if elapsed < warm_seconds:
+                warm_seconds = elapsed
+                warm_hits = store.hits
+            store.close()
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    return {
+        "schema": SCHEMA,
+        "store": {
+            "repeats": repeats,
+            "stride": stride,
+            "points": len(points),
+            "kernels": [k.name for k in selected],
+            "entries": entries,
+            "warm_hits": warm_hits,
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "speedup": cold_seconds / warm_seconds if warm_seconds > 0 else 0.0,
+        },
+    }
+
+
 def format_bench(doc: Dict) -> str:
     """Human-readable report of a bench document."""
     from repro.core.report import format_table
@@ -458,6 +572,27 @@ def format_bench(doc: Dict) -> str:
                 ),
             )
         )
+    store = doc.get("store")
+    if store is not None:
+        lines.append(
+            format_table(
+                ("points", "entries", "cold s", "warm s", "speedup"),
+                [
+                    (
+                        str(store["points"]),
+                        str(store["entries"]),
+                        f"{store['cold_seconds']:.3f}",
+                        f"{store['warm_seconds']:.3f}",
+                        f"{store['speedup']:.2f}x",
+                    )
+                ],
+                title=(
+                    f"Durable result store — warm-start vs cold sweep "
+                    f"({', '.join(store['kernels'])}; stride "
+                    f"{store['stride']}, {store['warm_hits']} warm hits)"
+                ),
+            )
+        )
     return "\n\n".join(lines)
 
 
@@ -532,6 +667,16 @@ def compare_to_baseline(
                     f"fell below {floor:.2f}x "
                     f"(baseline {base_cell['speedup']:.2f}x - {tolerance:.0%})"
                 )
+    if current.get("store") and baseline.get("store"):
+        base_cell = baseline["store"]
+        cur_cell = current["store"]
+        floor = base_cell["speedup"] * (1.0 - tolerance)
+        if cur_cell["speedup"] < floor:
+            problems.append(
+                f"store: warm-start speedup {cur_cell['speedup']:.2f}x "
+                f"fell below {floor:.2f}x "
+                f"(baseline {base_cell['speedup']:.2f}x - {tolerance:.0%})"
+            )
     return problems
 
 

@@ -1,0 +1,20 @@
+"""repro.serve — the supervised exploration daemon.
+
+Turns the CLI's one-shot experiments into a long-lived service: a
+bounded, coalescing job queue over the exploration runtime, per-request
+deadlines with detailed→fast degradation under pressure, a watchdog
+that rebuilds crashed worker pools within a budget, warm starts from
+the durable store, and health/readiness/metrics endpoints. See
+:mod:`repro.serve.server` for the behaviour catalogue.
+"""
+
+from repro.serve.queue import CoalescingQueue, Job
+from repro.serve.server import ExplorationServer, ExplorationService, run_server
+
+__all__ = [
+    "CoalescingQueue",
+    "Job",
+    "ExplorationServer",
+    "ExplorationService",
+    "run_server",
+]

@@ -1,0 +1,22 @@
+"""repro.store — the durable, crash-safe, content-addressed result store.
+
+Generalizes the process-lifetime memo caches into a disk-backed store an
+exploration campaign survives on: append-only segments, a write-ahead
+journal, atomic metadata commits, per-entry checksums verified on read,
+and corruption quarantine. See :mod:`repro.store.store` for the commit
+protocol and :mod:`repro.store.keys` for the stable key scheme.
+"""
+
+from repro.store.cache import StoreBackedResultCache
+from repro.store.keys import PICKLE_PROTOCOL, stable_digest, stable_key
+from repro.store.store import FORMAT_VERSION, ResultStore, StoreVerifyReport
+
+__all__ = [
+    "ResultStore",
+    "StoreBackedResultCache",
+    "StoreVerifyReport",
+    "FORMAT_VERSION",
+    "PICKLE_PROTOCOL",
+    "stable_digest",
+    "stable_key",
+]

@@ -1,0 +1,85 @@
+"""Stable content-addressed keys for the durable result store.
+
+The in-memory memo layers (:mod:`repro.exec.cache`) key on hashable
+tuples of frozen dataclasses — perfect inside one process, useless on
+disk: ``hash()`` is salted per interpreter and the tuples themselves are
+not filenames. :func:`stable_key` turns any picklable memo key into a
+stable hex digest: SHA-256 over a canonical ``pickle`` (protocol pinned,
+so the byte stream for a given pure-data object graph is identical in
+every process and on every run).
+
+Determinism argument: every key this store sees is a tree of frozen
+dataclasses, enums, strings, numbers, and tuples built by deterministic
+code — pickle serializes such a graph bottom-up in field order, dicts in
+insertion order, with no memo-id leakage for graphs without shared
+mutable substructure. The round-trip is pinned by tests
+(tests/store/test_keys.py) including across processes.
+
+Digests of large shared components (kernel traces appear in thousands of
+job keys per sweep) are memoized per object via a weak-key map, so a
+ranking run digests each trace once, not once per design point.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import weakref
+from typing import Hashable
+
+from repro.errors import StoreError
+
+__all__ = ["stable_key", "stable_digest", "PICKLE_PROTOCOL"]
+
+#: Pinned pickle protocol: the digest of a key must never depend on the
+#: interpreter's default protocol changing between Python versions.
+PICKLE_PROTOCOL = 4
+
+#: Per-object digest memo for weakref-able components (traces, configs).
+#: Weak keys: the memo never keeps a retired trace alive.
+_DIGEST_MEMO: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def stable_digest(obj: object) -> str:
+    """A stable SHA-256 hex digest of one picklable object.
+
+    Tuples digest element-wise (so a composite job key reuses the
+    memoized digest of its trace instead of re-pickling it); everything
+    else digests its canonical pickle, memoized per object where weak
+    references allow.
+    """
+    if isinstance(obj, tuple):
+        hasher = hashlib.sha256(b"repro-tuple:")
+        for element in obj:
+            hasher.update(stable_digest(element).encode("ascii"))
+            hasher.update(b";")
+        return hasher.hexdigest()
+    try:
+        return _DIGEST_MEMO[obj]
+    except (KeyError, TypeError):
+        pass
+    try:
+        payload = pickle.dumps(obj, protocol=PICKLE_PROTOCOL)
+    except Exception as exc:
+        raise StoreError(
+            f"cannot derive a stable store key from {type(obj).__name__!r}: "
+            f"object does not pickle ({exc})"
+        ) from exc
+    digest = hashlib.sha256(payload).hexdigest()
+    try:
+        _DIGEST_MEMO[obj] = digest
+    except TypeError:
+        pass  # not weakref-able/hashable; recompute next time
+    return digest
+
+
+def stable_key(key: Hashable, kind: str = "result") -> str:
+    """The store's on-disk key for one memo key: ``<kind>/<digest>``.
+
+    ``kind`` namespaces entry classes (simulation results vs. traces vs.
+    future artifact types) so one store can hold them all without digest
+    collisions meaning anything across classes.
+    """
+    if not kind or "/" in kind:
+        raise StoreError(f"store kind must be a bare token, got {kind!r}")
+    return f"{kind}/{stable_digest(key)}"

@@ -166,6 +166,66 @@ class TestRuleCatalogCoverage:
         assert result.returncode == 0, result.stderr
 
 
+class TestChaosCatalogCoverage:
+    """L006: every chaos scenario needs a docs entry and a test reference."""
+
+    CHAOS_SRC = (
+        '@_scenario("store-torn-write", "torn record recovery")\n'
+        "def _a(context):\n"
+        "    pass\n"
+        "\n"
+        '@_scenario("serve-overload", "bounded queue sheds typed")\n'
+        "def _b(context):\n"
+        "    pass\n"
+    )
+
+    def catalog_violations(self, docs_text, tests_text):
+        return [
+            (rule, message)
+            for _, _, rule, message in lint_rules.lint_chaos_catalog(
+                self.CHAOS_SRC, docs_text, tests_text
+            )
+        ]
+
+    def test_covered_catalog_is_clean(self):
+        docs = "- `store-torn-write` — ...\n- `serve-overload` — ...\n"
+        tests = '["store-torn-write", "serve-overload"]\n'
+        assert self.catalog_violations(docs, tests) == []
+
+    def test_missing_docs_entry_flagged(self):
+        docs = "only `store-torn-write` is documented"
+        tests = '["store-torn-write", "serve-overload"]\n'
+        found = self.catalog_violations(docs, tests)
+        assert len(found) == 1
+        rule, message = found[0]
+        assert rule == "L006" and "serve-overload" in message
+        assert "documented" in message
+
+    def test_missing_test_reference_flagged(self):
+        docs = "- `store-torn-write` —\n- `serve-overload` —\n"
+        tests = 'run_scenarios(["store-torn-write"])\n'
+        found = self.catalog_violations(docs, tests)
+        assert len(found) == 1
+        rule, message = found[0]
+        assert rule == "L006" and "serve-overload" in message
+        assert "referenced" in message
+
+    def test_live_catalog_is_covered(self):
+        """The real chaos.py / docs / tests triple passes L006."""
+        chaos_path = REPO_ROOT / "src" / "repro" / "faults" / "chaos.py"
+        found = lint_rules._lint_chaos_files(chaos_path)
+        assert found == [], found
+
+    def test_cli_runs_chaos_catalog_check(self):
+        result = subprocess.run(
+            [sys.executable, str(LINT), "src/repro/faults/chaos.py"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        assert result.returncode == 0, result.stderr
+
+
 class TestMesiStateOwnership:
     def test_state_assignment_flagged_outside_coherence(self):
         assert violations("block.state = MESIState.MODIFIED\n") == [("L004", 1)]

@@ -68,6 +68,41 @@ class TestStore:
         entries = SweepCheckpoint(str(path)).load("sig")
         assert sorted(entries) == ["p1", "p2"]
 
+    def test_unterminated_trailing_entry_is_torn(self, tmp_path):
+        """A parseable last line with no newline is still a torn write."""
+        path = tmp_path / "cp.jsonl"
+        with SweepCheckpoint(str(path)) as store:
+            store.open("sig", resume=False)
+            store.append({"label": "p1", "mean_seconds": 1.0})
+        path.write_text(path.read_text() + '{"label": "p2", "mean_seconds": 2.0}')
+        entries = SweepCheckpoint(str(path)).load("sig")
+        assert sorted(entries) == ["p1"]
+
+    def test_resume_truncates_the_torn_tail(self, tmp_path):
+        """Kill-mid-write regression: appending after a torn trailing line
+        must not concatenate the partial line with the next entry."""
+        path = tmp_path / "cp.jsonl"
+        with SweepCheckpoint(str(path)) as store:
+            store.open("sig", resume=False)
+            store.append({"label": "p1", "mean_seconds": 1.0})
+        path.write_text(path.read_text() + '{"label": "p2", "mean_s')
+        store = SweepCheckpoint(str(path))
+        loaded = store.load("sig")
+        assert sorted(loaded) == ["p1"]
+        with store:
+            store.open("sig", resume=True)
+            store.append({"label": "p2", "mean_seconds": 2.0})
+            store.append({"label": "p3", "mean_seconds": 3.0})
+        # Every line in the healed file parses; nothing was concatenated.
+        lines = path.read_text().splitlines()
+        assert [json.loads(line).get("label") for line in lines[1:]] == [
+            "p1",
+            "p2",
+            "p3",
+        ]
+        entries = SweepCheckpoint(str(path)).load("sig")
+        assert sorted(entries) == ["p1", "p2", "p3"]
+
     def test_append_requires_open(self, tmp_path):
         store = SweepCheckpoint(str(tmp_path / "cp.jsonl"))
         with pytest.raises(CheckpointError):

@@ -12,7 +12,7 @@ import time
 
 import pytest
 
-from repro.errors import CommunicationError, SimulationError
+from repro.errors import CommunicationError, ConfigError, SimulationError
 from repro.exec.job import SimJob, run_sim_job
 from repro.exec.retry import RetryPolicy, backoff_schedule
 from repro.exec.runner import MAX_POOL_RESTARTS, ParallelRunner
@@ -201,7 +201,7 @@ class TestWorkerSupervision:
         assert runner.stats.worker_restarts == MAX_POOL_RESTARTS + 1
 
     def test_rejects_nonpositive_timeout(self):
-        with pytest.raises(SimulationError):
+        with pytest.raises(ConfigError):
             ParallelRunner(job_timeout=0.0)
 
 

@@ -6,11 +6,15 @@ from repro.comm.base import IdealChannel
 from repro.config.presets import CASE_STUDIES, case_study
 from repro.core.explorer import Explorer
 from repro.core.space import DesignSpace
-from repro.errors import SimulationError
+from repro.errors import ConfigError, SimulationError
 from repro.exec.cache import ResultCache, TraceCache
 from repro.exec.job import SimJob, run_sim_job
 from repro.exec.runner import ParallelRunner
 from repro.kernels.registry import kernel
+
+
+def _always_fails(item):
+    raise ValueError(f"doomed: {item}")
 
 
 class TestSimJobValidation:
@@ -27,8 +31,25 @@ class TestSimJobValidation:
             )
 
     def test_rejects_nonpositive_worker_count(self):
-        with pytest.raises(SimulationError):
+        with pytest.raises(ConfigError):
             ParallelRunner(jobs=0)
+
+    def test_rejects_nonpositive_job_timeout(self):
+        with pytest.raises(ConfigError):
+            ParallelRunner(job_timeout=0)
+        with pytest.raises(ConfigError):
+            ParallelRunner(job_timeout=-1.5)
+
+    def test_zero_retries_means_exactly_one_attempt(self):
+        # NO_RETRY (retries=0) is one attempt, no backoff sleep, and a
+        # wrapped SimulationError naming the single attempt.
+        sleeps = []
+        runner = ParallelRunner(jobs=1, sleep=sleeps.append)
+        with pytest.raises(SimulationError, match=r"after 1 attempt"):
+            runner.map(_always_fails, [1], stage="test")
+        assert runner.stats.retry_attempts == 0
+        assert runner.stats.retries_exhausted == 1
+        assert sleeps == []
 
 
 class TestCacheKey:

@@ -1,0 +1,68 @@
+"""Tests for the store-backed result cache (memory -> disk fall-through)."""
+
+from repro.config.presets import case_study
+from repro.exec.job import SimJob, run_sim_job
+from repro.kernels.registry import kernel
+from repro.store.cache import StoreBackedResultCache
+from repro.store.store import ResultStore
+
+
+def _job(system_name="left"):
+    return SimJob(
+        trace=kernel("reduction").trace(),
+        case=case_study("CPU+GPU"),
+        system_name=system_name,
+    )
+
+
+class TestStoreBackedResultCache:
+    def test_write_through_and_memory_hit(self, tmp_path):
+        with ResultStore(tmp_path / "store") as store:
+            cache = StoreBackedResultCache(store)
+            job = _job()
+            result = run_sim_job(job)
+            cache.put(job.cache_key(), result)
+            assert len(store) == 1
+            # Second lookup comes from memory; the store is not consulted.
+            disk_hits = store.hits
+            assert cache.get(job.cache_key()) == result
+            assert store.hits == disk_hits
+            assert cache.hits == 1
+
+    def test_fresh_cache_warm_starts_from_disk(self, tmp_path):
+        root = tmp_path / "store"
+        job = _job()
+        result = run_sim_job(job)
+        with ResultStore(root) as store:
+            StoreBackedResultCache(store).put(job.cache_key(), result)
+        # A new process: empty memory, same store directory.
+        with ResultStore(root) as store:
+            cache = StoreBackedResultCache(store)
+            assert cache.get(job.cache_key()) == result
+            assert store.hits == 1
+            assert cache.hits == 1
+            # Promoted on hit: the next lookup stays in memory.
+            assert cache.get(job.cache_key()) == result
+            assert store.hits == 1
+
+    def test_relabel_on_hit_survives_the_disk_layer(self, tmp_path):
+        # system_name is not part of the memo key: a stored result is
+        # re-labeled for the asking job, exactly like the in-memory cache.
+        job = _job("left")
+        twin = _job("right")
+        assert job.cache_key() == twin.cache_key()
+        result = run_sim_job(job)
+        root = tmp_path / "store"
+        with ResultStore(root) as store:
+            StoreBackedResultCache(store).put(job.cache_key(), result)
+        with ResultStore(root) as store:
+            cache = StoreBackedResultCache(store)
+            relabeled = cache.get(twin.cache_key(), system_name="right")
+            assert relabeled.system == "right"
+
+    def test_miss_only_when_both_layers_miss(self, tmp_path):
+        with ResultStore(tmp_path / "store") as store:
+            cache = StoreBackedResultCache(store)
+            assert cache.get(("absent",)) is None
+            assert cache.misses == 1
+            assert store.misses == 1

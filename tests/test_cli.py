@@ -41,11 +41,11 @@ class TestJobsFlag:
         assert parallel == serial
 
     def test_rejects_invalid_jobs(self, capsys):
-        from repro.cli import EXIT_SIMULATION_ERROR
+        from repro.cli import EXIT_CONFIG_ERROR
 
-        assert main(["rank", "--jobs", "0", "--sample", "6"]) == EXIT_SIMULATION_ERROR
+        assert main(["rank", "--jobs", "0", "--sample", "6"]) == EXIT_CONFIG_ERROR
         err = capsys.readouterr().err
-        assert "simulation error" in err
+        assert "configuration error" in err
 
 
 class TestVersion:
@@ -336,3 +336,87 @@ class TestCoherenceSurfaces:
         assert set(protocols) == {"snoop", "directory"}
         for cell in protocols.values():
             assert cell["slowdown"] > 0
+
+
+class TestStoreSurfaces:
+    def test_rank_with_store_matches_storeless_output(self, tmp_path, capsys):
+        assert main(["rank", "--top", "3", "--sample", "6"]) == 0
+        plain = capsys.readouterr().out
+        store = str(tmp_path / "store")
+        assert main(["rank", "--top", "3", "--sample", "6", "--store", store]) == 0
+        cold = capsys.readouterr().out
+        assert cold == plain
+        # Warm rerun against the same store: byte-identical again.
+        assert main(["rank", "--top", "3", "--sample", "6", "--store", store]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_store_stat_verify_gc_export(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["rank", "--top", "3", "--sample", "6", "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["store", "stat", store]) == 0
+        assert "entries" in capsys.readouterr().out
+        assert main(["store", "verify", store]) == 0
+        assert "OK" in capsys.readouterr().out
+        assert main(["store", "gc", store]) == 0
+        assert "kept" in capsys.readouterr().out
+        out = str(tmp_path / "export.jsonl")
+        assert main(["store", "export", store, out]) == 0
+        capsys.readouterr()
+        import os
+
+        assert os.path.getsize(out) > 0
+
+    def test_store_verify_exits_5_on_corruption(self, tmp_path, capsys):
+        from repro.cli import EXIT_STORE_ERROR
+        from repro.store.store import ResultStore
+
+        root = tmp_path / "store"
+        with ResultStore(root) as store:
+            store.put_bytes("result/aa", b"payload-a")
+        # Same-length corruption inside the committed region.
+        segment = root / "segments" / "seg-000001.jsonl"
+        raw = bytearray(segment.read_bytes())
+        probe = raw.index(b'"p": "') + len(b'"p": "')
+        raw[probe] = ord("A") if raw[probe] != ord("A") else ord("B")
+        segment.write_bytes(bytes(raw))
+        assert main(["store", "verify", str(root)]) == EXIT_STORE_ERROR
+        assert "CORRUPT" in capsys.readouterr().out
+
+    def test_store_export_requires_out_path(self, tmp_path, capsys):
+        from repro.cli import EXIT_CONFIG_ERROR
+
+        store = str(tmp_path / "store")
+        assert main(["store", "stat", store]) == 0
+        capsys.readouterr()
+        assert main(["store", "export", store]) == EXIT_CONFIG_ERROR
+
+
+class TestChaosSurfaces:
+    def test_chaos_list(self, capsys):
+        assert main(["chaos", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "store-torn-write" in out
+        assert "serve-deadline" in out
+
+    def test_chaos_store_scenarios_pass(self, capsys):
+        code = main(
+            [
+                "chaos",
+                "--scenario",
+                "store-torn-write",
+                "--scenario",
+                "store-corrupt-entry",
+                "--seed",
+                "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2/2 scenarios passed" in out
+
+    def test_chaos_unknown_scenario_exits_5(self, capsys):
+        from repro.cli import EXIT_STORE_ERROR
+
+        assert main(["chaos", "--scenario", "nope"]) == EXIT_STORE_ERROR
+        assert "integrity error" in capsys.readouterr().err

@@ -24,6 +24,13 @@
   undetectable rule is dead code) and an entry in
   ``docs/check-rules.md`` (rule ids are stable user-facing API). Runs
   automatically whenever the linted set includes the rule catalog.
+- **L006 — every chaos scenario is documented and tested.** Each
+  ``@_scenario("id", ...)`` registration in ``repro/faults/chaos.py``
+  must have an entry in ``docs/chaos-scenarios.md`` (scenario ids are
+  stable ``--scenario`` API and the CI chaos job's vocabulary) and a
+  reference in ``tests/faults/test_chaos.py`` (an untested drill rots
+  silently). Runs automatically whenever the linted set includes the
+  scenario catalog.
 
 Usage::
 
@@ -63,6 +70,10 @@ COHERENCE_PACKAGE = "repro/mem/coherence"
 #: The checker's rule catalog; whenever it is part of the linted set,
 #: L005 cross-checks it against the fixtures and the docs.
 RULE_CATALOG = "repro/check/rules.py"
+
+#: The chaos scenario catalog; whenever it is part of the linted set,
+#: L006 cross-checks it against the docs and the test suite.
+CHAOS_CATALOG = "repro/faults/chaos.py"
 
 
 def _called_name(node: ast.Call) -> str | None:
@@ -237,6 +248,78 @@ def _lint_catalog_files(rules_path: Path) -> List[Violation]:
     )
 
 
+def _chaos_scenario_ids(chaos_source: str, path: Path) -> List[Tuple[str, int]]:
+    """``(scenario_id, lineno)`` for every ``@_scenario("id", ...)``."""
+    ids: List[Tuple[str, int]] = []
+    for node in ast.walk(ast.parse(chaos_source, filename=str(path))):
+        if (
+            isinstance(node, ast.Call)
+            and _called_name(node) == "_scenario"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            ids.append((node.args[0].value, node.lineno))
+    return ids
+
+
+def lint_chaos_catalog(
+    chaos_source: str,
+    docs_text: str,
+    tests_text: str,
+    chaos_path: Path = Path(CHAOS_CATALOG),
+) -> List[Violation]:
+    """L006: every chaos scenario has a docs entry and a test reference."""
+    violations: List[Violation] = []
+    for scenario_id, lineno in _chaos_scenario_ids(chaos_source, chaos_path):
+        if f"`{scenario_id}`" not in docs_text:
+            violations.append(
+                (
+                    chaos_path,
+                    lineno,
+                    "L006",
+                    f"scenario {scenario_id} is not documented in "
+                    "docs/chaos-scenarios.md; scenario ids are stable "
+                    "--scenario API",
+                )
+            )
+        if f'"{scenario_id}"' not in tests_text:
+            violations.append(
+                (
+                    chaos_path,
+                    lineno,
+                    "L006",
+                    f"scenario {scenario_id} is not referenced in "
+                    "tests/faults/test_chaos.py; an untested drill rots "
+                    "silently",
+                )
+            )
+    return violations
+
+
+def _lint_chaos_files(chaos_path: Path) -> List[Violation]:
+    """Resolve the scenario catalog's companion files and run L006."""
+    root = chaos_path.parents[3]
+    docs_path = root / "docs" / "chaos-scenarios.md"
+    tests_path = root / "tests" / "faults" / "test_chaos.py"
+    for companion in (docs_path, tests_path):
+        if not companion.is_file():
+            return [
+                (
+                    chaos_path,
+                    1,
+                    "L006",
+                    f"scenario catalog companion {companion} is missing",
+                )
+            ]
+    return lint_chaos_catalog(
+        chaos_path.read_text(encoding="utf-8"),
+        docs_path.read_text(encoding="utf-8"),
+        tests_path.read_text(encoding="utf-8"),
+        chaos_path,
+    )
+
+
 def iter_python_files(targets: List[str]) -> Iterator[Path]:
     for target in targets:
         path = Path(target)
@@ -260,6 +343,8 @@ def main(argv: List[str]) -> int:
         violations.extend(lint_source(source, path))
         if path.as_posix().endswith(RULE_CATALOG):
             violations.extend(_lint_catalog_files(path))
+        if path.as_posix().endswith(CHAOS_CATALOG):
+            violations.extend(_lint_chaos_files(path))
     for path, line, rule_id, message in violations:
         print(f"{path}:{line}: {rule_id} {message}", file=sys.stderr)
     print(
