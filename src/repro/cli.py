@@ -96,8 +96,9 @@ def _out(text: str) -> None:
 def _collect_metrics(explorer: Explorer) -> MetricSnapshot:
     """One flat sample set for a finished run: summed simulation counters
     (channel counters scoped under ``comm.``), the ``exec.`` runtime
-    metrics, and — when a durable store backs the run — its ``store.``
-    hit/miss/corruption counters."""
+    metrics, the memo-layer cache statistics (``exec.cache.*`` — trace,
+    result, and segment-compile caches), and — when a durable store backs
+    the run — its ``store.`` hit/miss/corruption counters."""
     totals: Dict[str, float] = {}
     for result in explorer.last_results:
         for key, value in result.counters.items():
@@ -105,6 +106,9 @@ def _collect_metrics(explorer: Explorer) -> MetricSnapshot:
             totals[name] = totals.get(name, 0.0) + value
     for key, value in explorer.run_stats.metrics.as_dict().items():
         totals[f"exec.{key}"] = value
+    for name, stats in explorer.cache_stats().items():
+        for key, value in stats.items():
+            totals[f"exec.cache.{name}.{key}"] = value
     if explorer.store is not None:
         for key, value in explorer.store.metrics.as_dict().items():
             totals[f"store.{key}"] = value
@@ -164,6 +168,7 @@ def _explorer_from_args(args: argparse.Namespace) -> Explorer:
         retry=RetryPolicy(retries=retries) if retries else None,
         job_timeout=getattr(args, "job_timeout", None),
         store=store,
+        warm_dir=getattr(args, "warm", None),
     )
 
 
@@ -211,8 +216,15 @@ def _cmd_rank(args: argparse.Namespace) -> int:
     if args.sample and args.sample < len(points):
         step = max(len(points) // args.sample, 1)
         points = points[::step]
+    shards = getattr(args, "shards", None)
+    if shards == "auto":
+        # Two shards per worker keeps the pool saturated while the last
+        # (uneven) shards drain.
+        shards = max(2 * args.jobs, 1)
+    if shards is not None and shards > 1 and args.jobs > 1:
+        explorer.runner.prestart()
     evaluations = explorer.rank_design_points(
-        points, checkpoint=args.checkpoint
+        points, checkpoint=args.checkpoint, shards=shards
     )[: args.top]
     rows = [
         (
@@ -404,6 +416,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         load_bench_json,
         run_coherence_bench,
         run_hotpath_bench,
+        run_scale_bench,
         run_store_bench,
         run_sweep_bench,
         write_bench_json,
@@ -449,6 +462,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             doc["store"] = store_doc["store"]
         else:
             doc = store_doc
+    if args.mode in ("scale", "all"):
+        scale_doc = run_scale_bench(
+            jobs=args.scale_jobs,
+            kernels=args.kernel or None,
+        )
+        if doc:
+            doc["scaling"] = scale_doc["scaling"]
+        else:
+            doc = scale_doc
     _out(format_bench(doc))
     if args.out:
         write_bench_json(args.out, doc)
@@ -467,6 +489,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             _out(
                 f"FAIL: sweep geomean speedup "
                 f"{sweep['geomean_speedup']:.2f}x < {args.min_speedup:g}x"
+            )
+            failed = True
+        scaling = doc.get("scaling")
+        if (
+            scaling is not None
+            and scaling["rank"]["speedup"] < args.min_speedup
+        ):
+            _out(
+                f"FAIL: scaling rank speedup "
+                f"{scaling['rank']['speedup']:.2f}x < {args.min_speedup:g}x"
             )
             failed = True
     if args.baseline:
@@ -590,6 +622,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         store_path=args.store,
         retries=args.retries,
         job_timeout=args.job_timeout,
+        warm_dir=args.warm,
     )
     _out(f"serving on {server.address} (Ctrl-C to stop)")
     server.serve_forever()
@@ -629,14 +662,64 @@ def _cmd_store(args: argparse.Namespace) -> int:
         return EXIT_OK
 
 
+def _jobs_value(text: str) -> int:
+    """``--jobs`` values: an integer, or ``auto`` = the machine's CPU count.
+
+    ``auto`` resolves here (clamped to >= 1 for exotic platforms where
+    ``os.cpu_count()`` is unknown); explicit integers pass through
+    unvalidated so 0/negative still raise the runner's
+    :class:`~repro.errors.ConfigError` (exit code 2), not an argparse
+    usage error.
+    """
+    if text.strip().lower() == "auto":
+        import os
+
+        return max(1, os.cpu_count() or 1)
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {text!r}"
+        ) from None
+
+
+def _shards_value(text: str) -> "int | str":
+    """``--shards`` values: an integer, or the literal ``auto``.
+
+    ``auto`` stays symbolic — it resolves to 2x the (already resolved)
+    ``--jobs`` value inside :func:`_cmd_rank`. Out-of-range integers pass
+    through so :meth:`Explorer.rank_design_points` raises its
+    :class:`~repro.errors.ConfigError` (exit code 2).
+    """
+    if text.strip().lower() == "auto":
+        return "auto"
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {text!r}"
+        ) from None
+
+
 def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=_jobs_value,
         default=1,
         metavar="N",
-        help="worker processes for simulation fan-out (default 1 = in-process; "
-        "results are identical at any job count)",
+        help="worker processes for simulation fan-out (default 1 = "
+        "in-process; 'auto' = one per CPU core; results are identical at "
+        "any job count)",
+    )
+    parser.add_argument(
+        "--warm",
+        metavar="DIR",
+        default=None,
+        help="share compiled trace segments across worker processes "
+        "through a shared-memory region indexed under this directory; "
+        "workers start pre-warmed from it instead of recompiling "
+        "(falls back to private caches where shared memory is "
+        "unavailable)",
     )
     parser.add_argument(
         "--stats",
@@ -755,6 +838,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "rerunning with the same path resumes a killed sweep and "
         "produces identical output",
     )
+    p_rank.add_argument(
+        "--shards",
+        type=_shards_value,
+        default=None,
+        metavar="N",
+        help="evaluate the point space as N timing-key-aware shards, each "
+        "ranked entirely inside a worker ('auto' = 2x --jobs); output is "
+        "byte-identical to the flat path, and --checkpoint files "
+        "interoperate between the two",
+    )
     _add_jobs_arg(p_rank)
     p_rank.set_defaults(func=_cmd_rank)
 
@@ -786,10 +879,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_faults.add_argument("--top", type=int, default=10)
     p_faults.add_argument(
         "--jobs",
-        type=int,
+        type=_jobs_value,
         default=1,
         metavar="N",
-        help="worker processes (default 1 = in-process)",
+        help="worker processes (default 1 = in-process; 'auto' = one per "
+        "CPU core)",
     )
     p_faults.set_defaults(func=_cmd_faults)
 
@@ -832,13 +926,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_bench.add_argument(
         "--mode",
-        choices=("hotpath", "sweep", "coherence", "store", "all"),
+        choices=("hotpath", "sweep", "coherence", "store", "scale", "all"),
         default="hotpath",
         help="hotpath: legacy vs compiled per kernel; sweep: per-point vs "
         "batched design-point axis on a rank-style workload; coherence: "
         "protocol-on vs protocol-off simulation overhead; store: "
-        "warm-store vs cold sweep wall-clock; all: every section "
-        "(default hotpath)",
+        "warm-store vs cold sweep wall-clock; scale: sharded-vs-flat "
+        "full-space rank and cold-vs-warm pool startup; all: every "
+        "section (default hotpath)",
     )
     p_bench.add_argument(
         "--scale",
@@ -870,6 +965,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="N",
         help="sample every Nth feasible design point for the store "
         "workload (default 8 — the cold side simulates every point)",
+    )
+    p_bench.add_argument(
+        "--scale-jobs",
+        type=int,
+        default=4,
+        metavar="N",
+        help="worker processes for the scale mode's flat and sharded "
+        "sides (default 4 — the acceptance criterion's pool width)",
     )
     p_bench.add_argument(
         "--repeats",
@@ -916,7 +1019,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=float,
         default=None,
         metavar="X",
-        help="fail unless every fidelity's geomean speedup is at least X",
+        help="fail unless every measured speedup headline (fidelity "
+        "geomeans, sweep geomean, scaling rank) is at least X",
     )
     p_bench.set_defaults(func=_cmd_bench)
 
@@ -1032,10 +1136,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_serve.add_argument(
         "--jobs",
-        type=int,
+        type=_jobs_value,
         default=1,
         metavar="N",
-        help="worker processes per evaluation (default 1)",
+        help="worker processes per evaluation (default 1; 'auto' = one "
+        "per CPU core)",
+    )
+    p_serve.add_argument(
+        "--warm",
+        metavar="DIR",
+        default=None,
+        help="shared compile-cache region directory: worker pools start "
+        "pre-warmed from it and publish new compilations back "
+        "(falls back to private caches where shared memory is "
+        "unavailable)",
     )
     p_serve.add_argument(
         "--queue-depth",

@@ -91,6 +91,7 @@ class Explorer:
         job_timeout: Optional[float] = None,
         sweep: bool = False,
         store: Optional[ResultStore] = None,
+        warm_dir: Optional[str] = None,
     ) -> None:
         self.system = system or SystemConfig()
         self.comm_params = comm_params or CommParams()
@@ -115,8 +116,30 @@ class Explorer:
         #: ``job_timeout`` caps each pool job's wall-clock. All default to
         #: off, keeping the clean path byte-identical.
         self.faults = faults if (faults is not None and faults.active) else None
+        #: With ``warm_dir`` the segment-compile cache grows a shared tier
+        #: (:mod:`repro.perf.warm`): this process publishes compilations
+        #: into a shared-memory region under that directory, and every
+        #: pool worker attaches to it — pre-warming its local cache — via
+        #: the runner's initializer. Falls back to private caches (region
+        #: disabled) when shared memory is unavailable.
+        self.warm_region = None
+        initializer = None
+        initargs: tuple = ()
+        if warm_dir is not None:
+            from repro.perf.compiled import SHARED_COMPILE_CACHE
+            from repro.perf.warm import SharedCompileRegion, attach_region
+
+            self.warm_region = SharedCompileRegion(warm_dir)
+            SHARED_COMPILE_CACHE.shared = self.warm_region
+            initializer = attach_region
+            initargs = (warm_dir,)
         self.runner = ParallelRunner(
-            jobs=jobs, stats=self.run_stats, retry=retry, job_timeout=job_timeout
+            jobs=jobs,
+            stats=self.run_stats,
+            retry=retry,
+            job_timeout=job_timeout,
+            initializer=initializer,
+            initargs=initargs,
         )
         self.trace_cache = trace_cache if trace_cache is not None else SHARED_TRACE_CACHE
         #: With ``store`` the result memo is backed by a durable
@@ -159,6 +182,24 @@ class Explorer:
     @property
     def jobs(self) -> int:
         return self.runner.jobs
+
+    def cache_stats(self) -> "Dict[str, Dict[str, float]]":
+        """The memo layer's stats dicts, keyed by cache name.
+
+        The warm-start observability surface (``--metrics-out`` emits
+        these as ``exec.cache.*``, serve as ``/metrics`` lines):
+        ``compile`` is this process's segment-compile cache, whose
+        ``shared_hits``/``published`` counters show the shared region
+        working; worker-side compile activity arrives separately through
+        the ``exec.compile.*`` counters.
+        """
+        from repro.perf.compiled import SHARED_COMPILE_CACHE
+
+        return {
+            "trace": dict(self.trace_cache.stats()),
+            "result": dict(self.result_cache.stats()),
+            "compile": dict(SHARED_COMPILE_CACHE.stats()),
+        }
 
     def _job(self, trace, **kwargs) -> SimJob:
         """A :class:`SimJob` pinned to this explorer's machine parameters."""
@@ -250,15 +291,20 @@ class Explorer:
         to per-job execution.
         """
         if self.sweep:
-            from repro.exec.sweepjob import partition_jobs, run_sweep_batch
+            from repro.exec.sweepjob import partition_jobs, run_sweep_batch_stats
 
             batches = partition_jobs(jobs)
             if batches is not None:
                 computed = self.runner.map(
-                    run_sweep_batch, [batch for batch, _ in batches], stage=stage
+                    run_sweep_batch_stats,
+                    [batch for batch, _ in batches],
+                    stage=stage,
                 )
                 flat: List[Optional[SimulationResult]] = [None] * len(jobs)
-                for (_, indices), batch_results in zip(batches, computed):
+                for (_, indices), (batch_results, compile_delta) in zip(
+                    batches, computed
+                ):
+                    self.run_stats.record_compile(compile_delta)
                     for index, result in zip(indices, batch_results):
                         flat[index] = result
                 assert all(r is not None for r in flat)
@@ -476,6 +522,7 @@ class Explorer:
         kernels: Optional[Sequence[Kernel]] = None,
         checkpoint: Optional[str] = None,
         checkpoint_chunk: int = 8,
+        shards: Optional[int] = None,
     ) -> List[DesignPointEvaluation]:
         """Evaluate and rank design points (best first).
 
@@ -493,11 +540,35 @@ class Explorer:
         a killed sweep re-run with the same checkpoint path resumes from
         the completed points and produces identical output to an
         uninterrupted run. Without it, the one-shot path is untouched.
+
+        With ``shards`` > 1 the sweep instead partitions the points into
+        timing-key-aware shards (:func:`~repro.exec.sweepjob.plan_shards`)
+        and evaluates whole shards inside workers — the full-space scaling
+        path: per-point job construction, dedup, and aggregation all move
+        off the parent process. The merged ranking is byte-identical to
+        the flat/serial paths, the checkpoint file interoperates both
+        directions (a killed sharded sweep resumes where a flat one would,
+        and vice versa), and distinct results still write through the
+        explorer's memo/durable store. Fault-injected or check-gated runs
+        fall back to the flat path — those features are parent-side.
         """
         if points is None:
             points = DesignSpace().feasible_points()
         points = list(points)
         kernels = list(kernels or all_kernels())
+        if shards is not None and shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {shards}")
+        if shards is not None and shards > 1 and points:
+            if self.faults is not None or self.check != "off":
+                _log.debug(
+                    "sharded rank unavailable with faults/check enabled; "
+                    "falling back to the flat path"
+                )
+            else:
+                return sorted(
+                    self._rank_sharded(points, kernels, shards, checkpoint),
+                    key=DesignPointEvaluation.score,
+                )
         if checkpoint is not None:
             evaluations = self._rank_checkpointed(
                 points, kernels, checkpoint, max(1, checkpoint_chunk)
@@ -522,6 +593,114 @@ class Explorer:
         if not evaluations:
             raise DesignSpaceError("no feasible design points to rank")
         return sorted(evaluations, key=DesignPointEvaluation.score)
+
+    def _rank_sharded(
+        self,
+        points: Sequence[DesignPoint],
+        kernels: Sequence[Kernel],
+        shards: int,
+        checkpoint: Optional[str],
+    ) -> List[DesignPointEvaluation]:
+        """The sharded rank engine behind ``rank_design_points(shards=)``.
+
+        Shards dispatch through the persistent pool in waves of ``jobs``;
+        after each wave the completed points append to the checkpoint (when
+        one is open) and the wave's distinct results write through the memo
+        layer. The checkpoint signature is exactly
+        :meth:`_rank_checkpointed`'s, so resume interoperates across modes.
+        """
+        from repro.exec.sweepjob import ShardJob, plan_shards, run_shard
+
+        signature = sweep_signature(
+            [point.label for point in points],
+            [kernel.name for kernel in kernels],
+            [],
+        )
+        by_label = {point.label: point for point in points}
+        evaluations: Dict[str, DesignPointEvaluation] = {}
+        store: Optional[SweepCheckpoint] = None
+        loaded: Dict[str, Dict] = {}
+        if checkpoint is not None:
+            store = SweepCheckpoint(checkpoint)
+            loaded = store.load(signature)
+            for label, entry in loaded.items():
+                point = by_label.get(label)
+                if point is None:
+                    continue
+                evaluations[label] = DesignPointEvaluation(
+                    point=point,
+                    mean_seconds=entry["mean_seconds"],
+                    mean_comm_fraction=entry["mean_comm_fraction"],
+                    comm_lines_total=entry["comm_lines_total"],
+                    locality_options=entry["locality_options"],
+                )
+            if evaluations:
+                _log.debug(
+                    "checkpoint %s: resuming with %d/%d point(s) already "
+                    "evaluated",
+                    checkpoint,
+                    len(evaluations),
+                    len(points),
+                )
+        remaining = [point for point in points if point.label not in evaluations]
+        for point in remaining:
+            point.require_feasible()
+        comm_lines = self._comm_lines_by_space()
+        comm_lines_pairs = tuple(
+            sorted(comm_lines.items(), key=lambda pair: str(pair[0]))
+        )
+        kernel_names = tuple(kernel.name for kernel in kernels)
+        shard_jobs = [
+            ShardJob(
+                points=tuple(points[index] for index in bucket),
+                kernel_names=kernel_names,
+                system=self.system,
+                comm_params=self.comm_params,
+                comm_lines=comm_lines_pairs,
+            )
+            for bucket in plan_shards(remaining, shards)
+            if bucket
+        ]
+        collected: List[SimulationResult] = []
+        if store is not None:
+            store.open(signature, resume=bool(loaded))
+        try:
+            wave = max(1, self.jobs)
+            for start in range(0, len(shard_jobs), wave):
+                outcomes = self.runner.map(
+                    run_shard, shard_jobs[start : start + wave], stage="rank-shards"
+                )
+                for outcome in outcomes:
+                    self.run_stats.record_cache(
+                        outcome.dedup_hits, outcome.sim_runs
+                    )
+                    for cache_key, result in outcome.distinct:
+                        self.result_cache.put(cache_key, result)
+                        collected.append(result)
+                    for label, mean_s, mean_cf, lines, options in outcome.evaluations:
+                        evaluation = DesignPointEvaluation(
+                            point=by_label[label],
+                            mean_seconds=mean_s,
+                            mean_comm_fraction=mean_cf,
+                            comm_lines_total=lines,
+                            locality_options=options,
+                        )
+                        evaluations[label] = evaluation
+                        if store is not None:
+                            store.append(
+                                {
+                                    "label": label,
+                                    "mean_seconds": mean_s,
+                                    "mean_comm_fraction": mean_cf,
+                                    "comm_lines_total": lines,
+                                    "locality_options": options,
+                                }
+                            )
+        finally:
+            if store is not None:
+                store.close()
+        self.last_results = collected
+        return [evaluations[point.label] for point in points]
 
     def _rank_checkpointed(
         self,

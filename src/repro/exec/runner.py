@@ -84,6 +84,12 @@ def _item_for_attempt(item: T, attempt: int) -> T:
     return item
 
 
+def _prestart_hold(seconds: float) -> bool:
+    """Pool warm-up task: hold a worker busy so its siblings must spawn."""
+    time.sleep(seconds)
+    return True
+
+
 class ParallelRunner:
     """Executes job batches, in order, across worker processes.
 
@@ -92,6 +98,14 @@ class ParallelRunner:
     the retry/timeout/crash counters. ``retry`` bounds re-attempts of
     failed jobs (default: a single attempt), ``job_timeout`` bounds each
     pool job's wall-clock, and ``sleep`` is injectable for tests.
+
+    The worker pool is **persistent**: it is created once, sized by
+    ``jobs`` (never shrunk to a small trailing batch — shard dispatch
+    sends uneven waves through the same pool), reused across :meth:`map`
+    calls, and torn down only by supervision (crash/timeout rebuilds) or
+    :meth:`close`. ``initializer``/``initargs`` run in every spawned
+    worker — the warm-start hook
+    (:func:`repro.perf.warm.attach_region`) rides in here.
     """
 
     def __init__(
@@ -101,6 +115,8 @@ class ParallelRunner:
         retry: Optional[RetryPolicy] = None,
         job_timeout: Optional[float] = None,
         sleep: Callable[[float], None] = time.sleep,
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: Sequence[object] = (),
     ) -> None:
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
@@ -113,6 +129,69 @@ class ParallelRunner:
         self.retry = retry or NO_RETRY
         self.job_timeout = job_timeout
         self._sleep = sleep
+        self.initializer = initializer
+        self.initargs = tuple(initargs)
+        self._pool: "object | None" = None
+
+    # -- pool lifecycle ----------------------------------------------------
+
+    def _ensure_pool(self) -> object:
+        """The persistent pool, created on first use at full ``jobs`` width."""
+        if self._pool is None:
+            import concurrent.futures
+
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=self.initializer,
+                initargs=self.initargs,
+            )
+        return self._pool
+
+    def _teardown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def close(self) -> None:
+        """Shut the persistent pool down (idempotent; runner stays usable —
+        the next :meth:`map` simply builds a fresh pool)."""
+        self._teardown_pool()
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown path
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def prestart(self, hold_seconds: float = 0.05) -> bool:
+        """Spawn the full worker complement now (a *warm pool*).
+
+        Pool executors spawn workers lazily per submission and reuse idle
+        ones, so a quiet pool may hold fewer than ``jobs`` processes. This
+        submits ``jobs`` brief holds that must overlap, forcing every
+        worker (and its initializer) to start before real work arrives.
+        Best-effort: False when pools are unavailable here.
+        """
+        if self.jobs <= 1:
+            return False
+        try:
+            pool = self._ensure_pool()
+            futures = [
+                pool.submit(_prestart_hold, hold_seconds) for _ in range(self.jobs)
+            ]
+            for future in futures:
+                future.result()
+        except Exception as exc:  # noqa: BLE001 - warm start is advisory
+            _log.debug("pool prestart unavailable (%s)", exc)
+            self._teardown_pool()
+            return False
+        return True
 
     # -- generic order-preserving map --------------------------------------
 
@@ -192,15 +271,14 @@ class ParallelRunner:
     def _execute_pool(self, func: Callable[[T], R], items: List[T]) -> List[R]:
         """The supervised pool engine: submit in order, collect in order.
 
-        The pool is rebuilt after a worker crash or a job timeout; jobs
-        whose futures were casualties of a teardown are re-dispatched at
-        their current attempt (only the job actually blamed is charged).
+        The **persistent** pool (``self._pool``, full ``jobs`` width even
+        for a small trailing shard) is reused across batches; it is rebuilt
+        after a worker crash or a job timeout, and jobs whose futures were
+        casualties of a teardown are re-dispatched at their current attempt
+        (only the job actually blamed is charged).
         """
         try:
-            from concurrent.futures import (
-                ProcessPoolExecutor,
-                TimeoutError as FuturesTimeout,
-            )
+            from concurrent.futures import TimeoutError as FuturesTimeout
             from concurrent.futures.process import BrokenProcessPool
         except ImportError as exc:  # pragma: no cover - exotic interpreters
             _log.debug(
@@ -210,11 +288,8 @@ class ParallelRunner:
             )
             return [self._run_one(func, item) for item in items]
 
-        def make_pool():
-            return ProcessPoolExecutor(max_workers=min(self.jobs, len(items)))
-
         try:
-            pool = make_pool()
+            pool = self._ensure_pool()
         except (OSError, ImportError, PermissionError) as exc:
             # No usable process support (sandboxed interpreter): degrade to
             # the deterministic in-process path.
@@ -223,6 +298,7 @@ class ParallelRunner:
                 exc,
                 len(items),
             )
+            self._pool = None
             return [self._run_one(func, item) for item in items]
 
         results: List[Optional[R]] = [None] * len(items)
@@ -292,7 +368,7 @@ class ParallelRunner:
                         )
                         self._charge_attempt(items[index], index, attempts, exc)
                 if pool_broken:
-                    pool.shutdown(wait=False, cancel_futures=True)
+                    self._teardown_pool()
                     if crash_restarts > MAX_POOL_RESTARTS:
                         _log.debug(
                             "pool crashed %d times; finishing %d job(s) "
@@ -307,9 +383,29 @@ class ParallelRunner:
                                 )
                                 done[index] = True
                         break
-                    pool = make_pool()
-        finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+                    try:
+                        pool = self._ensure_pool()
+                    except (OSError, ImportError, PermissionError) as exc:
+                        _log.debug(
+                            "pool rebuild failed (%s); finishing %d job(s) "
+                            "in-process",
+                            exc,
+                            sum(1 for d in done if not d),
+                        )
+                        self._pool = None
+                        for index, item in enumerate(items):
+                            if not done[index]:
+                                results[index] = self._run_one(
+                                    func, item, first_attempt=attempts[index]
+                                )
+                                done[index] = True
+                        break
+        except BaseException:
+            # A batch-aborting error (retry exhausted, interrupt) leaves
+            # futures in flight; cancel them with the pool rather than
+            # leaking a wedged executor behind the persistent handle.
+            self._teardown_pool()
+            raise
         return results  # type: ignore[return-value]
 
     def _charge_attempt(

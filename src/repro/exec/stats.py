@@ -54,6 +54,23 @@ class RunStats:
         self._degraded = self.metrics.counter(
             "degraded_results", unit="jobs", description="results produced by a degraded (fallback) simulator"
         )
+        #: Worker-side segment-compile cache activity, folded in per batch
+        #: from :func:`~repro.exec.sweepjob.run_sweep_batch_stats` deltas.
+        #: ``compile.misses`` ~0 across a batch is the warm-start success
+        #: signal: every worker served compilations from its pre-warmed
+        #: cache or the shared region instead of recompiling.
+        self._compile_hits = self.metrics.counter(
+            "compile.hits", unit="lookups", description="worker compile-cache local hits"
+        )
+        self._compile_misses = self.metrics.counter(
+            "compile.misses", unit="lookups", description="worker segment compilations (cold lookups)"
+        )
+        self._compile_shared_hits = self.metrics.counter(
+            "compile.shared_hits", unit="lookups", description="worker compile-cache hits served from the shared region"
+        )
+        self._compile_published = self.metrics.counter(
+            "compile.published", unit="segments", description="compilations published to the shared region"
+        )
         #: One wall-clock timer per named stage, created on first use.
         self._stage_timers: Dict[str, Timer] = {}
 
@@ -84,6 +101,13 @@ class RunStats:
 
     def record_degraded(self, count: int = 1) -> None:
         self._degraded.inc(count)
+
+    def record_compile(self, delta: Dict[str, int]) -> None:
+        """Fold one worker batch's compile-cache delta into the counters."""
+        self._compile_hits.inc(int(delta.get("hits", 0)))
+        self._compile_misses.inc(int(delta.get("misses", 0)))
+        self._compile_shared_hits.inc(int(delta.get("shared_hits", 0)))
+        self._compile_published.inc(int(delta.get("published", 0)))
 
     def _stage_timer(self, name: str) -> Timer:
         timer = self._stage_timers.get(name)
@@ -137,6 +161,22 @@ class RunStats:
     @property
     def degraded_results(self) -> int:
         return self._degraded.value
+
+    @property
+    def compile_hits(self) -> int:
+        return self._compile_hits.value
+
+    @property
+    def compile_misses(self) -> int:
+        return self._compile_misses.value
+
+    @property
+    def compile_shared_hits(self) -> int:
+        return self._compile_shared_hits.value
+
+    @property
+    def compile_published(self) -> int:
+        return self._compile_published.value
 
     @property
     def stage_seconds(self) -> Dict[str, float]:

@@ -22,6 +22,9 @@ to appear in ``docs/chaos-scenarios.md`` and ``tests/faults/test_chaos.py``):
 
 - ``sweep-sigkill`` — kill a ``rank --store`` subprocess mid-sweep;
   rerun must be byte-identical to a storeless run, with store hits.
+- ``shard-sigkill`` — kill a sharded ``rank --checkpoint`` subprocess
+  mid-sweep; the sharded rerun (and a flat resume of the same file)
+  must be byte-identical to a clean flat run.
 - ``worker-kill`` — SIGKILL a pool worker mid-batch; the supervised
   runner must deliver results equal to the serial clean run.
 - ``store-torn-write`` — a crash mid-append leaves a torn record;
@@ -381,6 +384,60 @@ def _sweep_sigkill(context: ChaosContext) -> str:
     return (
         f"{'killed mid-sweep' if killed else 'sweep finished before the kill'}; "
         f"rerun byte-identical, {entries} entries verified, warm hits={hits}"
+    )
+
+
+@_scenario(
+    "shard-sigkill",
+    "SIGKILL a sharded rank --checkpoint sweep mid-run; the sharded rerun "
+    "resumes the checkpoint and is byte-identical to the clean flat run",
+)
+def _shard_sigkill(context: ChaosContext) -> str:
+    checkpoint = context.workdir / "sweep.jsonl"
+    rank_args = ("rank", "--sample", "0", "--top", "5")
+    shard_args = (*rank_args, "--shards", "4", "--jobs", "2")
+    code, clean = context.run_cli(*rank_args)
+    if code != 0:
+        raise context.fail(f"clean flat rank exited {code}")
+    proc = context.spawn_cli(*shard_args, "--checkpoint", str(checkpoint))
+    deadline = time.monotonic() + SCENARIO_TIMEOUT / 2
+    killed = False
+    try:
+        # Kill as soon as the checkpoint holds bytes — mid-sweep, with
+        # some shard waves committed and others still in flight.
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                break
+            if checkpoint.exists() and checkpoint.stat().st_size > 0:
+                proc.send_signal(signal.SIGKILL)
+                killed = True
+                break
+            time.sleep(0.002)
+        proc.wait(timeout=SCENARIO_TIMEOUT / 2)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+    code, rerun = context.run_cli(*shard_args, "--checkpoint", str(checkpoint))
+    if code != 0:
+        raise context.fail(f"sharded rerun against the checkpoint exited {code}")
+    if rerun != clean:
+        raise context.fail(
+            "sharded rerun output is not byte-identical to the clean flat run"
+        )
+    # Checkpoint interop: a *flat* resume of the sharded file must agree.
+    code, flat_resume = context.run_cli(*rank_args, "--checkpoint", str(checkpoint))
+    if code != 0:
+        raise context.fail(f"flat resume of the sharded checkpoint exited {code}")
+    if flat_resume != clean:
+        raise context.fail(
+            "flat resume of the sharded checkpoint is not byte-identical"
+        )
+    entries = max(0, len(checkpoint.read_bytes().splitlines()) - 1)
+    return (
+        f"{'killed mid-sweep' if killed else 'sweep finished before the kill'}; "
+        f"sharded rerun and flat resume byte-identical "
+        f"({entries} checkpointed evaluation(s))"
     )
 
 

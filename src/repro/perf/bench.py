@@ -31,6 +31,15 @@ explorer and caches against the store the cold run populated, so every
 result is a disk hit). Both evaluation lists are asserted equal before
 either timing is reported.
 
+A fifth mode, :func:`run_scale_bench`, measures the machine-saturation
+path: the full 1933-point rank once flat (per-point jobs fanned through
+the pool) and once sharded through :mod:`repro.exec.sweepjob` with a
+prestarted pool, plus a detailed sweep run cold (empty shared compile
+region, workers compile) and warm (region populated, workers pre-warmed
+by :func:`repro.perf.warm.attach_region` — steady-state worker compile
+misses must be ~0). Its document section is named ``scaling`` because
+the hotpath section already uses ``scale`` for the trace-scale factor.
+
 Comparisons against a stored baseline use the *speedup ratio* (or, for
 the coherence section, the slowdown ratio), not raw wall-clock —
 absolute seconds differ across machines, but both sides of each ratio
@@ -57,6 +66,7 @@ __all__ = [
     "run_sweep_bench",
     "run_coherence_bench",
     "run_store_bench",
+    "run_scale_bench",
     "format_bench",
     "compare_to_baseline",
     "write_bench_json",
@@ -82,6 +92,12 @@ COHERENCE_PROTOCOLS = ("snoop", "directory")
 #: Defaults for the store mode: same bounding kernels as the sweep mode,
 #: a coarser stride (the cold side simulates every sampled point).
 STORE_STRIDE = 8
+
+#: Defaults for the scale mode: the worker count the acceptance criterion
+#: pins (sharded + warm pool >= 2x flat at 4 jobs) and a small trace
+#: scale for the cold-vs-warm detailed pool comparison.
+SCALE_JOBS = 4
+SCALE_POOL_SCALE = 0.01
 
 
 def _geomean(values: Sequence[float]) -> float:
@@ -495,6 +511,171 @@ def run_store_bench(
     }
 
 
+def run_scale_bench(
+    jobs: int = SCALE_JOBS,
+    rank_stride: int = 1,
+    pool_scale: float = SCALE_POOL_SCALE,
+    kernels: Optional[Sequence[str]] = None,
+) -> Dict:
+    """Benchmark the machine-saturation path; returns a ``scaling`` document.
+
+    Two measurements, both identity-checked before any timing is reported:
+
+    - *rank*: every ``rank_stride``-th feasible design point (stride 1 =
+      the full 1933-point space) ranked once flat — per-point jobs fanned
+      through a ``jobs``-wide pool, the pre-sharding path — and once
+      through ``rank_design_points(shards=2*jobs)`` with the pool
+      prestarted. The flattened evaluation lists must match exactly; the
+      recorded speedup is the acceptance criterion's "sharded + warm pool
+      vs flat at ``--jobs 4``" ratio.
+    - *pool*: a detailed batched sweep (``sweep=True``) over the bounding
+      kernels, run cold — fresh shared compile region, every worker
+      compiles its segments — then warm — a new explorer and pool against
+      the region the cold run populated, workers pre-warmed by the
+      :func:`~repro.perf.warm.attach_region` initializer. The warm run's
+      ``exec.compile.misses`` is recorded; with shared memory available it
+      is ~0, and the CI baseline comparison gates on that.
+
+    When shared memory is unavailable the region disables itself and the
+    pool comparison degrades to private caches (misses stay nonzero); the
+    document records ``shm_available`` so comparisons can tell the two
+    apart rather than failing the fallback path.
+    """
+    if jobs < 1:
+        raise ConfigError(f"bench jobs must be >= 1, got {jobs}")
+    if rank_stride < 1:
+        raise ConfigError(f"bench rank stride must be >= 1, got {rank_stride}")
+    if pool_scale <= 0:
+        raise ConfigError(f"bench pool scale must be positive, got {pool_scale}")
+    import os
+    import shutil
+    import tempfile
+
+    from repro.core.explorer import Explorer
+    from repro.core.space import DesignSpace
+    from repro.exec.cache import TraceCache
+    from repro.perf.compiled import SHARED_COMPILE_CACHE
+    from repro.perf.warm import shm_available
+
+    selected = [kernel(name) for name in (kernels or SWEEP_KERNELS)]
+    points = DesignSpace().feasible_points()[::rank_stride]
+    shards = max(2 * jobs, 1)
+
+    def _flat_evals(evaluations):
+        return [
+            (
+                e.point.label,
+                e.mean_seconds,
+                e.mean_comm_fraction,
+                e.comm_lines_total,
+                e.locality_options,
+            )
+            for e in evaluations
+        ]
+
+    # -- rank: flat vs sharded ------------------------------------------
+    explorer = Explorer(jobs=jobs, trace_cache=TraceCache())
+    try:
+        start = time.perf_counter()
+        flat_evaluations = explorer.rank_design_points(points, selected)
+        flat_seconds = time.perf_counter() - start
+    finally:
+        explorer.runner.close()
+
+    explorer = Explorer(jobs=jobs, trace_cache=TraceCache())
+    try:
+        explorer.runner.prestart()
+        start = time.perf_counter()
+        sharded_evaluations = explorer.rank_design_points(
+            points, selected, shards=shards
+        )
+        sharded_seconds = time.perf_counter() - start
+    finally:
+        explorer.runner.close()
+
+    if _flat_evals(sharded_evaluations) != _flat_evals(flat_evaluations):
+        raise SimulationError(
+            "scale bench identity violation: sharded ranking differs "
+            "from the flat pool path"
+        )
+
+    # -- pool: cold vs warm shared compile region -----------------------
+    root = tempfile.mkdtemp(prefix="repro-scale-bench-")
+    warm_root = os.path.join(root, "warm-region")
+    region = None
+    try:
+        explorer = Explorer(
+            jobs=jobs,
+            sweep=True,
+            detailed_scale=pool_scale,
+            trace_cache=TraceCache(),
+            warm_dir=warm_root,
+        )
+        try:
+            start = time.perf_counter()
+            cold_results = explorer.run_case_studies_detailed(selected)
+            cold_seconds = time.perf_counter() - start
+            cold_misses = explorer.run_stats.compile_misses
+        finally:
+            explorer.runner.close()
+
+        explorer = Explorer(
+            jobs=jobs,
+            sweep=True,
+            detailed_scale=pool_scale,
+            trace_cache=TraceCache(),
+            warm_dir=warm_root,
+        )
+        region = explorer.warm_region
+        try:
+            explorer.runner.prestart()
+            start = time.perf_counter()
+            warm_results = explorer.run_case_studies_detailed(selected)
+            warm_seconds = time.perf_counter() - start
+            warm_misses = explorer.run_stats.compile_misses
+        finally:
+            explorer.runner.close()
+
+        if warm_results != cold_results:
+            raise SimulationError(
+                "scale bench identity violation: warm-pool detailed sweep "
+                "differs from the cold run that populated the region"
+            )
+    finally:
+        if region is not None:
+            region.destroy()
+        SHARED_COMPILE_CACHE.shared = None
+        shutil.rmtree(root, ignore_errors=True)
+
+    return {
+        "schema": SCHEMA,
+        "scaling": {
+            "jobs": jobs,
+            "shm_available": shm_available(),
+            "rank": {
+                "points": len(points),
+                "stride": rank_stride,
+                "shards": shards,
+                "kernels": [k.name for k in selected],
+                "flat_seconds": flat_seconds,
+                "sharded_seconds": sharded_seconds,
+                "speedup": (
+                    flat_seconds / sharded_seconds if sharded_seconds > 0 else 0.0
+                ),
+            },
+            "pool": {
+                "scale": pool_scale,
+                "kernels": [k.name for k in selected],
+                "cold_seconds": cold_seconds,
+                "warm_seconds": warm_seconds,
+                "cold_compile_misses": cold_misses,
+                "warm_compile_misses": warm_misses,
+                "speedup": cold_seconds / warm_seconds if warm_seconds > 0 else 0.0,
+            },
+        },
+    }
+
+
 def format_bench(doc: Dict) -> str:
     """Human-readable report of a bench document."""
     from repro.core.report import format_table
@@ -593,6 +774,36 @@ def format_bench(doc: Dict) -> str:
                 ),
             )
         )
+    scaling = doc.get("scaling")
+    if scaling is not None:
+        rank_cell = scaling["rank"]
+        pool_cell = scaling["pool"]
+        rows = [
+            (
+                f"rank ({rank_cell['points']} pts, {rank_cell['shards']} shards)",
+                f"{rank_cell['flat_seconds']:.3f}",
+                f"{rank_cell['sharded_seconds']:.3f}",
+                f"{rank_cell['speedup']:.2f}x",
+            ),
+            (
+                f"pool ({', '.join(pool_cell['kernels'])})",
+                f"{pool_cell['cold_seconds']:.3f}",
+                f"{pool_cell['warm_seconds']:.3f}",
+                f"{pool_cell['speedup']:.2f}x",
+            ),
+        ]
+        lines.append(
+            format_table(
+                ("workload", "flat/cold s", "sharded/warm s", "speedup"),
+                rows,
+                title=(
+                    f"Machine-scale sweep — {scaling['jobs']} jobs, warm "
+                    f"compile misses {pool_cell['warm_compile_misses']} "
+                    f"(cold {pool_cell['cold_compile_misses']}; shm "
+                    f"{'on' if scaling['shm_available'] else 'off'})"
+                ),
+            )
+        )
     return "\n\n".join(lines)
 
 
@@ -676,6 +887,28 @@ def compare_to_baseline(
                 f"store: warm-start speedup {cur_cell['speedup']:.2f}x "
                 f"fell below {floor:.2f}x "
                 f"(baseline {base_cell['speedup']:.2f}x - {tolerance:.0%})"
+            )
+    if current.get("scaling"):
+        cur_scaling = current["scaling"]
+        if baseline.get("scaling"):
+            base_rank = baseline["scaling"]["rank"]
+            cur_rank = cur_scaling["rank"]
+            floor = base_rank["speedup"] * (1.0 - tolerance)
+            if cur_rank["speedup"] < floor:
+                problems.append(
+                    f"scaling/rank: sharded speedup {cur_rank['speedup']:.2f}x "
+                    f"fell below {floor:.2f}x "
+                    f"(baseline {base_rank['speedup']:.2f}x - {tolerance:.0%})"
+                )
+        # Not baseline-relative: a warm pool recompiling is a warm-start
+        # bug regardless of what any stored run did — unless shared
+        # memory is off, where private caches legitimately recompile.
+        pool = cur_scaling["pool"]
+        if cur_scaling.get("shm_available") and pool["warm_compile_misses"]:
+            problems.append(
+                f"scaling/pool: warm run recompiled "
+                f"{pool['warm_compile_misses']} segment(s) with the shared "
+                f"region available (expected ~0 worker compile misses)"
             )
     return problems
 

@@ -1,0 +1,461 @@
+"""Warm-shared compile cache: compiled segments in POSIX shared memory.
+
+A :class:`~repro.perf.compiled.CompiledSegment` is four columnar numpy
+arrays plus a batched event encoding — pure data, expensive to rebuild,
+and identical in every process that replays the same trace. This module
+publishes that data once into :mod:`multiprocessing.shared_memory` blocks
+behind a keyed on-disk index, so a pool of worker processes starts *warm*:
+instead of each worker recompiling every segment into its private
+:data:`~repro.perf.compiled.SHARED_COMPILE_CACHE`, the pool initializer
+(:func:`attach_region`) attaches the region and pre-loads every published
+compilation, driving steady-state ``exec.compile.misses`` to ~0.
+
+Layout — a :class:`SharedCompileRegion` is a directory::
+
+    region/
+      index.json   # digest -> {shm name, array dtypes/shapes/offsets}
+      index.lock   # fcntl advisory lock serializing publishers
+
+and one shared-memory block per published segment holding, back to back:
+the pickled :class:`~repro.trace.phase.Segment` (so pre-warm can enumerate
+entries without knowing the keys), the four instruction arrays, and the
+event encoding packed as an ``(n, 4)`` int64 array. Loads are
+**copy-on-read**: the arrays are copied out of the block, so consumers can
+never corrupt the shared region and blocks can be unlinked safely.
+
+Publication is **single-writer**: publishers take the fcntl lock, re-read
+the index (another process may have won the race), write the block, and
+atomically replace ``index.json`` (tmp + rename). Readers never lock.
+
+Everything degrades gracefully: on platforms (or sandboxes) without
+``shared_memory``/``fcntl`` support, :func:`shm_available` reports False,
+:meth:`SharedCompileRegion.publish` / :meth:`~SharedCompileRegion.load`
+become no-ops, and the private in-process cache carries on exactly as
+before — byte-identical results, just cold workers.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs.log import get_logger
+from repro.perf.compiled import (
+    EV_BRANCH,
+    EV_COMPUTE_RUN,
+    EV_MEMORY,
+    CompiledSegment,
+)
+from repro.trace.phase import Segment
+
+__all__ = [
+    "SCHEMA",
+    "segment_digest",
+    "shm_available",
+    "SharedCompileRegion",
+    "attach_region",
+]
+
+_log = get_logger("perf.warm")
+
+#: Version tag baked into every digest and index: a region written by an
+#: incompatible layout is ignored wholesale instead of misread.
+SCHEMA = "warm_region/v1"
+
+#: The four columnar arrays, in block order, with their fixed dtypes.
+_ARRAY_FIELDS: Tuple[Tuple[str, str], ...] = (
+    ("opcodes", "uint8"),
+    ("addrs", "int64"),
+    ("sizes", "int32"),
+    ("taken", "bool"),
+)
+
+
+def segment_digest(segment: Segment) -> str:
+    """A stable content digest for ``segment`` (hex, schema-versioned).
+
+    Covers every field the deterministic expansion depends on, so two
+    equal segments — across processes, runs, and machines — share one
+    digest, and any differing field (a staged base address, a scaled mix)
+    produces a different one.
+    """
+    mix = segment.mix
+    canonical = (
+        SCHEMA,
+        segment.pu.name,
+        tuple(
+            (name, getattr(mix, name))
+            for name in (
+                "int_alu",
+                "fp_alu",
+                "simd_alu",
+                "loads",
+                "stores",
+                "simd_loads",
+                "simd_stores",
+                "branches",
+                "specials",
+            )
+        ),
+        segment.base_addr,
+        segment.footprint_bytes,
+        segment.elem_bytes,
+        segment.label,
+    )
+    return hashlib.sha256(repr(canonical).encode("utf-8")).hexdigest()
+
+
+_SHM_PROBED: Optional[bool] = None
+
+
+def shm_available() -> bool:
+    """Whether POSIX shared memory actually works here (probed once).
+
+    Restricted sandboxes can import :mod:`multiprocessing.shared_memory`
+    yet fail at creation time, so the probe allocates (and immediately
+    unlinks) a real block.
+    """
+    global _SHM_PROBED
+    if _SHM_PROBED is None:
+        try:
+            from multiprocessing import shared_memory
+
+            probe = shared_memory.SharedMemory(create=True, size=1)
+            probe.close()
+            # unlink() also unregisters from the resource tracker, so the
+            # probe needs no _untrack (doubling up makes the tracker warn).
+            probe.unlink()
+            import fcntl  # noqa: F401 - lock support is part of the contract
+
+            _SHM_PROBED = True
+        except Exception:  # noqa: BLE001 - any failure means "not here"
+            _SHM_PROBED = False
+    return _SHM_PROBED
+
+
+def _untrack(shm: object) -> None:
+    """Keep the resource tracker's fingers off ``shm``.
+
+    Every process that creates *or attaches* a block registers it with its
+    resource tracker, which unlinks the segment when that process exits —
+    exactly wrong for a region meant to outlive pool workers. Cleanup is
+    explicit (:meth:`SharedCompileRegion.destroy`) instead.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+    except Exception:  # noqa: BLE001 - tracker API is interpreter-internal
+        pass
+
+
+def _pack_events(events: List[Tuple[int, int, int, int]]) -> np.ndarray:
+    """The event list as an ``(n, 4)`` int64 array (bools become 0/1)."""
+    if not events:
+        return np.empty((0, 4), dtype=np.int64)
+    return np.asarray(events, dtype=np.int64)
+
+
+def _unpack_events(packed: np.ndarray) -> List[Tuple[int, int, int, int]]:
+    """Reconstruct the event list, bool fields restored exactly.
+
+    ``EV_MEMORY`` carries ``is_write`` in field 3 and ``EV_BRANCH``
+    carries ``taken`` in field 1 as real bools in a freshly built
+    compilation; the round-trip restores the same types so a loaded
+    segment's ``events`` compares equal element-for-element.
+    """
+    events: List[Tuple[int, int, int, int]] = []
+    append = events.append
+    for kind, a, b, c in packed.tolist():
+        if kind == EV_MEMORY:
+            append((EV_MEMORY, a, b, bool(c)))
+        elif kind == EV_BRANCH:
+            append((EV_BRANCH, bool(a), b, 0))
+        else:
+            append((EV_COMPUTE_RUN, a, 0, 0))
+    return events
+
+
+class SharedCompileRegion:
+    """A directory-backed index of compiled segments in shared memory.
+
+    One region is shared by a parent process and its worker pool: the
+    parent (or any worker) publishes each compilation once, every process
+    loads copy-on-read. The instance is picklable *by root path* — ship
+    ``region.root`` to pool initializers, not the object.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self._index_path = os.path.join(self.root, "index.json")
+        self._lock_path = os.path.join(self.root, "index.lock")
+        self._entries: Dict[str, dict] = {}
+        self._disabled = not shm_available()
+        #: Region-level counters (merged into cache stats by consumers).
+        self.publishes = 0
+        self.loads = 0
+        self.load_failures = 0
+        self._refresh()
+
+    # -- index plumbing ----------------------------------------------------
+
+    def _refresh(self) -> None:
+        """Re-read ``index.json`` (tolerating a missing or torn file)."""
+        try:
+            with open(self._index_path, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, ValueError):
+            return
+        if doc.get("schema") != SCHEMA:
+            return
+        entries = doc.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def _write_index(self) -> None:
+        """Atomically replace the index (readers see old or new, never torn)."""
+        doc = {"schema": SCHEMA, "entries": self._entries}
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".index.tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self._index_path)
+        except OSError:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+
+    @contextlib.contextmanager
+    def _locked(self) -> Iterator[None]:
+        """The single-writer publish lock (fcntl advisory, blocking)."""
+        import fcntl
+
+        with open(self._lock_path, "a+") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def digests(self) -> List[str]:
+        return sorted(self._entries)
+
+    # -- publish -----------------------------------------------------------
+
+    def publish(self, segment: Segment, compiled: CompiledSegment) -> bool:
+        """Publish one compilation; False when already present or disabled.
+
+        Safe to call from any process: the fcntl lock serializes writers
+        and the post-lock re-read makes the losing racer a no-op.
+        """
+        if self._disabled:
+            return False
+        digest = segment_digest(segment)
+        if digest in self._entries:
+            return False
+        try:
+            return self._publish_locked(digest, segment, compiled)
+        except Exception as exc:  # noqa: BLE001 - shm loss must not kill runs
+            _log.debug("disabling shared compile region (%s)", exc)
+            self._disabled = True
+            return False
+
+    def _publish_locked(
+        self, digest: str, segment: Segment, compiled: CompiledSegment
+    ) -> bool:
+        from multiprocessing import shared_memory
+
+        with self._locked():
+            self._refresh()
+            if digest in self._entries:
+                return False
+            segment_blob = pickle.dumps(segment, protocol=pickle.HIGHEST_PROTOCOL)
+            events = _pack_events(compiled.events)
+            chunks: List[Tuple[str, bytes, str, Tuple[int, ...]]] = [
+                ("segment", segment_blob, "bytes", (len(segment_blob),))
+            ]
+            for name, dtype in _ARRAY_FIELDS:
+                array = np.ascontiguousarray(getattr(compiled, name))
+                chunks.append((name, array.tobytes(), dtype, array.shape))
+            chunks.append(("events", events.tobytes(), "int64", events.shape))
+            total = sum(len(blob) for _, blob, _, _ in chunks)
+            shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+            try:
+                header: Dict[str, dict] = {}
+                offset = 0
+                for name, blob, dtype, shape in chunks:
+                    shm.buf[offset : offset + len(blob)] = blob
+                    header[name] = {
+                        "offset": offset,
+                        "nbytes": len(blob),
+                        "dtype": dtype,
+                        "shape": list(shape),
+                    }
+                    offset += len(blob)
+                self._entries[digest] = {"shm": shm.name, "fields": header}
+                self._write_index()
+                # Only once the block is durably indexed: keep the tracker
+                # off it so it outlives this process (destroy() cleans up).
+                # The failure path's unlink() sends its own unregister.
+                _untrack(shm)
+            except Exception:
+                with contextlib.suppress(Exception):
+                    shm.unlink()
+                raise
+            finally:
+                shm.close()
+        self.publishes += 1
+        return True
+
+    # -- load --------------------------------------------------------------
+
+    def load(self, segment: Segment) -> Optional[CompiledSegment]:
+        """The published compilation of ``segment``, or None (copy-on-read)."""
+        if self._disabled:
+            return None
+        digest = segment_digest(segment)
+        entry = self._entries.get(digest)
+        if entry is None:
+            self._refresh()
+            entry = self._entries.get(digest)
+            if entry is None:
+                return None
+        compiled = self._load_entry(entry, segment)
+        if compiled is None:
+            self.load_failures += 1
+        else:
+            self.loads += 1
+        return compiled
+
+    def _load_entry(
+        self, entry: dict, segment: Optional[Segment]
+    ) -> Optional[CompiledSegment]:
+        from multiprocessing import shared_memory
+
+        try:
+            shm = shared_memory.SharedMemory(name=entry["shm"])
+        except (OSError, ValueError):
+            return None
+        _untrack(shm)
+        try:
+            fields = entry["fields"]
+
+            def chunk(name: str) -> "tuple[bytes, dict]":
+                # bytes() copies out of the block immediately — copy-on-read,
+                # and no exported buffer pointers survive past close().
+                spec = fields[name]
+                start = spec["offset"]
+                return bytes(shm.buf[start : start + spec["nbytes"]]), spec
+
+            if segment is None:
+                blob, _ = chunk("segment")
+                segment = pickle.loads(blob)
+            arrays = {}
+            for name, dtype in _ARRAY_FIELDS:
+                blob, spec = chunk(name)
+                arrays[name] = np.frombuffer(blob, dtype=np.dtype(dtype)).reshape(
+                    tuple(spec["shape"])
+                ).copy()
+            blob, spec = chunk("events")
+            packed = np.frombuffer(blob, dtype=np.int64).reshape(
+                tuple(spec["shape"])
+            )
+        except (KeyError, ValueError, TypeError, pickle.PickleError):
+            return None
+        finally:
+            shm.close()
+        compiled = CompiledSegment(
+            segment,
+            arrays["opcodes"],
+            arrays["addrs"],
+            arrays["sizes"],
+            arrays["taken"],
+        )
+        compiled._events = _unpack_events(packed)
+        return compiled
+
+    def items(self) -> Iterator[Tuple[Segment, CompiledSegment]]:
+        """Every published (segment, compilation) pair (for pre-warming)."""
+        if self._disabled:
+            return
+        self._refresh()
+        for digest in sorted(self._entries):
+            compiled = self._load_entry(self._entries[digest], None)
+            if compiled is not None:
+                yield compiled.segment, compiled
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def destroy(self) -> None:
+        """Unlink every block and remove the index (owner-side cleanup)."""
+        if not shm_available():
+            self._entries = {}
+            return
+        from multiprocessing import shared_memory
+
+        self._refresh()
+        for entry in self._entries.values():
+            try:
+                shm = shared_memory.SharedMemory(name=entry["shm"])
+            except (OSError, ValueError):
+                continue
+            shm.close()
+            # attach registered the name; unlink() unregisters it again,
+            # so no _untrack here (doubling up makes the tracker warn).
+            with contextlib.suppress(OSError):
+                shm.unlink()
+        self._entries = {}
+        for path in (self._index_path, self._lock_path):
+            with contextlib.suppress(OSError):
+                os.unlink(path)
+
+    def __enter__(self) -> "SharedCompileRegion":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.destroy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "disabled" if self._disabled else f"{len(self._entries)} entries"
+        return f"<SharedCompileRegion {self.root} ({state})>"
+
+
+def attach_region(root: str, prewarm: bool = True) -> None:
+    """Attach the process-global compile cache to the region at ``root``.
+
+    This is the pool-initializer entry point: pass it as
+    ``initializer=attach_region, initargs=(region.root,)`` to a
+    :class:`~repro.exec.runner.ParallelRunner` and every worker boots with
+    the shared tier wired in and (with ``prewarm``) its local LRU already
+    holding every published compilation — zero compile misses in steady
+    state. Harmless when the region is unreadable: the worker just stays
+    on its private cache.
+    """
+    from repro.perf.compiled import SHARED_COMPILE_CACHE
+
+    try:
+        region = SharedCompileRegion(root)
+    except Exception as exc:  # noqa: BLE001 - init must never kill a worker
+        _log.debug("cannot attach compile region %s (%s)", root, exc)
+        return
+    SHARED_COMPILE_CACHE.shared = region
+    if prewarm:
+        seeded = 0
+        for segment, compiled in region.items():
+            SHARED_COMPILE_CACHE.seed(segment, compiled)
+            seeded += 1
+        if seeded:
+            _log.debug("pre-warmed compile cache with %d segment(s)", seeded)

@@ -176,6 +176,8 @@ class ExplorationService:
         """Validate and normalize a request body (ConfigError on bad input)."""
         if not isinstance(request, dict):
             raise ConfigError("request body must be a JSON object")
+        if "rank" in request:
+            return self._canonical_rank(request)
         point = request.get("point")
         if not isinstance(point, str) or point not in self._points:
             raise ConfigError(
@@ -208,6 +210,40 @@ class ExplorationService:
             "fidelity": fidelity,
             "deadline": float(deadline),
             "faults": faults,
+        }
+
+    def _canonical_rank(self, request: dict) -> dict:
+        """Validate a rank-sweep request: ``{"rank": {...}}``.
+
+        Rank jobs are the service's bulk workload — the full (or sampled)
+        design space ranked in one job, sharded across the worker pool
+        (:meth:`Explorer.rank_design_points` with ``shards``). They ride
+        the same queue as point evaluations, so identical in-flight rank
+        sweeps coalesce and backpressure applies unchanged.
+        """
+        spec = request.get("rank")
+        if not isinstance(spec, dict):
+            raise ConfigError("rank must be an object, e.g. {'rank': {}}")
+        sample = spec.get("sample", 0)
+        if not isinstance(sample, int) or sample < 0:
+            raise ConfigError(f"rank.sample must be an integer >= 0, got {sample!r}")
+        top = spec.get("top", 10)
+        if not isinstance(top, int) or top < 1:
+            raise ConfigError(f"rank.top must be an integer >= 1, got {top!r}")
+        shards = spec.get("shards", "auto")
+        if shards != "auto" and (not isinstance(shards, int) or shards < 1):
+            raise ConfigError(
+                f"rank.shards must be an integer >= 1 or 'auto', got {shards!r}"
+            )
+        if request.get("faults"):
+            raise ConfigError("rank sweeps do not support fault injection")
+        deadline = request.get("deadline", self.default_deadline)
+        if not isinstance(deadline, (int, float)) or deadline <= 0:
+            raise ConfigError(f"deadline must be a positive number, got {deadline!r}")
+        return {
+            "rank": {"sample": sample, "top": top, "shards": shards},
+            "deadline": float(deadline),
+            "faults": None,
         }
 
     def submit(self, request: dict) -> Job:
@@ -303,6 +339,8 @@ class ExplorationService:
 
     def _execute(self, job: Job) -> dict:
         request = job.request
+        if request.get("rank"):
+            return self._execute_rank(job)
         point = self._points[request["point"]]
         kernels = [kernel_by_name(name) for name in request["kernels"]]
         fidelity = request["fidelity"]
@@ -348,6 +386,32 @@ class ExplorationService:
             payload["degraded"] = True
         return payload
 
+    def _execute_rank(self, job: Job) -> dict:
+        """One rank sweep: sampled point space, sharded across the pool."""
+        spec = job.request["rank"]
+        points = list(DesignSpace().feasible_points())
+        if spec["sample"] and spec["sample"] < len(points):
+            step = max(len(points) // spec["sample"], 1)
+            points = points[::step]
+        shards = spec["shards"]
+        if shards == "auto":
+            shards = max(2 * self.explorer.jobs, 1)
+        evaluations = self.explorer.rank_design_points(points, shards=shards)
+        return {
+            "rank": [
+                {
+                    "point": e.point.label,
+                    "mean_seconds": e.mean_seconds,
+                    "mean_comm_fraction": e.mean_comm_fraction,
+                    "comm_lines_total": e.comm_lines_total,
+                    "locality_options": e.locality_options,
+                }
+                for e in evaluations[: spec["top"]]
+            ],
+            "points_evaluated": len(points),
+            "shards": shards,
+        }
+
     def _evaluate_detailed(
         self, explorer: Explorer, point, kernels: List[Kernel]
     ) -> object:
@@ -389,6 +453,9 @@ class ExplorationService:
         samples["serve.queue.shed"] = self.queue.shed
         for name, value in self.explorer.run_stats.metrics.as_dict().items():
             samples[f"exec.{name}"] = value
+        for cache_name, stats in self.explorer.cache_stats().items():
+            for name, value in stats.items():
+                samples[f"exec.cache.{cache_name}.{name}"] = value
         if self.explorer.store is not None:
             for name, value in self.explorer.store.metrics.as_dict().items():
                 samples[f"store.{name}"] = value
@@ -534,20 +601,31 @@ def run_server(
     store_path: Optional[str] = None,
     retries: int = 0,
     job_timeout: Optional[float] = None,
+    warm_dir: Optional[str] = None,
 ) -> ExplorationServer:
-    """Build a ready-to-start server from CLI-ish parameters."""
+    """Build a ready-to-start server from CLI-ish parameters.
+
+    With ``warm_dir`` every explorer this service builds (boot and
+    watchdog rebuilds alike) shares one compile-cache region: worker
+    pools start pre-warmed from it, and the pool is pre-spawned at build
+    time so the first detailed request lands on warm workers.
+    """
     from repro.exec.retry import RetryPolicy
     from repro.store import ResultStore
 
     store = ResultStore(store_path) if store_path else None
 
     def factory() -> Explorer:
-        return Explorer(
+        explorer = Explorer(
             jobs=jobs,
             retry=RetryPolicy(retries=retries) if retries else None,
             job_timeout=job_timeout,
             store=store,
+            warm_dir=warm_dir,
         )
+        if warm_dir is not None and jobs > 1:
+            explorer.runner.prestart()
+        return explorer
 
     service = ExplorationService(
         explorer_factory=factory,

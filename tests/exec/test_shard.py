@@ -1,0 +1,259 @@
+"""The sharded full-space rank engine: partition laws and byte-identity.
+
+Two layers. :func:`~repro.exec.sweepjob.plan_shards` must be a true,
+deterministic, timing-key-colocating partition — Hypothesis pins the set
+algebra. Above it, ``rank_design_points(shards=)`` must produce a ranking
+byte-identical to the flat and serial paths, interoperate with
+checkpoints in both directions, and keep the persistent pool at its full
+width across uneven shard waves (the pool-sizing regression).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.core.explorer import Explorer
+from repro.core.space import DesignSpace
+from repro.errors import ConfigError
+from repro.exec.cache import ResultCache, TraceCache
+from repro.exec.runner import ParallelRunner
+from repro.exec.sweepjob import (
+    ShardJob,
+    plan_shards,
+    run_shard,
+    timing_key,
+)
+from repro.kernels.registry import all_kernels
+
+POINTS = DesignSpace().feasible_points()
+KERNELS = list(all_kernels())[:2]
+
+
+def _flat(evaluations):
+    return [
+        (
+            e.point.label,
+            e.mean_seconds,
+            e.mean_comm_fraction,
+            e.comm_lines_total,
+            e.locality_options,
+        )
+        for e in evaluations
+    ]
+
+
+class TestPlanShards:
+    @given(
+        start=st.integers(min_value=0, max_value=len(POINTS) - 1),
+        count=st.integers(min_value=0, max_value=200),
+        shards=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_is_a_true_partition(self, start, count, shards):
+        points = POINTS[start : start + count]
+        plan = plan_shards(points, shards)
+        assert len(plan) == shards
+        seen = [index for bucket in plan for index in bucket]
+        assert sorted(seen) == list(range(len(points)))
+        assert len(seen) == len(set(seen))
+
+    @given(
+        start=st.integers(min_value=0, max_value=len(POINTS) - 1),
+        count=st.integers(min_value=1, max_value=200),
+        shards=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_timing_keys_colocate(self, start, count, shards):
+        points = POINTS[start : start + count]
+        plan = plan_shards(points, shards)
+        home = {}
+        for shard_index, bucket in enumerate(plan):
+            for index in bucket:
+                key = timing_key(points[index])
+                assert home.setdefault(key, shard_index) == shard_index
+
+    @given(
+        count=st.integers(min_value=0, max_value=200),
+        shards=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic(self, count, shards):
+        points = POINTS[:count]
+        assert plan_shards(points, shards) == plan_shards(points, shards)
+
+    def test_buckets_are_sorted(self):
+        for bucket in plan_shards(POINTS[:100], 4):
+            assert bucket == sorted(bucket)
+
+    def test_rejects_nonpositive_shard_count(self):
+        with pytest.raises(ConfigError):
+            plan_shards(POINTS[:4], 0)
+        with pytest.raises(ConfigError):
+            plan_shards(POINTS[:4], -2)
+
+    def test_more_shards_than_keys_leaves_empties(self):
+        points = POINTS[:3]
+        keys = {timing_key(p) for p in points}
+        plan = plan_shards(points, 12)
+        assert sum(1 for bucket in plan if bucket) <= len(keys)
+
+
+class TestRunShard:
+    def test_dedup_counts_and_evaluations(self):
+        points = POINTS[:12]
+        shard = ShardJob(
+            points=tuple(points),
+            kernel_names=tuple(k.name for k in KERNELS),
+            comm_lines=tuple(
+                sorted(
+                    Explorer._comm_lines_by_space().items(),
+                    key=lambda pair: str(pair[0]),
+                )
+            ),
+        )
+        outcome = run_shard(shard)
+        assert len(outcome.evaluations) == len(points)
+        distinct_keys = {timing_key(p) for p in points}
+        assert outcome.sim_runs == len(distinct_keys) * len(KERNELS)
+        assert outcome.dedup_hits == (len(points) - len(distinct_keys)) * len(
+            KERNELS
+        )
+        assert len(outcome.distinct) == outcome.sim_runs
+
+
+class TestShardedRankIdentity:
+    def test_sharded_equals_flat_equals_serial(self):
+        points = POINTS[:80]
+        serial = Explorer(
+            trace_cache=TraceCache(), result_cache=ResultCache()
+        ).rank_design_points(points, KERNELS)
+        flat = Explorer(
+            jobs=2, trace_cache=TraceCache(), result_cache=ResultCache()
+        ).rank_design_points(points, KERNELS)
+        sharded = Explorer(
+            jobs=2, trace_cache=TraceCache(), result_cache=ResultCache()
+        ).rank_design_points(points, KERNELS, shards=4)
+        assert _flat(sharded) == _flat(serial)
+        assert _flat(flat) == _flat(serial)
+
+    def test_shards_one_uses_the_flat_path(self):
+        points = POINTS[:20]
+        one = Explorer(trace_cache=TraceCache()).rank_design_points(
+            points, KERNELS, shards=1
+        )
+        serial = Explorer(trace_cache=TraceCache()).rank_design_points(
+            points, KERNELS
+        )
+        assert _flat(one) == _flat(serial)
+
+    def test_rejects_nonpositive_shards(self):
+        with pytest.raises(ConfigError):
+            Explorer(trace_cache=TraceCache()).rank_design_points(
+                POINTS[:4], KERNELS, shards=0
+            )
+
+    def test_distinct_results_write_through_the_memo(self):
+        cache = ResultCache()
+        explorer = Explorer(jobs=2, trace_cache=TraceCache(), result_cache=cache)
+        explorer.rank_design_points(POINTS[:40], KERNELS, shards=4)
+        stats = cache.stats()
+        assert stats["entries"] > 0
+        assert explorer.last_results
+
+    def test_cache_counters_match_the_dedup(self):
+        explorer = Explorer(jobs=2, trace_cache=TraceCache())
+        points = POINTS[:40]
+        explorer.rank_design_points(points, KERNELS, shards=4)
+        distinct = {timing_key(p) for p in points}
+        assert explorer.run_stats.cache_misses == len(distinct) * len(KERNELS)
+        assert explorer.run_stats.cache_hits == (
+            (len(points) - len(distinct)) * len(KERNELS)
+        )
+
+
+class TestCheckpointInterop:
+    def test_sharded_resumes_a_flat_checkpoint(self, tmp_path):
+        path = str(tmp_path / "cp.jsonl")
+        points = POINTS[:30]
+        serial = Explorer(trace_cache=TraceCache()).rank_design_points(
+            points, KERNELS
+        )
+        # A flat checkpointed run over the first half of the points only.
+        Explorer(trace_cache=TraceCache()).rank_design_points(
+            points[:15], KERNELS, checkpoint=path
+        )
+        # Different point set -> different signature; same set resumes.
+        resumed = Explorer(jobs=2, trace_cache=TraceCache()).rank_design_points(
+            points[:15], KERNELS, checkpoint=path, shards=4
+        )
+        flat_half = Explorer(trace_cache=TraceCache()).rank_design_points(
+            points[:15], KERNELS
+        )
+        assert _flat(resumed) == _flat(flat_half)
+        assert _flat(serial)  # sanity: full run unaffected
+
+    def test_flat_resumes_a_sharded_checkpoint(self, tmp_path):
+        path = str(tmp_path / "cp.jsonl")
+        points = POINTS[:30]
+        sharded = Explorer(jobs=2, trace_cache=TraceCache()).rank_design_points(
+            points, KERNELS, checkpoint=path, shards=4
+        )
+        resumed = Explorer(trace_cache=TraceCache()).rank_design_points(
+            points, KERNELS, checkpoint=path
+        )
+        assert _flat(resumed) == _flat(sharded)
+
+    def test_sharded_checkpoint_round_trips_bit_exact(self, tmp_path):
+        path = str(tmp_path / "cp.jsonl")
+        points = POINTS[:30]
+        first = Explorer(jobs=2, trace_cache=TraceCache()).rank_design_points(
+            points, KERNELS, checkpoint=path, shards=4
+        )
+        # Everything is checkpointed: the rerun loads, simulates nothing.
+        rerun = Explorer(jobs=2, trace_cache=TraceCache())
+        evaluations = rerun.rank_design_points(
+            points, KERNELS, checkpoint=path, shards=4
+        )
+        assert _flat(evaluations) == _flat(first)
+        assert rerun.run_stats.cache_misses == 0
+
+
+class TestPoolSizing:
+    def test_pool_persists_across_uneven_waves(self):
+        """The sizing regression: ``min(jobs, len(items))`` per call used
+        to shrink the pool on a short wave; the persistent pool must keep
+        its full width and identity across calls."""
+        runner = ParallelRunner(jobs=4)
+        try:
+            # Two items, four jobs: the old per-call sizing would build a
+            # two-worker pool here and leave it that way.
+            assert runner.map(len, [[1], [1, 2]], stage="short") == [1, 2]
+            pool_after_short = runner._pool
+            assert pool_after_short is not None
+            assert pool_after_short._max_workers == 4
+            assert runner.map(len, [[1]] * 9, stage="long") == [1] * 9
+            assert runner._pool is pool_after_short
+        finally:
+            runner.close()
+
+    def test_prestart_spawns_the_full_pool(self):
+        runner = ParallelRunner(jobs=2)
+        try:
+            assert runner.prestart() is True
+            assert runner._pool is not None
+            assert len(runner._pool._processes) == 2
+        finally:
+            runner.close()
+
+    def test_prestart_is_a_no_op_serially(self):
+        runner = ParallelRunner(jobs=1)
+        assert runner.prestart() is False
+        assert runner._pool is None
+
+    def test_close_tears_down_and_rebuilds_lazily(self):
+        runner = ParallelRunner(jobs=2)
+        assert runner.map(len, [[1, 2]], stage="a") == [2]
+        runner.close()
+        assert runner._pool is None
+        assert runner.map(len, [[1, 2, 3]], stage="b") == [3]
+        runner.close()

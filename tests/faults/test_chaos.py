@@ -19,6 +19,7 @@ EXPECTED_SCENARIOS = [
     "store-torn-write",
     "store-corrupt-entry",
     "sweep-sigkill",
+    "shard-sigkill",
     "worker-kill",
     "serve-comm-faults",
     "serve-overload",

@@ -1,0 +1,228 @@
+"""The warm-shared compile region: round-trip fidelity and degradation.
+
+The shared tier is only safe if a load is *bit-identical* to the
+compilation that was published (arrays, dtypes, and the event stream's
+bool fields included) and *isolated* (copy-on-read — a consumer
+scribbling on its loaded arrays must never reach the region). The
+fallback contract matters just as much: with shared memory unavailable
+the region disables itself and the private cache carries on.
+"""
+
+import numpy as np
+import pytest
+
+import repro.perf.warm as warm
+from repro.perf.compiled import (
+    SHARED_COMPILE_CACHE,
+    CompiledSegment,
+    SegmentCompileCache,
+    compile_segment,
+)
+from repro.perf.warm import (
+    SharedCompileRegion,
+    attach_region,
+    segment_digest,
+    shm_available,
+)
+from repro.taxonomy import ProcessingUnit
+from repro.trace.mix import InstructionMix
+from repro.trace.phase import Segment
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable"
+)
+
+
+def _segment(label: str = "seg", loads: int = 9, branches: int = 4) -> Segment:
+    return Segment(
+        pu=ProcessingUnit.CPU,
+        mix=InstructionMix(
+            int_alu=7, fp_alu=3, loads=loads, stores=5, branches=branches
+        ),
+        footprint_bytes=4096,
+        elem_bytes=8,
+        label=label,
+    )
+
+
+@pytest.fixture
+def region(tmp_path):
+    region = SharedCompileRegion(str(tmp_path / "region"))
+    yield region
+    region.destroy()
+
+
+class TestDigest:
+    def test_equal_segments_share_a_digest(self):
+        assert segment_digest(_segment()) == segment_digest(_segment())
+
+    def test_any_differing_field_changes_it(self):
+        base = segment_digest(_segment())
+        assert segment_digest(_segment(label="other")) != base
+        assert segment_digest(_segment(loads=10)) != base
+
+
+class TestRoundTrip:
+    def test_load_is_bit_identical(self, region):
+        segment = _segment()
+        compiled = compile_segment(segment)
+        assert region.publish(segment, compiled)
+        loaded = region.load(segment)
+        assert loaded is not None
+        for name in ("opcodes", "addrs", "sizes", "taken"):
+            ours, theirs = getattr(compiled, name), getattr(loaded, name)
+            assert ours.dtype == theirs.dtype, name
+            assert np.array_equal(ours, theirs), name
+        assert loaded.events == compiled.events
+        assert loaded.segment == segment
+
+    def test_event_bools_survive_the_int64_packing(self, region):
+        segment = _segment(branches=6)
+        compiled = compile_segment(segment)
+        region.publish(segment, compiled)
+        loaded = region.load(segment)
+        for ours, theirs in zip(compiled.events, loaded.events):
+            assert ours == theirs
+            for a, b in zip(ours, theirs):
+                assert type(a) is type(b)
+
+    def test_decoded_instructions_match(self, region):
+        segment = _segment()
+        compiled = compile_segment(segment)
+        region.publish(segment, compiled)
+        loaded = region.load(segment)
+        assert list(loaded.instructions()) == list(compiled.instructions())
+
+    def test_copy_on_read_isolates_consumers(self, region):
+        segment = _segment()
+        region.publish(segment, compile_segment(segment))
+        first = region.load(segment)
+        first.opcodes[:] = 0
+        first.addrs[:] = -1
+        second = region.load(segment)
+        reference = compile_segment(segment)
+        assert np.array_equal(second.opcodes, reference.opcodes)
+        assert np.array_equal(second.addrs, reference.addrs)
+
+    def test_publish_is_idempotent(self, region):
+        segment = _segment()
+        compiled = compile_segment(segment)
+        assert region.publish(segment, compiled)
+        assert not region.publish(segment, compiled)
+        assert len(region) == 1
+
+    def test_cross_region_visibility(self, region, tmp_path):
+        # A second region object over the same directory (another process,
+        # in spirit) sees entries published after it was constructed.
+        segment = _segment()
+        reader = SharedCompileRegion(region.root)
+        region.publish(segment, compile_segment(segment))
+        loaded = reader.load(segment)
+        assert loaded is not None
+        assert reader.loads == 1
+
+
+class TestLifecycle:
+    def test_destroy_unlinks_blocks(self, region):
+        segment = _segment()
+        region.publish(segment, compile_segment(segment))
+        entry = dict(region._entries[segment_digest(segment)])
+        region.destroy()
+        assert len(region) == 0
+        from multiprocessing import shared_memory
+
+        with pytest.raises((OSError, ValueError)):
+            shared_memory.SharedMemory(name=entry["shm"])
+
+    def test_items_enumerates_for_prewarm(self, region):
+        segments = [_segment(label=f"s{i}") for i in range(3)]
+        for segment in segments:
+            region.publish(segment, compile_segment(segment))
+        pairs = list(region.items())
+        assert len(pairs) == 3
+        assert {s.label for s, _ in pairs} == {"s0", "s1", "s2"}
+        for segment, compiled in pairs:
+            assert isinstance(compiled, CompiledSegment)
+            assert compiled.segment == segment
+
+
+class TestCacheTier:
+    def test_shared_hit_skips_compilation(self, region):
+        segment = _segment()
+        publisher = SegmentCompileCache(shared=region)
+        publisher.get(segment)  # miss -> compile -> publish
+        assert publisher.misses == 1
+        assert publisher.published == 1
+        consumer = SegmentCompileCache(shared=region)
+        loaded = consumer.get(segment)
+        assert consumer.misses == 0
+        assert consumer.shared_hits == 1
+        assert np.array_equal(loaded.opcodes, publisher.get(segment).opcodes)
+
+    def test_stats_surface_the_shared_counters(self, region):
+        cache = SegmentCompileCache(shared=region)
+        cache.get(_segment())
+        stats = cache.stats()
+        for key in ("entries", "hits", "misses", "shared_hits", "published",
+                    "evictions", "hit_rate"):
+            assert key in stats
+        assert stats["published"] == 1
+
+    def test_attach_region_prewarms_the_global_cache(self, region):
+        segment = _segment()
+        region.publish(segment, compile_segment(segment))
+        saved_shared = SHARED_COMPILE_CACHE.shared
+        try:
+            SHARED_COMPILE_CACHE.clear()
+            attach_region(region.root)
+            assert SHARED_COMPILE_CACHE.shared is not None
+            SHARED_COMPILE_CACHE.get(segment)
+            assert SHARED_COMPILE_CACHE.misses == 0
+            assert SHARED_COMPILE_CACHE.hits == 1
+        finally:
+            SHARED_COMPILE_CACHE.clear()
+            SHARED_COMPILE_CACHE.shared = saved_shared
+
+    def test_attach_region_survives_a_bad_root(self, tmp_path):
+        saved_shared = SHARED_COMPILE_CACHE.shared
+        try:
+            # A file where the directory should be: attach must not raise.
+            bad = tmp_path / "not-a-dir"
+            bad.write_text("x")
+            attach_region(str(bad))
+        finally:
+            SHARED_COMPILE_CACHE.shared = saved_shared
+
+
+class TestFallback:
+    def test_disabled_region_is_a_no_op(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(warm, "_SHM_PROBED", False)
+        region = SharedCompileRegion(str(tmp_path / "region"))
+        segment = _segment()
+        assert not region.publish(segment, compile_segment(segment))
+        assert region.load(segment) is None
+        assert list(region.items()) == []
+        region.destroy()  # must not raise without shm
+
+    def test_private_cache_carries_on(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(warm, "_SHM_PROBED", False)
+        region = SharedCompileRegion(str(tmp_path / "region"))
+        cache = SegmentCompileCache(shared=region)
+        segment = _segment()
+        first = cache.get(segment)
+        second = cache.get(segment)
+        assert first is second
+        assert cache.misses == 1 and cache.hits == 1
+        assert cache.shared_hits == 0 and cache.published == 0
+
+    def test_publish_failure_disables_not_raises(self, region, monkeypatch):
+        def explode(*_args, **_kwargs):
+            raise OSError("no shm for you")
+
+        import multiprocessing.shared_memory as shm_mod
+
+        monkeypatch.setattr(shm_mod, "SharedMemory", explode)
+        segment = _segment()
+        assert not region.publish(segment, compile_segment(segment))
+        # Disabled from here on: loads are None, no exception escapes.
+        assert region.load(segment) is None

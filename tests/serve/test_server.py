@@ -218,3 +218,92 @@ class TestHTTP:
         assert status == 404
         status, _ = _http("GET", f"{server.address}/v1/jobs/job-999999")
         assert status == 404
+
+
+class TestRankJobs:
+    """The bulk workload: ``{"rank": {...}}`` requests through the service."""
+
+    def test_rank_round_trip(self, service):
+        payload = service.evaluate({"rank": {"sample": 40, "top": 5}})
+        assert len(payload["rank"]) == 5
+        assert payload["points_evaluated"] > 0
+        assert payload["shards"] >= 1
+        best = payload["rank"][0]
+        for key in (
+            "point",
+            "mean_seconds",
+            "mean_comm_fraction",
+            "comm_lines_total",
+            "locality_options",
+        ):
+            assert key in best
+        # Deterministic: the same sweep returns the identical payload.
+        assert service.evaluate({"rank": {"sample": 40, "top": 5}}) == payload
+
+    def test_rank_matches_a_direct_explorer_ranking(self, service):
+        payload = service.evaluate({"rank": {"sample": 40, "top": 3}})
+        points = DesignSpace().feasible_points()
+        step = max(len(points) // 40, 1)
+        direct = Explorer(trace_cache=TraceCache()).rank_design_points(
+            points[::step]
+        )
+        assert [e["point"] for e in payload["rank"]] == [
+            e.point.label for e in direct[:3]
+        ]
+        assert payload["rank"][0]["mean_seconds"] == direct[0].mean_seconds
+
+    @pytest.mark.parametrize(
+        "request_body",
+        [
+            {"rank": "everything"},
+            {"rank": {"sample": -1}},
+            {"rank": {"sample": 1.5}},
+            {"rank": {"top": 0}},
+            {"rank": {"shards": 0}},
+            {"rank": {"shards": "many"}},
+            {"rank": {}, "faults": "pcie:fail=0.5"},
+            {"rank": {}, "deadline": 0},
+        ],
+    )
+    def test_bad_rank_requests_rejected(self, service, request_body):
+        with pytest.raises(ConfigError):
+            service.evaluate(request_body)
+
+    def test_scrape_exports_cache_stats(self, service):
+        service.evaluate({"point": POINT, "kernels": ["reduction"]})
+        scrape = service.scrape()
+        samples = dict(
+            line.split(" ", 1) for line in scrape.strip().splitlines()
+        )
+        for cache_name in ("trace", "result", "compile"):
+            assert any(
+                name.startswith(f"exec.cache.{cache_name}.") for name in samples
+            ), cache_name
+
+
+class TestRankHTTP:
+    def test_rank_job_over_http(self, server):
+        status, body = _http(
+            "POST",
+            f"{server.address}/v1/jobs",
+            {"rank": {"sample": 40, "top": 3}},
+        )
+        assert status == 202
+        job_id = json.loads(body)["job"]
+        deadline = time.monotonic() + 60.0
+        info = {}
+        while time.monotonic() < deadline:
+            status, body = _http("GET", f"{server.address}/v1/jobs/{job_id}")
+            assert status == 200
+            info = json.loads(body)
+            if info["state"] in ("done", "error"):
+                break
+            time.sleep(0.02)
+        assert info["state"] == "done"
+        assert len(info["result"]["rank"]) == 3
+
+    def test_bad_rank_request_is_400(self, server):
+        status, body = _http(
+            "POST", f"{server.address}/v1/evaluate", {"rank": {"top": 0}}
+        )
+        assert status == 400 and json.loads(body)["error"] == "ConfigError"
